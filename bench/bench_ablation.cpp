@@ -1,0 +1,71 @@
+// E7 — ablations of the design choices in Sec. IV-B.
+//
+// Two sweeps on the paper scenario:
+//   (1) rounding threshold rho: the paper proves rho = (3 - sqrt(5))/2
+//       minimizes the worst-case ratio; this sweep shows the empirical cost
+//       of CHC under other thresholds.
+//   (2) commitment level r at fixed w: r = 1 recovers RHC-like behaviour,
+//       r = w is AFHC; the paper's CHC sits between.
+#include "common.hpp"
+#include "core/rounding.hpp"
+#include "online/chc.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mdo;
+  try {
+    const CliFlags flags(argc, argv);
+    bench::BenchSetup setup = bench::parse_common(flags);
+    flags.require_all_consumed();
+
+    auto base = setup.experiment;
+    // Ablations only need the CHC runs; skip the rest of the line-up.
+    base.schemes =
+        sim::SchemeSelection{.offline = false, .rhc = false, .afhc = false,
+                             .chc = true, .lrfu = false};
+
+    std::cout << "Ablation 1 — CHC rounding threshold rho (w="
+              << base.window << ", r=" << base.commit << ")\n"
+              << "paper optimum: rho = (3-sqrt(5))/2 ~ 0.382 "
+                 "(worst-case ratio 2.62)\n";
+    {
+      TextTable table({"rho", "worst-case ratio", "measured total cost",
+                       "#replacements"});
+      for (const double rho : {0.15, 0.25, 0.382, 0.5, 0.65, 0.8}) {
+        const model::ProblemInstance instance = base.scenario.build();
+        const workload::NoisyPredictor predictor(instance.demand, base.eta,
+                                                 base.predictor_seed);
+        const sim::Simulator simulator(instance, predictor);
+        online::ChcController controller(base.window, base.commit,
+                                         base.primal_dual, rho);
+        const auto result = simulator.run(controller);
+        table.add_row({TextTable::fmt(rho, 3),
+                       TextTable::fmt(core::chc_approximation_ratio(rho), 2),
+                       TextTable::fmt(result.total_cost()),
+                       TextTable::fmt(static_cast<std::int64_t>(
+                           result.total_replacements))});
+      }
+      table.print(std::cout);
+    }
+
+    std::cout << "\nAblation 2 — CHC commitment level r (w=" << base.window
+              << "); r=1 ~ RHC, r=w = AFHC\n";
+    {
+      TextTable table({"r", "scheme", "total cost", "#replacements"});
+      for (std::size_t r = 1; r <= base.window; r += (base.window >= 8 ? 2 : 1)) {
+        auto config = base;
+        config.commit = r;
+        const auto outcomes = sim::run_schemes(config);
+        const auto& chc = sim::find_outcome(outcomes, "CHC");
+        table.add_row({TextTable::fmt(static_cast<std::int64_t>(r)), chc.name,
+                       TextTable::fmt(chc.total_cost()),
+                       TextTable::fmt(static_cast<std::int64_t>(
+                           chc.replacements))});
+      }
+      table.print(std::cout);
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,72 @@
+// E8 — empirical competitive-ratio study (Theorem 2).
+//
+// Theorem 2 states the integer RHC inherits the continuous-problem
+// competitive ratio O(1 + 1/w). This bench measures, across several seeds,
+// the ratio RHC(w)/Offline under *perfect* prediction (the regime of the
+// theorem) for a sweep of window sizes, and prints it next to the 1 + 1/w
+// reference curve. It also reports a single FHC variant (no averaging) to
+// show where the averaging of AFHC/CHC earns its keep, and each scheme's
+// mean per-slot decision time (computational cost).
+#include "common.hpp"
+#include "online/fhc.hpp"
+#include "online/offline_controller.hpp"
+#include "online/rhc.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mdo;
+  try {
+    const CliFlags flags(argc, argv);
+    bench::BenchSetup setup = bench::parse_common(flags);
+    const auto seeds = static_cast<std::size_t>(flags.get_int("seeds", 2));
+    flags.require_all_consumed();
+
+    auto base = setup.experiment;
+    std::cout << "Empirical competitive ratio of RHC (Theorem 2 regime: "
+                 "perfect predictions), T=" << base.scenario.horizon
+              << ", " << seeds << " seeds\n\n";
+
+    TextTable table({"w", "1+1/w", "mean RHC/OPT", "max RHC/OPT",
+                     "mean FHC/OPT", "RHC ms/slot"});
+    for (const std::size_t w : {1, 2, 4, 6, 10}) {
+      double sum_rhc = 0.0, max_rhc = 0.0, sum_fhc = 0.0, sum_ms = 0.0;
+      for (std::size_t s = 0; s < seeds; ++s) {
+        auto scenario = base.scenario;
+        scenario.seed = base.scenario.seed + s;
+        const model::ProblemInstance instance = scenario.build();
+        const workload::PerfectPredictor predictor(instance.demand);
+        const sim::Simulator simulator(instance, predictor);
+
+        online::OfflineController offline;
+        const double opt = simulator.run(offline).total_cost();
+        online::RhcController rhc(w, base.primal_dual);
+        const auto rhc_result = simulator.run(rhc);
+        online::FhcController fhc(w, w, 0, base.primal_dual);
+        const double fhc_cost = simulator.run(fhc).total_cost();
+
+        const double ratio = rhc_result.total_cost() / opt;
+        sum_rhc += ratio;
+        max_rhc = std::max(max_rhc, ratio);
+        sum_fhc += fhc_cost / opt;
+        sum_ms += 1e3 * rhc_result.mean_decision_seconds();
+      }
+      const auto count = static_cast<double>(seeds);
+      table.add_row({TextTable::fmt(static_cast<std::int64_t>(w)),
+                     TextTable::fmt(1.0 + 1.0 / static_cast<double>(w), 3),
+                     TextTable::fmt(sum_rhc / count, 4),
+                     TextTable::fmt(max_rhc, 4),
+                     TextTable::fmt(sum_fhc / count, 4),
+                     TextTable::fmt(sum_ms / count, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape: the measured RHC ratio decays with w "
+                 "like the 1 + 1/w reference and approaches 1 as w grows\n"
+                 "(Theorem 2's O(1 + 1/w) has an unspecified constant: at "
+                 "small w a window that cannot amortize beta stays at the\n"
+                 "no-caching cost and can sit above 1 + 1/w itself); the "
+                 "un-averaged FHC variant never beats RHC.\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}

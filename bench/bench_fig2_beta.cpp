@@ -1,0 +1,59 @@
+// Fig. 2 — the impact of the cache replacement cost beta.
+//
+// Regenerates all four sub-figures over a beta sweep:
+//   (a) total operating cost        (b) cache replacement cost
+//   (c) number of cache replacements (d) operating cost of the BS
+// Schemes: Offline / RHC / CHC / AFHC / LRFU.
+//
+// Paper findings to compare against (Sec. V-C(2)): every curve in (a) grows
+// with beta, the online algorithms stay near the offline and well below
+// LRFU; (b)+(c): online replacement counts shrink as beta grows while
+// LRFU's stay constant (its replacement cost grows linearly); (d): the BS
+// operating cost of the online algorithms stays roughly steady.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mdo;
+  try {
+    const CliFlags flags(argc, argv);
+    bench::BenchSetup setup = bench::parse_common(flags);
+    const std::string sweep = flags.get_string("betas", "0,10,25,50,75,100");
+    flags.require_all_consumed();
+
+    std::vector<double> betas;
+    for (std::size_t pos = 0; pos < sweep.size();) {
+      const auto comma = sweep.find(',', pos);
+      betas.push_back(std::stod(sweep.substr(pos, comma - pos)));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+
+    std::cout << "Fig. 2 — impact of the cache replacement cost beta\n"
+              << "T=" << setup.experiment.scenario.horizon
+              << " K=" << setup.experiment.scenario.num_contents
+              << " w=" << setup.experiment.window
+              << " r=" << setup.experiment.commit
+              << " eta=" << setup.experiment.eta << "\n";
+
+    std::vector<bench::SweepPoint> points;
+    for (const double beta : betas) {
+      auto config = setup.experiment;
+      config.scenario.beta = beta;
+      points.push_back({beta, sim::run_schemes(config)});
+    }
+
+    bench::print_series(std::cout, "Fig. 2a: total operating cost", "beta",
+                        points, bench::metric_total);
+    bench::print_series(std::cout, "Fig. 2b: cache replacement cost", "beta",
+                        points, bench::metric_replacement_cost);
+    bench::print_series(std::cout, "Fig. 2c: number of cache replacements",
+                        "beta", points, bench::metric_replacements);
+    bench::print_series(std::cout, "Fig. 2d: operating cost of the BS",
+                        "beta", points, bench::metric_bs_cost);
+    if (setup.csv_path) bench::write_csv(*setup.csv_path, "beta", points);
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,53 @@
+// E1 — the headline comparison of Sec. V-C(1).
+//
+// At the beta = 50 point the paper reports:
+//   * cost ratios to the offline optimum: RHC 1.02, CHC 1.08, AFHC 1.11,
+//     LRFU 1.3;
+//   * cost reductions vs LRFU: RHC 27%, CHC 20%, AFHC 17%.
+// This bench reproduces that table (plus the extension baselines with
+// --classics) and prints both ratio columns.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mdo;
+  try {
+    const CliFlags flags(argc, argv);
+    bench::BenchSetup setup = bench::parse_common(flags);
+    flags.require_all_consumed();
+
+    auto config = setup.experiment;
+    if (!flags.has("beta")) config.scenario.beta = 50.0;  // the paper's point
+    config.schemes.static_top_c = config.schemes.classics;
+
+    std::cout << "Headline comparison (Sec. V-C(1)) at beta="
+              << config.scenario.beta << ", w=" << config.window
+              << ", r=" << config.commit << ", eta=" << config.eta
+              << ", T=" << config.scenario.horizon << "\n"
+              << "paper: ratio-to-offline RHC 1.02 / CHC 1.08 / AFHC 1.11 / "
+                 "LRFU 1.3; savings vs LRFU 27% / 20% / 17%\n\n";
+
+    const auto outcomes = sim::run_schemes(config);
+    const double offline = sim::find_outcome(outcomes, "Offline").total_cost();
+    const double lrfu = sim::find_outcome(outcomes, "LRFU").total_cost();
+
+    TextTable table({"scheme", "total cost", "ratio to offline",
+                     "saving vs LRFU (%)", "#replacements"});
+    for (const auto& outcome : outcomes) {
+      table.add_row(
+          {outcome.name, TextTable::fmt(outcome.total_cost()),
+           TextTable::fmt(outcome.total_cost() / offline, 3),
+           TextTable::fmt(100.0 * (1.0 - outcome.total_cost() / lrfu), 1),
+           TextTable::fmt(static_cast<std::int64_t>(outcome.replacements))});
+    }
+    table.print(std::cout);
+
+    if (setup.csv_path) {
+      bench::write_csv(*setup.csv_path, "beta",
+                       {{config.scenario.beta, outcomes}});
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}

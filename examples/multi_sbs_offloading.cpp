@@ -1,0 +1,121 @@
+// Heterogeneous multi-SBS offloading.
+//
+// The paper's model covers N SBSs with disjoint coverage; its simulations
+// use N = 1 and note that "when consider multiple SBSs, the final results
+// are the sum of each SBS" — i.e. the problem decomposes per SBS. This
+// example builds a 4-SBS cell with heterogeneous cache sizes, bandwidths
+// and replacement prices, runs the offline optimum and RHC, and then
+// *verifies the decomposition claim numerically*: solving each SBS's
+// sub-network in isolation produces the same total cost as the joint solve.
+//
+//   ./multi_sbs_offloading [--slots N] [--seed S]
+#include <iostream>
+
+#include "online/offline_controller.hpp"
+#include "online/rhc.hpp"
+#include "sim/simulator.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/predictor.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+using namespace mdo;
+
+/// Extracts SBS n of an instance as a standalone single-SBS instance.
+model::ProblemInstance isolate_sbs(const model::ProblemInstance& instance,
+                                   std::size_t n) {
+  model::ProblemInstance sub;
+  sub.config.num_contents = instance.config.num_contents;
+  sub.config.sbs.push_back(instance.config.sbs[n]);
+  for (std::size_t t = 0; t < instance.horizon(); ++t) {
+    sub.demand.push_back({instance.demand.slot(t)[n]});
+  }
+  sub.initial_cache = model::CacheState(sub.config);
+  for (std::size_t k = 0; k < sub.config.num_contents; ++k) {
+    sub.initial_cache.set(0, k, instance.initial_cache.cached(n, k));
+  }
+  return sub;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliFlags flags(argc, argv);
+    const auto slots = static_cast<std::size_t>(flags.get_int("slots", 24));
+    const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 11));
+    flags.require_all_consumed();
+
+    // Four heterogeneous SBSs: a big urban picocell down to a small
+    // femtocell, all sharing the BS catalogue.
+    workload::PaperScenario scenario;
+    scenario.num_sbs = 4;
+    scenario.num_contents = 20;
+    scenario.classes_per_sbs = 10;
+    scenario.horizon = slots;
+    scenario.seed = seed;
+    scenario.workload.density_max = 5.0;  // busier cell: caching pays off
+    auto instance = scenario.build();
+    const std::size_t capacities[] = {8, 5, 3, 2};
+    const double bandwidths[] = {18.0, 12.0, 7.0, 4.0};
+    const double betas[] = {30.0, 60.0, 90.0, 120.0};
+    for (std::size_t n = 0; n < 4; ++n) {
+      instance.config.sbs[n].cache_capacity = capacities[n];
+      instance.config.sbs[n].bandwidth = bandwidths[n];
+      instance.config.sbs[n].replacement_beta = betas[n];
+    }
+    instance.validate();
+
+    std::cout << "Multi-SBS offloading: 4 heterogeneous SBSs, K="
+              << scenario.num_contents << ", T=" << slots << "\n\n";
+
+    const workload::NoisyPredictor predictor(instance.demand, 0.1, 4242);
+    const sim::Simulator simulator(instance, predictor);
+
+    online::OfflineController offline;
+    online::RhcController rhc(8);
+    TextTable table({"scheme", "total cost", "#repl", "offload %"});
+    for (online::Controller* controller :
+         std::initializer_list<online::Controller*>{&offline, &rhc}) {
+      const auto result = simulator.run(*controller);
+      table.add_row({result.controller, TextTable::fmt(result.total_cost()),
+                     TextTable::fmt(static_cast<std::int64_t>(
+                         result.total_replacements)),
+                     TextTable::fmt(100.0 * result.offload_ratio(), 1)});
+    }
+    table.print(std::cout);
+
+    // ---- Decomposition check: per-SBS solves sum to the joint solve.
+    std::cout << "\nPer-SBS decomposition (offline optimum):\n";
+    online::OfflineController joint;
+    const auto joint_result = simulator.run(joint);
+    double decomposed_total = 0.0;
+    TextTable per_sbs({"SBS", "C", "B", "beta", "isolated cost"});
+    for (std::size_t n = 0; n < 4; ++n) {
+      const auto sub = isolate_sbs(instance, n);
+      const workload::NoisyPredictor sub_predictor(sub.demand, 0.1, 4242);
+      const sim::Simulator sub_simulator(sub, sub_predictor);
+      online::OfflineController sub_offline;
+      const auto sub_result = sub_simulator.run(sub_offline);
+      decomposed_total += sub_result.total_cost();
+      per_sbs.add_row({TextTable::fmt(static_cast<std::int64_t>(n)),
+                       TextTable::fmt(static_cast<std::int64_t>(capacities[n])),
+                       TextTable::fmt(bandwidths[n], 0),
+                       TextTable::fmt(betas[n], 0),
+                       TextTable::fmt(sub_result.total_cost())});
+    }
+    per_sbs.print(std::cout);
+    std::cout << "sum of isolated solves: " << decomposed_total
+              << "\njoint solve:            " << joint_result.total_cost()
+              << "\nrelative difference:    "
+              << std::abs(decomposed_total - joint_result.total_cost()) /
+                     joint_result.total_cost()
+              << " (the model decomposes per SBS; small solver noise only)\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}

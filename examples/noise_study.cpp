@@ -1,0 +1,58 @@
+// Prediction-noise study with multi-seed replication.
+//
+// A compact version of Fig. 5 that demonstrates the replication API: every
+// eta point is run over several scenario seeds and the mean +/- stddev of
+// the total cost is reported per scheme, showing at which noise level the
+// online algorithms lose their edge over the clairvoyant LRFU baseline.
+//
+//   ./noise_study [--slots N] [--seeds R] [--window W]
+#include <iostream>
+
+#include "sim/replication.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mdo;
+  try {
+    const CliFlags flags(argc, argv);
+    sim::ExperimentConfig config;
+    config.scenario.horizon =
+        static_cast<std::size_t>(flags.get_int("slots", 24));
+    config.scenario.num_contents = 20;
+    config.scenario.classes_per_sbs = 15;
+    config.scenario.cache_capacity = 4;
+    config.scenario.bandwidth = 15.0;
+    config.scenario.beta = 40.0;
+    config.window = static_cast<std::size_t>(flags.get_int("window", 6));
+    config.commit = 3;
+    const auto replications =
+        static_cast<std::size_t>(flags.get_int("seeds", 3));
+    flags.require_all_consumed();
+
+    std::cout << "Prediction-noise study: T=" << config.scenario.horizon
+              << ", w=" << config.window << ", " << replications
+              << " seeds per point\n\n";
+
+    TextTable table({"eta", "scheme", "mean cost", "stddev", "mean #repl"});
+    for (const double eta : {0.0, 0.15, 0.3, 0.45}) {
+      config.eta = eta;
+      const auto aggregated = sim::run_replicated(config, replications);
+      for (const auto& outcome : aggregated) {
+        table.add_row({TextTable::fmt(eta, 2), outcome.name,
+                       TextTable::fmt(outcome.mean_total_cost),
+                       TextTable::fmt(outcome.stddev_total_cost),
+                       TextTable::fmt(outcome.mean_replacements, 1)});
+      }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading: Offline and LRFU are eta-independent (they see "
+                 "the truth); the online schemes degrade as eta grows —\n"
+                 "compare each eta block against the paper's Fig. 5.\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,65 @@
+// Quickstart: build a small 5G edge-caching scenario, run the offline
+// optimum, the online algorithms (RHC / CHC / AFHC) and the LRFU baseline,
+// and print the cost comparison.
+//
+//   ./quickstart [--slots N] [--contents K] [--beta B] [--window W]
+//                [--eta E] [--seed S]
+#include <iostream>
+
+#include "sim/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mdo;
+  try {
+    const CliFlags flags(argc, argv);
+
+    sim::ExperimentConfig config;
+    config.scenario.horizon =
+        static_cast<std::size_t>(flags.get_int("slots", 40));
+    config.scenario.num_contents =
+        static_cast<std::size_t>(flags.get_int("contents", 20));
+    config.scenario.classes_per_sbs =
+        static_cast<std::size_t>(flags.get_int("classes", 15));
+    config.scenario.cache_capacity =
+        static_cast<std::size_t>(flags.get_int("capacity", 5));
+    config.scenario.beta = flags.get_double("beta", 50.0);
+    config.scenario.seed =
+        static_cast<std::uint64_t>(flags.get_int("seed", 7));
+    config.window = static_cast<std::size_t>(flags.get_int("window", 8));
+    config.commit = static_cast<std::size_t>(flags.get_int("commit", 4));
+    config.eta = flags.get_double("eta", 0.1);
+    flags.require_all_consumed();
+
+    std::cout << "Joint online edge caching + load balancing (ICDCS'19)\n"
+              << "scenario: K=" << config.scenario.num_contents
+              << " classes=" << config.scenario.classes_per_sbs
+              << " T=" << config.scenario.horizon
+              << " C=" << config.scenario.cache_capacity
+              << " B=" << config.scenario.bandwidth
+              << " beta=" << config.scenario.beta
+              << " w=" << config.window << " eta=" << config.eta << "\n\n";
+
+    const auto outcomes = sim::run_schemes(config);
+
+    const double offline_cost =
+        sim::find_outcome(outcomes, "Offline").total_cost();
+    TextTable table({"scheme", "total", "BS op", "SBS op", "replacement",
+                     "#repl", "vs offline"});
+    for (const auto& outcome : outcomes) {
+      table.add_row({outcome.name, TextTable::fmt(outcome.total_cost()),
+                     TextTable::fmt(outcome.cost.bs),
+                     TextTable::fmt(outcome.cost.sbs),
+                     TextTable::fmt(outcome.cost.replacement),
+                     TextTable::fmt(static_cast<std::int64_t>(
+                         outcome.replacements)),
+                     TextTable::fmt(outcome.total_cost() / offline_cost, 3)});
+    }
+    table.print(std::cout);
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}

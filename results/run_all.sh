@@ -1,0 +1,14 @@
+#!/bin/sh
+# Regenerates every experiment in DESIGN.md §5 (default T=50; pass-through
+# of the paper-scale run: add --slots 100 to each line).
+set -x
+cd "$(dirname "$0")/.."
+./build/bench/bench_headline_table          > results/headline.txt 2>&1
+./build/bench/bench_fig2_beta    --csv results/fig2.csv > results/fig2.txt 2>&1
+./build/bench/bench_fig3_window  --csv results/fig3.csv > results/fig3.txt 2>&1
+./build/bench/bench_fig4_bandwidth --csv results/fig4.csv > results/fig4.txt 2>&1
+./build/bench/bench_fig5_noise   --csv results/fig5.csv > results/fig5.txt 2>&1
+./build/bench/bench_ablation                > results/ablation.txt 2>&1
+./build/bench/bench_competitive_ratio       > results/competitive_ratio.txt 2>&1
+./build/bench/bench_solvers                 > results/solvers.txt 2>&1
+echo ALL_BENCHES_DONE

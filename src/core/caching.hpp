@@ -1,0 +1,74 @@
+// The caching subproblem P1 (eq. (18), Sec. III).
+//
+// Per SBS n, given the Lagrange multipliers mu, P1 chooses the cache
+// contents over a horizon to trade replacement cost against the multiplier
+// "rewards" nu[k, t] = sum_m mu[n, m, k, t]:
+//
+//   min_x  sum_t ( beta * sum_k (x[k,t] - x[k,t-1])^+  -  sum_k nu[k,t] x[k,t] )
+//   s.t.   sum_k x[k,t] <= capacity  for every t,     x in {0,1}.
+//
+// Theorem 1 proves the {0,1} relaxation to [0,1] is exact (total
+// unimodularity). We provide three interchangeable exact solvers:
+//   * solve_caching_flow     — time-expanded min-cost-flow (default; the
+//                              constructive counterpart of Theorem 1),
+//   * solve_caching_simplex  — the paper's LP + simplex route,
+//   * solve_caching_brute_force — exhaustive search for tiny instances
+//                              (tests cross-check all three).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/vec.hpp"
+
+namespace mdo::core {
+
+/// One SBS's caching subproblem over a (window) horizon.
+struct CachingSubproblem {
+  std::size_t num_contents = 0;  // K
+  std::size_t horizon = 0;       // W (window length)
+  std::size_t capacity = 0;      // C_n
+  double beta = 0.0;             // beta_n
+  /// x^0: cache contents before the first slot, size K (0/1).
+  std::vector<std::uint8_t> initial;
+  /// nu[t * K + k] >= 0: per-slot caching reward of content k.
+  linalg::Vec rewards;
+
+  double reward(std::size_t t, std::size_t k) const {
+    return rewards[t * num_contents + k];
+  }
+
+  /// Throws InvalidArgument on inconsistent shapes/signs.
+  void validate() const;
+};
+
+struct CachingSolution {
+  /// x[t * K + k] in {0, 1}.
+  std::vector<std::uint8_t> x;
+  /// P1 objective value (replacement cost minus collected rewards).
+  double objective = 0.0;
+
+  bool cached(std::size_t t, std::size_t k, std::size_t num_contents) const {
+    return x[t * num_contents + k] != 0;
+  }
+};
+
+/// Exact solver via successive-shortest-path min-cost flow. O(C * K * W)
+/// per augmentation; the default inside the primal-dual loop.
+CachingSolution solve_caching_flow(const CachingSubproblem& problem);
+
+/// Exact solver via the LP relaxation and the simplex method, as in the
+/// paper. Verifies the returned vertex is integral (Theorem 1) and throws
+/// SolverError otherwise.
+CachingSolution solve_caching_simplex(const CachingSubproblem& problem);
+
+/// Exhaustive search over all feasible schedules; exponential, intended for
+/// instances with at most ~20 (content, slot) cells. Throws InvalidArgument
+/// on larger inputs.
+CachingSolution solve_caching_brute_force(const CachingSubproblem& problem);
+
+/// Evaluates the P1 objective of an arbitrary 0/1 schedule (for tests).
+double caching_objective(const CachingSubproblem& problem,
+                         const std::vector<std::uint8_t>& x);
+
+}  // namespace mdo::core

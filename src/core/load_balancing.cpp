@@ -1,0 +1,318 @@
+#include "core/load_balancing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "solver/projection.hpp"
+#include "util/error.hpp"
+
+namespace mdo::core {
+
+namespace {
+
+/// Precomputed coefficient vectors of one P2 instance.
+struct Coefficients {
+  linalg::Vec lambda;  // demand rates
+  linalg::Vec u;       // omega-weighted rates (BS side)
+  linalg::Vec v;       // omega_sbs-weighted rates (SBS side)
+  double a = 0.0;      // u . 1
+  linalg::Vec c;       // linear term
+  linalg::Vec ub;      // upper bounds
+};
+
+Coefficients build_coefficients(const LoadBalancingSubproblem& problem) {
+  const auto& sbs = *problem.sbs;
+  const auto& demand = *problem.demand;
+  const std::size_t classes = sbs.num_classes();
+  const std::size_t contents = demand.num_contents();
+  const std::size_t size = classes * contents;
+
+  Coefficients coeff;
+  coeff.lambda = demand.data();
+  coeff.u.resize(size);
+  coeff.v.resize(size);
+  for (std::size_t m = 0; m < classes; ++m) {
+    const double omega = sbs.classes[m].omega_bs;
+    const double omega_sbs = sbs.classes[m].omega_sbs;
+    for (std::size_t k = 0; k < contents; ++k) {
+      const std::size_t j = m * contents + k;
+      coeff.u[j] = omega * coeff.lambda[j];
+      coeff.v[j] = omega_sbs * coeff.lambda[j];
+      coeff.a += coeff.u[j];
+    }
+  }
+  coeff.c = problem.linear.empty() ? linalg::Vec(size, 0.0) : problem.linear;
+  coeff.ub = problem.upper.empty() ? linalg::Vec(size, 1.0) : problem.upper;
+  return coeff;
+}
+
+}  // namespace
+
+void LoadBalancingSubproblem::validate() const {
+  MDO_REQUIRE(sbs != nullptr && demand != nullptr,
+              "P2: sbs and demand must be set");
+  MDO_REQUIRE(demand->num_classes() == sbs->num_classes(),
+              "P2: class count mismatch");
+  const std::size_t size = demand->num_classes() * demand->num_contents();
+  MDO_REQUIRE(linear.empty() || linear.size() == size, "P2: linear size");
+  MDO_REQUIRE(upper.empty() || upper.size() == size, "P2: upper size");
+  for (const double b : upper) {
+    MDO_REQUIRE(b >= 0.0 && b <= 1.0, "P2: upper bounds must be in [0, 1]");
+  }
+}
+
+double load_balancing_objective(const LoadBalancingSubproblem& problem,
+                                const linalg::Vec& y) {
+  problem.validate();
+  const Coefficients coeff = build_coefficients(problem);
+  MDO_REQUIRE(y.size() == coeff.lambda.size(), "P2 objective: y size");
+  const double bs_term = coeff.a - linalg::dot(coeff.u, y);
+  const double sbs_term = linalg::dot(coeff.v, y);
+  return bs_term * bs_term + sbs_term * sbs_term + linalg::dot(coeff.c, y);
+}
+
+LoadBalancingSolution solve_load_balancing(
+    const LoadBalancingSubproblem& problem,
+    const LoadBalancingOptions& options, const linalg::Vec* warm_start) {
+  problem.validate();
+  if (options.prefer_exact && load_balancing_exact_applicable(problem)) {
+    return solve_load_balancing_exact(problem);
+  }
+  const Coefficients coeff = build_coefficients(problem);
+  const std::size_t size = coeff.lambda.size();
+
+  LoadBalancingSolution out;
+
+  double lipschitz =
+      2.0 * (linalg::dot(coeff.u, coeff.u) + linalg::dot(coeff.v, coeff.v));
+  if (lipschitz <= 1e-14) {
+    bool c_nonneg = true;
+    for (const double cj : coeff.c) c_nonneg = c_nonneg && cj >= 0.0;
+    if (c_nonneg) {
+      // Degenerate instance: no weighted demand and c >= 0, so the
+      // objective reduces to c . y and y = 0 is optimal.
+      out.y.assign(size, 0.0);
+      out.objective = coeff.a * coeff.a;  // == objective at y = 0
+      out.converged = true;
+      return out;
+    }
+    lipschitz = 1.0;  // linear objective: any positive step works with PGD
+  }
+
+  solver::BoxKnapsackSet feasible;
+  feasible.lo.assign(size, 0.0);
+  feasible.hi = coeff.ub;
+  feasible.weights = coeff.lambda;
+  feasible.budget = problem.sbs->bandwidth;
+
+  auto objective = [&coeff](const linalg::Vec& y, linalg::Vec& grad) {
+    const double bs_term = coeff.a - linalg::dot(coeff.u, y);
+    const double sbs_term = linalg::dot(coeff.v, y);
+    for (std::size_t j = 0; j < y.size(); ++j) {
+      grad[j] = -2.0 * bs_term * coeff.u[j] + 2.0 * sbs_term * coeff.v[j] +
+                coeff.c[j];
+    }
+    const double bs_sq = bs_term * bs_term;
+    const double sbs_sq = sbs_term * sbs_term;
+    double linear_term = 0.0;
+    for (std::size_t j = 0; j < y.size(); ++j) linear_term += coeff.c[j] * y[j];
+    return bs_sq + sbs_sq + linear_term;
+  };
+  auto project = [&feasible](const linalg::Vec& point) {
+    return solver::project_box_knapsack(point, feasible);
+  };
+
+  linalg::Vec x0 =
+      warm_start != nullptr ? *warm_start : linalg::Vec(size, 0.0);
+  if (x0.size() != size) x0.assign(size, 0.0);
+
+  solver::FirstOrderOptions fo = options.first_order;
+  fo.lipschitz = lipschitz;
+  const auto result = solver::minimize_projected(objective, project, x0, fo);
+
+  out.y = result.x;
+  out.objective = result.objective_value;
+  out.iterations = result.iterations;
+  out.converged = result.converged;
+  return out;
+}
+
+bool load_balancing_exact_applicable(const LoadBalancingSubproblem& problem) {
+  problem.validate();
+  for (const auto& mu : problem.sbs->classes) {
+    if (mu.omega_sbs != 0.0) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Solves the fixed-theta stationarity system of the exact solver: returns
+/// y and the consistent scalar s = u.y. See the header for the math.
+linalg::Vec stationary_point(const Coefficients& coeff, double theta) {
+  const std::size_t size = coeff.u.size();
+  linalg::Vec y(size, 0.0);
+
+  // Coordinates with u_j = 0 do not move s: they activate exactly when
+  // their linear coefficient (c_j + theta lambda_j) is negative.
+  // Coordinates with u_j > 0 activate when phi = 2(a - s) exceeds their
+  // threshold t_j = (c_j + theta lambda_j) / u_j.
+  struct Group {
+    double threshold;
+    std::vector<std::size_t> members;
+    double mass = 0.0;  // sum of u_j * ub_j
+  };
+  std::vector<std::pair<double, std::size_t>> thresholds;
+  thresholds.reserve(size);
+  for (std::size_t j = 0; j < size; ++j) {
+    const double price = coeff.c[j] + theta * coeff.lambda[j];
+    if (coeff.u[j] <= 0.0) {
+      if (price < 0.0) y[j] = coeff.ub[j];
+      continue;
+    }
+    if (coeff.ub[j] <= 0.0) continue;  // pinned at zero
+    thresholds.push_back({price / coeff.u[j], j});
+  }
+  std::sort(thresholds.begin(), thresholds.end());
+
+  // Group equal thresholds (within a tiny tolerance) so ties are split
+  // fractionally rather than flip-flopped.
+  std::vector<Group> groups;
+  for (const auto& [threshold, j] : thresholds) {
+    if (groups.empty() ||
+        threshold > groups.back().threshold + 1e-12 * (1.0 + std::abs(threshold))) {
+      groups.push_back({threshold, {}, 0.0});
+    }
+    groups.back().members.push_back(j);
+    groups.back().mass += coeff.u[j] * coeff.ub[j];
+  }
+
+  // Walk the piecewise-linear fixed point G(phi) = phi + 2 s(phi) - 2a.
+  const double a2 = 2.0 * coeff.a;
+  double below = 0.0;  // s contribution of groups strictly below phi
+  std::size_t solved_group = groups.size();
+  double fraction = 1.0;
+  std::size_t active_groups = 0;
+  for (std::size_t g = 0; g <= groups.size(); ++g) {
+    const double seg_lo = g == 0 ? -std::numeric_limits<double>::infinity()
+                                 : groups[g - 1].threshold;
+    const double seg_hi = g == groups.size()
+                              ? std::numeric_limits<double>::infinity()
+                              : groups[g].threshold;
+    // Interior candidate for this segment: s constant = below.
+    const double candidate = a2 - 2.0 * below;
+    if (candidate > seg_lo && candidate <= seg_hi) {
+      active_groups = g;
+      solved_group = groups.size();  // no fractional group
+      break;
+    }
+    if (g == groups.size()) {
+      active_groups = g;  // numerical fallback: everything active
+      break;
+    }
+    // Jump at phi = seg_hi: fractional root if G crosses zero there.
+    const double g_minus = seg_hi + 2.0 * below - a2;
+    const double g_plus = seg_hi + 2.0 * (below + groups[g].mass) - a2;
+    if (g_minus <= 0.0 && g_plus >= 0.0) {
+      const double s_star = (a2 - seg_hi) / 2.0;
+      fraction = groups[g].mass > 0.0
+                     ? std::clamp((s_star - below) / groups[g].mass, 0.0, 1.0)
+                     : 0.0;
+      solved_group = g;
+      active_groups = g;
+      break;
+    }
+    below += groups[g].mass;
+  }
+
+  for (std::size_t g = 0; g < active_groups; ++g) {
+    for (const std::size_t j : groups[g].members) y[j] = coeff.ub[j];
+  }
+  if (solved_group < groups.size()) {
+    for (const std::size_t j : groups[solved_group].members) {
+      y[j] = fraction * coeff.ub[j];
+    }
+  }
+  return y;
+}
+
+double load_of(const Coefficients& coeff, const linalg::Vec& y) {
+  double load = 0.0;
+  for (std::size_t j = 0; j < y.size(); ++j) load += coeff.lambda[j] * y[j];
+  return load;
+}
+
+}  // namespace
+
+LoadBalancingSolution solve_load_balancing_exact(
+    const LoadBalancingSubproblem& problem) {
+  MDO_REQUIRE(load_balancing_exact_applicable(problem),
+              "exact P2 solver requires all omega_sbs = 0");
+  const Coefficients coeff = build_coefficients(problem);
+  const double budget = problem.sbs->bandwidth;
+
+  LoadBalancingSolution out;
+  out.converged = true;
+
+  // theta = 0: bandwidth slack case.
+  linalg::Vec y = stationary_point(coeff, 0.0);
+  if (load_of(coeff, y) <= budget + 1e-12) {
+    out.y = std::move(y);
+    out.iterations = 1;
+  } else {
+    // Bisect the bandwidth multiplier; the load is non-increasing in theta.
+    double lo = 0.0;
+    double hi = 1.0;
+    while (load_of(coeff, stationary_point(coeff, hi)) > budget) {
+      hi *= 2.0;
+      MDO_CHECK(hi < 1e30, "exact P2: failed to bracket the multiplier");
+    }
+    std::size_t iterations = 1;
+    while (hi - lo > 1e-13 * (1.0 + hi)) {
+      const double mid = 0.5 * (lo + hi);
+      if (load_of(coeff, stationary_point(coeff, mid)) > budget) lo = mid;
+      else hi = mid;
+      ++iterations;
+    }
+    out.y = stationary_point(coeff, hi);  // feasible side
+    out.iterations = iterations;
+
+    // At a binding bandwidth row the active set can jump discretely at
+    // theta*, leaving unused budget; a short FISTA polish from this
+    // (excellent) warm start recovers the fractional boundary point.
+    LoadBalancingOptions polish;
+    polish.prefer_exact = false;
+    polish.first_order.max_iterations = 200;
+    polish.first_order.gradient_tolerance = 1e-7;
+    const auto refined = solve_load_balancing(problem, polish, &out.y);
+    out.y = refined.y;
+    out.iterations += refined.iterations;
+  }
+
+  const double bs_term = coeff.a - linalg::dot(coeff.u, out.y);
+  out.objective = bs_term * bs_term + linalg::dot(coeff.c, out.y);
+  return out;
+}
+
+model::LoadAllocation optimal_load_for_cache(
+    const model::NetworkConfig& config, const model::SlotDemand& demand,
+    const model::CacheState& cache, const LoadBalancingOptions& options) {
+  model::LoadAllocation load(config);
+  for (std::size_t n = 0; n < config.num_sbs(); ++n) {
+    const std::size_t classes = config.sbs[n].num_classes();
+    const std::size_t k_count = config.num_contents;
+    LoadBalancingSubproblem p2;
+    p2.sbs = &config.sbs[n];
+    p2.demand = &demand[n];
+    p2.upper.assign(classes * k_count, 0.0);
+    for (std::size_t k = 0; k < k_count; ++k) {
+      if (!cache.cached(n, k)) continue;
+      for (std::size_t m = 0; m < classes; ++m) p2.upper[m * k_count + k] = 1.0;
+    }
+    load.sbs_data(n) = solve_load_balancing(p2, options).y;
+  }
+  return load;
+}
+
+}  // namespace mdo::core

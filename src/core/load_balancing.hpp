@@ -1,0 +1,94 @@
+// The load-balancing subproblem P2 (eq. (19), Sec. III).
+//
+// P2 separates across SBSs and slots. For one (SBS n, slot t) the problem is
+//
+//   min_y  ( a - u . y )^2  +  ( v . y )^2  +  c . y
+//   s.t.   lambda . y <= B_n,   0 <= y <= ub,
+//
+// where, flattening (m, k) to a single index j:
+//   lambda_j = demand rate,           u_j = omega_m * lambda_j,
+//   a = sum_j u_j (BS-weighted traffic at y = 0),
+//   v_j = omega_sbs_m * lambda_j,     c_j = Lagrange multiplier mu (or 0).
+// The first square is the SBS's share of f_t (eq. 5), the second of g_t
+// (eq. 6). ub is all-ones inside the dual iteration and equals the caching
+// vector x during feasibility repair (folding constraint (3) into the box).
+//
+// The objective is smooth and convex with gradient Lipschitz constant
+// L = 2 (||u||^2 + ||v||^2); FISTA over the box-knapsack set solves it.
+#pragma once
+
+#include "linalg/vec.hpp"
+#include "model/decision.hpp"
+#include "model/demand.hpp"
+#include "model/network.hpp"
+#include "solver/first_order.hpp"
+
+namespace mdo::core {
+
+/// One (SBS, slot) instance of P2.
+struct LoadBalancingSubproblem {
+  /// SBS parameters (classes supply omega / omega_sbs) — not owned.
+  const model::SbsConfig* sbs = nullptr;
+  /// Demand matrix for this SBS and slot — not owned.
+  const model::SbsDemand* demand = nullptr;
+  /// Linear coefficients c (the multipliers), flattened m * K + k.
+  /// Empty means all-zero.
+  linalg::Vec linear;
+  /// Per-coordinate upper bounds (e.g. the caching vector); empty means 1.
+  linalg::Vec upper;
+
+  void validate() const;
+};
+
+struct LoadBalancingSolution {
+  linalg::Vec y;            // flattened m * K + k
+  double objective = 0.0;   // value of the P2 objective above
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+struct LoadBalancingOptions {
+  solver::FirstOrderOptions first_order{.max_iterations = 150,
+                                        .gradient_tolerance = 2e-5,
+                                        .lipschitz = 1.0,  // overwritten
+                                        .accelerate = true};
+  /// Use the exact parametric KKT solver when the instance qualifies
+  /// (all omega_sbs = 0, i.e. v = 0 — the paper's simulation regime).
+  /// Falls back to FISTA otherwise. The two are cross-checked in tests.
+  bool prefer_exact = true;
+};
+
+/// Solves one (SBS, slot) P2 instance. `warm_start` (same layout as y) is
+/// optional and speeds up repeated solves inside the dual loop.
+LoadBalancingSolution solve_load_balancing(
+    const LoadBalancingSubproblem& problem,
+    const LoadBalancingOptions& options = {},
+    const linalg::Vec* warm_start = nullptr);
+
+/// Evaluates the P2 objective at a given y (for tests / brute force).
+double load_balancing_objective(const LoadBalancingSubproblem& problem,
+                                const linalg::Vec& y);
+
+/// True when the instance qualifies for the exact parametric solver
+/// (rank-one quadratic: every omega_sbs is zero).
+bool load_balancing_exact_applicable(const LoadBalancingSubproblem& problem);
+
+/// Exact KKT solver for the v = 0 case:
+///   min (a - u.y)^2 + c.y   s.t.  lambda.y <= B,  0 <= y <= ub.
+/// For a fixed bandwidth multiplier theta the stationarity condition sorts
+/// coordinates by the threshold (c_j + theta lambda_j) / u_j and the scalar
+/// s = u.y solves a piecewise-linear fixed point exactly (one fractional
+/// coordinate at most); theta itself is found by bisection when the
+/// bandwidth row binds. Throws InvalidArgument when not applicable.
+LoadBalancingSolution solve_load_balancing_exact(
+    const LoadBalancingSubproblem& problem);
+
+/// Optimal load balancing for one slot given a fixed cache: solves P2 per
+/// SBS with c = 0 and the box upper bound set to the caching vector
+/// (constraint (3) folded in). Used for feasibility repair, for the LRFU /
+/// classic baselines, and wherever "the best y for this x" is needed.
+model::LoadAllocation optimal_load_for_cache(
+    const model::NetworkConfig& config, const model::SlotDemand& demand,
+    const model::CacheState& cache, const LoadBalancingOptions& options = {});
+
+}  // namespace mdo::core

@@ -1,0 +1,285 @@
+#include "core/primal_dual.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/caching.hpp"
+#include "solver/subgradient.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace mdo::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Index bookkeeping for the flat mu vector: slot-major, then SBS, then
+/// (class, content) flattened.
+struct MuLayout {
+  std::size_t per_slot = 0;
+  std::vector<std::size_t> sbs_offset;  // within one slot
+  std::vector<std::size_t> sbs_size;    // M_n * K
+
+  explicit MuLayout(const model::NetworkConfig& config) {
+    sbs_offset.resize(config.num_sbs());
+    sbs_size.resize(config.num_sbs());
+    for (std::size_t n = 0; n < config.num_sbs(); ++n) {
+      sbs_offset[n] = per_slot;
+      sbs_size[n] = config.sbs[n].num_classes() * config.num_contents;
+      per_slot += sbs_size[n];
+    }
+  }
+
+  std::size_t offset(std::size_t t, std::size_t n) const {
+    return t * per_slot + sbs_offset[n];
+  }
+};
+
+}  // namespace
+
+void HorizonProblem::validate() const {
+  MDO_REQUIRE(config != nullptr, "horizon problem: config must be set");
+  config->validate();
+  MDO_REQUIRE(demand.horizon() >= 1, "horizon problem: empty window");
+  demand.validate(*config);
+  MDO_REQUIRE(initial_cache.num_sbs() == config->num_sbs() &&
+                  initial_cache.num_contents() == config->num_contents,
+              "horizon problem: initial cache shape mismatch");
+  for (std::size_t n = 0; n < config->num_sbs(); ++n) {
+    MDO_REQUIRE(initial_cache.count(n) <= config->sbs[n].cache_capacity,
+                "horizon problem: initial cache over capacity");
+  }
+}
+
+double HorizonSolution::gap() const {
+  return (upper_bound - lower_bound) / std::max(std::abs(upper_bound), 1e-12);
+}
+
+std::size_t mu_size(const model::NetworkConfig& config, std::size_t horizon) {
+  return MuLayout(config).per_slot * horizon;
+}
+
+linalg::Vec shift_mu(const linalg::Vec& mu, const model::NetworkConfig& config,
+                     std::size_t horizon, std::size_t shift) {
+  const MuLayout layout(config);
+  MDO_REQUIRE(mu.size() == layout.per_slot * horizon,
+              "shift_mu: size mismatch");
+  linalg::Vec out(mu.size());
+  for (std::size_t t = 0; t < horizon; ++t) {
+    const std::size_t src = std::min(t + shift, horizon - 1);
+    std::copy_n(mu.begin() + static_cast<std::ptrdiff_t>(src * layout.per_slot),
+                layout.per_slot,
+                out.begin() + static_cast<std::ptrdiff_t>(t * layout.per_slot));
+  }
+  return out;
+}
+
+PrimalDualSolver::PrimalDualSolver(PrimalDualOptions options)
+    : options_(options) {
+  MDO_REQUIRE(options_.max_iterations >= 1, "need at least one iteration");
+  MDO_REQUIRE(options_.epsilon > 0.0, "epsilon must be positive");
+  MDO_REQUIRE(options_.step_alpha > 0.0, "step_alpha must be positive");
+  MDO_REQUIRE(options_.step_scale >= 0.0, "step_scale must be >= 0");
+}
+
+HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
+                                        const linalg::Vec* warm_mu) const {
+  problem.validate();
+  const auto& config = *problem.config;
+  const std::size_t w = problem.horizon();
+  const std::size_t num_sbs = config.num_sbs();
+  const std::size_t k_count = config.num_contents;
+  const MuLayout layout(config);
+
+  // ---- Marginal BS cost scale: used for both the automatic step size and
+  // the marginal initialization of mu. For SBS n at slot t the gradient of
+  // f at y = 0 is 2 * a * u_j, with a the omega-weighted total demand.
+  auto marginal_gradient = [&](std::size_t t, std::size_t n, linalg::Vec& g) {
+    const auto& sbs = config.sbs[n];
+    const auto& demand = problem.demand.slot(t)[n];
+    double a = 0.0;
+    for (std::size_t m = 0; m < sbs.num_classes(); ++m) {
+      double row = 0.0;
+      for (std::size_t k = 0; k < k_count; ++k) row += demand.at(m, k);
+      a += sbs.classes[m].omega_bs * row;
+    }
+    g.resize(layout.sbs_size[n]);
+    for (std::size_t m = 0; m < sbs.num_classes(); ++m) {
+      for (std::size_t k = 0; k < k_count; ++k) {
+        g[m * k_count + k] =
+            2.0 * a * sbs.classes[m].omega_bs * demand.at(m, k);
+      }
+    }
+    return a;
+  };
+
+  // ---- Initialize multipliers.
+  linalg::Vec mu(layout.per_slot * w, 0.0);
+  double mean_marginal = 0.0;
+  {
+    linalg::Vec g;
+    std::size_t entries = 0;
+    for (std::size_t t = 0; t < w; ++t) {
+      for (std::size_t n = 0; n < num_sbs; ++n) {
+        marginal_gradient(t, n, g);
+        for (std::size_t j = 0; j < g.size(); ++j) {
+          mean_marginal += g[j];
+          ++entries;
+          if (options_.marginal_initialization && warm_mu == nullptr) {
+            mu[layout.offset(t, n) + j] = g[j];
+          }
+        }
+      }
+    }
+    mean_marginal /= std::max<std::size_t>(entries, 1);
+  }
+  if (warm_mu != nullptr) {
+    MDO_REQUIRE(warm_mu->size() == mu.size(), "warm mu size mismatch");
+    mu = *warm_mu;
+  }
+  const double step_scale = options_.step_scale > 0.0
+                                ? options_.step_scale
+                                : std::max(1e-9, 0.5 * mean_marginal);
+  const solver::DiminishingStep step(options_.step_alpha);
+
+  // ---- Persistent warm starts across dual iterations.
+  // y[t][n]: P2 solution under multipliers; repair_y[t][n]: repaired.
+  std::vector<std::vector<linalg::Vec>> y(w,
+                                          std::vector<linalg::Vec>(num_sbs));
+  std::vector<std::vector<linalg::Vec>> repair_y(
+      w, std::vector<linalg::Vec>(num_sbs));
+  std::vector<std::vector<linalg::Vec>> repair_ub(
+      w, std::vector<linalg::Vec>(num_sbs));
+  std::vector<std::vector<double>> repair_value(w,
+                                                std::vector<double>(num_sbs));
+
+  HorizonSolution best;
+  best.upper_bound = kInf;
+  best.lower_bound = -kInf;
+
+  std::vector<std::vector<std::uint8_t>> x(num_sbs);  // per SBS: [t*K + k]
+
+  for (std::size_t iteration = 0; iteration < options_.max_iterations;
+       ++iteration) {
+    // ---- P1: caching per SBS under rewards nu = sum_m mu.
+    double p1_value = 0.0;
+    for (std::size_t n = 0; n < num_sbs; ++n) {
+      CachingSubproblem p1;
+      p1.num_contents = k_count;
+      p1.horizon = w;
+      p1.capacity = config.sbs[n].cache_capacity;
+      p1.beta = config.sbs[n].replacement_beta;
+      p1.initial.assign(k_count, 0);
+      for (std::size_t k = 0; k < k_count; ++k) {
+        p1.initial[k] = problem.initial_cache.cached(n, k) ? 1 : 0;
+      }
+      p1.rewards.assign(k_count * w, 0.0);
+      const std::size_t classes = config.sbs[n].num_classes();
+      for (std::size_t t = 0; t < w; ++t) {
+        const std::size_t base = layout.offset(t, n);
+        for (std::size_t m = 0; m < classes; ++m) {
+          for (std::size_t k = 0; k < k_count; ++k) {
+            p1.rewards[t * k_count + k] += mu[base + m * k_count + k];
+          }
+        }
+      }
+      const CachingSolution sol = options_.backend == P1Backend::kFlow
+                                      ? solve_caching_flow(p1)
+                                      : solve_caching_simplex(p1);
+      x[n] = sol.x;
+      p1_value += sol.objective;
+    }
+
+    // ---- P2: load balancing per (slot, SBS) with linear term mu.
+    double p2_value = 0.0;
+    for (std::size_t t = 0; t < w; ++t) {
+      for (std::size_t n = 0; n < num_sbs; ++n) {
+        LoadBalancingSubproblem p2;
+        p2.sbs = &config.sbs[n];
+        p2.demand = &problem.demand.slot(t)[n];
+        const std::size_t base = layout.offset(t, n);
+        p2.linear.assign(mu.begin() + static_cast<std::ptrdiff_t>(base),
+                         mu.begin() + static_cast<std::ptrdiff_t>(
+                                          base + layout.sbs_size[n]));
+        const auto sol = solve_load_balancing(p2, options_.load_balancing,
+                                              y[t][n].empty() ? nullptr
+                                                              : &y[t][n]);
+        y[t][n] = sol.y;
+        p2_value += sol.objective;
+      }
+    }
+
+    // ---- Dual value = lower bound (weak duality).
+    const double dual_value = p1_value + p2_value;
+    best.lower_bound = std::max(best.lower_bound, dual_value);
+
+    // ---- Feasibility repair -> upper bound. P2 with c = 0 and ub = x.
+    model::Schedule schedule(w);
+    for (std::size_t t = 0; t < w; ++t) {
+      schedule[t].cache = model::CacheState(config);
+      schedule[t].load = model::LoadAllocation(config);
+      for (std::size_t n = 0; n < num_sbs; ++n) {
+        const std::size_t classes = config.sbs[n].num_classes();
+        linalg::Vec ub(classes * k_count, 0.0);
+        for (std::size_t k = 0; k < k_count; ++k) {
+          const bool cached = x[n][t * k_count + k] != 0;
+          schedule[t].cache.set(n, k, cached);
+          if (cached) {
+            for (std::size_t m = 0; m < classes; ++m) ub[m * k_count + k] = 1.0;
+          }
+        }
+        if (ub != repair_ub[t][n]) {
+          LoadBalancingSubproblem repair;
+          repair.sbs = &config.sbs[n];
+          repair.demand = &problem.demand.slot(t)[n];
+          repair.upper = ub;
+          const auto sol = solve_load_balancing(
+              repair, options_.load_balancing,
+              repair_y[t][n].empty() ? nullptr : &repair_y[t][n]);
+          repair_y[t][n] = sol.y;
+          repair_value[t][n] = sol.objective;
+          repair_ub[t][n] = std::move(ub);
+        }
+        schedule[t].load.sbs_data(n) = repair_y[t][n];
+      }
+    }
+    const model::CostBreakdown cost = model::schedule_cost(
+        config, problem.demand, schedule, problem.initial_cache);
+    if (cost.total() < best.upper_bound) {
+      best.upper_bound = cost.total();
+      best.schedule = std::move(schedule);
+    }
+
+    best.iterations = iteration + 1;
+    if (best.gap() <= options_.epsilon) break;
+
+    // ---- Projected subgradient ascent on mu: g = y - x (17).
+    const double delta = step_scale * step(iteration);
+    for (std::size_t t = 0; t < w; ++t) {
+      for (std::size_t n = 0; n < num_sbs; ++n) {
+        const std::size_t base = layout.offset(t, n);
+        const std::size_t classes = config.sbs[n].num_classes();
+        for (std::size_t m = 0; m < classes; ++m) {
+          for (std::size_t k = 0; k < k_count; ++k) {
+            const std::size_t j = base + m * k_count + k;
+            const double subgrad =
+                y[t][n][m * k_count + k] -
+                static_cast<double>(x[n][t * k_count + k]);
+            mu[j] = std::max(0.0, mu[j] + delta * subgrad);
+          }
+        }
+      }
+    }
+  }
+
+  best.mu = std::move(mu);
+  MDO_CHECK(!best.schedule.empty(), "primal-dual produced no schedule");
+  MDO_TRACE("primal-dual: UB=" << best.upper_bound
+                               << " LB=" << best.lower_bound
+                               << " gap=" << best.gap()
+                               << " iters=" << best.iterations);
+  return best;
+}
+
+}  // namespace mdo::core

@@ -1,0 +1,102 @@
+// Algorithm 1: the primal-dual decomposition solver (Sec. III).
+//
+// The coupling constraint y <= x (3) is dualized with multipliers
+// mu[n, m, k, t] >= 0 (12); the Lagrangian (13) then separates into the
+// caching problem P1 (solved per SBS over the window, see caching.hpp) and
+// the load-balancing problem P2 (solved per SBS per slot, see
+// load_balancing.hpp). The dual is ascended with the projected subgradient
+// update (15)-(17).
+//
+// Each iteration also performs a *feasibility repair*: with X fixed from
+// P1, P2 is re-solved with the box upper bound set to x (folding (3) back
+// in), giving a feasible primal schedule and hence a valid upper bound.
+// The solver returns the best repaired schedule; the dual value is the
+// lower bound. This realizes the UB/LB bookkeeping of Algorithm 1 while
+// guaranteeing the output is always feasible.
+//
+// The same solver serves both the offline optimum (window = whole horizon,
+// true demand) and every online controller's window subproblem (26)-(31)
+// (window = prediction horizon, predicted demand).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/load_balancing.hpp"
+#include "linalg/vec.hpp"
+#include "model/costs.hpp"
+#include "model/decision.hpp"
+#include "model/demand.hpp"
+#include "model/network.hpp"
+
+namespace mdo::core {
+
+/// A finite-horizon joint problem: minimize (9) over the given demand
+/// window starting from `initial_cache`.
+struct HorizonProblem {
+  const model::NetworkConfig* config = nullptr;  // not owned
+  model::DemandTrace demand;                     // window, length W >= 1
+  model::CacheState initial_cache;               // x^{tau-1}
+
+  std::size_t horizon() const { return demand.horizon(); }
+  void validate() const;
+};
+
+/// Which exact P1 backend the dual iterations use.
+enum class P1Backend {
+  kFlow,     // min-cost flow (default, fast)
+  kSimplex,  // the paper's LP + simplex route (slower, for fidelity/tests)
+};
+
+struct PrimalDualOptions {
+  std::size_t max_iterations = 16;  // L in Algorithm 1
+  double epsilon = 1e-4;            // relative-gap accuracy (paper: 0.0001)
+  double step_alpha = 0.08;         // alpha in delta_l = 1/(1 + alpha l) (16)
+  /// Multiplies the schedule (16); 0 selects an automatic scale derived
+  /// from the marginal BS cost (see primal_dual.cpp).
+  double step_scale = 0.0;
+  /// Initialize mu at the marginal BS-cost gradient instead of zero when no
+  /// warm start is supplied; dramatically reduces iterations to a good dual.
+  bool marginal_initialization = true;
+  P1Backend backend = P1Backend::kFlow;
+  LoadBalancingOptions load_balancing{};
+};
+
+struct HorizonSolution {
+  model::Schedule schedule;   // length W, feasible
+  double upper_bound = 0.0;   // objective (9) of `schedule`
+  double lower_bound = 0.0;   // best dual value (valid lower bound)
+  std::size_t iterations = 0; // dual iterations performed
+  linalg::Vec mu;             // final multipliers (for warm starts)
+
+  /// Relative optimality gap (UB - LB) / max(|UB|, 1e-12).
+  double gap() const;
+};
+
+/// Multiplier layout helpers: mu is flat, slot-major then SBS then class
+/// then content.
+std::size_t mu_size(const model::NetworkConfig& config, std::size_t horizon);
+
+/// Warm-start hand-off between consecutive windows: drops the first
+/// `shift` slots of mu and repeats the last slot to refill. Result has the
+/// same layout for horizon `horizon`.
+linalg::Vec shift_mu(const linalg::Vec& mu,
+                     const model::NetworkConfig& config, std::size_t horizon,
+                     std::size_t shift);
+
+class PrimalDualSolver {
+ public:
+  explicit PrimalDualSolver(PrimalDualOptions options = {});
+
+  /// Solves the window problem. `warm_mu` (layout above, sized for the
+  /// problem's horizon) seeds the multipliers when provided.
+  HorizonSolution solve(const HorizonProblem& problem,
+                        const linalg::Vec* warm_mu = nullptr) const;
+
+  const PrimalDualOptions& options() const { return options_; }
+
+ private:
+  PrimalDualOptions options_;
+};
+
+}  // namespace mdo::core

@@ -1,0 +1,43 @@
+// The CHC rounding policy (Sec. IV-B, Theorem 3).
+//
+// CHC averages r integral FHC caching decisions, which can leave fractional
+// values x_tilde in [0, 1]. The paper's rounding policy thresholds at
+//   rho = (3 - sqrt(5)) / 2  (~0.382),
+// the minimizer of max{1/rho, 1/rho^2, 1/(1-rho)^2}, giving the
+// approximation ratio 1/rho ~ 2.618 (the paper prints the ratio, 2.62).
+// Step (ii) then zeroes y wherever x rounds to 0.
+//
+// Deviation (documented in DESIGN.md): thresholding alone can exceed the
+// cache capacity C_n, which the paper does not discuss; we keep the top-C_n
+// fractional values among those >= rho.
+#pragma once
+
+#include <vector>
+
+#include "linalg/vec.hpp"
+#include "model/decision.hpp"
+#include "model/network.hpp"
+
+namespace mdo::core {
+
+/// rho = (3 - sqrt(5)) / 2.
+double chc_rounding_threshold();
+
+/// The resulting approximation ratio max{1/rho, 1/(1-rho)^2} evaluated at a
+/// given rho in (0, 1); minimized at chc_rounding_threshold() with value
+/// ~2.618 (see the implementation note on the paper's extra 1/rho^2 term).
+double chc_approximation_ratio(double rho);
+
+/// Rounds per-SBS fractional caching values (fractional[n] has size K) to a
+/// feasible CacheState: x = 1 iff x_tilde >= rho, capped at C_n keeping the
+/// largest values (ties broken by lower content index).
+model::CacheState round_cache(const model::NetworkConfig& config,
+                              const std::vector<linalg::Vec>& fractional,
+                              double rho);
+
+/// Step (ii) of the policy: zero y where the content is not cached.
+void mask_load_by_cache(const model::NetworkConfig& config,
+                        const model::CacheState& cache,
+                        model::LoadAllocation& load);
+
+}  // namespace mdo::core

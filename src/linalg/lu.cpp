@@ -1,0 +1,76 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mdo::linalg {
+
+LuDecomposition::LuDecomposition(const Matrix& a, double pivot_tol) : lu_(a) {
+  MDO_REQUIRE(a.rows() == a.cols(), "LU requires a square matrix");
+  const std::size_t n = a.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting: pick the largest magnitude entry in this column.
+    std::size_t pivot_row = col;
+    double pivot_mag = std::abs(lu_(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double mag = std::abs(lu_(r, col));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = r;
+      }
+    }
+    if (pivot_mag < pivot_tol) {
+      throw SolverError("LU factorization: matrix is singular to tolerance");
+    }
+    if (pivot_row != col) {
+      lu_.swap_rows(pivot_row, col);
+      std::swap(perm_[pivot_row], perm_[col]);
+      perm_sign_ = -perm_sign_;
+    }
+    const double pivot = lu_(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = lu_(r, col) / pivot;
+      lu_(r, col) = factor;  // store L below the diagonal
+      if (factor == 0.0) continue;
+      for (std::size_t c = col + 1; c < n; ++c) {
+        lu_(r, c) -= factor * lu_(col, c);
+      }
+    }
+  }
+}
+
+Vec LuDecomposition::solve(const Vec& b) const {
+  const std::size_t n = lu_.rows();
+  MDO_REQUIRE(b.size() == n, "LU solve: rhs size mismatch");
+  // Apply permutation, then forward/backward substitution.
+  Vec x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = x[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double acc = x[i];
+    for (std::size_t j = i + 1; j < n; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc / lu_(i, i);
+  }
+  return x;
+}
+
+double LuDecomposition::determinant() const {
+  double det = perm_sign_;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Vec lu_solve(const Matrix& a, const Vec& b) {
+  return LuDecomposition(a).solve(b);
+}
+
+}  // namespace mdo::linalg

@@ -1,0 +1,36 @@
+// LU factorization with partial pivoting, and linear solves built on it.
+//
+// Used by tests (verifying solver KKT systems) and available to users of the
+// library; the simplex implementation keeps its own tableau instead.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vec.hpp"
+
+namespace mdo::linalg {
+
+/// PA = LU factorization of a square matrix.
+class LuDecomposition {
+ public:
+  /// Factorizes a square matrix; throws SolverError when singular
+  /// (pivot magnitude below `pivot_tol`).
+  explicit LuDecomposition(const Matrix& a, double pivot_tol = 1e-12);
+
+  /// Solves A x = b.
+  Vec solve(const Vec& b) const;
+
+  /// Determinant of A (sign includes the permutation parity).
+  double determinant() const;
+
+  std::size_t dimension() const { return lu_.rows(); }
+
+ private:
+  Matrix lu_;                    // combined L (unit lower) and U
+  std::vector<std::size_t> perm_;  // row permutation
+  int perm_sign_ = 1;
+};
+
+/// Convenience: solves A x = b with a fresh factorization.
+Vec lu_solve(const Matrix& a, const Vec& b);
+
+}  // namespace mdo::linalg

@@ -1,0 +1,107 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mdo::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    MDO_REQUIRE(r.size() == cols_, "all matrix rows must have equal length");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  MDO_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  MDO_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return (*this)(r, c);
+}
+
+Vec Matrix::multiply(const Vec& x) const {
+  MDO_REQUIRE(x.size() == cols_, "matvec: size mismatch");
+  Vec out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row_ptr = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row_ptr[c] * x[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Vec Matrix::multiply_transpose(const Vec& x) const {
+  MDO_REQUIRE(x.size() == rows_, "matvec^T: size mismatch");
+  Vec out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    const double* row_ptr = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) out[c] += row_ptr[c] * xr;
+  }
+  return out;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  MDO_REQUIRE(cols_ == other.rows_, "matmul: inner dimension mismatch");
+  Matrix out(rows_, other.cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += a * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  return out;
+}
+
+void Matrix::swap_rows(std::size_t a, std::size_t b) {
+  MDO_REQUIRE(a < rows_ && b < rows_, "swap_rows: index out of range");
+  if (a == b) return;
+  for (std::size_t c = 0; c < cols_; ++c)
+    std::swap((*this)(a, c), (*this)(b, c));
+}
+
+Vec Matrix::row(std::size_t r) const {
+  MDO_REQUIRE(r < rows_, "row: index out of range");
+  return Vec(data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+             data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_));
+}
+
+double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
+  MDO_REQUIRE(a.rows_ == b.rows_ && a.cols_ == b.cols_,
+              "max_abs_diff: shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.data_.size(); ++i)
+    m = std::max(m, std::abs(a.data_[i] - b.data_[i]));
+  return m;
+}
+
+}  // namespace mdo::linalg

@@ -1,0 +1,73 @@
+// Dense row-major matrix.
+//
+// Used by the simplex tableau, the LU factorization, and tests. The class
+// maintains the invariant data_.size() == rows_ * cols_ and checks index
+// bounds in at() (operator() is unchecked for hot loops).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "linalg/vec.hpp"
+
+namespace mdo::linalg {
+
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Construct from nested initializer lists; all rows must be equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Unchecked element access (hot paths).
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked element access.
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  /// Matrix-vector product; x.size() must equal cols().
+  Vec multiply(const Vec& x) const;
+
+  /// Transposed matrix-vector product; x.size() must equal rows().
+  Vec multiply_transpose(const Vec& x) const;
+
+  /// Matrix-matrix product; this->cols() must equal other.rows().
+  Matrix multiply(const Matrix& other) const;
+
+  Matrix transpose() const;
+
+  /// Swaps two rows in place.
+  void swap_rows(std::size_t a, std::size_t b);
+
+  /// Copy of row r.
+  Vec row(std::size_t r) const;
+
+  /// Raw storage (row-major), e.g. for norm computations in tests.
+  const std::vector<double>& data() const { return data_; }
+
+  /// Frobenius norm of (a - b); throws on shape mismatch.
+  static double max_abs_diff(const Matrix& a, const Matrix& b);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace mdo::linalg

@@ -1,0 +1,67 @@
+#include "linalg/vec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mdo::linalg {
+
+double dot(const Vec& a, const Vec& b) {
+  MDO_REQUIRE(a.size() == b.size(), "dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void axpy(double alpha, const Vec& x, Vec& y) {
+  MDO_REQUIRE(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(Vec& x, double alpha) {
+  for (auto& v : x) v *= alpha;
+}
+
+double norm2(const Vec& x) { return std::sqrt(dot(x, x)); }
+
+double norm_inf(const Vec& x) {
+  double m = 0.0;
+  for (const double v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double sum(const Vec& x) {
+  double acc = 0.0;
+  for (const double v : x) acc += v;
+  return acc;
+}
+
+void clamp(Vec& x, double lo, double hi) {
+  MDO_REQUIRE(lo <= hi, "clamp: lo must be <= hi");
+  for (auto& v : x) v = std::clamp(v, lo, hi);
+}
+
+Vec subtract(const Vec& a, const Vec& b) {
+  MDO_REQUIRE(a.size() == b.size(), "subtract: size mismatch");
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vec add(const Vec& a, const Vec& b) {
+  MDO_REQUIRE(a.size() == b.size(), "add: size mismatch");
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+bool approx_equal(const Vec& a, const Vec& b, double tol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace mdo::linalg

@@ -1,0 +1,44 @@
+// Dense vector operations (BLAS level-1 style).
+//
+// Vectors are plain std::vector<double>; the solver stack composes these
+// free functions rather than introducing an expression-template layer the
+// project does not need.
+#pragma once
+
+#include <vector>
+
+namespace mdo::linalg {
+
+using Vec = std::vector<double>;
+
+/// Dot product; sizes must match.
+double dot(const Vec& a, const Vec& b);
+
+/// y += alpha * x; sizes must match.
+void axpy(double alpha, const Vec& x, Vec& y);
+
+/// x *= alpha.
+void scale(Vec& x, double alpha);
+
+/// Euclidean norm.
+double norm2(const Vec& x);
+
+/// Max-abs norm.
+double norm_inf(const Vec& x);
+
+/// Sum of entries.
+double sum(const Vec& x);
+
+/// Element-wise clamp of every entry into [lo, hi].
+void clamp(Vec& x, double lo, double hi);
+
+/// a - b as a new vector; sizes must match.
+Vec subtract(const Vec& a, const Vec& b);
+
+/// a + b as a new vector; sizes must match.
+Vec add(const Vec& a, const Vec& b);
+
+/// True when |a[i] - b[i]| <= tol for all i (and sizes match).
+bool approx_equal(const Vec& a, const Vec& b, double tol);
+
+}  // namespace mdo::linalg

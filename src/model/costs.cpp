@@ -1,0 +1,98 @@
+#include "model/costs.hpp"
+
+#include "util/error.hpp"
+
+namespace mdo::model {
+
+double bs_operating_cost(const NetworkConfig& config, const SlotDemand& demand,
+                         const LoadAllocation& load) {
+  MDO_REQUIRE(demand.size() == config.num_sbs(), "demand shape mismatch");
+  double total = 0.0;
+  for (std::size_t n = 0; n < config.num_sbs(); ++n) {
+    const auto& sbs = config.sbs[n];
+    const auto& d = demand[n];
+    double weighted = 0.0;
+    for (std::size_t m = 0; m < sbs.num_classes(); ++m) {
+      double class_rest = 0.0;
+      for (std::size_t k = 0; k < config.num_contents; ++k) {
+        class_rest += (1.0 - load.at(n, m, k)) * d.at(m, k);
+      }
+      weighted += sbs.classes[m].omega_bs * class_rest;
+    }
+    total += weighted * weighted;
+  }
+  return total;
+}
+
+double sbs_operating_cost(const NetworkConfig& config,
+                          const SlotDemand& demand,
+                          const LoadAllocation& load) {
+  MDO_REQUIRE(demand.size() == config.num_sbs(), "demand shape mismatch");
+  double total = 0.0;
+  for (std::size_t n = 0; n < config.num_sbs(); ++n) {
+    const auto& sbs = config.sbs[n];
+    const auto& d = demand[n];
+    double weighted = 0.0;
+    for (std::size_t m = 0; m < sbs.num_classes(); ++m) {
+      double class_served = 0.0;
+      for (std::size_t k = 0; k < config.num_contents; ++k) {
+        class_served += load.at(n, m, k) * d.at(m, k);
+      }
+      weighted += sbs.classes[m].omega_sbs * class_served;
+    }
+    total += weighted * weighted;
+  }
+  return total;
+}
+
+double replacement_cost(const NetworkConfig& config, const CacheState& cache,
+                        const CacheState& previous) {
+  double total = 0.0;
+  for (std::size_t n = 0; n < config.num_sbs(); ++n) {
+    total += config.sbs[n].replacement_beta *
+             static_cast<double>(cache.insertions_from(previous, n));
+  }
+  return total;
+}
+
+std::size_t replacement_count(const CacheState& cache,
+                              const CacheState& previous) {
+  std::size_t total = 0;
+  for (std::size_t n = 0; n < cache.num_sbs(); ++n) {
+    total += cache.insertions_from(previous, n);
+  }
+  return total;
+}
+
+CostBreakdown& CostBreakdown::operator+=(const CostBreakdown& other) {
+  bs += other.bs;
+  sbs += other.sbs;
+  replacement += other.replacement;
+  return *this;
+}
+
+CostBreakdown slot_cost(const NetworkConfig& config, const SlotDemand& demand,
+                        const SlotDecision& decision,
+                        const CacheState& previous) {
+  CostBreakdown out;
+  out.bs = bs_operating_cost(config, demand, decision.load);
+  out.sbs = sbs_operating_cost(config, demand, decision.load);
+  out.replacement = replacement_cost(config, decision.cache, previous);
+  return out;
+}
+
+CostBreakdown schedule_cost(const NetworkConfig& config,
+                            const DemandTrace& trace, const Schedule& schedule,
+                            const CacheState& initial_cache) {
+  MDO_REQUIRE(schedule.size() == trace.horizon(),
+              "schedule length must match trace horizon");
+  CostBreakdown total;
+  const CacheState* previous = &initial_cache;
+  for (std::size_t t = 0; t < schedule.size(); ++t) {
+    total += slot_cost(config, trace.slot(t), schedule[t], *previous);
+    previous = &schedule[t].cache;
+  }
+  return total;
+}
+
+}  // namespace mdo::model

@@ -1,0 +1,96 @@
+#include "model/decision.hpp"
+
+#include "util/error.hpp"
+
+namespace mdo::model {
+
+CacheState::CacheState(const NetworkConfig& config)
+    : num_contents_(config.num_contents) {
+  x_.resize(config.num_sbs());
+  for (auto& bitmap : x_) bitmap.assign(num_contents_, 0);
+}
+
+bool CacheState::cached(std::size_t n, std::size_t k) const {
+  MDO_REQUIRE(n < x_.size() && k < num_contents_, "cache index out of range");
+  return x_[n][k] != 0;
+}
+
+void CacheState::set(std::size_t n, std::size_t k, bool value) {
+  MDO_REQUIRE(n < x_.size() && k < num_contents_, "cache index out of range");
+  x_[n][k] = value ? 1 : 0;
+}
+
+std::size_t CacheState::count(std::size_t n) const {
+  MDO_REQUIRE(n < x_.size(), "SBS index out of range");
+  std::size_t total = 0;
+  for (const auto v : x_[n]) total += v;
+  return total;
+}
+
+std::size_t CacheState::insertions_from(const CacheState& prev,
+                                        std::size_t n) const {
+  MDO_REQUIRE(n < x_.size() && n < prev.x_.size(), "SBS index out of range");
+  MDO_REQUIRE(num_contents_ == prev.num_contents_,
+              "cache states have different catalogue sizes");
+  std::size_t inserted = 0;
+  for (std::size_t k = 0; k < num_contents_; ++k) {
+    if (x_[n][k] != 0 && prev.x_[n][k] == 0) ++inserted;
+  }
+  return inserted;
+}
+
+const std::vector<std::uint8_t>& CacheState::sbs_bitmap(std::size_t n) const {
+  MDO_REQUIRE(n < x_.size(), "SBS index out of range");
+  return x_[n];
+}
+
+LoadAllocation::LoadAllocation(const NetworkConfig& config)
+    : num_contents_(config.num_contents) {
+  shape_classes_.reserve(config.num_sbs());
+  y_.reserve(config.num_sbs());
+  for (const auto& s : config.sbs) {
+    shape_classes_.push_back(s.num_classes());
+    y_.emplace_back(s.num_classes() * num_contents_, 0.0);
+  }
+}
+
+std::size_t LoadAllocation::num_classes(std::size_t n) const {
+  MDO_REQUIRE(n < shape_classes_.size(), "SBS index out of range");
+  return shape_classes_[n];
+}
+
+double LoadAllocation::at(std::size_t n, std::size_t m, std::size_t k) const {
+  MDO_REQUIRE(n < y_.size() && m < shape_classes_[n] && k < num_contents_,
+              "load index out of range");
+  return y_[n][m * num_contents_ + k];
+}
+
+double& LoadAllocation::at(std::size_t n, std::size_t m, std::size_t k) {
+  MDO_REQUIRE(n < y_.size() && m < shape_classes_[n] && k < num_contents_,
+              "load index out of range");
+  return y_[n][m * num_contents_ + k];
+}
+
+double LoadAllocation::sbs_load(std::size_t n, const SbsDemand& demand) const {
+  MDO_REQUIRE(n < y_.size(), "SBS index out of range");
+  MDO_REQUIRE(demand.num_classes() == shape_classes_[n] &&
+                  demand.num_contents() == num_contents_,
+              "demand shape mismatch");
+  double load = 0.0;
+  const auto& flat = y_[n];
+  const auto& lambda = demand.data();
+  for (std::size_t i = 0; i < flat.size(); ++i) load += flat[i] * lambda[i];
+  return load;
+}
+
+const std::vector<double>& LoadAllocation::sbs_data(std::size_t n) const {
+  MDO_REQUIRE(n < y_.size(), "SBS index out of range");
+  return y_[n];
+}
+
+std::vector<double>& LoadAllocation::sbs_data(std::size_t n) {
+  MDO_REQUIRE(n < y_.size(), "SBS index out of range");
+  return y_[n];
+}
+
+}  // namespace mdo::model

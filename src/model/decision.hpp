@@ -1,0 +1,85 @@
+// Decision variables (Sec. II-A): caching X and load balancing Y.
+//
+// CacheState holds x[n, k] in {0, 1} for one slot; LoadAllocation holds
+// y[n, m, k] in [0, 1] for one slot. The BS share z = 1 - y is implied
+// (eq. (4)) and never stored.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "model/demand.hpp"
+#include "model/network.hpp"
+
+namespace mdo::model {
+
+/// Per-slot caching decision x[n, k] in {0, 1}.
+class CacheState {
+ public:
+  CacheState() = default;
+
+  /// All-empty caches shaped after the config.
+  explicit CacheState(const NetworkConfig& config);
+
+  std::size_t num_sbs() const { return x_.size(); }
+  std::size_t num_contents() const { return num_contents_; }
+
+  bool cached(std::size_t n, std::size_t k) const;
+  void set(std::size_t n, std::size_t k, bool value);
+
+  /// Number of items cached at SBS n.
+  std::size_t count(std::size_t n) const;
+
+  /// Items inserted going from `prev` to `*this` at SBS n:
+  /// sum_k (x - x_prev)^+, the quantity priced by eq. (7).
+  std::size_t insertions_from(const CacheState& prev, std::size_t n) const;
+
+  /// Raw per-SBS bitmap (0/1 bytes).
+  const std::vector<std::uint8_t>& sbs_bitmap(std::size_t n) const;
+
+  bool operator==(const CacheState& other) const = default;
+
+ private:
+  std::size_t num_contents_ = 0;
+  std::vector<std::vector<std::uint8_t>> x_;
+};
+
+/// Per-slot load-balancing decision y[n, m, k] in [0, 1].
+class LoadAllocation {
+ public:
+  LoadAllocation() = default;
+
+  /// All-zero allocation (everything served by the BS).
+  explicit LoadAllocation(const NetworkConfig& config);
+
+  std::size_t num_sbs() const { return shape_classes_.size(); }
+  std::size_t num_classes(std::size_t n) const;
+  std::size_t num_contents() const { return num_contents_; }
+
+  double at(std::size_t n, std::size_t m, std::size_t k) const;
+  double& at(std::size_t n, std::size_t m, std::size_t k);
+
+  /// SBS-served volume at SBS n: sum_{m,k} lambda * y (left side of (2)).
+  double sbs_load(std::size_t n, const SbsDemand& demand) const;
+
+  /// Flat per-SBS storage (class-major then content), for solvers.
+  const std::vector<double>& sbs_data(std::size_t n) const;
+  std::vector<double>& sbs_data(std::size_t n);
+
+ private:
+  std::size_t num_contents_ = 0;
+  std::vector<std::size_t> shape_classes_;
+  std::vector<std::vector<double>> y_;
+};
+
+/// Joint decision for one slot.
+struct SlotDecision {
+  CacheState cache;
+  LoadAllocation load;
+};
+
+/// A decision per slot over a horizon.
+using Schedule = std::vector<SlotDecision>;
+
+}  // namespace mdo::model

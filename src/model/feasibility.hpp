@@ -1,0 +1,45 @@
+// Feasibility checking and repair for the constraints (1)-(3), (10), (11).
+//
+// Online controllers pick y against *predicted* demand; evaluated against
+// the true demand the bandwidth constraint (2) can be slightly violated.
+// enforce_feasibility() is the documented repair: zero y where x = 0
+// (constraint (3)) and proportionally scale each SBS's allocation down to
+// its bandwidth (constraint (2)).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/decision.hpp"
+#include "model/demand.hpp"
+#include "model/network.hpp"
+
+namespace mdo::model {
+
+/// One violated constraint, human-readable.
+struct Violation {
+  std::string description;
+};
+
+/// Checks (1) cache capacity, (2) bandwidth against `demand`,
+/// (3) y <= x, and (11) y in [0, 1]. Integrality of x holds by type.
+/// Returns all violations (empty means feasible within `tol`).
+std::vector<Violation> check_feasibility(const NetworkConfig& config,
+                                         const SlotDemand& demand,
+                                         const SlotDecision& decision,
+                                         double tol = 1e-6);
+
+/// Convenience: true when check_feasibility() returns no violations.
+bool is_feasible(const NetworkConfig& config, const SlotDemand& demand,
+                 const SlotDecision& decision, double tol = 1e-6);
+
+/// Repairs a decision in place so it is feasible for `demand`:
+///  - clamps y into [0, 1],
+///  - zeroes y where the content is not cached,
+///  - scales each SBS's y uniformly when its bandwidth is exceeded.
+/// The cache part is never modified (capacity violations throw
+/// InvalidArgument: controllers must respect (1) themselves).
+void enforce_feasibility(const NetworkConfig& config, const SlotDemand& demand,
+                         SlotDecision& decision);
+
+}  // namespace mdo::model

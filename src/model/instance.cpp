@@ -1,0 +1,20 @@
+#include "model/instance.hpp"
+
+#include "util/error.hpp"
+
+namespace mdo::model {
+
+void ProblemInstance::validate() const {
+  config.validate();
+  demand.validate(config);
+  MDO_REQUIRE(initial_cache.num_sbs() == config.num_sbs(),
+              "initial cache SBS count mismatch");
+  MDO_REQUIRE(initial_cache.num_contents() == config.num_contents,
+              "initial cache catalogue size mismatch");
+  for (std::size_t n = 0; n < config.num_sbs(); ++n) {
+    MDO_REQUIRE(initial_cache.count(n) <= config.sbs[n].cache_capacity,
+                "initial cache exceeds capacity at SBS " + std::to_string(n));
+  }
+}
+
+}  // namespace mdo::model

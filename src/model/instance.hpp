@@ -1,0 +1,23 @@
+// A complete problem instance: network + demand horizon + initial cache.
+#pragma once
+
+#include "model/decision.hpp"
+#include "model/demand.hpp"
+#include "model/network.hpp"
+
+namespace mdo::model {
+
+/// Everything the optimization problem (9)-(11) needs.
+struct ProblemInstance {
+  NetworkConfig config;
+  DemandTrace demand;
+  CacheState initial_cache;  // x^0; all-empty in the paper's setup
+
+  std::size_t horizon() const { return demand.horizon(); }
+
+  /// Validates config, demand shape, and that the initial cache respects
+  /// capacities; throws InvalidArgument otherwise.
+  void validate() const;
+};
+
+}  // namespace mdo::model

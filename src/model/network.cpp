@@ -1,0 +1,40 @@
+#include "model/network.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace mdo::model {
+
+std::size_t NetworkConfig::total_classes() const {
+  std::size_t total = 0;
+  for (const auto& s : sbs) total += s.num_classes();
+  return total;
+}
+
+void NetworkConfig::validate() const {
+  MDO_REQUIRE(num_contents > 0, "network must offer at least one content");
+  MDO_REQUIRE(!sbs.empty(), "network must have at least one SBS");
+  for (std::size_t n = 0; n < sbs.size(); ++n) {
+    const auto& s = sbs[n];
+    const std::string tag = "SBS " + std::to_string(n) + ": ";
+    MDO_REQUIRE(s.cache_capacity <= num_contents,
+                tag + "cache capacity exceeds catalogue size");
+    MDO_REQUIRE(s.bandwidth >= 0.0, tag + "negative bandwidth");
+    MDO_REQUIRE(s.replacement_beta >= 0.0, tag + "negative replacement beta");
+    MDO_REQUIRE(!s.classes.empty(), tag + "must serve at least one MU class");
+    for (const auto& c : s.classes) {
+      MDO_REQUIRE(c.omega_bs >= 0.0, tag + "negative omega (BS)");
+      MDO_REQUIRE(c.omega_sbs >= 0.0, tag + "negative omega (SBS)");
+    }
+  }
+}
+
+std::string NetworkConfig::summary() const {
+  std::ostringstream os;
+  os << "NetworkConfig{K=" << num_contents << ", N=" << num_sbs()
+     << ", classes=" << total_classes() << "}";
+  return os.str();
+}
+
+}  // namespace mdo::model

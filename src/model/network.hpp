@@ -1,0 +1,54 @@
+// Static description of the 5G cell (Sec. II-A of the paper).
+//
+// One base station (BS) serves the whole cell; N small base stations (SBSs)
+// with disjoint coverage each serve their own set of mobile-user (MU)
+// classes. Content catalogue: K equal-size items (o = 1 after
+// normalization). Each SBS n has cache capacity C_n (items, constraint (1)),
+// downlink bandwidth B_n (items per slot, constraint (2)) and cache
+// replacement price beta_n (eq. (7)).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mdo::model {
+
+/// One class of mobile users attached to a given SBS.
+struct MuClass {
+  /// omega_{m_n}: weighted transmission parameter towards the BS. Larger
+  /// values model MUs near the cell edge (higher power/delay). Eq. (5).
+  double omega_bs = 1.0;
+  /// \hat{omega}_{m_n}: weighted transmission parameter towards the local
+  /// SBS; typically orders of magnitude below omega_bs. Eq. (6).
+  double omega_sbs = 0.0;
+};
+
+/// One small base station and the MU classes it serves.
+struct SbsConfig {
+  std::size_t cache_capacity = 0;  // C_n, items
+  double bandwidth = 0.0;          // B_n, items per slot
+  double replacement_beta = 0.0;   // beta_n, cost per inserted item
+  std::vector<MuClass> classes;    // M_n
+
+  std::size_t num_classes() const { return classes.size(); }
+};
+
+/// The whole cell.
+struct NetworkConfig {
+  std::size_t num_contents = 0;  // K
+  std::vector<SbsConfig> sbs;    // indexed by n
+
+  std::size_t num_sbs() const { return sbs.size(); }
+
+  std::size_t total_classes() const;
+
+  /// Throws InvalidArgument when any dimension/parameter is inconsistent
+  /// (no contents, no SBS, negative bandwidth/beta/omega, capacity > K...).
+  void validate() const;
+
+  /// One-line human-readable summary for logs.
+  std::string summary() const;
+};
+
+}  // namespace mdo::model

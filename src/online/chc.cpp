@@ -1,0 +1,158 @@
+#include "online/chc.hpp"
+
+#include <algorithm>
+
+#include "online/rhc.hpp"  // advance_mu
+#include "util/error.hpp"
+
+namespace mdo::online {
+
+FhcPlanner::FhcPlanner(std::size_t offset, std::size_t window,
+                       std::size_t commit, core::PrimalDualOptions options)
+    : offset_(offset), window_(window), commit_(commit), options_(options) {
+  MDO_REQUIRE(window >= 1, "FHC window must be >= 1");
+  MDO_REQUIRE(commit >= 1 && commit <= window,
+              "FHC commitment must be in [1, window]");
+  MDO_REQUIRE(offset < commit, "FHC offset must be < commitment level");
+}
+
+void FhcPlanner::reset(const model::ProblemInstance& instance) {
+  instance_ = &instance;
+  trajectory_cache_ = instance.initial_cache;
+  has_plan_ = false;
+  plan_.clear();
+  warm_mu_.clear();
+  warm_horizon_ = 0;
+}
+
+void FhcPlanner::plan(std::ptrdiff_t tau,
+                      const workload::Predictor& predictor) {
+  const auto& config = instance_->config;
+  const std::size_t total_horizon = predictor.horizon();
+
+  // Starting state: this variant's own action at tau - 1, or the instance's
+  // initial cache when the previous slot predates its first plan.
+  model::CacheState start = trajectory_cache_;
+  if (has_plan_) {
+    const std::ptrdiff_t prev_slot = tau - 1;
+    const std::ptrdiff_t index = prev_slot - plan_time_;
+    if (index >= 0 && index < static_cast<std::ptrdiff_t>(plan_.size())) {
+      start = plan_[static_cast<std::size_t>(index)].cache;
+    }
+  }
+
+  // Window demand: zero demand for pre-horizon slots (Lambda^t = 0 for
+  // t <= 0), forecasts for the rest, clipped at the instance horizon.
+  core::HorizonProblem problem;
+  problem.config = &config;
+  for (std::size_t i = 0; i < window_; ++i) {
+    const std::ptrdiff_t abs_slot = tau + static_cast<std::ptrdiff_t>(i);
+    if (abs_slot >= static_cast<std::ptrdiff_t>(total_horizon)) break;
+    if (abs_slot < 0) {
+      problem.demand.push_back(model::make_zero_slot_demand(config));
+    } else {
+      const auto query_time = static_cast<std::size_t>(std::max<std::ptrdiff_t>(tau, 0));
+      problem.demand.push_back(
+          predictor.predict(query_time, static_cast<std::size_t>(abs_slot)));
+    }
+  }
+  MDO_CHECK(problem.demand.horizon() >= 1, "FHC: empty planning window");
+  problem.initial_cache = start;
+
+  const std::size_t horizon = problem.demand.horizon();
+  std::optional<linalg::Vec> warm;
+  if (!warm_mu_.empty()) {
+    warm = advance_mu(warm_mu_, config, warm_horizon_, horizon, commit_);
+  }
+  auto solution = core::PrimalDualSolver(options_).solve(
+      problem, warm ? &*warm : nullptr);
+
+  warm_mu_ = std::move(solution.mu);
+  warm_horizon_ = horizon;
+  plan_ = std::move(solution.schedule);
+  plan_time_ = tau;
+  has_plan_ = true;
+  trajectory_cache_ = start;
+}
+
+const model::SlotDecision& FhcPlanner::action(
+    std::size_t t, const workload::Predictor& predictor) {
+  MDO_REQUIRE(instance_ != nullptr, "FHC: reset() must be called first");
+  // Most recent plan time tau <= t with tau ≡ offset (mod commit).
+  const auto signed_t = static_cast<std::ptrdiff_t>(t);
+  const auto r = static_cast<std::ptrdiff_t>(commit_);
+  std::ptrdiff_t diff = (signed_t - static_cast<std::ptrdiff_t>(offset_)) % r;
+  if (diff < 0) diff += r;
+  const std::ptrdiff_t tau = signed_t - diff;
+
+  if (!has_plan_ || plan_time_ != tau) plan(tau, predictor);
+  const std::ptrdiff_t index = signed_t - plan_time_;
+  MDO_CHECK(index >= 0 && index < static_cast<std::ptrdiff_t>(plan_.size()),
+            "FHC: slot outside the current plan");
+  return plan_[static_cast<std::size_t>(index)];
+}
+
+ChcController::ChcController(std::size_t window, std::size_t commit,
+                             core::PrimalDualOptions options, double rho)
+    : window_(window), commit_(commit), options_(options), rho_(rho) {
+  MDO_REQUIRE(window >= 1, "CHC window must be >= 1");
+  MDO_REQUIRE(commit >= 1 && commit <= window,
+              "CHC commitment level must be in [1, window]");
+  MDO_REQUIRE(rho > 0.0 && rho < 1.0, "CHC rho must be in (0, 1)");
+  planners_.reserve(commit_);
+  for (std::size_t v = 0; v < commit_; ++v) {
+    planners_.emplace_back(v, window_, commit_, options_);
+  }
+}
+
+std::unique_ptr<ChcController> ChcController::afhc(
+    std::size_t window, core::PrimalDualOptions options, double rho) {
+  auto controller =
+      std::make_unique<ChcController>(window, window, options, rho);
+  controller->is_afhc_ = true;
+  return controller;
+}
+
+std::string ChcController::name() const {
+  if (is_afhc_) return "AFHC(w=" + std::to_string(window_) + ")";
+  return "CHC(w=" + std::to_string(window_) +
+         ",r=" + std::to_string(commit_) + ")";
+}
+
+void ChcController::reset(const model::ProblemInstance& instance) {
+  instance_ = &instance;
+  for (auto& planner : planners_) planner.reset(instance);
+}
+
+model::SlotDecision ChcController::decide(const DecisionContext& ctx) {
+  MDO_REQUIRE(instance_ != nullptr, "CHC: reset() must be called first");
+  MDO_REQUIRE(ctx.predictor != nullptr, "CHC needs a predictor");
+  const auto& config = instance_->config;
+
+  // Average the r variants' actions (36)-(37).
+  std::vector<linalg::Vec> fractional_x(config.num_sbs(),
+                                        linalg::Vec(config.num_contents, 0.0));
+  model::LoadAllocation averaged_y(config);
+  const double inv_r = 1.0 / static_cast<double>(commit_);
+  for (auto& planner : planners_) {
+    const model::SlotDecision& action =
+        planner.action(ctx.slot, *ctx.predictor);
+    for (std::size_t n = 0; n < config.num_sbs(); ++n) {
+      for (std::size_t k = 0; k < config.num_contents; ++k) {
+        if (action.cache.cached(n, k)) fractional_x[n][k] += inv_r;
+      }
+      auto& acc = averaged_y.sbs_data(n);
+      const auto& part = action.load.sbs_data(n);
+      for (std::size_t j = 0; j < acc.size(); ++j) acc[j] += inv_r * part[j];
+    }
+  }
+
+  // Rounding policy (Theorem 3): threshold x at rho, zero masked y.
+  model::SlotDecision decision;
+  decision.cache = core::round_cache(config, fractional_x, rho_);
+  decision.load = std::move(averaged_y);
+  core::mask_load_by_cache(config, decision.cache, decision.load);
+  return decision;
+}
+
+}  // namespace mdo::online

@@ -1,0 +1,88 @@
+// Committed Horizon Control and Averaging Fixed Horizon Control
+// (Algorithm 3, Sec. IV-B).
+//
+// CHC(r) runs r staggered Fixed Horizon Control (FHC) planners. Planner v
+// re-plans at every slot tau ≡ v (mod r) over the prediction window
+// [tau, tau + w), following its *own* committed trajectory; plan times may
+// be negative (the paper intersects Psi_v with [-r+1, T] and sets Lambda = 0
+// for t <= 0), in which case the pre-horizon slots carry zero demand.
+//
+// At each slot CHC averages the r planners' actions (eqs. (36)-(37)). The
+// averaged caching variables can be fractional, so the integer version
+// applies the rounding policy of Theorem 3 with threshold
+// rho = (3 - sqrt(5))/2 (approximation ratio ~2.62). AFHC is the special
+// case r = w.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/primal_dual.hpp"
+#include "core/rounding.hpp"
+#include "online/controller.hpp"
+
+namespace mdo::online {
+
+/// One staggered FHC planner (commitment level r, window w).
+class FhcPlanner {
+ public:
+  /// `offset` = v in Psi_v; requires offset < commit <= window.
+  FhcPlanner(std::size_t offset, std::size_t window, std::size_t commit,
+             core::PrimalDualOptions options);
+
+  void reset(const model::ProblemInstance& instance);
+
+  /// The planner's action for slot t (plans lazily when t enters a new
+  /// commitment block).
+  const model::SlotDecision& action(std::size_t t,
+                                    const workload::Predictor& predictor);
+
+ private:
+  void plan(std::ptrdiff_t tau, const workload::Predictor& predictor);
+
+  std::size_t offset_;
+  std::size_t window_;
+  std::size_t commit_;
+  core::PrimalDualOptions options_;
+  const model::ProblemInstance* instance_ = nullptr;
+
+  std::ptrdiff_t plan_time_ = 0;
+  bool has_plan_ = false;
+  model::Schedule plan_;                // indexed from plan_time_
+  model::CacheState trajectory_cache_;  // the variant's own x^{tau-1}
+  linalg::Vec warm_mu_;
+  std::size_t warm_horizon_ = 0;
+};
+
+class ChcController final : public Controller {
+ public:
+  /// `window` = w, `commit` = r in [1, w]; `rho` in (0, 1) is the rounding
+  /// threshold (defaults to the paper's optimum).
+  ChcController(std::size_t window, std::size_t commit,
+                core::PrimalDualOptions options = {},
+                double rho = core::chc_rounding_threshold());
+
+  /// AFHC = CHC with r = w (Sec. IV-B notes AFHC is the extreme case).
+  static std::unique_ptr<ChcController> afhc(
+      std::size_t window, core::PrimalDualOptions options = {},
+      double rho = core::chc_rounding_threshold());
+
+  std::string name() const override;
+  void reset(const model::ProblemInstance& instance) override;
+  model::SlotDecision decide(const DecisionContext& ctx) override;
+
+  std::size_t window() const { return window_; }
+  std::size_t commit() const { return commit_; }
+  double rho() const { return rho_; }
+
+ private:
+  std::size_t window_;
+  std::size_t commit_;
+  core::PrimalDualOptions options_;
+  double rho_;
+  bool is_afhc_ = false;
+  const model::ProblemInstance* instance_ = nullptr;
+  std::vector<FhcPlanner> planners_;
+};
+
+}  // namespace mdo::online

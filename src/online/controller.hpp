@@ -1,0 +1,43 @@
+// The controller abstraction the simulation engine drives.
+//
+// Each slot the simulator hands a controller the current time, the *true*
+// demand of the current slot (which only the baselines that the paper
+// declares clairvoyant — offline, LRFU, the classic policies — may use) and
+// the predictor (which the online algorithms use for their w-slot
+// forecasts). The controller returns the joint decision for the slot; the
+// simulator then repairs residual bandwidth infeasibility against the true
+// demand and accounts the true cost.
+#pragma once
+
+#include <string>
+
+#include "model/decision.hpp"
+#include "model/instance.hpp"
+#include "workload/predictor.hpp"
+
+namespace mdo::online {
+
+/// Per-slot inputs.
+struct DecisionContext {
+  std::size_t slot = 0;                               // tau
+  const model::SlotDemand* true_demand = nullptr;     // truth at tau
+  const workload::Predictor* predictor = nullptr;     // forecasts from tau
+};
+
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  /// Display name ("RHC", "CHC(r=5)", ...).
+  virtual std::string name() const = 0;
+
+  /// Called once before a simulation run; controllers capture the instance
+  /// (which must outlive the run) and clear internal state.
+  virtual void reset(const model::ProblemInstance& instance) = 0;
+
+  /// Decision for slot ctx.slot. Must respect cache capacity (1); the
+  /// simulator enforces (2)-(3) against the true demand afterwards.
+  virtual model::SlotDecision decide(const DecisionContext& ctx) = 0;
+};
+
+}  // namespace mdo::online

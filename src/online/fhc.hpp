@@ -1,0 +1,31 @@
+// Fixed Horizon Control as a standalone controller.
+//
+// FHC(v) is the building block of AFHC and CHC (Sec. IV-B): it re-plans
+// every r slots over a w-slot window and commits the whole block. Exposed
+// as its own Controller so the un-averaged policy can be benchmarked
+// directly — it shows why the averaging in AFHC/CHC helps: a single FHC
+// variant suffers at its commitment boundaries when forecasts are noisy.
+#pragma once
+
+#include "online/chc.hpp"
+
+namespace mdo::online {
+
+class FhcController final : public Controller {
+ public:
+  /// Plans at slots ≡ offset (mod commit); offset < commit <= window.
+  FhcController(std::size_t window, std::size_t commit,
+                std::size_t offset = 0, core::PrimalDualOptions options = {});
+
+  std::string name() const override;
+  void reset(const model::ProblemInstance& instance) override;
+  model::SlotDecision decide(const DecisionContext& ctx) override;
+
+ private:
+  std::size_t window_;
+  std::size_t commit_;
+  std::size_t offset_;
+  FhcPlanner planner_;
+};
+
+}  // namespace mdo::online

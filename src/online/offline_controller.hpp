@@ -1,0 +1,30 @@
+// The clairvoyant offline optimum (Sec. V-A, "Offline optimal solution").
+//
+// Runs Algorithm 1 over the entire horizon with the true demand at reset(),
+// then replays the resulting schedule slot by slot. Serves as the
+// (practically unrealizable) lower-bound baseline of every figure.
+#pragma once
+
+#include "core/primal_dual.hpp"
+#include "online/controller.hpp"
+
+namespace mdo::online {
+
+class OfflineController final : public Controller {
+ public:
+  explicit OfflineController(core::PrimalDualOptions options = {});
+
+  std::string name() const override { return "Offline"; }
+  void reset(const model::ProblemInstance& instance) override;
+  model::SlotDecision decide(const DecisionContext& ctx) override;
+
+  /// The bounds certified by the full-horizon primal-dual solve.
+  double upper_bound() const { return solution_.upper_bound; }
+  double lower_bound() const { return solution_.lower_bound; }
+
+ private:
+  core::PrimalDualOptions options_;
+  core::HorizonSolution solution_;
+};
+
+}  // namespace mdo::online

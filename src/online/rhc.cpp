@@ -1,0 +1,69 @@
+#include "online/rhc.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mdo::online {
+
+linalg::Vec advance_mu(const linalg::Vec& old_mu,
+                       const model::NetworkConfig& config,
+                       std::size_t old_horizon, std::size_t new_horizon,
+                       std::size_t shift) {
+  const std::size_t per_slot = core::mu_size(config, 1);
+  MDO_REQUIRE(old_mu.size() == per_slot * old_horizon,
+              "advance_mu: old size mismatch");
+  MDO_REQUIRE(old_horizon >= 1 && new_horizon >= 1, "advance_mu: horizons");
+  linalg::Vec out(per_slot * new_horizon);
+  for (std::size_t t = 0; t < new_horizon; ++t) {
+    const std::size_t src = std::min(t + shift, old_horizon - 1);
+    std::copy_n(
+        old_mu.begin() + static_cast<std::ptrdiff_t>(src * per_slot), per_slot,
+        out.begin() + static_cast<std::ptrdiff_t>(t * per_slot));
+  }
+  return out;
+}
+
+RhcController::RhcController(std::size_t window,
+                             core::PrimalDualOptions options)
+    : window_(window), options_(options) {
+  MDO_REQUIRE(window >= 1, "RHC window must be >= 1");
+}
+
+std::string RhcController::name() const {
+  return "RHC(w=" + std::to_string(window_) + ")";
+}
+
+void RhcController::reset(const model::ProblemInstance& instance) {
+  instance_ = &instance;
+  trajectory_cache_ = instance.initial_cache;
+  warm_mu_.clear();
+  warm_horizon_ = 0;
+}
+
+model::SlotDecision RhcController::decide(const DecisionContext& ctx) {
+  MDO_REQUIRE(instance_ != nullptr, "RHC: reset() must be called first");
+  MDO_REQUIRE(ctx.predictor != nullptr, "RHC needs a predictor");
+
+  core::HorizonProblem problem;
+  problem.config = &instance_->config;
+  problem.demand = ctx.predictor->predict_window(ctx.slot, window_);
+  problem.initial_cache = trajectory_cache_;
+  const std::size_t horizon = problem.demand.horizon();
+  MDO_REQUIRE(horizon >= 1, "RHC: slot beyond the instance horizon");
+
+  std::optional<linalg::Vec> warm;
+  if (!warm_mu_.empty()) {
+    warm = advance_mu(warm_mu_, instance_->config, warm_horizon_, horizon,
+                      /*shift=*/1);
+  }
+  const auto solution = core::PrimalDualSolver(options_).solve(
+      problem, warm ? &*warm : nullptr);
+
+  warm_mu_ = solution.mu;
+  warm_horizon_ = horizon;
+  trajectory_cache_ = solution.schedule.front().cache;
+  return solution.schedule.front();
+}
+
+}  // namespace mdo::online

@@ -1,0 +1,49 @@
+// Receding Horizon Control (Algorithm 2, Sec. IV-A).
+//
+// At each slot tau, RHC solves the window problem (26)-(31) over the
+// prediction window [tau, tau + w) starting from its own cache trajectory
+// x^{tau-1}, then commits only the first action. Theorem 2: because the
+// caching polytope is integral (Theorem 1), the integer RHC inherits the
+// continuous competitive ratio O(1 + 1/w).
+//
+// The window subproblem is solved with Algorithm 1; multipliers are
+// warm-started from the previous slot's window (shifted by one slot), which
+// cuts the dual iterations substantially.
+#pragma once
+
+#include <optional>
+
+#include "core/primal_dual.hpp"
+#include "online/controller.hpp"
+
+namespace mdo::online {
+
+class RhcController final : public Controller {
+ public:
+  /// `window` = w >= 1 slots of prediction (including the current slot).
+  RhcController(std::size_t window, core::PrimalDualOptions options = {});
+
+  std::string name() const override;
+  void reset(const model::ProblemInstance& instance) override;
+  model::SlotDecision decide(const DecisionContext& ctx) override;
+
+  std::size_t window() const { return window_; }
+
+ private:
+  std::size_t window_;
+  core::PrimalDualOptions options_;
+  const model::ProblemInstance* instance_ = nullptr;
+  model::CacheState trajectory_cache_;  // x^{tau-1} along RHC's own path
+  linalg::Vec warm_mu_;                 // multipliers of the last window
+  std::size_t warm_horizon_ = 0;        // its window length
+};
+
+/// Builds a warm-start multiplier vector for a new window of length
+/// `new_horizon` from the multipliers of the previous window (length
+/// `old_horizon`), advanced by `shift` slots. Shared by RHC and FHC.
+linalg::Vec advance_mu(const linalg::Vec& old_mu,
+                       const model::NetworkConfig& config,
+                       std::size_t old_horizon, std::size_t new_horizon,
+                       std::size_t shift);
+
+}  // namespace mdo::online

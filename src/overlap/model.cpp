@@ -1,0 +1,186 @@
+#include "overlap/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace mdo::overlap {
+
+void OverlapConfig::validate() const {
+  MDO_REQUIRE(num_contents > 0, "overlap: need at least one content");
+  MDO_REQUIRE(!sbs.empty(), "overlap: need at least one SBS");
+  MDO_REQUIRE(!classes.empty(), "overlap: need at least one class");
+  for (std::size_t n = 0; n < sbs.size(); ++n) {
+    MDO_REQUIRE(sbs[n].cache_capacity <= num_contents,
+                "overlap: SBS capacity exceeds catalogue");
+    MDO_REQUIRE(sbs[n].bandwidth >= 0.0, "overlap: negative bandwidth");
+    MDO_REQUIRE(sbs[n].replacement_beta >= 0.0, "overlap: negative beta");
+  }
+  for (const auto& mu : classes) {
+    MDO_REQUIRE(mu.omega_bs >= 0.0, "overlap: negative omega");
+    MDO_REQUIRE(mu.neighbors.size() == mu.omega_sbs.size(),
+                "overlap: neighbors/omega_sbs size mismatch");
+    std::set<std::size_t> seen;
+    for (std::size_t i = 0; i < mu.neighbors.size(); ++i) {
+      MDO_REQUIRE(mu.neighbors[i] < sbs.size(),
+                  "overlap: neighbor index out of range");
+      MDO_REQUIRE(seen.insert(mu.neighbors[i]).second,
+                  "overlap: duplicate neighbor");
+      MDO_REQUIRE(mu.omega_sbs[i] >= 0.0, "overlap: negative omega_sbs");
+    }
+  }
+}
+
+OverlapLayout::OverlapLayout(const OverlapConfig& config)
+    : num_contents_(config.num_contents) {
+  config.validate();
+  links_of_sbs_.resize(config.num_sbs());
+  links_of_class_.resize(config.num_classes());
+  for (std::size_t m = 0; m < config.num_classes(); ++m) {
+    const auto& mu = config.classes[m];
+    for (std::size_t i = 0; i < mu.neighbors.size(); ++i) {
+      const std::size_t id = links_.size();
+      links_.push_back({m, mu.neighbors[i]});
+      link_omega_sbs_.push_back(mu.omega_sbs[i]);
+      links_of_sbs_[mu.neighbors[i]].push_back(id);
+      links_of_class_[m].push_back(id);
+    }
+  }
+}
+
+OverlapCache empty_cache(const OverlapConfig& config) {
+  return OverlapCache(config.num_sbs(),
+                      std::vector<std::uint8_t>(config.num_contents, 0));
+}
+
+std::size_t cache_insertions(const OverlapCache& now,
+                             const OverlapCache& prev) {
+  MDO_REQUIRE(now.size() == prev.size(), "cache_insertions: SBS mismatch");
+  std::size_t inserted = 0;
+  for (std::size_t n = 0; n < now.size(); ++n) {
+    MDO_REQUIRE(now[n].size() == prev[n].size(),
+                "cache_insertions: catalogue mismatch");
+    for (std::size_t k = 0; k < now[n].size(); ++k) {
+      if (now[n][k] != 0 && prev[n][k] == 0) ++inserted;
+    }
+  }
+  return inserted;
+}
+
+double bs_cost(const OverlapConfig& config, const OverlapLayout& layout,
+               const ClassDemand& demand, const linalg::Vec& y) {
+  MDO_REQUIRE(y.size() == layout.y_size(), "bs_cost: y size mismatch");
+  MDO_REQUIRE(demand.num_classes() == config.num_classes() &&
+                  demand.num_contents() == config.num_contents,
+              "bs_cost: demand shape mismatch");
+  double weighted = 0.0;
+  for (std::size_t m = 0; m < config.num_classes(); ++m) {
+    double rest = 0.0;
+    for (std::size_t k = 0; k < config.num_contents; ++k) {
+      double served = 0.0;
+      for (const std::size_t id : layout.links_of_class(m)) {
+        served += y[layout.index(id, k)];
+      }
+      rest += (1.0 - served) * demand.at(m, k);
+    }
+    weighted += config.classes[m].omega_bs * rest;
+  }
+  return weighted * weighted;
+}
+
+double sbs_cost(const OverlapConfig& config, const OverlapLayout& layout,
+                const ClassDemand& demand, const linalg::Vec& y) {
+  MDO_REQUIRE(y.size() == layout.y_size(), "sbs_cost: y size mismatch");
+  double total = 0.0;
+  for (std::size_t n = 0; n < config.num_sbs(); ++n) {
+    double weighted = 0.0;
+    for (const std::size_t id : layout.links_of_sbs(n)) {
+      const auto [m, sbs_index] = layout.link(id);
+      (void)sbs_index;
+      double served = 0.0;
+      for (std::size_t k = 0; k < config.num_contents; ++k) {
+        served += y[layout.index(id, k)] * demand.at(m, k);
+      }
+      weighted += layout.link_omega_sbs(id) * served;
+    }
+    total += weighted * weighted;
+  }
+  return total;
+}
+
+double replacement_cost(const OverlapConfig& config, const OverlapCache& now,
+                        const OverlapCache& prev) {
+  double total = 0.0;
+  for (std::size_t n = 0; n < config.num_sbs(); ++n) {
+    std::size_t inserted = 0;
+    for (std::size_t k = 0; k < config.num_contents; ++k) {
+      if (now[n][k] != 0 && prev[n][k] == 0) ++inserted;
+    }
+    total += config.sbs[n].replacement_beta * static_cast<double>(inserted);
+  }
+  return total;
+}
+
+double schedule_cost(const OverlapConfig& config, const OverlapLayout& layout,
+                     const OverlapTrace& trace,
+                     const std::vector<OverlapDecision>& schedule,
+                     const OverlapCache& initial) {
+  MDO_REQUIRE(schedule.size() == trace.size(),
+              "schedule_cost: length mismatch");
+  double total = 0.0;
+  const OverlapCache* prev = &initial;
+  for (std::size_t t = 0; t < schedule.size(); ++t) {
+    total += bs_cost(config, layout, trace[t], schedule[t].y) +
+             sbs_cost(config, layout, trace[t], schedule[t].y) +
+             replacement_cost(config, schedule[t].cache, *prev);
+    prev = &schedule[t].cache;
+  }
+  return total;
+}
+
+bool is_feasible(const OverlapConfig& config, const OverlapLayout& layout,
+                 const ClassDemand& demand, const OverlapDecision& decision,
+                 double tol) {
+  if (decision.y.size() != layout.y_size()) return false;
+  if (decision.cache.size() != config.num_sbs()) return false;
+  // Box and coupling y <= x.
+  for (std::size_t id = 0; id < layout.num_links(); ++id) {
+    const auto [m, n] = layout.link(id);
+    (void)m;
+    for (std::size_t k = 0; k < config.num_contents; ++k) {
+      const double value = decision.y[layout.index(id, k)];
+      if (value < -tol || value > 1.0 + tol) return false;
+      if (value > tol && decision.cache[n][k] == 0) return false;
+    }
+  }
+  // Cache capacity and per-SBS bandwidth.
+  for (std::size_t n = 0; n < config.num_sbs(); ++n) {
+    std::size_t cached = 0;
+    for (const auto bit : decision.cache[n]) cached += bit;
+    if (cached > config.sbs[n].cache_capacity) return false;
+    double load = 0.0;
+    for (const std::size_t id : layout.links_of_sbs(n)) {
+      const auto [m, sbs_index] = layout.link(id);
+      (void)sbs_index;
+      for (std::size_t k = 0; k < config.num_contents; ++k) {
+        load += decision.y[layout.index(id, k)] * demand.at(m, k);
+      }
+    }
+    if (load > config.sbs[n].bandwidth + tol) return false;
+  }
+  // Per-(class, content) totals.
+  for (std::size_t m = 0; m < config.num_classes(); ++m) {
+    for (std::size_t k = 0; k < config.num_contents; ++k) {
+      double total = 0.0;
+      for (const std::size_t id : layout.links_of_class(m)) {
+        total += decision.y[layout.index(id, k)];
+      }
+      if (total > 1.0 + tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mdo::overlap

@@ -1,0 +1,140 @@
+// Overlapping-coverage extension (Sec. II-A notes the base model "can be
+// readily extended to SBSs with overlaps in coverage"; this module is that
+// extension).
+//
+// Differences from the disjoint model:
+//  * MU classes are global and each class m reaches a *set* of neighbor
+//    SBSs A_m; the decision y[m, n, k] (n in A_m) splits class-m requests
+//    for content k across its reachable SBSs, the BS serving the rest.
+//  * The per-(class, content) totals must satisfy sum_n y[m, n, k] <= 1.
+//  * The BS operating cost becomes one square over the whole cell,
+//      f = ( sum_m omega_m sum_k (1 - sum_{n in A_m} y[m,n,k]) lambda )^2,
+//    because classes no longer partition by SBS; the SBS operating cost
+//    stays per-SBS, g = sum_n ( sum_{(m,n)} omega_sbs[m,n] sum_k y lambda )^2.
+//  * Caching constraints (capacity, replacement cost, y <= x) are unchanged
+//    per SBS, so the caching subproblem P1 is reused verbatim from core.
+//
+// Coordinates: a "link" is a reachable (class, SBS) pair; y is flat over
+// (link, content).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "linalg/vec.hpp"
+#include "model/demand.hpp"
+
+namespace mdo::overlap {
+
+/// Per-SBS parameters (no embedded class list, unlike the disjoint model).
+struct SbsParams {
+  std::size_t cache_capacity = 0;  // C_n
+  double bandwidth = 0.0;          // B_n
+  double replacement_beta = 0.0;   // beta_n
+};
+
+/// A mobile-user class with its reachable SBSs.
+struct OverlapMuClass {
+  double omega_bs = 1.0;               // omega_m
+  std::vector<std::size_t> neighbors;  // A_m (SBS indices, distinct)
+  /// omega_sbs[i] pairs with neighbors[i].
+  std::vector<double> omega_sbs;
+};
+
+struct OverlapConfig {
+  std::size_t num_contents = 0;        // K
+  std::vector<SbsParams> sbs;          // N
+  std::vector<OverlapMuClass> classes; // M (global)
+
+  std::size_t num_sbs() const { return sbs.size(); }
+  std::size_t num_classes() const { return classes.size(); }
+
+  /// Throws InvalidArgument on inconsistent dimensions / signs / duplicate
+  /// or out-of-range neighbors.
+  void validate() const;
+};
+
+/// Flat coordinate bookkeeping for y over (link, content).
+class OverlapLayout {
+ public:
+  explicit OverlapLayout(const OverlapConfig& config);
+
+  std::size_t num_links() const { return links_.size(); }
+  std::size_t num_contents() const { return num_contents_; }
+  std::size_t y_size() const { return links_.size() * num_contents_; }
+
+  /// (class, SBS) of a link.
+  std::pair<std::size_t, std::size_t> link(std::size_t id) const {
+    return links_[id];
+  }
+  /// omega_sbs of a link.
+  double link_omega_sbs(std::size_t id) const { return link_omega_sbs_[id]; }
+
+  const std::vector<std::size_t>& links_of_sbs(std::size_t n) const {
+    return links_of_sbs_[n];
+  }
+  const std::vector<std::size_t>& links_of_class(std::size_t m) const {
+    return links_of_class_[m];
+  }
+
+  std::size_t index(std::size_t link_id, std::size_t k) const {
+    return link_id * num_contents_ + k;
+  }
+
+ private:
+  std::size_t num_contents_ = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> links_;
+  std::vector<double> link_omega_sbs_;
+  std::vector<std::vector<std::size_t>> links_of_sbs_;
+  std::vector<std::vector<std::size_t>> links_of_class_;
+};
+
+/// Demand: one M x K rate matrix per slot (model::SbsDemand reused as the
+/// container since it is exactly a class-by-content matrix).
+using ClassDemand = model::SbsDemand;
+using OverlapTrace = std::vector<ClassDemand>;
+
+/// Per-SBS cache bitmaps for one slot.
+using OverlapCache = std::vector<std::vector<std::uint8_t>>;
+
+OverlapCache empty_cache(const OverlapConfig& config);
+
+/// Items inserted going from prev to now across all SBSs.
+std::size_t cache_insertions(const OverlapCache& now, const OverlapCache& prev);
+
+/// One slot's decision.
+struct OverlapDecision {
+  OverlapCache cache;
+  linalg::Vec y;  // layout.y_size()
+};
+
+// ---- Costs ---------------------------------------------------------------
+
+/// BS operating cost (one square over the whole cell).
+double bs_cost(const OverlapConfig& config, const OverlapLayout& layout,
+               const ClassDemand& demand, const linalg::Vec& y);
+
+/// SBS operating cost (per-SBS squares).
+double sbs_cost(const OverlapConfig& config, const OverlapLayout& layout,
+                const ClassDemand& demand, const linalg::Vec& y);
+
+/// Replacement cost between consecutive cache states.
+double replacement_cost(const OverlapConfig& config, const OverlapCache& now,
+                        const OverlapCache& prev);
+
+/// Total cost of a schedule over a trace.
+double schedule_cost(const OverlapConfig& config, const OverlapLayout& layout,
+                     const OverlapTrace& trace,
+                     const std::vector<OverlapDecision>& schedule,
+                     const OverlapCache& initial);
+
+// ---- Feasibility ----------------------------------------------------------
+
+/// Checks box, per-SBS bandwidth, per-(class, content) sum <= 1, coupling
+/// y <= x, and cache capacity. Returns true when feasible within tol.
+bool is_feasible(const OverlapConfig& config, const OverlapLayout& layout,
+                 const ClassDemand& demand, const OverlapDecision& decision,
+                 double tol = 1e-6);
+
+}  // namespace mdo::overlap

@@ -1,0 +1,264 @@
+#include "overlap/p2.hpp"
+
+#include <cmath>
+
+#include "solver/projection.hpp"
+#include "util/error.hpp"
+
+namespace mdo::overlap {
+
+OverlapFeasibleSet::OverlapFeasibleSet(const OverlapConfig& config,
+                                       const OverlapLayout& layout,
+                                       const ClassDemand& demand,
+                                       linalg::Vec ub)
+    : config_(&config), layout_(&layout), demand_(&demand), ub_(std::move(ub)) {
+  MDO_REQUIRE(ub_.size() == layout.y_size(),
+              "overlap set: upper bound size mismatch");
+  for (const double b : ub_) {
+    MDO_REQUIRE(b >= 0.0 && b <= 1.0, "overlap set: ub outside [0, 1]");
+  }
+}
+
+linalg::Vec OverlapFeasibleSet::project_bandwidth_family(
+    const linalg::Vec& point) const {
+  linalg::Vec out = point;
+  for (std::size_t n = 0; n < config_->num_sbs(); ++n) {
+    const auto& links = layout_->links_of_sbs(n);
+    const std::size_t k_count = config_->num_contents;
+    // Gather the block.
+    solver::BoxKnapsackSet block;
+    block.lo.assign(links.size() * k_count, 0.0);
+    block.hi.resize(links.size() * k_count);
+    block.weights.resize(links.size() * k_count);
+    block.budget = config_->sbs[n].bandwidth;
+    linalg::Vec sub(links.size() * k_count);
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      const auto [m, sbs_index] = layout_->link(links[i]);
+      (void)sbs_index;
+      for (std::size_t k = 0; k < k_count; ++k) {
+        const std::size_t flat = layout_->index(links[i], k);
+        const std::size_t local = i * k_count + k;
+        block.hi[local] = ub_[flat];
+        block.weights[local] = demand_->at(m, k);
+        sub[local] = point[flat];
+      }
+    }
+    const linalg::Vec projected = solver::project_box_knapsack(sub, block);
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      for (std::size_t k = 0; k < k_count; ++k) {
+        out[layout_->index(links[i], k)] = projected[i * k_count + k];
+      }
+    }
+  }
+  return out;
+}
+
+linalg::Vec OverlapFeasibleSet::project_share_family(
+    const linalg::Vec& point) const {
+  linalg::Vec out = point;
+  for (std::size_t m = 0; m < config_->num_classes(); ++m) {
+    const auto& links = layout_->links_of_class(m);
+    for (std::size_t k = 0; k < config_->num_contents; ++k) {
+      solver::BoxKnapsackSet row;
+      row.lo.assign(links.size(), 0.0);
+      row.hi.resize(links.size());
+      row.weights.assign(links.size(), 1.0);
+      row.budget = 1.0;
+      linalg::Vec sub(links.size());
+      for (std::size_t i = 0; i < links.size(); ++i) {
+        const std::size_t flat = layout_->index(links[i], k);
+        row.hi[i] = ub_[flat];
+        sub[i] = point[flat];
+      }
+      const linalg::Vec projected = solver::project_box_knapsack(sub, row);
+      for (std::size_t i = 0; i < links.size(); ++i) {
+        out[layout_->index(links[i], k)] = projected[i];
+      }
+    }
+  }
+  return out;
+}
+
+linalg::Vec OverlapFeasibleSet::project(const linalg::Vec& point,
+                                        std::size_t max_iterations,
+                                        double tol) const {
+  MDO_REQUIRE(point.size() == ub_.size(), "overlap project: size mismatch");
+  // Dykstra's alternating projections between the two exact families.
+  linalg::Vec x = point;
+  linalg::Vec p(point.size(), 0.0);
+  linalg::Vec q(point.size(), 0.0);
+  for (std::size_t iteration = 0; iteration < max_iterations; ++iteration) {
+    linalg::Vec shifted = x;
+    linalg::axpy(1.0, p, shifted);
+    const linalg::Vec z = project_bandwidth_family(shifted);
+    for (std::size_t j = 0; j < p.size(); ++j) p[j] = shifted[j] - z[j];
+
+    linalg::Vec shifted2 = z;
+    linalg::axpy(1.0, q, shifted2);
+    const linalg::Vec next = project_share_family(shifted2);
+    for (std::size_t j = 0; j < q.size(); ++j) q[j] = shifted2[j] - next[j];
+
+    double delta = 0.0;
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      delta = std::max(delta, std::abs(next[j] - x[j]));
+    }
+    x = next;
+    if (delta <= tol && contains(x, 1e-7)) break;
+  }
+  return x;
+}
+
+bool OverlapFeasibleSet::contains(const linalg::Vec& y, double tol) const {
+  if (y.size() != ub_.size()) return false;
+  for (std::size_t j = 0; j < y.size(); ++j) {
+    if (y[j] < -tol || y[j] > ub_[j] + tol) return false;
+  }
+  for (std::size_t n = 0; n < config_->num_sbs(); ++n) {
+    double load = 0.0;
+    for (const std::size_t id : layout_->links_of_sbs(n)) {
+      const auto [m, sbs_index] = layout_->link(id);
+      (void)sbs_index;
+      for (std::size_t k = 0; k < config_->num_contents; ++k) {
+        load += y[layout_->index(id, k)] * demand_->at(m, k);
+      }
+    }
+    if (load > config_->sbs[n].bandwidth + tol) return false;
+  }
+  for (std::size_t m = 0; m < config_->num_classes(); ++m) {
+    for (std::size_t k = 0; k < config_->num_contents; ++k) {
+      double total = 0.0;
+      for (const std::size_t id : layout_->links_of_class(m)) {
+        total += y[layout_->index(id, k)];
+      }
+      if (total > 1.0 + tol) return false;
+    }
+  }
+  return true;
+}
+
+void OverlapP2Problem::validate() const {
+  MDO_REQUIRE(config != nullptr && layout != nullptr && demand != nullptr,
+              "overlap P2: config/layout/demand must be set");
+  MDO_REQUIRE(demand->num_classes() == config->num_classes() &&
+                  demand->num_contents() == config->num_contents,
+              "overlap P2: demand shape mismatch");
+  const std::size_t size = layout->y_size();
+  MDO_REQUIRE(linear.empty() || linear.size() == size,
+              "overlap P2: linear size mismatch");
+  MDO_REQUIRE(upper.empty() || upper.size() == size,
+              "overlap P2: upper size mismatch");
+}
+
+namespace {
+
+struct OverlapCoefficients {
+  linalg::Vec u;                      // omega_m * lambda per coordinate
+  double a = 0.0;                     // whole-cell weighted traffic at y=0
+  std::vector<linalg::Vec> v;         // per SBS, full-size sparse-by-zeros
+  linalg::Vec c;
+  linalg::Vec ub;
+};
+
+OverlapCoefficients build(const OverlapP2Problem& problem) {
+  const auto& config = *problem.config;
+  const auto& layout = *problem.layout;
+  const auto& demand = *problem.demand;
+  const std::size_t size = layout.y_size();
+
+  OverlapCoefficients coeff;
+  coeff.u.assign(size, 0.0);
+  coeff.v.assign(config.num_sbs(), linalg::Vec(size, 0.0));
+  for (std::size_t id = 0; id < layout.num_links(); ++id) {
+    const auto [m, n] = layout.link(id);
+    for (std::size_t k = 0; k < config.num_contents; ++k) {
+      const std::size_t j = layout.index(id, k);
+      coeff.u[j] = config.classes[m].omega_bs * demand.at(m, k);
+      coeff.v[n][j] = layout.link_omega_sbs(id) * demand.at(m, k);
+    }
+  }
+  for (std::size_t m = 0; m < config.num_classes(); ++m) {
+    double row = 0.0;
+    for (std::size_t k = 0; k < config.num_contents; ++k) {
+      row += demand.at(m, k);
+    }
+    coeff.a += config.classes[m].omega_bs * row;
+  }
+  coeff.c = problem.linear.empty() ? linalg::Vec(size, 0.0) : problem.linear;
+  coeff.ub = problem.upper.empty() ? linalg::Vec(size, 1.0) : problem.upper;
+  return coeff;
+}
+
+}  // namespace
+
+double overlap_p2_objective(const OverlapP2Problem& problem,
+                            const linalg::Vec& y) {
+  problem.validate();
+  const OverlapCoefficients coeff = build(problem);
+  MDO_REQUIRE(y.size() == coeff.u.size(), "overlap objective: y size");
+  const double bs_term = coeff.a - linalg::dot(coeff.u, y);
+  double total = bs_term * bs_term + linalg::dot(coeff.c, y);
+  for (const auto& v : coeff.v) {
+    const double served = linalg::dot(v, y);
+    total += served * served;
+  }
+  return total;
+}
+
+OverlapP2Solution solve_overlap_load_balancing(
+    const OverlapP2Problem& problem, const OverlapP2Options& options,
+    const linalg::Vec* warm_start) {
+  problem.validate();
+  const OverlapCoefficients coeff = build(problem);
+  const std::size_t size = coeff.u.size();
+
+  double lipschitz = 2.0 * linalg::dot(coeff.u, coeff.u);
+  for (const auto& v : coeff.v) lipschitz += 2.0 * linalg::dot(v, v);
+
+  OverlapP2Solution out;
+  if (lipschitz <= 1e-14) {
+    out.y.assign(size, 0.0);
+    out.objective = coeff.a * coeff.a;
+    out.converged = true;
+    return out;
+  }
+
+  const OverlapFeasibleSet feasible(*problem.config, *problem.layout,
+                                    *problem.demand, coeff.ub);
+
+  auto objective = [&coeff](const linalg::Vec& y, linalg::Vec& grad) {
+    const double bs_term = coeff.a - linalg::dot(coeff.u, y);
+    for (std::size_t j = 0; j < y.size(); ++j) {
+      grad[j] = -2.0 * bs_term * coeff.u[j] + coeff.c[j];
+    }
+    double value = bs_term * bs_term + linalg::dot(coeff.c, y);
+    for (const auto& v : coeff.v) {
+      const double served = linalg::dot(v, y);
+      if (served != 0.0) {
+        for (std::size_t j = 0; j < y.size(); ++j) {
+          grad[j] += 2.0 * served * v[j];
+        }
+      }
+      value += served * served;
+    }
+    return value;
+  };
+  auto project = [&feasible, &options](const linalg::Vec& point) {
+    return feasible.project(point, options.dykstra_iterations);
+  };
+
+  linalg::Vec x0 = warm_start != nullptr && warm_start->size() == size
+                       ? *warm_start
+                       : linalg::Vec(size, 0.0);
+
+  solver::FirstOrderOptions fo = options.first_order;
+  fo.lipschitz = lipschitz;
+  const auto result = solver::minimize_projected(objective, project, x0, fo);
+
+  out.y = result.x;
+  out.objective = result.objective_value;
+  out.iterations = result.iterations;
+  out.converged = result.converged;
+  return out;
+}
+
+}  // namespace mdo::overlap

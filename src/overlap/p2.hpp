@@ -1,0 +1,83 @@
+// Load balancing for overlapping coverage.
+//
+// Unlike the disjoint model, the overlap P2 does not separate per SBS: the
+// whole-cell BS square couples every link and the feasible set combines
+//   box [0, ub]
+//   ∩ per-SBS bandwidth rows   sum_{links of n} lambda y <= B_n
+//   ∩ per-(class, content) rows sum_{n in A_m} y[m,n,k] <= 1.
+// The two row families are internally disjoint (blocks per SBS, rows per
+// (m, k)), so each family admits an exact projection; their intersection is
+// handled with Dykstra's alternating projections, and the smooth convex
+// objective is minimized with FISTA on top.
+#pragma once
+
+#include "overlap/model.hpp"
+#include "solver/first_order.hpp"
+
+namespace mdo::overlap {
+
+/// The feasible set of the overlap P2 (see file comment).
+class OverlapFeasibleSet {
+ public:
+  /// ub: per-coordinate upper bounds (e.g. the caching vector), size
+  /// layout.y_size(); all objects must outlive the set.
+  OverlapFeasibleSet(const OverlapConfig& config, const OverlapLayout& layout,
+                     const ClassDemand& demand, linalg::Vec ub);
+
+  /// Euclidean projection via Dykstra's algorithm.
+  linalg::Vec project(const linalg::Vec& point,
+                      std::size_t max_iterations = 60,
+                      double tol = 1e-9) const;
+
+  /// Membership within tolerance.
+  bool contains(const linalg::Vec& y, double tol = 1e-6) const;
+
+  const linalg::Vec& upper_bounds() const { return ub_; }
+
+ private:
+  /// Exact projection onto box ∩ per-SBS bandwidth rows.
+  linalg::Vec project_bandwidth_family(const linalg::Vec& point) const;
+  /// Exact projection onto box ∩ per-(class, content) rows.
+  linalg::Vec project_share_family(const linalg::Vec& point) const;
+
+  const OverlapConfig* config_;
+  const OverlapLayout* layout_;
+  const ClassDemand* demand_;
+  linalg::Vec ub_;
+};
+
+struct OverlapP2Problem {
+  const OverlapConfig* config = nullptr;
+  const OverlapLayout* layout = nullptr;
+  const ClassDemand* demand = nullptr;
+  linalg::Vec linear;  // c (multipliers); empty = zero
+  linalg::Vec upper;   // ub; empty = all-ones
+
+  void validate() const;
+};
+
+struct OverlapP2Options {
+  solver::FirstOrderOptions first_order{.max_iterations = 250,
+                                        .gradient_tolerance = 1e-6,
+                                        .lipschitz = 1.0,  // overwritten
+                                        .accelerate = true};
+  std::size_t dykstra_iterations = 60;
+};
+
+struct OverlapP2Solution {
+  linalg::Vec y;
+  double objective = 0.0;  // f + g + c.y
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes f + g + c.y over the overlap feasible set.
+OverlapP2Solution solve_overlap_load_balancing(
+    const OverlapP2Problem& problem, const OverlapP2Options& options = {},
+    const linalg::Vec* warm_start = nullptr);
+
+/// Objective evaluation at a given y (tests / brute force).
+double overlap_p2_objective(const OverlapP2Problem& problem,
+                            const linalg::Vec& y);
+
+}  // namespace mdo::overlap

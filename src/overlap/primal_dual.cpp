@@ -1,0 +1,208 @@
+#include "overlap/primal_dual.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/caching.hpp"
+#include "util/error.hpp"
+
+namespace mdo::overlap {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+void OverlapHorizonProblem::validate() const {
+  MDO_REQUIRE(config != nullptr && layout != nullptr,
+              "overlap horizon: config/layout must be set");
+  config->validate();
+  MDO_REQUIRE(!demand.empty(), "overlap horizon: empty window");
+  for (const auto& slot : demand) {
+    MDO_REQUIRE(slot.num_classes() == config->num_classes() &&
+                    slot.num_contents() == config->num_contents,
+                "overlap horizon: demand shape mismatch");
+  }
+  MDO_REQUIRE(initial.size() == config->num_sbs(),
+              "overlap horizon: initial cache SBS mismatch");
+  for (std::size_t n = 0; n < initial.size(); ++n) {
+    MDO_REQUIRE(initial[n].size() == config->num_contents,
+                "overlap horizon: initial cache catalogue mismatch");
+    std::size_t cached = 0;
+    for (const auto bit : initial[n]) cached += bit;
+    MDO_REQUIRE(cached <= config->sbs[n].cache_capacity,
+                "overlap horizon: initial cache over capacity");
+  }
+}
+
+double OverlapHorizonSolution::gap() const {
+  return (upper_bound - lower_bound) / std::max(std::abs(upper_bound), 1e-12);
+}
+
+OverlapPrimalDualSolver::OverlapPrimalDualSolver(
+    OverlapPrimalDualOptions options)
+    : options_(options) {
+  MDO_REQUIRE(options_.max_iterations >= 1, "need at least one iteration");
+  MDO_REQUIRE(options_.epsilon > 0.0, "epsilon must be positive");
+  MDO_REQUIRE(options_.step_alpha > 0.0, "step_alpha must be positive");
+}
+
+OverlapHorizonSolution OverlapPrimalDualSolver::solve(
+    const OverlapHorizonProblem& problem, const linalg::Vec* warm_mu) const {
+  problem.validate();
+  const auto& config = *problem.config;
+  const auto& layout = *problem.layout;
+  const std::size_t w = problem.horizon();
+  const std::size_t per_slot = layout.y_size();
+  const std::size_t k_count = config.num_contents;
+
+  // Marginal BS gradient at y = 0 for initialization / step scaling.
+  linalg::Vec mu(per_slot * w, 0.0);
+  double mean_marginal = 0.0;
+  for (std::size_t t = 0; t < w; ++t) {
+    const auto& demand = problem.demand[t];
+    double a = 0.0;
+    for (std::size_t m = 0; m < config.num_classes(); ++m) {
+      double row = 0.0;
+      for (std::size_t k = 0; k < k_count; ++k) row += demand.at(m, k);
+      a += config.classes[m].omega_bs * row;
+    }
+    for (std::size_t id = 0; id < layout.num_links(); ++id) {
+      const auto [m, n] = layout.link(id);
+      (void)n;
+      for (std::size_t k = 0; k < k_count; ++k) {
+        const double marginal =
+            2.0 * a * config.classes[m].omega_bs * demand.at(m, k);
+        mean_marginal += marginal;
+        if (options_.marginal_initialization && warm_mu == nullptr) {
+          mu[t * per_slot + layout.index(id, k)] = marginal;
+        }
+      }
+    }
+  }
+  mean_marginal /= std::max<std::size_t>(per_slot * w, 1);
+  if (warm_mu != nullptr) {
+    MDO_REQUIRE(warm_mu->size() == mu.size(), "overlap: warm mu size");
+    mu = *warm_mu;
+  }
+  const double step_scale = options_.step_scale > 0.0
+                                ? options_.step_scale
+                                : std::max(1e-9, 0.5 * mean_marginal);
+
+  OverlapHorizonSolution best;
+  best.upper_bound = kInf;
+  best.lower_bound = -kInf;
+
+  std::vector<std::vector<std::uint8_t>> x(config.num_sbs());  // [t*K + k]
+  std::vector<linalg::Vec> y(w);                               // P2 solutions
+  std::vector<linalg::Vec> repair_y(w), repair_ub(w);
+
+  for (std::size_t iteration = 0; iteration < options_.max_iterations;
+       ++iteration) {
+    // ---- P1 per SBS (unchanged caching structure; reuse the flow solver).
+    double p1_value = 0.0;
+    for (std::size_t n = 0; n < config.num_sbs(); ++n) {
+      core::CachingSubproblem p1;
+      p1.num_contents = k_count;
+      p1.horizon = w;
+      p1.capacity = config.sbs[n].cache_capacity;
+      p1.beta = config.sbs[n].replacement_beta;
+      p1.initial = problem.initial[n];
+      p1.rewards.assign(k_count * w, 0.0);
+      for (std::size_t t = 0; t < w; ++t) {
+        for (const std::size_t id : layout.links_of_sbs(n)) {
+          for (std::size_t k = 0; k < k_count; ++k) {
+            p1.rewards[t * k_count + k] +=
+                mu[t * per_slot + layout.index(id, k)];
+          }
+        }
+      }
+      const auto sol = core::solve_caching_flow(p1);
+      x[n] = sol.x;
+      p1_value += sol.objective;
+    }
+
+    // ---- P2 per slot (coupled across SBSs).
+    double p2_value = 0.0;
+    for (std::size_t t = 0; t < w; ++t) {
+      OverlapP2Problem p2;
+      p2.config = &config;
+      p2.layout = &layout;
+      p2.demand = &problem.demand[t];
+      p2.linear.assign(mu.begin() + static_cast<std::ptrdiff_t>(t * per_slot),
+                       mu.begin() +
+                           static_cast<std::ptrdiff_t>((t + 1) * per_slot));
+      const auto sol = solve_overlap_load_balancing(
+          p2, options_.p2, y[t].empty() ? nullptr : &y[t]);
+      y[t] = sol.y;
+      p2_value += sol.objective;
+    }
+
+    best.lower_bound = std::max(best.lower_bound, p1_value + p2_value);
+
+    // ---- Feasibility repair -> upper bound.
+    std::vector<OverlapDecision> schedule(w);
+    for (std::size_t t = 0; t < w; ++t) {
+      schedule[t].cache = empty_cache(config);
+      linalg::Vec ub(per_slot, 0.0);
+      for (std::size_t n = 0; n < config.num_sbs(); ++n) {
+        for (std::size_t k = 0; k < k_count; ++k) {
+          schedule[t].cache[n][k] = x[n][t * k_count + k];
+        }
+      }
+      for (std::size_t id = 0; id < layout.num_links(); ++id) {
+        const auto [m, n] = layout.link(id);
+        (void)m;
+        for (std::size_t k = 0; k < k_count; ++k) {
+          ub[layout.index(id, k)] =
+              x[n][t * k_count + k] != 0 ? 1.0 : 0.0;
+        }
+      }
+      if (ub != repair_ub[t]) {
+        OverlapP2Problem repair;
+        repair.config = &config;
+        repair.layout = &layout;
+        repair.demand = &problem.demand[t];
+        repair.upper = ub;
+        const auto sol = solve_overlap_load_balancing(
+            repair, options_.p2,
+            repair_y[t].empty() ? nullptr : &repair_y[t]);
+        repair_y[t] = sol.y;
+        repair_ub[t] = std::move(ub);
+      }
+      schedule[t].y = repair_y[t];
+    }
+    const double ub_candidate = schedule_cost(config, layout, problem.demand,
+                                              schedule, problem.initial);
+    if (ub_candidate < best.upper_bound) {
+      best.upper_bound = ub_candidate;
+      best.schedule = std::move(schedule);
+    }
+
+    best.iterations = iteration + 1;
+    if (best.gap() <= options_.epsilon) break;
+
+    // ---- Subgradient ascent: g = y - x.
+    const double delta =
+        step_scale / (1.0 + options_.step_alpha * static_cast<double>(iteration));
+    for (std::size_t t = 0; t < w; ++t) {
+      for (std::size_t id = 0; id < layout.num_links(); ++id) {
+        const auto [m, n] = layout.link(id);
+        (void)m;
+        for (std::size_t k = 0; k < k_count; ++k) {
+          const std::size_t j = t * per_slot + layout.index(id, k);
+          const double subgrad =
+              y[t][layout.index(id, k)] -
+              static_cast<double>(x[n][t * k_count + k]);
+          mu[j] = std::max(0.0, mu[j] + delta * subgrad);
+        }
+      }
+    }
+  }
+
+  best.mu = std::move(mu);
+  MDO_CHECK(!best.schedule.empty(), "overlap primal-dual: no schedule");
+  return best;
+}
+
+}  // namespace mdo::overlap

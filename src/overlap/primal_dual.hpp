@@ -1,0 +1,55 @@
+// Algorithm 1 for the overlapping-coverage extension.
+//
+// Identical skeleton to core::PrimalDualSolver: dualize y <= x with
+// multipliers mu over (slot, link, content), solve P1 per SBS with the
+// *unchanged* min-cost-flow solver from core (the caching structure is the
+// same; Theorem 1 still applies per SBS), solve the coupled overlap P2 per
+// slot with FISTA + Dykstra, repair feasibility for the upper bound, and
+// ascend the dual with diminishing subgradient steps.
+#pragma once
+
+#include "overlap/p2.hpp"
+
+namespace mdo::overlap {
+
+struct OverlapHorizonProblem {
+  const OverlapConfig* config = nullptr;
+  const OverlapLayout* layout = nullptr;
+  OverlapTrace demand;   // one ClassDemand per slot
+  OverlapCache initial;  // x^0 per SBS
+
+  std::size_t horizon() const { return demand.size(); }
+  void validate() const;
+};
+
+struct OverlapPrimalDualOptions {
+  std::size_t max_iterations = 16;
+  double epsilon = 1e-4;
+  double step_alpha = 0.08;
+  double step_scale = 0.0;  // 0 = automatic (marginal-gradient scale)
+  bool marginal_initialization = true;
+  OverlapP2Options p2{};
+};
+
+struct OverlapHorizonSolution {
+  std::vector<OverlapDecision> schedule;  // feasible
+  double upper_bound = 0.0;
+  double lower_bound = 0.0;
+  std::size_t iterations = 0;
+  linalg::Vec mu;  // slot-major, then (link, content)
+
+  double gap() const;
+};
+
+class OverlapPrimalDualSolver {
+ public:
+  explicit OverlapPrimalDualSolver(OverlapPrimalDualOptions options = {});
+
+  OverlapHorizonSolution solve(const OverlapHorizonProblem& problem,
+                               const linalg::Vec* warm_mu = nullptr) const;
+
+ private:
+  OverlapPrimalDualOptions options_;
+};
+
+}  // namespace mdo::overlap

@@ -1,0 +1,99 @@
+#include "sim/experiment.hpp"
+
+#include <memory>
+
+#include "workload/ema_predictor.hpp"
+
+#include "online/baselines.hpp"
+#include "online/chc.hpp"
+#include "online/offline_controller.hpp"
+#include "online/rhc.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/stopwatch.hpp"
+
+namespace mdo::sim {
+
+std::vector<SchemeOutcome> run_schemes(const ExperimentConfig& config) {
+  MDO_REQUIRE(config.eta >= 0.0 && config.eta < 1.0, "eta must be in [0, 1)");
+  MDO_REQUIRE(config.window >= 1, "window must be >= 1");
+  MDO_REQUIRE(config.commit >= 1 && config.commit <= config.window,
+              "commit must be in [1, window]");
+
+  const model::ProblemInstance instance = config.scenario.build();
+  // Online algorithms see forecasts; offline/LRFU read the truth directly
+  // from the instance / the per-slot context.
+  std::unique_ptr<workload::Predictor> predictor;
+  switch (config.predictor) {
+    case PredictorKind::kNoisy:
+      predictor = std::make_unique<workload::NoisyPredictor>(
+          instance.demand, config.eta, config.predictor_seed);
+      break;
+    case PredictorKind::kEma:
+      predictor = std::make_unique<workload::EmaPredictor>(instance.demand,
+                                                           config.ema_alpha);
+      break;
+  }
+  const Simulator simulator(instance, *predictor);
+
+  std::vector<std::unique_ptr<online::Controller>> controllers;
+  if (config.schemes.offline) {
+    // The offline solve spans the whole horizon and runs once: give the
+    // dual ascent far more room so the "offline optimal" baseline is tight.
+    core::PrimalDualOptions offline_options = config.primal_dual;
+    offline_options.max_iterations =
+        std::max<std::size_t>(offline_options.max_iterations, 150);
+    controllers.push_back(
+        std::make_unique<online::OfflineController>(offline_options));
+  }
+  if (config.schemes.rhc) {
+    controllers.push_back(std::make_unique<online::RhcController>(
+        config.window, config.primal_dual));
+  }
+  if (config.schemes.chc) {
+    controllers.push_back(std::make_unique<online::ChcController>(
+        config.window, config.commit, config.primal_dual));
+  }
+  if (config.schemes.afhc) {
+    controllers.push_back(
+        online::ChcController::afhc(config.window, config.primal_dual));
+  }
+  if (config.schemes.lrfu) {
+    controllers.push_back(std::make_unique<online::LrfuController>());
+  }
+  if (config.schemes.static_top_c) {
+    controllers.push_back(std::make_unique<online::StaticTopCController>());
+  }
+  if (config.schemes.classics) {
+    controllers.push_back(std::make_unique<online::LruController>());
+    controllers.push_back(std::make_unique<online::LfuController>());
+    controllers.push_back(std::make_unique<online::FifoController>());
+  }
+
+  std::vector<SchemeOutcome> outcomes;
+  outcomes.reserve(controllers.size());
+  for (auto& controller : controllers) {
+    Stopwatch watch;
+    const SimulationResult result = simulator.run(*controller);
+    MDO_INFO(result.controller << ": cost " << result.total_cost() << " in "
+                               << watch.elapsed_seconds() << "s");
+    SchemeOutcome outcome;
+    outcome.name = result.controller;
+    outcome.cost = result.total;
+    outcome.replacements = result.total_replacements;
+    outcome.offload_ratio = result.offload_ratio();
+    outcome.mean_decision_seconds = result.mean_decision_seconds();
+    outcomes.push_back(outcome);
+  }
+  return outcomes;
+}
+
+const SchemeOutcome& find_outcome(const std::vector<SchemeOutcome>& outcomes,
+                                  const std::string& prefix) {
+  for (const auto& outcome : outcomes) {
+    if (outcome.name.rfind(prefix, 0) == 0) return outcome;
+  }
+  throw InvalidArgument("no scheme outcome named like: " + prefix);
+}
+
+}  // namespace mdo::sim

@@ -1,0 +1,67 @@
+// Experiment harness shared by the bench binaries.
+//
+// Bundles the paper's scheme line-up (Offline / RHC / AFHC / CHC / LRFU,
+// optionally the classic policies) over one scenario + predictor, and
+// returns per-scheme totals — exactly the quantities plotted in Fig. 2-5.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/primal_dual.hpp"
+#include "sim/simulator.hpp"
+#include "workload/scenario.hpp"
+
+namespace mdo::sim {
+
+/// Which schemes to run.
+struct SchemeSelection {
+  bool offline = true;
+  bool rhc = true;
+  bool afhc = true;
+  bool chc = true;
+  bool lrfu = true;
+  bool classics = false;     // LRU / LFU / FIFO extensions
+  bool static_top_c = false; // clairvoyant static baseline
+};
+
+/// Which forecaster the online algorithms act on.
+enum class PredictorKind {
+  kNoisy,  // paper model: truth * U[1 - eta, 1 + eta]
+  kEma,    // extension: exponential moving average of the observed past
+};
+
+struct ExperimentConfig {
+  workload::PaperScenario scenario;  // instance parameters
+  PredictorKind predictor = PredictorKind::kNoisy;
+  double eta = 0.1;                  // prediction perturbation (Sec. V-B)
+  double ema_alpha = 0.3;            // smoothing for PredictorKind::kEma
+  std::uint64_t predictor_seed = 1234;
+  std::size_t window = 10;           // w
+  std::size_t commit = 5;            // r for CHC (AFHC uses r = w)
+  core::PrimalDualOptions primal_dual{};
+  SchemeSelection schemes{};
+};
+
+/// One scheme's totals over a run.
+struct SchemeOutcome {
+  std::string name;
+  model::CostBreakdown cost;
+  std::size_t replacements = 0;
+  double offload_ratio = 0.0;
+  double mean_decision_seconds = 0.0;  // computational cost per slot
+
+  double total_cost() const { return cost.total(); }
+};
+
+/// Builds the instance, the noisy predictor, and runs every selected scheme.
+/// Offline and LRFU see the truth (the paper grants them accurate
+/// information); the online algorithms see NoisyPredictor(eta).
+std::vector<SchemeOutcome> run_schemes(const ExperimentConfig& config);
+
+/// Finds a scheme by (prefix of) name; throws InvalidArgument when absent.
+const SchemeOutcome& find_outcome(const std::vector<SchemeOutcome>& outcomes,
+                                  const std::string& prefix);
+
+}  // namespace mdo::sim

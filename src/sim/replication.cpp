@@ -1,0 +1,76 @@
+#include "sim/replication.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mdo::sim {
+
+std::vector<AggregatedOutcome> run_replicated(const ExperimentConfig& config,
+                                              std::size_t replications) {
+  MDO_REQUIRE(replications >= 1, "need at least one replication");
+
+  std::vector<AggregatedOutcome> aggregated;
+  std::vector<std::vector<double>> totals;  // per scheme: per replication
+
+  for (std::size_t rep = 0; rep < replications; ++rep) {
+    ExperimentConfig run = config;
+    run.scenario.seed = config.scenario.seed + rep;
+    run.predictor_seed = config.predictor_seed + rep;
+    const auto outcomes = run_schemes(run);
+
+    if (rep == 0) {
+      aggregated.resize(outcomes.size());
+      totals.resize(outcomes.size());
+      for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        aggregated[i].name = outcomes[i].name;
+      }
+    }
+    MDO_CHECK(outcomes.size() == aggregated.size(),
+              "scheme line-up changed across replications");
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      MDO_CHECK(outcomes[i].name == aggregated[i].name,
+                "scheme order changed across replications");
+      const auto& outcome = outcomes[i];
+      auto& agg = aggregated[i];
+      totals[i].push_back(outcome.total_cost());
+      agg.mean_total_cost += outcome.total_cost();
+      agg.mean_bs_cost += outcome.cost.bs;
+      agg.mean_sbs_cost += outcome.cost.sbs;
+      agg.mean_replacement_cost += outcome.cost.replacement;
+      agg.mean_replacements += static_cast<double>(outcome.replacements);
+      agg.mean_offload_ratio += outcome.offload_ratio;
+    }
+  }
+
+  const auto count = static_cast<double>(replications);
+  for (std::size_t i = 0; i < aggregated.size(); ++i) {
+    auto& agg = aggregated[i];
+    agg.replications = replications;
+    agg.mean_total_cost /= count;
+    agg.mean_bs_cost /= count;
+    agg.mean_sbs_cost /= count;
+    agg.mean_replacement_cost /= count;
+    agg.mean_replacements /= count;
+    agg.mean_offload_ratio /= count;
+    double variance = 0.0;
+    for (const double total : totals[i]) {
+      const double diff = total - agg.mean_total_cost;
+      variance += diff * diff;
+    }
+    agg.stddev_total_cost =
+        replications > 1 ? std::sqrt(variance / (count - 1.0)) : 0.0;
+  }
+  return aggregated;
+}
+
+const AggregatedOutcome& find_aggregated(
+    const std::vector<AggregatedOutcome>& outcomes,
+    const std::string& prefix) {
+  for (const auto& outcome : outcomes) {
+    if (outcome.name.rfind(prefix, 0) == 0) return outcome;
+  }
+  throw InvalidArgument("no aggregated outcome named like: " + prefix);
+}
+
+}  // namespace mdo::sim

@@ -1,0 +1,39 @@
+// Multi-seed replication of experiments.
+//
+// The paper reports single simulation runs; for credible shapes the bench
+// harnesses can replicate every sweep point over several scenario seeds and
+// report mean and standard deviation per scheme. The scheme line-up must be
+// identical across seeds (it is, by construction of run_schemes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace mdo::sim {
+
+/// Mean/stddev summary of one scheme across replications.
+struct AggregatedOutcome {
+  std::string name;
+  double mean_total_cost = 0.0;
+  double stddev_total_cost = 0.0;
+  double mean_bs_cost = 0.0;
+  double mean_sbs_cost = 0.0;
+  double mean_replacement_cost = 0.0;
+  double mean_replacements = 0.0;
+  double mean_offload_ratio = 0.0;
+  std::size_t replications = 0;
+};
+
+/// Runs `replications` copies of the experiment with scenario seeds
+/// base_seed, base_seed + 1, ... (the predictor seed is offset identically)
+/// and aggregates per scheme. replications >= 1.
+std::vector<AggregatedOutcome> run_replicated(const ExperimentConfig& config,
+                                              std::size_t replications);
+
+/// Finds an aggregated scheme by name prefix; throws when absent.
+const AggregatedOutcome& find_aggregated(
+    const std::vector<AggregatedOutcome>& outcomes, const std::string& prefix);
+
+}  // namespace mdo::sim

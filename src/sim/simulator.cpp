@@ -1,0 +1,90 @@
+#include "sim/simulator.hpp"
+
+#include <sstream>
+
+#include "model/feasibility.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/stopwatch.hpp"
+
+namespace mdo::sim {
+
+double SimulationResult::offload_ratio() const {
+  double demand = 0.0;
+  double served = 0.0;
+  for (const auto& slot : slots) {
+    demand += slot.demand_total;
+    served += slot.sbs_served;
+  }
+  return demand > 0.0 ? served / demand : 0.0;
+}
+
+double SimulationResult::mean_decision_seconds() const {
+  if (slots.empty()) return 0.0;
+  double total_seconds = 0.0;
+  for (const auto& slot : slots) total_seconds += slot.decision_seconds;
+  return total_seconds / static_cast<double>(slots.size());
+}
+
+Simulator::Simulator(const model::ProblemInstance& instance,
+                     const workload::Predictor& predictor,
+                     SimulatorOptions options)
+    : instance_(&instance), predictor_(&predictor), options_(options) {
+  instance.validate();
+  MDO_REQUIRE(predictor.horizon() == instance.horizon(),
+              "predictor horizon must match the instance horizon");
+}
+
+SimulationResult Simulator::run(online::Controller& controller) const {
+  const auto& config = instance_->config;
+  controller.reset(*instance_);
+
+  SimulationResult result;
+  result.controller = controller.name();
+  result.slots.reserve(instance_->horizon());
+
+  model::CacheState previous = instance_->initial_cache;
+  for (std::size_t t = 0; t < instance_->horizon(); ++t) {
+    const model::SlotDemand& truth = instance_->demand.slot(t);
+    online::DecisionContext ctx;
+    ctx.slot = t;
+    ctx.true_demand = &truth;
+    ctx.predictor = predictor_;
+
+    const Stopwatch decide_watch;
+    model::SlotDecision decision = controller.decide(ctx);
+    const double decision_seconds = decide_watch.elapsed_seconds();
+    if (options_.repair) {
+      model::enforce_feasibility(config, truth, decision);
+    } else {
+      const auto violations = model::check_feasibility(
+          config, truth, decision, options_.feasibility_tol);
+      if (!violations.empty()) {
+        std::ostringstream os;
+        os << controller.name() << " infeasible at slot " << t << ": "
+           << violations.front().description;
+        throw InvalidArgument(os.str());
+      }
+    }
+
+    SlotRecord record;
+    record.cost = model::slot_cost(config, truth, decision, previous);
+    record.replacements = model::replacement_count(decision.cache, previous);
+    record.decision_seconds = decision_seconds;
+    for (std::size_t n = 0; n < config.num_sbs(); ++n) {
+      record.demand_total += truth[n].total();
+      record.sbs_served += decision.load.sbs_load(n, truth[n]);
+    }
+    result.total += record.cost;
+    result.total_replacements += record.replacements;
+    result.slots.push_back(record);
+
+    previous = decision.cache;
+  }
+  MDO_DEBUG(result.controller << ": total cost " << result.total_cost()
+                              << ", replacements "
+                              << result.total_replacements);
+  return result;
+}
+
+}  // namespace mdo::sim

@@ -1,0 +1,62 @@
+#include "solver/first_order.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mdo::solver {
+
+FirstOrderResult minimize_projected(const ValueGradientFn& objective,
+                                    const ProjectionFn& project,
+                                    const linalg::Vec& x0,
+                                    const FirstOrderOptions& options) {
+  MDO_REQUIRE(options.lipschitz > 0.0, "lipschitz constant must be positive");
+  MDO_REQUIRE(!x0.empty(), "empty starting point");
+
+  const double step = 1.0 / options.lipschitz;
+  FirstOrderResult result;
+  result.x = project(x0);
+
+  linalg::Vec y = result.x;        // extrapolation point (FISTA)
+  linalg::Vec grad(result.x.size());
+  double t_momentum = 1.0;
+  const double scale = std::sqrt(static_cast<double>(result.x.size()));
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    objective(y, grad);
+    linalg::Vec candidate(y.size());
+    for (std::size_t i = 0; i < y.size(); ++i)
+      candidate[i] = y[i] - step * grad[i];
+    candidate = project(candidate);
+
+    // Projected-gradient mapping at y: (y - candidate) / step.
+    double mapping_norm = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      const double d = (y[i] - candidate[i]) / step;
+      mapping_norm += d * d;
+    }
+    mapping_norm = std::sqrt(mapping_norm) / scale;
+
+    if (options.accelerate) {
+      const double t_next =
+          0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t_momentum * t_momentum));
+      const double beta = (t_momentum - 1.0) / t_next;
+      for (std::size_t i = 0; i < y.size(); ++i)
+        y[i] = candidate[i] + beta * (candidate[i] - result.x[i]);
+      t_momentum = t_next;
+    } else {
+      y = candidate;
+    }
+    result.x = std::move(candidate);
+    result.iterations = iter + 1;
+    if (mapping_norm <= options.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.objective_value = objective(result.x, grad);
+  return result;
+}
+
+}  // namespace mdo::solver

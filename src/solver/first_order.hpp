@@ -1,0 +1,49 @@
+// First-order methods for smooth convex minimization over a simple set.
+//
+// Used for the load-balancing subproblem P2 (Sec. III): the objective
+// f_t + g_t + mu.y is smooth and convex, the feasible set is box ∩ knapsack
+// with an exact projection, so projected gradient / FISTA converge at the
+// standard O(1/k) / O(1/k^2) rates with step 1/L.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "linalg/vec.hpp"
+
+namespace mdo::solver {
+
+/// Evaluates the objective and writes its gradient; returns the value.
+using ValueGradientFn =
+    std::function<double(const linalg::Vec& x, linalg::Vec& grad)>;
+
+/// Projects a point onto the feasible set.
+using ProjectionFn = std::function<linalg::Vec(const linalg::Vec& x)>;
+
+struct FirstOrderOptions {
+  std::size_t max_iterations = 500;
+  /// Stop when the projected-gradient mapping norm (per sqrt(n)) drops
+  /// below this threshold.
+  double gradient_tolerance = 1e-7;
+  /// Lipschitz constant of the gradient. Must be positive; callers compute
+  /// it exactly for P2 (L = 2(||u||^2 + ||v||^2)).
+  double lipschitz = 1.0;
+  /// Use Nesterov acceleration (FISTA) instead of plain projected gradient.
+  bool accelerate = true;
+};
+
+struct FirstOrderResult {
+  linalg::Vec x;
+  double objective_value = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes a smooth convex function over the set defined by `project`,
+/// starting from `x0` (projected first if infeasible).
+FirstOrderResult minimize_projected(const ValueGradientFn& objective,
+                                    const ProjectionFn& project,
+                                    const linalg::Vec& x0,
+                                    const FirstOrderOptions& options);
+
+}  // namespace mdo::solver

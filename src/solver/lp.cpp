@@ -1,0 +1,337 @@
+#include "solver/lp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace mdo::solver {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+LinearProgram LinearProgram::with_vars(std::size_t n) {
+  LinearProgram lp;
+  lp.num_vars = n;
+  lp.objective.assign(n, 0.0);
+  lp.lower.assign(n, 0.0);
+  lp.upper.assign(n, kInfinity);
+  return lp;
+}
+
+std::size_t LinearProgram::add_constraint(LpConstraint c) {
+  constraints.push_back(std::move(c));
+  return constraints.size() - 1;
+}
+
+void LinearProgram::validate() const {
+  MDO_REQUIRE(objective.size() == num_vars, "objective size mismatch");
+  MDO_REQUIRE(lower.size() == num_vars, "lower bound size mismatch");
+  MDO_REQUIRE(upper.size() == num_vars, "upper bound size mismatch");
+  for (std::size_t j = 0; j < num_vars; ++j) {
+    MDO_REQUIRE(std::isfinite(lower[j]), "lower bounds must be finite");
+    MDO_REQUIRE(lower[j] <= upper[j], "lower bound exceeds upper bound");
+  }
+  for (const auto& c : constraints) {
+    MDO_REQUIRE(std::isfinite(c.rhs), "constraint rhs must be finite");
+    for (const auto& [var, coeff] : c.terms) {
+      MDO_REQUIRE(var < num_vars, "constraint references unknown variable");
+      MDO_REQUIRE(std::isfinite(coeff), "constraint coefficient must be finite");
+    }
+  }
+}
+
+const char* to_string(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal: return "optimal";
+    case LpStatus::kInfeasible: return "infeasible";
+    case LpStatus::kUnbounded: return "unbounded";
+    case LpStatus::kIterationLimit: return "iteration_limit";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Dense two-phase simplex working storage.
+///
+/// Layout: `tab` has one row per active constraint plus a trailing objective
+/// row; one column per variable (structural, slack, artificial) plus a
+/// trailing rhs column. `basis[i]` is the variable basic in row i.
+class SimplexTableau {
+ public:
+  SimplexTableau(const LinearProgram& lp, const SimplexOptions& options)
+      : lp_(lp), opts_(options) {
+    build();
+  }
+
+  LpSolution run() {
+    LpSolution out;
+    // ---- Phase 1: minimize the sum of artificial variables.
+    if (num_artificial_ > 0) {
+      set_phase1_objective();
+      const LpStatus phase1 = optimize(/*allow_artificial=*/true);
+      if (phase1 == LpStatus::kIterationLimit) {
+        out.status = phase1;
+        return out;
+      }
+      if (current_objective() > 1e-7) {
+        out.status = LpStatus::kInfeasible;
+        return out;
+      }
+      expel_artificials();
+    }
+    // ---- Phase 2: minimize the true objective.
+    set_phase2_objective();
+    out.status = optimize(/*allow_artificial=*/false);
+    if (out.status != LpStatus::kOptimal) return out;
+    out.x = extract_solution();
+    out.objective_value = linalg::dot(lp_.objective, out.x);
+    return out;
+  }
+
+ private:
+  std::size_t cols() const { return num_total_ + 1; }  // + rhs column
+  double& at(std::size_t r, std::size_t c) { return tab_[r * cols() + c]; }
+  double at(std::size_t r, std::size_t c) const { return tab_[r * cols() + c]; }
+  std::size_t obj_row() const { return num_rows_; }
+  std::size_t rhs_col() const { return num_total_; }
+  double current_objective() const { return -at(obj_row(), rhs_col()); }
+
+  void build() {
+    const std::size_t n = lp_.num_vars;
+    // Shifted variables x' = x - lower >= 0. Upper bounds become extra rows.
+    shifted_upper_.resize(n);
+    std::size_t upper_rows = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      shifted_upper_[j] = lp_.upper[j] - lp_.lower[j];
+      if (std::isfinite(shifted_upper_[j])) ++upper_rows;
+    }
+
+    struct Row {
+      std::vector<std::pair<std::size_t, double>> terms;
+      Relation relation;
+      double rhs;
+    };
+    std::vector<Row> rows;
+    rows.reserve(lp_.constraints.size() + upper_rows);
+    for (const auto& c : lp_.constraints) {
+      double shift = 0.0;
+      for (const auto& [var, coeff] : c.terms) shift += coeff * lp_.lower[var];
+      rows.push_back({c.terms, c.relation, c.rhs - shift});
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      if (std::isfinite(shifted_upper_[j])) {
+        rows.push_back({{{j, 1.0}}, Relation::kLessEqual, shifted_upper_[j]});
+      }
+    }
+
+    num_rows_ = rows.size();
+    num_structural_ = n;
+    // One slack/surplus per inequality row.
+    num_slack_ = 0;
+    for (const auto& r : rows)
+      if (r.relation != Relation::kEqual) ++num_slack_;
+
+    // First pass decides which rows need artificials (negative rhs after
+    // sign normalization, >= rows, or equality rows).
+    std::vector<double> slack_sign(num_rows_, 0.0);
+    std::vector<bool> negate(num_rows_, false);
+    std::vector<bool> needs_artificial(num_rows_, false);
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      negate[i] = rows[i].rhs < 0.0;
+      const double sign = negate[i] ? -1.0 : 1.0;
+      if (rows[i].relation == Relation::kLessEqual) slack_sign[i] = sign * 1.0;
+      else if (rows[i].relation == Relation::kGreaterEqual) slack_sign[i] = sign * -1.0;
+      // Slack can seed the basis only when it enters with +1.
+      needs_artificial[i] = !(slack_sign[i] > 0.0);
+    }
+    num_artificial_ = 0;
+    for (std::size_t i = 0; i < num_rows_; ++i)
+      if (needs_artificial[i]) ++num_artificial_;
+
+    num_total_ = num_structural_ + num_slack_ + num_artificial_;
+    tab_.assign((num_rows_ + 1) * cols(), 0.0);
+    basis_.assign(num_rows_, 0);
+    row_active_.assign(num_rows_, true);
+    is_artificial_.assign(num_total_, false);
+
+    std::size_t slack_cursor = num_structural_;
+    std::size_t art_cursor = num_structural_ + num_slack_;
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      const double sign = negate[i] ? -1.0 : 1.0;
+      for (const auto& [var, coeff] : rows[i].terms) at(i, var) += sign * coeff;
+      at(i, rhs_col()) = sign * rows[i].rhs;
+      if (rows[i].relation != Relation::kEqual) {
+        at(i, slack_cursor) = slack_sign[i];
+        if (!needs_artificial[i]) basis_[i] = slack_cursor;
+        ++slack_cursor;
+      }
+      if (needs_artificial[i]) {
+        at(i, art_cursor) = 1.0;
+        is_artificial_[art_cursor] = true;
+        basis_[i] = art_cursor;
+        ++art_cursor;
+      }
+    }
+  }
+
+  void set_phase1_objective() {
+    // Reduced costs for min(sum of artificials) given the artificial basis.
+    for (std::size_t j = 0; j <= num_total_; ++j) at(obj_row(), j) = 0.0;
+    for (std::size_t j = 0; j < num_total_; ++j)
+      if (is_artificial_[j]) at(obj_row(), j) = 1.0;
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      if (!is_artificial_[basis_[i]]) continue;
+      for (std::size_t j = 0; j <= num_total_; ++j)
+        at(obj_row(), j) -= at(i, j);
+    }
+  }
+
+  void set_phase2_objective() {
+    for (std::size_t j = 0; j <= num_total_; ++j) at(obj_row(), j) = 0.0;
+    for (std::size_t j = 0; j < num_structural_; ++j)
+      at(obj_row(), j) = lp_.objective[j];
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      if (!row_active_[i]) continue;
+      const std::size_t b = basis_[i];
+      const double cb = b < num_structural_ ? lp_.objective[b] : 0.0;
+      if (cb == 0.0) continue;
+      for (std::size_t j = 0; j <= num_total_; ++j)
+        at(obj_row(), j) -= cb * at(i, j);
+    }
+  }
+
+  /// After phase 1, pivot any zero-valued basic artificial out of the basis
+  /// (or deactivate the row when it is entirely redundant).
+  void expel_artificials() {
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      if (!row_active_[i] || !is_artificial_[basis_[i]]) continue;
+      std::size_t enter = num_total_;
+      for (std::size_t j = 0; j < num_total_; ++j) {
+        if (is_artificial_[j]) continue;
+        if (std::abs(at(i, j)) > opts_.tolerance) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter == num_total_) {
+        row_active_[i] = false;  // redundant constraint
+      } else {
+        pivot(i, enter);
+      }
+    }
+  }
+
+  void pivot(std::size_t row, std::size_t col) {
+    const double pivot_value = at(row, col);
+    const double inv = 1.0 / pivot_value;
+    for (std::size_t j = 0; j <= num_total_; ++j) at(row, j) *= inv;
+    at(row, col) = 1.0;  // avoid residual rounding
+    for (std::size_t i = 0; i <= num_rows_; ++i) {
+      if (i == row) continue;
+      if (i < num_rows_ && !row_active_[i]) continue;
+      const double factor = at(i, col);
+      if (factor == 0.0) continue;
+      for (std::size_t j = 0; j <= num_total_; ++j)
+        at(i, j) -= factor * at(row, j);
+      at(i, col) = 0.0;
+    }
+    basis_[row] = col;
+  }
+
+  LpStatus optimize(bool allow_artificial) {
+    std::size_t stall = 0;
+    double last_obj = current_objective();
+    for (std::size_t iter = 0; iter < opts_.max_iterations; ++iter) {
+      const bool bland = stall >= opts_.stall_limit;
+      // Entering column: negative reduced cost.
+      std::size_t enter = num_total_;
+      double best = -opts_.tolerance;
+      for (std::size_t j = 0; j < num_total_; ++j) {
+        if (!allow_artificial && is_artificial_[j]) continue;
+        const double rc = at(obj_row(), j);
+        if (rc < -opts_.tolerance) {
+          if (bland) {
+            enter = j;
+            break;
+          }
+          if (rc < best) {
+            best = rc;
+            enter = j;
+          }
+        }
+      }
+      if (enter == num_total_) return LpStatus::kOptimal;
+
+      // Leaving row: minimum ratio test.
+      std::size_t leave = num_rows_;
+      double best_ratio = kInf;
+      for (std::size_t i = 0; i < num_rows_; ++i) {
+        if (!row_active_[i]) continue;
+        const double a = at(i, enter);
+        if (a <= opts_.tolerance) continue;
+        const double ratio = at(i, rhs_col()) / a;
+        if (ratio < best_ratio - 1e-12 ||
+            (ratio < best_ratio + 1e-12 &&
+             (leave == num_rows_ || basis_[i] < basis_[leave]))) {
+          best_ratio = ratio;
+          leave = i;
+        }
+      }
+      if (leave == num_rows_) return LpStatus::kUnbounded;
+      pivot(leave, enter);
+
+      const double obj = current_objective();
+      if (obj < last_obj - 1e-12) {
+        stall = 0;
+        last_obj = obj;
+      } else {
+        ++stall;
+      }
+    }
+    MDO_WARN("simplex hit iteration limit (" << opts_.max_iterations << ")");
+    return LpStatus::kIterationLimit;
+  }
+
+  linalg::Vec extract_solution() const {
+    linalg::Vec x(lp_.num_vars, 0.0);
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      if (!row_active_[i]) continue;
+      if (basis_[i] < num_structural_)
+        x[basis_[i]] = at(i, rhs_col());
+    }
+    for (std::size_t j = 0; j < lp_.num_vars; ++j) x[j] += lp_.lower[j];
+    return x;
+  }
+
+  const LinearProgram& lp_;
+  const SimplexOptions& opts_;
+  std::vector<double> tab_;
+  std::vector<std::size_t> basis_;
+  std::vector<bool> row_active_;
+  std::vector<bool> is_artificial_;
+  linalg::Vec shifted_upper_;
+  std::size_t num_rows_ = 0;
+  std::size_t num_structural_ = 0;
+  std::size_t num_slack_ = 0;
+  std::size_t num_artificial_ = 0;
+  std::size_t num_total_ = 0;
+};
+
+}  // namespace
+
+LpSolution solve_lp(const LinearProgram& lp, const SimplexOptions& options) {
+  lp.validate();
+  if (lp.num_vars == 0) {
+    LpSolution out;
+    out.status = LpStatus::kOptimal;
+    return out;
+  }
+  SimplexTableau tableau(lp, options);
+  return tableau.run();
+}
+
+}  // namespace mdo::solver

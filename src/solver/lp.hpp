@@ -1,0 +1,76 @@
+// Linear programming via the two-phase primal simplex method.
+//
+// The paper solves the caching subproblem P1 with "standard linear
+// programming methods, simplex method is applied in this paper" (Sec. III).
+// This is that solver: a dense-tableau two-phase primal simplex supporting
+// <= / >= / == rows and finite lower bounds with optional finite upper
+// bounds. It is exact on the totally-unimodular P1 polytopes (Theorem 1)
+// and is cross-checked in tests against the min-cost-flow solver and brute
+// force. For large horizons the flow solver (mcmf.hpp) is preferred.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "linalg/vec.hpp"
+
+namespace mdo::solver {
+
+/// Constraint sense.
+enum class Relation { kLessEqual, kGreaterEqual, kEqual };
+
+/// Sparse row of a linear constraint: sum(coeff * x[var]) REL rhs.
+struct LpConstraint {
+  std::vector<std::pair<std::size_t, double>> terms;
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+};
+
+/// min c.x subject to constraints and bounds lower <= x <= upper.
+/// Lower bounds must be finite; +infinity upper bounds are allowed.
+struct LinearProgram {
+  std::size_t num_vars = 0;
+  linalg::Vec objective;  // size num_vars
+  linalg::Vec lower;      // size num_vars, finite
+  linalg::Vec upper;      // size num_vars, may contain +inf
+  std::vector<LpConstraint> constraints;
+
+  static constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+  /// Creates a program with n variables, zero objective, bounds [0, +inf).
+  static LinearProgram with_vars(std::size_t n);
+
+  /// Appends a constraint and returns its index.
+  std::size_t add_constraint(LpConstraint c);
+
+  /// Throws InvalidArgument when shapes/bounds are inconsistent.
+  void validate() const;
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective_value = 0.0;
+  linalg::Vec x;  // primal solution (original variable space)
+};
+
+const char* to_string(LpStatus status);
+
+/// Options for the simplex solver.
+struct SimplexOptions {
+  std::size_t max_iterations = 50000;
+  /// After this many Dantzig-rule pivots without objective progress the
+  /// solver switches to Bland's rule, which guarantees termination.
+  std::size_t stall_limit = 64;
+  double tolerance = 1e-9;
+};
+
+/// Solves the LP; never throws for infeasible/unbounded inputs (reported in
+/// the status), throws InvalidArgument for malformed programs.
+LpSolution solve_lp(const LinearProgram& lp, const SimplexOptions& options = {});
+
+}  // namespace mdo::solver

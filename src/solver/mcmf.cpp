@@ -1,0 +1,130 @@
+#include "solver/mcmf.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace mdo::solver {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::size_t kNoArc = static_cast<std::size_t>(-1);
+}  // namespace
+
+MinCostFlow::MinCostFlow(std::size_t num_nodes) : graph_(num_nodes) {}
+
+std::size_t MinCostFlow::add_node() {
+  graph_.emplace_back();
+  return graph_.size() - 1;
+}
+
+std::size_t MinCostFlow::add_arc(std::size_t from, std::size_t to,
+                                 std::int64_t capacity, double cost) {
+  MDO_REQUIRE(from < graph_.size() && to < graph_.size(),
+              "arc endpoint out of range");
+  MDO_REQUIRE(capacity >= 0, "arc capacity must be non-negative");
+  const std::size_t fwd = arcs_.size();
+  arcs_.push_back({to, capacity, cost, fwd + 1});
+  arcs_.push_back({from, 0, -cost, fwd});
+  graph_[from].push_back(fwd);
+  graph_[to].push_back(fwd + 1);
+  original_capacity_.push_back(capacity);
+  return fwd / 2;
+}
+
+std::int64_t MinCostFlow::flow_on(std::size_t arc_id) const {
+  MDO_REQUIRE(arc_id < original_capacity_.size(), "unknown arc id");
+  // Flow equals the residual capacity of the reverse arc.
+  return arcs_[arc_id * 2 + 1].capacity;
+}
+
+void MinCostFlow::reset_flow() {
+  for (std::size_t id = 0; id < original_capacity_.size(); ++id) {
+    arcs_[id * 2].capacity = original_capacity_[id];
+    arcs_[id * 2 + 1].capacity = 0;
+  }
+}
+
+bool MinCostFlow::shortest_path(std::size_t source, std::vector<double>& dist,
+                                std::vector<std::size_t>& prev_arc) const {
+  const std::size_t n = graph_.size();
+  dist.assign(n, kInf);
+  prev_arc.assign(n, kNoArc);
+  dist[source] = 0.0;
+  // SPFA (queue-based Bellman-Ford). Successive-shortest-path invariants
+  // guarantee the residual graph has no negative cycle, so this terminates;
+  // the relaxation limit turns a violated invariant into a diagnosable
+  // error instead of an infinite loop.
+  std::vector<bool> in_queue(n, false);
+  std::queue<std::size_t> queue;
+  queue.push(source);
+  in_queue[source] = true;
+  std::size_t relaxations = 0;
+  const std::size_t relaxation_limit = n * arcs_.size() + 64;
+  while (!queue.empty()) {
+    const std::size_t u = queue.front();
+    queue.pop();
+    in_queue[u] = false;
+    for (const std::size_t arc_id : graph_[u]) {
+      const Arc& arc = arcs_[arc_id];
+      if (arc.capacity <= 0) continue;
+      const double candidate = dist[u] + arc.cost;
+      if (candidate < dist[arc.to] - 1e-12) {
+        dist[arc.to] = candidate;
+        prev_arc[arc.to] = arc_id;
+        if (!in_queue[arc.to]) {
+          queue.push(arc.to);
+          in_queue[arc.to] = true;
+        }
+        if (++relaxations > relaxation_limit) {
+          throw SolverError(
+              "min-cost flow: negative cycle suspected (relaxation limit)");
+        }
+      }
+    }
+  }
+  return true;
+}
+
+MinCostFlow::Result MinCostFlow::solve(std::size_t source, std::size_t sink,
+                                       std::int64_t max_flow) {
+  MDO_REQUIRE(source < graph_.size() && sink < graph_.size(),
+              "source/sink out of range");
+  MDO_REQUIRE(max_flow >= 0, "max_flow must be non-negative");
+  Result result;
+  if (max_flow == 0 || source == sink) return result;
+
+  std::vector<double> dist;
+  std::vector<std::size_t> prev_arc;
+
+  while (result.flow < max_flow) {
+    shortest_path(source, dist, prev_arc);
+    if (dist[sink] >= kInf) break;  // no more augmenting paths
+
+    // Bottleneck along the path.
+    std::int64_t push = max_flow - result.flow;
+    for (std::size_t v = sink; v != source;) {
+      const Arc& arc = arcs_[prev_arc[v]];
+      push = std::min(push, arc.capacity);
+      v = arcs_[arc.reverse].to;
+    }
+    MDO_CHECK(push > 0, "augmenting path with zero bottleneck");
+
+    // Apply the augmentation.
+    double path_cost = 0.0;
+    for (std::size_t v = sink; v != source;) {
+      Arc& arc = arcs_[prev_arc[v]];
+      arc.capacity -= push;
+      arcs_[arc.reverse].capacity += push;
+      path_cost += arc.cost;
+      v = arcs_[arc.reverse].to;
+    }
+    result.flow += push;
+    result.cost += path_cost * static_cast<double>(push);
+  }
+  return result;
+}
+
+}  // namespace mdo::solver

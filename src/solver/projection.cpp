@@ -1,0 +1,95 @@
+#include "solver/projection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mdo::solver {
+
+linalg::Vec project_box(const linalg::Vec& point, const linalg::Vec& lo,
+                        const linalg::Vec& hi) {
+  MDO_REQUIRE(point.size() == lo.size() && point.size() == hi.size(),
+              "project_box: size mismatch");
+  linalg::Vec out(point.size());
+  for (std::size_t i = 0; i < point.size(); ++i) {
+    MDO_REQUIRE(lo[i] <= hi[i], "project_box: lo > hi");
+    out[i] = std::clamp(point[i], lo[i], hi[i]);
+  }
+  return out;
+}
+
+void BoxKnapsackSet::validate() const {
+  MDO_REQUIRE(lo.size() == hi.size() && lo.size() == weights.size(),
+              "BoxKnapsackSet: size mismatch");
+  double min_value = 0.0;
+  for (std::size_t i = 0; i < lo.size(); ++i) {
+    MDO_REQUIRE(std::isfinite(lo[i]) && std::isfinite(hi[i]),
+                "BoxKnapsackSet: bounds must be finite");
+    MDO_REQUIRE(lo[i] <= hi[i], "BoxKnapsackSet: lo > hi");
+    MDO_REQUIRE(weights[i] >= 0.0, "BoxKnapsackSet: negative weight");
+    min_value += weights[i] * lo[i];
+  }
+  MDO_REQUIRE(min_value <= budget + 1e-9,
+              "BoxKnapsackSet: empty set (weights . lo > budget)");
+}
+
+bool BoxKnapsackSet::contains(const linalg::Vec& y, double tol) const {
+  if (y.size() != lo.size()) return false;
+  double value = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] < lo[i] - tol || y[i] > hi[i] + tol) return false;
+    value += weights[i] * y[i];
+  }
+  return value <= budget + tol;
+}
+
+namespace {
+/// Knapsack value of clamp(point - theta * weights) as a function of theta.
+double knapsack_value(const linalg::Vec& point, const BoxKnapsackSet& set,
+                      double theta) {
+  double value = 0.0;
+  for (std::size_t i = 0; i < point.size(); ++i) {
+    const double y = std::clamp(point[i] - theta * set.weights[i], set.lo[i],
+                                set.hi[i]);
+    value += set.weights[i] * y;
+  }
+  return value;
+}
+}  // namespace
+
+linalg::Vec project_box_knapsack(const linalg::Vec& point,
+                                 const BoxKnapsackSet& set, double tol) {
+  set.validate();
+  MDO_REQUIRE(point.size() == set.lo.size(), "projection: size mismatch");
+
+  // Fast path: box projection already satisfies the knapsack row.
+  linalg::Vec boxed = project_box(point, set.lo, set.hi);
+  double value = 0.0;
+  for (std::size_t i = 0; i < boxed.size(); ++i)
+    value += set.weights[i] * boxed[i];
+  if (value <= set.budget + 1e-12) return boxed;
+
+  // Bisection on theta >= 0. Upper bracket: grow until feasible; the set is
+  // non-empty, so a feasible theta exists (value converges to a . lo).
+  double theta_lo = 0.0;
+  double theta_hi = 1.0;
+  while (knapsack_value(point, set, theta_hi) > set.budget) {
+    theta_hi *= 2.0;
+    MDO_CHECK(theta_hi < 1e30, "projection bisection failed to bracket");
+  }
+  while (theta_hi - theta_lo > tol * std::max(1.0, theta_hi)) {
+    const double mid = 0.5 * (theta_lo + theta_hi);
+    if (knapsack_value(point, set, mid) > set.budget) theta_lo = mid;
+    else theta_hi = mid;
+  }
+  const double theta = theta_hi;
+  linalg::Vec out(point.size());
+  for (std::size_t i = 0; i < point.size(); ++i) {
+    out[i] = std::clamp(point[i] - theta * set.weights[i], set.lo[i],
+                        set.hi[i]);
+  }
+  return out;
+}
+
+}  // namespace mdo::solver

@@ -1,0 +1,27 @@
+#include "solver/subgradient.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mdo::solver {
+
+DiminishingStep::DiminishingStep(double alpha) : alpha_(alpha) {
+  MDO_REQUIRE(alpha > 0.0, "step-size alpha must be positive");
+}
+
+double DiminishingStep::operator()(std::size_t l) const {
+  return 1.0 / (1.0 + alpha_ * static_cast<double>(l));
+}
+
+void ascend_projected(linalg::Vec& mu, const linalg::Vec& subgradient,
+                      double step) {
+  MDO_REQUIRE(mu.size() == subgradient.size(),
+              "subgradient ascent: size mismatch");
+  MDO_REQUIRE(step >= 0.0, "step must be non-negative");
+  for (std::size_t i = 0; i < mu.size(); ++i) {
+    mu[i] = std::max(0.0, mu[i] + step * subgradient[i]);
+  }
+}
+
+}  // namespace mdo::solver

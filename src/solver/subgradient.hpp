@@ -1,0 +1,31 @@
+// Subgradient-method utilities for the dual ascent in Algorithm 1.
+//
+// The paper updates the multipliers with the diminishing step size
+// delta_l = 1 / (1 + alpha * l)   (eq. 16)
+// and projects onto the non-negative orthant (eq. 15). These helpers keep
+// that logic in one tested place.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/vec.hpp"
+
+namespace mdo::solver {
+
+/// Diminishing step-size schedule delta_l = 1 / (1 + alpha * l), eq. (16).
+class DiminishingStep {
+ public:
+  explicit DiminishingStep(double alpha);
+
+  /// Step size for (0-based) iteration l.
+  double operator()(std::size_t l) const;
+
+ private:
+  double alpha_;
+};
+
+/// mu <- max(0, mu + step * subgradient), eq. (15). Sizes must match.
+void ascend_projected(linalg::Vec& mu, const linalg::Vec& subgradient,
+                      double step);
+
+}  // namespace mdo::solver

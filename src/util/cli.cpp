@@ -1,0 +1,93 @@
+#include "util/cli.hpp"
+
+#include <charconv>
+
+#include "util/error.hpp"
+
+namespace mdo {
+
+CliFlags::CliFlags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    MDO_REQUIRE(token.rfind("--", 0) == 0,
+                "expected flag starting with --, got: " + token);
+    token.erase(0, 2);
+    const auto eq = token.find('=');
+    std::string key;
+    std::string value;
+    if (eq != std::string::npos) {
+      key = token.substr(0, eq);
+      value = token.substr(eq + 1);
+    } else {
+      key = token;
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";  // bare flag => boolean true
+      }
+    }
+    MDO_REQUIRE(!key.empty(), "empty flag name");
+    values_[key] = value;
+    consumed_[key] = false;
+  }
+}
+
+bool CliFlags::has(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  consumed_[name] = true;
+  return true;
+}
+
+std::string CliFlags::get_string(const std::string& name, std::string def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  consumed_[name] = true;
+  return it->second;
+}
+
+std::int64_t CliFlags::get_int(const std::string& name, std::int64_t def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  consumed_[name] = true;
+  std::int64_t out = 0;
+  const auto& s = it->second;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  MDO_REQUIRE(ec == std::errc() && ptr == s.data() + s.size(),
+              "flag --" + name + " expects an integer, got: " + s);
+  return out;
+}
+
+double CliFlags::get_double(const std::string& name, double def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  consumed_[name] = true;
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(it->second, &pos);
+    MDO_REQUIRE(pos == it->second.size(),
+                "flag --" + name + " expects a number, got: " + it->second);
+    return out;
+  } catch (const std::invalid_argument&) {
+    throw InvalidArgument("flag --" + name + " expects a number, got: " +
+                          it->second);
+  }
+}
+
+bool CliFlags::get_bool(const std::string& name, bool def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  consumed_[name] = true;
+  const auto& s = it->second;
+  if (s == "true" || s == "1" || s == "yes") return true;
+  if (s == "false" || s == "0" || s == "no") return false;
+  throw InvalidArgument("flag --" + name + " expects a boolean, got: " + s);
+}
+
+void CliFlags::require_all_consumed() const {
+  for (const auto& [key, used] : consumed_) {
+    if (!used) throw InvalidArgument("unknown flag: --" + key);
+  }
+}
+
+}  // namespace mdo

@@ -1,0 +1,40 @@
+// Tiny command-line flag parser for examples and benches.
+//
+// Supports `--name value` and `--name=value`; unknown flags raise
+// InvalidArgument so typos surface instead of silently running defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mdo {
+
+/// Parses `--key value` / `--key=value` style arguments.
+class CliFlags {
+ public:
+  /// Parses argv (excluding argv[0]); throws InvalidArgument on malformed
+  /// input (non-flag tokens, missing values).
+  CliFlags(int argc, const char* const* argv);
+
+  /// Typed lookups returning the default when the flag is absent.
+  std::string get_string(const std::string& name, std::string def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  bool has(const std::string& name) const;
+
+  /// Flags looked up so far; used by require_all_consumed().
+  /// Throws InvalidArgument if any provided flag was never queried, which
+  /// catches misspelled flag names in scripts.
+  void require_all_consumed() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> consumed_;
+};
+
+}  // namespace mdo

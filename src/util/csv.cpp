@@ -1,0 +1,60 @@
+#include "util/csv.hpp"
+
+#include <iomanip>
+
+#include "util/error.hpp"
+
+namespace mdo {
+
+CsvWriter::CsvWriter(std::ostream& os) : os_(os) {}
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  MDO_REQUIRE(!header_written_, "CSV header already written");
+  MDO_REQUIRE(rows_ == 0, "CSV header must precede data rows");
+  MDO_REQUIRE(!columns.empty(), "CSV header must have at least one column");
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << csv_escape(columns[i]);
+  }
+  os_ << '\n';
+  columns_ = columns.size();
+  header_written_ = true;
+}
+
+void CsvWriter::write_cell(const CsvCell& cell) {
+  if (const auto* s = std::get_if<std::string>(&cell)) {
+    os_ << csv_escape(*s);
+  } else if (const auto* i = std::get_if<std::int64_t>(&cell)) {
+    os_ << *i;
+  } else {
+    os_ << std::setprecision(12) << std::get<double>(cell);
+  }
+}
+
+void CsvWriter::row(const std::vector<CsvCell>& cells) {
+  MDO_REQUIRE(!cells.empty(), "CSV row must have at least one cell");
+  if (header_written_) {
+    MDO_REQUIRE(cells.size() == columns_, "CSV row width must match header");
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os_ << ',';
+    write_cell(cells[i]);
+  }
+  os_ << '\n';
+  ++rows_;
+}
+
+}  // namespace mdo

@@ -1,0 +1,44 @@
+// CSV emission for experiment outputs.
+//
+// Every bench binary writes its series both as a human-readable table (see
+// table.hpp) and as CSV so figures can be re-plotted with any external tool.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mdo {
+
+/// A CSV cell: string, integer, or floating point.
+using CsvCell = std::variant<std::string, std::int64_t, double>;
+
+/// Row-oriented CSV writer with RFC-4180 style quoting.
+class CsvWriter {
+ public:
+  /// Writes to the given stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& os);
+
+  /// Writes the header row. Must be called at most once, before any row.
+  void header(const std::vector<std::string>& columns);
+
+  /// Writes one data row. If a header was written, the width must match.
+  void row(const std::vector<CsvCell>& cells);
+
+  /// Number of data rows written so far.
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  void write_cell(const CsvCell& cell);
+
+  std::ostream& os_;
+  std::size_t columns_ = 0;
+  bool header_written_ = false;
+  std::size_t rows_ = 0;
+};
+
+/// Quotes a string for CSV if needed (commas, quotes, newlines).
+std::string csv_escape(const std::string& field);
+
+}  // namespace mdo

@@ -1,0 +1,68 @@
+// Error handling primitives used across the library.
+//
+// Following the C++ Core Guidelines (E.2, I.10) we report errors that the
+// immediate caller cannot handle via exceptions derived from a common root,
+// and we verify internal invariants with MDO_CHECK/MDO_ASSERT which throw
+// (rather than abort) so tests can exercise failure paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mdo {
+
+/// Root of the library's exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller supplied arguments that violate a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A numerical routine failed to converge or detected an inconsistent model
+/// (e.g. an infeasible or unbounded linear program).
+class SolverError : public Error {
+ public:
+  explicit SolverError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant was violated; indicates a bug in the library.
+class LogicError : public Error {
+ public:
+  explicit LogicError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* kind, const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (std::string(kind) == "MDO_REQUIRE") throw InvalidArgument(os.str());
+  throw LogicError(os.str());
+}
+}  // namespace detail
+
+}  // namespace mdo
+
+/// Precondition check: throws mdo::InvalidArgument when violated.
+#define MDO_REQUIRE(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::mdo::detail::throw_check_failure("MDO_REQUIRE", #expr, __FILE__,    \
+                                         __LINE__, (msg));                  \
+  } while (0)
+
+/// Internal invariant check: throws mdo::LogicError when violated.
+#define MDO_CHECK(expr, msg)                                                \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::mdo::detail::throw_check_failure("MDO_CHECK", #expr, __FILE__,      \
+                                         __LINE__, (msg));                  \
+  } while (0)

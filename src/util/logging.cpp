@@ -1,0 +1,48 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+
+#include "util/error.hpp"
+
+namespace mdo {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  throw InvalidArgument("unknown log level: " + name);
+}
+
+namespace detail {
+void log_write(LogLevel level, const std::string& message) {
+  std::ostream& os = static_cast<int>(level) >= static_cast<int>(LogLevel::kWarn)
+                         ? std::cerr
+                         : std::clog;
+  os << "[" << level_name(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace mdo

@@ -1,0 +1,43 @@
+// Minimal leveled logging.
+//
+// The simulator and solvers emit progress/diagnostics through this logger so
+// that benches can run quietly by default and tests can raise verbosity when
+// debugging. No global mutable state other than the process-wide level.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace mdo {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Process-wide minimum level; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Converts "trace|debug|info|warn|error|off" to a level (case-sensitive).
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void log_write(LogLevel level, const std::string& message);
+}
+
+}  // namespace mdo
+
+#define MDO_LOG(level, expr)                                     \
+  do {                                                           \
+    if (static_cast<int>(level) >=                               \
+        static_cast<int>(::mdo::log_level())) {                  \
+      std::ostringstream mdo_log_os;                             \
+      mdo_log_os << expr;                                        \
+      ::mdo::detail::log_write((level), mdo_log_os.str());       \
+    }                                                            \
+  } while (0)
+
+#define MDO_TRACE(expr) MDO_LOG(::mdo::LogLevel::kTrace, expr)
+#define MDO_DEBUG(expr) MDO_LOG(::mdo::LogLevel::kDebug, expr)
+#define MDO_INFO(expr) MDO_LOG(::mdo::LogLevel::kInfo, expr)
+#define MDO_WARN(expr) MDO_LOG(::mdo::LogLevel::kWarn, expr)
+#define MDO_ERROR(expr) MDO_LOG(::mdo::LogLevel::kError, expr)

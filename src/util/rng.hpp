@@ -1,0 +1,82 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the simulator (workload draws, prediction
+// noise, tie-breaking) pulls randomness from an explicitly seeded Rng so
+// that each experiment in EXPERIMENTS.md is bit-for-bit reproducible.
+// The generator is xoshiro256**, seeded via splitmix64 per the authors'
+// recommendation; it is small, fast, and has no global state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace mdo {
+
+/// splitmix64 step; used to expand a single 64-bit seed into a full state.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator with convenience distributions.
+///
+/// Satisfies UniformRandomBitGenerator so it can also feed <random>
+/// distributions, although the built-in helpers below are preferred for
+/// reproducibility across standard-library implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds deterministically from a single value (default seed 42).
+  explicit Rng(std::uint64_t seed = 42);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+
+  /// Next raw 64-bit value.
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli draw with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Standard normal via Box–Muller (no cached spare: keeps state minimal).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Exponential with the given rate (> 0).
+  double exponential(double rate);
+
+  /// Poisson draw with the given mean (Knuth for small, normal approx large).
+  std::int64_t poisson(double mean);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Weights must be non-negative with a positive sum.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for parallel components).
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace mdo

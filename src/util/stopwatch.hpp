@@ -1,0 +1,26 @@
+// Wall-clock stopwatch for coarse timing in benches and logs.
+#pragma once
+
+#include <chrono>
+
+namespace mdo {
+
+/// Starts on construction; elapsed_* report time since start or last reset.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mdo

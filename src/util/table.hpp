@@ -1,0 +1,35 @@
+// Fixed-width console tables.
+//
+// The bench harnesses print the paper's tables/series as aligned text so a
+// reader can compare shapes against the paper without plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mdo {
+
+/// Accumulates rows of strings and renders them column-aligned.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> columns);
+
+  /// Adds a data row; width must match the column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double value, int precision = 3);
+  static std::string fmt(std::int64_t value);
+
+  /// Renders the table (header, separator, rows) to the stream.
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mdo

@@ -1,0 +1,47 @@
+#include "workload/ema_predictor.hpp"
+
+#include "util/error.hpp"
+
+namespace mdo::workload {
+
+EmaPredictor::EmaPredictor(const model::DemandTrace& truth, double alpha)
+    : truth_(&truth), alpha_(alpha) {
+  MDO_REQUIRE(alpha > 0.0 && alpha <= 1.0, "EMA alpha must be in (0, 1]");
+  MDO_REQUIRE(truth.horizon() >= 1, "EMA predictor needs a non-empty trace");
+}
+
+std::size_t EmaPredictor::horizon() const { return truth_->horizon(); }
+
+void EmaPredictor::advance_to(std::size_t tau) const {
+  if (cached_tau_ > tau || !state_initialized_) {
+    // Restart from scratch (queries normally move forward in time, so this
+    // is rare). Zero state = cold start.
+    state_ = truth_->slot(0);
+    for (auto& sbs_demand : state_) {
+      for (auto& value : sbs_demand.data()) value = 0.0;
+    }
+    cached_tau_ = 0;
+    state_initialized_ = true;
+  }
+  while (cached_tau_ < tau) {
+    const auto& observed = truth_->slot(cached_tau_);
+    for (std::size_t n = 0; n < state_.size(); ++n) {
+      auto& flat = state_[n].data();
+      const auto& obs = observed[n].data();
+      for (std::size_t j = 0; j < flat.size(); ++j) {
+        flat[j] = alpha_ * obs[j] + (1.0 - alpha_) * flat[j];
+      }
+    }
+    ++cached_tau_;
+  }
+}
+
+model::SlotDemand EmaPredictor::predict(std::size_t tau,
+                                        std::size_t t) const {
+  MDO_REQUIRE(tau <= t, "cannot predict the past");
+  MDO_REQUIRE(t < truth_->horizon(), "slot beyond the horizon");
+  advance_to(tau);
+  return state_;
+}
+
+}  // namespace mdo::workload

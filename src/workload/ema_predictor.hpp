@@ -1,0 +1,42 @@
+// History-based forecasting (extension beyond the paper).
+//
+// The paper models prediction quality abstractly (truth times bounded
+// noise). EmaPredictor is a *realizable* forecaster instead: at decision
+// time tau it has observed the true demand of slots 0..tau-1 and predicts
+// every future slot with the exponential moving average
+//   ema_tau = alpha * lambda_{tau-1} + (1 - alpha) * ema_{tau-1},
+// i.e. a flat per-(SBS, class, content) forecast. Before any observation it
+// predicts zero (an honest cold start). This lets the online controllers be
+// evaluated against forecast error that comes from the workload itself
+// (popularity drift, density variation) rather than injected noise.
+#pragma once
+
+#include "workload/predictor.hpp"
+
+namespace mdo::workload {
+
+class EmaPredictor final : public Predictor {
+ public:
+  /// alpha in (0, 1]: smoothing factor. The trace must outlive the
+  /// predictor; only slots strictly before the query time are used.
+  EmaPredictor(const model::DemandTrace& truth, double alpha);
+
+  model::SlotDemand predict(std::size_t tau, std::size_t t) const override;
+  std::size_t horizon() const override;
+
+  double alpha() const { return alpha_; }
+
+ private:
+  /// Recomputes (or advances) the cached EMA state up to observation
+  /// boundary tau (exclusive).
+  void advance_to(std::size_t tau) const;
+
+  const model::DemandTrace* truth_;
+  double alpha_;
+  // Cached EMA state: valid after observing slots [0, cached_tau_).
+  mutable std::size_t cached_tau_ = 0;
+  mutable model::SlotDemand state_;
+  mutable bool state_initialized_ = false;
+};
+
+}  // namespace mdo::workload

@@ -1,0 +1,97 @@
+#include "workload/generator.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "workload/zipf.hpp"
+
+namespace mdo::workload {
+
+void WorkloadOptions::validate() const {
+  MDO_REQUIRE(zipf_alpha >= 0.0, "zipf_alpha must be non-negative");
+  MDO_REQUIRE(zipf_q >= 0.0, "zipf_q must be non-negative");
+  MDO_REQUIRE(density_min >= 0.0 && density_min <= density_max,
+              "density range must satisfy 0 <= min <= max");
+  MDO_REQUIRE(demand_noise >= 0.0 && demand_noise < 1.0,
+              "demand_noise must be in [0, 1)");
+  MDO_REQUIRE(diurnal_amplitude >= 0.0 && diurnal_amplitude <= 1.0,
+              "diurnal_amplitude must be in [0, 1]");
+  MDO_REQUIRE(diurnal_period >= 1, "diurnal_period must be >= 1");
+}
+
+namespace {
+
+/// Applies `swaps` random adjacent transpositions to the permutation.
+void drift_ranks(std::vector<std::size_t>& rank_of, std::size_t swaps,
+                 Rng& rng) {
+  const std::size_t k = rank_of.size();
+  if (k < 2) return;
+  for (std::size_t s = 0; s < swaps; ++s) {
+    const auto i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(k) - 2));
+    std::swap(rank_of[i], rank_of[i + 1]);
+  }
+}
+
+}  // namespace
+
+model::DemandTrace generate_demand(const model::NetworkConfig& config,
+                                   std::size_t horizon,
+                                   const WorkloadOptions& options) {
+  config.validate();
+  options.validate();
+  Rng rng(options.seed);
+
+  const auto pmf =
+      zipf_mandelbrot_pmf(config.num_contents, options.zipf_alpha,
+                          options.zipf_q);
+
+  // rank_of[k] = current popularity rank (0 = most popular) of content k.
+  // Either one shared permutation or one per (SBS, class).
+  const std::size_t num_rankings =
+      options.per_class_ranking ? config.total_classes() : 1;
+  std::vector<std::vector<std::size_t>> rankings(num_rankings);
+  for (auto& rank_of : rankings) {
+    rank_of.resize(config.num_contents);
+    std::iota(rank_of.begin(), rank_of.end(), 0);
+    rng.shuffle(rank_of);  // independent initial popularity order
+  }
+
+  model::DemandTrace trace;
+  for (std::size_t t = 0; t < horizon; ++t) {
+    for (auto& rank_of : rankings) {
+      drift_ranks(rank_of, options.rank_swaps_per_slot, rng);
+    }
+    const double diurnal =
+        1.0 + options.diurnal_amplitude *
+                  std::sin(2.0 * std::numbers::pi * static_cast<double>(t) /
+                           static_cast<double>(options.diurnal_period));
+    model::SlotDemand slot = model::make_zero_slot_demand(config);
+    std::size_t class_cursor = 0;
+    for (std::size_t n = 0; n < config.num_sbs(); ++n) {
+      auto& d = slot[n];
+      for (std::size_t m = 0; m < config.sbs[n].num_classes(); ++m) {
+        const auto& rank_of =
+            rankings[options.per_class_ranking ? class_cursor : 0];
+        const double density =
+            diurnal * rng.uniform(options.density_min, options.density_max);
+        for (std::size_t k = 0; k < config.num_contents; ++k) {
+          double value = density * pmf[rank_of[k]];
+          if (options.demand_noise > 0.0) {
+            value *= rng.uniform(1.0 - options.demand_noise,
+                                 1.0 + options.demand_noise);
+          }
+          d.at(m, k) = value;
+        }
+        ++class_cursor;
+      }
+    }
+    trace.push_back(std::move(slot));
+  }
+  return trace;
+}
+
+}  // namespace mdo::workload

@@ -1,0 +1,81 @@
+#include "workload/predictor.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mdo::workload {
+
+model::DemandTrace Predictor::predict_window(std::size_t tau,
+                                             std::size_t length) const {
+  model::DemandTrace out;
+  for (std::size_t t = tau; t < tau + length && t < horizon(); ++t) {
+    out.push_back(predict(tau, t));
+  }
+  return out;
+}
+
+PerfectPredictor::PerfectPredictor(const model::DemandTrace& truth)
+    : truth_(&truth) {}
+
+model::SlotDemand PerfectPredictor::predict(std::size_t tau,
+                                            std::size_t t) const {
+  MDO_REQUIRE(tau <= t, "cannot predict the past");
+  return truth_->slot(t);
+}
+
+std::size_t PerfectPredictor::horizon() const { return truth_->horizon(); }
+
+NoisyPredictor::NoisyPredictor(const model::DemandTrace& truth, double eta,
+                               std::uint64_t seed, double lead_growth)
+    : truth_(&truth), eta_(eta), lead_growth_(lead_growth), seed_(seed) {
+  MDO_REQUIRE(eta >= 0.0 && eta < 1.0, "eta must be in [0, 1)");
+  MDO_REQUIRE(lead_growth >= 0.0, "lead_growth must be non-negative");
+}
+
+std::size_t NoisyPredictor::horizon() const { return truth_->horizon(); }
+
+model::SlotDemand NoisyPredictor::predict(std::size_t tau,
+                                          std::size_t t) const {
+  MDO_REQUIRE(tau <= t, "cannot predict the past");
+  model::SlotDemand out = truth_->slot(t);
+  if (eta_ == 0.0) return out;
+  const double lead = static_cast<double>(t - tau);
+  const double eta_eff =
+      std::min(0.95, eta_ * (1.0 + lead_growth_ * lead));
+  // The paper perturbs the *popularity* p(i) (eq. 49): one factor per
+  // content, shared by every MU class at the SBS (per-entry noise would
+  // average out across classes and underestimate the damage). The factor
+  // composes a persistent per-content misestimation (the forecaster's wrong
+  // popularity model) with query-time jitter (fresher forecasts differ from
+  // staler ones), clamped into the paper's [(1 - eta), (1 + eta)] band.
+  std::uint64_t bias_mix = seed_;
+  (void)splitmix64(bias_mix);
+  Rng bias_rng(splitmix64(bias_mix));
+
+  std::uint64_t mix = seed_;
+  (void)splitmix64(mix);
+  mix ^= 0x9e3779b97f4a7c15ULL * (tau + 1);
+  (void)splitmix64(mix);
+  mix ^= 0xc2b2ae3d27d4eb4fULL * (t + 1);
+  Rng jitter_rng(splitmix64(mix));
+
+  for (auto& sbs_demand : out) {
+    const std::size_t contents = sbs_demand.num_contents();
+    std::vector<double> factor(contents);
+    for (auto& f : factor) {
+      const double bias = bias_rng.uniform(1.0 - eta_eff, 1.0 + eta_eff);
+      const double jitter =
+          jitter_rng.uniform(1.0 - 0.5 * eta_eff, 1.0 + 0.5 * eta_eff);
+      f = std::clamp(bias * jitter, 1.0 - eta_eff, 1.0 + eta_eff);
+    }
+    auto& flat = sbs_demand.data();
+    for (std::size_t j = 0; j < flat.size(); ++j) {
+      flat[j] *= factor[j % contents];
+    }
+  }
+  return out;
+}
+
+}  // namespace mdo::workload

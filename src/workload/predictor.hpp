@@ -1,0 +1,70 @@
+// Demand prediction with bounded multiplicative noise (Sec. V-B).
+//
+// Online algorithms act on short-term forecasts: at decision time tau the
+// controller sees lambda_hat(t | tau) for t in [tau, tau + w). The paper's
+// perturbation model draws each predicted rate uniformly from
+// [(1 - eta) * lambda, (1 + eta) * lambda]. NoisyPredictor implements that,
+// deterministically keyed on (seed, tau, t, n, m, k) so that every
+// controller in a comparison sees exactly the same forecasts. An optional
+// lead-time growth factor makes far-ahead predictions noisier, matching the
+// paper's remark that "the prediction quality would be worse if predicted
+// further into the future".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "model/demand.hpp"
+
+namespace mdo::workload {
+
+/// Interface: forecast of the demand of absolute slot t as seen at tau.
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Predicted demand for slot t (tau <= t < horizon), queried at time tau.
+  virtual model::SlotDemand predict(std::size_t tau, std::size_t t) const = 0;
+
+  /// Total number of slots in the underlying horizon.
+  virtual std::size_t horizon() const = 0;
+
+  /// Forecast window [tau, tau + length) clipped at the horizon.
+  model::DemandTrace predict_window(std::size_t tau, std::size_t length) const;
+};
+
+/// Oracle: returns the true demand (used by the offline optimum and LRFU,
+/// whose inputs the paper declares accurate).
+class PerfectPredictor final : public Predictor {
+ public:
+  /// The trace must outlive the predictor.
+  explicit PerfectPredictor(const model::DemandTrace& truth);
+
+  model::SlotDemand predict(std::size_t tau, std::size_t t) const override;
+  std::size_t horizon() const override;
+
+ private:
+  const model::DemandTrace* truth_;
+};
+
+/// Bounded multiplicative noise around the truth.
+class NoisyPredictor final : public Predictor {
+ public:
+  /// eta in [0, 1): base perturbation half-width. lead_growth >= 0 scales
+  /// eta by (1 + lead_growth * (t - tau)), capped at 0.95.
+  NoisyPredictor(const model::DemandTrace& truth, double eta,
+                 std::uint64_t seed, double lead_growth = 0.0);
+
+  model::SlotDemand predict(std::size_t tau, std::size_t t) const override;
+  std::size_t horizon() const override;
+
+  double eta() const { return eta_; }
+
+ private:
+  const model::DemandTrace* truth_;
+  double eta_;
+  double lead_growth_;
+  std::uint64_t seed_;
+};
+
+}  // namespace mdo::workload

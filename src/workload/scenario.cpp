@@ -1,0 +1,48 @@
+#include "workload/scenario.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mdo::workload {
+
+model::ProblemInstance PaperScenario::build() const {
+  MDO_REQUIRE(num_sbs > 0 && num_contents > 0 && classes_per_sbs > 0,
+              "scenario dimensions must be positive");
+  MDO_REQUIRE(omega_min >= 0.0 && omega_min <= omega_max,
+              "omega range must satisfy 0 <= min <= max");
+  MDO_REQUIRE(omega_sbs_factor >= 0.0, "omega_sbs_factor must be >= 0");
+
+  Rng rng(seed);
+  model::NetworkConfig config;
+  config.num_contents = num_contents;
+  config.sbs.reserve(num_sbs);
+  for (std::size_t n = 0; n < num_sbs; ++n) {
+    model::SbsConfig sbs;
+    sbs.cache_capacity = cache_capacity;
+    sbs.bandwidth = bandwidth;
+    sbs.replacement_beta = beta;
+    sbs.classes.reserve(classes_per_sbs);
+    for (std::size_t m = 0; m < classes_per_sbs; ++m) {
+      model::MuClass mu;
+      mu.omega_bs = rng.uniform(omega_min, omega_max);
+      mu.omega_sbs = omega_sbs_factor * mu.omega_bs;
+      sbs.classes.push_back(mu);
+    }
+    config.sbs.push_back(std::move(sbs));
+  }
+  config.validate();
+
+  WorkloadOptions wl = workload;
+  // Derive the trace seed from the scenario seed so changing `seed` changes
+  // both the MU-class draws and the demand trace coherently.
+  wl.seed = rng();
+
+  model::ProblemInstance instance;
+  instance.config = std::move(config);
+  instance.demand = generate_demand(instance.config, horizon, wl);
+  instance.initial_cache = model::CacheState(instance.config);
+  instance.validate();
+  return instance;
+}
+
+}  // namespace mdo::workload

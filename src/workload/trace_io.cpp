@@ -1,0 +1,95 @@
+#include "workload/trace_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace mdo::workload {
+
+void save_trace_csv(std::ostream& os, const model::DemandTrace& trace) {
+  os << "slot,sbs,class,content,rate\n";
+  os << std::setprecision(17);
+  for (std::size_t t = 0; t < trace.horizon(); ++t) {
+    const auto& slot = trace.slot(t);
+    for (std::size_t n = 0; n < slot.size(); ++n) {
+      const auto& demand = slot[n];
+      for (std::size_t m = 0; m < demand.num_classes(); ++m) {
+        for (std::size_t k = 0; k < demand.num_contents(); ++k) {
+          const double rate = demand.at(m, k);
+          if (rate == 0.0) continue;
+          os << t << ',' << n << ',' << m << ',' << k << ',' << rate << '\n';
+        }
+      }
+    }
+  }
+}
+
+void save_trace_csv(const std::string& path, const model::DemandTrace& trace) {
+  std::ofstream file(path);
+  MDO_REQUIRE(static_cast<bool>(file), "cannot open trace file: " + path);
+  save_trace_csv(file, trace);
+}
+
+model::DemandTrace load_trace_csv(std::istream& is,
+                                  const model::NetworkConfig& config) {
+  config.validate();
+  std::string line;
+  MDO_REQUIRE(static_cast<bool>(std::getline(is, line)),
+              "trace file is empty");
+  MDO_REQUIRE(line.rfind("slot,sbs,class,content,rate", 0) == 0,
+              "unexpected trace header: " + line);
+
+  struct Entry {
+    std::size_t t, n, m, k;
+    double rate;
+  };
+  std::vector<Entry> entries;
+  std::size_t max_slot = 0;
+  std::size_t line_number = 1;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    Entry entry{};
+    char c1, c2, c3, c4;
+    row >> entry.t >> c1 >> entry.n >> c2 >> entry.m >> c3 >> entry.k >> c4 >>
+        entry.rate;
+    MDO_REQUIRE(row && c1 == ',' && c2 == ',' && c3 == ',' && c4 == ',',
+                "malformed trace row at line " + std::to_string(line_number));
+    MDO_REQUIRE(entry.n < config.num_sbs(),
+                "SBS index out of range at line " + std::to_string(line_number));
+    MDO_REQUIRE(entry.m < config.sbs[entry.n].num_classes(),
+                "class index out of range at line " +
+                    std::to_string(line_number));
+    MDO_REQUIRE(entry.k < config.num_contents,
+                "content index out of range at line " +
+                    std::to_string(line_number));
+    MDO_REQUIRE(std::isfinite(entry.rate) && entry.rate >= 0.0,
+                "invalid rate at line " + std::to_string(line_number));
+    max_slot = std::max(max_slot, entry.t);
+    entries.push_back(entry);
+  }
+  MDO_REQUIRE(!entries.empty(), "trace file has no data rows");
+
+  model::DemandTrace trace;
+  for (std::size_t t = 0; t <= max_slot; ++t) {
+    trace.push_back(model::make_zero_slot_demand(config));
+  }
+  for (const auto& entry : entries) {
+    trace.slot(entry.t)[entry.n].at(entry.m, entry.k) = entry.rate;
+  }
+  trace.validate(config);
+  return trace;
+}
+
+model::DemandTrace load_trace_csv(const std::string& path,
+                                  const model::NetworkConfig& config) {
+  std::ifstream file(path);
+  MDO_REQUIRE(static_cast<bool>(file), "cannot open trace file: " + path);
+  return load_trace_csv(file, config);
+}
+
+}  // namespace mdo::workload

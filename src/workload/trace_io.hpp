@@ -1,0 +1,31 @@
+// Demand-trace serialization.
+//
+// Traces round-trip through a long-format CSV (slot, sbs, class, content,
+// rate) so users can (a) persist generated workloads for exact replays and
+// (b) feed measured request-rate traces from real deployments into the
+// simulator in place of the synthetic generator.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/demand.hpp"
+#include "model/network.hpp"
+
+namespace mdo::workload {
+
+/// Writes the trace as CSV with header "slot,sbs,class,content,rate".
+/// Zero-rate entries are omitted (sparse format).
+void save_trace_csv(std::ostream& os, const model::DemandTrace& trace);
+void save_trace_csv(const std::string& path, const model::DemandTrace& trace);
+
+/// Reads a trace in the format written by save_trace_csv. The config
+/// provides the shape; entries absent from the file are zero. Throws
+/// InvalidArgument on malformed rows, out-of-range indices, negative rates,
+/// or when the file cannot be opened.
+model::DemandTrace load_trace_csv(std::istream& is,
+                                  const model::NetworkConfig& config);
+model::DemandTrace load_trace_csv(const std::string& path,
+                                  const model::NetworkConfig& config);
+
+}  // namespace mdo::workload

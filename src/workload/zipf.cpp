@@ -1,0 +1,31 @@
+#include "workload/zipf.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mdo::workload {
+
+std::vector<double> zipf_mandelbrot_weights(std::size_t num_items,
+                                            double alpha, double q) {
+  MDO_REQUIRE(num_items > 0, "zipf: need at least one item");
+  MDO_REQUIRE(alpha >= 0.0, "zipf: alpha must be non-negative");
+  MDO_REQUIRE(q >= 0.0, "zipf: q must be non-negative");
+  std::vector<double> w(num_items);
+  const double k = static_cast<double>(num_items);
+  for (std::size_t i = 0; i < num_items; ++i) {
+    w[i] = k / std::pow(static_cast<double>(i + 1) + q, alpha);
+  }
+  return w;
+}
+
+std::vector<double> zipf_mandelbrot_pmf(std::size_t num_items, double alpha,
+                                        double q) {
+  auto w = zipf_mandelbrot_weights(num_items, alpha, q);
+  double total = 0.0;
+  for (const double v : w) total += v;
+  for (double& v : w) v /= total;
+  return w;
+}
+
+}  // namespace mdo::workload

@@ -1,0 +1,22 @@
+// Zipf-Mandelbrot content popularity (eq. (49), Sec. V-B).
+//
+// The paper models request popularity as p(i) = K / (i + q)^alpha with
+// shape alpha = 0.8 and shift q = 30. Ranks are 1-based in the paper; the
+// helpers below take 0-based rank indices.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mdo::workload {
+
+/// Unnormalized Zipf-Mandelbrot weights: w[i] = K / (i + 1 + q)^alpha for
+/// 0-based rank i in [0, K). alpha >= 0, q >= 0.
+std::vector<double> zipf_mandelbrot_weights(std::size_t num_items,
+                                            double alpha, double q);
+
+/// Weights normalized to sum to 1 (a probability over ranks).
+std::vector<double> zipf_mandelbrot_pmf(std::size_t num_items, double alpha,
+                                        double q);
+
+}  // namespace mdo::workload

@@ -1,0 +1,315 @@
+// Tests for the load-balancing subproblem P2.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/load_balancing.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mdo::core {
+namespace {
+
+struct Fixture {
+  model::SbsConfig sbs;
+  model::SbsDemand demand;
+
+  Fixture(std::size_t classes, std::size_t contents, double bandwidth)
+      : demand(classes, contents) {
+    sbs.cache_capacity = contents;
+    sbs.bandwidth = bandwidth;
+    sbs.replacement_beta = 1.0;
+    sbs.classes.assign(classes, model::MuClass{1.0, 0.0});
+  }
+
+  LoadBalancingSubproblem problem() const {
+    LoadBalancingSubproblem p;
+    p.sbs = &sbs;
+    p.demand = &demand;
+    return p;
+  }
+};
+
+TEST(LoadBalancing, ServesEverythingWhenBandwidthAmple) {
+  // One class, one content, plenty of bandwidth: f = (a - u y)^2 minimized
+  // at y = 1 (a = u here).
+  Fixture fx(1, 1, 100.0);
+  fx.demand.at(0, 0) = 3.0;
+  const auto sol = solve_load_balancing(fx.problem());
+  EXPECT_NEAR(sol.y[0], 1.0, 1e-4);
+  EXPECT_NEAR(sol.objective, 0.0, 1e-4);
+}
+
+TEST(LoadBalancing, BandwidthCapBinds) {
+  Fixture fx(1, 1, 1.0);  // bandwidth 1 < demand 3
+  fx.demand.at(0, 0) = 3.0;
+  const auto sol = solve_load_balancing(fx.problem());
+  // lambda y <= 1 -> y <= 1/3; the BS term decreases in y so y* = 1/3.
+  EXPECT_NEAR(sol.y[0], 1.0 / 3.0, 1e-4);
+  EXPECT_NEAR(sol.objective, (3.0 - 1.0) * (3.0 - 1.0), 1e-3);
+}
+
+TEST(LoadBalancing, UpperBoundFromCachingRespected) {
+  Fixture fx(1, 2, 100.0);
+  fx.demand.at(0, 0) = 2.0;
+  fx.demand.at(0, 1) = 2.0;
+  auto p = fx.problem();
+  p.upper = {1.0, 0.0};  // content 1 not cached
+  const auto sol = solve_load_balancing(p);
+  EXPECT_NEAR(sol.y[0], 1.0, 1e-4);
+  EXPECT_NEAR(sol.y[1], 0.0, 1e-8);
+}
+
+TEST(LoadBalancing, PrioritizesHighOmegaClassesUnderScarcity) {
+  Fixture fx(2, 1, 2.0);
+  fx.sbs.classes[0].omega_bs = 1.0;
+  fx.sbs.classes[1].omega_bs = 0.1;
+  fx.demand.at(0, 0) = 2.0;
+  fx.demand.at(1, 0) = 2.0;
+  const auto sol = solve_load_balancing(fx.problem());
+  // Only 2 units of bandwidth for 4 units of demand: serve the expensive
+  // class first.
+  EXPECT_GT(sol.y[0], 0.95);
+  EXPECT_LT(sol.y[1], 0.05);
+}
+
+TEST(LoadBalancing, LinearTermDiscouragesService) {
+  Fixture fx(1, 1, 100.0);
+  fx.demand.at(0, 0) = 1.0;
+  auto p = fx.problem();
+  // Gradient of (1 - y)^2 at y is -2(1-y); with c = 3 > 2 the multiplier
+  // dominates everywhere and y* = 0.
+  p.linear = {3.0};
+  const auto sol = solve_load_balancing(p);
+  EXPECT_NEAR(sol.y[0], 0.0, 1e-4);
+}
+
+TEST(LoadBalancing, LinearTermPartialInterior) {
+  Fixture fx(1, 1, 100.0);
+  fx.demand.at(0, 0) = 1.0;
+  auto p = fx.problem();
+  // Stationarity: -2(1 - y) + c = 0 -> y = 1 - c/2 = 0.4 for c = 1.2.
+  p.linear = {1.2};
+  const auto sol = solve_load_balancing(p);
+  EXPECT_NEAR(sol.y[0], 0.4, 1e-3);
+}
+
+TEST(LoadBalancing, SbsCostTermPullsDown) {
+  Fixture fx(1, 1, 100.0);
+  fx.sbs.classes[0].omega_sbs = 1.0;  // same weight both sides
+  fx.demand.at(0, 0) = 1.0;
+  const auto sol = solve_load_balancing(fx.problem());
+  // min (1-y)^2 + y^2 -> y = 0.5.
+  EXPECT_NEAR(sol.y[0], 0.5, 1e-3);
+}
+
+TEST(LoadBalancing, ZeroDemandDegenerates) {
+  Fixture fx(2, 2, 1.0);
+  const auto sol = solve_load_balancing(fx.problem());
+  EXPECT_TRUE(sol.converged);
+  for (const double y : sol.y) EXPECT_DOUBLE_EQ(y, 0.0);
+  EXPECT_DOUBLE_EQ(sol.objective, 0.0);
+}
+
+TEST(LoadBalancing, WarmStartGivesSameAnswer) {
+  Fixture fx(3, 4, 2.0);
+  Rng rng(5);
+  for (auto& v : fx.demand.data()) v = rng.uniform(0.0, 2.0);
+  const auto cold = solve_load_balancing(fx.problem());
+  linalg::Vec warm_start(12, 0.7);
+  const auto warm =
+      solve_load_balancing(fx.problem(), {}, &warm_start);
+  EXPECT_NEAR(cold.objective, warm.objective, 1e-4);
+}
+
+TEST(LoadBalancing, ObjectiveEvaluatorConsistent) {
+  Fixture fx(2, 2, 10.0);
+  fx.demand.at(0, 0) = 1.0;
+  fx.demand.at(0, 1) = 2.0;
+  fx.demand.at(1, 0) = 0.5;
+  auto p = fx.problem();
+  p.linear = {0.1, 0.2, 0.3, 0.4};
+  const linalg::Vec y{0.5, 0.25, 1.0, 0.0};
+  // a = 1 + 2 + 0.5 = 3.5; u.y = 0.5 + 0.5 + 0.5 = 1.5; c.y = 0.1*0.5 +
+  // 0.2*0.25 + 0.3*1 = 0.4.
+  EXPECT_NEAR(load_balancing_objective(p, y), 2.0 * 2.0 + 0.4, 1e-12);
+}
+
+TEST(LoadBalancing, ValidatesInputs) {
+  Fixture fx(1, 2, 1.0);
+  auto p = fx.problem();
+  p.upper = {0.5};  // wrong size
+  EXPECT_THROW(p.validate(), InvalidArgument);
+  p = fx.problem();
+  p.upper = {1.5, 0.0};  // outside [0, 1]
+  EXPECT_THROW(p.validate(), InvalidArgument);
+  p = fx.problem();
+  p.sbs = nullptr;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+}
+
+/// Property: the FISTA solution beats random feasible samples.
+class LoadBalancingRandomTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LoadBalancingRandomTest, BeatsRandomFeasiblePoints) {
+  Rng rng(GetParam());
+  const std::size_t classes = 1 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+  const std::size_t contents = 1 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+  Fixture fx(classes, contents, rng.uniform(0.5, 5.0));
+  for (auto& mu : fx.sbs.classes) {
+    mu.omega_bs = rng.uniform(0.0, 1.0);
+    mu.omega_sbs = rng.uniform(0.0, 0.2);
+  }
+  for (auto& v : fx.demand.data()) v = rng.uniform(0.0, 2.0);
+  auto p = fx.problem();
+  p.linear.resize(classes * contents);
+  for (auto& c : p.linear) c = rng.uniform(0.0, 1.0);
+  p.upper.resize(classes * contents);
+  for (auto& u : p.upper) u = rng.bernoulli(0.3) ? 0.0 : 1.0;
+
+  LoadBalancingOptions tight;
+  tight.first_order.max_iterations = 3000;
+  tight.first_order.gradient_tolerance = 1e-9;
+  const auto sol = solve_load_balancing(p, tight);
+
+  // Solution must be feasible.
+  double load = 0.0;
+  for (std::size_t j = 0; j < sol.y.size(); ++j) {
+    EXPECT_GE(sol.y[j], -1e-8);
+    EXPECT_LE(sol.y[j], p.upper[j] + 1e-8);
+    load += fx.demand.data()[j] * sol.y[j];
+  }
+  EXPECT_LE(load, fx.sbs.bandwidth + 1e-6);
+
+  Rng sampler(GetParam() + 1234);
+  for (int trial = 0; trial < 200; ++trial) {
+    linalg::Vec candidate(sol.y.size());
+    double candidate_load = 0.0;
+    for (std::size_t j = 0; j < candidate.size(); ++j) {
+      candidate[j] = sampler.uniform(0.0, p.upper[j]);
+      candidate_load += fx.demand.data()[j] * candidate[j];
+    }
+    if (candidate_load > fx.sbs.bandwidth) continue;
+    EXPECT_GE(load_balancing_objective(p, candidate),
+              sol.objective - 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, LoadBalancingRandomTest,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+// ------------------------------------------------------------ exact KKT ----
+
+TEST(ExactLoadBalancing, ApplicabilityDetection) {
+  Fixture fx(2, 2, 1.0);
+  EXPECT_TRUE(load_balancing_exact_applicable(fx.problem()));
+  fx.sbs.classes[1].omega_sbs = 0.1;
+  EXPECT_FALSE(load_balancing_exact_applicable(fx.problem()));
+  EXPECT_THROW(solve_load_balancing_exact(fx.problem()), InvalidArgument);
+}
+
+TEST(ExactLoadBalancing, MatchesClosedFormInterior) {
+  Fixture fx(1, 1, 100.0);
+  fx.demand.at(0, 0) = 1.0;
+  auto p = fx.problem();
+  p.linear = {1.2};  // stationarity: y = 1 - c/2 = 0.4
+  const auto sol = solve_load_balancing_exact(p);
+  EXPECT_NEAR(sol.y[0], 0.4, 1e-9);
+}
+
+TEST(ExactLoadBalancing, BandwidthBindingMatchesKkt) {
+  Fixture fx(1, 1, 1.0);
+  fx.demand.at(0, 0) = 3.0;
+  const auto sol = solve_load_balancing_exact(fx.problem());
+  EXPECT_NEAR(sol.y[0], 1.0 / 3.0, 1e-6);
+}
+
+TEST(ExactLoadBalancing, ZeroUCoordinatesFollowLinearSign) {
+  // Class with omega 0: its u is zero; y moves only on the linear term.
+  Fixture fx(2, 1, 100.0);
+  fx.sbs.classes[1].omega_bs = 0.0;
+  fx.demand.at(0, 0) = 1.0;
+  fx.demand.at(1, 0) = 1.0;
+  auto p = fx.problem();
+  p.linear = {0.0, -0.5};  // negative coefficient: push to the upper bound
+  const auto sol = solve_load_balancing_exact(p);
+  EXPECT_NEAR(sol.y[1], 1.0, 1e-9);
+  p.linear = {0.0, 0.5};
+  EXPECT_NEAR(solve_load_balancing_exact(p).y[1], 0.0, 1e-9);
+}
+
+/// Property: exact and (tightly converged) FISTA agree in objective value
+/// on random v = 0 instances, and exact is feasible.
+class ExactVsFistaTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactVsFistaTest, ObjectivesAgree) {
+  Rng rng(GetParam() * 7 + 3);
+  const std::size_t classes = 1 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+  const std::size_t contents = 1 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+  Fixture fx(classes, contents, rng.uniform(0.2, 4.0));
+  for (auto& mu : fx.sbs.classes) mu.omega_bs = rng.uniform(0.0, 1.0);
+  for (auto& v : fx.demand.data()) {
+    v = rng.bernoulli(0.2) ? 0.0 : rng.uniform(0.0, 2.0);
+  }
+  auto p = fx.problem();
+  p.linear.resize(classes * contents);
+  for (auto& c : p.linear) c = rng.uniform(-0.3, 1.0);
+  p.upper.resize(classes * contents);
+  for (auto& u : p.upper) u = rng.bernoulli(0.25) ? 0.0 : 1.0;
+
+  const auto exact = solve_load_balancing_exact(p);
+
+  LoadBalancingOptions tight;
+  tight.prefer_exact = false;
+  tight.first_order.max_iterations = 8000;
+  tight.first_order.gradient_tolerance = 1e-10;
+  const auto fista = solve_load_balancing(p, tight);
+
+  // Feasibility of the exact solution.
+  double load = 0.0;
+  for (std::size_t j = 0; j < exact.y.size(); ++j) {
+    EXPECT_GE(exact.y[j], -1e-9);
+    EXPECT_LE(exact.y[j], p.upper[j] + 1e-9);
+    load += fx.demand.data()[j] * exact.y[j];
+  }
+  EXPECT_LE(load, fx.sbs.bandwidth + 1e-6);
+
+  EXPECT_NEAR(exact.objective, fista.objective,
+              1e-4 * (1.0 + std::abs(fista.objective)));
+  // Objective evaluations agree with the reported values.
+  EXPECT_NEAR(load_balancing_objective(p, exact.y), exact.objective, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, ExactVsFistaTest,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+// ------------------------------------------------- optimal_load_for_cache ----
+
+TEST(OptimalLoadForCache, MasksUncachedAndStaysInBandwidth) {
+  model::NetworkConfig config;
+  config.num_contents = 3;
+  model::SbsConfig sbs;
+  sbs.cache_capacity = 2;
+  sbs.bandwidth = 1.0;
+  sbs.replacement_beta = 1.0;
+  sbs.classes = {model::MuClass{1.0, 0.0}};
+  config.sbs.push_back(sbs);
+
+  model::SlotDemand demand = model::make_zero_slot_demand(config);
+  demand[0].at(0, 0) = 1.0;
+  demand[0].at(0, 1) = 1.0;
+  demand[0].at(0, 2) = 1.0;
+
+  model::CacheState cache(config);
+  cache.set(0, 0, true);
+  cache.set(0, 1, true);
+
+  const auto load = optimal_load_for_cache(config, demand, cache);
+  EXPECT_DOUBLE_EQ(load.at(0, 0, 2), 0.0);  // not cached
+  EXPECT_LE(load.sbs_load(0, demand[0]), 1.0 + 1e-6);
+  EXPECT_GT(load.sbs_load(0, demand[0]), 0.9);  // bandwidth worth using
+}
+
+}  // namespace
+}  // namespace mdo::core

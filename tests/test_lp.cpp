@@ -1,0 +1,242 @@
+// Unit and property tests for the two-phase simplex LP solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solver/lp.hpp"
+#include "solver/mcmf.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mdo::solver {
+namespace {
+
+LpConstraint le(std::vector<std::pair<std::size_t, double>> terms,
+                double rhs) {
+  return {std::move(terms), Relation::kLessEqual, rhs};
+}
+LpConstraint ge(std::vector<std::pair<std::size_t, double>> terms,
+                double rhs) {
+  return {std::move(terms), Relation::kGreaterEqual, rhs};
+}
+LpConstraint eq(std::vector<std::pair<std::size_t, double>> terms,
+                double rhs) {
+  return {std::move(terms), Relation::kEqual, rhs};
+}
+
+TEST(Lp, SolvesTextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  => (2, 6), value 36.
+  auto lp = LinearProgram::with_vars(2);
+  lp.objective = {-3.0, -5.0};  // minimize the negation
+  lp.add_constraint(le({{0, 1.0}}, 4.0));
+  lp.add_constraint(le({{1, 2.0}}, 12.0));
+  lp.add_constraint(le({{0, 3.0}, {1, 2.0}}, 18.0));
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective_value, -36.0, 1e-8);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-8);
+  EXPECT_NEAR(sol.x[1], 6.0, 1e-8);
+}
+
+TEST(Lp, DetectsInfeasible) {
+  auto lp = LinearProgram::with_vars(1);
+  lp.objective = {1.0};
+  lp.add_constraint(ge({{0, 1.0}}, 5.0));
+  lp.add_constraint(le({{0, 1.0}}, 2.0));
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(Lp, DetectsUnbounded) {
+  auto lp = LinearProgram::with_vars(2);
+  lp.objective = {-1.0, 0.0};  // minimize -x, x unbounded above
+  lp.add_constraint(le({{1, 1.0}}, 1.0));
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(Lp, HandlesEqualityConstraints) {
+  // min x + y s.t. x + y = 3, x - y = 1  => (2, 1).
+  auto lp = LinearProgram::with_vars(2);
+  lp.objective = {1.0, 1.0};
+  lp.add_constraint(eq({{0, 1.0}, {1, 1.0}}, 3.0));
+  lp.add_constraint(eq({{0, 1.0}, {1, -1.0}}, 1.0));
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-8);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-8);
+}
+
+TEST(Lp, HandlesNegativeRhs) {
+  // min x s.t. -x <= -2 (i.e. x >= 2).
+  auto lp = LinearProgram::with_vars(1);
+  lp.objective = {1.0};
+  lp.add_constraint(le({{0, -1.0}}, -2.0));
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-8);
+}
+
+TEST(Lp, RespectsVariableBounds) {
+  // min -x - y with 1 <= x <= 2, 0 <= y <= 0.5.
+  auto lp = LinearProgram::with_vars(2);
+  lp.objective = {-1.0, -1.0};
+  lp.lower = {1.0, 0.0};
+  lp.upper = {2.0, 0.5};
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-8);
+  EXPECT_NEAR(sol.x[1], 0.5, 1e-8);
+}
+
+TEST(Lp, NonZeroLowerBoundsShiftCorrectly) {
+  // min x + y s.t. x + y >= 5, x >= 2, y >= 1  => value 5.
+  auto lp = LinearProgram::with_vars(2);
+  lp.objective = {1.0, 1.0};
+  lp.lower = {2.0, 1.0};
+  lp.add_constraint(ge({{0, 1.0}, {1, 1.0}}, 5.0));
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective_value, 5.0, 1e-8);
+  EXPECT_GE(sol.x[0], 2.0 - 1e-9);
+  EXPECT_GE(sol.x[1], 1.0 - 1e-9);
+}
+
+TEST(Lp, FixedVariableViaEqualBounds) {
+  auto lp = LinearProgram::with_vars(2);
+  lp.objective = {-1.0, -1.0};
+  lp.lower = {1.5, 0.0};
+  lp.upper = {1.5, 1.0};
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 1.5, 1e-8);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-8);
+}
+
+TEST(Lp, EmptyProgramIsOptimalZero) {
+  const auto sol = solve_lp(LinearProgram::with_vars(0));
+  EXPECT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(sol.objective_value, 0.0);
+}
+
+TEST(Lp, ValidatesShapes) {
+  auto lp = LinearProgram::with_vars(2);
+  lp.objective = {1.0};  // wrong size
+  EXPECT_THROW(solve_lp(lp), InvalidArgument);
+
+  auto lp2 = LinearProgram::with_vars(1);
+  lp2.add_constraint(le({{5, 1.0}}, 1.0));  // unknown variable
+  EXPECT_THROW(solve_lp(lp2), InvalidArgument);
+
+  auto lp3 = LinearProgram::with_vars(1);
+  lp3.lower = {2.0};
+  lp3.upper = {1.0};  // lower > upper
+  EXPECT_THROW(solve_lp(lp3), InvalidArgument);
+}
+
+TEST(Lp, RedundantEqualityRowsAreHandled) {
+  // x + y = 2 stated twice; min x.
+  auto lp = LinearProgram::with_vars(2);
+  lp.objective = {1.0, 0.0};
+  lp.add_constraint(eq({{0, 1.0}, {1, 1.0}}, 2.0));
+  lp.add_constraint(eq({{0, 1.0}, {1, 1.0}}, 2.0));
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 0.0, 1e-8);
+  EXPECT_NEAR(sol.x[1], 2.0, 1e-8);
+}
+
+TEST(Lp, DegenerateProblemTerminates) {
+  // Classic degenerate LP (multiple bases at the optimum).
+  auto lp = LinearProgram::with_vars(2);
+  lp.objective = {-1.0, -1.0};
+  lp.add_constraint(le({{0, 1.0}, {1, 1.0}}, 1.0));
+  lp.add_constraint(le({{0, 1.0}}, 1.0));
+  lp.add_constraint(le({{1, 1.0}}, 1.0));
+  lp.add_constraint(le({{0, 1.0}, {1, 1.0}}, 1.0));  // duplicate binding row
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective_value, -1.0, 1e-8);
+}
+
+TEST(Lp, StatusToString) {
+  EXPECT_STREQ(to_string(LpStatus::kOptimal), "optimal");
+  EXPECT_STREQ(to_string(LpStatus::kInfeasible), "infeasible");
+  EXPECT_STREQ(to_string(LpStatus::kUnbounded), "unbounded");
+  EXPECT_STREQ(to_string(LpStatus::kIterationLimit), "iteration_limit");
+}
+
+/// Property: on random transportation problems the simplex optimum matches
+/// the min-cost-flow optimum (two independent exact solvers).
+class TransportationTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransportationTest, SimplexMatchesFlow) {
+  Rng rng(GetParam());
+  const std::size_t suppliers = 1 + static_cast<std::size_t>(rng.uniform_int(1, 3));
+  const std::size_t consumers = 1 + static_cast<std::size_t>(rng.uniform_int(1, 3));
+  std::vector<std::int64_t> supply(suppliers), demand(consumers);
+  std::int64_t total = 0;
+  for (auto& s : supply) {
+    s = rng.uniform_int(1, 8);
+    total += s;
+  }
+  // Split `total` across consumers.
+  std::int64_t rest = total;
+  for (std::size_t j = 0; j + 1 < consumers; ++j) {
+    demand[j] = rng.uniform_int(0, rest);
+    rest -= demand[j];
+  }
+  demand[consumers - 1] = rest;
+
+  std::vector<std::vector<double>> cost(suppliers,
+                                        std::vector<double>(consumers));
+  for (auto& row : cost)
+    for (auto& c : row) c = rng.uniform(0.0, 10.0);
+
+  // --- LP formulation.
+  auto lp = LinearProgram::with_vars(suppliers * consumers);
+  for (std::size_t i = 0; i < suppliers; ++i) {
+    for (std::size_t j = 0; j < consumers; ++j) {
+      lp.objective[i * consumers + j] = cost[i][j];
+    }
+  }
+  for (std::size_t i = 0; i < suppliers; ++i) {
+    LpConstraint row;
+    row.relation = Relation::kEqual;
+    row.rhs = static_cast<double>(supply[i]);
+    for (std::size_t j = 0; j < consumers; ++j)
+      row.terms.push_back({i * consumers + j, 1.0});
+    lp.add_constraint(std::move(row));
+  }
+  for (std::size_t j = 0; j < consumers; ++j) {
+    LpConstraint col;
+    col.relation = Relation::kEqual;
+    col.rhs = static_cast<double>(demand[j]);
+    for (std::size_t i = 0; i < suppliers; ++i)
+      col.terms.push_back({i * consumers + j, 1.0});
+    lp.add_constraint(std::move(col));
+  }
+  const auto lp_solution = solve_lp(lp);
+  ASSERT_EQ(lp_solution.status, LpStatus::kOptimal);
+
+  // --- Flow formulation.
+  MinCostFlow flow(suppliers + consumers + 2);
+  const std::size_t source = suppliers + consumers;
+  const std::size_t sink = source + 1;
+  for (std::size_t i = 0; i < suppliers; ++i)
+    flow.add_arc(source, i, supply[i], 0.0);
+  for (std::size_t j = 0; j < consumers; ++j)
+    flow.add_arc(suppliers + j, sink, demand[j], 0.0);
+  for (std::size_t i = 0; i < suppliers; ++i)
+    for (std::size_t j = 0; j < consumers; ++j)
+      flow.add_arc(i, suppliers + j, total, cost[i][j]);
+  const auto flow_result = flow.solve(source, sink, total);
+  ASSERT_EQ(flow_result.flow, total);
+
+  EXPECT_NEAR(lp_solution.objective_value, flow_result.cost,
+              1e-6 * (1.0 + std::abs(flow_result.cost)));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, TransportationTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace mdo::solver

@@ -1,0 +1,210 @@
+// Tests for Algorithm 1 (primal-dual) and the exact DP oracle.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/exact_dp.hpp"
+#include "core/primal_dual.hpp"
+#include "model/feasibility.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+#include "workload/scenario.hpp"
+
+namespace mdo::core {
+namespace {
+
+/// Small random instance suitable for the exact DP (K <= 8).
+model::ProblemInstance small_instance(std::uint64_t seed,
+                                      std::size_t contents = 5,
+                                      std::size_t classes = 3,
+                                      std::size_t horizon = 4,
+                                      double beta = 2.0) {
+  workload::PaperScenario scenario;
+  scenario.seed = seed;
+  scenario.num_contents = contents;
+  scenario.classes_per_sbs = classes;
+  scenario.horizon = horizon;
+  scenario.cache_capacity = 2;
+  scenario.bandwidth = 3.0;
+  scenario.beta = beta;
+  scenario.workload.rank_swaps_per_slot = 1;
+  return scenario.build();
+}
+
+HorizonProblem as_problem(const model::ProblemInstance& instance) {
+  HorizonProblem problem;
+  problem.config = &instance.config;
+  problem.demand = instance.demand;
+  problem.initial_cache = instance.initial_cache;
+  return problem;
+}
+
+TEST(PrimalDual, ProducesFeasibleSchedule) {
+  const auto instance = small_instance(3);
+  const auto problem = as_problem(instance);
+  const auto solution = PrimalDualSolver().solve(problem);
+  ASSERT_EQ(solution.schedule.size(), instance.horizon());
+  for (std::size_t t = 0; t < instance.horizon(); ++t) {
+    EXPECT_TRUE(model::is_feasible(instance.config, instance.demand.slot(t),
+                                   solution.schedule[t], 1e-5))
+        << "slot " << t;
+  }
+}
+
+TEST(PrimalDual, BoundsAreOrdered) {
+  const auto instance = small_instance(4);
+  const auto solution = PrimalDualSolver().solve(as_problem(instance));
+  EXPECT_LE(solution.lower_bound, solution.upper_bound + 1e-9);
+  EXPECT_GE(solution.gap(), 0.0);
+  EXPECT_GE(solution.iterations, 1u);
+}
+
+TEST(PrimalDual, UpperBoundMatchesScheduleCost) {
+  const auto instance = small_instance(5);
+  const auto solution = PrimalDualSolver().solve(as_problem(instance));
+  const auto cost =
+      model::schedule_cost(instance.config, instance.demand,
+                           solution.schedule, instance.initial_cache);
+  EXPECT_NEAR(cost.total(), solution.upper_bound, 1e-9);
+}
+
+TEST(PrimalDual, DeterministicAcrossRuns) {
+  const auto instance = small_instance(6);
+  const auto a = PrimalDualSolver().solve(as_problem(instance));
+  const auto b = PrimalDualSolver().solve(as_problem(instance));
+  EXPECT_DOUBLE_EQ(a.upper_bound, b.upper_bound);
+  EXPECT_DOUBLE_EQ(a.lower_bound, b.lower_bound);
+}
+
+TEST(PrimalDual, WarmStartDoesNotBreakBounds) {
+  const auto instance = small_instance(7);
+  const auto problem = as_problem(instance);
+  const auto cold = PrimalDualSolver().solve(problem);
+  const auto warm = PrimalDualSolver().solve(problem, &cold.mu);
+  EXPECT_LE(warm.lower_bound, warm.upper_bound + 1e-9);
+  // A converged-multiplier warm start should not be (much) worse.
+  EXPECT_LE(warm.upper_bound, cold.upper_bound * 1.05 + 1e-6);
+}
+
+TEST(PrimalDual, SimplexBackendAgreesWithFlow) {
+  const auto instance = small_instance(8, /*contents=*/4, /*classes=*/2,
+                                       /*horizon=*/3);
+  PrimalDualOptions flow_options;
+  PrimalDualOptions simplex_options;
+  simplex_options.backend = P1Backend::kSimplex;
+  const auto via_flow =
+      PrimalDualSolver(flow_options).solve(as_problem(instance));
+  const auto via_simplex =
+      PrimalDualSolver(simplex_options).solve(as_problem(instance));
+  EXPECT_NEAR(via_flow.upper_bound, via_simplex.upper_bound,
+              1e-6 * (1.0 + via_flow.upper_bound));
+}
+
+TEST(PrimalDual, ValidatesProblem) {
+  HorizonProblem empty;
+  EXPECT_THROW(PrimalDualSolver().solve(empty), InvalidArgument);
+
+  const auto instance = small_instance(9);
+  auto problem = as_problem(instance);
+  linalg::Vec wrong_mu(3, 0.0);
+  EXPECT_THROW(PrimalDualSolver().solve(problem, &wrong_mu),
+               InvalidArgument);
+}
+
+TEST(PrimalDual, OptionValidation) {
+  PrimalDualOptions options;
+  options.max_iterations = 0;
+  EXPECT_THROW(PrimalDualSolver{options}, InvalidArgument);
+  options = {};
+  options.epsilon = 0.0;
+  EXPECT_THROW(PrimalDualSolver{options}, InvalidArgument);
+  options = {};
+  options.step_alpha = -1.0;
+  EXPECT_THROW(PrimalDualSolver{options}, InvalidArgument);
+}
+
+TEST(PrimalDual, MuLayoutHelpers) {
+  const auto instance = small_instance(10);
+  const std::size_t per_slot = mu_size(instance.config, 1);
+  EXPECT_EQ(per_slot, instance.config.total_classes() *
+                          instance.config.num_contents);
+  EXPECT_EQ(mu_size(instance.config, 4), 4 * per_slot);
+
+  linalg::Vec mu(3 * per_slot);
+  for (std::size_t i = 0; i < mu.size(); ++i) mu[i] = static_cast<double>(i);
+  const auto shifted = shift_mu(mu, instance.config, 3, 1);
+  // Slot 0 of the shifted vector equals slot 1 of the original.
+  EXPECT_DOUBLE_EQ(shifted[0], mu[per_slot]);
+  // Last slot repeats the original's last slot.
+  EXPECT_DOUBLE_EQ(shifted[2 * per_slot], mu[2 * per_slot]);
+}
+
+/// Property: the primal-dual upper bound is within a few percent of the
+/// exact DP optimum, and the lower bound does not exceed it.
+class PrimalDualVsExactTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrimalDualVsExactTest, CloseToExactOptimum) {
+  const auto instance = small_instance(GetParam());
+  const auto problem = as_problem(instance);
+
+  PrimalDualOptions options;
+  options.max_iterations = 60;
+  const auto pd = PrimalDualSolver(options).solve(problem);
+  const auto exact = solve_joint_exact(problem);
+
+  // Exact DP is the ground truth: PD is an upper bound on it, its dual is
+  // a lower bound (small tolerances absorb the inner FISTA accuracy).
+  EXPECT_GE(pd.upper_bound, exact.objective - 1e-4);
+  EXPECT_LE(pd.lower_bound, exact.objective + 1e-4);
+  EXPECT_LE(pd.upper_bound, exact.objective * 1.05 + 1e-6)
+      << "primal-dual more than 5% above the exact optimum";
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, PrimalDualVsExactTest,
+                         ::testing::Range<std::uint64_t>(20, 32));
+
+// ------------------------------------------------------------- exact DP ----
+
+TEST(ExactDp, MatchesScheduleReevaluation) {
+  const auto instance = small_instance(11);
+  const auto problem = as_problem(instance);
+  const auto exact = solve_joint_exact(problem);
+  const auto cost =
+      model::schedule_cost(instance.config, instance.demand, exact.schedule,
+                           instance.initial_cache);
+  EXPECT_NEAR(cost.total(), exact.objective, 1e-5);
+}
+
+TEST(ExactDp, ScheduleIsFeasible) {
+  const auto instance = small_instance(12);
+  const auto problem = as_problem(instance);
+  const auto exact = solve_joint_exact(problem);
+  for (std::size_t t = 0; t < instance.horizon(); ++t) {
+    EXPECT_TRUE(model::is_feasible(instance.config, instance.demand.slot(t),
+                                   exact.schedule[t], 1e-5));
+  }
+}
+
+TEST(ExactDp, RefusesHugeCatalogues) {
+  workload::PaperScenario scenario;
+  scenario.num_contents = 25;  // 2^25 subsets: must refuse
+  scenario.horizon = 2;
+  scenario.classes_per_sbs = 2;
+  const auto instance = scenario.build();
+  EXPECT_THROW(solve_joint_exact(as_problem(instance)), InvalidArgument);
+}
+
+TEST(ExactDp, ZeroBetaCachesGreedily) {
+  // With beta = 0, each slot independently caches the best set; the DP
+  // must reach at least the quality of any fixed cache.
+  const auto instance = small_instance(13, 4, 2, 3, /*beta=*/0.0);
+  const auto problem = as_problem(instance);
+  const auto exact = solve_joint_exact(problem);
+  const auto pd = PrimalDualSolver().solve(problem);
+  EXPECT_LE(exact.objective, pd.upper_bound + 1e-6);
+}
+
+}  // namespace
+}  // namespace mdo::core

@@ -1,0 +1,149 @@
+// Unit and property tests for the box / box-knapsack projections.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/vec.hpp"
+#include "solver/projection.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mdo::solver {
+namespace {
+
+using linalg::Vec;
+
+BoxKnapsackSet unit_set(std::size_t n, Vec weights, double budget) {
+  BoxKnapsackSet set;
+  set.lo.assign(n, 0.0);
+  set.hi.assign(n, 1.0);
+  set.weights = std::move(weights);
+  set.budget = budget;
+  return set;
+}
+
+TEST(ProjectBox, ClampsComponentwise) {
+  const Vec out = project_box({-1.0, 0.5, 3.0}, {0.0, 0.0, 0.0},
+                              {1.0, 1.0, 1.0});
+  EXPECT_EQ(out, (Vec{0.0, 0.5, 1.0}));
+}
+
+TEST(ProjectBox, RejectsMismatchedSizes) {
+  EXPECT_THROW(project_box({1.0}, {0.0, 0.0}, {1.0, 1.0}), InvalidArgument);
+}
+
+TEST(BoxKnapsack, ValidateCatchesEmptySet) {
+  BoxKnapsackSet set;
+  set.lo = {1.0, 1.0};
+  set.hi = {1.0, 1.0};
+  set.weights = {1.0, 1.0};
+  set.budget = 1.0;  // weights . lo = 2 > 1
+  EXPECT_THROW(set.validate(), InvalidArgument);
+}
+
+TEST(BoxKnapsack, ContainsChecksEverything) {
+  const auto set = unit_set(2, {1.0, 1.0}, 1.5);
+  EXPECT_TRUE(set.contains({0.5, 0.5}));
+  EXPECT_FALSE(set.contains({1.0, 1.0}));    // knapsack
+  EXPECT_FALSE(set.contains({-0.5, 0.5}));   // box
+  EXPECT_FALSE(set.contains({0.5}));         // size
+}
+
+TEST(BoxKnapsack, FeasiblePointIsFixed) {
+  const auto set = unit_set(3, {1.0, 2.0, 3.0}, 10.0);
+  const Vec point{0.2, 0.4, 0.6};
+  const Vec out = project_box_knapsack(point, set);
+  EXPECT_TRUE(linalg::approx_equal(out, point, 1e-12));
+}
+
+TEST(BoxKnapsack, InfeasiblePointLandsOnHyperplane) {
+  const auto set = unit_set(2, {1.0, 1.0}, 1.0);
+  const Vec out = project_box_knapsack({1.0, 1.0}, set);
+  EXPECT_NEAR(out[0] + out[1], 1.0, 1e-7);
+  EXPECT_NEAR(out[0], 0.5, 1e-7);  // symmetric projection
+}
+
+TEST(BoxKnapsack, ZeroWeightCoordinatesUnconstrained) {
+  // Second coordinate has zero knapsack weight: only the box applies.
+  const auto set = unit_set(2, {1.0, 0.0}, 0.5);
+  const Vec out = project_box_knapsack({2.0, 0.7}, set);
+  EXPECT_NEAR(out[0], 0.5, 1e-7);
+  EXPECT_DOUBLE_EQ(out[1], 0.7);
+}
+
+TEST(BoxKnapsack, TightBudgetForcesLowerBounds) {
+  const auto set = unit_set(2, {1.0, 1.0}, 0.0);
+  const Vec out = project_box_knapsack({1.0, 1.0}, set);
+  EXPECT_NEAR(out[0], 0.0, 1e-6);
+  EXPECT_NEAR(out[1], 0.0, 1e-6);
+}
+
+/// Property harness over random sets and points.
+class ProjectionRandomTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    Rng rng(GetParam());
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(1, 7));
+    set_.lo.resize(n);
+    set_.hi.resize(n);
+    set_.weights.resize(n);
+    double min_value = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      set_.lo[i] = rng.uniform(-1.0, 0.5);
+      set_.hi[i] = set_.lo[i] + rng.uniform(0.0, 2.0);
+      set_.weights[i] = rng.uniform(0.0, 3.0);
+      min_value += set_.weights[i] * set_.lo[i];
+    }
+    set_.budget = min_value + rng.uniform(0.1, 4.0);
+    point_.resize(n);
+    for (auto& v : point_) v = rng.uniform(-2.0, 3.0);
+  }
+
+  BoxKnapsackSet set_;
+  Vec point_;
+};
+
+TEST_P(ProjectionRandomTest, ResultIsFeasible) {
+  const Vec out = project_box_knapsack(point_, set_);
+  EXPECT_TRUE(set_.contains(out, 1e-6));
+}
+
+TEST_P(ProjectionRandomTest, Idempotent) {
+  const Vec once = project_box_knapsack(point_, set_);
+  const Vec twice = project_box_knapsack(once, set_);
+  EXPECT_TRUE(linalg::approx_equal(once, twice, 1e-6));
+}
+
+TEST_P(ProjectionRandomTest, NoFeasiblePointIsCloser) {
+  // Optimality check by random feasible sampling: the projection must be
+  // at least as close to the point as any sampled feasible candidate.
+  const Vec projected = project_box_knapsack(point_, set_);
+  const double best = linalg::norm2(linalg::subtract(projected, point_));
+  Rng rng(GetParam() + 777);
+  for (int trial = 0; trial < 200; ++trial) {
+    Vec candidate(point_.size());
+    for (std::size_t i = 0; i < candidate.size(); ++i) {
+      candidate[i] = rng.uniform(set_.lo[i], set_.hi[i]);
+    }
+    if (!set_.contains(candidate, 0.0)) continue;
+    const double dist = linalg::norm2(linalg::subtract(candidate, point_));
+    EXPECT_GE(dist, best - 1e-6);
+  }
+}
+
+TEST_P(ProjectionRandomTest, NonExpansive) {
+  Rng rng(GetParam() + 555);
+  Vec other(point_.size());
+  for (auto& v : other) v = rng.uniform(-2.0, 3.0);
+  const Vec pa = project_box_knapsack(point_, set_);
+  const Vec pb = project_box_knapsack(other, set_);
+  const double input_dist = linalg::norm2(linalg::subtract(point_, other));
+  const double output_dist = linalg::norm2(linalg::subtract(pa, pb));
+  EXPECT_LE(output_dist, input_dist + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSets, ProjectionRandomTest,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+}  // namespace
+}  // namespace mdo::solver

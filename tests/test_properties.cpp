@@ -1,0 +1,205 @@
+// Cross-cutting property tests: optimality certificates on instances too
+// large for brute force, and monotonicity invariants of the whole pipeline.
+#include <gtest/gtest.h>
+
+#include "core/caching.hpp"
+#include "core/primal_dual.hpp"
+#include "online/baselines.hpp"
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "workload/predictor.hpp"
+#include "workload/scenario.hpp"
+
+namespace mdo {
+namespace {
+
+// ---- P1 optimality vs random feasible schedules ---------------------------
+
+/// On instances far beyond brute force, the flow solver's objective must
+/// not be beaten by any randomly sampled capacity-feasible schedule.
+class CachingOptimalityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CachingOptimalityTest, NoSampledScheduleBeatsFlow) {
+  Rng rng(GetParam() * 101 + 13);
+  core::CachingSubproblem problem;
+  problem.num_contents = 12;
+  problem.horizon = 8;
+  problem.capacity = 3;
+  problem.beta = rng.uniform(0.5, 4.0);
+  problem.initial.assign(12, 0);
+  problem.initial[0] = 1;
+  problem.rewards.assign(12 * 8, 0.0);
+  for (auto& reward : problem.rewards) reward = rng.uniform(0.0, 2.0);
+
+  const auto optimal = core::solve_caching_flow(problem);
+
+  Rng sampler(GetParam() + 31);
+  std::vector<std::uint8_t> x(12 * 8, 0);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::fill(x.begin(), x.end(), 0);
+    for (std::size_t t = 0; t < 8; ++t) {
+      // Sample a random subset of size <= capacity.
+      for (std::size_t picks = 0; picks < problem.capacity; ++picks) {
+        if (sampler.bernoulli(0.75)) {
+          x[t * 12 + static_cast<std::size_t>(sampler.uniform_int(0, 11))] = 1;
+        }
+      }
+    }
+    EXPECT_GE(core::caching_objective(problem, x),
+              optimal.objective - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, CachingOptimalityTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// ---- Greedy persistence sanity for P1 --------------------------------------
+
+TEST(CachingStructure, HigherBetaNeverIncreasesSwitches) {
+  Rng rng(2024);
+  core::CachingSubproblem problem;
+  problem.num_contents = 10;
+  problem.horizon = 12;
+  problem.capacity = 3;
+  problem.initial.assign(10, 0);
+  problem.rewards.assign(120, 0.0);
+  for (auto& reward : problem.rewards) reward = rng.uniform(0.0, 3.0);
+
+  std::size_t previous_switches = std::numeric_limits<std::size_t>::max();
+  for (const double beta : {0.0, 0.5, 1.5, 4.0, 10.0}) {
+    problem.beta = beta;
+    const auto solution = core::solve_caching_flow(problem);
+    std::size_t switches = 0;
+    for (std::size_t t = 0; t < problem.horizon; ++t) {
+      for (std::size_t k = 0; k < problem.num_contents; ++k) {
+        const bool now = solution.x[t * 10 + k] != 0;
+        const bool before =
+            t == 0 ? problem.initial[k] != 0 : solution.x[(t - 1) * 10 + k] != 0;
+        switches += (now && !before);
+      }
+    }
+    EXPECT_LE(switches, previous_switches) << "beta=" << beta;
+    previous_switches = switches;
+  }
+}
+
+// ---- Whole-pipeline monotonicity -------------------------------------------
+
+sim::ExperimentConfig pipeline_config(std::uint64_t seed) {
+  sim::ExperimentConfig config;
+  config.scenario.seed = seed;
+  config.scenario.num_contents = 10;
+  config.scenario.classes_per_sbs = 6;
+  config.scenario.horizon = 10;
+  config.scenario.cache_capacity = 3;
+  config.scenario.bandwidth = 5.0;
+  config.scenario.beta = 15.0;
+  config.window = 4;
+  config.commit = 2;
+  config.schemes = sim::SchemeSelection{.offline = true,
+                                        .rhc = false,
+                                        .afhc = false,
+                                        .chc = false,
+                                        .lrfu = false};
+  return config;
+}
+
+TEST(PipelineMonotonicity, OfflineCostNonDecreasingInBeta) {
+  double previous = 0.0;
+  for (const double beta : {0.0, 5.0, 20.0, 80.0}) {
+    auto config = pipeline_config(3);
+    config.scenario.beta = beta;
+    const double cost =
+        sim::find_outcome(sim::run_schemes(config), "Offline").total_cost();
+    // Small relative slack absorbs the primal-dual's residual gap.
+    EXPECT_GE(cost, previous * 0.99 - 1e-6) << "beta=" << beta;
+    previous = cost;
+  }
+}
+
+TEST(PipelineMonotonicity, OfflineCostNonIncreasingInBandwidth) {
+  double previous = std::numeric_limits<double>::max();
+  for (const double bandwidth : {1.0, 3.0, 6.0, 12.0}) {
+    auto config = pipeline_config(4);
+    config.scenario.bandwidth = bandwidth;
+    const double cost =
+        sim::find_outcome(sim::run_schemes(config), "Offline").total_cost();
+    // Small solver slack: the primal-dual is near- but not exactly optimal.
+    EXPECT_LE(cost, previous * 1.01 + 1e-6) << "B=" << bandwidth;
+    previous = cost;
+  }
+}
+
+TEST(PipelineMonotonicity, OfflineCostNonIncreasingInCacheSize) {
+  double previous = std::numeric_limits<double>::max();
+  for (const std::size_t capacity : {0u, 1u, 3u, 6u}) {
+    auto config = pipeline_config(5);
+    config.scenario.cache_capacity = capacity;
+    const double cost =
+        sim::find_outcome(sim::run_schemes(config), "Offline").total_cost();
+    EXPECT_LE(cost, previous * 1.01 + 1e-6) << "C=" << capacity;
+    previous = cost;
+  }
+}
+
+TEST(PipelineMonotonicity, ZeroCapacityMeansAllTrafficOnBs) {
+  auto config = pipeline_config(6);
+  config.scenario.cache_capacity = 0;
+  const auto outcome = sim::find_outcome(sim::run_schemes(config), "Offline");
+  EXPECT_DOUBLE_EQ(outcome.offload_ratio, 0.0);
+  EXPECT_EQ(outcome.replacements, 0u);
+  EXPECT_DOUBLE_EQ(outcome.cost.replacement, 0.0);
+}
+
+// ---- Baseline accounting invariants ----------------------------------------
+
+TEST(BaselineAccounting, StaticControllerReplacesOnlyOnce) {
+  workload::PaperScenario scenario;
+  scenario.num_contents = 8;
+  scenario.classes_per_sbs = 4;
+  scenario.horizon = 8;
+  scenario.cache_capacity = 3;
+  const auto instance = scenario.build();
+  const workload::PerfectPredictor predictor(instance.demand);
+  const sim::Simulator simulator(instance, predictor);
+  online::StaticTopCController controller;
+  const auto result = simulator.run(controller);
+  EXPECT_EQ(result.total_replacements, 3u);  // the initial fill only
+  EXPECT_EQ(result.slots[0].replacements, 3u);
+}
+
+TEST(BaselineAccounting, OffloadNeverExceedsBandwidthShare) {
+  workload::PaperScenario scenario;
+  scenario.num_contents = 8;
+  scenario.classes_per_sbs = 6;
+  scenario.horizon = 6;
+  scenario.bandwidth = 2.0;
+  const auto instance = scenario.build();
+  const workload::PerfectPredictor predictor(instance.demand);
+  const sim::Simulator simulator(instance, predictor);
+  online::LrfuController controller;
+  const auto result = simulator.run(controller);
+  for (const auto& slot : result.slots) {
+    EXPECT_LE(slot.sbs_served, 2.0 + 1e-6);
+  }
+}
+
+TEST(BaselineAccounting, DecisionTimesAreRecorded) {
+  workload::PaperScenario scenario;
+  scenario.num_contents = 6;
+  scenario.classes_per_sbs = 3;
+  scenario.horizon = 4;
+  const auto instance = scenario.build();
+  const workload::PerfectPredictor predictor(instance.demand);
+  const sim::Simulator simulator(instance, predictor);
+  online::LrfuController controller;
+  const auto result = simulator.run(controller);
+  EXPECT_GE(result.mean_decision_seconds(), 0.0);
+  for (const auto& slot : result.slots) {
+    EXPECT_GE(slot.decision_seconds, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace mdo

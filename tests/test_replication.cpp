@@ -1,0 +1,110 @@
+// Tests for multi-seed replication and the per-SBS decomposition property.
+#include <gtest/gtest.h>
+
+#include "online/offline_controller.hpp"
+#include "sim/replication.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+#include "workload/predictor.hpp"
+
+namespace mdo::sim {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig config;
+  config.scenario.num_contents = 8;
+  config.scenario.classes_per_sbs = 4;
+  config.scenario.horizon = 8;
+  config.scenario.cache_capacity = 2;
+  config.scenario.bandwidth = 4.0;
+  config.scenario.beta = 10.0;
+  config.window = 4;
+  config.commit = 2;
+  // Keep the replication runs fast: online schemes only where needed.
+  config.schemes = SchemeSelection{.offline = false,
+                                   .rhc = true,
+                                   .afhc = false,
+                                   .chc = false,
+                                   .lrfu = true};
+  return config;
+}
+
+TEST(Replication, SingleReplicationMatchesDirectRun) {
+  const auto config = tiny_config();
+  const auto aggregated = run_replicated(config, 1);
+  const auto direct = run_schemes(config);
+  ASSERT_EQ(aggregated.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(aggregated[i].name, direct[i].name);
+    EXPECT_DOUBLE_EQ(aggregated[i].mean_total_cost, direct[i].total_cost());
+    EXPECT_DOUBLE_EQ(aggregated[i].stddev_total_cost, 0.0);
+    EXPECT_EQ(aggregated[i].replications, 1u);
+  }
+}
+
+TEST(Replication, MeansAverageAcrossSeeds) {
+  const auto config = tiny_config();
+  const auto aggregated = run_replicated(config, 3);
+  // Compute the expected mean by hand from the three individual runs.
+  double expected = 0.0;
+  for (std::size_t rep = 0; rep < 3; ++rep) {
+    auto run = config;
+    run.scenario.seed = config.scenario.seed + rep;
+    run.predictor_seed = config.predictor_seed + rep;
+    expected += find_outcome(run_schemes(run), "LRFU").total_cost();
+  }
+  expected /= 3.0;
+  EXPECT_NEAR(find_aggregated(aggregated, "LRFU").mean_total_cost, expected,
+              1e-9);
+}
+
+TEST(Replication, StddevPositiveAcrossDifferentSeeds) {
+  const auto aggregated = run_replicated(tiny_config(), 3);
+  // Different seeds produce different traces: costs should vary.
+  EXPECT_GT(find_aggregated(aggregated, "LRFU").stddev_total_cost, 0.0);
+}
+
+TEST(Replication, ValidatesArguments) {
+  EXPECT_THROW(run_replicated(tiny_config(), 0), InvalidArgument);
+  const auto aggregated = run_replicated(tiny_config(), 1);
+  EXPECT_THROW(find_aggregated(aggregated, "Nope"), InvalidArgument);
+}
+
+/// The paper (Sec. V-B): "When consider multiple SBSs, the final results
+/// are the sum of each SBS." Verify the decomposition numerically.
+TEST(Decomposition, MultiSbsOfflineEqualsSumOfIsolatedSolves) {
+  workload::PaperScenario scenario;
+  scenario.num_sbs = 3;
+  scenario.num_contents = 8;
+  scenario.classes_per_sbs = 3;
+  scenario.horizon = 6;
+  scenario.cache_capacity = 2;
+  scenario.bandwidth = 3.0;
+  scenario.beta = 5.0;
+  scenario.workload.density_max = 4.0;
+  const auto instance = scenario.build();
+
+  const workload::PerfectPredictor predictor(instance.demand);
+  const Simulator simulator(instance, predictor);
+  online::OfflineController joint;
+  const double joint_cost = simulator.run(joint).total_cost();
+
+  double decomposed = 0.0;
+  for (std::size_t n = 0; n < 3; ++n) {
+    model::ProblemInstance sub;
+    sub.config.num_contents = instance.config.num_contents;
+    sub.config.sbs.push_back(instance.config.sbs[n]);
+    for (std::size_t t = 0; t < instance.horizon(); ++t) {
+      sub.demand.push_back({instance.demand.slot(t)[n]});
+    }
+    sub.initial_cache = model::CacheState(sub.config);
+    const workload::PerfectPredictor sub_predictor(sub.demand);
+    const Simulator sub_simulator(sub, sub_predictor);
+    online::OfflineController sub_offline;
+    decomposed += sub_simulator.run(sub_offline).total_cost();
+  }
+  EXPECT_NEAR(joint_cost, decomposed, 1e-6 * joint_cost);
+}
+
+}  // namespace
+}  // namespace mdo::sim

@@ -1,0 +1,125 @@
+// Tests for demand-trace CSV serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace_io.hpp"
+
+namespace mdo::workload {
+namespace {
+
+model::NetworkConfig tiny_config() {
+  model::NetworkConfig config;
+  config.num_contents = 4;
+  model::SbsConfig sbs;
+  sbs.cache_capacity = 2;
+  sbs.bandwidth = 5.0;
+  sbs.replacement_beta = 1.0;
+  sbs.classes = {model::MuClass{1.0, 0.0}, model::MuClass{0.3, 0.0}};
+  config.sbs.push_back(sbs);
+  config.sbs.push_back(sbs);
+  return config;
+}
+
+TEST(TraceIo, RoundTripsGeneratedTrace) {
+  const auto config = tiny_config();
+  WorkloadOptions options;
+  options.seed = 17;
+  const auto trace = generate_demand(config, 7, options);
+
+  std::stringstream buffer;
+  save_trace_csv(buffer, trace);
+  const auto loaded = load_trace_csv(buffer, config);
+
+  ASSERT_EQ(loaded.horizon(), trace.horizon());
+  for (std::size_t t = 0; t < trace.horizon(); ++t) {
+    for (std::size_t n = 0; n < config.num_sbs(); ++n) {
+      for (std::size_t m = 0; m < 2; ++m) {
+        for (std::size_t k = 0; k < config.num_contents; ++k) {
+          EXPECT_DOUBLE_EQ(loaded.slot(t)[n].at(m, k),
+                           trace.slot(t)[n].at(m, k))
+              << "t=" << t << " n=" << n << " m=" << m << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(TraceIo, SparseZerosOmittedButRestored) {
+  const auto config = tiny_config();
+  model::DemandTrace trace;
+  auto slot = model::make_zero_slot_demand(config);
+  slot[1].at(0, 3) = 2.5;  // single non-zero entry
+  trace.push_back(slot);
+  trace.push_back(model::make_zero_slot_demand(config));  // all-zero slot
+
+  std::stringstream buffer;
+  save_trace_csv(buffer, trace);
+  // Only one data row expected.
+  std::string text = buffer.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);  // header + 1
+
+  // NOTE: trailing all-zero slots cannot be distinguished from a shorter
+  // horizon in the sparse format; the loaded horizon covers the last
+  // non-zero slot.
+  std::stringstream reread(text);
+  const auto loaded = load_trace_csv(reread, config);
+  EXPECT_EQ(loaded.horizon(), 1u);
+  EXPECT_DOUBLE_EQ(loaded.slot(0)[1].at(0, 3), 2.5);
+  EXPECT_DOUBLE_EQ(loaded.slot(0)[0].at(0, 0), 0.0);
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  const auto config = tiny_config();
+  {
+    std::stringstream empty;
+    EXPECT_THROW(load_trace_csv(empty, config), InvalidArgument);
+  }
+  {
+    std::stringstream bad_header("nope\n0,0,0,0,1.0\n");
+    EXPECT_THROW(load_trace_csv(bad_header, config), InvalidArgument);
+  }
+  {
+    std::stringstream no_rows("slot,sbs,class,content,rate\n");
+    EXPECT_THROW(load_trace_csv(no_rows, config), InvalidArgument);
+  }
+  {
+    std::stringstream bad_row("slot,sbs,class,content,rate\n0,0,zero,0,1\n");
+    EXPECT_THROW(load_trace_csv(bad_row, config), InvalidArgument);
+  }
+  {
+    std::stringstream out_of_range("slot,sbs,class,content,rate\n0,9,0,0,1\n");
+    EXPECT_THROW(load_trace_csv(out_of_range, config), InvalidArgument);
+  }
+  {
+    std::stringstream negative("slot,sbs,class,content,rate\n0,0,0,0,-1\n");
+    EXPECT_THROW(load_trace_csv(negative, config), InvalidArgument);
+  }
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto config = tiny_config();
+  WorkloadOptions options;
+  const auto trace = generate_demand(config, 3, options);
+  const std::string path = "/tmp/mdo_trace_io_test.csv";
+  save_trace_csv(path, trace);
+  const auto loaded = load_trace_csv(path, config);
+  EXPECT_EQ(loaded.horizon(), 3u);
+  EXPECT_THROW(load_trace_csv("/nonexistent/dir/trace.csv", config),
+               InvalidArgument);
+}
+
+TEST(TraceIo, SkipsBlankLines) {
+  const auto config = tiny_config();
+  std::stringstream buffer(
+      "slot,sbs,class,content,rate\n0,0,0,0,1.5\n\n1,1,1,2,0.5\n");
+  const auto loaded = load_trace_csv(buffer, config);
+  EXPECT_EQ(loaded.horizon(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.slot(0)[0].at(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(loaded.slot(1)[1].at(1, 2), 0.5);
+}
+
+}  // namespace
+}  // namespace mdo::workload
