@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_competitive_ratio.dir/bench_competitive_ratio.cpp.o"
+  "CMakeFiles/bench_competitive_ratio.dir/bench_competitive_ratio.cpp.o.d"
+  "bench_competitive_ratio"
+  "bench_competitive_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_competitive_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_beta.dir/bench_fig2_beta.cpp.o"
+  "CMakeFiles/bench_fig2_beta.dir/bench_fig2_beta.cpp.o.d"
+  "bench_fig2_beta"
+  "bench_fig2_beta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_beta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

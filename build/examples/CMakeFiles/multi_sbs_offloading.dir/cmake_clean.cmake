@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_sbs_offloading.dir/multi_sbs_offloading.cpp.o"
+  "CMakeFiles/multi_sbs_offloading.dir/multi_sbs_offloading.cpp.o.d"
+  "multi_sbs_offloading"
+  "multi_sbs_offloading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_sbs_offloading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlap_cell.dir/overlap_cell.cpp.o"
+  "CMakeFiles/overlap_cell.dir/overlap_cell.cpp.o.d"
+  "overlap_cell"
+  "overlap_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_cdn_day.dir/video_cdn_day.cpp.o"
+  "CMakeFiles/video_cdn_day.dir/video_cdn_day.cpp.o.d"
+  "video_cdn_day"
+  "video_cdn_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_cdn_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for video_cdn_day.
+# This may be replaced when dependencies are built.

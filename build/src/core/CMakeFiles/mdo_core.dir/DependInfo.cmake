@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/caching.cpp" "src/core/CMakeFiles/mdo_core.dir/caching.cpp.o" "gcc" "src/core/CMakeFiles/mdo_core.dir/caching.cpp.o.d"
+  "/root/repo/src/core/exact_dp.cpp" "src/core/CMakeFiles/mdo_core.dir/exact_dp.cpp.o" "gcc" "src/core/CMakeFiles/mdo_core.dir/exact_dp.cpp.o.d"
+  "/root/repo/src/core/load_balancing.cpp" "src/core/CMakeFiles/mdo_core.dir/load_balancing.cpp.o" "gcc" "src/core/CMakeFiles/mdo_core.dir/load_balancing.cpp.o.d"
+  "/root/repo/src/core/primal_dual.cpp" "src/core/CMakeFiles/mdo_core.dir/primal_dual.cpp.o" "gcc" "src/core/CMakeFiles/mdo_core.dir/primal_dual.cpp.o.d"
+  "/root/repo/src/core/rounding.cpp" "src/core/CMakeFiles/mdo_core.dir/rounding.cpp.o" "gcc" "src/core/CMakeFiles/mdo_core.dir/rounding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mdo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mdo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/mdo_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mdo_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdo_core.dir/caching.cpp.o"
+  "CMakeFiles/mdo_core.dir/caching.cpp.o.d"
+  "CMakeFiles/mdo_core.dir/exact_dp.cpp.o"
+  "CMakeFiles/mdo_core.dir/exact_dp.cpp.o.d"
+  "CMakeFiles/mdo_core.dir/load_balancing.cpp.o"
+  "CMakeFiles/mdo_core.dir/load_balancing.cpp.o.d"
+  "CMakeFiles/mdo_core.dir/primal_dual.cpp.o"
+  "CMakeFiles/mdo_core.dir/primal_dual.cpp.o.d"
+  "CMakeFiles/mdo_core.dir/rounding.cpp.o"
+  "CMakeFiles/mdo_core.dir/rounding.cpp.o.d"
+  "libmdo_core.a"
+  "libmdo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

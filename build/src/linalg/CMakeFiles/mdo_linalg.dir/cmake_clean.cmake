@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdo_linalg.dir/lu.cpp.o"
+  "CMakeFiles/mdo_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/mdo_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/mdo_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/mdo_linalg.dir/vec.cpp.o"
+  "CMakeFiles/mdo_linalg.dir/vec.cpp.o.d"
+  "libmdo_linalg.a"
+  "libmdo_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdo_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/costs.cpp" "src/model/CMakeFiles/mdo_model.dir/costs.cpp.o" "gcc" "src/model/CMakeFiles/mdo_model.dir/costs.cpp.o.d"
+  "/root/repo/src/model/decision.cpp" "src/model/CMakeFiles/mdo_model.dir/decision.cpp.o" "gcc" "src/model/CMakeFiles/mdo_model.dir/decision.cpp.o.d"
+  "/root/repo/src/model/demand.cpp" "src/model/CMakeFiles/mdo_model.dir/demand.cpp.o" "gcc" "src/model/CMakeFiles/mdo_model.dir/demand.cpp.o.d"
+  "/root/repo/src/model/feasibility.cpp" "src/model/CMakeFiles/mdo_model.dir/feasibility.cpp.o" "gcc" "src/model/CMakeFiles/mdo_model.dir/feasibility.cpp.o.d"
+  "/root/repo/src/model/instance.cpp" "src/model/CMakeFiles/mdo_model.dir/instance.cpp.o" "gcc" "src/model/CMakeFiles/mdo_model.dir/instance.cpp.o.d"
+  "/root/repo/src/model/network.cpp" "src/model/CMakeFiles/mdo_model.dir/network.cpp.o" "gcc" "src/model/CMakeFiles/mdo_model.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mdo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mdo_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdo_model.dir/costs.cpp.o"
+  "CMakeFiles/mdo_model.dir/costs.cpp.o.d"
+  "CMakeFiles/mdo_model.dir/decision.cpp.o"
+  "CMakeFiles/mdo_model.dir/decision.cpp.o.d"
+  "CMakeFiles/mdo_model.dir/demand.cpp.o"
+  "CMakeFiles/mdo_model.dir/demand.cpp.o.d"
+  "CMakeFiles/mdo_model.dir/feasibility.cpp.o"
+  "CMakeFiles/mdo_model.dir/feasibility.cpp.o.d"
+  "CMakeFiles/mdo_model.dir/instance.cpp.o"
+  "CMakeFiles/mdo_model.dir/instance.cpp.o.d"
+  "CMakeFiles/mdo_model.dir/network.cpp.o"
+  "CMakeFiles/mdo_model.dir/network.cpp.o.d"
+  "libmdo_model.a"
+  "libmdo_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdo_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

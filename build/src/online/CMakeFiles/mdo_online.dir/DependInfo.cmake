@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/online/baselines.cpp" "src/online/CMakeFiles/mdo_online.dir/baselines.cpp.o" "gcc" "src/online/CMakeFiles/mdo_online.dir/baselines.cpp.o.d"
+  "/root/repo/src/online/chc.cpp" "src/online/CMakeFiles/mdo_online.dir/chc.cpp.o" "gcc" "src/online/CMakeFiles/mdo_online.dir/chc.cpp.o.d"
+  "/root/repo/src/online/fhc.cpp" "src/online/CMakeFiles/mdo_online.dir/fhc.cpp.o" "gcc" "src/online/CMakeFiles/mdo_online.dir/fhc.cpp.o.d"
+  "/root/repo/src/online/offline_controller.cpp" "src/online/CMakeFiles/mdo_online.dir/offline_controller.cpp.o" "gcc" "src/online/CMakeFiles/mdo_online.dir/offline_controller.cpp.o.d"
+  "/root/repo/src/online/rhc.cpp" "src/online/CMakeFiles/mdo_online.dir/rhc.cpp.o" "gcc" "src/online/CMakeFiles/mdo_online.dir/rhc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mdo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mdo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/mdo_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mdo_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mdo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mdo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

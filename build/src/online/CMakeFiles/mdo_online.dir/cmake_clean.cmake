@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdo_online.dir/baselines.cpp.o"
+  "CMakeFiles/mdo_online.dir/baselines.cpp.o.d"
+  "CMakeFiles/mdo_online.dir/chc.cpp.o"
+  "CMakeFiles/mdo_online.dir/chc.cpp.o.d"
+  "CMakeFiles/mdo_online.dir/fhc.cpp.o"
+  "CMakeFiles/mdo_online.dir/fhc.cpp.o.d"
+  "CMakeFiles/mdo_online.dir/offline_controller.cpp.o"
+  "CMakeFiles/mdo_online.dir/offline_controller.cpp.o.d"
+  "CMakeFiles/mdo_online.dir/rhc.cpp.o"
+  "CMakeFiles/mdo_online.dir/rhc.cpp.o.d"
+  "libmdo_online.a"
+  "libmdo_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdo_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlap/model.cpp" "src/overlap/CMakeFiles/mdo_overlap.dir/model.cpp.o" "gcc" "src/overlap/CMakeFiles/mdo_overlap.dir/model.cpp.o.d"
+  "/root/repo/src/overlap/p2.cpp" "src/overlap/CMakeFiles/mdo_overlap.dir/p2.cpp.o" "gcc" "src/overlap/CMakeFiles/mdo_overlap.dir/p2.cpp.o.d"
+  "/root/repo/src/overlap/primal_dual.cpp" "src/overlap/CMakeFiles/mdo_overlap.dir/primal_dual.cpp.o" "gcc" "src/overlap/CMakeFiles/mdo_overlap.dir/primal_dual.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mdo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mdo_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/mdo_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mdo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mdo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

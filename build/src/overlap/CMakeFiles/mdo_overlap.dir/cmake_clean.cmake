@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdo_overlap.dir/model.cpp.o"
+  "CMakeFiles/mdo_overlap.dir/model.cpp.o.d"
+  "CMakeFiles/mdo_overlap.dir/p2.cpp.o"
+  "CMakeFiles/mdo_overlap.dir/p2.cpp.o.d"
+  "CMakeFiles/mdo_overlap.dir/primal_dual.cpp.o"
+  "CMakeFiles/mdo_overlap.dir/primal_dual.cpp.o.d"
+  "libmdo_overlap.a"
+  "libmdo_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdo_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdo_sim.dir/experiment.cpp.o"
+  "CMakeFiles/mdo_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/mdo_sim.dir/replication.cpp.o"
+  "CMakeFiles/mdo_sim.dir/replication.cpp.o.d"
+  "CMakeFiles/mdo_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mdo_sim.dir/simulator.cpp.o.d"
+  "libmdo_sim.a"
+  "libmdo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/first_order.cpp" "src/solver/CMakeFiles/mdo_solver.dir/first_order.cpp.o" "gcc" "src/solver/CMakeFiles/mdo_solver.dir/first_order.cpp.o.d"
+  "/root/repo/src/solver/lp.cpp" "src/solver/CMakeFiles/mdo_solver.dir/lp.cpp.o" "gcc" "src/solver/CMakeFiles/mdo_solver.dir/lp.cpp.o.d"
+  "/root/repo/src/solver/mcmf.cpp" "src/solver/CMakeFiles/mdo_solver.dir/mcmf.cpp.o" "gcc" "src/solver/CMakeFiles/mdo_solver.dir/mcmf.cpp.o.d"
+  "/root/repo/src/solver/projection.cpp" "src/solver/CMakeFiles/mdo_solver.dir/projection.cpp.o" "gcc" "src/solver/CMakeFiles/mdo_solver.dir/projection.cpp.o.d"
+  "/root/repo/src/solver/subgradient.cpp" "src/solver/CMakeFiles/mdo_solver.dir/subgradient.cpp.o" "gcc" "src/solver/CMakeFiles/mdo_solver.dir/subgradient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mdo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mdo_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

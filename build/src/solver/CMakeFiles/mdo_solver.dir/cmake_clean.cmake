@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdo_solver.dir/first_order.cpp.o"
+  "CMakeFiles/mdo_solver.dir/first_order.cpp.o.d"
+  "CMakeFiles/mdo_solver.dir/lp.cpp.o"
+  "CMakeFiles/mdo_solver.dir/lp.cpp.o.d"
+  "CMakeFiles/mdo_solver.dir/mcmf.cpp.o"
+  "CMakeFiles/mdo_solver.dir/mcmf.cpp.o.d"
+  "CMakeFiles/mdo_solver.dir/projection.cpp.o"
+  "CMakeFiles/mdo_solver.dir/projection.cpp.o.d"
+  "CMakeFiles/mdo_solver.dir/subgradient.cpp.o"
+  "CMakeFiles/mdo_solver.dir/subgradient.cpp.o.d"
+  "libmdo_solver.a"
+  "libmdo_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdo_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

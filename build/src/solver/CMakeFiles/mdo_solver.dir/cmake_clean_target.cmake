@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmdo_solver.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdo_util.dir/cli.cpp.o"
+  "CMakeFiles/mdo_util.dir/cli.cpp.o.d"
+  "CMakeFiles/mdo_util.dir/csv.cpp.o"
+  "CMakeFiles/mdo_util.dir/csv.cpp.o.d"
+  "CMakeFiles/mdo_util.dir/logging.cpp.o"
+  "CMakeFiles/mdo_util.dir/logging.cpp.o.d"
+  "CMakeFiles/mdo_util.dir/rng.cpp.o"
+  "CMakeFiles/mdo_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mdo_util.dir/table.cpp.o"
+  "CMakeFiles/mdo_util.dir/table.cpp.o.d"
+  "libmdo_util.a"
+  "libmdo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/ema_predictor.cpp" "src/workload/CMakeFiles/mdo_workload.dir/ema_predictor.cpp.o" "gcc" "src/workload/CMakeFiles/mdo_workload.dir/ema_predictor.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/mdo_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/mdo_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/predictor.cpp" "src/workload/CMakeFiles/mdo_workload.dir/predictor.cpp.o" "gcc" "src/workload/CMakeFiles/mdo_workload.dir/predictor.cpp.o.d"
+  "/root/repo/src/workload/scenario.cpp" "src/workload/CMakeFiles/mdo_workload.dir/scenario.cpp.o" "gcc" "src/workload/CMakeFiles/mdo_workload.dir/scenario.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/workload/CMakeFiles/mdo_workload.dir/trace_io.cpp.o" "gcc" "src/workload/CMakeFiles/mdo_workload.dir/trace_io.cpp.o.d"
+  "/root/repo/src/workload/zipf.cpp" "src/workload/CMakeFiles/mdo_workload.dir/zipf.cpp.o" "gcc" "src/workload/CMakeFiles/mdo_workload.dir/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mdo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mdo_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mdo_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

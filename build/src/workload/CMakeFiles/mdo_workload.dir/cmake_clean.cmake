@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdo_workload.dir/ema_predictor.cpp.o"
+  "CMakeFiles/mdo_workload.dir/ema_predictor.cpp.o.d"
+  "CMakeFiles/mdo_workload.dir/generator.cpp.o"
+  "CMakeFiles/mdo_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/mdo_workload.dir/predictor.cpp.o"
+  "CMakeFiles/mdo_workload.dir/predictor.cpp.o.d"
+  "CMakeFiles/mdo_workload.dir/scenario.cpp.o"
+  "CMakeFiles/mdo_workload.dir/scenario.cpp.o.d"
+  "CMakeFiles/mdo_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/mdo_workload.dir/trace_io.cpp.o.d"
+  "CMakeFiles/mdo_workload.dir/zipf.cpp.o"
+  "CMakeFiles/mdo_workload.dir/zipf.cpp.o.d"
+  "libmdo_workload.a"
+  "libmdo_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdo_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

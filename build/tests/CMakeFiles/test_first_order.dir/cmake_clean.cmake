@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_first_order.dir/test_first_order.cpp.o"
+  "CMakeFiles/test_first_order.dir/test_first_order.cpp.o.d"
+  "test_first_order"
+  "test_first_order.pdb"
+  "test_first_order[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_first_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_load_balancing.dir/test_load_balancing.cpp.o"
+  "CMakeFiles/test_load_balancing.dir/test_load_balancing.cpp.o.d"
+  "test_load_balancing"
+  "test_load_balancing.pdb"
+  "test_load_balancing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_load_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

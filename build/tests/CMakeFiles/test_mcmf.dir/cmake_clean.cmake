@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcmf.dir/test_mcmf.cpp.o"
+  "CMakeFiles/test_mcmf.dir/test_mcmf.cpp.o.d"
+  "test_mcmf"
+  "test_mcmf.pdb"
+  "test_mcmf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

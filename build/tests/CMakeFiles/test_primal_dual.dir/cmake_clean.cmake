@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_primal_dual.dir/test_primal_dual.cpp.o"
+  "CMakeFiles/test_primal_dual.dir/test_primal_dual.cpp.o.d"
+  "test_primal_dual"
+  "test_primal_dual.pdb"
+  "test_primal_dual[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_primal_dual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

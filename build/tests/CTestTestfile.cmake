@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_lp[1]_include.cmake")
+include("/root/repo/build/tests/test_mcmf[1]_include.cmake")
+include("/root/repo/build/tests/test_projection[1]_include.cmake")
+include("/root/repo/build/tests/test_first_order[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_caching[1]_include.cmake")
+include("/root/repo/build/tests/test_load_balancing[1]_include.cmake")
+include("/root/repo/build/tests/test_primal_dual[1]_include.cmake")
+include("/root/repo/build/tests/test_rounding[1]_include.cmake")
+include("/root/repo/build/tests/test_online[1]_include.cmake")
+include("/root/repo/build/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_io[1]_include.cmake")
+include("/root/repo/build/tests/test_replication[1]_include.cmake")
+include("/root/repo/build/tests/test_overlap[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
