@@ -47,6 +47,20 @@ Coefficients build_coefficients(const LoadBalancingSubproblem& problem) {
   return coeff;
 }
 
+bool load_balancing_inputs_finite(const LoadBalancingSubproblem& problem) {
+  MDO_REQUIRE(problem.sbs != nullptr && problem.demand != nullptr,
+              "P2: sbs and demand must be set");
+  auto finite = [](const linalg::Vec& v) {
+    for (const double value : v) {
+      if (!std::isfinite(value)) return false;
+    }
+    return true;
+  };
+  return std::isfinite(problem.sbs->bandwidth) &&
+         finite(problem.demand->data()) && finite(problem.linear) &&
+         finite(problem.upper);
+}
+
 }  // namespace
 
 void LoadBalancingSubproblem::validate() const {
@@ -75,6 +89,15 @@ double load_balancing_objective(const LoadBalancingSubproblem& problem,
 LoadBalancingSolution solve_load_balancing(
     const LoadBalancingSubproblem& problem,
     const LoadBalancingOptions& options, const linalg::Vec* warm_start) {
+  if (!load_balancing_inputs_finite(problem)) {
+    // Corrupted rates/multipliers: serve everything from the BS (y = 0 is
+    // feasible for every box-knapsack instance) and report via the status.
+    LoadBalancingSolution out;
+    out.y.assign(problem.demand->num_classes() * problem.demand->num_contents(),
+                 0.0);
+    out.status = solver::SolveStatus::kNonFiniteInput;
+    return out;
+  }
   problem.validate();
   if (options.prefer_exact && load_balancing_exact_applicable(problem)) {
     return solve_load_balancing_exact(problem);
@@ -135,6 +158,7 @@ LoadBalancingSolution solve_load_balancing(
   out.objective = result.objective_value;
   out.iterations = result.iterations;
   out.converged = result.converged;
+  out.status = result.status;
   return out;
 }
 

@@ -45,6 +45,9 @@ struct LoadBalancingSolution {
   double objective = 0.0;   // value of the P2 objective above
   std::size_t iterations = 0;
   bool converged = false;
+  /// kNonFiniteInput when demand/linear/upper contained NaN/Inf; y is then
+  /// the all-zero (always feasible) allocation.
+  solver::SolveStatus status = solver::SolveStatus::kConverged;
 };
 
 struct LoadBalancingOptions {

@@ -16,6 +16,17 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// Index bookkeeping for the flat mu vector: slot-major, then SBS, then
 /// (class, content) flattened.
+bool demand_finite_nonnegative(const model::DemandTrace& demand) {
+  for (std::size_t t = 0; t < demand.horizon(); ++t) {
+    for (const auto& sbs_demand : demand.slot(t)) {
+      for (const double rate : sbs_demand.data()) {
+        if (!std::isfinite(rate) || rate < 0.0) return false;
+      }
+    }
+  }
+  return true;
+}
+
 struct MuLayout {
   std::size_t per_slot = 0;
   std::vector<std::size_t> sbs_offset;  // within one slot
@@ -85,6 +96,25 @@ PrimalDualSolver::PrimalDualSolver(PrimalDualOptions options)
 
 HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
                                         const linalg::Vec* warm_mu) const {
+  MDO_REQUIRE(problem.config != nullptr, "horizon problem: config must be set");
+  MDO_REQUIRE(problem.horizon() >= 1, "horizon problem: empty window");
+  if (!demand_finite_nonnegative(problem.demand)) {
+    // Corrupted window (NaN/Inf/negative rates): iterating would only smear
+    // the poison through mu and the schedules, so return the safe fallback —
+    // keep the current cache (no replacement churn) and serve everything
+    // from the BS — and let the caller degrade.
+    HorizonSolution degraded;
+    degraded.status = solver::SolveStatus::kNonFiniteInput;
+    degraded.upper_bound = kInf;
+    degraded.lower_bound = -kInf;
+    degraded.schedule.resize(problem.horizon());
+    for (auto& slot : degraded.schedule) {
+      slot.cache = problem.initial_cache;
+      slot.load = model::LoadAllocation(*problem.config);
+    }
+    degraded.mu.assign(mu_size(*problem.config, problem.horizon()), 0.0);
+    return degraded;
+  }
   problem.validate();
   const auto& config = *problem.config;
   const std::size_t w = problem.horizon();
@@ -274,6 +304,9 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
   }
 
   best.mu = std::move(mu);
+  best.status = best.gap() <= options_.epsilon
+                    ? solver::SolveStatus::kConverged
+                    : solver::SolveStatus::kIterationLimit;
   MDO_CHECK(!best.schedule.empty(), "primal-dual produced no schedule");
   MDO_TRACE("primal-dual: UB=" << best.upper_bound
                                << " LB=" << best.lower_bound

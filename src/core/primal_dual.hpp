@@ -24,6 +24,7 @@
 
 #include "core/load_balancing.hpp"
 #include "linalg/vec.hpp"
+#include "solver/status.hpp"
 #include "model/costs.hpp"
 #include "model/decision.hpp"
 #include "model/demand.hpp"
@@ -68,6 +69,12 @@ struct HorizonSolution {
   double lower_bound = 0.0;   // best dual value (valid lower bound)
   std::size_t iterations = 0; // dual iterations performed
   linalg::Vec mu;             // final multipliers (for warm starts)
+  /// How the solve terminated. kNonFiniteInput means the demand window held
+  /// NaN/Inf/negative rates: the schedule is then the safe fallback (carry
+  /// the initial cache, serve everything from the BS) and the bounds are
+  /// meaningless (UB = +inf, LB = -inf). kIterationLimit still delivers the
+  /// best feasible repaired schedule found within the budget.
+  solver::SolveStatus status = solver::SolveStatus::kConverged;
 
   /// Relative optimality gap (UB - LB) / max(|UB|, 1e-12).
   double gap() const;
@@ -89,7 +96,9 @@ class PrimalDualSolver {
   explicit PrimalDualSolver(PrimalDualOptions options = {});
 
   /// Solves the window problem. `warm_mu` (layout above, sized for the
-  /// problem's horizon) seeds the multipliers when provided.
+  /// problem's horizon) seeds the multipliers when provided. Non-finite or
+  /// negative demand never throws: it is reported through the result status
+  /// with a safe fallback schedule (see HorizonSolution::status).
   HorizonSolution solve(const HorizonProblem& problem,
                         const linalg::Vec* warm_mu = nullptr) const;
 

@@ -18,10 +18,20 @@
 namespace mdo::online {
 
 /// Per-slot inputs.
+///
+/// Under fault injection (see sim/fault_injector.hpp) the simulator hands
+/// controllers the *observed* world, which can differ from the clean one:
+/// `true_demand` may carry corrupted (NaN/negative) or spiked rates,
+/// `predictor` is null during a predictor blackout, and `effective_config`
+/// describes the cell with outaged SBSs (capacity and bandwidth forced to
+/// zero). Plain controllers may ignore `effective_config`; RobustController
+/// enforces it.
 struct DecisionContext {
   std::size_t slot = 0;                               // tau
-  const model::SlotDemand* true_demand = nullptr;     // truth at tau
+  const model::SlotDemand* true_demand = nullptr;     // observed demand at tau
   const workload::Predictor* predictor = nullptr;     // forecasts from tau
+  /// Per-slot degraded network view; nullptr means the instance config.
+  const model::NetworkConfig* effective_config = nullptr;
 };
 
 class Controller {
@@ -38,6 +48,17 @@ class Controller {
   /// Decision for slot ctx.slot. Must respect cache capacity (1); the
   /// simulator enforces (2)-(3) against the true demand afterwards.
   virtual model::SlotDecision decide(const DecisionContext& ctx) = 0;
+
+  /// Called by the simulator after the slot's decision has been repaired and
+  /// executed. Controllers that track their own cache trajectory (RHC)
+  /// resynchronize here so a degraded slot (RobustController substituted a
+  /// fallback action) does not leave them planning from a state that never
+  /// happened. Default: no-op. CHC/FHC planners deliberately keep their own
+  /// committed trajectories (the paper's averaging design) and do not resync.
+  virtual void observe(std::size_t slot, const model::SlotDecision& executed) {
+    (void)slot;
+    (void)executed;
+  }
 };
 
 }  // namespace mdo::online

@@ -66,4 +66,10 @@ model::SlotDecision RhcController::decide(const DecisionContext& ctx) {
   return solution.schedule.front();
 }
 
+void RhcController::observe(std::size_t /*slot*/,
+                            const model::SlotDecision& executed) {
+  if (instance_ == nullptr) return;
+  trajectory_cache_ = executed.cache;
+}
+
 }  // namespace mdo::online

@@ -26,6 +26,10 @@ class RhcController final : public Controller {
   std::string name() const override;
   void reset(const model::ProblemInstance& instance) override;
   model::SlotDecision decide(const DecisionContext& ctx) override;
+  /// RHC plans from its own trajectory x^{tau-1}; when the executed action
+  /// differs from the planned one (a RobustController fallback) the
+  /// trajectory follows the executed cache.
+  void observe(std::size_t slot, const model::SlotDecision& executed) override;
 
   std::size_t window() const { return window_; }
 

@@ -1,0 +1,258 @@
+#include "online/robust_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/vec.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/stopwatch.hpp"
+
+namespace mdo::online {
+
+namespace {
+
+bool demand_clean(const model::SlotDemand& demand) {
+  for (const auto& sbs_demand : demand) {
+    for (const double rate : sbs_demand.data()) {
+      if (!std::isfinite(rate) || rate < 0.0) return false;
+    }
+  }
+  return true;
+}
+
+/// Copy of the observed demand with NaN/Inf/negative rates zeroed — the
+/// least-assuming repair: a rate we cannot trust contributes no traffic.
+model::SlotDemand sanitize_demand(const model::SlotDemand& demand) {
+  model::SlotDemand out = demand;
+  for (auto& sbs_demand : out) {
+    for (double& rate : sbs_demand.data()) {
+      if (!std::isfinite(rate) || rate < 0.0) rate = 0.0;
+    }
+  }
+  return out;
+}
+
+bool decision_finite(const model::SlotDecision& decision) {
+  for (std::size_t n = 0; n < decision.load.num_sbs(); ++n) {
+    for (const double y : decision.load.sbs_data(n)) {
+      if (!std::isfinite(y)) return false;
+    }
+  }
+  return true;
+}
+
+/// Per-SBS content scores (total observed request volume) for eviction /
+/// top-C ranking.
+linalg::Vec content_scores(const model::SbsDemand& demand) {
+  linalg::Vec scores(demand.num_contents(), 0.0);
+  for (std::size_t k = 0; k < demand.num_contents(); ++k) {
+    scores[k] = demand.content_total(k);
+  }
+  return scores;
+}
+
+}  // namespace
+
+RobustController::RobustController(Controller& inner,
+                                   RobustControllerOptions options)
+    : inner_(&inner), options_(options) {
+  MDO_REQUIRE(options_.max_decide_seconds >= 0.0,
+              "decide budget must be >= 0");
+}
+
+std::string RobustController::name() const {
+  return "Robust(" + inner_->name() + ")";
+}
+
+void RobustController::reset(const model::ProblemInstance& instance) {
+  inner_->reset(instance);
+  instance_ = &instance;
+  last_executed_ = {};
+  have_last_ = false;
+  events_.clear();
+  slot_kinds_.clear();
+  slot_details_.clear();
+  level_counts_ = {};
+}
+
+void RobustController::observe(std::size_t slot,
+                               const model::SlotDecision& executed) {
+  last_executed_ = executed;
+  have_last_ = true;
+  inner_->observe(slot, executed);
+}
+
+model::SlotDecision RobustController::decide(const DecisionContext& ctx) {
+  MDO_REQUIRE(instance_ != nullptr, "Robust: reset() must be called first");
+  try {
+    return decide_guarded(ctx);
+  } catch (const std::exception& e) {
+    // Last-ditch guard: even the fallback chain failed (allocation, a broken
+    // instance...). An empty cache with y = 0 is feasible for any config.
+    MDO_WARN("RobustController: fallback chain failed at slot "
+             << ctx.slot << ": " << e.what());
+    slot_kinds_.push_back(DegradationKind::kSolverFailure);
+    slot_details_.push_back(e.what());
+    model::SlotDecision safe;
+    safe.cache = model::CacheState(instance_->config);
+    safe.load = model::LoadAllocation(instance_->config);
+    return finish(ctx.slot, FallbackLevel::kBsOnly, std::move(safe));
+  }
+}
+
+model::SlotDecision RobustController::decide_guarded(
+    const DecisionContext& ctx) {
+  const model::NetworkConfig& effective =
+      ctx.effective_config != nullptr ? *ctx.effective_config
+                                      : instance_->config;
+  MDO_REQUIRE(ctx.true_demand != nullptr, "Robust: demand must be set");
+
+  // ---- Sanitize the observed world.
+  const bool demand_ok = demand_clean(*ctx.true_demand);
+  model::SlotDemand sanitized;
+  const model::SlotDemand* observed = ctx.true_demand;
+  if (!demand_ok) {
+    slot_kinds_.push_back(DegradationKind::kCorruptDemand);
+    slot_details_.push_back("observed demand held NaN/Inf/negative rates");
+    sanitized = sanitize_demand(*ctx.true_demand);
+    observed = &sanitized;
+  }
+
+  // Projects `decision` onto the effective capacities: evicts the lowest-
+  // score contents of over-capacity SBSs (outage => capacity 0 => evict
+  // all), zeroes y on evicted contents, and clamps y into [0, 1].
+  auto project_capacity = [&](model::SlotDecision& decision,
+                              FallbackLevel level) {
+    bool evicted = false;
+    for (std::size_t n = 0; n < effective.num_sbs(); ++n) {
+      const std::size_t capacity = effective.sbs[n].cache_capacity;
+      if (decision.cache.count(n) > capacity) {
+        evicted = true;
+        const linalg::Vec scores = content_scores((*observed)[n]);
+        std::vector<std::size_t> cached;
+        for (std::size_t k = 0; k < effective.num_contents; ++k) {
+          if (decision.cache.cached(n, k)) cached.push_back(k);
+        }
+        std::stable_sort(cached.begin(), cached.end(),
+                         [&scores](std::size_t a, std::size_t b) {
+                           return scores[a] > scores[b];
+                         });
+        for (std::size_t i = capacity; i < cached.size(); ++i) {
+          decision.cache.set(n, cached[i], false);
+        }
+      }
+      const std::size_t classes = effective.sbs[n].num_classes();
+      for (std::size_t m = 0; m < classes; ++m) {
+        for (std::size_t k = 0; k < effective.num_contents; ++k) {
+          double& y = decision.load.at(n, m, k);
+          y = std::isfinite(y) ? std::clamp(y, 0.0, 1.0) : 0.0;
+          if (!decision.cache.cached(n, k)) y = 0.0;
+        }
+      }
+      // Best-effort bandwidth projection against the observed demand; the
+      // simulator still repairs against the truth afterwards.
+      const double load = decision.load.sbs_load(n, (*observed)[n]);
+      if (load > effective.sbs[n].bandwidth && load > 0.0) {
+        const double scale = effective.sbs[n].bandwidth / load;
+        for (double& y : decision.load.sbs_data(n)) y *= scale;
+      }
+    }
+    if (evicted) {
+      DegradationEvent event;
+      event.slot = ctx.slot;
+      event.level = level;
+      event.kind = DegradationKind::kOutageEviction;
+      event.detail = "cache projected onto degraded capacities";
+      events_.push_back(event);
+    }
+  };
+
+  // ---- Level 0: the wrapped controller's own solve.
+  if (demand_ok) {
+    try {
+      const Stopwatch watch;
+      model::SlotDecision decision = inner_->decide(ctx);
+      const double elapsed = watch.elapsed_seconds();
+      if (options_.max_decide_seconds > 0.0 &&
+          elapsed > options_.max_decide_seconds) {
+        slot_kinds_.push_back(DegradationKind::kDeadlineExceeded);
+        slot_details_.push_back("decide() took " + std::to_string(elapsed) +
+                                "s");
+      } else if (!decision_finite(decision)) {
+        slot_kinds_.push_back(DegradationKind::kNonFiniteDecision);
+        slot_details_.push_back("wrapped controller returned NaN/Inf load");
+      } else {
+        // Project only when the slot is actually degraded (or the inner
+        // controller overfilled a cache): on a clean slot the wrapper must
+        // return the inner decision bit for bit — clamping and bandwidth
+        // scaling are the simulator repair's job.
+        bool needs_projection = ctx.effective_config != nullptr;
+        for (std::size_t n = 0; !needs_projection && n < effective.num_sbs();
+             ++n) {
+          needs_projection =
+              decision.cache.count(n) > effective.sbs[n].cache_capacity;
+        }
+        if (needs_projection) project_capacity(decision, FallbackLevel::kFull);
+        return finish(ctx.slot, FallbackLevel::kFull, std::move(decision));
+      }
+    } catch (const std::exception& e) {
+      slot_kinds_.push_back(ctx.predictor == nullptr
+                                ? DegradationKind::kPredictorMissing
+                                : DegradationKind::kSolverFailure);
+      slot_details_.push_back(e.what());
+    }
+  }
+
+  // ---- Level 1: reuse the last executed decision, re-projected feasible.
+  if (have_last_) {
+    model::SlotDecision decision = last_executed_;
+    project_capacity(decision, FallbackLevel::kWarmReuse);
+    return finish(ctx.slot, FallbackLevel::kWarmReuse, std::move(decision));
+  }
+
+  // ---- Level 2: LRFU-style top-C caching on sanitized demand, y = 0.
+  model::SlotDecision decision;
+  decision.cache = model::CacheState(instance_->config);
+  decision.load = model::LoadAllocation(instance_->config);
+  for (std::size_t n = 0; n < effective.num_sbs(); ++n) {
+    const linalg::Vec scores = content_scores((*observed)[n]);
+    std::vector<std::size_t> order(effective.num_contents);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&scores](std::size_t a, std::size_t b) {
+                       return scores[a] > scores[b];
+                     });
+    const std::size_t capacity =
+        std::min<std::size_t>(effective.sbs[n].cache_capacity, order.size());
+    for (std::size_t i = 0; i < capacity; ++i) {
+      decision.cache.set(n, order[i], true);
+    }
+  }
+  return finish(ctx.slot, FallbackLevel::kBsOnly, std::move(decision));
+}
+
+model::SlotDecision RobustController::finish(std::size_t slot,
+                                             FallbackLevel level,
+                                             model::SlotDecision decision) {
+  ++level_counts_[static_cast<std::size_t>(level)];
+  for (std::size_t i = 0; i < slot_kinds_.size(); ++i) {
+    DegradationEvent event;
+    event.slot = slot;
+    event.level = level;
+    event.kind = slot_kinds_[i];
+    event.detail = std::move(slot_details_[i]);
+    events_.push_back(std::move(event));
+  }
+  slot_kinds_.clear();
+  slot_details_.clear();
+  // decide() callers that never invoke observe() (direct drivers) still get
+  // warm reuse from the returned decision; observe() overwrites it with the
+  // executed one.
+  last_executed_ = decision;
+  have_last_ = true;
+  return decision;
+}
+
+}  // namespace mdo::online

@@ -1,0 +1,119 @@
+// Graceful-degradation wrapper around any Controller.
+//
+// Production operation (see DESIGN.md, "Failure model and graceful
+// degradation") cannot afford a per-slot abort: predictors drop out, SBSs
+// fail, traces arrive corrupted, and a slot's solve must finish inside a
+// deadline. RobustController makes `decide()` total: it never throws and
+// always returns a finite, cache-capacity-feasible decision, degrading
+// through a fixed fallback chain when the wrapped controller cannot deliver:
+//
+//   level 0 (kFull)      the wrapped controller's own solve, validated and —
+//                        under an SBS outage — projected onto the degraded
+//                        capacities;
+//   level 1 (kWarmReuse) reuse the previously *executed* decision,
+//                        re-projected feasible for the current slot;
+//   level 2 (kBsOnly)    LRFU-style top-C caching on the sanitized observed
+//                        demand with y = 0 (all traffic through the BS) —
+//                        feasible for every instance.
+//
+// Every degradation is recorded as a typed DegradationEvent, consumed by the
+// robustness report (sim/robustness_report.hpp). On a clean slot the wrapper
+// is transparent: it returns the wrapped controller's decision bit for bit.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "online/controller.hpp"
+
+namespace mdo::online {
+
+/// Which rung of the fallback chain served a slot.
+enum class FallbackLevel { kFull = 0, kWarmReuse = 1, kBsOnly = 2 };
+
+enum class DegradationKind {
+  kCorruptDemand,      // observed demand held NaN/Inf/negative rates
+  kPredictorMissing,   // predictor blackout and the controller needs one
+  kSolverFailure,      // the wrapped decide() threw
+  kNonFiniteDecision,  // the wrapped decide() returned NaN/Inf allocations
+  kDeadlineExceeded,   // the wrapped decide() overran the per-slot budget
+  kOutageEviction,     // cache projected onto degraded (outage) capacities
+};
+
+constexpr const char* to_string(FallbackLevel level) {
+  switch (level) {
+    case FallbackLevel::kFull: return "full";
+    case FallbackLevel::kWarmReuse: return "warm_reuse";
+    case FallbackLevel::kBsOnly: return "bs_only";
+  }
+  return "?";
+}
+
+constexpr const char* to_string(DegradationKind kind) {
+  switch (kind) {
+    case DegradationKind::kCorruptDemand: return "corrupt_demand";
+    case DegradationKind::kPredictorMissing: return "predictor_missing";
+    case DegradationKind::kSolverFailure: return "solver_failure";
+    case DegradationKind::kNonFiniteDecision: return "non_finite_decision";
+    case DegradationKind::kDeadlineExceeded: return "deadline_exceeded";
+    case DegradationKind::kOutageEviction: return "outage_eviction";
+  }
+  return "?";
+}
+
+/// One recorded degradation. `level` is the rung that ultimately served the
+/// slot (several events can share a slot: e.g. a solver failure followed by
+/// an outage eviction of the reused schedule).
+struct DegradationEvent {
+  std::size_t slot = 0;
+  FallbackLevel level = FallbackLevel::kFull;
+  DegradationKind kind = DegradationKind::kSolverFailure;
+  std::string detail;
+};
+
+struct RobustControllerOptions {
+  /// Per-slot wall-clock budget for the wrapped decide(); 0 disables the
+  /// deadline (the default — time-based fallbacks are not deterministic).
+  /// An overrun discards the late result and serves the slot from level 1.
+  double max_decide_seconds = 0.0;
+};
+
+class RobustController final : public Controller {
+ public:
+  /// Wraps `inner` (not owned; must outlive the wrapper).
+  explicit RobustController(Controller& inner,
+                            RobustControllerOptions options = {});
+
+  std::string name() const override;
+  void reset(const model::ProblemInstance& instance) override;
+  /// Never throws; always returns finite allocations and a cache respecting
+  /// the (possibly outage-degraded) capacity of every SBS.
+  model::SlotDecision decide(const DecisionContext& ctx) override;
+  void observe(std::size_t slot, const model::SlotDecision& executed) override;
+
+  /// All degradations since the last reset(), in slot order.
+  const std::vector<DegradationEvent>& events() const { return events_; }
+  /// Number of decide() calls served by each fallback level since reset().
+  const std::array<std::size_t, 3>& level_counts() const {
+    return level_counts_;
+  }
+
+ private:
+  model::SlotDecision decide_guarded(const DecisionContext& ctx);
+  model::SlotDecision finish(std::size_t slot, FallbackLevel level,
+                             model::SlotDecision decision);
+
+  Controller* inner_;
+  RobustControllerOptions options_;
+  const model::ProblemInstance* instance_ = nullptr;
+
+  model::SlotDecision last_executed_;  // warm-reuse source
+  bool have_last_ = false;
+  std::vector<DegradationEvent> events_;
+  std::vector<DegradationKind> slot_kinds_;   // kinds raised this slot
+  std::vector<std::string> slot_details_;     // parallel to slot_kinds_
+  std::array<std::size_t, 3> level_counts_{};
+};
+
+}  // namespace mdo::online

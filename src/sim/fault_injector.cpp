@@ -1,0 +1,129 @@
+#include "sim/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mdo::sim {
+
+FaultInjector::FaultInjector(FaultInjectionConfig config)
+    : config_(std::move(config)) {
+  MDO_REQUIRE(config_.outage_probability >= 0.0 &&
+                  config_.outage_probability <= 1.0,
+              "outage probability must be in [0, 1]");
+  MDO_REQUIRE(config_.blackout_probability >= 0.0 &&
+                  config_.blackout_probability <= 1.0,
+              "blackout probability must be in [0, 1]");
+  MDO_REQUIRE(config_.corruption_probability >= 0.0 &&
+                  config_.corruption_probability <= 1.0,
+              "corruption probability must be in [0, 1]");
+  MDO_REQUIRE(config_.spike_probability >= 0.0 &&
+                  config_.spike_probability <= 1.0,
+              "spike probability must be in [0, 1]");
+  MDO_REQUIRE(config_.outage_duration >= 1, "outage duration must be >= 1");
+  MDO_REQUIRE(std::isfinite(config_.spike_factor) && config_.spike_factor > 0.0,
+              "spike factor must be finite and positive");
+  for (const auto& spike : config_.spikes) {
+    MDO_REQUIRE(std::isfinite(spike.factor) && spike.factor > 0.0,
+                "spike factor must be finite and positive");
+  }
+}
+
+std::vector<SlotFaults> FaultInjector::plan(std::size_t horizon,
+                                            std::size_t num_sbs) const {
+  std::vector<SlotFaults> out(horizon);
+  for (auto& faults : out) faults.sbs_outage.assign(num_sbs, 0);
+
+  // ---- Explicit schedule.
+  for (const auto& outage : config_.outages) {
+    MDO_REQUIRE(outage.sbs < num_sbs, "outage SBS index out of range");
+    const std::size_t end = std::min(outage.slots.end, horizon);
+    for (std::size_t t = outage.slots.begin; t < end; ++t) {
+      out[t].sbs_outage[outage.sbs] = 1;
+    }
+  }
+  for (const auto& blackout : config_.predictor_blackouts) {
+    const std::size_t end = std::min(blackout.end, horizon);
+    for (std::size_t t = blackout.begin; t < end; ++t) {
+      out[t].predictor_blackout = true;
+    }
+  }
+  for (const auto& spike : config_.spikes) {
+    const std::size_t end = std::min(spike.slots.end, horizon);
+    for (std::size_t t = spike.slots.begin; t < end; ++t) {
+      out[t].demand_scale *= spike.factor;
+    }
+  }
+  for (const std::size_t slot : config_.corrupted_slots) {
+    if (slot < horizon) out[slot].corrupt_demand = true;
+  }
+
+  // ---- Random schedule. Draw order is fixed (slot-major, outages first)
+  // so the plan is a pure function of (config, horizon, num_sbs).
+  Rng rng(config_.seed);
+  for (std::size_t t = 0; t < horizon; ++t) {
+    for (std::size_t n = 0; n < num_sbs; ++n) {
+      if (rng.bernoulli(config_.outage_probability)) {
+        const std::size_t end = std::min(t + config_.outage_duration, horizon);
+        for (std::size_t s = t; s < end; ++s) out[s].sbs_outage[n] = 1;
+      }
+    }
+    if (rng.bernoulli(config_.blackout_probability)) {
+      out[t].predictor_blackout = true;
+    }
+    if (rng.bernoulli(config_.corruption_probability)) {
+      out[t].corrupt_demand = true;
+    }
+    if (rng.bernoulli(config_.spike_probability)) {
+      out[t].demand_scale *= config_.spike_factor;
+    }
+  }
+  return out;
+}
+
+model::NetworkConfig FaultInjector::degraded_config(
+    const model::NetworkConfig& config, const SlotFaults& faults) {
+  MDO_REQUIRE(faults.sbs_outage.size() == config.num_sbs(),
+              "fault plan was built for a different number of SBSs");
+  model::NetworkConfig degraded = config;
+  for (std::size_t n = 0; n < degraded.num_sbs(); ++n) {
+    if (faults.sbs_outage[n] != 0) {
+      degraded.sbs[n].cache_capacity = 0;
+      degraded.sbs[n].bandwidth = 0.0;
+    }
+  }
+  return degraded;
+}
+
+model::SlotDemand FaultInjector::observed_demand(
+    const model::SlotDemand& truth, std::size_t slot,
+    const SlotFaults& faults) const {
+  model::SlotDemand observed = truth;
+  if (faults.demand_scale != 1.0) {
+    for (auto& sbs_demand : observed) {
+      for (double& rate : sbs_demand.data()) rate *= faults.demand_scale;
+    }
+  }
+  if (faults.corrupt_demand) {
+    // Keyed on (seed, slot) so replaying a slot reproduces the exact same
+    // corruption independently of how many slots were played before it.
+    std::uint64_t state =
+        config_.seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(slot) + 1));
+    Rng rng(splitmix64(state));
+    for (auto& sbs_demand : observed) {
+      auto& data = sbs_demand.data();
+      if (data.empty()) continue;
+      const auto index = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(data.size()) - 1));
+      data[index] = rng.bernoulli(0.5)
+                        ? std::numeric_limits<double>::quiet_NaN()
+                        : -(1.0 + data[index]);
+    }
+  }
+  return observed;
+}
+
+}  // namespace mdo::sim

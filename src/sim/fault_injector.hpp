@@ -1,0 +1,118 @@
+// Seeded fault-injection harness for robustness experiments.
+//
+// Production deployments of the paper's control loop face failures the clean
+// model ignores: SBSs go dark, the demand predictor drops out, traces arrive
+// corrupted, and flash crowds spike the request rates. The FaultInjector
+// turns a clean simulation into a faulted one by perturbing what each slot's
+// DecisionContext *observes* — the clean truth is still used for cost
+// accounting, so degradation is measured against reality, not against the
+// corrupted view.
+//
+// Failure modes (all deterministic under a fixed seed):
+//   - SBS outage: the SBS's cache capacity and bandwidth drop to zero for a
+//     range of slots (ctx.effective_config); its cache is effectively wiped
+//     and re-warming is charged through the replacement cost beta.
+//   - Predictor blackout: ctx.predictor == nullptr for the slot; prediction-
+//     based controllers (RHC/FHC/CHC) cannot solve.
+//   - Demand spike: the observed rates are scaled by a burst factor.
+//   - Corrupted slot: a deterministic subset of observed rates is replaced
+//     with NaN or negative values.
+//
+// Faults can be scheduled explicitly (windows/slot lists) or drawn from
+// per-slot probabilities; both paths are reproducible bit for bit under the
+// configured seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/demand.hpp"
+#include "model/network.hpp"
+
+namespace mdo::sim {
+
+/// Half-open slot range [begin, end).
+struct SlotRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  bool contains(std::size_t t) const { return t >= begin && t < end; }
+};
+
+/// One SBS dark over a range of slots.
+struct OutageWindow {
+  std::size_t sbs = 0;
+  SlotRange slots;
+};
+
+/// Observed demand scaled by `factor` over a range of slots.
+struct SpikeWindow {
+  SlotRange slots;
+  double factor = 1.0;
+};
+
+struct FaultInjectionConfig {
+  // ---- Explicit schedule.
+  std::vector<OutageWindow> outages;
+  std::vector<SlotRange> predictor_blackouts;
+  std::vector<SpikeWindow> spikes;
+  std::vector<std::size_t> corrupted_slots;
+
+  // ---- Random schedule (applied on top of the explicit one). All
+  // probabilities are per slot (outages: per slot and SBS) and default to 0.
+  double outage_probability = 0.0;
+  std::size_t outage_duration = 1;  // slots each random outage lasts
+  double blackout_probability = 0.0;
+  double corruption_probability = 0.0;
+  double spike_probability = 0.0;
+  double spike_factor = 3.0;  // burst multiplier for random spikes
+
+  std::uint64_t seed = 42;
+};
+
+/// The faults active in one slot.
+struct SlotFaults {
+  std::vector<char> sbs_outage;    // indexed by SBS; 1 = dark this slot
+  bool predictor_blackout = false;
+  bool corrupt_demand = false;
+  double demand_scale = 1.0;       // != 1 during a spike
+
+  bool any_outage() const {
+    for (const char out : sbs_outage) {
+      if (out != 0) return true;
+    }
+    return false;
+  }
+  bool any() const {
+    return any_outage() || predictor_blackout || corrupt_demand ||
+           demand_scale != 1.0;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultInjectionConfig config);
+
+  const FaultInjectionConfig& config() const { return config_; }
+
+  /// The full per-slot fault schedule for a run. Deterministic: the same
+  /// (config, horizon, num_sbs) always yields the same plan.
+  std::vector<SlotFaults> plan(std::size_t horizon, std::size_t num_sbs) const;
+
+  /// Copy of `config` with every outaged SBS's cache capacity and bandwidth
+  /// forced to zero.
+  static model::NetworkConfig degraded_config(
+      const model::NetworkConfig& config, const SlotFaults& faults);
+
+  /// The demand the controller observes at `slot`: the truth scaled by the
+  /// spike factor, with — on corrupted slots — one deterministically chosen
+  /// rate per SBS replaced by NaN or a negative value.
+  model::SlotDemand observed_demand(const model::SlotDemand& truth,
+                                    std::size_t slot,
+                                    const SlotFaults& faults) const;
+
+ private:
+  FaultInjectionConfig config_;
+};
+
+}  // namespace mdo::sim

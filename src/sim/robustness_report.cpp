@@ -1,0 +1,64 @@
+#include "sim/robustness_report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace mdo::sim {
+
+std::string RobustnessReport::format() const {
+  std::ostringstream os;
+  os << "robustness report: " << controller << " over " << horizon
+     << " slots\n";
+  os << "  injected faults: " << outage_slots << " outage, " << blackout_slots
+     << " blackout, " << corrupt_slots << " corrupt, " << spike_slots
+     << " spike slots\n";
+  os << "  fallback chain:";
+  for (std::size_t level = 0; level < fallback_counts.size(); ++level) {
+    os << ' ' << online::to_string(static_cast<online::FallbackLevel>(level))
+       << '=' << fallback_counts[level];
+  }
+  os << '\n';
+  os << "  degradations:";
+  bool any_kind = false;
+  for (std::size_t kind = 0; kind < kind_counts.size(); ++kind) {
+    if (kind_counts[kind] == 0) continue;
+    any_kind = true;
+    os << ' ' << online::to_string(static_cast<online::DegradationKind>(kind))
+       << '=' << kind_counts[kind];
+  }
+  if (!any_kind) os << " none";
+  os << '\n';
+  os << std::setprecision(6) << "  faulted cost: " << faulted_cost;
+  if (has_clean_reference) {
+    os << " (clean " << clean_cost << ", delta " << cost_delta() << ")";
+  }
+  os << '\n';
+  return os.str();
+}
+
+RobustnessReport build_robustness_report(
+    const SimulationResult& faulted,
+    const online::RobustController& controller,
+    const SimulationResult* clean) {
+  RobustnessReport report;
+  report.controller = faulted.controller;
+  report.horizon = faulted.slots.size();
+  report.fallback_counts = controller.level_counts();
+  for (const auto& event : controller.events()) {
+    report.kind_counts[static_cast<std::size_t>(event.kind)] += 1;
+  }
+  for (const auto& faults : faulted.fault_plan) {
+    if (faults.any_outage()) ++report.outage_slots;
+    if (faults.predictor_blackout) ++report.blackout_slots;
+    if (faults.corrupt_demand) ++report.corrupt_slots;
+    if (faults.demand_scale != 1.0) ++report.spike_slots;
+  }
+  report.faulted_cost = faulted.total_cost();
+  if (clean != nullptr) {
+    report.clean_cost = clean->total_cost();
+    report.has_clean_reference = true;
+  }
+  return report;
+}
+
+}  // namespace mdo::sim

@@ -1,0 +1,66 @@
+// Degradation report for fault-injected runs.
+//
+// Aggregates what a RobustController recorded over a faulted simulation —
+// how many slots each rung of the fallback chain served, which degradation
+// kinds fired — together with the injected fault schedule (outage, blackout,
+// corruption, spike slot counts) and, when a clean reference run is
+// supplied, the cost of the faults themselves (faulted minus clean total
+// cost). Exercised by examples/fault_tolerance.cpp and the fault-injection
+// tests.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "online/robust_controller.hpp"
+#include "sim/simulator.hpp"
+
+namespace mdo::sim {
+
+struct RobustnessReport {
+  std::string controller;
+  std::size_t horizon = 0;
+
+  /// Slots served by each fallback rung, indexed by FallbackLevel.
+  std::array<std::size_t, 3> fallback_counts{};
+  /// Degradation events by kind, indexed by DegradationKind.
+  std::array<std::size_t, 6> kind_counts{};
+
+  // ---- Injected schedule, from the simulator's fault plan.
+  std::size_t outage_slots = 0;    // slots with at least one SBS dark
+  std::size_t blackout_slots = 0;  // slots with no predictor
+  std::size_t corrupt_slots = 0;   // slots with NaN/negative observed rates
+  std::size_t spike_slots = 0;     // slots with scaled observed rates
+
+  // ---- Cost impact.
+  double faulted_cost = 0.0;
+  double clean_cost = 0.0;  // meaningful only when has_clean_reference
+  bool has_clean_reference = false;
+
+  /// Extra cost attributable to the faults (faulted - clean); 0 without a
+  /// clean reference run.
+  double cost_delta() const {
+    return has_clean_reference ? faulted_cost - clean_cost : 0.0;
+  }
+
+  /// Fraction of slots served by the wrapped controller's full solve.
+  double full_solve_ratio() const {
+    return horizon > 0
+               ? static_cast<double>(fallback_counts[0]) /
+                     static_cast<double>(horizon)
+               : 0.0;
+  }
+
+  /// Multi-line human-readable summary.
+  std::string format() const;
+};
+
+/// Builds the report from a faulted run driven through `controller`. The
+/// run's fault_plan supplies the injected-schedule counts; `clean`, when
+/// given, is the same controller/instance played without faults.
+RobustnessReport build_robustness_report(
+    const SimulationResult& faulted,
+    const online::RobustController& controller,
+    const SimulationResult* clean = nullptr);
+
+}  // namespace mdo::sim

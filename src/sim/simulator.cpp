@@ -42,6 +42,10 @@ SimulationResult Simulator::run(online::Controller& controller) const {
   SimulationResult result;
   result.controller = controller.name();
   result.slots.reserve(instance_->horizon());
+  if (options_.faults != nullptr) {
+    result.fault_plan =
+        options_.faults->plan(instance_->horizon(), config.num_sbs());
+  }
 
   model::CacheState previous = instance_->initial_cache;
   for (std::size_t t = 0; t < instance_->horizon(); ++t) {
@@ -51,14 +55,33 @@ SimulationResult Simulator::run(online::Controller& controller) const {
     ctx.true_demand = &truth;
     ctx.predictor = predictor_;
 
+    // Under fault injection the controller sees the observed world; the
+    // truth below is still what gets accounted.
+    model::SlotDemand observed;
+    model::NetworkConfig degraded;
+    if (!result.fault_plan.empty()) {
+      const SlotFaults& faults = result.fault_plan[t];
+      if (faults.corrupt_demand || faults.demand_scale != 1.0) {
+        observed = options_.faults->observed_demand(truth, t, faults);
+        ctx.true_demand = &observed;
+      }
+      if (faults.predictor_blackout) ctx.predictor = nullptr;
+      if (faults.any_outage()) {
+        degraded = FaultInjector::degraded_config(config, faults);
+        ctx.effective_config = &degraded;
+      }
+    }
+    const model::NetworkConfig& executed_config =
+        ctx.effective_config != nullptr ? *ctx.effective_config : config;
+
     const Stopwatch decide_watch;
     model::SlotDecision decision = controller.decide(ctx);
     const double decision_seconds = decide_watch.elapsed_seconds();
     if (options_.repair) {
-      model::enforce_feasibility(config, truth, decision);
+      model::enforce_feasibility(executed_config, truth, decision);
     } else {
       const auto violations = model::check_feasibility(
-          config, truth, decision, options_.feasibility_tol);
+          executed_config, truth, decision, options_.feasibility_tol);
       if (!violations.empty()) {
         std::ostringstream os;
         os << controller.name() << " infeasible at slot " << t << ": "
@@ -80,6 +103,8 @@ SimulationResult Simulator::run(online::Controller& controller) const {
     result.slots.push_back(record);
 
     previous = decision.cache;
+    controller.observe(t, decision);
+    if (options_.record_schedule) result.schedule.push_back(std::move(decision));
   }
   MDO_DEBUG(result.controller << ": total cost " << result.total_cost()
                               << ", replacements "

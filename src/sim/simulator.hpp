@@ -15,6 +15,7 @@
 #include "model/costs.hpp"
 #include "model/instance.hpp"
 #include "online/controller.hpp"
+#include "sim/fault_injector.hpp"
 #include "workload/predictor.hpp"
 
 namespace mdo::sim {
@@ -34,6 +35,10 @@ struct SimulationResult {
   std::vector<SlotRecord> slots;
   model::CostBreakdown total;
   std::size_t total_replacements = 0;
+  /// Executed per-slot decisions; filled when record_schedule is set.
+  std::vector<model::SlotDecision> schedule;
+  /// The fault schedule the run was played under; empty for clean runs.
+  std::vector<SlotFaults> fault_plan;
 
   double total_cost() const { return total.total(); }
   /// Fraction of demand volume served by SBSs over the whole run.
@@ -49,6 +54,16 @@ struct SimulatorOptions {
   bool repair = true;
   /// Tolerance for the feasibility check when repair is disabled.
   double feasibility_tol = 1e-6;
+  /// Fault-injection harness (not owned; must outlive the simulator). When
+  /// set, each slot's DecisionContext carries the *observed* world — spiked
+  /// or corrupted demand, a null predictor during blackouts, and an
+  /// effective_config with outaged SBSs' capacity and bandwidth forced to
+  /// zero — while cost accounting keeps using the clean truth. Repair runs
+  /// against the effective config, so an outaged SBS serves nothing.
+  const FaultInjector* faults = nullptr;
+  /// Record every executed decision in SimulationResult::schedule (memory
+  /// proportional to horizon x decision size).
+  bool record_schedule = false;
 };
 
 class Simulator {

@@ -6,6 +6,17 @@
 
 namespace mdo::solver {
 
+namespace {
+
+bool all_finite(const linalg::Vec& v) {
+  for (const double value : v) {
+    if (!std::isfinite(value)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 FirstOrderResult minimize_projected(const ValueGradientFn& objective,
                                     const ProjectionFn& project,
                                     const linalg::Vec& x0,
@@ -15,6 +26,13 @@ FirstOrderResult minimize_projected(const ValueGradientFn& objective,
 
   const double step = 1.0 / options.lipschitz;
   FirstOrderResult result;
+  if (!all_finite(x0)) {
+    // Non-finite entry point: report instead of iterating on garbage. The
+    // zero vector is the conventional safe iterate for our box sets.
+    result.x.assign(x0.size(), 0.0);
+    result.status = SolveStatus::kNonFiniteInput;
+    return result;
+  }
   result.x = project(x0);
 
   linalg::Vec y = result.x;        // extrapolation point (FISTA)
@@ -37,6 +55,14 @@ FirstOrderResult minimize_projected(const ValueGradientFn& objective,
     }
     mapping_norm = std::sqrt(mapping_norm) / scale;
 
+    if (!std::isfinite(mapping_norm)) {
+      // A NaN/Inf objective or gradient poisoned the iterate; keep the last
+      // finite point and report rather than spinning to the budget.
+      result.status = SolveStatus::kNonFiniteInput;
+      result.objective_value = objective(result.x, grad);
+      return result;
+    }
+
     if (options.accelerate) {
       const double t_next =
           0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t_momentum * t_momentum));
@@ -55,6 +81,8 @@ FirstOrderResult minimize_projected(const ValueGradientFn& objective,
     }
   }
 
+  result.status = result.converged ? SolveStatus::kConverged
+                                   : SolveStatus::kIterationLimit;
   result.objective_value = objective(result.x, grad);
   return result;
 }

@@ -10,6 +10,7 @@
 #include <functional>
 
 #include "linalg/vec.hpp"
+#include "solver/status.hpp"
 
 namespace mdo::solver {
 
@@ -37,10 +38,14 @@ struct FirstOrderResult {
   double objective_value = 0.0;
   std::size_t iterations = 0;
   bool converged = false;
+  /// kNonFiniteInput when x0 or an iterate turned NaN/Inf; the returned x is
+  /// then the last finite iterate (or the zero vector at entry).
+  SolveStatus status = SolveStatus::kIterationLimit;
 };
 
 /// Minimizes a smooth convex function over the set defined by `project`,
-/// starting from `x0` (projected first if infeasible).
+/// starting from `x0` (projected first if infeasible). Non-finite inputs are
+/// reported via the result status rather than thrown.
 FirstOrderResult minimize_projected(const ValueGradientFn& objective,
                                     const ProjectionFn& project,
                                     const linalg::Vec& x0,

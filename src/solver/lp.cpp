@@ -49,9 +49,32 @@ const char* to_string(LpStatus status) {
     case LpStatus::kInfeasible: return "infeasible";
     case LpStatus::kUnbounded: return "unbounded";
     case LpStatus::kIterationLimit: return "iteration_limit";
+    case LpStatus::kNonFiniteInput: return "non_finite_input";
   }
   return "?";
 }
+
+namespace {
+
+/// Entry gate for the hot loop: NaN anywhere (or an infinite objective /
+/// lower bound / -Inf upper bound) cannot produce a meaningful basis, so it
+/// is reported via the status instead of corrupting pivots silently.
+bool lp_inputs_finite(const LinearProgram& lp) {
+  for (std::size_t j = 0; j < lp.num_vars; ++j) {
+    if (!std::isfinite(lp.objective[j])) return false;
+    if (!std::isfinite(lp.lower[j])) return false;
+    if (std::isnan(lp.upper[j]) || lp.upper[j] == -kInf) return false;
+  }
+  for (const auto& c : lp.constraints) {
+    if (!std::isfinite(c.rhs)) return false;
+    for (const auto& [var, coeff] : c.terms) {
+      if (!std::isfinite(coeff)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 namespace {
 
@@ -324,6 +347,15 @@ class SimplexTableau {
 }  // namespace
 
 LpSolution solve_lp(const LinearProgram& lp, const SimplexOptions& options) {
+  MDO_REQUIRE(lp.objective.size() == lp.num_vars &&
+                  lp.lower.size() == lp.num_vars &&
+                  lp.upper.size() == lp.num_vars,
+              "LP vector sizes must match num_vars");
+  if (!lp_inputs_finite(lp)) {
+    LpSolution out;
+    out.status = LpStatus::kNonFiniteInput;
+    return out;
+  }
   lp.validate();
   if (lp.num_vars == 0) {
     LpSolution out;

@@ -50,7 +50,13 @@ struct LinearProgram {
   void validate() const;
 };
 
-enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kNonFiniteInput,  // NaN (or -Inf bound / ±Inf objective) in the program
+};
 
 struct LpSolution {
   LpStatus status = LpStatus::kIterationLimit;
@@ -69,8 +75,8 @@ struct SimplexOptions {
   double tolerance = 1e-9;
 };
 
-/// Solves the LP; never throws for infeasible/unbounded inputs (reported in
-/// the status), throws InvalidArgument for malformed programs.
+/// Solves the LP; never throws for infeasible/unbounded/non-finite inputs
+/// (reported in the status), throws InvalidArgument for malformed shapes.
 LpSolution solve_lp(const LinearProgram& lp, const SimplexOptions& options = {});
 
 }  // namespace mdo::solver

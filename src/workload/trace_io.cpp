@@ -1,13 +1,91 @@
 #include "workload/trace_io.hpp"
 
+#include <array>
 #include <cmath>
+#include <cstddef>
 #include <fstream>
 #include <iomanip>
+#include <set>
 #include <sstream>
+#include <tuple>
 
 #include "util/error.hpp"
 
 namespace mdo::workload {
+
+namespace {
+
+constexpr std::array<const char*, 5> kFieldNames = {"slot", "sbs", "class",
+                                                    "content", "rate"};
+
+[[noreturn]] void fail_field(std::size_t line_number, std::size_t field,
+                             const std::string& token,
+                             const std::string& reason) {
+  std::ostringstream os;
+  os << "trace line " << line_number << ", field '" << kFieldNames[field]
+     << "': " << reason << " (got \"" << token << "\")";
+  throw InvalidArgument(os.str());
+}
+
+/// Splits a data row into exactly 5 comma-separated tokens.
+std::array<std::string, 5> split_row(const std::string& line,
+                                     std::size_t line_number) {
+  std::array<std::string, 5> tokens;
+  std::size_t start = 0;
+  for (std::size_t field = 0; field < tokens.size(); ++field) {
+    const bool last = field + 1 == tokens.size();
+    const std::size_t comma = line.find(',', start);
+    if (last != (comma == std::string::npos)) {
+      throw InvalidArgument("trace line " + std::to_string(line_number) +
+                            ": expected 5 comma-separated fields "
+                            "(slot,sbs,class,content,rate): " +
+                            line);
+    }
+    tokens[field] = last ? line.substr(start) : line.substr(start, comma - start);
+    start = comma + 1;
+  }
+  return tokens;
+}
+
+std::size_t parse_index(const std::string& token, std::size_t line_number,
+                        std::size_t field) {
+  if (token.empty()) fail_field(line_number, field, token, "empty field");
+  std::size_t consumed = 0;
+  unsigned long long value = 0;
+  try {
+    value = std::stoull(token, &consumed);
+  } catch (const std::exception&) {
+    fail_field(line_number, field, token, "not a non-negative integer");
+  }
+  if (consumed != token.size() || token.front() == '-') {
+    fail_field(line_number, field, token, "not a non-negative integer");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+double parse_rate(const std::string& token, std::size_t line_number,
+                  std::size_t field) {
+  if (token.empty()) fail_field(line_number, field, token, "empty field");
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &consumed);
+  } catch (const std::exception&) {
+    fail_field(line_number, field, token, "not a number");
+  }
+  if (consumed != token.size()) {
+    fail_field(line_number, field, token, "not a number");
+  }
+  if (!std::isfinite(value)) {
+    fail_field(line_number, field, token, "rate must be finite");
+  }
+  if (value < 0.0) {
+    fail_field(line_number, field, token, "rate must be >= 0");
+  }
+  return value;
+}
+
+}  // namespace
 
 void save_trace_csv(std::ostream& os, const model::DemandTrace& trace) {
   os << "slot,sbs,class,content,rate\n";
@@ -25,12 +103,19 @@ void save_trace_csv(std::ostream& os, const model::DemandTrace& trace) {
       }
     }
   }
+  // A full disk or a broken pipe surfaces as a failed stream, not as an
+  // exception — check before declaring the trace saved.
+  MDO_REQUIRE(static_cast<bool>(os),
+              "stream failure while writing trace (disk full?)");
 }
 
 void save_trace_csv(const std::string& path, const model::DemandTrace& trace) {
   std::ofstream file(path);
   MDO_REQUIRE(static_cast<bool>(file), "cannot open trace file: " + path);
   save_trace_csv(file, trace);
+  file.flush();
+  MDO_REQUIRE(static_cast<bool>(file),
+              "stream failure while writing trace file: " + path);
 }
 
 model::DemandTrace load_trace_csv(std::istream& is,
@@ -47,31 +132,40 @@ model::DemandTrace load_trace_csv(std::istream& is,
     double rate;
   };
   std::vector<Entry> entries;
+  std::set<std::tuple<std::size_t, std::size_t, std::size_t, std::size_t>>
+      seen;
   std::size_t max_slot = 0;
   std::size_t line_number = 1;
   while (std::getline(is, line)) {
     ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
-    std::istringstream row(line);
+    const auto tokens = split_row(line, line_number);
     Entry entry{};
-    char c1, c2, c3, c4;
-    row >> entry.t >> c1 >> entry.n >> c2 >> entry.m >> c3 >> entry.k >> c4 >>
-        entry.rate;
-    MDO_REQUIRE(row && c1 == ',' && c2 == ',' && c3 == ',' && c4 == ',',
-                "malformed trace row at line " + std::to_string(line_number));
-    MDO_REQUIRE(entry.n < config.num_sbs(),
-                "SBS index out of range at line " + std::to_string(line_number));
-    MDO_REQUIRE(entry.m < config.sbs[entry.n].num_classes(),
-                "class index out of range at line " +
+    entry.t = parse_index(tokens[0], line_number, 0);
+    entry.n = parse_index(tokens[1], line_number, 1);
+    entry.m = parse_index(tokens[2], line_number, 2);
+    entry.k = parse_index(tokens[3], line_number, 3);
+    entry.rate = parse_rate(tokens[4], line_number, 4);
+    if (entry.n >= config.num_sbs()) {
+      fail_field(line_number, 1, tokens[1], "SBS index out of range");
+    }
+    if (entry.m >= config.sbs[entry.n].num_classes()) {
+      fail_field(line_number, 2, tokens[2], "class index out of range");
+    }
+    if (entry.k >= config.num_contents) {
+      fail_field(line_number, 3, tokens[3], "content index out of range");
+    }
+    MDO_REQUIRE(seen.insert({entry.t, entry.n, entry.m, entry.k}).second,
+                "duplicate (slot,sbs,class,content) entry at line " +
                     std::to_string(line_number));
-    MDO_REQUIRE(entry.k < config.num_contents,
-                "content index out of range at line " +
-                    std::to_string(line_number));
-    MDO_REQUIRE(std::isfinite(entry.rate) && entry.rate >= 0.0,
-                "invalid rate at line " + std::to_string(line_number));
     max_slot = std::max(max_slot, entry.t);
     entries.push_back(entry);
   }
+  // getline() ends on either EOF or a hard read error; only the former means
+  // we actually saw the whole file (a truncated read must not silently yield
+  // a shorter trace).
+  MDO_REQUIRE(is.eof(), "stream failure while reading trace (truncated?)");
   MDO_REQUIRE(!entries.empty(), "trace file has no data rows");
 
   model::DemandTrace trace;

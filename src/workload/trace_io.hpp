@@ -15,14 +15,18 @@
 namespace mdo::workload {
 
 /// Writes the trace as CSV with header "slot,sbs,class,content,rate".
-/// Zero-rate entries are omitted (sparse format).
+/// Zero-rate entries are omitted (sparse format). Throws InvalidArgument if
+/// the stream fails while writing (disk full, broken pipe) — checked after
+/// the write, not only on open.
 void save_trace_csv(std::ostream& os, const model::DemandTrace& trace);
 void save_trace_csv(const std::string& path, const model::DemandTrace& trace);
 
 /// Reads a trace in the format written by save_trace_csv. The config
 /// provides the shape; entries absent from the file are zero. Throws
-/// InvalidArgument on malformed rows, out-of-range indices, negative rates,
-/// or when the file cannot be opened.
+/// InvalidArgument — naming the offending line number and field — on
+/// malformed rows, out-of-range indices, NaN or negative rates, duplicate
+/// (slot,sbs,class,content) entries, a stream that fails mid-read
+/// (truncation), or when the file cannot be opened.
 model::DemandTrace load_trace_csv(std::istream& is,
                                   const model::NetworkConfig& config);
 model::DemandTrace load_trace_csv(const std::string& path,

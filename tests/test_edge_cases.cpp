@@ -115,6 +115,52 @@ TEST(EdgeCases, ZeroBandwidthMeansZeroOffload) {
   EXPECT_DOUBLE_EQ(result.offload_ratio(), 0.0);
 }
 
+TEST(EdgeCases, ZeroCacheCapacitySbsNeverCachesOrReplaces) {
+  workload::PaperScenario scenario;
+  scenario.num_contents = 5;
+  scenario.classes_per_sbs = 3;
+  scenario.horizon = 4;
+  scenario.cache_capacity = 0;
+  const auto instance = scenario.build();
+  const workload::PerfectPredictor predictor(instance.demand);
+  sim::SimulatorOptions options;
+  options.record_schedule = true;
+  const sim::Simulator simulator(instance, predictor, options);
+  online::RhcController rhc(3);
+  const auto result = simulator.run(rhc);
+  EXPECT_EQ(result.total_replacements, 0u);
+  EXPECT_DOUBLE_EQ(result.total.replacement, 0.0);
+  EXPECT_DOUBLE_EQ(result.offload_ratio(), 0.0);  // nothing cached => BS only
+  for (const auto& decision : result.schedule) {
+    EXPECT_EQ(decision.cache.count(0), 0u);
+  }
+}
+
+TEST(EdgeCases, ZeroBandwidthSbsStillCachesButServesNothing) {
+  workload::PaperScenario scenario;
+  scenario.num_contents = 5;
+  scenario.classes_per_sbs = 3;
+  scenario.horizon = 3;
+  scenario.bandwidth = 0.0;
+  const auto instance = scenario.build();
+  const workload::PerfectPredictor predictor(instance.demand);
+  sim::SimulatorOptions options;
+  options.record_schedule = true;
+  const sim::Simulator simulator(instance, predictor, options);
+  online::RhcController rhc(3);
+  const auto result = simulator.run(rhc);
+  ASSERT_EQ(result.schedule.size(), 3u);
+  for (std::size_t t = 0; t < result.schedule.size(); ++t) {
+    const auto& decision = result.schedule[t];
+    // Per-slot: the executed allocation moves no traffic through the SBS.
+    EXPECT_NEAR(decision.load.sbs_load(0, instance.demand.slot(t)[0]), 0.0,
+                1e-12);
+    EXPECT_LE(decision.cache.count(0), instance.config.sbs[0].cache_capacity);
+  }
+  // All demand is billed at the BS.
+  EXPECT_DOUBLE_EQ(result.total.sbs, 0.0);
+}
+
 TEST(EdgeCases, InitialCacheCarriesOverWithoutCharge) {
   auto instance = tiny_instance(2);
   // Pre-load the cache with contents 0 and 1.
