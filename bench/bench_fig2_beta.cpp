@@ -35,12 +35,11 @@ int main(int argc, char** argv) {
               << " r=" << setup.experiment.commit
               << " eta=" << setup.experiment.eta << "\n";
 
-    std::vector<bench::SweepPoint> points;
-    for (const double beta : betas) {
+    const auto points = bench::run_sweep(betas, [&](double beta) {
       auto config = setup.experiment;
       config.scenario.beta = beta;
-      points.push_back({beta, sim::run_schemes(config)});
-    }
+      return config;
+    });
 
     bench::print_series(std::cout, "Fig. 2a: total operating cost", "beta",
                         points, bench::metric_total);

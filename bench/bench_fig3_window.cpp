@@ -31,14 +31,15 @@ int main(int argc, char** argv) {
               << " beta=" << setup.experiment.scenario.beta
               << " eta=" << setup.experiment.eta << "\n";
 
-    std::vector<bench::SweepPoint> points;
-    for (const std::size_t w : windows) {
+    const std::vector<double> knobs(windows.begin(), windows.end());
+    const auto points = bench::run_sweep(knobs, [&](double knob) {
+      const auto w = static_cast<std::size_t>(knob);
       auto config = setup.experiment;
       config.window = w;
       // The CHC commitment level scales with the window (r = ceil(w/2)).
       config.commit = std::max<std::size_t>(1, (w + 1) / 2);
-      points.push_back({static_cast<double>(w), sim::run_schemes(config)});
-    }
+      return config;
+    });
 
     bench::print_series(std::cout, "Fig. 3a: total operating cost", "w",
                         points, bench::metric_total);

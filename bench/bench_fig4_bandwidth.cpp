@@ -35,12 +35,11 @@ int main(int argc, char** argv) {
               << " beta=" << setup.experiment.scenario.beta
               << " w=" << setup.experiment.window << "\n";
 
-    std::vector<bench::SweepPoint> points;
-    for (const double bandwidth : bandwidths) {
+    const auto points = bench::run_sweep(bandwidths, [&](double bandwidth) {
       auto config = setup.experiment;
       config.scenario.bandwidth = bandwidth;
-      points.push_back({bandwidth, sim::run_schemes(config)});
-    }
+      return config;
+    });
 
     bench::print_series(std::cout, "Fig. 4a: total operating cost", "B",
                         points, bench::metric_total);

@@ -29,12 +29,11 @@ int main(int argc, char** argv) {
               << " beta=" << setup.experiment.scenario.beta
               << " w=" << setup.experiment.window << "\n";
 
-    std::vector<bench::SweepPoint> points;
-    for (const double eta : etas) {
+    const auto points = bench::run_sweep(etas, [&](double eta) {
       auto config = setup.experiment;
       config.eta = eta;
-      points.push_back({eta, sim::run_schemes(config)});
-    }
+      return config;
+    });
 
     bench::print_series(std::cout, "Fig. 5: total operating cost", "eta",
                         points, bench::metric_total);

@@ -1,0 +1,190 @@
+// Parallel-scaling study of the solve engine (util/thread_pool.hpp).
+//
+// Replays the Fig. 2 default instance under run_replicated at several
+// thread counts (default 1,2,4,8), measuring end-to-end wall-clock per
+// thread count and the per-slot decision-time percentiles of an RHC run.
+// Emits BENCH_parallel.json with the series plus a determinism check: the
+// aggregated costs must be bit-identical across thread counts (the pool
+// guarantees it — every parallel loop writes pre-sized slots and reduces
+// serially in index order).
+//
+// Flags beyond the common set (see common.hpp):
+//   --reps N        replications per thread count (default 8)
+//   --threads LIST  comma-separated thread counts (default 1,2,4,8)
+//   --json PATH     output JSON path (default BENCH_parallel.json)
+//
+// NOTE: a measured speedup needs cores. The JSON records the host's
+// hardware_concurrency; on a single-core host the wall-clock series is flat
+// (the determinism check still exercises the pool).
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "common.hpp"
+#include "online/rhc.hpp"
+#include "sim/replication.hpp"
+#include "sim/simulator.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+std::vector<std::size_t> parse_size_list(const std::string& sweep) {
+  std::vector<std::size_t> values;
+  for (std::size_t pos = 0; pos < sweep.size();) {
+    const auto comma = sweep.find(',', pos);
+    values.push_back(
+        static_cast<std::size_t>(std::stoul(sweep.substr(pos, comma - pos))));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return values;
+}
+
+/// Nearest-rank percentile of an unsorted sample; p in (0, 100].
+double percentile(std::vector<double> sample, double p) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const auto n = static_cast<double>(sample.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  return sample[std::min(sample.size() - 1, rank > 0 ? rank - 1 : 0)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mdo;
+  try {
+    const CliFlags flags(argc, argv);
+    bench::BenchSetup setup = bench::parse_common(flags);
+    const auto reps = static_cast<std::size_t>(flags.get_int("reps", 8));
+    const std::vector<std::size_t> thread_counts =
+        parse_size_list(flags.get_string("threads", "1,2,4,8"));
+    const std::string json_path =
+        flags.get_string("json", "BENCH_parallel.json");
+    flags.require_all_consumed();
+
+    auto config = setup.experiment;
+    // A lighter horizon and line-up than the figure benches: the scaling
+    // signal comes from the replication fan-out, not from scheme breadth.
+    if (!flags.has("slots")) config.scenario.horizon = 20;
+    config.schemes.offline = false;
+    config.schemes.afhc = false;
+
+    const unsigned hardware = std::thread::hardware_concurrency();
+    std::cout << "Parallel scaling of the solve engine\n"
+              << "T=" << config.scenario.horizon << " reps=" << reps
+              << " hardware_concurrency=" << hardware << "\n";
+    const std::size_t max_requested =
+        *std::max_element(thread_counts.begin(), thread_counts.end());
+    if (hardware > 0 && hardware < max_requested) {
+      std::cout << "note: host has fewer cores than the largest thread "
+                   "count; wall-clock speedup cannot fully materialize\n";
+    }
+
+    struct Run {
+      std::size_t threads = 0;
+      double wall_seconds = 0.0;
+      std::vector<sim::AggregatedOutcome> outcomes;
+    };
+    std::vector<Run> runs;
+    for (const std::size_t threads : thread_counts) {
+      util::ThreadPool::set_global_threads(threads);
+      const Stopwatch watch;
+      Run run;
+      run.threads = threads;
+      run.outcomes = sim::run_replicated(config, reps);
+      run.wall_seconds = watch.elapsed_seconds();
+      runs.push_back(std::move(run));
+    }
+    util::ThreadPool::set_global_threads(1);
+
+    // Determinism guard: every thread count must aggregate to the exact
+    // same per-scheme costs.
+    bool deterministic = true;
+    for (const Run& run : runs) {
+      for (std::size_t i = 0; i < run.outcomes.size(); ++i) {
+        if (run.outcomes[i].mean_total_cost !=
+            runs.front().outcomes[i].mean_total_cost) {
+          deterministic = false;
+          std::cerr << "DETERMINISM VIOLATION: " << run.outcomes[i].name
+                    << " differs between " << runs.front().threads << " and "
+                    << run.threads << " threads\n";
+        }
+      }
+    }
+
+    // Per-slot decision-time percentiles from one serial RHC run.
+    const model::ProblemInstance instance = config.scenario.build();
+    const workload::NoisyPredictor predictor(instance.demand, config.eta,
+                                             config.predictor_seed);
+    const sim::Simulator simulator(instance, predictor);
+    online::RhcController rhc(config.window, config.primal_dual);
+    const auto rhc_result = simulator.run(rhc);
+    std::vector<double> decision_seconds;
+    decision_seconds.reserve(rhc_result.slots.size());
+    for (const auto& slot : rhc_result.slots) {
+      decision_seconds.push_back(slot.decision_seconds);
+    }
+
+    TextTable table({"threads", "wall s", "speedup", "RHC mean cost"});
+    const double serial_seconds = runs.front().wall_seconds;
+    for (const Run& run : runs) {
+      const auto& rhc_agg = sim::find_aggregated(run.outcomes, "RHC");
+      table.add_row(
+          {TextTable::fmt(static_cast<std::int64_t>(run.threads)),
+           TextTable::fmt(run.wall_seconds, 3),
+           TextTable::fmt(run.wall_seconds > 0.0
+                              ? serial_seconds / run.wall_seconds
+                              : 0.0,
+                          2),
+           TextTable::fmt(rhc_agg.mean_total_cost, 4)});
+    }
+    table.print(std::cout);
+    std::cout << "decision_seconds p50/p90/p99 = "
+              << percentile(decision_seconds, 50.0) << " / "
+              << percentile(decision_seconds, 90.0) << " / "
+              << percentile(decision_seconds, 99.0) << "\n"
+              << (deterministic ? "deterministic across thread counts\n"
+                                : "NOT deterministic\n");
+
+    std::ofstream json(json_path);
+    if (!json) {
+      std::cerr << "warning: cannot open JSON path " << json_path << "\n";
+    } else {
+      json.precision(17);
+      json << "{\n"
+           << "  \"bench\": \"parallel_scaling\",\n"
+           << "  \"hardware_concurrency\": " << hardware << ",\n"
+           << "  \"slots\": " << config.scenario.horizon << ",\n"
+           << "  \"replications\": " << reps << ",\n"
+           << "  \"deterministic\": " << (deterministic ? "true" : "false")
+           << ",\n"
+           << "  \"decision_seconds\": {\"p50\": "
+           << percentile(decision_seconds, 50.0)
+           << ", \"p90\": " << percentile(decision_seconds, 90.0)
+           << ", \"p99\": " << percentile(decision_seconds, 99.0) << "},\n"
+           << "  \"runs\": [\n";
+      for (std::size_t i = 0; i < runs.size(); ++i) {
+        const Run& run = runs[i];
+        json << "    {\"threads\": " << run.threads
+             << ", \"wall_seconds\": " << run.wall_seconds
+             << ", \"speedup_vs_serial\": "
+             << (run.wall_seconds > 0.0 ? serial_seconds / run.wall_seconds
+                                        : 0.0)
+             << ", \"schemes\": [";
+        for (std::size_t j = 0; j < run.outcomes.size(); ++j) {
+          const auto& agg = run.outcomes[j];
+          json << (j > 0 ? ", " : "") << "{\"name\": \"" << agg.name
+               << "\", \"mean_total_cost\": " << agg.mean_total_cost << "}";
+        }
+        json << "]}" << (i + 1 < runs.size() ? "," : "") << "\n";
+      }
+      json << "  ]\n}\n";
+      std::cout << "wrote " << json_path << "\n";
+    }
+    return deterministic ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}

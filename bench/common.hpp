@@ -28,6 +28,7 @@
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mdo::bench {
 
@@ -71,6 +72,23 @@ struct SweepPoint {
   double knob = 0.0;
   std::vector<sim::SchemeOutcome> outcomes;
 };
+
+/// Runs one experiment per knob value concurrently on the global thread
+/// pool and returns the points in knob order. Sweep cells are independent
+/// by construction — every cell derives its own RNG streams from the
+/// scenario/predictor seeds — and each writes only its own slot, so the
+/// output is identical at every thread count. `configure` maps a knob value
+/// to that cell's ExperimentConfig.
+template <typename Configure>
+std::vector<SweepPoint> run_sweep(const std::vector<double>& knobs,
+                                  Configure&& configure) {
+  std::vector<SweepPoint> points(knobs.size());
+  util::parallel_for(0, knobs.size(), [&](std::size_t i) {
+    points[i].knob = knobs[i];
+    points[i].outcomes = sim::run_schemes(configure(knobs[i]));
+  });
+  return points;
+}
 
 /// Extracts a metric from one scheme at one point.
 using Metric = double (*)(const sim::SchemeOutcome&);

@@ -8,6 +8,7 @@
 #include "solver/subgradient.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mdo::core {
 
@@ -192,9 +193,12 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
 
   for (std::size_t iteration = 0; iteration < options_.max_iterations;
        ++iteration) {
-    // ---- P1: caching per SBS under rewards nu = sum_m mu.
-    double p1_value = 0.0;
-    for (std::size_t n = 0; n < num_sbs; ++n) {
+    // ---- P1: caching per SBS under rewards nu = sum_m mu. The subproblems
+    // are independent (Alg. 1 separates per SBS); each writes only its own
+    // x[n] / objective slot, and the reduction below runs serially in SBS
+    // order so the result is bit-identical at any thread count.
+    std::vector<double> p1_objectives(num_sbs, 0.0);
+    util::parallel_for(0, num_sbs, [&](std::size_t n) {
       CachingSubproblem p1;
       p1.num_contents = k_count;
       p1.horizon = w;
@@ -218,62 +222,72 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
                                       ? solve_caching_flow(p1)
                                       : solve_caching_simplex(p1);
       x[n] = sol.x;
-      p1_value += sol.objective;
-    }
+      p1_objectives[n] = sol.objective;
+    });
+    double p1_value = 0.0;
+    for (const double value : p1_objectives) p1_value += value;
 
-    // ---- P2: load balancing per (slot, SBS) with linear term mu.
+    // ---- P2: load balancing per (slot, SBS) with linear term mu. Every
+    // (t, n) cell is independent and keeps its own warm start y[t][n].
+    std::vector<double> p2_objectives(w * num_sbs, 0.0);
+    util::parallel_for(0, w * num_sbs, [&](std::size_t cell) {
+      const std::size_t t = cell / num_sbs;
+      const std::size_t n = cell % num_sbs;
+      LoadBalancingSubproblem p2;
+      p2.sbs = &config.sbs[n];
+      p2.demand = &problem.demand.slot(t)[n];
+      const std::size_t base = layout.offset(t, n);
+      p2.linear.assign(mu.begin() + static_cast<std::ptrdiff_t>(base),
+                       mu.begin() + static_cast<std::ptrdiff_t>(
+                                        base + layout.sbs_size[n]));
+      const auto sol = solve_load_balancing(p2, options_.load_balancing,
+                                            y[t][n].empty() ? nullptr
+                                                            : &y[t][n]);
+      y[t][n] = sol.y;
+      p2_objectives[cell] = sol.objective;
+    });
     double p2_value = 0.0;
-    for (std::size_t t = 0; t < w; ++t) {
-      for (std::size_t n = 0; n < num_sbs; ++n) {
-        LoadBalancingSubproblem p2;
-        p2.sbs = &config.sbs[n];
-        p2.demand = &problem.demand.slot(t)[n];
-        const std::size_t base = layout.offset(t, n);
-        p2.linear.assign(mu.begin() + static_cast<std::ptrdiff_t>(base),
-                         mu.begin() + static_cast<std::ptrdiff_t>(
-                                          base + layout.sbs_size[n]));
-        const auto sol = solve_load_balancing(p2, options_.load_balancing,
-                                              y[t][n].empty() ? nullptr
-                                                              : &y[t][n]);
-        y[t][n] = sol.y;
-        p2_value += sol.objective;
-      }
-    }
+    for (const double value : p2_objectives) p2_value += value;
 
     // ---- Dual value = lower bound (weak duality).
     const double dual_value = p1_value + p2_value;
     best.lower_bound = std::max(best.lower_bound, dual_value);
 
     // ---- Feasibility repair -> upper bound. P2 with c = 0 and ub = x.
+    // Cells are again independent per (slot, SBS): the schedule containers
+    // are pre-sized serially, then every cell touches only SBS n of slot t
+    // (CacheState and LoadAllocation store one vector per SBS).
     model::Schedule schedule(w);
     for (std::size_t t = 0; t < w; ++t) {
       schedule[t].cache = model::CacheState(config);
       schedule[t].load = model::LoadAllocation(config);
-      for (std::size_t n = 0; n < num_sbs; ++n) {
-        const std::size_t classes = config.sbs[n].num_classes();
-        linalg::Vec ub(classes * k_count, 0.0);
-        for (std::size_t k = 0; k < k_count; ++k) {
-          const bool cached = x[n][t * k_count + k] != 0;
-          schedule[t].cache.set(n, k, cached);
-          if (cached) {
-            for (std::size_t m = 0; m < classes; ++m) ub[m * k_count + k] = 1.0;
-          }
-        }
-        if (ub != repair_ub[t][n]) {
-          LoadBalancingSubproblem repair;
-          repair.sbs = &config.sbs[n];
-          repair.demand = &problem.demand.slot(t)[n];
-          repair.upper = ub;
-          const auto sol = solve_load_balancing(
-              repair, options_.load_balancing,
-              repair_y[t][n].empty() ? nullptr : &repair_y[t][n]);
-          repair_y[t][n] = sol.y;
-          repair_value[t][n] = sol.objective;
-          repair_ub[t][n] = std::move(ub);
-        }
-        schedule[t].load.sbs_data(n) = repair_y[t][n];
-      }
     }
+    util::parallel_for(0, w * num_sbs, [&](std::size_t cell) {
+      const std::size_t t = cell / num_sbs;
+      const std::size_t n = cell % num_sbs;
+      const std::size_t classes = config.sbs[n].num_classes();
+      linalg::Vec ub(classes * k_count, 0.0);
+      for (std::size_t k = 0; k < k_count; ++k) {
+        const bool cached = x[n][t * k_count + k] != 0;
+        schedule[t].cache.set(n, k, cached);
+        if (cached) {
+          for (std::size_t m = 0; m < classes; ++m) ub[m * k_count + k] = 1.0;
+        }
+      }
+      if (ub != repair_ub[t][n]) {
+        LoadBalancingSubproblem repair;
+        repair.sbs = &config.sbs[n];
+        repair.demand = &problem.demand.slot(t)[n];
+        repair.upper = ub;
+        const auto sol = solve_load_balancing(
+            repair, options_.load_balancing,
+            repair_y[t][n].empty() ? nullptr : &repair_y[t][n]);
+        repair_y[t][n] = sol.y;
+        repair_value[t][n] = sol.objective;
+        repair_ub[t][n] = std::move(ub);
+      }
+      schedule[t].load.sbs_data(n) = repair_y[t][n];
+    });
     const model::CostBreakdown cost = model::schedule_cost(
         config, problem.demand, schedule, problem.initial_cache);
     if (cost.total() < best.upper_bound) {

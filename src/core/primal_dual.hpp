@@ -52,7 +52,10 @@ enum class P1Backend {
 struct PrimalDualOptions {
   std::size_t max_iterations = 16;  // L in Algorithm 1
   double epsilon = 1e-4;            // relative-gap accuracy (paper: 0.0001)
-  double step_alpha = 0.08;         // alpha in delta_l = 1/(1 + alpha l) (16)
+  /// alpha in delta_l = alpha / (1 + l) (16). Recalibrated from the old
+  /// 0.08 (which under the former 1/(1 + alpha l) schedule never scaled the
+  /// first step): 1.0 keeps delta_0 = 1 so step_scale retains its meaning.
+  double step_alpha = 1.0;
   /// Multiplies the schedule (16); 0 selects an automatic scale derived
   /// from the marginal BS cost (see primal_dual.cpp).
   double step_scale = 0.0;

@@ -21,8 +21,14 @@ void FhcPlanner::reset(const model::ProblemInstance& instance) {
   trajectory_cache_ = instance.initial_cache;
   has_plan_ = false;
   plan_.clear();
+  resync_cache_.reset();
   warm_mu_.clear();
   warm_horizon_ = 0;
+}
+
+void FhcPlanner::resync(std::size_t slot, const model::CacheState& executed) {
+  (void)slot;  // the cached plan is void regardless of where it diverged
+  resync_cache_ = executed;
 }
 
 void FhcPlanner::plan(std::ptrdiff_t tau,
@@ -31,9 +37,14 @@ void FhcPlanner::plan(std::ptrdiff_t tau,
   const std::size_t total_horizon = predictor.horizon();
 
   // Starting state: this variant's own action at tau - 1, or the instance's
-  // initial cache when the previous slot predates its first plan.
+  // initial cache when the previous slot predates its first plan. After a
+  // wrapper substituted the executed decision (resync), the committed
+  // trajectory never happened: plan from the executed cache instead.
   model::CacheState start = trajectory_cache_;
-  if (has_plan_) {
+  if (resync_cache_) {
+    start = *resync_cache_;
+    resync_cache_.reset();
+  } else if (has_plan_) {
     const std::ptrdiff_t prev_slot = tau - 1;
     const std::ptrdiff_t index = prev_slot - plan_time_;
     if (index >= 0 && index < static_cast<std::ptrdiff_t>(plan_.size())) {
@@ -43,17 +54,20 @@ void FhcPlanner::plan(std::ptrdiff_t tau,
 
   // Window demand: zero demand for pre-horizon slots (Lambda^t = 0 for
   // t <= 0), forecasts for the rest, clipped at the instance horizon.
+  // A pre-horizon plan (tau < 0) predates every observation: querying the
+  // predictor with the clamped slot-0 time would smuggle in information not
+  // yet available at plan time, so those windows are zero/prior-only.
   core::HorizonProblem problem;
   problem.config = &config;
   for (std::size_t i = 0; i < window_; ++i) {
     const std::ptrdiff_t abs_slot = tau + static_cast<std::ptrdiff_t>(i);
     if (abs_slot >= static_cast<std::ptrdiff_t>(total_horizon)) break;
-    if (abs_slot < 0) {
+    if (abs_slot < 0 || tau < 0) {
       problem.demand.push_back(model::make_zero_slot_demand(config));
     } else {
-      const auto query_time = static_cast<std::size_t>(std::max<std::ptrdiff_t>(tau, 0));
       problem.demand.push_back(
-          predictor.predict(query_time, static_cast<std::size_t>(abs_slot)));
+          predictor.predict(static_cast<std::size_t>(tau),
+                            static_cast<std::size_t>(abs_slot)));
     }
   }
   MDO_CHECK(problem.demand.horizon() >= 1, "FHC: empty planning window");
@@ -85,7 +99,9 @@ const model::SlotDecision& FhcPlanner::action(
   if (diff < 0) diff += r;
   const std::ptrdiff_t tau = signed_t - diff;
 
-  if (!has_plan_ || plan_time_ != tau) plan(tau, predictor);
+  if (!has_plan_ || plan_time_ != tau || resync_cache_.has_value()) {
+    plan(tau, predictor);
+  }
   const std::ptrdiff_t index = signed_t - plan_time_;
   MDO_CHECK(index >= 0 && index < static_cast<std::ptrdiff_t>(plan_.size()),
             "FHC: slot outside the current plan");
@@ -122,6 +138,11 @@ std::string ChcController::name() const {
 void ChcController::reset(const model::ProblemInstance& instance) {
   instance_ = &instance;
   for (auto& planner : planners_) planner.reset(instance);
+}
+
+void ChcController::resync(std::size_t slot,
+                           const model::SlotDecision& executed) {
+  for (auto& planner : planners_) planner.resync(slot, executed.cache);
 }
 
 model::SlotDecision ChcController::decide(const DecisionContext& ctx) {

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/primal_dual.hpp"
@@ -37,6 +38,12 @@ class FhcPlanner {
   const model::SlotDecision& action(std::size_t t,
                                     const workload::Predictor& predictor);
 
+  /// Executed-state resync (see Controller::resync): a wrapper substituted
+  /// the decision actually executed at `slot`, so the variant's committed
+  /// trajectory is void. The next action() replans from `executed` instead
+  /// of the internal trajectory, dropping any cached plan.
+  void resync(std::size_t slot, const model::CacheState& executed);
+
  private:
   void plan(std::ptrdiff_t tau, const workload::Predictor& predictor);
 
@@ -50,6 +57,8 @@ class FhcPlanner {
   bool has_plan_ = false;
   model::Schedule plan_;                // indexed from plan_time_
   model::CacheState trajectory_cache_;  // the variant's own x^{tau-1}
+  /// Executed cache substituted by a wrapper; consumed by the next plan().
+  std::optional<model::CacheState> resync_cache_;
   linalg::Vec warm_mu_;
   std::size_t warm_horizon_ = 0;
 };
@@ -70,6 +79,9 @@ class ChcController final : public Controller {
   std::string name() const override;
   void reset(const model::ProblemInstance& instance) override;
   model::SlotDecision decide(const DecisionContext& ctx) override;
+  /// Propagates the executed state to every staggered planner (fault-slot
+  /// substitution; clean slots keep the paper's committed trajectories).
+  void resync(std::size_t slot, const model::SlotDecision& executed) override;
 
   std::size_t window() const { return window_; }
   std::size_t commit() const { return commit_; }

@@ -50,14 +50,25 @@ class Controller {
   virtual model::SlotDecision decide(const DecisionContext& ctx) = 0;
 
   /// Called by the simulator after the slot's decision has been repaired and
-  /// executed. Controllers that track their own cache trajectory (RHC)
-  /// resynchronize here so a degraded slot (RobustController substituted a
-  /// fallback action) does not leave them planning from a state that never
-  /// happened. Default: no-op. CHC/FHC planners deliberately keep their own
-  /// committed trajectories (the paper's averaging design) and do not resync.
+  /// executed. Controllers that always plan from the executed state (RHC)
+  /// resynchronize here. Default: no-op. CHC/FHC planners keep their own
+  /// committed trajectories on clean slots (the paper's averaging design);
+  /// they resync only through resync() below.
   virtual void observe(std::size_t slot, const model::SlotDecision& executed) {
     (void)slot;
     (void)executed;
+  }
+
+  /// Called instead of observe() when the executed decision did NOT come
+  /// from this controller's decide() — a wrapper (RobustController)
+  /// substituted a fallback action or projected the caches onto a degraded
+  /// config. Trajectory-tracking controllers must abandon internal state
+  /// derived from the phantom trajectory and replan from `executed`,
+  /// otherwise the replacement cost h(X_t, X_{t-1}) of their next actions is
+  /// charged against a cache state that never existed. The default forwards
+  /// to observe(), which is already an unconditional resync for RHC.
+  virtual void resync(std::size_t slot, const model::SlotDecision& executed) {
+    observe(slot, executed);
   }
 };
 

@@ -26,4 +26,9 @@ model::SlotDecision FhcController::decide(const DecisionContext& ctx) {
   return planner_.action(ctx.slot, *ctx.predictor);
 }
 
+void FhcController::resync(std::size_t slot,
+                           const model::SlotDecision& executed) {
+  planner_.resync(slot, executed.cache);
+}
+
 }  // namespace mdo::online

@@ -20,6 +20,9 @@ class FhcController final : public Controller {
   std::string name() const override;
   void reset(const model::ProblemInstance& instance) override;
   model::SlotDecision decide(const DecisionContext& ctx) override;
+  /// Hands the substituted executed state to the planner (see
+  /// FhcPlanner::resync); clean slots keep the committed trajectory.
+  void resync(std::size_t slot, const model::SlotDecision& executed) override;
 
  private:
   std::size_t window_;

@@ -71,6 +71,7 @@ void RobustController::reset(const model::ProblemInstance& instance) {
   instance_ = &instance;
   last_executed_ = {};
   have_last_ = false;
+  last_substituted_ = false;
   events_.clear();
   slot_kinds_.clear();
   slot_details_.clear();
@@ -81,7 +82,20 @@ void RobustController::observe(std::size_t slot,
                                const model::SlotDecision& executed) {
   last_executed_ = executed;
   have_last_ = true;
-  inner_->observe(slot, executed);
+  if (last_substituted_) {
+    last_substituted_ = false;
+    inner_->resync(slot, executed);
+  } else {
+    inner_->observe(slot, executed);
+  }
+}
+
+void RobustController::resync(std::size_t slot,
+                              const model::SlotDecision& executed) {
+  last_executed_ = executed;
+  have_last_ = true;
+  last_substituted_ = false;
+  inner_->resync(slot, executed);
 }
 
 model::SlotDecision RobustController::decide(const DecisionContext& ctx) {
@@ -98,7 +112,8 @@ model::SlotDecision RobustController::decide(const DecisionContext& ctx) {
     model::SlotDecision safe;
     safe.cache = model::CacheState(instance_->config);
     safe.load = model::LoadAllocation(instance_->config);
-    return finish(ctx.slot, FallbackLevel::kBsOnly, std::move(safe));
+    return finish(ctx.slot, FallbackLevel::kBsOnly, std::move(safe),
+                  /*substituted=*/true);
   }
 }
 
@@ -122,7 +137,9 @@ model::SlotDecision RobustController::decide_guarded(
 
   // Projects `decision` onto the effective capacities: evicts the lowest-
   // score contents of over-capacity SBSs (outage => capacity 0 => evict
-  // all), zeroes y on evicted contents, and clamps y into [0, 1].
+  // all), zeroes y on evicted contents, and clamps y into [0, 1]. Returns
+  // whether the cache was changed (the executed trajectory then differs
+  // from the wrapped controller's own, so observe() must resync).
   auto project_capacity = [&](model::SlotDecision& decision,
                               FallbackLevel level) {
     bool evicted = false;
@@ -167,6 +184,7 @@ model::SlotDecision RobustController::decide_guarded(
       event.detail = "cache projected onto degraded capacities";
       events_.push_back(event);
     }
+    return evicted;
   };
 
   // ---- Level 0: the wrapped controller's own solve.
@@ -194,8 +212,12 @@ model::SlotDecision RobustController::decide_guarded(
           needs_projection =
               decision.cache.count(n) > effective.sbs[n].cache_capacity;
         }
-        if (needs_projection) project_capacity(decision, FallbackLevel::kFull);
-        return finish(ctx.slot, FallbackLevel::kFull, std::move(decision));
+        bool cache_changed = false;
+        if (needs_projection) {
+          cache_changed = project_capacity(decision, FallbackLevel::kFull);
+        }
+        return finish(ctx.slot, FallbackLevel::kFull, std::move(decision),
+                      /*substituted=*/cache_changed);
       }
     } catch (const std::exception& e) {
       slot_kinds_.push_back(ctx.predictor == nullptr
@@ -209,7 +231,8 @@ model::SlotDecision RobustController::decide_guarded(
   if (have_last_) {
     model::SlotDecision decision = last_executed_;
     project_capacity(decision, FallbackLevel::kWarmReuse);
-    return finish(ctx.slot, FallbackLevel::kWarmReuse, std::move(decision));
+    return finish(ctx.slot, FallbackLevel::kWarmReuse, std::move(decision),
+                  /*substituted=*/true);
   }
 
   // ---- Level 2: LRFU-style top-C caching on sanitized demand, y = 0.
@@ -230,13 +253,16 @@ model::SlotDecision RobustController::decide_guarded(
       decision.cache.set(n, order[i], true);
     }
   }
-  return finish(ctx.slot, FallbackLevel::kBsOnly, std::move(decision));
+  return finish(ctx.slot, FallbackLevel::kBsOnly, std::move(decision),
+                /*substituted=*/true);
 }
 
 model::SlotDecision RobustController::finish(std::size_t slot,
                                              FallbackLevel level,
-                                             model::SlotDecision decision) {
+                                             model::SlotDecision decision,
+                                             bool substituted) {
   ++level_counts_[static_cast<std::size_t>(level)];
+  last_substituted_ = substituted;
   for (std::size_t i = 0; i < slot_kinds_.size(); ++i) {
     DegradationEvent event;
     event.slot = slot;

@@ -90,7 +90,13 @@ class RobustController final : public Controller {
   /// Never throws; always returns finite allocations and a cache respecting
   /// the (possibly outage-degraded) capacity of every SBS.
   model::SlotDecision decide(const DecisionContext& ctx) override;
+  /// Forwards to the wrapped controller — as observe() on clean slots, as
+  /// resync() when the last decide() substituted or projected the decision
+  /// (fallback levels 1-2, or a level-0 cache eviction). Without that the
+  /// wrapped controller keeps planning from a trajectory that was never
+  /// executed (phantom-state divergence).
   void observe(std::size_t slot, const model::SlotDecision& executed) override;
+  void resync(std::size_t slot, const model::SlotDecision& executed) override;
 
   /// All degradations since the last reset(), in slot order.
   const std::vector<DegradationEvent>& events() const { return events_; }
@@ -102,7 +108,7 @@ class RobustController final : public Controller {
  private:
   model::SlotDecision decide_guarded(const DecisionContext& ctx);
   model::SlotDecision finish(std::size_t slot, FallbackLevel level,
-                             model::SlotDecision decision);
+                             model::SlotDecision decision, bool substituted);
 
   Controller* inner_;
   RobustControllerOptions options_;
@@ -110,6 +116,9 @@ class RobustController final : public Controller {
 
   model::SlotDecision last_executed_;  // warm-reuse source
   bool have_last_ = false;
+  /// The last served decision was not the wrapped controller's own (fallback
+  /// substitution or cache projection) — the next observe() must resync.
+  bool last_substituted_ = false;
   std::vector<DegradationEvent> events_;
   std::vector<DegradationKind> slot_kinds_;   // kinds raised this slot
   std::vector<std::string> slot_details_;     // parallel to slot_kinds_

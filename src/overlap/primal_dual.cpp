@@ -5,7 +5,9 @@
 #include <limits>
 
 #include "core/caching.hpp"
+#include "solver/subgradient.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mdo::overlap {
 
@@ -88,6 +90,7 @@ OverlapHorizonSolution OverlapPrimalDualSolver::solve(
   const double step_scale = options_.step_scale > 0.0
                                 ? options_.step_scale
                                 : std::max(1e-9, 0.5 * mean_marginal);
+  const solver::DiminishingStep step(options_.step_alpha);
 
   OverlapHorizonSolution best;
   best.upper_bound = kInf;
@@ -100,8 +103,10 @@ OverlapHorizonSolution OverlapPrimalDualSolver::solve(
   for (std::size_t iteration = 0; iteration < options_.max_iterations;
        ++iteration) {
     // ---- P1 per SBS (unchanged caching structure; reuse the flow solver).
-    double p1_value = 0.0;
-    for (std::size_t n = 0; n < config.num_sbs(); ++n) {
+    // Independent per SBS: fan out, then reduce serially in SBS order so the
+    // objective is bit-identical at any thread count.
+    std::vector<double> p1_objectives(config.num_sbs(), 0.0);
+    util::parallel_for(0, config.num_sbs(), [&](std::size_t n) {
       core::CachingSubproblem p1;
       p1.num_contents = k_count;
       p1.horizon = w;
@@ -119,12 +124,14 @@ OverlapHorizonSolution OverlapPrimalDualSolver::solve(
       }
       const auto sol = core::solve_caching_flow(p1);
       x[n] = sol.x;
-      p1_value += sol.objective;
-    }
+      p1_objectives[n] = sol.objective;
+    });
+    double p1_value = 0.0;
+    for (const double value : p1_objectives) p1_value += value;
 
-    // ---- P2 per slot (coupled across SBSs).
-    double p2_value = 0.0;
-    for (std::size_t t = 0; t < w; ++t) {
+    // ---- P2 per slot (coupled across SBSs, independent across slots).
+    std::vector<double> p2_objectives(w, 0.0);
+    util::parallel_for(0, w, [&](std::size_t t) {
       OverlapP2Problem p2;
       p2.config = &config;
       p2.layout = &layout;
@@ -135,14 +142,16 @@ OverlapHorizonSolution OverlapPrimalDualSolver::solve(
       const auto sol = solve_overlap_load_balancing(
           p2, options_.p2, y[t].empty() ? nullptr : &y[t]);
       y[t] = sol.y;
-      p2_value += sol.objective;
-    }
+      p2_objectives[t] = sol.objective;
+    });
+    double p2_value = 0.0;
+    for (const double value : p2_objectives) p2_value += value;
 
     best.lower_bound = std::max(best.lower_bound, p1_value + p2_value);
 
-    // ---- Feasibility repair -> upper bound.
+    // ---- Feasibility repair -> upper bound (independent per slot).
     std::vector<OverlapDecision> schedule(w);
-    for (std::size_t t = 0; t < w; ++t) {
+    util::parallel_for(0, w, [&](std::size_t t) {
       schedule[t].cache = empty_cache(config);
       linalg::Vec ub(per_slot, 0.0);
       for (std::size_t n = 0; n < config.num_sbs(); ++n) {
@@ -171,7 +180,7 @@ OverlapHorizonSolution OverlapPrimalDualSolver::solve(
         repair_ub[t] = std::move(ub);
       }
       schedule[t].y = repair_y[t];
-    }
+    });
     const double ub_candidate = schedule_cost(config, layout, problem.demand,
                                               schedule, problem.initial);
     if (ub_candidate < best.upper_bound) {
@@ -183,8 +192,7 @@ OverlapHorizonSolution OverlapPrimalDualSolver::solve(
     if (best.gap() <= options_.epsilon) break;
 
     // ---- Subgradient ascent: g = y - x.
-    const double delta =
-        step_scale / (1.0 + options_.step_alpha * static_cast<double>(iteration));
+    const double delta = step_scale * step(iteration);
     for (std::size_t t = 0; t < w; ++t) {
       for (std::size_t id = 0; id < layout.num_links(); ++id) {
         const auto [m, n] = layout.link(id);

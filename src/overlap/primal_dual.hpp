@@ -25,7 +25,7 @@ struct OverlapHorizonProblem {
 struct OverlapPrimalDualOptions {
   std::size_t max_iterations = 16;
   double epsilon = 1e-4;
-  double step_alpha = 0.08;
+  double step_alpha = 1.0;  // delta_l = alpha / (1 + l), see subgradient.hpp
   double step_scale = 0.0;  // 0 = automatic (marginal-gradient scale)
   bool marginal_initialization = true;
   OverlapP2Options p2{};

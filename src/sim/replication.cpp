@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mdo::sim {
 
@@ -10,14 +11,23 @@ std::vector<AggregatedOutcome> run_replicated(const ExperimentConfig& config,
                                               std::size_t replications) {
   MDO_REQUIRE(replications >= 1, "need at least one replication");
 
+  // Replications are independent by construction (each gets its own seeds),
+  // so they fan out across the global thread pool; each writes only its own
+  // slot. Aggregation below runs serially in replication order, so the
+  // floating-point sums match the old serial loop bit for bit.
+  std::vector<std::vector<SchemeOutcome>> per_rep(replications);
+  util::parallel_for(0, replications, [&](std::size_t rep) {
+    ExperimentConfig run = config;
+    run.scenario.seed = config.scenario.seed + rep;
+    run.predictor_seed = config.predictor_seed + rep;
+    per_rep[rep] = run_schemes(run);
+  });
+
   std::vector<AggregatedOutcome> aggregated;
   std::vector<std::vector<double>> totals;  // per scheme: per replication
 
   for (std::size_t rep = 0; rep < replications; ++rep) {
-    ExperimentConfig run = config;
-    run.scenario.seed = config.scenario.seed + rep;
-    run.predictor_seed = config.predictor_seed + rep;
-    const auto outcomes = run_schemes(run);
+    const auto& outcomes = per_rep[rep];
 
     if (rep == 0) {
       aggregated.resize(outcomes.size());

@@ -29,6 +29,11 @@ struct AggregatedOutcome {
 /// Runs `replications` copies of the experiment with scenario seeds
 /// base_seed, base_seed + 1, ... (the predictor seed is offset identically)
 /// and aggregates per scheme. replications >= 1.
+///
+/// Replications run concurrently on the global thread pool (util/
+/// thread_pool.hpp); each has its own RNG streams derived from its seeds,
+/// and the aggregation is serial in replication order, so the result is
+/// identical at every thread count (MDO_THREADS=1 included).
 std::vector<AggregatedOutcome> run_replicated(const ExperimentConfig& config,
                                               std::size_t replications);
 

@@ -11,7 +11,11 @@ DiminishingStep::DiminishingStep(double alpha) : alpha_(alpha) {
 }
 
 double DiminishingStep::operator()(std::size_t l) const {
-  return 1.0 / (1.0 + alpha_ * static_cast<double>(l));
+  // delta_l = alpha / (1 + l): square-summable-but-not-summable, as Alg. 1's
+  // convergence argument requires, with alpha scaling the step magnitude.
+  // (The former 1 / (1 + alpha l) made delta_0 always 1 and reduced alpha to
+  // a decay knob that never scaled the step.)
+  return alpha_ / (1.0 + static_cast<double>(l));
 }
 
 void ascend_projected(linalg::Vec& mu, const linalg::Vec& subgradient,

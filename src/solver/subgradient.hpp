@@ -1,9 +1,11 @@
 // Subgradient-method utilities for the dual ascent in Algorithm 1.
 //
-// The paper updates the multipliers with the diminishing step size
-// delta_l = 1 / (1 + alpha * l)   (eq. 16)
-// and projects onto the non-negative orthant (eq. 15). These helpers keep
-// that logic in one tested place.
+// The paper updates the multipliers with a diminishing step size (eq. 16)
+// and projects onto the non-negative orthant (eq. 15). We use
+// delta_l = alpha / (1 + l),
+// a harmonic schedule that satisfies the diminishing-step conditions
+// (sum delta_l = inf, delta_l -> 0) with alpha scaling the step magnitude.
+// These helpers keep that logic in one tested place.
 #pragma once
 
 #include <cstddef>
@@ -12,7 +14,7 @@
 
 namespace mdo::solver {
 
-/// Diminishing step-size schedule delta_l = 1 / (1 + alpha * l), eq. (16).
+/// Diminishing step-size schedule delta_l = alpha / (1 + l), eq. (16).
 class DiminishingStep {
  public:
   explicit DiminishingStep(double alpha);

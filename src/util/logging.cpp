@@ -1,6 +1,7 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <mutex>
 
 #include "util/error.hpp"
 
@@ -38,9 +39,13 @@ LogLevel parse_log_level(const std::string& name) {
 
 namespace detail {
 void log_write(LogLevel level, const std::string& message) {
+  // Serialize whole lines: solver fan-out (util::ThreadPool) may log from
+  // several workers at once.
+  static std::mutex write_mutex;
   std::ostream& os = static_cast<int>(level) >= static_cast<int>(LogLevel::kWarn)
                          ? std::cerr
                          : std::clog;
+  const std::lock_guard<std::mutex> lock(write_mutex);
   os << "[" << level_name(level) << "] " << message << '\n';
 }
 }  // namespace detail

@@ -9,6 +9,7 @@
 
 #include "core/load_balancing.hpp"
 #include "core/primal_dual.hpp"
+#include "online/chc.hpp"
 #include "online/rhc.hpp"
 #include "online/robust_controller.hpp"
 #include "solver/lp.hpp"
@@ -308,6 +309,106 @@ TEST(RobustController, OutageProjectionEvictsToDegradedCapacity) {
   const model::SlotDecision decision = robust.decide(ctx);
   EXPECT_EQ(decision.cache.count(0), 0u);  // outage => nothing cached
   for (const double y : decision.load.sbs_data(0)) EXPECT_EQ(y, 0.0);
+}
+
+/// Inner controller that records how executed decisions are fed back.
+class SpyController final : public online::Controller {
+ public:
+  std::string name() const override { return "Spy"; }
+  void reset(const model::ProblemInstance& instance) override {
+    instance_ = &instance;
+    observes = 0;
+    resyncs = 0;
+  }
+  model::SlotDecision decide(const online::DecisionContext&) override {
+    model::SlotDecision decision;
+    decision.cache = model::CacheState(instance_->config);
+    decision.load = model::LoadAllocation(instance_->config);
+    return decision;
+  }
+  void observe(std::size_t, const model::SlotDecision&) override {
+    ++observes;
+  }
+  void resync(std::size_t, const model::SlotDecision&) override { ++resyncs; }
+
+  int observes = 0;
+  int resyncs = 0;
+
+ private:
+  const model::ProblemInstance* instance_ = nullptr;
+};
+
+TEST(RobustController, ObserveRoutesToResyncOnlyOnSubstitutedSlots) {
+  // Regression: the wrapper used to forward observe() unchanged, so a
+  // trajectory-tracking inner controller (FHC/CHC) kept planning from a
+  // phantom trajectory after a fallback substitution.
+  const auto instance = faulty_instance(4);
+  const workload::PerfectPredictor predictor(instance.demand);
+  SpyController spy;
+  online::RobustController robust(spy);
+  robust.reset(instance);
+
+  online::DecisionContext ctx;
+  ctx.slot = 0;
+  ctx.true_demand = &instance.demand.slot(0);
+  ctx.predictor = &predictor;
+  const auto clean = robust.decide(ctx);  // level 0: the spy's own decision
+  robust.observe(0, clean);
+  EXPECT_EQ(spy.observes, 1);
+  EXPECT_EQ(spy.resyncs, 0);
+
+  model::SlotDemand corrupt = instance.demand.slot(1);
+  corrupt[0].at(0, 0) = -1.0;
+  ctx.slot = 1;
+  ctx.true_demand = &corrupt;
+  const auto reused = robust.decide(ctx);  // warm reuse: substituted
+  robust.observe(1, reused);
+  EXPECT_EQ(spy.observes, 1);
+  EXPECT_EQ(spy.resyncs, 1);
+
+  ctx.slot = 2;
+  ctx.true_demand = &instance.demand.slot(2);
+  const auto again = robust.decide(ctx);  // clean again: plain observe
+  robust.observe(2, again);
+  EXPECT_EQ(spy.observes, 2);
+  EXPECT_EQ(spy.resyncs, 1);
+}
+
+TEST(FaultedSimulation, RobustChcOutageRunStaysFeasible) {
+  // End-to-end regression for the executed-state resync: Robust(CHC) under
+  // an SBS outage substitutes empty caches for the outage window; the CHC
+  // planners must replan from the executed state afterwards and the whole
+  // run stays capacity-feasible for the degraded cell.
+  const auto instance = faulty_instance(24);
+  const workload::NoisyPredictor predictor(instance.demand, 0.1, 33);
+  sim::FaultInjectionConfig fault_config;
+  fault_config.outages.push_back({0, {5, 9}});
+  fault_config.corrupted_slots = {12};
+  const sim::FaultInjector injector(fault_config);
+  sim::SimulatorOptions options;
+  options.faults = &injector;
+  options.record_schedule = true;
+  const sim::Simulator simulator(instance, predictor, options);
+
+  online::ChcController chc(4, 2);
+  online::RobustController robust(chc);
+  sim::SimulationResult result;
+  ASSERT_NO_THROW(result = simulator.run(robust));
+  ASSERT_EQ(result.schedule.size(), 24u);
+  for (std::size_t t = 0; t < result.schedule.size(); ++t) {
+    const auto& faults = result.fault_plan[t];
+    const std::size_t capacity = faults.sbs_outage[0] != 0
+                                     ? 0
+                                     : instance.config.sbs[0].cache_capacity;
+    EXPECT_LE(result.schedule[t].cache.count(0), capacity) << "slot " << t;
+  }
+  EXPECT_GT(robust.level_counts()[0], 0u);
+  // The outage definitely triggered substitutions (eviction projections).
+  bool saw_eviction = false;
+  for (const auto& event : robust.events()) {
+    saw_eviction |= event.kind == online::DegradationKind::kOutageEviction;
+  }
+  EXPECT_TRUE(saw_eviction);
 }
 
 // ---- SolveStatus hardening -------------------------------------------------

@@ -186,10 +186,20 @@ INSTANTIATE_TEST_SUITE_P(RandomProblems, FirstOrderRandomTest,
 // ----------------------------------------------------------- subgradient ----
 
 TEST(Subgradient, StepScheduleMatchesEq16) {
+  // delta_l = alpha / (1 + l): alpha scales the magnitude (the old
+  // 1 / (1 + alpha l) form pinned delta_0 at 1.0 regardless of alpha).
   const DiminishingStep step(0.5);
-  EXPECT_DOUBLE_EQ(step(0), 1.0);
-  EXPECT_DOUBLE_EQ(step(1), 1.0 / 1.5);
-  EXPECT_DOUBLE_EQ(step(4), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(step(0), 0.5);
+  EXPECT_DOUBLE_EQ(step(1), 0.25);
+  EXPECT_DOUBLE_EQ(step(4), 0.1);
+}
+
+TEST(Subgradient, AlphaScalesTheWholeSchedule) {
+  const DiminishingStep unit(1.0);
+  const DiminishingStep doubled(2.0);
+  for (std::size_t l = 0; l < 6; ++l) {
+    EXPECT_DOUBLE_EQ(doubled(l), 2.0 * unit(l)) << l;
+  }
 }
 
 TEST(Subgradient, RejectsNonPositiveAlpha) {

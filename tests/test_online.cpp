@@ -1,6 +1,9 @@
 // Tests for the online controllers (RHC / FHC / CHC / AFHC) and baselines.
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "model/feasibility.hpp"
 #include "online/baselines.hpp"
 #include "online/chc.hpp"
@@ -154,6 +157,75 @@ TEST(Fhc, ActionsCoverEverySlot) {
                 instance.config.sbs[n].cache_capacity);
     }
   }
+}
+
+/// Wraps a predictor and records every (tau, t) query, so tests can prove
+/// what information a planner actually consumed.
+class RecordingPredictor final : public workload::Predictor {
+ public:
+  explicit RecordingPredictor(const workload::Predictor& inner)
+      : inner_(&inner) {}
+
+  model::SlotDemand predict(std::size_t tau, std::size_t t) const override {
+    queries_.push_back({tau, t});
+    return inner_->predict(tau, t);
+  }
+  std::size_t horizon() const override { return inner_->horizon(); }
+
+  const std::vector<std::pair<std::size_t, std::size_t>>& queries() const {
+    return queries_;
+  }
+  void clear() { queries_.clear(); }
+
+ private:
+  const workload::Predictor* inner_;
+  mutable std::vector<std::pair<std::size_t, std::size_t>> queries_;
+};
+
+TEST(Fhc, PreHorizonPlansNeverQueryThePredictor) {
+  // Planner with offset 1, r = 2: slot 0 belongs to the plan made at
+  // tau = -1, which predates every observation. The old code clamped the
+  // query time to 0, smuggling slot-0 information into a pre-horizon plan.
+  const auto instance = small_instance();
+  const workload::PerfectPredictor truth(instance.demand);
+  RecordingPredictor recording(truth);
+  FhcPlanner planner(1, 3, 2, {});
+  planner.reset(instance);
+
+  planner.action(0, recording);  // tau = -1: zero-demand window only
+  EXPECT_TRUE(recording.queries().empty())
+      << "pre-horizon plan consulted the predictor";
+
+  recording.clear();
+  planner.action(1, recording);  // tau = 1: genuine queries, all at time 1
+  EXPECT_FALSE(recording.queries().empty());
+  for (const auto& [tau, t] : recording.queries()) {
+    EXPECT_EQ(tau, 1u);
+    EXPECT_GE(t, 1u);
+  }
+}
+
+TEST(Fhc, ResyncReplansFromExecutedState) {
+  // Make replacements expensive so a planner never caches on its own, then
+  // tell it a full cache was executed: keeping granted items is free and
+  // serves demand, so the resynced planner must keep them. A planner that
+  // ignores the resync stays empty.
+  auto instance = small_instance();
+  instance.config.sbs[0].replacement_beta = 1e6;
+  const workload::PerfectPredictor predictor(instance.demand);
+
+  FhcPlanner planner(0, 3, 1, {});
+  planner.reset(instance);
+  const auto& untouched = planner.action(0, predictor);
+  EXPECT_EQ(untouched.cache.count(0), 0u) << "beta=1e6 should deter caching";
+
+  model::CacheState executed(instance.config);
+  const std::size_t capacity = instance.config.sbs[0].cache_capacity;
+  for (std::size_t k = 0; k < capacity; ++k) executed.set(0, k, true);
+  planner.resync(0, executed);
+  const auto& resynced = planner.action(1, predictor);
+  EXPECT_GT(resynced.cache.count(0), 0u)
+      << "planner ignored the executed state handed to resync()";
 }
 
 TEST(Chc, ValidatesParameters) {

@@ -5,6 +5,7 @@
 #include "sim/replication.hpp"
 #include "sim/simulator.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/predictor.hpp"
 
 namespace mdo::sim {
@@ -62,6 +63,25 @@ TEST(Replication, StddevPositiveAcrossDifferentSeeds) {
   const auto aggregated = run_replicated(tiny_config(), 3);
   // Different seeds produce different traces: costs should vary.
   EXPECT_GT(find_aggregated(aggregated, "LRFU").stddev_total_cost, 0.0);
+}
+
+TEST(Replication, ThreadCountDoesNotChangeResults) {
+  // Replications fan out over the global pool; every per-seed RNG stream is
+  // derived from the replication's own seeds and the aggregation order is
+  // fixed, so 1-thread and 4-thread runs must agree exactly.
+  const auto config = tiny_config();
+  util::ThreadPool::set_global_threads(1);
+  const auto serial = run_replicated(config, 3);
+  util::ThreadPool::set_global_threads(4);
+  const auto parallel = run_replicated(config, 3);
+  util::ThreadPool::set_global_threads(1);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].name, parallel[i].name);
+    EXPECT_EQ(serial[i].mean_total_cost, parallel[i].mean_total_cost);
+    EXPECT_EQ(serial[i].stddev_total_cost, parallel[i].stddev_total_cost);
+    EXPECT_EQ(serial[i].mean_offload_ratio, parallel[i].mean_offload_ratio);
+  }
 }
 
 TEST(Replication, ValidatesArguments) {
