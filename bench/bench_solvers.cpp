@@ -126,7 +126,7 @@ void BM_PrimalDualWindow(benchmark::State& state) {
   problem.config = &instance.config;
   problem.demand = instance.demand;
   problem.initial_cache = instance.initial_cache;
-  const core::PrimalDualSolver solver;
+  core::PrimalDualSolver solver;
   for (auto _ : state) {
     benchmark::DoNotOptimize(solver.solve(problem));
   }

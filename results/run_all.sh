@@ -11,4 +11,5 @@ cd "$(dirname "$0")/.."
 ./build/bench/bench_ablation                > results/ablation.txt 2>&1
 ./build/bench/bench_competitive_ratio       > results/competitive_ratio.txt 2>&1
 ./build/bench/bench_solvers                 > results/solvers.txt 2>&1
+./build/bench/bench_hotpath --json BENCH_hotpath.json > results/hotpath.txt 2>&1
 echo ALL_BENCHES_DONE

@@ -48,10 +48,13 @@ double caching_objective(const CachingSubproblem& problem,
   return value;
 }
 
-CachingSolution solve_caching_flow(const CachingSubproblem& problem) {
+void CachingFlowWorkspace::bind(const CachingSubproblem& problem) {
   problem.validate();
   const std::size_t k_count = problem.num_contents;
   const std::size_t w = problem.horizon;
+  num_contents_ = k_count;
+  horizon_ = w;
+  capacity_ = static_cast<std::int64_t>(problem.capacity);
 
   // Time-expanded network. C units of "cache slot" flow from the source to
   // the sink; a unit passing through the (k, t) chain means content k is
@@ -59,11 +62,11 @@ CachingSolution solve_caching_flow(const CachingSubproblem& problem) {
   //
   // Nodes: source, sink, pool[0..w] (pool[t] = free at the beginning of
   // slot t; pool[w] feeds the sink), in(k, t) / out(k, t).
-  solver::MinCostFlow network(0);
-  const std::size_t source = network.add_node();
-  const std::size_t sink = network.add_node();
+  network_ = solver::MinCostFlow(0);
+  source_ = network_.add_node();
+  sink_ = network_.add_node();
   std::vector<std::size_t> pool(w + 1);
-  for (auto& node : pool) node = network.add_node();
+  for (auto& node : pool) node = network_.add_node();
 
   auto in_node = [&](std::size_t k, std::size_t t) {
     return 2 + (w + 1) + 2 * (t * k_count + k);
@@ -73,64 +76,87 @@ CachingSolution solve_caching_flow(const CachingSubproblem& problem) {
   };
   for (std::size_t t = 0; t < w; ++t) {
     for (std::size_t k = 0; k < k_count; ++k) {
-      network.add_node();  // in(k, t)
-      network.add_node();  // out(k, t)
+      network_.add_node();  // in(k, t)
+      network_.add_node();  // out(k, t)
     }
   }
 
   // Occupancy arcs: one unit through (k, t) collects reward nu[k, t].
-  std::vector<std::size_t> occupancy_arc(k_count * w);
+  occupancy_arc_.resize(k_count * w);
   for (std::size_t t = 0; t < w; ++t) {
     for (std::size_t k = 0; k < k_count; ++k) {
-      occupancy_arc[t * k_count + k] = network.add_arc(
+      occupancy_arc_[t * k_count + k] = network_.add_arc(
           in_node(k, t), out_node(k, t), 1, -problem.reward(t, k));
     }
   }
   // Pool chain and terminal arcs.
-  const auto capacity = static_cast<std::int64_t>(problem.capacity);
   for (std::size_t t = 0; t < w; ++t) {
-    network.add_arc(pool[t], pool[t + 1], capacity, 0.0);
+    network_.add_arc(pool[t], pool[t + 1], capacity_, 0.0);
   }
-  network.add_arc(pool[w], sink, capacity, 0.0);
+  network_.add_arc(pool[w], sink_, capacity_, 0.0);
   for (std::size_t t = 0; t < w; ++t) {
     for (std::size_t k = 0; k < k_count; ++k) {
       // Insert content k at slot t: pay the replacement cost beta.
-      network.add_arc(pool[t], in_node(k, t), 1, problem.beta);
+      network_.add_arc(pool[t], in_node(k, t), 1, problem.beta);
       // Evict after slot t.
-      network.add_arc(out_node(k, t), pool[t + 1], 1, 0.0);
+      network_.add_arc(out_node(k, t), pool[t + 1], 1, 0.0);
       // Stay cached into slot t + 1 for free.
       if (t + 1 < w) {
-        network.add_arc(out_node(k, t), in_node(k, t + 1), 1, 0.0);
+        network_.add_arc(out_node(k, t), in_node(k, t + 1), 1, 0.0);
       }
     }
   }
   // Source: initially cached contents may continue for free or be evicted;
   // the remaining capacity starts in the pool.
-  std::int64_t free_slots = capacity;
+  std::int64_t free_slots = capacity_;
   for (std::size_t k = 0; k < k_count; ++k) {
     if (problem.initial[k] == 0) continue;
-    const std::size_t carrier = network.add_node();
-    network.add_arc(source, carrier, 1, 0.0);
-    network.add_arc(carrier, in_node(k, 0), 1, 0.0);  // keep without charge
-    network.add_arc(carrier, pool[0], 1, 0.0);        // evict immediately
+    const std::size_t carrier = network_.add_node();
+    network_.add_arc(source_, carrier, 1, 0.0);
+    network_.add_arc(carrier, in_node(k, 0), 1, 0.0);  // keep without charge
+    network_.add_arc(carrier, pool[0], 1, 0.0);        // evict immediately
     --free_slots;
   }
-  if (free_slots > 0) network.add_arc(source, pool[0], free_slots, 0.0);
+  if (free_slots > 0) network_.add_arc(source_, pool[0], free_slots, 0.0);
+  bound_ = true;
+}
 
-  const auto result = network.solve(source, sink, capacity);
-  MDO_CHECK(result.flow == capacity,
+double CachingFlowWorkspace::solve_into(const CachingSubproblem& problem,
+                                        std::vector<std::uint8_t>& x) {
+  MDO_REQUIRE(bound_, "P1 flow workspace: bind() before solve_into()");
+  MDO_REQUIRE(problem.num_contents == num_contents_ &&
+                  problem.horizon == horizon_ &&
+                  problem.rewards.size() == num_contents_ * horizon_,
+              "P1 flow workspace: problem shape changed since bind()");
+  network_.reset_flow();
+  for (std::size_t i = 0; i < occupancy_arc_.size(); ++i) {
+    const double reward = problem.rewards[i];
+    MDO_REQUIRE(std::isfinite(reward) && reward >= 0.0,
+                "P1: rewards must be finite and non-negative");
+    network_.set_arc_cost(occupancy_arc_[i], -reward);
+  }
+
+  const auto result = network_.solve(source_, sink_, capacity_);
+  MDO_CHECK(result.flow == capacity_,
             "P1 flow: could not route all cache slots (network bug)");
 
-  CachingSolution solution;
-  solution.x.assign(k_count * w, 0);
-  for (std::size_t i = 0; i < occupancy_arc.size(); ++i) {
-    solution.x[i] = network.flow_on(occupancy_arc[i]) > 0 ? 1 : 0;
+  x.assign(num_contents_ * horizon_, 0);
+  for (std::size_t i = 0; i < occupancy_arc_.size(); ++i) {
+    x[i] = network_.flow_on(occupancy_arc_[i]) > 0 ? 1 : 0;
   }
-  solution.objective = caching_objective(problem, solution.x);
+  const double objective = caching_objective(problem, x);
   // The flow cost must agree with the schedule's objective.
-  MDO_CHECK(std::abs(solution.objective - result.cost) <=
+  MDO_CHECK(std::abs(objective - result.cost) <=
                 1e-6 * (1.0 + std::abs(result.cost)),
             "P1 flow: cost mismatch between flow and schedule");
+  return objective;
+}
+
+CachingSolution solve_caching_flow(const CachingSubproblem& problem) {
+  CachingFlowWorkspace workspace;
+  workspace.bind(problem);
+  CachingSolution solution;
+  solution.objective = workspace.solve_into(problem, solution.x);
   return solution;
 }
 

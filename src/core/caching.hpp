@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "linalg/vec.hpp"
+#include "solver/mcmf.hpp"
 
 namespace mdo::core {
 
@@ -56,6 +57,41 @@ struct CachingSolution {
 /// Exact solver via successive-shortest-path min-cost flow. O(C * K * W)
 /// per augmentation; the default inside the primal-dual loop.
 CachingSolution solve_caching_flow(const CachingSubproblem& problem);
+
+/// Reusable min-cost-flow workspace for P1. The time-expanded network's
+/// topology depends only on (K, W, capacity, beta, initial); the dual
+/// iterations of Algorithm 1 only change the rewards. bind() builds the
+/// network once per window; solve_into() then re-prices the occupancy arcs
+/// in place, resets the flow and re-augments — bit-identical to
+/// solve_caching_flow (same arcs in the same order, same successive
+/// shortest paths) without rebuilding O(K * W) nodes and arcs every
+/// iteration.
+class CachingFlowWorkspace {
+ public:
+  /// (Re)builds the network for the problem's shape, parameters and initial
+  /// state. Validates the problem; the rewards it carries are installed too,
+  /// so solve_into() may follow immediately.
+  void bind(const CachingSubproblem& problem);
+
+  /// True once bind() has run (solve_into() requires it).
+  bool bound() const { return bound_; }
+
+  /// Re-solves the bound network with `problem.rewards` (everything else
+  /// must match the bound problem). Writes the 0/1 schedule into `x`
+  /// (resized to K * W) and returns the P1 objective.
+  double solve_into(const CachingSubproblem& problem,
+                    std::vector<std::uint8_t>& x);
+
+ private:
+  solver::MinCostFlow network_{0};
+  std::vector<std::size_t> occupancy_arc_;  // arc id of cell (k, t)
+  std::size_t source_ = 0;
+  std::size_t sink_ = 0;
+  std::size_t num_contents_ = 0;
+  std::size_t horizon_ = 0;
+  std::int64_t capacity_ = 0;
+  bool bound_ = false;
+};
 
 /// Exact solver via the LP relaxation and the simplex method, as in the
 /// paper. Verifies the returned vertex is integral (Theorem 1) and throws

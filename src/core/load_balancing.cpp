@@ -4,61 +4,35 @@
 #include <cmath>
 #include <limits>
 
-#include "solver/projection.hpp"
 #include "util/error.hpp"
 
 namespace mdo::core {
 
 namespace {
 
-/// Precomputed coefficient vectors of one P2 instance.
-struct Coefficients {
-  linalg::Vec lambda;  // demand rates
-  linalg::Vec u;       // omega-weighted rates (BS side)
-  linalg::Vec v;       // omega_sbs-weighted rates (SBS side)
-  double a = 0.0;      // u . 1
-  linalg::Vec c;       // linear term
-  linalg::Vec ub;      // upper bounds
-};
-
-Coefficients build_coefficients(const LoadBalancingSubproblem& problem) {
-  const auto& sbs = *problem.sbs;
-  const auto& demand = *problem.demand;
-  const std::size_t classes = sbs.num_classes();
-  const std::size_t contents = demand.num_contents();
-  const std::size_t size = classes * contents;
-
-  Coefficients coeff;
-  coeff.lambda = demand.data();
-  coeff.u.resize(size);
-  coeff.v.resize(size);
-  for (std::size_t m = 0; m < classes; ++m) {
-    const double omega = sbs.classes[m].omega_bs;
-    const double omega_sbs = sbs.classes[m].omega_sbs;
-    for (std::size_t k = 0; k < contents; ++k) {
-      const std::size_t j = m * contents + k;
-      coeff.u[j] = omega * coeff.lambda[j];
-      coeff.v[j] = omega_sbs * coeff.lambda[j];
-      coeff.a += coeff.u[j];
-    }
+bool all_finite(const linalg::Vec& v) {
+  for (const double value : v) {
+    if (!std::isfinite(value)) return false;
   }
-  coeff.c = problem.linear.empty() ? linalg::Vec(size, 0.0) : problem.linear;
-  coeff.ub = problem.upper.empty() ? linalg::Vec(size, 1.0) : problem.upper;
-  return coeff;
+  return true;
 }
 
 bool load_balancing_inputs_finite(const LoadBalancingSubproblem& problem) {
   MDO_REQUIRE(problem.sbs != nullptr && problem.demand != nullptr,
               "P2: sbs and demand must be set");
-  auto finite = [](const linalg::Vec& v) {
-    for (const double value : v) {
-      if (!std::isfinite(value)) return false;
-    }
-    return true;
-  };
   return std::isfinite(problem.sbs->bandwidth) &&
-         finite(problem.demand->data()) && finite(problem.linear) &&
-         finite(problem.upper);
+         all_finite(problem.demand->data()) && all_finite(problem.linear) &&
+         all_finite(problem.upper);
+}
+
+/// Seeds a throwaway workspace from a one-shot subproblem description.
+void bind_workspace(P2Workspace& ws, const LoadBalancingSubproblem& problem) {
+  ws.bind(*problem.sbs, *problem.demand);
+  if (!problem.linear.empty()) {
+    ws.set_linear(problem.linear.data(),
+                  problem.linear.data() + problem.linear.size());
+  }
+  if (!problem.upper.empty()) ws.set_upper(problem.upper);
 }
 
 }  // namespace
@@ -76,22 +50,329 @@ void LoadBalancingSubproblem::validate() const {
   }
 }
 
-double load_balancing_objective(const LoadBalancingSubproblem& problem,
-                                const linalg::Vec& y) {
-  problem.validate();
-  const Coefficients coeff = build_coefficients(problem);
-  MDO_REQUIRE(y.size() == coeff.lambda.size(), "P2 objective: y size");
-  const double bs_term = coeff.a - linalg::dot(coeff.u, y);
-  const double sbs_term = linalg::dot(coeff.v, y);
-  return bs_term * bs_term + sbs_term * sbs_term + linalg::dot(coeff.c, y);
+void P2Workspace::bind(const model::SbsConfig& sbs,
+                       const model::SbsDemand& demand) {
+  MDO_REQUIRE(demand.num_classes() == sbs.num_classes(),
+              "P2 workspace: class count mismatch");
+  sbs_ = &sbs;
+  demand_ = &demand;
+  const std::size_t classes = sbs.num_classes();
+  const std::size_t contents = demand.num_contents();
+  const std::size_t size = classes * contents;
+
+  coeff_.lambda = demand.data();
+  coeff_.u.resize(size);
+  coeff_.v.resize(size);
+  coeff_.a = 0.0;
+  exact_applicable_ = true;
+  for (std::size_t m = 0; m < classes; ++m) {
+    const double omega = sbs.classes[m].omega_bs;
+    const double omega_sbs = sbs.classes[m].omega_sbs;
+    if (omega_sbs != 0.0) exact_applicable_ = false;
+    for (std::size_t k = 0; k < contents; ++k) {
+      const std::size_t j = m * contents + k;
+      coeff_.u[j] = omega * coeff_.lambda[j];
+      coeff_.v[j] = omega_sbs * coeff_.lambda[j];
+      coeff_.a += coeff_.u[j];
+    }
+  }
+  quad_norm_ =
+      linalg::dot(coeff_.u, coeff_.u) + linalg::dot(coeff_.v, coeff_.v);
+  bind_finite_ = std::isfinite(sbs.bandwidth) && all_finite(coeff_.lambda);
+  coeff_.c.assign(size, 0.0);
+  linear_finite_ = true;
+  coeff_.ub.assign(size, 1.0);
+  upper_finite_ = true;
+  has_solution_ = false;
+}
+
+void P2Workspace::set_linear(const double* begin, const double* end) {
+  MDO_REQUIRE(bound(), "P2 workspace: bind() before set_linear()");
+  MDO_REQUIRE(static_cast<std::size_t>(end - begin) == coeff_.lambda.size(),
+              "P2 workspace: linear size");
+  coeff_.c.assign(begin, end);
+  linear_finite_ = all_finite(coeff_.c);
+  has_solution_ = false;
+}
+
+void P2Workspace::set_linear_zero() {
+  MDO_REQUIRE(bound(), "P2 workspace: bind() before set_linear_zero()");
+  coeff_.c.assign(coeff_.lambda.size(), 0.0);
+  linear_finite_ = true;
+  has_solution_ = false;
+}
+
+void P2Workspace::set_upper(const linalg::Vec& upper) {
+  MDO_REQUIRE(bound(), "P2 workspace: bind() before set_upper()");
+  MDO_REQUIRE(upper.size() == coeff_.lambda.size(),
+              "P2 workspace: upper size");
+  coeff_.ub = upper;
+  upper_finite_ = all_finite(coeff_.ub);
+  if (upper_finite_) {
+    // Non-finite bounds are reported via the solve status instead of thrown,
+    // matching the legacy finite-check-before-validate order.
+    for (const double b : coeff_.ub) {
+      MDO_REQUIRE(b >= 0.0 && b <= 1.0, "P2: upper bounds must be in [0, 1]");
+    }
+  }
+  has_solution_ = false;
+}
+
+void P2Workspace::refresh_feasible_set() {
+  const std::size_t size = coeff_.lambda.size();
+  feasible_.lo.assign(size, 0.0);
+  feasible_.hi = coeff_.ub;
+  feasible_.weights = coeff_.lambda;
+  feasible_.budget = sbs_->bandwidth;
+  // Validated once per solve here; the per-iteration projections then use
+  // the unchecked project_box_knapsack_into.
+  feasible_.validate();
+}
+
+void P2Workspace::solve_fista(const LoadBalancingOptions& options,
+                              LoadBalancingOutcome& out) {
+  const std::size_t size = coeff_.lambda.size();
+
+  double lipschitz = 2.0 * quad_norm_;
+  if (lipschitz <= 1e-14) {
+    bool c_nonneg = true;
+    for (const double cj : coeff_.c) c_nonneg = c_nonneg && cj >= 0.0;
+    if (c_nonneg) {
+      // Degenerate instance: no weighted demand and c >= 0, so the
+      // objective reduces to c . y and y = 0 is optimal.
+      y_.assign(size, 0.0);
+      out.objective = coeff_.a * coeff_.a;  // == objective at y = 0
+      out.iterations = 0;
+      out.converged = true;
+      out.status = solver::SolveStatus::kConverged;
+      has_solution_ = true;
+      return;
+    }
+    lipschitz = 1.0;  // linear objective: any positive step works with PGD
+  }
+
+  refresh_feasible_set();
+
+  // [this] captures fit std::function's small-buffer storage: no allocation.
+  const solver::ValueGradientFn objective = [this](const linalg::Vec& y,
+                                                   linalg::Vec& grad) {
+    const auto [u_dot_y, v_dot_y] = linalg::dot_pair(coeff_.u, coeff_.v, y);
+    const double bs_term = coeff_.a - u_dot_y;
+    const double sbs_term = v_dot_y;
+    for (std::size_t j = 0; j < y.size(); ++j) {
+      grad[j] = -2.0 * bs_term * coeff_.u[j] + 2.0 * sbs_term * coeff_.v[j] +
+                coeff_.c[j];
+    }
+    const double bs_sq = bs_term * bs_term;
+    const double sbs_sq = sbs_term * sbs_term;
+    double linear_term = 0.0;
+    for (std::size_t j = 0; j < y.size(); ++j) {
+      linear_term += coeff_.c[j] * y[j];
+    }
+    return bs_sq + sbs_sq + linear_term;
+  };
+  const solver::ProjectionIntoFn project = [this](const linalg::Vec& in,
+                                                  linalg::Vec& out_vec) {
+    solver::project_box_knapsack_into(in, feasible_, out_vec);
+  };
+
+  if (y_.size() != size) y_.assign(size, 0.0);
+  first_order_.x = y_;  // warm start (copy-assign reuses capacity)
+
+  solver::FirstOrderOptions fo = options.first_order;
+  fo.lipschitz = lipschitz;
+  const solver::FirstOrderSummary summary =
+      solver::minimize_projected(objective, project, first_order_, fo);
+
+  y_.swap(first_order_.x);
+  out.objective = summary.objective_value;
+  out.iterations = summary.iterations;
+  out.converged = summary.converged;
+  out.status = summary.status;
+  has_solution_ = true;
+}
+
+/// Solves the fixed-theta stationarity system of the exact solver into
+/// exact_y_, with the consistent scalar s = u . y. See the header for the
+/// math. Allocation-free once the scratch buffers reach the instance size.
+void P2Workspace::stationary_point(double theta) {
+  const std::size_t size = coeff_.u.size();
+  exact_y_.assign(size, 0.0);
+
+  // Coordinates with u_j = 0 do not move s: they activate exactly when
+  // their linear coefficient (c_j + theta lambda_j) is negative.
+  // Coordinates with u_j > 0 activate when phi = 2(a - s) exceeds their
+  // threshold t_j = (c_j + theta lambda_j) / u_j.
+  thresholds_.clear();
+  if (thresholds_.capacity() < size) thresholds_.reserve(size);
+  for (std::size_t j = 0; j < size; ++j) {
+    const double price = coeff_.c[j] + theta * coeff_.lambda[j];
+    if (coeff_.u[j] <= 0.0) {
+      if (price < 0.0) exact_y_[j] = coeff_.ub[j];
+      continue;
+    }
+    if (coeff_.ub[j] <= 0.0) continue;  // pinned at zero
+    thresholds_.push_back({price / coeff_.u[j], j});
+  }
+  std::sort(thresholds_.begin(), thresholds_.end());
+
+  // Group equal thresholds (within a tiny tolerance) so ties are split
+  // fractionally rather than flip-flopped. Groups are (begin, end) ranges
+  // into the sorted thresholds array — no per-group member vectors.
+  groups_.clear();
+  for (std::size_t i = 0; i < thresholds_.size(); ++i) {
+    const double threshold = thresholds_[i].first;
+    const std::size_t j = thresholds_[i].second;
+    if (groups_.empty() ||
+        threshold >
+            groups_.back().threshold + 1e-12 * (1.0 + std::abs(threshold))) {
+      groups_.push_back({threshold, i, i, 0.0});
+    }
+    groups_.back().end = i + 1;
+    groups_.back().mass += coeff_.u[j] * coeff_.ub[j];
+  }
+
+  // Walk the piecewise-linear fixed point G(phi) = phi + 2 s(phi) - 2a.
+  const double a2 = 2.0 * coeff_.a;
+  double below = 0.0;  // s contribution of groups strictly below phi
+  std::size_t solved_group = groups_.size();
+  double fraction = 1.0;
+  std::size_t active_groups = 0;
+  for (std::size_t g = 0; g <= groups_.size(); ++g) {
+    const double seg_lo = g == 0 ? -std::numeric_limits<double>::infinity()
+                                 : groups_[g - 1].threshold;
+    const double seg_hi = g == groups_.size()
+                              ? std::numeric_limits<double>::infinity()
+                              : groups_[g].threshold;
+    // Interior candidate for this segment: s constant = below.
+    const double candidate = a2 - 2.0 * below;
+    if (candidate > seg_lo && candidate <= seg_hi) {
+      active_groups = g;
+      solved_group = groups_.size();  // no fractional group
+      break;
+    }
+    if (g == groups_.size()) {
+      active_groups = g;  // numerical fallback: everything active
+      break;
+    }
+    // Jump at phi = seg_hi: fractional root if G crosses zero there.
+    const double g_minus = seg_hi + 2.0 * below - a2;
+    const double g_plus = seg_hi + 2.0 * (below + groups_[g].mass) - a2;
+    if (g_minus <= 0.0 && g_plus >= 0.0) {
+      const double s_star = (a2 - seg_hi) / 2.0;
+      fraction = groups_[g].mass > 0.0
+                     ? std::clamp((s_star - below) / groups_[g].mass, 0.0, 1.0)
+                     : 0.0;
+      solved_group = g;
+      active_groups = g;
+      break;
+    }
+    below += groups_[g].mass;
+  }
+
+  for (std::size_t g = 0; g < active_groups; ++g) {
+    for (std::size_t i = groups_[g].begin; i < groups_[g].end; ++i) {
+      const std::size_t j = thresholds_[i].second;
+      exact_y_[j] = coeff_.ub[j];
+    }
+  }
+  if (solved_group < groups_.size()) {
+    for (std::size_t i = groups_[solved_group].begin;
+         i < groups_[solved_group].end; ++i) {
+      const std::size_t j = thresholds_[i].second;
+      exact_y_[j] = fraction * coeff_.ub[j];
+    }
+  }
+}
+
+namespace {
+
+double load_of(const Coefficients& coeff, const linalg::Vec& y) {
+  double load = 0.0;
+  for (std::size_t j = 0; j < y.size(); ++j) load += coeff.lambda[j] * y[j];
+  return load;
+}
+
+}  // namespace
+
+void P2Workspace::solve_exact(LoadBalancingOutcome& out) {
+  const double budget = sbs_->bandwidth;
+  out.converged = true;
+  out.status = solver::SolveStatus::kConverged;
+
+  // theta = 0: bandwidth slack case.
+  stationary_point(0.0);
+  if (load_of(coeff_, exact_y_) <= budget + 1e-12) {
+    y_.swap(exact_y_);
+    out.iterations = 1;
+  } else {
+    // Bisect the bandwidth multiplier; the load is non-increasing in theta.
+    double lo = 0.0;
+    double hi = 1.0;
+    stationary_point(hi);
+    while (load_of(coeff_, exact_y_) > budget) {
+      hi *= 2.0;
+      MDO_CHECK(hi < 1e30, "exact P2: failed to bracket the multiplier");
+      stationary_point(hi);
+    }
+    std::size_t iterations = 1;
+    while (hi - lo > 1e-13 * (1.0 + hi)) {
+      const double mid = 0.5 * (lo + hi);
+      stationary_point(mid);
+      if (load_of(coeff_, exact_y_) > budget) lo = mid;
+      else hi = mid;
+      ++iterations;
+    }
+    stationary_point(hi);  // feasible side
+    y_.swap(exact_y_);
+    out.iterations = iterations;
+
+    // At a binding bandwidth row the active set can jump discretely at
+    // theta*, leaving unused budget; a short FISTA polish from this
+    // (excellent) warm start recovers the fractional boundary point.
+    LoadBalancingOptions polish;
+    polish.prefer_exact = false;
+    polish.first_order.max_iterations = 200;
+    polish.first_order.gradient_tolerance = 1e-7;
+    LoadBalancingOutcome refined;
+    if (inputs_finite()) {
+      solve_fista(polish, refined);
+    } else {
+      y_.assign(coeff_.lambda.size(), 0.0);
+    }
+    out.iterations += refined.iterations;
+  }
+
+  const double bs_term = coeff_.a - linalg::dot(coeff_.u, y_);
+  out.objective = bs_term * bs_term + linalg::dot(coeff_.c, y_);
+  has_solution_ = true;
+}
+
+LoadBalancingOutcome solve_load_balancing(P2Workspace& ws,
+                                          const LoadBalancingOptions& options) {
+  MDO_REQUIRE(ws.bound(), "P2 workspace: bind() before solve");
+  LoadBalancingOutcome out;
+  if (!ws.inputs_finite()) {
+    // Corrupted rates/multipliers: serve everything from the BS (y = 0 is
+    // feasible for every box-knapsack instance) and report via the status.
+    ws.y_.assign(ws.coeff_.lambda.size(), 0.0);
+    out.status = solver::SolveStatus::kNonFiniteInput;
+    out.converged = false;
+    ws.has_solution_ = true;
+    return out;
+  }
+  if (options.prefer_exact && ws.exact_applicable_) {
+    ws.solve_exact(out);
+  } else {
+    ws.solve_fista(options, out);
+  }
+  return out;
 }
 
 LoadBalancingSolution solve_load_balancing(
     const LoadBalancingSubproblem& problem,
     const LoadBalancingOptions& options, const linalg::Vec* warm_start) {
   if (!load_balancing_inputs_finite(problem)) {
-    // Corrupted rates/multipliers: serve everything from the BS (y = 0 is
-    // feasible for every box-knapsack instance) and report via the status.
     LoadBalancingSolution out;
     out.y.assign(problem.demand->num_classes() * problem.demand->num_contents(),
                  0.0);
@@ -102,64 +383,36 @@ LoadBalancingSolution solve_load_balancing(
   if (options.prefer_exact && load_balancing_exact_applicable(problem)) {
     return solve_load_balancing_exact(problem);
   }
-  const Coefficients coeff = build_coefficients(problem);
-  const std::size_t size = coeff.lambda.size();
+
+  P2Workspace ws;
+  bind_workspace(ws, problem);
+  if (warm_start != nullptr) ws.warm_start() = *warm_start;
+  const LoadBalancingOutcome outcome = solve_load_balancing(ws, options);
 
   LoadBalancingSolution out;
-
-  double lipschitz =
-      2.0 * (linalg::dot(coeff.u, coeff.u) + linalg::dot(coeff.v, coeff.v));
-  if (lipschitz <= 1e-14) {
-    bool c_nonneg = true;
-    for (const double cj : coeff.c) c_nonneg = c_nonneg && cj >= 0.0;
-    if (c_nonneg) {
-      // Degenerate instance: no weighted demand and c >= 0, so the
-      // objective reduces to c . y and y = 0 is optimal.
-      out.y.assign(size, 0.0);
-      out.objective = coeff.a * coeff.a;  // == objective at y = 0
-      out.converged = true;
-      return out;
-    }
-    lipschitz = 1.0;  // linear objective: any positive step works with PGD
-  }
-
-  solver::BoxKnapsackSet feasible;
-  feasible.lo.assign(size, 0.0);
-  feasible.hi = coeff.ub;
-  feasible.weights = coeff.lambda;
-  feasible.budget = problem.sbs->bandwidth;
-
-  auto objective = [&coeff](const linalg::Vec& y, linalg::Vec& grad) {
-    const double bs_term = coeff.a - linalg::dot(coeff.u, y);
-    const double sbs_term = linalg::dot(coeff.v, y);
-    for (std::size_t j = 0; j < y.size(); ++j) {
-      grad[j] = -2.0 * bs_term * coeff.u[j] + 2.0 * sbs_term * coeff.v[j] +
-                coeff.c[j];
-    }
-    const double bs_sq = bs_term * bs_term;
-    const double sbs_sq = sbs_term * sbs_term;
-    double linear_term = 0.0;
-    for (std::size_t j = 0; j < y.size(); ++j) linear_term += coeff.c[j] * y[j];
-    return bs_sq + sbs_sq + linear_term;
-  };
-  auto project = [&feasible](const linalg::Vec& point) {
-    return solver::project_box_knapsack(point, feasible);
-  };
-
-  linalg::Vec x0 =
-      warm_start != nullptr ? *warm_start : linalg::Vec(size, 0.0);
-  if (x0.size() != size) x0.assign(size, 0.0);
-
-  solver::FirstOrderOptions fo = options.first_order;
-  fo.lipschitz = lipschitz;
-  const auto result = solver::minimize_projected(objective, project, x0, fo);
-
-  out.y = result.x;
-  out.objective = result.objective_value;
-  out.iterations = result.iterations;
-  out.converged = result.converged;
-  out.status = result.status;
+  out.y = std::move(ws.warm_start());
+  out.objective = outcome.objective;
+  out.iterations = outcome.iterations;
+  out.converged = outcome.converged;
+  out.status = outcome.status;
   return out;
+}
+
+double load_balancing_objective(const Coefficients& coeff,
+                                const linalg::Vec& y) {
+  MDO_REQUIRE(y.size() == coeff.lambda.size(), "P2 objective: y size");
+  const auto [u_dot_y, v_dot_y] = linalg::dot_pair(coeff.u, coeff.v, y);
+  const double bs_term = coeff.a - u_dot_y;
+  const double sbs_term = v_dot_y;
+  return bs_term * bs_term + sbs_term * sbs_term + linalg::dot(coeff.c, y);
+}
+
+double load_balancing_objective(const LoadBalancingSubproblem& problem,
+                                const linalg::Vec& y) {
+  problem.validate();
+  P2Workspace ws;
+  bind_workspace(ws, problem);
+  return load_balancing_objective(ws.coefficients(), y);
 }
 
 bool load_balancing_exact_applicable(const LoadBalancingSubproblem& problem) {
@@ -170,152 +423,22 @@ bool load_balancing_exact_applicable(const LoadBalancingSubproblem& problem) {
   return true;
 }
 
-namespace {
-
-/// Solves the fixed-theta stationarity system of the exact solver: returns
-/// y and the consistent scalar s = u.y. See the header for the math.
-linalg::Vec stationary_point(const Coefficients& coeff, double theta) {
-  const std::size_t size = coeff.u.size();
-  linalg::Vec y(size, 0.0);
-
-  // Coordinates with u_j = 0 do not move s: they activate exactly when
-  // their linear coefficient (c_j + theta lambda_j) is negative.
-  // Coordinates with u_j > 0 activate when phi = 2(a - s) exceeds their
-  // threshold t_j = (c_j + theta lambda_j) / u_j.
-  struct Group {
-    double threshold;
-    std::vector<std::size_t> members;
-    double mass = 0.0;  // sum of u_j * ub_j
-  };
-  std::vector<std::pair<double, std::size_t>> thresholds;
-  thresholds.reserve(size);
-  for (std::size_t j = 0; j < size; ++j) {
-    const double price = coeff.c[j] + theta * coeff.lambda[j];
-    if (coeff.u[j] <= 0.0) {
-      if (price < 0.0) y[j] = coeff.ub[j];
-      continue;
-    }
-    if (coeff.ub[j] <= 0.0) continue;  // pinned at zero
-    thresholds.push_back({price / coeff.u[j], j});
-  }
-  std::sort(thresholds.begin(), thresholds.end());
-
-  // Group equal thresholds (within a tiny tolerance) so ties are split
-  // fractionally rather than flip-flopped.
-  std::vector<Group> groups;
-  for (const auto& [threshold, j] : thresholds) {
-    if (groups.empty() ||
-        threshold > groups.back().threshold + 1e-12 * (1.0 + std::abs(threshold))) {
-      groups.push_back({threshold, {}, 0.0});
-    }
-    groups.back().members.push_back(j);
-    groups.back().mass += coeff.u[j] * coeff.ub[j];
-  }
-
-  // Walk the piecewise-linear fixed point G(phi) = phi + 2 s(phi) - 2a.
-  const double a2 = 2.0 * coeff.a;
-  double below = 0.0;  // s contribution of groups strictly below phi
-  std::size_t solved_group = groups.size();
-  double fraction = 1.0;
-  std::size_t active_groups = 0;
-  for (std::size_t g = 0; g <= groups.size(); ++g) {
-    const double seg_lo = g == 0 ? -std::numeric_limits<double>::infinity()
-                                 : groups[g - 1].threshold;
-    const double seg_hi = g == groups.size()
-                              ? std::numeric_limits<double>::infinity()
-                              : groups[g].threshold;
-    // Interior candidate for this segment: s constant = below.
-    const double candidate = a2 - 2.0 * below;
-    if (candidate > seg_lo && candidate <= seg_hi) {
-      active_groups = g;
-      solved_group = groups.size();  // no fractional group
-      break;
-    }
-    if (g == groups.size()) {
-      active_groups = g;  // numerical fallback: everything active
-      break;
-    }
-    // Jump at phi = seg_hi: fractional root if G crosses zero there.
-    const double g_minus = seg_hi + 2.0 * below - a2;
-    const double g_plus = seg_hi + 2.0 * (below + groups[g].mass) - a2;
-    if (g_minus <= 0.0 && g_plus >= 0.0) {
-      const double s_star = (a2 - seg_hi) / 2.0;
-      fraction = groups[g].mass > 0.0
-                     ? std::clamp((s_star - below) / groups[g].mass, 0.0, 1.0)
-                     : 0.0;
-      solved_group = g;
-      active_groups = g;
-      break;
-    }
-    below += groups[g].mass;
-  }
-
-  for (std::size_t g = 0; g < active_groups; ++g) {
-    for (const std::size_t j : groups[g].members) y[j] = coeff.ub[j];
-  }
-  if (solved_group < groups.size()) {
-    for (const std::size_t j : groups[solved_group].members) {
-      y[j] = fraction * coeff.ub[j];
-    }
-  }
-  return y;
-}
-
-double load_of(const Coefficients& coeff, const linalg::Vec& y) {
-  double load = 0.0;
-  for (std::size_t j = 0; j < y.size(); ++j) load += coeff.lambda[j] * y[j];
-  return load;
-}
-
-}  // namespace
-
 LoadBalancingSolution solve_load_balancing_exact(
     const LoadBalancingSubproblem& problem) {
   MDO_REQUIRE(load_balancing_exact_applicable(problem),
               "exact P2 solver requires all omega_sbs = 0");
-  const Coefficients coeff = build_coefficients(problem);
-  const double budget = problem.sbs->bandwidth;
+  P2Workspace ws;
+  bind_workspace(ws, problem);
+
+  LoadBalancingOutcome outcome;
+  ws.solve_exact(outcome);
 
   LoadBalancingSolution out;
-  out.converged = true;
-
-  // theta = 0: bandwidth slack case.
-  linalg::Vec y = stationary_point(coeff, 0.0);
-  if (load_of(coeff, y) <= budget + 1e-12) {
-    out.y = std::move(y);
-    out.iterations = 1;
-  } else {
-    // Bisect the bandwidth multiplier; the load is non-increasing in theta.
-    double lo = 0.0;
-    double hi = 1.0;
-    while (load_of(coeff, stationary_point(coeff, hi)) > budget) {
-      hi *= 2.0;
-      MDO_CHECK(hi < 1e30, "exact P2: failed to bracket the multiplier");
-    }
-    std::size_t iterations = 1;
-    while (hi - lo > 1e-13 * (1.0 + hi)) {
-      const double mid = 0.5 * (lo + hi);
-      if (load_of(coeff, stationary_point(coeff, mid)) > budget) lo = mid;
-      else hi = mid;
-      ++iterations;
-    }
-    out.y = stationary_point(coeff, hi);  // feasible side
-    out.iterations = iterations;
-
-    // At a binding bandwidth row the active set can jump discretely at
-    // theta*, leaving unused budget; a short FISTA polish from this
-    // (excellent) warm start recovers the fractional boundary point.
-    LoadBalancingOptions polish;
-    polish.prefer_exact = false;
-    polish.first_order.max_iterations = 200;
-    polish.first_order.gradient_tolerance = 1e-7;
-    const auto refined = solve_load_balancing(problem, polish, &out.y);
-    out.y = refined.y;
-    out.iterations += refined.iterations;
-  }
-
-  const double bs_term = coeff.a - linalg::dot(coeff.u, out.y);
-  out.objective = bs_term * bs_term + linalg::dot(coeff.c, out.y);
+  out.y = std::move(ws.warm_start());
+  out.objective = outcome.objective;
+  out.iterations = outcome.iterations;
+  out.converged = outcome.converged;
+  out.status = outcome.status;
   return out;
 }
 

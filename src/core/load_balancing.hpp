@@ -15,6 +15,18 @@
 //
 // The objective is smooth and convex with gradient Lipschitz constant
 // L = 2 (||u||^2 + ||v||^2); FISTA over the box-knapsack set solves it.
+//
+// Hot-path memory model: the dual loop of Algorithm 1 solves one P2 per
+// (slot, SBS) per dual iteration. P2Workspace keeps everything that does
+// NOT change between dual iterations — the coefficient vectors lambda/u/v,
+// the scalar a, the cached feasible set, the FISTA buffers, and the exact
+// solver's sort/group scratch — and exposes cheap in-place refreshes for
+// the parts that DO change: the linear term c (the multipliers) and the
+// box upper bound ub (the repair cache vector). The previous solution
+// stays in the workspace as the next solve's warm start. A workspace-based
+// solve heap-allocates nothing once its buffers reach the instance size,
+// and returns bit-identical results to the legacy entry points (which are
+// now thin wrappers over a throwaway workspace).
 #pragma once
 
 #include "linalg/vec.hpp"
@@ -22,6 +34,7 @@
 #include "model/demand.hpp"
 #include "model/network.hpp"
 #include "solver/first_order.hpp"
+#include "solver/projection.hpp"
 
 namespace mdo::core {
 
@@ -40,6 +53,16 @@ struct LoadBalancingSubproblem {
   void validate() const;
 };
 
+/// Precomputed coefficient vectors of one P2 instance (see file comment).
+struct Coefficients {
+  linalg::Vec lambda;  // demand rates
+  linalg::Vec u;       // omega-weighted rates (BS side)
+  linalg::Vec v;       // omega_sbs-weighted rates (SBS side)
+  double a = 0.0;      // u . 1
+  linalg::Vec c;       // linear term
+  linalg::Vec ub;      // upper bounds
+};
+
 struct LoadBalancingSolution {
   linalg::Vec y;            // flattened m * K + k
   double objective = 0.0;   // value of the P2 objective above
@@ -47,6 +70,15 @@ struct LoadBalancingSolution {
   bool converged = false;
   /// kNonFiniteInput when demand/linear/upper contained NaN/Inf; y is then
   /// the all-zero (always feasible) allocation.
+  solver::SolveStatus status = solver::SolveStatus::kConverged;
+};
+
+/// Result of a workspace-based solve; the solution vector itself lives in
+/// P2Workspace::y().
+struct LoadBalancingOutcome {
+  double objective = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
   solver::SolveStatus status = solver::SolveStatus::kConverged;
 };
 
@@ -61,8 +93,95 @@ struct LoadBalancingOptions {
   bool prefer_exact = true;
 };
 
+/// Reusable per-(slot, SBS) solve state (see file comment). bind() is
+/// called once per horizon solve per cell; set_linear()/set_upper() refresh
+/// the mu-dependent parts between dual iterations without reallocating.
+class P2Workspace {
+ public:
+  /// (Re)binds the workspace to an (SBS, demand) pair: rebuilds
+  /// lambda/u/v/a and the cached Lipschitz norm, resets c to zero and ub to
+  /// all-ones, and invalidates any cached solution. The previous solution
+  /// vector is KEPT as the next solve's warm start (clear it with
+  /// clear_warm_start() for a cold start). Never throws on non-finite
+  /// rates; the poisoning is reported by the next solve's status instead.
+  void bind(const model::SbsConfig& sbs, const model::SbsDemand& demand);
+  bool bound() const { return sbs_ != nullptr; }
+
+  /// Copies [begin, end) into the linear term c. Size must match.
+  void set_linear(const double* begin, const double* end);
+  void set_linear_zero();
+  /// Copies `upper` into the box upper bound; entries must be in [0, 1]
+  /// (checked only when finite, mirroring the legacy validation order).
+  void set_upper(const linalg::Vec& upper);
+
+  const Coefficients& coefficients() const { return coeff_; }
+  const linalg::Vec& upper() const { return coeff_.ub; }
+
+  /// The last solution (after a solve), doubling as the next warm start.
+  const linalg::Vec& y() const { return y_; }
+  linalg::Vec& warm_start() { return y_; }
+  void clear_warm_start() { y_.clear(); }
+
+  /// True when the workspace holds the solution of the current
+  /// (bind, c, ub) state — callers may skip a re-solve (the repair loop's
+  /// unchanged-ub fast path).
+  bool has_solution() const { return has_solution_; }
+
+ private:
+  friend LoadBalancingOutcome solve_load_balancing(
+      P2Workspace& ws, const LoadBalancingOptions& options);
+  friend LoadBalancingSolution solve_load_balancing_exact(
+      const LoadBalancingSubproblem& problem);
+
+  const model::SbsConfig* sbs_ = nullptr;
+  const model::SbsDemand* demand_ = nullptr;
+  Coefficients coeff_;
+  double quad_norm_ = 0.0;   // ||u||^2 + ||v||^2 (Lipschitz / 2)
+  bool bind_finite_ = true;  // demand rates and bandwidth
+  bool linear_finite_ = true;
+  bool upper_finite_ = true;
+  bool exact_applicable_ = false;
+  bool has_solution_ = false;
+
+  bool inputs_finite() const {
+    return bind_finite_ && linear_finite_ && upper_finite_;
+  }
+
+  linalg::Vec y_;  // solution / warm start
+
+  // FISTA machinery (refreshed per solve, allocation-free in steady state).
+  solver::BoxKnapsackSet feasible_;
+  solver::FirstOrderWorkspace first_order_;
+
+  // Exact-solver scratch: flat sorted thresholds plus group ranges into
+  // them (the legacy per-group member vectors were one heap allocation per
+  // group per bisection probe).
+  struct GroupRange {
+    double threshold = 0.0;
+    std::size_t begin = 0;  // range into thresholds_
+    std::size_t end = 0;
+    double mass = 0.0;  // sum of u_j * ub_j over the range
+  };
+  std::vector<std::pair<double, std::size_t>> thresholds_;
+  std::vector<GroupRange> groups_;
+  linalg::Vec exact_y_;  // stationary-point candidate
+
+  void refresh_feasible_set();
+  void stationary_point(double theta);
+  void solve_exact(LoadBalancingOutcome& out);
+  void solve_fista(const LoadBalancingOptions& options,
+                   LoadBalancingOutcome& out);
+};
+
+/// Workspace-based solve: reads the bound coefficients, writes the solution
+/// into ws.y(), and reports value/iterations/status. Allocation-free in
+/// steady state; bit-identical to the legacy entry point below.
+LoadBalancingOutcome solve_load_balancing(P2Workspace& ws,
+                                          const LoadBalancingOptions& options);
+
 /// Solves one (SBS, slot) P2 instance. `warm_start` (same layout as y) is
-/// optional and speeds up repeated solves inside the dual loop.
+/// optional and speeds up repeated solves inside the dual loop. Thin
+/// wrapper over a throwaway P2Workspace.
 LoadBalancingSolution solve_load_balancing(
     const LoadBalancingSubproblem& problem,
     const LoadBalancingOptions& options = {},
@@ -70,6 +189,11 @@ LoadBalancingSolution solve_load_balancing(
 
 /// Evaluates the P2 objective at a given y (for tests / brute force).
 double load_balancing_objective(const LoadBalancingSubproblem& problem,
+                                const linalg::Vec& y);
+
+/// Same, from precomputed coefficients — no validation or coefficient
+/// rebuild; the overload the solver/repair loops use.
+double load_balancing_objective(const Coefficients& coeff,
                                 const linalg::Vec& y);
 
 /// True when the instance qualifies for the exact parametric solver

@@ -74,12 +74,19 @@ std::size_t mu_size(const model::NetworkConfig& config, std::size_t horizon) {
 
 linalg::Vec shift_mu(const linalg::Vec& mu, const model::NetworkConfig& config,
                      std::size_t horizon, std::size_t shift) {
+  return shift_mu(mu, config, horizon, horizon, shift);
+}
+
+linalg::Vec shift_mu(const linalg::Vec& mu, const model::NetworkConfig& config,
+                     std::size_t old_horizon, std::size_t new_horizon,
+                     std::size_t shift) {
   const MuLayout layout(config);
-  MDO_REQUIRE(mu.size() == layout.per_slot * horizon,
+  MDO_REQUIRE(mu.size() == layout.per_slot * old_horizon,
               "shift_mu: size mismatch");
-  linalg::Vec out(mu.size());
-  for (std::size_t t = 0; t < horizon; ++t) {
-    const std::size_t src = std::min(t + shift, horizon - 1);
+  MDO_REQUIRE(old_horizon >= 1 && new_horizon >= 1, "shift_mu: horizons");
+  linalg::Vec out(layout.per_slot * new_horizon);
+  for (std::size_t t = 0; t < new_horizon; ++t) {
+    const std::size_t src = std::min(t + shift, old_horizon - 1);
     std::copy_n(mu.begin() + static_cast<std::ptrdiff_t>(src * layout.per_slot),
                 layout.per_slot,
                 out.begin() + static_cast<std::ptrdiff_t>(t * layout.per_slot));
@@ -95,8 +102,26 @@ PrimalDualSolver::PrimalDualSolver(PrimalDualOptions options)
   MDO_REQUIRE(options_.step_scale >= 0.0, "step_scale must be >= 0");
 }
 
+void PrimalDualSolver::advance_window(std::size_t shift) {
+  if (shift == 0 || bank_slots_ == 0 || !options_.reuse_workspaces ||
+      !options_.cross_window_warm_start) {
+    return;
+  }
+  // Ascending t only reads rows > t, which are still the old window's.
+  for (std::size_t t = 0; t < bank_slots_; ++t) {
+    const std::size_t src = std::min(t + shift, bank_slots_ - 1);
+    if (src == t) continue;
+    for (std::size_t n = 0; n < bank_sbs_; ++n) {
+      CellState& dst = bank_[t * bank_sbs_ + n];
+      const CellState& from = bank_[src * bank_sbs_ + n];
+      dst.p2.warm_start() = from.p2.y();
+      dst.repair.warm_start() = from.repair.y();
+    }
+  }
+}
+
 HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
-                                        const linalg::Vec* warm_mu) const {
+                                        const linalg::Vec* warm_mu) {
   MDO_REQUIRE(problem.config != nullptr, "horizon problem: config must be set");
   MDO_REQUIRE(problem.horizon() >= 1, "horizon problem: empty window");
   if (!demand_finite_nonnegative(problem.demand)) {
@@ -173,17 +198,62 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
                                 ? options_.step_scale
                                 : std::max(1e-9, 0.5 * mean_marginal);
   const solver::DiminishingStep step(options_.step_alpha);
+  // Warm-started solves resume the step schedule where the previous window
+  // stopped (see the option comment); cold solves restart at delta_0.
+  const std::size_t step_offset =
+      warm_mu != nullptr && options_.cross_window_warm_start ? step_offset_
+                                                             : 0;
 
-  // ---- Persistent warm starts across dual iterations.
-  // y[t][n]: P2 solution under multipliers; repair_y[t][n]: repaired.
-  std::vector<std::vector<linalg::Vec>> y(w,
-                                          std::vector<linalg::Vec>(num_sbs));
-  std::vector<std::vector<linalg::Vec>> repair_y(
-      w, std::vector<linalg::Vec>(num_sbs));
-  std::vector<std::vector<linalg::Vec>> repair_ub(
-      w, std::vector<linalg::Vec>(num_sbs));
-  std::vector<std::vector<double>> repair_value(w,
-                                                std::vector<double>(num_sbs));
+  // ---- Per-(slot, SBS) P2 workspaces: coefficients are built once here,
+  // the dual loop then only refreshes the mu-dependent linear term (and the
+  // repair loop the box upper bound). The workspaces also hold the warm
+  // starts across dual iterations — and across windows when the bank is the
+  // persistent one. A throwaway bank runs the same code path, so results
+  // are bit-identical either way.
+  std::vector<CellState> local_bank;
+  std::vector<CellState>& bank =
+      options_.reuse_workspaces ? bank_ : local_bank;
+  bank.resize(w * num_sbs);
+  if (options_.reuse_workspaces) {
+    bank_slots_ = w;
+    bank_sbs_ = num_sbs;
+  }
+  util::parallel_for(0, w * num_sbs, [&](std::size_t cell) {
+    const std::size_t t = cell / num_sbs;
+    const std::size_t n = cell % num_sbs;
+    CellState& cs = bank[cell];
+    if (!options_.cross_window_warm_start) {
+      cs.p2.clear_warm_start();
+      cs.repair.clear_warm_start();
+    }
+    cs.p2.bind(config.sbs[n], problem.demand.slot(t)[n]);
+    cs.repair.bind(config.sbs[n], problem.demand.slot(t)[n]);
+  });
+
+  // ---- Per-SBS P1 state, reused across dual iterations: the subproblem's
+  // shape, parameters and initial cache are fixed for the whole solve, only
+  // the rewards (the mu sums) change — so the flow network is built once
+  // here and merely re-priced every iteration.
+  struct P1State {
+    CachingSubproblem sub;
+    CachingFlowWorkspace flow;
+  };
+  std::vector<P1State> p1(num_sbs);
+  util::parallel_for(0, num_sbs, [&](std::size_t n) {
+    CachingSubproblem& sub = p1[n].sub;
+    sub.num_contents = k_count;
+    sub.horizon = w;
+    sub.capacity = config.sbs[n].cache_capacity;
+    sub.beta = config.sbs[n].replacement_beta;
+    sub.initial.assign(k_count, 0);
+    for (std::size_t k = 0; k < k_count; ++k) {
+      sub.initial[k] = problem.initial_cache.cached(n, k) ? 1 : 0;
+    }
+    sub.rewards.assign(k_count * w, 0.0);
+    if (options_.backend == P1Backend::kFlow && options_.reuse_p1_network) {
+      p1[n].flow.bind(sub);
+    }
+  });
 
   HorizonSolution best;
   best.upper_bound = kInf;
@@ -199,30 +269,26 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
     // order so the result is bit-identical at any thread count.
     std::vector<double> p1_objectives(num_sbs, 0.0);
     util::parallel_for(0, num_sbs, [&](std::size_t n) {
-      CachingSubproblem p1;
-      p1.num_contents = k_count;
-      p1.horizon = w;
-      p1.capacity = config.sbs[n].cache_capacity;
-      p1.beta = config.sbs[n].replacement_beta;
-      p1.initial.assign(k_count, 0);
-      for (std::size_t k = 0; k < k_count; ++k) {
-        p1.initial[k] = problem.initial_cache.cached(n, k) ? 1 : 0;
-      }
-      p1.rewards.assign(k_count * w, 0.0);
+      CachingSubproblem& sub = p1[n].sub;
+      std::fill(sub.rewards.begin(), sub.rewards.end(), 0.0);
       const std::size_t classes = config.sbs[n].num_classes();
       for (std::size_t t = 0; t < w; ++t) {
         const std::size_t base = layout.offset(t, n);
         for (std::size_t m = 0; m < classes; ++m) {
           for (std::size_t k = 0; k < k_count; ++k) {
-            p1.rewards[t * k_count + k] += mu[base + m * k_count + k];
+            sub.rewards[t * k_count + k] += mu[base + m * k_count + k];
           }
         }
       }
-      const CachingSolution sol = options_.backend == P1Backend::kFlow
-                                      ? solve_caching_flow(p1)
-                                      : solve_caching_simplex(p1);
-      x[n] = sol.x;
-      p1_objectives[n] = sol.objective;
+      if (options_.backend == P1Backend::kFlow) {
+        // A/B baseline: rebuild the network from scratch every iteration.
+        if (!options_.reuse_p1_network) p1[n].flow.bind(sub);
+        p1_objectives[n] = p1[n].flow.solve_into(sub, x[n]);
+      } else {
+        const CachingSolution sol = solve_caching_simplex(sub);
+        x[n] = sol.x;
+        p1_objectives[n] = sol.objective;
+      }
     });
     double p1_value = 0.0;
     for (const double value : p1_objectives) p1_value += value;
@@ -233,18 +299,12 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
     util::parallel_for(0, w * num_sbs, [&](std::size_t cell) {
       const std::size_t t = cell / num_sbs;
       const std::size_t n = cell % num_sbs;
-      LoadBalancingSubproblem p2;
-      p2.sbs = &config.sbs[n];
-      p2.demand = &problem.demand.slot(t)[n];
+      CellState& cs = bank[cell];
       const std::size_t base = layout.offset(t, n);
-      p2.linear.assign(mu.begin() + static_cast<std::ptrdiff_t>(base),
-                       mu.begin() + static_cast<std::ptrdiff_t>(
-                                        base + layout.sbs_size[n]));
-      const auto sol = solve_load_balancing(p2, options_.load_balancing,
-                                            y[t][n].empty() ? nullptr
-                                                            : &y[t][n]);
-      y[t][n] = sol.y;
-      p2_objectives[cell] = sol.objective;
+      cs.p2.set_linear(mu.data() + base,
+                       mu.data() + base + layout.sbs_size[n]);
+      p2_objectives[cell] =
+          solve_load_balancing(cs.p2, options_.load_balancing).objective;
     });
     double p2_value = 0.0;
     for (const double value : p2_objectives) p2_value += value;
@@ -265,8 +325,10 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
     util::parallel_for(0, w * num_sbs, [&](std::size_t cell) {
       const std::size_t t = cell / num_sbs;
       const std::size_t n = cell % num_sbs;
+      CellState& cs = bank[cell];
       const std::size_t classes = config.sbs[n].num_classes();
-      linalg::Vec ub(classes * k_count, 0.0);
+      linalg::Vec& ub = cs.ub;
+      ub.assign(classes * k_count, 0.0);
       for (std::size_t k = 0; k < k_count; ++k) {
         const bool cached = x[n][t * k_count + k] != 0;
         schedule[t].cache.set(n, k, cached);
@@ -274,19 +336,14 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
           for (std::size_t m = 0; m < classes; ++m) ub[m * k_count + k] = 1.0;
         }
       }
-      if (ub != repair_ub[t][n]) {
-        LoadBalancingSubproblem repair;
-        repair.sbs = &config.sbs[n];
-        repair.demand = &problem.demand.slot(t)[n];
-        repair.upper = ub;
-        const auto sol = solve_load_balancing(
-            repair, options_.load_balancing,
-            repair_y[t][n].empty() ? nullptr : &repair_y[t][n]);
-        repair_y[t][n] = sol.y;
-        repair_value[t][n] = sol.objective;
-        repair_ub[t][n] = std::move(ub);
+      // Unchanged-x fast path: the workspace still holds the solution for
+      // this exact upper bound (the skip is valid only within one solve —
+      // bind() above invalidated any previous window's solution).
+      if (!cs.repair.has_solution() || ub != cs.repair.upper()) {
+        cs.repair.set_upper(ub);
+        solve_load_balancing(cs.repair, options_.load_balancing);
       }
-      schedule[t].load.sbs_data(n) = repair_y[t][n];
+      schedule[t].load.sbs_data(n) = cs.repair.y();
     });
     const model::CostBreakdown cost = model::schedule_cost(
         config, problem.demand, schedule, problem.initial_cache);
@@ -299,16 +356,17 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
     if (best.gap() <= options_.epsilon) break;
 
     // ---- Projected subgradient ascent on mu: g = y - x (17).
-    const double delta = step_scale * step(iteration);
+    const double delta = step_scale * step(step_offset + iteration);
     for (std::size_t t = 0; t < w; ++t) {
       for (std::size_t n = 0; n < num_sbs; ++n) {
         const std::size_t base = layout.offset(t, n);
         const std::size_t classes = config.sbs[n].num_classes();
+        const linalg::Vec& y = bank[t * num_sbs + n].p2.y();
         for (std::size_t m = 0; m < classes; ++m) {
           for (std::size_t k = 0; k < k_count; ++k) {
             const std::size_t j = base + m * k_count + k;
             const double subgrad =
-                y[t][n][m * k_count + k] -
+                y[m * k_count + k] -
                 static_cast<double>(x[n][t * k_count + k]);
             mu[j] = std::max(0.0, mu[j] + delta * subgrad);
           }
@@ -318,6 +376,7 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
   }
 
   best.mu = std::move(mu);
+  step_offset_ = best.iterations;
   best.status = best.gap() <= options_.epsilon
                     ? solver::SolveStatus::kConverged
                     : solver::SolveStatus::kIterationLimit;

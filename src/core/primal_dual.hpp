@@ -21,6 +21,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <vector>
 
 #include "core/load_balancing.hpp"
 #include "linalg/vec.hpp"
@@ -64,6 +65,34 @@ struct PrimalDualOptions {
   bool marginal_initialization = true;
   P1Backend backend = P1Backend::kFlow;
   LoadBalancingOptions load_balancing{};
+  /// Keep the per-(slot, SBS) P2 workspaces alive inside the solver across
+  /// solve() calls (the zero-allocation hot path). false runs the identical
+  /// code path with throwaway workspaces — the A/B baseline for the perf
+  /// bench; results are bit-identical either way.
+  bool reuse_workspaces = true;
+  /// Build each SBS's P1 flow network once per solve and only re-price the
+  /// occupancy arcs between dual iterations (see CachingFlowWorkspace).
+  /// false rebuilds the time-expanded network every iteration — the
+  /// pre-optimization behavior, kept as the A/B baseline for the perf
+  /// bench; results are bit-identical either way.
+  bool reuse_p1_network = true;
+  /// Carry P2 warm starts (the y vectors) across consecutive windows
+  /// (advance_window rotates the bank as the window slides) and accept a
+  /// warm mu for SAME-window replans (an online controller resyncing at an
+  /// unchanged tau). A mu-warm-started solve then CONTINUES the
+  /// diminishing-step schedule (16) where the previous solve stopped
+  /// instead of restarting at delta_0: a full-size first step would throw
+  /// mu far from the near-optimal warm point and the decayed tail of the
+  /// schedule could not pull it back within the iteration budget.
+  ///
+  /// Deliberately NOT covered: shifting mu across *slid* windows. Measured
+  /// head-to-head (see DESIGN.md), every shifted-mu policy — schedule
+  /// restart, schedule continuation, fixed offsets — converges slower than
+  /// the marginal re-initialization, because the window's initial cache
+  /// moves every slot and the tail slots carry end-of-window effects, so
+  /// the dual optimum genuinely shifts. false re-solves every window cold
+  /// with no warm starts of either kind.
+  bool cross_window_warm_start = true;
 };
 
 struct HorizonSolution {
@@ -94,6 +123,16 @@ linalg::Vec shift_mu(const linalg::Vec& mu,
                      const model::NetworkConfig& config, std::size_t horizon,
                      std::size_t shift);
 
+/// General form: maps multipliers of an `old_horizon` window onto a
+/// `new_horizon` window advanced by `shift` slots — slot t of the new
+/// window takes slot min(t + shift, old_horizon - 1) of the old (shifts at
+/// or past the horizon repeat the last slot everywhere). The 3-horizon
+/// overload above is the old_horizon == new_horizon special case.
+linalg::Vec shift_mu(const linalg::Vec& mu,
+                     const model::NetworkConfig& config,
+                     std::size_t old_horizon, std::size_t new_horizon,
+                     std::size_t shift);
+
 class PrimalDualSolver {
  public:
   explicit PrimalDualSolver(PrimalDualOptions options = {});
@@ -102,13 +141,37 @@ class PrimalDualSolver {
   /// problem's horizon) seeds the multipliers when provided. Non-finite or
   /// negative demand never throws: it is reported through the result status
   /// with a safe fallback schedule (see HorizonSolution::status).
+  ///
+  /// Non-const: the solver keeps the per-(slot, SBS) P2 workspace bank
+  /// between calls (see PrimalDualOptions::reuse_workspaces).
   HorizonSolution solve(const HorizonProblem& problem,
-                        const linalg::Vec* warm_mu = nullptr) const;
+                        const linalg::Vec* warm_mu = nullptr);
+
+  /// Rotates the cached P2 warm starts when the window slides forward by
+  /// `shift` slots (slot t of the next window reuses slot t + shift of the
+  /// previous one; tail slots repeat the last) — the workspace-bank
+  /// counterpart of shift_mu. Controllers call this between windows. No-op
+  /// when workspace reuse or cross-window warm starts are disabled, or past
+  /// the horizon (every slot then starts from the last slot's warm start).
+  void advance_window(std::size_t shift);
 
   const PrimalDualOptions& options() const { return options_; }
 
  private:
+  struct CellState {
+    P2Workspace p2;      // dual-iteration P2 (linear term = mu)
+    P2Workspace repair;  // feasibility repair (c = 0, ub = x)
+    linalg::Vec ub;      // repair upper-bound scratch
+  };
+
   PrimalDualOptions options_;
+  std::vector<CellState> bank_;  // cell = t * num_sbs + n
+  std::size_t bank_slots_ = 0;
+  std::size_t bank_sbs_ = 0;
+  /// Where the previous solve's diminishing-step schedule stopped; a
+  /// warm-started solve resumes from here (see
+  /// PrimalDualOptions::cross_window_warm_start).
+  std::size_t step_offset_ = 0;
 };
 
 }  // namespace mdo::core

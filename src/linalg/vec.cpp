@@ -42,6 +42,46 @@ void clamp(Vec& x, double lo, double hi) {
   for (auto& v : x) v = std::clamp(v, lo, hi);
 }
 
+void scaled_sub(const Vec& y, double alpha, const Vec& g, Vec& out) {
+  MDO_REQUIRE(y.size() == g.size() && y.size() == out.size(),
+              "scaled_sub: size mismatch");
+  for (std::size_t i = 0; i < y.size(); ++i) out[i] = y[i] - alpha * g[i];
+}
+
+void scaled_sub_project_box(const Vec& y, double alpha, const Vec& g,
+                            const Vec& lo, const Vec& hi, Vec& out) {
+  MDO_REQUIRE(y.size() == g.size() && y.size() == lo.size() &&
+                  y.size() == hi.size() && y.size() == out.size(),
+              "scaled_sub_project_box: size mismatch");
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    out[i] = std::clamp(y[i] - alpha * g[i], lo[i], hi[i]);
+  }
+}
+
+std::pair<double, double> dot_pair(const Vec& a, const Vec& b, const Vec& x) {
+  MDO_REQUIRE(a.size() == x.size() && b.size() == x.size(),
+              "dot_pair: size mismatch");
+  double acc_a = 0.0;
+  double acc_b = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc_a += a[i] * x[i];
+    acc_b += b[i] * x[i];
+  }
+  return {acc_a, acc_b};
+}
+
+double residual_dot(const double* a, const double* b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += (1.0 - a[i]) * b[i];
+  return acc;
+}
+
+double dot_span(const double* a, const double* b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
 Vec subtract(const Vec& a, const Vec& b) {
   MDO_REQUIRE(a.size() == b.size(), "subtract: size mismatch");
   Vec out(a.size());

@@ -5,6 +5,7 @@
 // project does not need.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 namespace mdo::linalg {
@@ -31,6 +32,27 @@ double sum(const Vec& x);
 
 /// Element-wise clamp of every entry into [lo, hi].
 void clamp(Vec& x, double lo, double hi);
+
+/// out = y - alpha * g, single pass; sizes must match and out must be
+/// pre-sized (the hot-path kernels never allocate).
+void scaled_sub(const Vec& y, double alpha, const Vec& g, Vec& out);
+
+/// out[i] = clamp(y[i] - alpha * g[i], lo[i], hi[i]) — the fused gradient
+/// step + box projection used by the first-order and knapsack-projection
+/// inner loops. out must be pre-sized.
+void scaled_sub_project_box(const Vec& y, double alpha, const Vec& g,
+                            const Vec& lo, const Vec& hi, Vec& out);
+
+/// Returns {a . x, b . x} in one pass over x. Each accumulator sums in
+/// index order, so the results are bit-identical to two separate dot()s.
+std::pair<double, double> dot_pair(const Vec& a, const Vec& b, const Vec& x);
+
+/// sum_i (1 - a[i]) * b[i] over raw spans, accumulated in index order —
+/// the residual-traffic kernel of the cost functions (eq. 5).
+double residual_dot(const double* a, const double* b, std::size_t n);
+
+/// a . b over raw spans, accumulated in index order.
+double dot_span(const double* a, const double* b, std::size_t n);
 
 /// a - b as a new vector; sizes must match.
 Vec subtract(const Vec& a, const Vec& b);

@@ -1,5 +1,6 @@
 #include "model/costs.hpp"
 
+#include "linalg/vec.hpp"
 #include "util/error.hpp"
 
 namespace mdo::model {
@@ -7,16 +8,16 @@ namespace mdo::model {
 double bs_operating_cost(const NetworkConfig& config, const SlotDemand& demand,
                          const LoadAllocation& load) {
   MDO_REQUIRE(demand.size() == config.num_sbs(), "demand shape mismatch");
+  const std::size_t k_count = config.num_contents;
   double total = 0.0;
   for (std::size_t n = 0; n < config.num_sbs(); ++n) {
     const auto& sbs = config.sbs[n];
-    const auto& d = demand[n];
+    const double* d = demand[n].data().data();
+    const double* y = load.sbs_data(n).data();
     double weighted = 0.0;
     for (std::size_t m = 0; m < sbs.num_classes(); ++m) {
-      double class_rest = 0.0;
-      for (std::size_t k = 0; k < config.num_contents; ++k) {
-        class_rest += (1.0 - load.at(n, m, k)) * d.at(m, k);
-      }
+      const double class_rest =
+          linalg::residual_dot(y + m * k_count, d + m * k_count, k_count);
       weighted += sbs.classes[m].omega_bs * class_rest;
     }
     total += weighted * weighted;
@@ -28,16 +29,16 @@ double sbs_operating_cost(const NetworkConfig& config,
                           const SlotDemand& demand,
                           const LoadAllocation& load) {
   MDO_REQUIRE(demand.size() == config.num_sbs(), "demand shape mismatch");
+  const std::size_t k_count = config.num_contents;
   double total = 0.0;
   for (std::size_t n = 0; n < config.num_sbs(); ++n) {
     const auto& sbs = config.sbs[n];
-    const auto& d = demand[n];
+    const double* d = demand[n].data().data();
+    const double* y = load.sbs_data(n).data();
     double weighted = 0.0;
     for (std::size_t m = 0; m < sbs.num_classes(); ++m) {
-      double class_served = 0.0;
-      for (std::size_t k = 0; k < config.num_contents; ++k) {
-        class_served += load.at(n, m, k) * d.at(m, k);
-      }
+      const double class_served =
+          linalg::dot_span(y + m * k_count, d + m * k_count, k_count);
       weighted += sbs.classes[m].omega_sbs * class_served;
     }
     total += weighted * weighted;

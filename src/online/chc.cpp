@@ -1,15 +1,18 @@
 #include "online/chc.hpp"
 
-#include <algorithm>
+#include <utility>
 
-#include "online/rhc.hpp"  // advance_mu
 #include "util/error.hpp"
 
 namespace mdo::online {
 
 FhcPlanner::FhcPlanner(std::size_t offset, std::size_t window,
                        std::size_t commit, core::PrimalDualOptions options)
-    : offset_(offset), window_(window), commit_(commit), options_(options) {
+    : offset_(offset),
+      window_(window),
+      commit_(commit),
+      options_(options),
+      solver_(options_) {
   MDO_REQUIRE(window >= 1, "FHC window must be >= 1");
   MDO_REQUIRE(commit >= 1 && commit <= window,
               "FHC commitment must be in [1, window]");
@@ -24,6 +27,8 @@ void FhcPlanner::reset(const model::ProblemInstance& instance) {
   resync_cache_.reset();
   warm_mu_.clear();
   warm_horizon_ = 0;
+  // Drop the workspace bank: warm starts from another run must not leak.
+  solver_ = core::PrimalDualSolver(options_);
 }
 
 void FhcPlanner::resync(std::size_t slot, const model::CacheState& executed) {
@@ -74,12 +79,26 @@ void FhcPlanner::plan(std::ptrdiff_t tau,
   problem.initial_cache = start;
 
   const std::size_t horizon = problem.demand.horizon();
-  std::optional<linalg::Vec> warm;
-  if (!warm_mu_.empty()) {
-    warm = advance_mu(warm_mu_, config, warm_horizon_, horizon, commit_);
-  }
-  auto solution = core::PrimalDualSolver(options_).solve(
-      problem, warm ? &*warm : nullptr);
+  // The actual plan-time delta: commit_ on the regular re-plan cadence, but
+  // 0 when a resync forces a replan within the same commitment block (the
+  // window has not moved, so neither should the warm starts).
+  const std::size_t shift =
+      has_plan_ && tau >= plan_time_
+          ? static_cast<std::size_t>(tau - plan_time_)
+          : commit_;
+  solver_.advance_window(shift);
+  // Multipliers are reused ONLY for a same-window replan (a resync at the
+  // same tau over the same horizon): there they describe the identical
+  // dual, and the solver continues the diminishing-step schedule where it
+  // stopped. For a slid window a shifted-mu start was measured to converge
+  // slower than the marginal re-initialization (the dual optimum moves
+  // with the initial cache and the window tail; see DESIGN.md), so those
+  // plans solve from the marginal init.
+  const bool same_window =
+      shift == 0 && !warm_mu_.empty() && warm_horizon_ == horizon;
+  const linalg::Vec* warm =
+      same_window && options_.cross_window_warm_start ? &warm_mu_ : nullptr;
+  auto solution = solver_.solve(problem, warm);
 
   warm_mu_ = std::move(solution.mu);
   warm_horizon_ = horizon;

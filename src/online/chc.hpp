@@ -51,6 +51,10 @@ class FhcPlanner {
   std::size_t window_;
   std::size_t commit_;
   core::PrimalDualOptions options_;
+  /// Persistent across plans so the P2 workspace bank carries warm starts
+  /// between commitment blocks (advanced by the actual plan-time delta, so
+  /// a resync replan at the same tau keeps its warm starts unshifted).
+  core::PrimalDualSolver solver_;
   const model::ProblemInstance* instance_ = nullptr;
 
   std::ptrdiff_t plan_time_ = 0;

@@ -1,7 +1,5 @@
 #include "online/rhc.hpp"
 
-#include <algorithm>
-
 #include "util/error.hpp"
 
 namespace mdo::online {
@@ -10,23 +8,12 @@ linalg::Vec advance_mu(const linalg::Vec& old_mu,
                        const model::NetworkConfig& config,
                        std::size_t old_horizon, std::size_t new_horizon,
                        std::size_t shift) {
-  const std::size_t per_slot = core::mu_size(config, 1);
-  MDO_REQUIRE(old_mu.size() == per_slot * old_horizon,
-              "advance_mu: old size mismatch");
-  MDO_REQUIRE(old_horizon >= 1 && new_horizon >= 1, "advance_mu: horizons");
-  linalg::Vec out(per_slot * new_horizon);
-  for (std::size_t t = 0; t < new_horizon; ++t) {
-    const std::size_t src = std::min(t + shift, old_horizon - 1);
-    std::copy_n(
-        old_mu.begin() + static_cast<std::ptrdiff_t>(src * per_slot), per_slot,
-        out.begin() + static_cast<std::ptrdiff_t>(t * per_slot));
-  }
-  return out;
+  return core::shift_mu(old_mu, config, old_horizon, new_horizon, shift);
 }
 
 RhcController::RhcController(std::size_t window,
                              core::PrimalDualOptions options)
-    : window_(window), options_(options) {
+    : window_(window), options_(options), solver_(options_) {
   MDO_REQUIRE(window >= 1, "RHC window must be >= 1");
 }
 
@@ -37,8 +24,8 @@ std::string RhcController::name() const {
 void RhcController::reset(const model::ProblemInstance& instance) {
   instance_ = &instance;
   trajectory_cache_ = instance.initial_cache;
-  warm_mu_.clear();
-  warm_horizon_ = 0;
+  // Drop the workspace bank: warm starts from another run must not leak.
+  solver_ = core::PrimalDualSolver(options_);
 }
 
 model::SlotDecision RhcController::decide(const DecisionContext& ctx) {
@@ -52,16 +39,14 @@ model::SlotDecision RhcController::decide(const DecisionContext& ctx) {
   const std::size_t horizon = problem.demand.horizon();
   MDO_REQUIRE(horizon >= 1, "RHC: slot beyond the instance horizon");
 
-  std::optional<linalg::Vec> warm;
-  if (!warm_mu_.empty()) {
-    warm = advance_mu(warm_mu_, instance_->config, warm_horizon_, horizon,
-                      /*shift=*/1);
-  }
-  const auto solution = core::PrimalDualSolver(options_).solve(
-      problem, warm ? &*warm : nullptr);
+  // The window slid by one slot: rotate the P2 warm starts along with it.
+  // The multipliers are deliberately NOT carried over — the dual optimum
+  // moves with the initial cache and the window tail, and a shifted mu
+  // start was measured to converge slower than the marginal
+  // re-initialization (see the header comment).
+  solver_.advance_window(/*shift=*/1);
+  const auto solution = solver_.solve(problem);
 
-  warm_mu_ = solution.mu;
-  warm_horizon_ = horizon;
   trajectory_cache_ = solution.schedule.front().cache;
   return solution.schedule.front();
 }

@@ -6,12 +6,15 @@
 // caching polytope is integral (Theorem 1), the integer RHC inherits the
 // continuous competitive ratio O(1 + 1/w).
 //
-// The window subproblem is solved with Algorithm 1; multipliers are
-// warm-started from the previous slot's window (shifted by one slot), which
-// cuts the dual iterations substantially.
+// The window subproblem is solved with Algorithm 1. The solver's P2
+// workspace bank persists across slots (rotated by advance_window(1)) so
+// the load-balancing warm starts follow the sliding window; the
+// multipliers themselves are re-initialized at the marginal BS gradient
+// every slot — measured head-to-head, a shifted-mu hand-off between
+// windows converges *slower* than the marginal re-init (the window's
+// initial cache moves each slot and the tail slots carry end-of-window
+// effects, so the dual optimum genuinely shifts; see DESIGN.md).
 #pragma once
-
-#include <optional>
 
 #include "core/primal_dual.hpp"
 #include "online/controller.hpp"
@@ -36,10 +39,12 @@ class RhcController final : public Controller {
  private:
   std::size_t window_;
   core::PrimalDualOptions options_;
+  /// Persistent across windows so the P2 workspace bank (and its warm
+  /// starts) survives between decide() calls; advance_window(1) rotates it
+  /// as the window slides. reset() recreates it.
+  core::PrimalDualSolver solver_;
   const model::ProblemInstance* instance_ = nullptr;
   model::CacheState trajectory_cache_;  // x^{tau-1} along RHC's own path
-  linalg::Vec warm_mu_;                 // multipliers of the last window
-  std::size_t warm_horizon_ = 0;        // its window length
 };
 
 /// Builds a warm-start multiplier vector for a new window of length

@@ -2,36 +2,56 @@
 
 #include <cmath>
 
-#include "solver/projection.hpp"
 #include "util/error.hpp"
 
 namespace mdo::overlap {
+
+namespace {
+
+void check_upper_bounds(const linalg::Vec& ub, const OverlapLayout& layout) {
+  MDO_REQUIRE(ub.size() == layout.y_size(),
+              "overlap set: upper bound size mismatch");
+  for (const double b : ub) {
+    MDO_REQUIRE(b >= 0.0 && b <= 1.0, "overlap set: ub outside [0, 1]");
+  }
+}
+
+}  // namespace
 
 OverlapFeasibleSet::OverlapFeasibleSet(const OverlapConfig& config,
                                        const OverlapLayout& layout,
                                        const ClassDemand& demand,
                                        linalg::Vec ub)
     : config_(&config), layout_(&layout), demand_(&demand), ub_(std::move(ub)) {
-  MDO_REQUIRE(ub_.size() == layout.y_size(),
-              "overlap set: upper bound size mismatch");
-  for (const double b : ub_) {
-    MDO_REQUIRE(b >= 0.0 && b <= 1.0, "overlap set: ub outside [0, 1]");
-  }
+  check_upper_bounds(ub_, layout);
 }
 
-linalg::Vec OverlapFeasibleSet::project_bandwidth_family(
-    const linalg::Vec& point) const {
-  linalg::Vec out = point;
+void OverlapFeasibleSet::rebind(const OverlapConfig& config,
+                                const OverlapLayout& layout,
+                                const ClassDemand& demand,
+                                const linalg::Vec& ub) {
+  config_ = &config;
+  layout_ = &layout;
+  demand_ = &demand;
+  ub_ = ub;
+  check_upper_bounds(ub_, layout);
+}
+
+void OverlapFeasibleSet::project_bandwidth_family(
+    const linalg::Vec& point, linalg::Vec& out,
+    ProjectionScratch& scratch) const {
+  out = point;
   for (std::size_t n = 0; n < config_->num_sbs(); ++n) {
     const auto& links = layout_->links_of_sbs(n);
     const std::size_t k_count = config_->num_contents;
     // Gather the block.
-    solver::BoxKnapsackSet block;
+    solver::BoxKnapsackSet& block = scratch.block;
     block.lo.assign(links.size() * k_count, 0.0);
     block.hi.resize(links.size() * k_count);
     block.weights.resize(links.size() * k_count);
     block.budget = config_->sbs[n].bandwidth;
-    linalg::Vec sub(links.size() * k_count);
+    linalg::Vec& sub = scratch.block_point;
+    sub.resize(links.size() * k_count);
     for (std::size_t i = 0; i < links.size(); ++i) {
       const auto [m, sbs_index] = layout_->link(links[i]);
       (void)sbs_index;
@@ -43,69 +63,89 @@ linalg::Vec OverlapFeasibleSet::project_bandwidth_family(
         sub[local] = point[flat];
       }
     }
-    const linalg::Vec projected = solver::project_box_knapsack(sub, block);
+    block.validate();
+    linalg::Vec& projected = scratch.block_projected;
+    projected.resize(sub.size());
+    solver::project_box_knapsack_into(sub, block, projected);
     for (std::size_t i = 0; i < links.size(); ++i) {
       for (std::size_t k = 0; k < k_count; ++k) {
         out[layout_->index(links[i], k)] = projected[i * k_count + k];
       }
     }
   }
-  return out;
 }
 
-linalg::Vec OverlapFeasibleSet::project_share_family(
-    const linalg::Vec& point) const {
-  linalg::Vec out = point;
+void OverlapFeasibleSet::project_share_family(const linalg::Vec& point,
+                                              linalg::Vec& out,
+                                              ProjectionScratch& scratch) const {
+  out = point;
   for (std::size_t m = 0; m < config_->num_classes(); ++m) {
     const auto& links = layout_->links_of_class(m);
     for (std::size_t k = 0; k < config_->num_contents; ++k) {
-      solver::BoxKnapsackSet row;
+      solver::BoxKnapsackSet& row = scratch.row;
       row.lo.assign(links.size(), 0.0);
       row.hi.resize(links.size());
       row.weights.assign(links.size(), 1.0);
       row.budget = 1.0;
-      linalg::Vec sub(links.size());
+      linalg::Vec& sub = scratch.row_point;
+      sub.resize(links.size());
       for (std::size_t i = 0; i < links.size(); ++i) {
         const std::size_t flat = layout_->index(links[i], k);
         row.hi[i] = ub_[flat];
         sub[i] = point[flat];
       }
-      const linalg::Vec projected = solver::project_box_knapsack(sub, row);
+      row.validate();
+      linalg::Vec& projected = scratch.row_projected;
+      projected.resize(sub.size());
+      solver::project_box_knapsack_into(sub, row, projected);
       for (std::size_t i = 0; i < links.size(); ++i) {
         out[layout_->index(links[i], k)] = projected[i];
       }
     }
   }
-  return out;
+}
+
+void OverlapFeasibleSet::project_with(const linalg::Vec& point,
+                                      linalg::Vec& out,
+                                      std::size_t max_iterations, double tol,
+                                      ProjectionScratch& scratch) const {
+  MDO_REQUIRE(point.size() == ub_.size(), "overlap project: size mismatch");
+  // Dykstra's alternating projections between the two exact families.
+  scratch.x = point;
+  scratch.p.assign(point.size(), 0.0);
+  scratch.q.assign(point.size(), 0.0);
+  for (std::size_t iteration = 0; iteration < max_iterations; ++iteration) {
+    scratch.shifted = scratch.x;
+    linalg::axpy(1.0, scratch.p, scratch.shifted);
+    project_bandwidth_family(scratch.shifted, scratch.z, scratch);
+    for (std::size_t j = 0; j < scratch.p.size(); ++j) {
+      scratch.p[j] = scratch.shifted[j] - scratch.z[j];
+    }
+
+    scratch.shifted2 = scratch.z;
+    linalg::axpy(1.0, scratch.q, scratch.shifted2);
+    project_share_family(scratch.shifted2, scratch.next, scratch);
+    for (std::size_t j = 0; j < scratch.q.size(); ++j) {
+      scratch.q[j] = scratch.shifted2[j] - scratch.next[j];
+    }
+
+    double delta = 0.0;
+    for (std::size_t j = 0; j < scratch.x.size(); ++j) {
+      delta = std::max(delta, std::abs(scratch.next[j] - scratch.x[j]));
+    }
+    scratch.x = scratch.next;
+    if (delta <= tol && contains(scratch.x, 1e-7)) break;
+  }
+  out = scratch.x;
 }
 
 linalg::Vec OverlapFeasibleSet::project(const linalg::Vec& point,
                                         std::size_t max_iterations,
                                         double tol) const {
-  MDO_REQUIRE(point.size() == ub_.size(), "overlap project: size mismatch");
-  // Dykstra's alternating projections between the two exact families.
-  linalg::Vec x = point;
-  linalg::Vec p(point.size(), 0.0);
-  linalg::Vec q(point.size(), 0.0);
-  for (std::size_t iteration = 0; iteration < max_iterations; ++iteration) {
-    linalg::Vec shifted = x;
-    linalg::axpy(1.0, p, shifted);
-    const linalg::Vec z = project_bandwidth_family(shifted);
-    for (std::size_t j = 0; j < p.size(); ++j) p[j] = shifted[j] - z[j];
-
-    linalg::Vec shifted2 = z;
-    linalg::axpy(1.0, q, shifted2);
-    const linalg::Vec next = project_share_family(shifted2);
-    for (std::size_t j = 0; j < q.size(); ++j) q[j] = shifted2[j] - next[j];
-
-    double delta = 0.0;
-    for (std::size_t j = 0; j < x.size(); ++j) {
-      delta = std::max(delta, std::abs(next[j] - x[j]));
-    }
-    x = next;
-    if (delta <= tol && contains(x, 1e-7)) break;
-  }
-  return x;
+  ProjectionScratch scratch;
+  linalg::Vec out;
+  project_with(point, out, max_iterations, tol, scratch);
+  return out;
 }
 
 bool OverlapFeasibleSet::contains(const linalg::Vec& y, double tol) const {
@@ -149,89 +189,107 @@ void OverlapP2Problem::validate() const {
               "overlap P2: upper size mismatch");
 }
 
-namespace {
-
-struct OverlapCoefficients {
-  linalg::Vec u;                      // omega_m * lambda per coordinate
-  double a = 0.0;                     // whole-cell weighted traffic at y=0
-  std::vector<linalg::Vec> v;         // per SBS, full-size sparse-by-zeros
-  linalg::Vec c;
-  linalg::Vec ub;
-};
-
-OverlapCoefficients build(const OverlapP2Problem& problem) {
-  const auto& config = *problem.config;
-  const auto& layout = *problem.layout;
-  const auto& demand = *problem.demand;
+void OverlapP2Workspace::bind(const OverlapConfig& config,
+                              const OverlapLayout& layout,
+                              const ClassDemand& demand) {
+  config_ = &config;
+  layout_ = &layout;
+  demand_ = &demand;
   const std::size_t size = layout.y_size();
 
-  OverlapCoefficients coeff;
-  coeff.u.assign(size, 0.0);
-  coeff.v.assign(config.num_sbs(), linalg::Vec(size, 0.0));
+  u_.assign(size, 0.0);
+  v_.resize(config.num_sbs());
+  for (auto& v : v_) v.assign(size, 0.0);
   for (std::size_t id = 0; id < layout.num_links(); ++id) {
     const auto [m, n] = layout.link(id);
     for (std::size_t k = 0; k < config.num_contents; ++k) {
       const std::size_t j = layout.index(id, k);
-      coeff.u[j] = config.classes[m].omega_bs * demand.at(m, k);
-      coeff.v[n][j] = layout.link_omega_sbs(id) * demand.at(m, k);
+      u_[j] = config.classes[m].omega_bs * demand.at(m, k);
+      v_[n][j] = layout.link_omega_sbs(id) * demand.at(m, k);
     }
   }
+  a_ = 0.0;
   for (std::size_t m = 0; m < config.num_classes(); ++m) {
     double row = 0.0;
     for (std::size_t k = 0; k < config.num_contents; ++k) {
       row += demand.at(m, k);
     }
-    coeff.a += config.classes[m].omega_bs * row;
+    a_ += config.classes[m].omega_bs * row;
   }
-  coeff.c = problem.linear.empty() ? linalg::Vec(size, 0.0) : problem.linear;
-  coeff.ub = problem.upper.empty() ? linalg::Vec(size, 1.0) : problem.upper;
-  return coeff;
+  lipschitz_ = 2.0 * linalg::dot(u_, u_);
+  for (const auto& v : v_) lipschitz_ += 2.0 * linalg::dot(v, v);
+
+  c_.assign(size, 0.0);
+  ub_.assign(size, 1.0);
+  has_solution_ = false;
 }
 
-}  // namespace
+void OverlapP2Workspace::set_linear(const double* begin, const double* end) {
+  MDO_REQUIRE(bound(), "overlap workspace: bind() before set_linear()");
+  MDO_REQUIRE(static_cast<std::size_t>(end - begin) == u_.size(),
+              "overlap workspace: linear size");
+  c_.assign(begin, end);
+  has_solution_ = false;
+}
+
+void OverlapP2Workspace::set_linear_zero() {
+  MDO_REQUIRE(bound(), "overlap workspace: bind() before set_linear_zero()");
+  c_.assign(u_.size(), 0.0);
+  has_solution_ = false;
+}
+
+void OverlapP2Workspace::set_upper(const linalg::Vec& upper) {
+  MDO_REQUIRE(bound(), "overlap workspace: bind() before set_upper()");
+  MDO_REQUIRE(upper.size() == u_.size(), "overlap workspace: upper size");
+  ub_ = upper;
+  has_solution_ = false;
+}
 
 double overlap_p2_objective(const OverlapP2Problem& problem,
                             const linalg::Vec& y) {
   problem.validate();
-  const OverlapCoefficients coeff = build(problem);
-  MDO_REQUIRE(y.size() == coeff.u.size(), "overlap objective: y size");
-  const double bs_term = coeff.a - linalg::dot(coeff.u, y);
-  double total = bs_term * bs_term + linalg::dot(coeff.c, y);
-  for (const auto& v : coeff.v) {
+  OverlapP2Workspace ws;
+  ws.bind(*problem.config, *problem.layout, *problem.demand);
+  if (!problem.linear.empty()) {
+    ws.set_linear(problem.linear.data(),
+                  problem.linear.data() + problem.linear.size());
+  }
+  MDO_REQUIRE(y.size() == ws.u_.size(), "overlap objective: y size");
+  const double bs_term = ws.a_ - linalg::dot(ws.u_, y);
+  double total = bs_term * bs_term + linalg::dot(ws.c_, y);
+  for (const auto& v : ws.v_) {
     const double served = linalg::dot(v, y);
     total += served * served;
   }
   return total;
 }
 
-OverlapP2Solution solve_overlap_load_balancing(
-    const OverlapP2Problem& problem, const OverlapP2Options& options,
-    const linalg::Vec* warm_start) {
-  problem.validate();
-  const OverlapCoefficients coeff = build(problem);
-  const std::size_t size = coeff.u.size();
+OverlapP2Outcome solve_overlap_load_balancing(OverlapP2Workspace& ws,
+                                              const OverlapP2Options& options) {
+  MDO_REQUIRE(ws.bound(), "overlap workspace: bind() before solve");
+  const std::size_t size = ws.u_.size();
 
-  double lipschitz = 2.0 * linalg::dot(coeff.u, coeff.u);
-  for (const auto& v : coeff.v) lipschitz += 2.0 * linalg::dot(v, v);
-
-  OverlapP2Solution out;
-  if (lipschitz <= 1e-14) {
-    out.y.assign(size, 0.0);
-    out.objective = coeff.a * coeff.a;
+  OverlapP2Outcome out;
+  if (ws.lipschitz_ <= 1e-14) {
+    ws.y_.assign(size, 0.0);
+    out.objective = ws.a_ * ws.a_;
     out.converged = true;
+    ws.has_solution_ = true;
     return out;
   }
 
-  const OverlapFeasibleSet feasible(*problem.config, *problem.layout,
-                                    *problem.demand, coeff.ub);
+  ws.feasible_.rebind(*ws.config_, *ws.layout_, *ws.demand_, ws.ub_);
 
-  auto objective = [&coeff](const linalg::Vec& y, linalg::Vec& grad) {
-    const double bs_term = coeff.a - linalg::dot(coeff.u, y);
+  // [&ws] / [&ws, &options] captures fit std::function's small-buffer
+  // storage: no allocation.
+  const solver::ValueGradientFn objective = [&ws](const linalg::Vec& y,
+                                                  linalg::Vec& grad) {
+    const double bs_term = ws.a_ - linalg::dot(ws.u_, y);
     for (std::size_t j = 0; j < y.size(); ++j) {
-      grad[j] = -2.0 * bs_term * coeff.u[j] + coeff.c[j];
+      grad[j] = -2.0 * bs_term * ws.u_[j] + ws.c_[j];
     }
-    double value = bs_term * bs_term + linalg::dot(coeff.c, y);
-    for (const auto& v : coeff.v) {
+    double value = bs_term * bs_term + linalg::dot(ws.c_, y);
+    for (const auto& v : ws.v_) {
       const double served = linalg::dot(v, y);
       if (served != 0.0) {
         for (std::size_t j = 0; j < y.size(); ++j) {
@@ -242,22 +300,49 @@ OverlapP2Solution solve_overlap_load_balancing(
     }
     return value;
   };
-  auto project = [&feasible, &options](const linalg::Vec& point) {
-    return feasible.project(point, options.dykstra_iterations);
-  };
+  const solver::ProjectionIntoFn project =
+      [&ws, &options](const linalg::Vec& in, linalg::Vec& out_vec) {
+        ws.feasible_.project_with(in, out_vec, options.dykstra_iterations,
+                                  1e-9, ws.projection_);
+      };
 
-  linalg::Vec x0 = warm_start != nullptr && warm_start->size() == size
-                       ? *warm_start
-                       : linalg::Vec(size, 0.0);
+  if (ws.y_.size() != size) ws.y_.assign(size, 0.0);
+  ws.first_order_.x = ws.y_;  // warm start (copy-assign reuses capacity)
 
   solver::FirstOrderOptions fo = options.first_order;
-  fo.lipschitz = lipschitz;
-  const auto result = solver::minimize_projected(objective, project, x0, fo);
+  fo.lipschitz = ws.lipschitz_;
+  const solver::FirstOrderSummary summary =
+      solver::minimize_projected(objective, project, ws.first_order_, fo);
 
-  out.y = result.x;
-  out.objective = result.objective_value;
-  out.iterations = result.iterations;
-  out.converged = result.converged;
+  ws.y_.swap(ws.first_order_.x);
+  out.objective = summary.objective_value;
+  out.iterations = summary.iterations;
+  out.converged = summary.converged;
+  ws.has_solution_ = true;
+  return out;
+}
+
+OverlapP2Solution solve_overlap_load_balancing(
+    const OverlapP2Problem& problem, const OverlapP2Options& options,
+    const linalg::Vec* warm_start) {
+  problem.validate();
+  OverlapP2Workspace ws;
+  ws.bind(*problem.config, *problem.layout, *problem.demand);
+  if (!problem.linear.empty()) {
+    ws.set_linear(problem.linear.data(),
+                  problem.linear.data() + problem.linear.size());
+  }
+  if (!problem.upper.empty()) ws.set_upper(problem.upper);
+  if (warm_start != nullptr && warm_start->size() == problem.layout->y_size()) {
+    ws.warm_start() = *warm_start;
+  }
+  const OverlapP2Outcome outcome = solve_overlap_load_balancing(ws, options);
+
+  OverlapP2Solution out;
+  out.y = std::move(ws.warm_start());
+  out.objective = outcome.objective;
+  out.iterations = outcome.iterations;
+  out.converged = outcome.converged;
   return out;
 }
 

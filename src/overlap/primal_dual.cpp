@@ -50,7 +50,7 @@ OverlapPrimalDualSolver::OverlapPrimalDualSolver(
 }
 
 OverlapHorizonSolution OverlapPrimalDualSolver::solve(
-    const OverlapHorizonProblem& problem, const linalg::Vec* warm_mu) const {
+    const OverlapHorizonProblem& problem, const linalg::Vec* warm_mu) {
   problem.validate();
   const auto& config = *problem.config;
   const auto& layout = *problem.layout;
@@ -97,8 +97,42 @@ OverlapHorizonSolution OverlapPrimalDualSolver::solve(
   best.lower_bound = -kInf;
 
   std::vector<std::vector<std::uint8_t>> x(config.num_sbs());  // [t*K + k]
-  std::vector<linalg::Vec> y(w);                               // P2 solutions
-  std::vector<linalg::Vec> repair_y(w), repair_ub(w);
+
+  // ---- Per-SBS P1 state, reused across dual iterations (shape and initial
+  // cache are fixed for the whole solve; only the rewards change).
+  struct P1State {
+    core::CachingSubproblem sub;
+    core::CachingFlowWorkspace flow;
+  };
+  std::vector<P1State> p1(config.num_sbs());
+  util::parallel_for(0, config.num_sbs(), [&](std::size_t n) {
+    core::CachingSubproblem& sub = p1[n].sub;
+    sub.num_contents = k_count;
+    sub.horizon = w;
+    sub.capacity = config.sbs[n].cache_capacity;
+    sub.beta = config.sbs[n].replacement_beta;
+    sub.initial = problem.initial[n];
+    sub.rewards.assign(k_count * w, 0.0);
+    if (options_.reuse_p1_network) p1[n].flow.bind(sub);
+  });
+
+  // ---- Per-slot P2 workspaces: coefficients built once here, the dual
+  // loop then only refreshes the linear term (and the repair loop the box
+  // upper bound); the warm starts live inside. A throwaway bank runs the
+  // same code path, so results are bit-identical either way.
+  std::vector<SlotState> local_bank;
+  std::vector<SlotState>& bank =
+      options_.reuse_workspaces ? bank_ : local_bank;
+  bank.resize(w);
+  util::parallel_for(0, w, [&](std::size_t t) {
+    SlotState& ss = bank[t];
+    if (!options_.cross_window_warm_start) {
+      ss.p2.clear_warm_start();
+      ss.repair.clear_warm_start();
+    }
+    ss.p2.bind(config, layout, problem.demand[t]);
+    ss.repair.bind(config, layout, problem.demand[t]);
+  });
 
   for (std::size_t iteration = 0; iteration < options_.max_iterations;
        ++iteration) {
@@ -107,24 +141,19 @@ OverlapHorizonSolution OverlapPrimalDualSolver::solve(
     // objective is bit-identical at any thread count.
     std::vector<double> p1_objectives(config.num_sbs(), 0.0);
     util::parallel_for(0, config.num_sbs(), [&](std::size_t n) {
-      core::CachingSubproblem p1;
-      p1.num_contents = k_count;
-      p1.horizon = w;
-      p1.capacity = config.sbs[n].cache_capacity;
-      p1.beta = config.sbs[n].replacement_beta;
-      p1.initial = problem.initial[n];
-      p1.rewards.assign(k_count * w, 0.0);
+      core::CachingSubproblem& sub = p1[n].sub;
+      std::fill(sub.rewards.begin(), sub.rewards.end(), 0.0);
       for (std::size_t t = 0; t < w; ++t) {
         for (const std::size_t id : layout.links_of_sbs(n)) {
           for (std::size_t k = 0; k < k_count; ++k) {
-            p1.rewards[t * k_count + k] +=
+            sub.rewards[t * k_count + k] +=
                 mu[t * per_slot + layout.index(id, k)];
           }
         }
       }
-      const auto sol = core::solve_caching_flow(p1);
-      x[n] = sol.x;
-      p1_objectives[n] = sol.objective;
+      // A/B baseline: rebuild the network from scratch every iteration.
+      if (!options_.reuse_p1_network) p1[n].flow.bind(sub);
+      p1_objectives[n] = p1[n].flow.solve_into(sub, x[n]);
     });
     double p1_value = 0.0;
     for (const double value : p1_objectives) p1_value += value;
@@ -132,17 +161,11 @@ OverlapHorizonSolution OverlapPrimalDualSolver::solve(
     // ---- P2 per slot (coupled across SBSs, independent across slots).
     std::vector<double> p2_objectives(w, 0.0);
     util::parallel_for(0, w, [&](std::size_t t) {
-      OverlapP2Problem p2;
-      p2.config = &config;
-      p2.layout = &layout;
-      p2.demand = &problem.demand[t];
-      p2.linear.assign(mu.begin() + static_cast<std::ptrdiff_t>(t * per_slot),
-                       mu.begin() +
-                           static_cast<std::ptrdiff_t>((t + 1) * per_slot));
-      const auto sol = solve_overlap_load_balancing(
-          p2, options_.p2, y[t].empty() ? nullptr : &y[t]);
-      y[t] = sol.y;
-      p2_objectives[t] = sol.objective;
+      SlotState& ss = bank[t];
+      ss.p2.set_linear(mu.data() + t * per_slot,
+                       mu.data() + (t + 1) * per_slot);
+      p2_objectives[t] =
+          solve_overlap_load_balancing(ss.p2, options_.p2).objective;
     });
     double p2_value = 0.0;
     for (const double value : p2_objectives) p2_value += value;
@@ -152,8 +175,10 @@ OverlapHorizonSolution OverlapPrimalDualSolver::solve(
     // ---- Feasibility repair -> upper bound (independent per slot).
     std::vector<OverlapDecision> schedule(w);
     util::parallel_for(0, w, [&](std::size_t t) {
+      SlotState& ss = bank[t];
       schedule[t].cache = empty_cache(config);
-      linalg::Vec ub(per_slot, 0.0);
+      linalg::Vec& ub = ss.ub;
+      ub.assign(per_slot, 0.0);
       for (std::size_t n = 0; n < config.num_sbs(); ++n) {
         for (std::size_t k = 0; k < k_count; ++k) {
           schedule[t].cache[n][k] = x[n][t * k_count + k];
@@ -167,19 +192,13 @@ OverlapHorizonSolution OverlapPrimalDualSolver::solve(
               x[n][t * k_count + k] != 0 ? 1.0 : 0.0;
         }
       }
-      if (ub != repair_ub[t]) {
-        OverlapP2Problem repair;
-        repair.config = &config;
-        repair.layout = &layout;
-        repair.demand = &problem.demand[t];
-        repair.upper = ub;
-        const auto sol = solve_overlap_load_balancing(
-            repair, options_.p2,
-            repair_y[t].empty() ? nullptr : &repair_y[t]);
-        repair_y[t] = sol.y;
-        repair_ub[t] = std::move(ub);
+      // Unchanged-x fast path (valid within one solve: bind() above
+      // invalidated any previous window's solution).
+      if (!ss.repair.has_solution() || ub != ss.repair.upper()) {
+        ss.repair.set_upper(ub);
+        solve_overlap_load_balancing(ss.repair, options_.p2);
       }
-      schedule[t].y = repair_y[t];
+      schedule[t].y = ss.repair.y();
     });
     const double ub_candidate = schedule_cost(config, layout, problem.demand,
                                               schedule, problem.initial);
@@ -194,13 +213,14 @@ OverlapHorizonSolution OverlapPrimalDualSolver::solve(
     // ---- Subgradient ascent: g = y - x.
     const double delta = step_scale * step(iteration);
     for (std::size_t t = 0; t < w; ++t) {
+      const linalg::Vec& y = bank[t].p2.y();
       for (std::size_t id = 0; id < layout.num_links(); ++id) {
         const auto [m, n] = layout.link(id);
         (void)m;
         for (std::size_t k = 0; k < k_count; ++k) {
           const std::size_t j = t * per_slot + layout.index(id, k);
           const double subgrad =
-              y[t][layout.index(id, k)] -
+              y[layout.index(id, k)] -
               static_cast<double>(x[n][t * k_count + k]);
           mu[j] = std::max(0.0, mu[j] + delta * subgrad);
         }

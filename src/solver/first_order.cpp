@@ -17,40 +17,42 @@ bool all_finite(const linalg::Vec& v) {
 
 }  // namespace
 
-FirstOrderResult minimize_projected(const ValueGradientFn& objective,
-                                    const ProjectionFn& project,
-                                    const linalg::Vec& x0,
-                                    const FirstOrderOptions& options) {
+FirstOrderSummary minimize_projected(const ValueGradientFn& objective,
+                                     const ProjectionIntoFn& project,
+                                     FirstOrderWorkspace& ws,
+                                     const FirstOrderOptions& options) {
   MDO_REQUIRE(options.lipschitz > 0.0, "lipschitz constant must be positive");
-  MDO_REQUIRE(!x0.empty(), "empty starting point");
+  MDO_REQUIRE(!ws.x.empty(), "empty starting point");
 
   const double step = 1.0 / options.lipschitz;
-  FirstOrderResult result;
-  if (!all_finite(x0)) {
+  const std::size_t size = ws.x.size();
+  FirstOrderSummary summary;
+  if (!all_finite(ws.x)) {
     // Non-finite entry point: report instead of iterating on garbage. The
     // zero vector is the conventional safe iterate for our box sets.
-    result.x.assign(x0.size(), 0.0);
-    result.status = SolveStatus::kNonFiniteInput;
-    return result;
+    ws.x.assign(size, 0.0);
+    summary.status = SolveStatus::kNonFiniteInput;
+    return summary;
   }
-  result.x = project(x0);
+  ws.grad.resize(size);
+  ws.candidate.resize(size);
+  ws.projected.resize(size);
+  project(ws.x, ws.projected);
+  ws.x.swap(ws.projected);
+  ws.y = ws.x;  // extrapolation point (FISTA)
 
-  linalg::Vec y = result.x;        // extrapolation point (FISTA)
-  linalg::Vec grad(result.x.size());
   double t_momentum = 1.0;
-  const double scale = std::sqrt(static_cast<double>(result.x.size()));
+  const double scale = std::sqrt(static_cast<double>(size));
 
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
-    objective(y, grad);
-    linalg::Vec candidate(y.size());
-    for (std::size_t i = 0; i < y.size(); ++i)
-      candidate[i] = y[i] - step * grad[i];
-    candidate = project(candidate);
+    objective(ws.y, ws.grad);
+    linalg::scaled_sub(ws.y, step, ws.grad, ws.candidate);
+    project(ws.candidate, ws.projected);
 
-    // Projected-gradient mapping at y: (y - candidate) / step.
+    // Projected-gradient mapping at y: (y - projected) / step.
     double mapping_norm = 0.0;
-    for (std::size_t i = 0; i < y.size(); ++i) {
-      const double d = (y[i] - candidate[i]) / step;
+    for (std::size_t i = 0; i < size; ++i) {
+      const double d = (ws.y[i] - ws.projected[i]) / step;
       mapping_norm += d * d;
     }
     mapping_norm = std::sqrt(mapping_norm) / scale;
@@ -58,32 +60,54 @@ FirstOrderResult minimize_projected(const ValueGradientFn& objective,
     if (!std::isfinite(mapping_norm)) {
       // A NaN/Inf objective or gradient poisoned the iterate; keep the last
       // finite point and report rather than spinning to the budget.
-      result.status = SolveStatus::kNonFiniteInput;
-      result.objective_value = objective(result.x, grad);
-      return result;
+      summary.status = SolveStatus::kNonFiniteInput;
+      summary.objective_value = objective(ws.x, ws.grad);
+      return summary;
     }
 
     if (options.accelerate) {
       const double t_next =
           0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t_momentum * t_momentum));
       const double beta = (t_momentum - 1.0) / t_next;
-      for (std::size_t i = 0; i < y.size(); ++i)
-        y[i] = candidate[i] + beta * (candidate[i] - result.x[i]);
+      for (std::size_t i = 0; i < size; ++i) {
+        ws.y[i] = ws.projected[i] + beta * (ws.projected[i] - ws.x[i]);
+      }
       t_momentum = t_next;
     } else {
-      y = candidate;
+      ws.y = ws.projected;
     }
-    result.x = std::move(candidate);
-    result.iterations = iter + 1;
+    ws.x.swap(ws.projected);
+    summary.iterations = iter + 1;
     if (mapping_norm <= options.gradient_tolerance) {
-      result.converged = true;
+      summary.converged = true;
       break;
     }
   }
 
-  result.status = result.converged ? SolveStatus::kConverged
-                                   : SolveStatus::kIterationLimit;
-  result.objective_value = objective(result.x, grad);
+  summary.status = summary.converged ? SolveStatus::kConverged
+                                     : SolveStatus::kIterationLimit;
+  summary.objective_value = objective(ws.x, ws.grad);
+  return summary;
+}
+
+FirstOrderResult minimize_projected(const ValueGradientFn& objective,
+                                    const ProjectionFn& project,
+                                    const linalg::Vec& x0,
+                                    const FirstOrderOptions& options) {
+  FirstOrderWorkspace ws;
+  ws.x = x0;
+  const ProjectionIntoFn project_into =
+      [&project](const linalg::Vec& in, linalg::Vec& out) {
+        out = project(in);
+      };
+  const FirstOrderSummary summary =
+      minimize_projected(objective, project_into, ws, options);
+  FirstOrderResult result;
+  result.x = std::move(ws.x);
+  result.objective_value = summary.objective_value;
+  result.iterations = summary.iterations;
+  result.converged = summary.converged;
+  result.status = summary.status;
   return result;
 }
 

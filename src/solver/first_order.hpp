@@ -4,6 +4,12 @@
 // f_t + g_t + mu.y is smooth and convex, the feasible set is box ∩ knapsack
 // with an exact projection, so projected gradient / FISTA converge at the
 // standard O(1/k) / O(1/k^2) rates with step 1/L.
+//
+// Two entry points share one implementation:
+//  - the workspace overload runs the whole FISTA loop in caller-owned
+//    buffers (zero heap allocations per iteration in steady state), and
+//  - the legacy overload wraps it, paying one workspace allocation per
+//    call (plus whatever the caller's by-value ProjectionFn allocates).
 #pragma once
 
 #include <cstddef>
@@ -21,6 +27,11 @@ using ValueGradientFn =
 /// Projects a point onto the feasible set.
 using ProjectionFn = std::function<linalg::Vec(const linalg::Vec& x)>;
 
+/// Allocation-free projection: writes the projection of `in` into `out`
+/// (pre-sized by the solver). `in` and `out` never alias.
+using ProjectionIntoFn =
+    std::function<void(const linalg::Vec& in, linalg::Vec& out)>;
+
 struct FirstOrderOptions {
   std::size_t max_iterations = 500;
   /// Stop when the projected-gradient mapping norm (per sqrt(n)) drops
@@ -33,6 +44,26 @@ struct FirstOrderOptions {
   bool accelerate = true;
 };
 
+/// Caller-owned iteration buffers for the workspace overload. Reusing one
+/// workspace across solves of the same dimension makes the loop
+/// allocation-free after the first call; dimension changes just re-size.
+struct FirstOrderWorkspace {
+  linalg::Vec x;  // in: starting point; out: the solution
+  linalg::Vec y;          // extrapolation point
+  linalg::Vec grad;       // gradient scratch
+  linalg::Vec candidate;  // pre-projection gradient step
+  linalg::Vec projected;  // post-projection iterate
+};
+
+/// Result of the workspace overload; the solution itself lives in
+/// FirstOrderWorkspace::x.
+struct FirstOrderSummary {
+  double objective_value = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+  SolveStatus status = SolveStatus::kIterationLimit;
+};
+
 struct FirstOrderResult {
   linalg::Vec x;
   double objective_value = 0.0;
@@ -43,9 +74,22 @@ struct FirstOrderResult {
   SolveStatus status = SolveStatus::kIterationLimit;
 };
 
+/// Workspace overload: minimizes over the set defined by `project`,
+/// starting from ws.x (projected first if infeasible); ws.x holds the
+/// solution on return. No heap allocation once the workspace buffers have
+/// reached the problem dimension. Bit-identical iterates to the legacy
+/// overload.
+FirstOrderSummary minimize_projected(const ValueGradientFn& objective,
+                                     const ProjectionIntoFn& project,
+                                     FirstOrderWorkspace& ws,
+                                     const FirstOrderOptions& options);
+
 /// Minimizes a smooth convex function over the set defined by `project`,
 /// starting from `x0` (projected first if infeasible). Non-finite inputs are
-/// reported via the result status rather than thrown.
+/// reported via the result status rather than thrown. Thin wrapper over the
+/// workspace overload: one workspace allocation per call, none per
+/// iteration (the by-value `project` return is the caller's only remaining
+/// per-iteration allocation).
 FirstOrderResult minimize_projected(const ValueGradientFn& objective,
                                     const ProjectionFn& project,
                                     const linalg::Vec& x0,

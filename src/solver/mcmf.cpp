@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 
 #include "util/error.hpp"
 
@@ -47,36 +46,50 @@ void MinCostFlow::reset_flow() {
   }
 }
 
-bool MinCostFlow::shortest_path(std::size_t source, std::vector<double>& dist,
-                                std::vector<std::size_t>& prev_arc) const {
+void MinCostFlow::set_arc_cost(std::size_t arc_id, double cost) {
+  MDO_REQUIRE(arc_id < original_capacity_.size(), "unknown arc id");
+  MDO_REQUIRE(arcs_[arc_id * 2 + 1].capacity == 0,
+              "set_arc_cost: arc carries flow (reset_flow() first)");
+  arcs_[arc_id * 2].cost = cost;
+  arcs_[arc_id * 2 + 1].cost = -cost;
+}
+
+bool MinCostFlow::shortest_path(std::size_t source) {
   const std::size_t n = graph_.size();
-  dist.assign(n, kInf);
-  prev_arc.assign(n, kNoArc);
-  dist[source] = 0.0;
+  dist_.assign(n, kInf);
+  prev_arc_.assign(n, kNoArc);
+  dist_[source] = 0.0;
   // SPFA (queue-based Bellman-Ford). Successive-shortest-path invariants
   // guarantee the residual graph has no negative cycle, so this terminates;
   // the relaxation limit turns a violated invariant into a diagnosable
-  // error instead of an infinite loop.
-  std::vector<bool> in_queue(n, false);
-  std::queue<std::size_t> queue;
-  queue.push(source);
-  in_queue[source] = true;
+  // error instead of an infinite loop. The in_queue_ guard keeps at most n
+  // nodes enqueued, so a circular buffer of n + 1 slots never overflows.
+  in_queue_.assign(n, 0);
+  fifo_.resize(n + 1);
+  std::size_t head = 0;
+  std::size_t tail = 0;
+  auto push = [&](std::size_t v) {
+    fifo_[tail] = v;
+    tail = tail + 1 == fifo_.size() ? 0 : tail + 1;
+  };
+  push(source);
+  in_queue_[source] = 1;
   std::size_t relaxations = 0;
   const std::size_t relaxation_limit = n * arcs_.size() + 64;
-  while (!queue.empty()) {
-    const std::size_t u = queue.front();
-    queue.pop();
-    in_queue[u] = false;
+  while (head != tail) {
+    const std::size_t u = fifo_[head];
+    head = head + 1 == fifo_.size() ? 0 : head + 1;
+    in_queue_[u] = 0;
     for (const std::size_t arc_id : graph_[u]) {
       const Arc& arc = arcs_[arc_id];
       if (arc.capacity <= 0) continue;
-      const double candidate = dist[u] + arc.cost;
-      if (candidate < dist[arc.to] - 1e-12) {
-        dist[arc.to] = candidate;
-        prev_arc[arc.to] = arc_id;
-        if (!in_queue[arc.to]) {
-          queue.push(arc.to);
-          in_queue[arc.to] = true;
+      const double candidate = dist_[u] + arc.cost;
+      if (candidate < dist_[arc.to] - 1e-12) {
+        dist_[arc.to] = candidate;
+        prev_arc_[arc.to] = arc_id;
+        if (!in_queue_[arc.to]) {
+          push(arc.to);
+          in_queue_[arc.to] = 1;
         }
         if (++relaxations > relaxation_limit) {
           throw SolverError(
@@ -96,17 +109,14 @@ MinCostFlow::Result MinCostFlow::solve(std::size_t source, std::size_t sink,
   Result result;
   if (max_flow == 0 || source == sink) return result;
 
-  std::vector<double> dist;
-  std::vector<std::size_t> prev_arc;
-
   while (result.flow < max_flow) {
-    shortest_path(source, dist, prev_arc);
-    if (dist[sink] >= kInf) break;  // no more augmenting paths
+    shortest_path(source);
+    if (dist_[sink] >= kInf) break;  // no more augmenting paths
 
     // Bottleneck along the path.
     std::int64_t push = max_flow - result.flow;
     for (std::size_t v = sink; v != source;) {
-      const Arc& arc = arcs_[prev_arc[v]];
+      const Arc& arc = arcs_[prev_arc_[v]];
       push = std::min(push, arc.capacity);
       v = arcs_[arc.reverse].to;
     }
@@ -115,7 +125,7 @@ MinCostFlow::Result MinCostFlow::solve(std::size_t source, std::size_t sink,
     // Apply the augmentation.
     double path_cost = 0.0;
     for (std::size_t v = sink; v != source;) {
-      Arc& arc = arcs_[prev_arc[v]];
+      Arc& arc = arcs_[prev_arc_[v]];
       arc.capacity -= push;
       arcs_[arc.reverse].capacity += push;
       path_cost += arc.cost;

@@ -55,6 +55,13 @@ class MinCostFlow {
   /// Resets all flows to zero (keeps the network).
   void reset_flow();
 
+  /// Re-prices an existing arc (forward cost = `cost`, reverse = -cost).
+  /// Only meaningful on a flow-free network — call reset_flow() first —
+  /// because residual costs of routed flow would become inconsistent.
+  /// This is what lets core/caching.cpp reuse one time-expanded network
+  /// across dual iterations that only change the rewards.
+  void set_arc_cost(std::size_t arc_id, double cost);
+
  private:
   struct Arc {
     std::size_t to;
@@ -63,12 +70,18 @@ class MinCostFlow {
     std::size_t reverse;  // index of the reverse arc in arcs_
   };
 
-  bool shortest_path(std::size_t source, std::vector<double>& dist,
-                     std::vector<std::size_t>& prev_arc) const;
+  bool shortest_path(std::size_t source);
 
   std::vector<Arc> arcs_;                     // forward/backward interleaved
   std::vector<std::vector<std::size_t>> graph_;  // node -> arc indices
   std::vector<std::int64_t> original_capacity_;  // per public arc id
+
+  // SPFA scratch, reused across augmentations and solve() calls so the
+  // inner loop stays allocation-free once the buffers reach network size.
+  std::vector<double> dist_;
+  std::vector<std::size_t> prev_arc_;
+  std::vector<char> in_queue_;
+  std::vector<std::size_t> fifo_;  // circular buffer, capacity num_nodes + 1
 };
 
 }  // namespace mdo::solver

@@ -58,17 +58,19 @@ double knapsack_value(const linalg::Vec& point, const BoxKnapsackSet& set,
 }
 }  // namespace
 
-linalg::Vec project_box_knapsack(const linalg::Vec& point,
-                                 const BoxKnapsackSet& set, double tol) {
-  set.validate();
+void project_box_knapsack_into(const linalg::Vec& point,
+                               const BoxKnapsackSet& set, linalg::Vec& out,
+                               double tol) {
   MDO_REQUIRE(point.size() == set.lo.size(), "projection: size mismatch");
+  MDO_REQUIRE(out.size() == point.size(), "projection: out size mismatch");
 
   // Fast path: box projection already satisfies the knapsack row.
-  linalg::Vec boxed = project_box(point, set.lo, set.hi);
+  for (std::size_t i = 0; i < point.size(); ++i) {
+    out[i] = std::clamp(point[i], set.lo[i], set.hi[i]);
+  }
   double value = 0.0;
-  for (std::size_t i = 0; i < boxed.size(); ++i)
-    value += set.weights[i] * boxed[i];
-  if (value <= set.budget + 1e-12) return boxed;
+  for (std::size_t i = 0; i < out.size(); ++i) value += set.weights[i] * out[i];
+  if (value <= set.budget + 1e-12) return;
 
   // Bisection on theta >= 0. Upper bracket: grow until feasible; the set is
   // non-empty, so a feasible theta exists (value converges to a . lo).
@@ -83,12 +85,15 @@ linalg::Vec project_box_knapsack(const linalg::Vec& point,
     if (knapsack_value(point, set, mid) > set.budget) theta_lo = mid;
     else theta_hi = mid;
   }
-  const double theta = theta_hi;
+  linalg::scaled_sub_project_box(point, theta_hi, set.weights, set.lo, set.hi,
+                                 out);
+}
+
+linalg::Vec project_box_knapsack(const linalg::Vec& point,
+                                 const BoxKnapsackSet& set, double tol) {
+  set.validate();
   linalg::Vec out(point.size());
-  for (std::size_t i = 0; i < point.size(); ++i) {
-    out[i] = std::clamp(point[i] - theta * set.weights[i], set.lo[i],
-                        set.hi[i]);
-  }
+  project_box_knapsack_into(point, set, out, tol);
   return out;
 }
 

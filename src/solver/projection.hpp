@@ -37,4 +37,12 @@ linalg::Vec project_box_knapsack(const linalg::Vec& point,
                                  const BoxKnapsackSet& set,
                                  double tol = 1e-10);
 
+/// Allocation-free variant: writes the projection of `point` into `out`
+/// (pre-sized to point.size()). Identical arithmetic to the allocating
+/// overload. Precondition: `set` is consistent (the hot paths validate once
+/// when the set is (re)built instead of on every projection).
+void project_box_knapsack_into(const linalg::Vec& point,
+                               const BoxKnapsackSet& set, linalg::Vec& out,
+                               double tol = 1e-10);
+
 }  // namespace mdo::solver
