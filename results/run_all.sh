@@ -12,4 +12,5 @@ cd "$(dirname "$0")/.."
 ./build/bench/bench_competitive_ratio       > results/competitive_ratio.txt 2>&1
 ./build/bench/bench_solvers                 > results/solvers.txt 2>&1
 ./build/bench/bench_hotpath --json BENCH_hotpath.json > results/hotpath.txt 2>&1
+./build/bench/bench_scaling --json BENCH_scaling.json > results/scaling.txt 2>&1
 echo ALL_BENCHES_DONE

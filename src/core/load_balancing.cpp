@@ -59,6 +59,10 @@ void P2Workspace::bind(const model::SbsConfig& sbs,
   const std::size_t classes = sbs.num_classes();
   const std::size_t contents = demand.num_contents();
   const std::size_t size = classes * contents;
+  compact_ = false;
+  classes_ = classes;
+  contents_ = contents;
+  active_.clear();
 
   coeff_.lambda = demand.data();
   coeff_.u.resize(size);
@@ -71,6 +75,65 @@ void P2Workspace::bind(const model::SbsConfig& sbs,
     if (omega_sbs != 0.0) exact_applicable_ = false;
     for (std::size_t k = 0; k < contents; ++k) {
       const std::size_t j = m * contents + k;
+      coeff_.u[j] = omega * coeff_.lambda[j];
+      coeff_.v[j] = omega_sbs * coeff_.lambda[j];
+      coeff_.a += coeff_.u[j];
+    }
+  }
+  quad_norm_ =
+      linalg::dot(coeff_.u, coeff_.u) + linalg::dot(coeff_.v, coeff_.v);
+  bind_finite_ = std::isfinite(sbs.bandwidth) && all_finite(coeff_.lambda);
+  coeff_.c.assign(size, 0.0);
+  linear_finite_ = true;
+  coeff_.ub.assign(size, 1.0);
+  upper_finite_ = true;
+  has_solution_ = false;
+}
+
+void P2Workspace::bind_active(const model::SbsConfig& sbs,
+                              const model::SparseSbsDemand& demand,
+                              const std::vector<std::size_t>& active) {
+  MDO_REQUIRE(demand.num_classes() == sbs.num_classes(),
+              "P2 workspace: class count mismatch");
+  sbs_ = &sbs;
+  demand_ = nullptr;
+  const std::size_t classes = sbs.num_classes();
+  const std::size_t a_count = active.size();
+  const std::size_t size = classes * a_count;
+
+  // A changed active set would misalign the compact warm start; a matching
+  // one keeps it, which at full support matches bind()'s behavior exactly.
+  const bool same_space = compact_ && classes_ == classes &&
+                          contents_ == demand.num_contents() &&
+                          active_ == active;
+  if (!same_space) y_.clear();
+  compact_ = true;
+  classes_ = classes;
+  contents_ = demand.num_contents();
+  active_.assign(active.begin(), active.end());
+
+  coeff_.lambda.assign(size, 0.0);
+  for (std::size_t m = 0; m < classes; ++m) {
+    std::size_t pos = 0;
+    for (const model::DemandEntry* it = demand.row_begin(m);
+         it != demand.row_end(m); ++it) {
+      while (pos < a_count && active_[pos] < it->content) ++pos;
+      MDO_REQUIRE(pos < a_count && active_[pos] == it->content,
+                  "P2 workspace: active set must cover the demand support");
+      coeff_.lambda[m * a_count + pos] = it->rate;
+    }
+  }
+
+  coeff_.u.resize(size);
+  coeff_.v.resize(size);
+  coeff_.a = 0.0;
+  exact_applicable_ = true;
+  for (std::size_t m = 0; m < classes; ++m) {
+    const double omega = sbs.classes[m].omega_bs;
+    const double omega_sbs = sbs.classes[m].omega_sbs;
+    if (omega_sbs != 0.0) exact_applicable_ = false;
+    for (std::size_t i = 0; i < a_count; ++i) {
+      const std::size_t j = m * a_count + i;
       coeff_.u[j] = omega * coeff_.lambda[j];
       coeff_.v[j] = omega_sbs * coeff_.lambda[j];
       coeff_.a += coeff_.u[j];
@@ -100,6 +163,44 @@ void P2Workspace::set_linear_zero() {
   coeff_.c.assign(coeff_.lambda.size(), 0.0);
   linear_finite_ = true;
   has_solution_ = false;
+}
+
+void P2Workspace::set_linear_from_dense(const double* block,
+                                        std::size_t stride) {
+  MDO_REQUIRE(bound(), "P2 workspace: bind() before set_linear_from_dense()");
+  if (!compact_) {
+    MDO_REQUIRE(stride == contents_,
+                "P2 workspace: dense gather stride mismatch");
+    set_linear(block, block + classes_ * contents_);
+    return;
+  }
+  const std::size_t a_count = active_.size();
+  coeff_.c.resize(classes_ * a_count);
+  for (std::size_t m = 0; m < classes_; ++m) {
+    for (std::size_t i = 0; i < a_count; ++i) {
+      coeff_.c[m * a_count + i] = block[m * stride + active_[i]];
+    }
+  }
+  linear_finite_ = all_finite(coeff_.c);
+  has_solution_ = false;
+}
+
+void P2Workspace::scatter_solution(linalg::Vec& dense) const {
+  MDO_REQUIRE(bound(), "P2 workspace: bind() before scatter_solution()");
+  MDO_REQUIRE(y_.size() == coeff_.lambda.size(),
+              "P2 workspace: no solution to scatter");
+  if (!compact_) {
+    dense = y_;
+    return;
+  }
+  MDO_REQUIRE(dense.size() == classes_ * contents_,
+              "P2 workspace: scatter target size mismatch");
+  const std::size_t a_count = active_.size();
+  for (std::size_t m = 0; m < classes_; ++m) {
+    for (std::size_t i = 0; i < a_count; ++i) {
+      dense[m * contents_ + active_[i]] = y_[m * a_count + i];
+    }
+  }
 }
 
 void P2Workspace::set_upper(const linalg::Vec& upper) {
@@ -458,6 +559,36 @@ model::LoadAllocation optimal_load_for_cache(
       for (std::size_t m = 0; m < classes; ++m) p2.upper[m * k_count + k] = 1.0;
     }
     load.sbs_data(n) = solve_load_balancing(p2, options).y;
+  }
+  return load;
+}
+
+model::LoadAllocation optimal_load_for_cache(
+    const model::NetworkConfig& config, model::SlotDemandView demand,
+    const model::CacheState& cache, const LoadBalancingOptions& options) {
+  MDO_REQUIRE(demand.valid(), "optimal_load_for_cache: empty demand view");
+  if (!demand.is_sparse()) {
+    return optimal_load_for_cache(config, *demand.dense(), cache, options);
+  }
+  const model::SparseSlotDemand& slot = *demand.sparse();
+  MDO_REQUIRE(slot.size() == config.num_sbs(),
+              "optimal_load_for_cache: demand shape mismatch");
+  model::LoadAllocation load(config);  // zero-initialized
+  for (std::size_t n = 0; n < config.num_sbs(); ++n) {
+    const std::size_t classes = config.sbs[n].num_classes();
+    const std::vector<std::size_t> active =
+        model::active_contents(slot[n], cache, n);
+    // A throwaway workspace per SBS mirrors the legacy cold-start path.
+    P2Workspace ws;
+    ws.bind_active(config.sbs[n], slot[n], active);
+    linalg::Vec ub(classes * active.size(), 0.0);
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (!cache.cached(n, active[i])) continue;
+      for (std::size_t m = 0; m < classes; ++m) ub[m * active.size() + i] = 1.0;
+    }
+    ws.set_upper(ub);
+    solve_load_balancing(ws, options);
+    ws.scatter_solution(load.sbs_data(n));
   }
   return load;
 }

@@ -33,6 +33,7 @@
 #include "model/decision.hpp"
 #include "model/demand.hpp"
 #include "model/network.hpp"
+#include "model/sparse_demand.hpp"
 #include "solver/first_order.hpp"
 #include "solver/projection.hpp"
 
@@ -107,9 +108,38 @@ class P2Workspace {
   void bind(const model::SbsConfig& sbs, const model::SbsDemand& demand);
   bool bound() const { return sbs_ != nullptr; }
 
+  /// Active-set binding: restricts the variable space to the given sorted
+  /// content list (which must cover the demand support — pass
+  /// model::active_contents). Coefficient vectors are laid out compactly as
+  /// m * |active| + i with active[i] the dense content; set_linear_from_dense
+  /// gathers multipliers from a dense block and scatter_solution writes the
+  /// compact y back into a dense vector. With a full active set the
+  /// coefficients, and therefore every solve, are bit-identical to bind().
+  /// The warm start is kept only when the active set (and shape) matches the
+  /// previous compact binding — a changed active set would misalign it.
+  void bind_active(const model::SbsConfig& sbs,
+                   const model::SparseSbsDemand& demand,
+                   const std::vector<std::size_t>& active);
+
+  /// True after bind_active(); coefficient vectors are in the compact
+  /// layout and y() must be read through scatter_solution().
+  bool compact() const { return compact_; }
+  const std::vector<std::size_t>& active() const { return active_; }
+
   /// Copies [begin, end) into the linear term c. Size must match.
   void set_linear(const double* begin, const double* end);
   void set_linear_zero();
+
+  /// Gathers the linear term from a dense (m * stride + k) block into the
+  /// compact layout; equivalent to set_linear for a non-compact binding
+  /// (stride must then equal the content count).
+  void set_linear_from_dense(const double* block, std::size_t stride);
+
+  /// Writes the solution into a dense (m * K + k) vector: verbatim copy for
+  /// a dense binding, scatter over the active set for a compact one (the
+  /// caller zero-fills the off-active coordinates, which are structural
+  /// zeros of P2).
+  void scatter_solution(linalg::Vec& dense) const;
   /// Copies `upper` into the box upper bound; entries must be in [0, 1]
   /// (checked only when finite, mirroring the legacy validation order).
   void set_upper(const linalg::Vec& upper);
@@ -136,6 +166,10 @@ class P2Workspace {
   const model::SbsConfig* sbs_ = nullptr;
   const model::SbsDemand* demand_ = nullptr;
   Coefficients coeff_;
+  bool compact_ = false;
+  std::size_t classes_ = 0;
+  std::size_t contents_ = 0;              // dense content count K
+  std::vector<std::size_t> active_;       // compact index -> dense content
   double quad_norm_ = 0.0;   // ||u||^2 + ||v||^2 (Lipschitz / 2)
   bool bind_finite_ = true;  // demand rates and bandwidth
   bool linear_finite_ = true;
@@ -216,6 +250,14 @@ LoadBalancingSolution solve_load_balancing_exact(
 /// classic baselines, and wherever "the best y for this x" is needed.
 model::LoadAllocation optimal_load_for_cache(
     const model::NetworkConfig& config, const model::SlotDemand& demand,
+    const model::CacheState& cache, const LoadBalancingOptions& options = {});
+
+/// Representation-agnostic overload: a dense view delegates to the
+/// function above; a sparse view solves each SBS's P2 on the compact
+/// active set (support union cached) and scatters back — bit-identical
+/// when the active set covers every coordinate.
+model::LoadAllocation optimal_load_for_cache(
+    const model::NetworkConfig& config, model::SlotDemandView demand,
     const model::CacheState& cache, const LoadBalancingOptions& options = {});
 
 }  // namespace mdo::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <limits>
 
 #include "core/caching.hpp"
@@ -22,6 +23,21 @@ bool demand_finite_nonnegative(const model::DemandTrace& demand) {
     for (const auto& sbs_demand : demand.slot(t)) {
       for (const double rate : sbs_demand.data()) {
         if (!std::isfinite(rate) || rate < 0.0) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool demand_finite_nonnegative(const model::SparseDemandTrace& demand) {
+  for (std::size_t t = 0; t < demand.horizon(); ++t) {
+    for (const auto& sbs_demand : demand.slot(t)) {
+      if (!sbs_demand.finalized()) return false;
+      for (std::size_t m = 0; m < sbs_demand.num_classes(); ++m) {
+        for (const model::DemandEntry* it = sbs_demand.row_begin(m);
+             it != sbs_demand.row_end(m); ++it) {
+          if (!std::isfinite(it->rate) || it->rate < 0.0) return false;
+        }
       }
     }
   }
@@ -53,8 +69,12 @@ struct MuLayout {
 void HorizonProblem::validate() const {
   MDO_REQUIRE(config != nullptr, "horizon problem: config must be set");
   config->validate();
-  MDO_REQUIRE(demand.horizon() >= 1, "horizon problem: empty window");
-  demand.validate(*config);
+  MDO_REQUIRE(horizon() >= 1, "horizon problem: empty window");
+  if (use_sparse_demand) {
+    sparse_demand.validate(*config);
+  } else {
+    demand.validate(*config);
+  }
   MDO_REQUIRE(initial_cache.num_sbs() == config->num_sbs() &&
                   initial_cache.num_contents() == config->num_contents,
               "horizon problem: initial cache shape mismatch");
@@ -124,7 +144,9 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
                                         const linalg::Vec* warm_mu) {
   MDO_REQUIRE(problem.config != nullptr, "horizon problem: config must be set");
   MDO_REQUIRE(problem.horizon() >= 1, "horizon problem: empty window");
-  if (!demand_finite_nonnegative(problem.demand)) {
+  const bool sparse = problem.use_sparse_demand;
+  if (sparse ? !demand_finite_nonnegative(problem.sparse_demand)
+             : !demand_finite_nonnegative(problem.demand)) {
     // Corrupted window (NaN/Inf/negative rates): iterating would only smear
     // the poison through mu and the schedules, so return the safe fallback —
     // keep the current cache (no replacement churn) and serve everything
@@ -153,14 +175,14 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
   // f at y = 0 is 2 * a * u_j, with a the omega-weighted total demand.
   auto marginal_gradient = [&](std::size_t t, std::size_t n, linalg::Vec& g) {
     const auto& sbs = config.sbs[n];
-    const auto& demand = problem.demand.slot(t)[n];
+    g.assign(layout.sbs_size[n], 0.0);
     double a = 0.0;
+    const auto& demand = problem.demand.slot(t)[n];
     for (std::size_t m = 0; m < sbs.num_classes(); ++m) {
       double row = 0.0;
       for (std::size_t k = 0; k < k_count; ++k) row += demand.at(m, k);
       a += sbs.classes[m].omega_bs * row;
     }
-    g.resize(layout.sbs_size[n]);
     for (std::size_t m = 0; m < sbs.num_classes(); ++m) {
       for (std::size_t k = 0; k < k_count; ++k) {
         g[m * k_count + k] =
@@ -174,16 +196,52 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
   linalg::Vec mu(layout.per_slot * w, 0.0);
   double mean_marginal = 0.0;
   {
-    linalg::Vec g;
     std::size_t entries = 0;
-    for (std::size_t t = 0; t < w; ++t) {
-      for (std::size_t n = 0; n < num_sbs; ++n) {
-        marginal_gradient(t, n, g);
-        for (std::size_t j = 0; j < g.size(); ++j) {
-          mean_marginal += g[j];
-          ++entries;
-          if (options_.marginal_initialization && warm_mu == nullptr) {
-            mu[layout.offset(t, n) + j] = g[j];
+    if (sparse) {
+      // Stored-entry twin of the dense loop below, without materializing the
+      // dense gradient: the skipped terms are exact zeros (they cannot move
+      // the nonnegative accumulator), the nonzeros are visited in the same
+      // ascending-j order, and `entries` counts every dense coordinate either
+      // way — mean_marginal and the written mu are bit-identical.
+      for (std::size_t t = 0; t < w; ++t) {
+        for (std::size_t n = 0; n < num_sbs; ++n) {
+          const auto& sbs = config.sbs[n];
+          const auto& demand = problem.sparse_demand.slot(t)[n];
+          double a = 0.0;
+          for (std::size_t m = 0; m < sbs.num_classes(); ++m) {
+            double row = 0.0;
+            for (const model::DemandEntry* it = demand.row_begin(m);
+                 it != demand.row_end(m); ++it) {
+              row += it->rate;
+            }
+            a += sbs.classes[m].omega_bs * row;
+          }
+          const std::size_t base = layout.offset(t, n);
+          for (std::size_t m = 0; m < sbs.num_classes(); ++m) {
+            for (const model::DemandEntry* it = demand.row_begin(m);
+                 it != demand.row_end(m); ++it) {
+              const double value =
+                  2.0 * a * sbs.classes[m].omega_bs * it->rate;
+              mean_marginal += value;
+              if (options_.marginal_initialization && warm_mu == nullptr) {
+                mu[base + m * k_count + it->content] = value;
+              }
+            }
+          }
+          entries += layout.sbs_size[n];
+        }
+      }
+    } else {
+      linalg::Vec g;
+      for (std::size_t t = 0; t < w; ++t) {
+        for (std::size_t n = 0; n < num_sbs; ++n) {
+          marginal_gradient(t, n, g);
+          for (std::size_t j = 0; j < g.size(); ++j) {
+            mean_marginal += g[j];
+            ++entries;
+            if (options_.marginal_initialization && warm_mu == nullptr) {
+              mu[layout.offset(t, n) + j] = g[j];
+            }
           }
         }
       }
@@ -203,6 +261,52 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
   const std::size_t step_offset =
       warm_mu != nullptr && options_.cross_window_warm_start ? step_offset_
                                                              : 0;
+
+  // ---- Sparse mode: per-cell active sets (support union initial cache),
+  // the per-SBS union over the window (P1's restricted content list), and
+  // the per-cell map from active position to P1 position. mu keeps the
+  // DENSE layout — it is only ever read/written at active coordinates, and
+  // the untouched coordinates are provably zero throughout the ascent
+  // (marginal init is supported on lambda; off-support the subgradient is
+  // -x <= 0 and the projection pins mu at 0).
+  std::vector<std::vector<std::size_t>> active;   // per cell
+  std::vector<std::vector<std::size_t>> p1_list;  // per SBS, sorted union
+  std::vector<std::vector<std::size_t>> cell_p1;  // per cell, into p1_list[n]
+  if (sparse) {
+    active.resize(w * num_sbs);
+    util::parallel_for(0, w * num_sbs, [&](std::size_t cell) {
+      const std::size_t t = cell / num_sbs;
+      const std::size_t n = cell % num_sbs;
+      active[cell] = model::active_contents(problem.sparse_demand.slot(t)[n],
+                                            problem.initial_cache, n);
+    });
+    p1_list.resize(num_sbs);
+    cell_p1.resize(w * num_sbs);
+    util::parallel_for(0, num_sbs, [&](std::size_t n) {
+      std::vector<std::size_t>& list = p1_list[n];
+      std::vector<std::size_t> merged;
+      for (std::size_t t = 0; t < w; ++t) {
+        const std::vector<std::size_t>& cell = active[t * num_sbs + n];
+        merged.clear();
+        merged.reserve(list.size() + cell.size());
+        std::set_union(list.begin(), list.end(), cell.begin(), cell.end(),
+                       std::back_inserter(merged));
+        list.swap(merged);
+      }
+      for (std::size_t t = 0; t < w; ++t) {
+        const std::vector<std::size_t>& cell = active[t * num_sbs + n];
+        std::vector<std::size_t>& map = cell_p1[t * num_sbs + n];
+        map.resize(cell.size());
+        std::size_t pos = 0;
+        for (std::size_t i = 0; i < cell.size(); ++i) {
+          while (pos < list.size() && list[pos] < cell[i]) ++pos;
+          MDO_CHECK(pos < list.size() && list[pos] == cell[i],
+                    "sparse P1: active content missing from window union");
+          map[i] = pos;
+        }
+      }
+    });
+  }
 
   // ---- Per-(slot, SBS) P2 workspaces: coefficients are built once here,
   // the dual loop then only refreshes the mu-dependent linear term (and the
@@ -226,8 +330,15 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
       cs.p2.clear_warm_start();
       cs.repair.clear_warm_start();
     }
-    cs.p2.bind(config.sbs[n], problem.demand.slot(t)[n]);
-    cs.repair.bind(config.sbs[n], problem.demand.slot(t)[n]);
+    if (sparse) {
+      cs.p2.bind_active(config.sbs[n], problem.sparse_demand.slot(t)[n],
+                        active[cell]);
+      cs.repair.bind_active(config.sbs[n], problem.sparse_demand.slot(t)[n],
+                            active[cell]);
+    } else {
+      cs.p2.bind(config.sbs[n], problem.demand.slot(t)[n]);
+      cs.repair.bind(config.sbs[n], problem.demand.slot(t)[n]);
+    }
   });
 
   // ---- Per-SBS P1 state, reused across dual iterations: the subproblem's
@@ -241,16 +352,31 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
   std::vector<P1State> p1(num_sbs);
   util::parallel_for(0, num_sbs, [&](std::size_t n) {
     CachingSubproblem& sub = p1[n].sub;
-    sub.num_contents = k_count;
+    // Sparse mode restricts P1 to the window's content union: everything
+    // outside has zero reward in every slot and is not initially cached, so
+    // (with beta > 0) the optimum never caches it. The flow pushes exactly
+    // `capacity` units, surplus ones through the zero-cost pool chain, so
+    // clamping capacity to the restricted catalogue only removes pool
+    // augmentations and leaves x unchanged.
+    const std::size_t kp = sparse ? p1_list[n].size() : k_count;
+    sub.num_contents = kp;
     sub.horizon = w;
-    sub.capacity = config.sbs[n].cache_capacity;
+    sub.capacity = sparse ? std::min(config.sbs[n].cache_capacity, kp)
+                          : config.sbs[n].cache_capacity;
     sub.beta = config.sbs[n].replacement_beta;
-    sub.initial.assign(k_count, 0);
-    for (std::size_t k = 0; k < k_count; ++k) {
-      sub.initial[k] = problem.initial_cache.cached(n, k) ? 1 : 0;
+    sub.initial.assign(kp, 0);
+    if (sparse) {
+      for (std::size_t i = 0; i < kp; ++i) {
+        sub.initial[i] = problem.initial_cache.cached(n, p1_list[n][i]) ? 1 : 0;
+      }
+    } else {
+      for (std::size_t k = 0; k < k_count; ++k) {
+        sub.initial[k] = problem.initial_cache.cached(n, k) ? 1 : 0;
+      }
     }
-    sub.rewards.assign(k_count * w, 0.0);
-    if (options_.backend == P1Backend::kFlow && options_.reuse_p1_network) {
+    sub.rewards.assign(kp * w, 0.0);
+    if (options_.backend == P1Backend::kFlow && options_.reuse_p1_network &&
+        kp > 0) {
       p1[n].flow.bind(sub);
     }
   });
@@ -261,6 +387,23 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
 
   std::vector<std::vector<std::uint8_t>> x(num_sbs);  // per SBS: [t*K + k]
 
+  // ---- Repair schedule buffer, reused across dual iterations. Every cell
+  // rewrites its full coordinate range each iteration (dense mode) or
+  // exactly its active coordinates (sparse mode — the off-active entries
+  // are structurally zero and never touched), so the buffer needs no
+  // re-zeroing between iterations. An improved upper bound swaps the buffer
+  // into `best` and rebuilds lazily: two allocations per solve instead of
+  // one w * N * M * K zero-fill per iteration.
+  auto make_schedule = [&]() {
+    model::Schedule schedule(w);
+    for (std::size_t t = 0; t < w; ++t) {
+      schedule[t].cache = model::CacheState(config);
+      schedule[t].load = model::LoadAllocation(config);
+    }
+    return schedule;
+  };
+  model::Schedule schedule = make_schedule();
+
   for (std::size_t iteration = 0; iteration < options_.max_iterations;
        ++iteration) {
     // ---- P1: caching per SBS under rewards nu = sum_m mu. The subproblems
@@ -270,13 +413,32 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
     std::vector<double> p1_objectives(num_sbs, 0.0);
     util::parallel_for(0, num_sbs, [&](std::size_t n) {
       CachingSubproblem& sub = p1[n].sub;
+      if (sub.num_contents == 0) {
+        // Nothing demanded or cached anywhere in the window: P1 is empty.
+        x[n].clear();
+        p1_objectives[n] = 0.0;
+        return;
+      }
       std::fill(sub.rewards.begin(), sub.rewards.end(), 0.0);
       const std::size_t classes = config.sbs[n].num_classes();
+      const std::size_t kp = sub.num_contents;
       for (std::size_t t = 0; t < w; ++t) {
         const std::size_t base = layout.offset(t, n);
-        for (std::size_t m = 0; m < classes; ++m) {
-          for (std::size_t k = 0; k < k_count; ++k) {
-            sub.rewards[t * k_count + k] += mu[base + m * k_count + k];
+        if (sparse) {
+          // mu is zero off the active set throughout the ascent, so summing
+          // only active coordinates is bit-identical to the dense loop.
+          const std::vector<std::size_t>& al = active[t * num_sbs + n];
+          const std::vector<std::size_t>& map = cell_p1[t * num_sbs + n];
+          for (std::size_t m = 0; m < classes; ++m) {
+            for (std::size_t i = 0; i < al.size(); ++i) {
+              sub.rewards[t * kp + map[i]] += mu[base + m * k_count + al[i]];
+            }
+          }
+        } else {
+          for (std::size_t m = 0; m < classes; ++m) {
+            for (std::size_t k = 0; k < k_count; ++k) {
+              sub.rewards[t * k_count + k] += mu[base + m * k_count + k];
+            }
           }
         }
       }
@@ -301,8 +463,12 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
       const std::size_t n = cell % num_sbs;
       CellState& cs = bank[cell];
       const std::size_t base = layout.offset(t, n);
-      cs.p2.set_linear(mu.data() + base,
-                       mu.data() + base + layout.sbs_size[n]);
+      if (sparse) {
+        cs.p2.set_linear_from_dense(mu.data() + base, k_count);
+      } else {
+        cs.p2.set_linear(mu.data() + base,
+                         mu.data() + base + layout.sbs_size[n]);
+      }
       p2_objectives[cell] =
           solve_load_balancing(cs.p2, options_.load_balancing).objective;
     });
@@ -314,26 +480,35 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
     best.lower_bound = std::max(best.lower_bound, dual_value);
 
     // ---- Feasibility repair -> upper bound. P2 with c = 0 and ub = x.
-    // Cells are again independent per (slot, SBS): the schedule containers
-    // are pre-sized serially, then every cell touches only SBS n of slot t
-    // (CacheState and LoadAllocation store one vector per SBS).
-    model::Schedule schedule(w);
-    for (std::size_t t = 0; t < w; ++t) {
-      schedule[t].cache = model::CacheState(config);
-      schedule[t].load = model::LoadAllocation(config);
-    }
+    // Cells are independent per (slot, SBS): every cell touches only SBS n
+    // of slot t (CacheState and LoadAllocation store one vector per SBS).
     util::parallel_for(0, w * num_sbs, [&](std::size_t cell) {
       const std::size_t t = cell / num_sbs;
       const std::size_t n = cell % num_sbs;
       CellState& cs = bank[cell];
       const std::size_t classes = config.sbs[n].num_classes();
       linalg::Vec& ub = cs.ub;
-      ub.assign(classes * k_count, 0.0);
-      for (std::size_t k = 0; k < k_count; ++k) {
-        const bool cached = x[n][t * k_count + k] != 0;
-        schedule[t].cache.set(n, k, cached);
-        if (cached) {
-          for (std::size_t m = 0; m < classes; ++m) ub[m * k_count + k] = 1.0;
+      if (sparse) {
+        const std::vector<std::size_t>& al = active[cell];
+        const std::vector<std::size_t>& map = cell_p1[cell];
+        const std::size_t kp = p1[n].sub.num_contents;
+        const std::size_t a_count = al.size();
+        ub.assign(classes * a_count, 0.0);
+        for (std::size_t i = 0; i < a_count; ++i) {
+          const bool cached = x[n][t * kp + map[i]] != 0;
+          schedule[t].cache.set(n, al[i], cached);
+          if (cached) {
+            for (std::size_t m = 0; m < classes; ++m) ub[m * a_count + i] = 1.0;
+          }
+        }
+      } else {
+        ub.assign(classes * k_count, 0.0);
+        for (std::size_t k = 0; k < k_count; ++k) {
+          const bool cached = x[n][t * k_count + k] != 0;
+          schedule[t].cache.set(n, k, cached);
+          if (cached) {
+            for (std::size_t m = 0; m < classes; ++m) ub[m * k_count + k] = 1.0;
+          }
         }
       }
       // Unchanged-x fast path: the workspace still holds the solution for
@@ -343,25 +518,48 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
         cs.repair.set_upper(ub);
         solve_load_balancing(cs.repair, options_.load_balancing);
       }
-      schedule[t].load.sbs_data(n) = cs.repair.y();
+      if (sparse) {
+        cs.repair.scatter_solution(schedule[t].load.sbs_data(n));
+      } else {
+        schedule[t].load.sbs_data(n) = cs.repair.y();
+      }
     });
     const model::CostBreakdown cost = model::schedule_cost(
-        config, problem.demand, schedule, problem.initial_cache);
+        config, problem.demand_view(), schedule, problem.initial_cache);
     if (cost.total() < best.upper_bound) {
       best.upper_bound = cost.total();
-      best.schedule = std::move(schedule);
+      std::swap(best.schedule, schedule);
+      if (schedule.size() != w) schedule = make_schedule();
     }
 
     best.iterations = iteration + 1;
     if (best.gap() <= options_.epsilon) break;
 
-    // ---- Projected subgradient ascent on mu: g = y - x (17).
+    // ---- Projected subgradient ascent on mu: g = y - x (17). In sparse
+    // mode only active coordinates move; off the active set y = 0 and
+    // x = 0, so the dense update would compute max(0, mu + 0) = mu = 0.
     const double delta = step_scale * step(step_offset + iteration);
     for (std::size_t t = 0; t < w; ++t) {
       for (std::size_t n = 0; n < num_sbs; ++n) {
         const std::size_t base = layout.offset(t, n);
         const std::size_t classes = config.sbs[n].num_classes();
         const linalg::Vec& y = bank[t * num_sbs + n].p2.y();
+        if (sparse) {
+          const std::vector<std::size_t>& al = active[t * num_sbs + n];
+          const std::vector<std::size_t>& map = cell_p1[t * num_sbs + n];
+          const std::size_t kp = p1[n].sub.num_contents;
+          const std::size_t a_count = al.size();
+          for (std::size_t m = 0; m < classes; ++m) {
+            for (std::size_t i = 0; i < a_count; ++i) {
+              const std::size_t j = base + m * k_count + al[i];
+              const double subgrad =
+                  y[m * a_count + i] -
+                  static_cast<double>(x[n][t * kp + map[i]]);
+              mu[j] = std::max(0.0, mu[j] + delta * subgrad);
+            }
+          }
+          continue;
+        }
         for (std::size_t m = 0; m < classes; ++m) {
           for (std::size_t k = 0; k < k_count; ++k) {
             const std::size_t j = base + m * k_count + k;

@@ -30,17 +30,31 @@
 #include "model/decision.hpp"
 #include "model/demand.hpp"
 #include "model/network.hpp"
+#include "model/sparse_demand.hpp"
 
 namespace mdo::core {
 
 /// A finite-horizon joint problem: minimize (9) over the given demand
-/// window starting from `initial_cache`.
+/// window starting from `initial_cache`. The window lives in exactly one of
+/// `demand` (dense) and `sparse_demand`, selected by `use_sparse_demand`.
+/// With the sparse representation the solver restricts P1/P2 to each
+/// (slot, SBS) active set (support union cached); for a trace with no
+/// truncation the restriction covers every coordinate that can ever be
+/// nonzero, so the solution is bit-identical to the dense path.
 struct HorizonProblem {
   const model::NetworkConfig* config = nullptr;  // not owned
   model::DemandTrace demand;                     // window, length W >= 1
+  model::SparseDemandTrace sparse_demand;
+  bool use_sparse_demand = false;
   model::CacheState initial_cache;               // x^{tau-1}
 
-  std::size_t horizon() const { return demand.horizon(); }
+  std::size_t horizon() const {
+    return use_sparse_demand ? sparse_demand.horizon() : demand.horizon();
+  }
+  model::DemandTraceView demand_view() const {
+    return use_sparse_demand ? model::DemandTraceView(sparse_demand)
+                             : model::DemandTraceView(demand);
+  }
   void validate() const;
 };
 

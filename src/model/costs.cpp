@@ -96,4 +96,86 @@ CostBreakdown schedule_cost(const NetworkConfig& config,
   return total;
 }
 
+double bs_operating_cost(const NetworkConfig& config, SlotDemandView demand,
+                         const LoadAllocation& load) {
+  MDO_REQUIRE(demand.valid(), "bs_operating_cost: empty demand view");
+  if (!demand.is_sparse()) {
+    return bs_operating_cost(config, *demand.dense(), load);
+  }
+  const SparseSlotDemand& slot = *demand.sparse();
+  MDO_REQUIRE(slot.size() == config.num_sbs(), "demand shape mismatch");
+  const std::size_t k_count = config.num_contents;
+  double total = 0.0;
+  for (std::size_t n = 0; n < config.num_sbs(); ++n) {
+    const auto& sbs = config.sbs[n];
+    const SparseSbsDemand& d = slot[n];
+    const double* y = load.sbs_data(n).data();
+    double weighted = 0.0;
+    for (std::size_t m = 0; m < sbs.num_classes(); ++m) {
+      double class_rest = 0.0;
+      for (const DemandEntry* it = d.row_begin(m); it != d.row_end(m); ++it) {
+        class_rest += (1.0 - y[m * k_count + it->content]) * it->rate;
+      }
+      weighted += sbs.classes[m].omega_bs * class_rest;
+    }
+    total += weighted * weighted;
+  }
+  return total;
+}
+
+double sbs_operating_cost(const NetworkConfig& config, SlotDemandView demand,
+                          const LoadAllocation& load) {
+  MDO_REQUIRE(demand.valid(), "sbs_operating_cost: empty demand view");
+  if (!demand.is_sparse()) {
+    return sbs_operating_cost(config, *demand.dense(), load);
+  }
+  const SparseSlotDemand& slot = *demand.sparse();
+  MDO_REQUIRE(slot.size() == config.num_sbs(), "demand shape mismatch");
+  const std::size_t k_count = config.num_contents;
+  double total = 0.0;
+  for (std::size_t n = 0; n < config.num_sbs(); ++n) {
+    const auto& sbs = config.sbs[n];
+    const SparseSbsDemand& d = slot[n];
+    const double* y = load.sbs_data(n).data();
+    double weighted = 0.0;
+    for (std::size_t m = 0; m < sbs.num_classes(); ++m) {
+      double class_served = 0.0;
+      for (const DemandEntry* it = d.row_begin(m); it != d.row_end(m); ++it) {
+        class_served += y[m * k_count + it->content] * it->rate;
+      }
+      weighted += sbs.classes[m].omega_sbs * class_served;
+    }
+    total += weighted * weighted;
+  }
+  return total;
+}
+
+CostBreakdown slot_cost(const NetworkConfig& config, SlotDemandView demand,
+                        const SlotDecision& decision,
+                        const CacheState& previous) {
+  CostBreakdown out;
+  out.bs = bs_operating_cost(config, demand, decision.load);
+  out.sbs = sbs_operating_cost(config, demand, decision.load);
+  out.replacement = replacement_cost(config, decision.cache, previous);
+  return out;
+}
+
+CostBreakdown schedule_cost(const NetworkConfig& config, DemandTraceView trace,
+                            const Schedule& schedule,
+                            const CacheState& initial_cache) {
+  MDO_REQUIRE(trace.valid(), "schedule_cost: empty trace view");
+  if (!trace.is_sparse()) {
+    return schedule_cost(config, *trace.dense(), schedule, initial_cache);
+  }
+  MDO_REQUIRE(schedule.size() == trace.horizon(),
+              "schedule length must match trace horizon");
+  CostBreakdown total;
+  const CacheState* previous = &initial_cache;
+  for (std::size_t t = 0; t < schedule.size(); ++t) {
+    total += slot_cost(config, trace.slot(t), schedule[t], *previous);
+    previous = &schedule[t].cache;
+  }
+  return total;
+}
+
 }  // namespace mdo::model

@@ -13,6 +13,7 @@
 #include "model/decision.hpp"
 #include "model/demand.hpp"
 #include "model/network.hpp"
+#include "model/sparse_demand.hpp"
 
 namespace mdo::model {
 
@@ -54,6 +55,21 @@ CostBreakdown slot_cost(const NetworkConfig& config, const SlotDemand& demand,
 /// `initial_cache` (the x^0 of the formulation; all-empty in the paper).
 CostBreakdown schedule_cost(const NetworkConfig& config,
                             const DemandTrace& trace,
+                            const Schedule& schedule,
+                            const CacheState& initial_cache);
+
+/// Representation-agnostic overloads. A dense view delegates to the
+/// functions above verbatim; a sparse view accumulates over stored entries
+/// in the same index order, which is bit-identical because the skipped
+/// dense terms multiply exact zeros.
+double bs_operating_cost(const NetworkConfig& config, SlotDemandView demand,
+                         const LoadAllocation& load);
+double sbs_operating_cost(const NetworkConfig& config, SlotDemandView demand,
+                          const LoadAllocation& load);
+CostBreakdown slot_cost(const NetworkConfig& config, SlotDemandView demand,
+                        const SlotDecision& decision,
+                        const CacheState& previous);
+CostBreakdown schedule_cost(const NetworkConfig& config, DemandTraceView trace,
                             const Schedule& schedule,
                             const CacheState& initial_cache);
 

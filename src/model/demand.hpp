@@ -27,6 +27,13 @@ class SbsDemand {
   /// Sum over classes of lambda[m, k]: total demand for content k.
   double content_total(std::size_t k) const;
 
+  /// All K column sums in one O(M*K) pass; out is resized to
+  /// num_contents(). Each column accumulates in ascending class order, so
+  /// out[k] is bit-identical to content_total(k) — callers that previously
+  /// called content_total inside a K-loop (O(M*K^2)) should use this.
+  void content_totals_into(std::vector<double>& out) const;
+  std::vector<double> content_totals() const;
+
   /// Sum of all entries.
   double total() const;
 

@@ -80,4 +80,83 @@ void enforce_feasibility(const NetworkConfig& config, const SlotDemand& demand,
   }
 }
 
+std::vector<Violation> check_feasibility(const NetworkConfig& config,
+                                         SlotDemandView demand,
+                                         const SlotDecision& decision,
+                                         double tol) {
+  MDO_REQUIRE(demand.valid(), "check_feasibility: empty demand view");
+  if (!demand.is_sparse()) {
+    return check_feasibility(config, *demand.dense(), decision, tol);
+  }
+  std::vector<Violation> out;
+  auto report = [&out](const std::string& text) { out.push_back({text}); };
+
+  for (std::size_t n = 0; n < config.num_sbs(); ++n) {
+    const auto& sbs = config.sbs[n];
+    const std::size_t cached = decision.cache.count(n);
+    if (cached > sbs.cache_capacity) {
+      std::ostringstream os;
+      os << "SBS " << n << ": " << cached << " items cached, capacity "
+         << sbs.cache_capacity;
+      report(os.str());
+    }
+    const double load = sbs_load(decision.load, n, demand.sbs(n));
+    if (load > sbs.bandwidth + tol) {
+      std::ostringstream os;
+      os << "SBS " << n << ": load " << load << " exceeds bandwidth "
+         << sbs.bandwidth;
+      report(os.str());
+    }
+    for (std::size_t m = 0; m < sbs.num_classes(); ++m) {
+      for (std::size_t k = 0; k < config.num_contents; ++k) {
+        const double y = decision.load.at(n, m, k);
+        if (y < -tol || y > 1.0 + tol) {
+          std::ostringstream os;
+          os << "SBS " << n << " class " << m << " content " << k << ": y="
+             << y << " outside [0,1]";
+          report(os.str());
+        }
+        if (y > tol && !decision.cache.cached(n, k)) {
+          std::ostringstream os;
+          os << "SBS " << n << " class " << m << " content " << k << ": y="
+             << y << " but content not cached";
+          report(os.str());
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool is_feasible(const NetworkConfig& config, SlotDemandView demand,
+                 const SlotDecision& decision, double tol) {
+  return check_feasibility(config, demand, decision, tol).empty();
+}
+
+void enforce_feasibility(const NetworkConfig& config, SlotDemandView demand,
+                         SlotDecision& decision) {
+  MDO_REQUIRE(demand.valid(), "enforce_feasibility: empty demand view");
+  if (!demand.is_sparse()) {
+    enforce_feasibility(config, *demand.dense(), decision);
+    return;
+  }
+  for (std::size_t n = 0; n < config.num_sbs(); ++n) {
+    const auto& sbs = config.sbs[n];
+    MDO_REQUIRE(decision.cache.count(n) <= sbs.cache_capacity,
+                "cache capacity violated; controllers must respect (1)");
+    for (std::size_t m = 0; m < sbs.num_classes(); ++m) {
+      for (std::size_t k = 0; k < config.num_contents; ++k) {
+        double& y = decision.load.at(n, m, k);
+        y = std::clamp(y, 0.0, 1.0);
+        if (!decision.cache.cached(n, k)) y = 0.0;
+      }
+    }
+    const double load = sbs_load(decision.load, n, demand.sbs(n));
+    if (load > sbs.bandwidth && load > 0.0) {
+      const double scale = sbs.bandwidth / load;
+      for (double& y : decision.load.sbs_data(n)) y *= scale;
+    }
+  }
+}
+
 }  // namespace mdo::model

@@ -13,6 +13,7 @@
 #include "model/decision.hpp"
 #include "model/demand.hpp"
 #include "model/network.hpp"
+#include "model/sparse_demand.hpp"
 
 namespace mdo::model {
 
@@ -40,6 +41,18 @@ bool is_feasible(const NetworkConfig& config, const SlotDemand& demand,
 /// The cache part is never modified (capacity violations throw
 /// InvalidArgument: controllers must respect (1) themselves).
 void enforce_feasibility(const NetworkConfig& config, const SlotDemand& demand,
+                         SlotDecision& decision);
+
+/// Representation-agnostic overloads; dense views delegate to the
+/// functions above, sparse views evaluate the bandwidth load over stored
+/// entries only (bit-identical, the skipped terms are exact zeros).
+std::vector<Violation> check_feasibility(const NetworkConfig& config,
+                                         SlotDemandView demand,
+                                         const SlotDecision& decision,
+                                         double tol = 1e-6);
+bool is_feasible(const NetworkConfig& config, SlotDemandView demand,
+                 const SlotDecision& decision, double tol = 1e-6);
+void enforce_feasibility(const NetworkConfig& config, SlotDemandView demand,
                          SlotDecision& decision);
 
 }  // namespace mdo::model

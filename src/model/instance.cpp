@@ -6,7 +6,11 @@ namespace mdo::model {
 
 void ProblemInstance::validate() const {
   config.validate();
-  demand.validate(config);
+  if (use_sparse_demand) {
+    sparse_demand.validate(config);
+  } else {
+    demand.validate(config);
+  }
   MDO_REQUIRE(initial_cache.num_sbs() == config.num_sbs(),
               "initial cache SBS count mismatch");
   MDO_REQUIRE(initial_cache.num_contents() == config.num_contents,

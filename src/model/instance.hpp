@@ -4,16 +4,29 @@
 #include "model/decision.hpp"
 #include "model/demand.hpp"
 #include "model/network.hpp"
+#include "model/sparse_demand.hpp"
 
 namespace mdo::model {
 
-/// Everything the optimization problem (9)-(11) needs.
+/// Everything the optimization problem (9)-(11) needs. The demand horizon
+/// lives in exactly one of `demand` (dense) and `sparse_demand`, selected
+/// by the `use_sparse_demand` A/B switch; `demand_view()` is the single
+/// accessor consumers should use.
 struct ProblemInstance {
   NetworkConfig config;
   DemandTrace demand;
+  SparseDemandTrace sparse_demand;
+  bool use_sparse_demand = false;
   CacheState initial_cache;  // x^0; all-empty in the paper's setup
 
-  std::size_t horizon() const { return demand.horizon(); }
+  std::size_t horizon() const {
+    return use_sparse_demand ? sparse_demand.horizon() : demand.horizon();
+  }
+
+  DemandTraceView demand_view() const {
+    return use_sparse_demand ? DemandTraceView(sparse_demand)
+                             : DemandTraceView(demand);
+  }
 
   /// Validates config, demand shape, and that the initial cache respects
   /// capacities; throws InvalidArgument otherwise.

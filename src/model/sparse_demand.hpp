@@ -1,0 +1,224 @@
+// Sparse demand representation (CSR per-class rows over the content axis).
+//
+// Zipf-distributed demand concentrates nearly all request mass on a small
+// head of the catalogue, so the dense M x K matrices of SbsDemand waste
+// memory bandwidth on structural zeros once K grows past a few hundred.
+// SparseSbsDemand stores only the nonzero (class, content, rate) entries in
+// CSR layout plus the sorted support and cached per-content column totals;
+// the *View wrappers below let every consumer accept either representation
+// behind one accessor. Conversions are lossless: to_dense(from_dense(d))
+// reproduces d bitwise when min_rate == 0, and every accumulation (totals,
+// column sums, loads, costs) visits entries in the same index order as the
+// dense code, so skipping exact-zero terms leaves the results bit-identical.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/decision.hpp"
+#include "model/demand.hpp"
+#include "model/network.hpp"
+
+namespace mdo::model {
+
+/// One stored nonzero of a demand row.
+struct DemandEntry {
+  std::size_t content = 0;
+  double rate = 0.0;
+
+  friend bool operator==(const DemandEntry&, const DemandEntry&) = default;
+};
+
+/// Request-rate matrix of one SBS in CSR layout: per-class rows of
+/// (content, rate) entries sorted by content, plus the sorted support and
+/// per-content totals computed once at finalize().
+class SparseSbsDemand {
+ public:
+  SparseSbsDemand() = default;
+  SparseSbsDemand(std::size_t num_classes, std::size_t num_contents);
+
+  std::size_t num_classes() const { return num_classes_; }
+  std::size_t num_contents() const { return num_contents_; }
+  std::size_t nnz() const { return entries_.size(); }
+
+  /// Appends one entry. Entries must arrive in ascending (class, content)
+  /// order; empty rows are skipped implicitly.
+  void append(std::size_t m, std::size_t k, double rate);
+
+  /// Seals the structure: closes trailing rows and computes the sorted
+  /// support plus per-content totals. Must be called after the last
+  /// append() and before any query; from_dense() does it automatically.
+  void finalize();
+
+  bool finalized() const { return finalized_; }
+
+  /// Entries of class m as a [begin, end) pointer pair.
+  const DemandEntry* row_begin(std::size_t m) const;
+  const DemandEntry* row_end(std::size_t m) const;
+
+  /// Stored rate at (m, k); 0.0 when the entry is absent.
+  double at(std::size_t m, std::size_t k) const;
+
+  /// Sum over stored entries in (class, content) order — bit-identical to
+  /// SbsDemand::total() because the skipped dense terms are exact zeros.
+  double total() const;
+
+  /// Column sum for one content (0.0 off the support). O(log |support|).
+  double content_total(std::size_t k) const;
+
+  /// All K column sums in one pass; out is resized to num_contents().
+  void content_totals_into(std::vector<double>& out) const;
+
+  /// Sorted distinct contents with at least one stored entry.
+  const std::vector<std::size_t>& support() const;
+
+  /// Multiplies every stored rate by factor[content] and rebuilds the
+  /// cached totals (the noisy predictor's per-content perturbation). The
+  /// structure (rows, support) is unchanged; factor must have size
+  /// num_contents(). Each scaled rate is the same product the dense code
+  /// computes, so the result matches from_dense of the scaled dense matrix.
+  void scale_by_content(const std::vector<double>& factor);
+
+  /// Conversion from dense; entries with rate == 0 or rate < min_rate are
+  /// dropped (become structural zeros). min_rate == 0 is lossless.
+  static SparseSbsDemand from_dense(const SbsDemand& dense,
+                                    double min_rate = 0.0);
+  SbsDemand to_dense() const;
+
+  friend bool operator==(const SparseSbsDemand&,
+                         const SparseSbsDemand&) = default;
+
+ private:
+  std::size_t num_classes_ = 0;
+  std::size_t num_contents_ = 0;
+  std::vector<std::size_t> row_ptr_;     // row m spans [row_ptr_[m], [m+1])
+  std::vector<DemandEntry> entries_;
+  std::vector<std::size_t> support_;     // sorted distinct contents
+  std::vector<double> support_totals_;   // parallel to support_
+  bool finalized_ = false;
+};
+
+/// Demand of all SBSs in one slot, sparse counterpart of SlotDemand.
+using SparseSlotDemand = std::vector<SparseSbsDemand>;
+
+/// Sparse counterpart of DemandTrace.
+class SparseDemandTrace {
+ public:
+  std::size_t horizon() const { return slots_.size(); }
+  bool empty() const { return slots_.empty(); }
+
+  SparseSlotDemand& slot(std::size_t t);
+  const SparseSlotDemand& slot(std::size_t t) const;
+
+  void push_back(SparseSlotDemand slot);
+
+  /// Sub-trace [begin, begin + length), clamped to the horizon like
+  /// DemandTrace::window.
+  SparseDemandTrace window(std::size_t begin, std::size_t length) const;
+
+  /// Checks shapes against the config and that every stored rate is finite
+  /// and nonnegative (and every SBS block finalized).
+  void validate(const NetworkConfig& config) const;
+
+  static SparseDemandTrace from_dense(const DemandTrace& trace,
+                                      double min_rate = 0.0);
+  DemandTrace to_dense() const;
+
+  friend bool operator==(const SparseDemandTrace&,
+                         const SparseDemandTrace&) = default;
+
+ private:
+  std::vector<SparseSlotDemand> slots_;
+};
+
+/// All-zero sparse slot demand shaped like the config.
+SparseSlotDemand make_zero_sparse_slot_demand(const NetworkConfig& config);
+
+/// Active-set of one (slot, SBS) cell: sorted union of support(lambda) and
+/// the contents cached at SBS n. P2's decision y[m,k] is structurally zero
+/// off this set (no demand => nothing to serve; not cached => coupling (3)
+/// forces y = 0), so the solvers restrict their variable space to it.
+std::vector<std::size_t> active_contents(const SparseSbsDemand& demand,
+                                         const CacheState& cache,
+                                         std::size_t n);
+
+class SbsDemandView;
+
+/// load.sbs_load(n, demand) over either representation: the dense view
+/// delegates to LoadAllocation::sbs_load verbatim; the sparse view iterates
+/// stored entries in the same index order (skipped terms are exact zeros).
+double sbs_load(const LoadAllocation& load, std::size_t n, SbsDemandView demand);
+
+/// Non-owning view over either demand representation of one SBS. The dense
+/// accessors delegate verbatim so dense-mode behavior is unchanged.
+class SbsDemandView {
+ public:
+  SbsDemandView() = default;
+  /*implicit*/ SbsDemandView(const SbsDemand& dense) : dense_(&dense) {}
+  /*implicit*/ SbsDemandView(const SparseSbsDemand& sparse)
+      : sparse_(&sparse) {}
+
+  bool valid() const { return dense_ != nullptr || sparse_ != nullptr; }
+  bool is_sparse() const { return sparse_ != nullptr; }
+  const SbsDemand* dense() const { return dense_; }
+  const SparseSbsDemand* sparse() const { return sparse_; }
+
+  std::size_t num_classes() const;
+  std::size_t num_contents() const;
+  double at(std::size_t m, std::size_t k) const;
+  double total() const;
+  double content_total(std::size_t k) const;
+  void content_totals_into(std::vector<double>& out) const;
+
+ private:
+  const SbsDemand* dense_ = nullptr;
+  const SparseSbsDemand* sparse_ = nullptr;
+};
+
+/// Non-owning view over either slot-demand representation.
+class SlotDemandView {
+ public:
+  SlotDemandView() = default;
+  /*implicit*/ SlotDemandView(const SlotDemand& dense) : dense_(&dense) {}
+  /*implicit*/ SlotDemandView(const SparseSlotDemand& sparse)
+      : sparse_(&sparse) {}
+
+  bool valid() const { return dense_ != nullptr || sparse_ != nullptr; }
+  bool is_sparse() const { return sparse_ != nullptr; }
+  const SlotDemand* dense() const { return dense_; }
+  const SparseSlotDemand* sparse() const { return sparse_; }
+
+  std::size_t num_sbs() const;
+  SbsDemandView sbs(std::size_t n) const;
+
+  /// Materializes a dense copy (used by the fault-injection observation
+  /// path, which perturbs dense matrices).
+  SlotDemand to_dense() const;
+
+ private:
+  const SlotDemand* dense_ = nullptr;
+  const SparseSlotDemand* sparse_ = nullptr;
+};
+
+/// Non-owning view over either trace representation.
+class DemandTraceView {
+ public:
+  DemandTraceView() = default;
+  /*implicit*/ DemandTraceView(const DemandTrace& dense) : dense_(&dense) {}
+  /*implicit*/ DemandTraceView(const SparseDemandTrace& sparse)
+      : sparse_(&sparse) {}
+
+  bool valid() const { return dense_ != nullptr || sparse_ != nullptr; }
+  bool is_sparse() const { return sparse_ != nullptr; }
+  const DemandTrace* dense() const { return dense_; }
+  const SparseDemandTrace* sparse() const { return sparse_; }
+
+  std::size_t horizon() const;
+  SlotDemandView slot(std::size_t t) const;
+
+ private:
+  const DemandTrace* dense_ = nullptr;
+  const SparseDemandTrace* sparse_ = nullptr;
+};
+
+}  // namespace mdo::model

@@ -42,21 +42,20 @@ void LrfuController::reset(const model::ProblemInstance& instance) {
 
 model::SlotDecision LrfuController::decide(const DecisionContext& ctx) {
   MDO_REQUIRE(instance_ != nullptr, "LRFU: reset() must be called first");
-  MDO_REQUIRE(ctx.true_demand != nullptr, "LRFU uses the true demand");
+  MDO_REQUIRE(ctx.has_demand(), "LRFU uses the true demand");
   const auto& config = instance_->config;
+  const model::SlotDemandView demand = ctx.demand();
 
-  // Rank contents by current request volume (highest first), per SBS.
-  std::vector<linalg::Vec> scores(config.num_sbs(),
-                                  linalg::Vec(config.num_contents, 0.0));
+  // Rank contents by current request volume (highest first), per SBS. One
+  // O(M*K) column-sum pass per SBS instead of K O(M) content_total calls.
+  std::vector<linalg::Vec> scores(config.num_sbs());
   for (std::size_t n = 0; n < config.num_sbs(); ++n) {
-    for (std::size_t k = 0; k < config.num_contents; ++k) {
-      scores[n][k] = (*ctx.true_demand)[n].content_total(k);
-    }
+    demand.sbs(n).content_totals_into(scores[n]);
   }
   model::SlotDecision decision;
   decision.cache = top_c_cache(config, scores);
-  decision.load = core::optimal_load_for_cache(config, *ctx.true_demand,
-                                               decision.cache, options_);
+  decision.load =
+      core::optimal_load_for_cache(config, demand, decision.cache, options_);
   return decision;
 }
 
@@ -77,9 +76,10 @@ void RequestStreamController::reset(const model::ProblemInstance& instance) {
 model::SlotDecision RequestStreamController::decide(
     const DecisionContext& ctx) {
   MDO_REQUIRE(instance_ != nullptr, "reset() must be called first");
-  MDO_REQUIRE(ctx.true_demand != nullptr,
+  MDO_REQUIRE(ctx.has_demand(),
               "request-stream baselines use the true demand");
   const auto& config = instance_->config;
+  const model::SlotDemandView demand = ctx.demand();
 
   // Deterministic request stream for this slot: content drawn with
   // probability proportional to its total demand at the SBS.
@@ -87,13 +87,13 @@ model::SlotDecision RequestStreamController::decide(
   (void)splitmix64(mix);
   mix ^= 0x9e3779b97f4a7c15ULL * (ctx.slot + 1);
   Rng rng(splitmix64(mix));
+  std::vector<double> weights;
   for (std::size_t n = 0; n < config.num_sbs(); ++n) {
-    std::vector<double> weights(config.num_contents);
+    // Full K-vector (zeros included) so categorical() draws identically
+    // whichever representation backs the view.
+    demand.sbs(n).content_totals_into(weights);
     double total = 0.0;
-    for (std::size_t k = 0; k < config.num_contents; ++k) {
-      weights[k] = (*ctx.true_demand)[n].content_total(k);
-      total += weights[k];
-    }
+    for (std::size_t k = 0; k < config.num_contents; ++k) total += weights[k];
     if (total <= 0.0) continue;  // idle slot: no requests, no updates
     for (std::size_t i = 0; i < requests_per_slot_; ++i) {
       on_request(n, rng.categorical(weights), ctx.slot);
@@ -108,8 +108,8 @@ model::SlotDecision RequestStreamController::decide(
       decision.cache.set(n, k, bitmap[k] != 0);
     }
   }
-  decision.load = core::optimal_load_for_cache(config, *ctx.true_demand,
-                                               decision.cache, options_);
+  decision.load =
+      core::optimal_load_for_cache(config, demand, decision.cache, options_);
   return decision;
 }
 
@@ -242,12 +242,15 @@ StaticTopCController::StaticTopCController(core::LoadBalancingOptions options)
 void StaticTopCController::reset(const model::ProblemInstance& instance) {
   instance_ = &instance;
   const auto& config = instance.config;
+  const model::DemandTraceView trace = instance.demand_view();
   std::vector<linalg::Vec> scores(config.num_sbs(),
                                   linalg::Vec(config.num_contents, 0.0));
-  for (std::size_t t = 0; t < instance.demand.horizon(); ++t) {
+  std::vector<double> totals;
+  for (std::size_t t = 0; t < trace.horizon(); ++t) {
     for (std::size_t n = 0; n < config.num_sbs(); ++n) {
+      trace.slot(t).sbs(n).content_totals_into(totals);
       for (std::size_t k = 0; k < config.num_contents; ++k) {
-        scores[n][k] += instance.demand.slot(t)[n].content_total(k);
+        scores[n][k] += totals[k];
       }
     }
   }
@@ -256,11 +259,11 @@ void StaticTopCController::reset(const model::ProblemInstance& instance) {
 
 model::SlotDecision StaticTopCController::decide(const DecisionContext& ctx) {
   MDO_REQUIRE(instance_ != nullptr, "reset() must be called first");
-  MDO_REQUIRE(ctx.true_demand != nullptr, "StaticTopC uses the true demand");
+  MDO_REQUIRE(ctx.has_demand(), "StaticTopC uses the true demand");
   model::SlotDecision decision;
   decision.cache = static_cache_;
   decision.load = core::optimal_load_for_cache(
-      instance_->config, *ctx.true_demand, decision.cache, options_);
+      instance_->config, ctx.demand(), decision.cache, options_);
   return decision;
 }
 

@@ -64,21 +64,31 @@ void FhcPlanner::plan(std::ptrdiff_t tau,
   // yet available at plan time, so those windows are zero/prior-only.
   core::HorizonProblem problem;
   problem.config = &config;
+  problem.use_sparse_demand = instance_->use_sparse_demand;
   for (std::size_t i = 0; i < window_; ++i) {
     const std::ptrdiff_t abs_slot = tau + static_cast<std::ptrdiff_t>(i);
     if (abs_slot >= static_cast<std::ptrdiff_t>(total_horizon)) break;
     if (abs_slot < 0 || tau < 0) {
-      problem.demand.push_back(model::make_zero_slot_demand(config));
+      if (problem.use_sparse_demand) {
+        problem.sparse_demand.push_back(
+            model::make_zero_sparse_slot_demand(config));
+      } else {
+        problem.demand.push_back(model::make_zero_slot_demand(config));
+      }
+    } else if (problem.use_sparse_demand) {
+      problem.sparse_demand.push_back(
+          predictor.predict_sparse(static_cast<std::size_t>(tau),
+                                   static_cast<std::size_t>(abs_slot)));
     } else {
       problem.demand.push_back(
           predictor.predict(static_cast<std::size_t>(tau),
                             static_cast<std::size_t>(abs_slot)));
     }
   }
-  MDO_CHECK(problem.demand.horizon() >= 1, "FHC: empty planning window");
+  MDO_CHECK(problem.horizon() >= 1, "FHC: empty planning window");
   problem.initial_cache = start;
 
-  const std::size_t horizon = problem.demand.horizon();
+  const std::size_t horizon = problem.horizon();
   // The actual plan-time delta: commit_ on the regular re-plan cadence, but
   // 0 when a resync forces a replan within the same commitment block (the
   // window has not moved, so neither should the warm starts).

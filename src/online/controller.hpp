@@ -29,9 +29,26 @@ namespace mdo::online {
 struct DecisionContext {
   std::size_t slot = 0;                               // tau
   const model::SlotDemand* true_demand = nullptr;     // observed demand at tau
+  /// Sparse twin of true_demand; exactly one of the two is set when demand
+  /// is observable (the simulator passes whichever representation the
+  /// instance carries). Controllers read it through demand().
+  const model::SparseSlotDemand* true_demand_sparse = nullptr;
   const workload::Predictor* predictor = nullptr;     // forecasts from tau
   /// Per-slot degraded network view; nullptr means the instance config.
   const model::NetworkConfig* effective_config = nullptr;
+
+  bool has_demand() const {
+    return true_demand != nullptr || true_demand_sparse != nullptr;
+  }
+  /// View over whichever demand representation is present. Call only when
+  /// has_demand() (an empty view throws on access).
+  model::SlotDemandView demand() const {
+    if (true_demand_sparse != nullptr) {
+      return model::SlotDemandView(*true_demand_sparse);
+    }
+    if (true_demand != nullptr) return model::SlotDemandView(*true_demand);
+    return model::SlotDemandView();
+  }
 };
 
 class Controller {

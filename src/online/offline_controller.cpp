@@ -10,7 +10,12 @@ OfflineController::OfflineController(core::PrimalDualOptions options)
 void OfflineController::reset(const model::ProblemInstance& instance) {
   core::HorizonProblem problem;
   problem.config = &instance.config;
-  problem.demand = instance.demand;
+  if (instance.use_sparse_demand) {
+    problem.sparse_demand = instance.sparse_demand;
+    problem.use_sparse_demand = true;
+  } else {
+    problem.demand = instance.demand;
+  }
   problem.initial_cache = instance.initial_cache;
   solution_ = core::PrimalDualSolver(options_).solve(problem);
 }

@@ -34,9 +34,15 @@ model::SlotDecision RhcController::decide(const DecisionContext& ctx) {
 
   core::HorizonProblem problem;
   problem.config = &instance_->config;
-  problem.demand = ctx.predictor->predict_window(ctx.slot, window_);
+  if (instance_->use_sparse_demand) {
+    problem.sparse_demand =
+        ctx.predictor->predict_window_sparse(ctx.slot, window_);
+    problem.use_sparse_demand = true;
+  } else {
+    problem.demand = ctx.predictor->predict_window(ctx.slot, window_);
+  }
   problem.initial_cache = trajectory_cache_;
-  const std::size_t horizon = problem.demand.horizon();
+  const std::size_t horizon = problem.horizon();
   MDO_REQUIRE(horizon >= 1, "RHC: slot beyond the instance horizon");
 
   // The window slid by one slot: rotate the P2 warm starts along with it.

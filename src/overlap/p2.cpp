@@ -16,6 +16,18 @@ void check_upper_bounds(const linalg::Vec& ub, const OverlapLayout& layout) {
   }
 }
 
+/// Dot restricted to the coordinates where `coeff` is nonzero. Bit-identical
+/// to linalg::dot(coeff, y): the full loop adds coeff[j] * y[j] = +0.0 for
+/// every skipped j (both factors nonnegative), which never changes the
+/// accumulator.
+double sparse_dot(const linalg::Vec& coeff,
+                  const std::vector<std::size_t>& active,
+                  const linalg::Vec& y) {
+  double sum = 0.0;
+  for (const std::size_t j : active) sum += coeff[j] * y[j];
+  return sum;
+}
+
 }  // namespace
 
 OverlapFeasibleSet::OverlapFeasibleSet(const OverlapConfig& config,
@@ -219,6 +231,18 @@ void OverlapP2Workspace::bind(const OverlapConfig& config,
   lipschitz_ = 2.0 * linalg::dot(u_, u_);
   for (const auto& v : v_) lipschitz_ += 2.0 * linalg::dot(v, v);
 
+  u_active_.clear();
+  for (std::size_t j = 0; j < size; ++j) {
+    if (u_[j] != 0.0) u_active_.push_back(j);
+  }
+  v_active_.resize(v_.size());
+  for (std::size_t n = 0; n < v_.size(); ++n) {
+    v_active_[n].clear();
+    for (std::size_t j = 0; j < size; ++j) {
+      if (v_[n][j] != 0.0) v_active_[n].push_back(j);
+    }
+  }
+
   c_.assign(size, 0.0);
   ub_.assign(size, 1.0);
   has_solution_ = false;
@@ -284,16 +308,20 @@ OverlapP2Outcome solve_overlap_load_balancing(OverlapP2Workspace& ws,
   // storage: no allocation.
   const solver::ValueGradientFn objective = [&ws](const linalg::Vec& y,
                                                   linalg::Vec& grad) {
-    const double bs_term = ws.a_ - linalg::dot(ws.u_, y);
-    for (std::size_t j = 0; j < y.size(); ++j) {
+    // Active-coordinate evaluation: off the demand support u_ and v_ are
+    // exact zeros, so grad there is just c_ (the dense code adds a signed
+    // zero, which cannot change it) and the skipped dot terms are +0.0.
+    const double bs_term = ws.a_ - sparse_dot(ws.u_, ws.u_active_, y);
+    grad = ws.c_;
+    for (const std::size_t j : ws.u_active_) {
       grad[j] = -2.0 * bs_term * ws.u_[j] + ws.c_[j];
     }
     double value = bs_term * bs_term + linalg::dot(ws.c_, y);
-    for (const auto& v : ws.v_) {
-      const double served = linalg::dot(v, y);
+    for (std::size_t n = 0; n < ws.v_.size(); ++n) {
+      const double served = sparse_dot(ws.v_[n], ws.v_active_[n], y);
       if (served != 0.0) {
-        for (std::size_t j = 0; j < y.size(); ++j) {
-          grad[j] += 2.0 * served * v[j];
+        for (const std::size_t j : ws.v_active_[n]) {
+          grad[j] += 2.0 * served * ws.v_[n][j];
         }
       }
       value += served * served;

@@ -158,6 +158,12 @@ class OverlapP2Workspace {
   linalg::Vec u_;              // omega_m * lambda per coordinate
   double a_ = 0.0;             // whole-cell weighted traffic at y = 0
   std::vector<linalg::Vec> v_; // per SBS, full-size sparse-by-zeros
+  /// Coordinates with u_[j] != 0 (resp. v_[n][j] != 0), built at bind().
+  /// The objective/gradient loops run over these instead of all of y: the
+  /// skipped terms multiply exact zeros, so dots and gradient updates stay
+  /// bit-identical while the work scales with the demand support.
+  std::vector<std::size_t> u_active_;
+  std::vector<std::vector<std::size_t>> v_active_;
   linalg::Vec c_;
   linalg::Vec ub_;
   double lipschitz_ = 0.0;  // 2 (||u||^2 + sum_n ||v_n||^2)

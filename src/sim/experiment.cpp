@@ -20,18 +20,32 @@ std::vector<SchemeOutcome> run_schemes(const ExperimentConfig& config) {
   MDO_REQUIRE(config.commit >= 1 && config.commit <= config.window,
               "commit must be in [1, window]");
 
-  const model::ProblemInstance instance = config.scenario.build();
+  const model::ProblemInstance instance = config.use_sparse_demand
+                                              ? config.scenario.build_sparse()
+                                              : config.scenario.build();
   // Online algorithms see forecasts; offline/LRFU read the truth directly
   // from the instance / the per-slot context.
   std::unique_ptr<workload::Predictor> predictor;
+  model::DemandTrace ema_dense;  // EMA is dense-backed; densify sparse truth
   switch (config.predictor) {
     case PredictorKind::kNoisy:
-      predictor = std::make_unique<workload::NoisyPredictor>(
-          instance.demand, config.eta, config.predictor_seed);
+      if (config.use_sparse_demand) {
+        predictor = std::make_unique<workload::NoisyPredictor>(
+            instance.sparse_demand, config.eta, config.predictor_seed);
+      } else {
+        predictor = std::make_unique<workload::NoisyPredictor>(
+            instance.demand, config.eta, config.predictor_seed);
+      }
       break;
     case PredictorKind::kEma:
-      predictor = std::make_unique<workload::EmaPredictor>(instance.demand,
-                                                           config.ema_alpha);
+      if (config.use_sparse_demand) {
+        ema_dense = instance.sparse_demand.to_dense();
+        predictor = std::make_unique<workload::EmaPredictor>(ema_dense,
+                                                             config.ema_alpha);
+      } else {
+        predictor = std::make_unique<workload::EmaPredictor>(instance.demand,
+                                                             config.ema_alpha);
+      }
       break;
   }
   const Simulator simulator(instance, *predictor);

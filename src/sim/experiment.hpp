@@ -34,6 +34,12 @@ enum class PredictorKind {
 
 struct ExperimentConfig {
   workload::PaperScenario scenario;  // instance parameters
+  /// A/B switch: build the instance with the sparse demand representation
+  /// (PaperScenario::build_sparse) and drive the whole pipeline —
+  /// predictor, controllers, solver, simulator — through it. With
+  /// scenario.workload.min_rate == 0 the results are bit-identical to the
+  /// dense run; with truncation the solves scale with the demand support.
+  bool use_sparse_demand = false;
   PredictorKind predictor = PredictorKind::kNoisy;
   double eta = 0.1;                  // prediction perturbation (Sec. V-B)
   double ema_alpha = 0.3;            // smoothing for PredictorKind::kEma

@@ -48,22 +48,31 @@ SimulationResult Simulator::run(online::Controller& controller) const {
   }
 
   model::CacheState previous = instance_->initial_cache;
+  const model::DemandTraceView trace = instance_->demand_view();
   for (std::size_t t = 0; t < instance_->horizon(); ++t) {
-    const model::SlotDemand& truth = instance_->demand.slot(t);
+    const model::SlotDemandView truth = trace.slot(t);
     online::DecisionContext ctx;
     ctx.slot = t;
-    ctx.true_demand = &truth;
+    if (truth.is_sparse()) {
+      ctx.true_demand_sparse = truth.sparse();
+    } else {
+      ctx.true_demand = truth.dense();
+    }
     ctx.predictor = predictor_;
 
     // Under fault injection the controller sees the observed world; the
-    // truth below is still what gets accounted.
+    // truth below is still what gets accounted. The perturbation operates
+    // on dense matrices, so a sparse truth is densified for the observation
+    // only — the accounted truth stays in its native representation.
     model::SlotDemand observed;
     model::NetworkConfig degraded;
     if (!result.fault_plan.empty()) {
       const SlotFaults& faults = result.fault_plan[t];
       if (faults.corrupt_demand || faults.demand_scale != 1.0) {
-        observed = options_.faults->observed_demand(truth, t, faults);
+        observed = options_.faults->observed_demand(truth.to_dense(), t,
+                                                    faults);
         ctx.true_demand = &observed;
+        ctx.true_demand_sparse = nullptr;
       }
       if (faults.predictor_blackout) ctx.predictor = nullptr;
       if (faults.any_outage()) {
@@ -95,8 +104,8 @@ SimulationResult Simulator::run(online::Controller& controller) const {
     record.replacements = model::replacement_count(decision.cache, previous);
     record.decision_seconds = decision_seconds;
     for (std::size_t n = 0; n < config.num_sbs(); ++n) {
-      record.demand_total += truth[n].total();
-      record.sbs_served += decision.load.sbs_load(n, truth[n]);
+      record.demand_total += truth.sbs(n).total();
+      record.sbs_served += model::sbs_load(decision.load, n, truth.sbs(n));
     }
     result.total += record.cost;
     result.total_replacements += record.replacements;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 #include <numeric>
+#include <utility>
 
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -20,6 +21,8 @@ void WorkloadOptions::validate() const {
   MDO_REQUIRE(diurnal_amplitude >= 0.0 && diurnal_amplitude <= 1.0,
               "diurnal_amplitude must be in [0, 1]");
   MDO_REQUIRE(diurnal_period >= 1, "diurnal_period must be >= 1");
+  MDO_REQUIRE(std::isfinite(min_rate) && min_rate >= 0.0,
+              "min_rate must be finite and non-negative");
 }
 
 namespace {
@@ -36,11 +39,15 @@ void drift_ranks(std::vector<std::size_t>& rank_of, std::size_t swaps,
   }
 }
 
-}  // namespace
-
-model::DemandTrace generate_demand(const model::NetworkConfig& config,
-                                   std::size_t horizon,
-                                   const WorkloadOptions& options) {
+/// Shared generation core. The RNG draw sequence is fixed here and identical
+/// for every sink (noise is drawn BEFORE the min_rate test), so the dense
+/// and sparse traces agree on every surviving value bit for bit. `emit` is
+/// called only for values that survive truncation (nonzero and >= min_rate),
+/// in (t, n, m, k) lexicographic order; `slot_done` closes each slot.
+template <typename Emit, typename SlotDone>
+void generate_core(const model::NetworkConfig& config, std::size_t horizon,
+                   const WorkloadOptions& options, Emit&& emit,
+                   SlotDone&& slot_done) {
   config.validate();
   options.validate();
   Rng rng(options.seed);
@@ -60,7 +67,6 @@ model::DemandTrace generate_demand(const model::NetworkConfig& config,
     rng.shuffle(rank_of);  // independent initial popularity order
   }
 
-  model::DemandTrace trace;
   for (std::size_t t = 0; t < horizon; ++t) {
     for (auto& rank_of : rankings) {
       drift_ranks(rank_of, options.rank_swaps_per_slot, rng);
@@ -69,10 +75,8 @@ model::DemandTrace generate_demand(const model::NetworkConfig& config,
         1.0 + options.diurnal_amplitude *
                   std::sin(2.0 * std::numbers::pi * static_cast<double>(t) /
                            static_cast<double>(options.diurnal_period));
-    model::SlotDemand slot = model::make_zero_slot_demand(config);
     std::size_t class_cursor = 0;
     for (std::size_t n = 0; n < config.num_sbs(); ++n) {
-      auto& d = slot[n];
       for (std::size_t m = 0; m < config.sbs[n].num_classes(); ++m) {
         const auto& rank_of =
             rankings[options.per_class_ranking ? class_cursor : 0];
@@ -84,13 +88,62 @@ model::DemandTrace generate_demand(const model::NetworkConfig& config,
             value *= rng.uniform(1.0 - options.demand_noise,
                                  1.0 + options.demand_noise);
           }
-          d.at(m, k) = value;
+          if (value != 0.0 && value >= options.min_rate) {
+            emit(n, m, k, value);
+          }
         }
         ++class_cursor;
       }
     }
-    trace.push_back(std::move(slot));
+    slot_done(t);
   }
+}
+
+}  // namespace
+
+model::DemandTrace generate_demand(const model::NetworkConfig& config,
+                                   std::size_t horizon,
+                                   const WorkloadOptions& options) {
+  model::DemandTrace trace;
+  model::SlotDemand slot;
+  generate_core(
+      config, horizon, options,
+      [&](std::size_t n, std::size_t m, std::size_t k, double value) {
+        if (slot.empty()) slot = model::make_zero_slot_demand(config);
+        slot[n].at(m, k) = value;
+      },
+      [&](std::size_t /*t*/) {
+        if (slot.empty()) slot = model::make_zero_slot_demand(config);
+        trace.push_back(std::move(slot));
+        slot.clear();
+      });
+  return trace;
+}
+
+model::SparseDemandTrace generate_sparse_demand(
+    const model::NetworkConfig& config, std::size_t horizon,
+    const WorkloadOptions& options) {
+  model::SparseDemandTrace trace;
+  model::SparseSlotDemand slot;
+  auto open_slot = [&] {
+    if (!slot.empty()) return;
+    slot.reserve(config.num_sbs());
+    for (std::size_t n = 0; n < config.num_sbs(); ++n) {
+      slot.emplace_back(config.sbs[n].num_classes(), config.num_contents);
+    }
+  };
+  generate_core(
+      config, horizon, options,
+      [&](std::size_t n, std::size_t m, std::size_t k, double value) {
+        open_slot();
+        slot[n].append(m, k, value);
+      },
+      [&](std::size_t /*t*/) {
+        open_slot();
+        for (auto& d : slot) d.finalize();
+        trace.push_back(std::move(slot));
+        slot.clear();
+      });
   return trace;
 }
 

@@ -18,6 +18,7 @@
 
 #include "model/demand.hpp"
 #include "model/network.hpp"
+#include "model/sparse_demand.hpp"
 
 namespace mdo::workload {
 
@@ -39,6 +40,12 @@ struct WorkloadOptions {
   /// off-peak cache updates attractive (Sec. I). 0 disables.
   double diurnal_amplitude = 0.0;
   std::size_t diurnal_period = 24;
+  /// Truncation knob: generated rates strictly below min_rate become exact
+  /// zeros (dense) / structural zeros (sparse), cutting the Zipf tail so
+  /// sparse solves scale with the head instead of the catalogue. 0 keeps
+  /// everything; the RNG stream is identical for every value, so traces at
+  /// different min_rate agree on every surviving entry.
+  double min_rate = 0.0;
   std::uint64_t seed = 1;
 
   void validate() const;
@@ -49,5 +56,12 @@ struct WorkloadOptions {
 model::DemandTrace generate_demand(const model::NetworkConfig& config,
                                    std::size_t horizon,
                                    const WorkloadOptions& options);
+
+/// Sparse twin of generate_demand: identical RNG stream, identical
+/// surviving values — generate_sparse_demand(...).to_dense() equals
+/// generate_demand(...) entry for entry (both honoring options.min_rate).
+model::SparseDemandTrace generate_sparse_demand(
+    const model::NetworkConfig& config, std::size_t horizon,
+    const WorkloadOptions& options);
 
 }  // namespace mdo::workload

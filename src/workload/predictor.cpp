@@ -16,16 +16,49 @@ model::DemandTrace Predictor::predict_window(std::size_t tau,
   return out;
 }
 
+model::SparseSlotDemand Predictor::predict_sparse(std::size_t tau,
+                                                  std::size_t t) const {
+  const model::SlotDemand dense = predict(tau, t);
+  model::SparseSlotDemand out;
+  out.reserve(dense.size());
+  for (const model::SbsDemand& demand : dense) {
+    out.push_back(model::SparseSbsDemand::from_dense(demand));
+  }
+  return out;
+}
+
+model::SparseDemandTrace Predictor::predict_window_sparse(
+    std::size_t tau, std::size_t length) const {
+  model::SparseDemandTrace out;
+  for (std::size_t t = tau; t < tau + length && t < horizon(); ++t) {
+    out.push_back(predict_sparse(tau, t));
+  }
+  return out;
+}
+
 PerfectPredictor::PerfectPredictor(const model::DemandTrace& truth)
     : truth_(&truth) {}
+
+PerfectPredictor::PerfectPredictor(const model::SparseDemandTrace& truth)
+    : sparse_truth_(&truth) {}
 
 model::SlotDemand PerfectPredictor::predict(std::size_t tau,
                                             std::size_t t) const {
   MDO_REQUIRE(tau <= t, "cannot predict the past");
-  return truth_->slot(t);
+  if (truth_ != nullptr) return truth_->slot(t);
+  return model::SlotDemandView(sparse_truth_->slot(t)).to_dense();
 }
 
-std::size_t PerfectPredictor::horizon() const { return truth_->horizon(); }
+model::SparseSlotDemand PerfectPredictor::predict_sparse(std::size_t tau,
+                                                         std::size_t t) const {
+  MDO_REQUIRE(tau <= t, "cannot predict the past");
+  if (sparse_truth_ != nullptr) return sparse_truth_->slot(t);
+  return Predictor::predict_sparse(tau, t);
+}
+
+std::size_t PerfectPredictor::horizon() const {
+  return truth_ != nullptr ? truth_->horizon() : sparse_truth_->horizon();
+}
 
 NoisyPredictor::NoisyPredictor(const model::DemandTrace& truth, double eta,
                                std::uint64_t seed, double lead_growth)
@@ -34,13 +67,22 @@ NoisyPredictor::NoisyPredictor(const model::DemandTrace& truth, double eta,
   MDO_REQUIRE(lead_growth >= 0.0, "lead_growth must be non-negative");
 }
 
-std::size_t NoisyPredictor::horizon() const { return truth_->horizon(); }
+NoisyPredictor::NoisyPredictor(const model::SparseDemandTrace& truth,
+                               double eta, std::uint64_t seed,
+                               double lead_growth)
+    : sparse_truth_(&truth), eta_(eta), lead_growth_(lead_growth),
+      seed_(seed) {
+  MDO_REQUIRE(eta >= 0.0 && eta < 1.0, "eta must be in [0, 1)");
+  MDO_REQUIRE(lead_growth >= 0.0, "lead_growth must be non-negative");
+}
 
-model::SlotDemand NoisyPredictor::predict(std::size_t tau,
-                                          std::size_t t) const {
-  MDO_REQUIRE(tau <= t, "cannot predict the past");
-  model::SlotDemand out = truth_->slot(t);
-  if (eta_ == 0.0) return out;
+std::size_t NoisyPredictor::horizon() const {
+  return truth_ != nullptr ? truth_->horizon() : sparse_truth_->horizon();
+}
+
+std::vector<std::vector<double>> NoisyPredictor::noise_factors(
+    std::size_t tau, std::size_t t, std::size_t num_sbs,
+    std::size_t contents) const {
   const double lead = static_cast<double>(t - tau);
   const double eta_eff =
       std::min(0.95, eta_ * (1.0 + lead_growth_ * lead));
@@ -61,19 +103,59 @@ model::SlotDemand NoisyPredictor::predict(std::size_t tau,
   mix ^= 0xc2b2ae3d27d4eb4fULL * (t + 1);
   Rng jitter_rng(splitmix64(mix));
 
-  for (auto& sbs_demand : out) {
-    const std::size_t contents = sbs_demand.num_contents();
-    std::vector<double> factor(contents);
+  std::vector<std::vector<double>> factors(num_sbs);
+  for (auto& factor : factors) {
+    factor.resize(contents);
     for (auto& f : factor) {
       const double bias = bias_rng.uniform(1.0 - eta_eff, 1.0 + eta_eff);
       const double jitter =
           jitter_rng.uniform(1.0 - 0.5 * eta_eff, 1.0 + 0.5 * eta_eff);
       f = std::clamp(bias * jitter, 1.0 - eta_eff, 1.0 + eta_eff);
     }
-    auto& flat = sbs_demand.data();
+  }
+  return factors;
+}
+
+model::SlotDemand NoisyPredictor::predict(std::size_t tau,
+                                          std::size_t t) const {
+  MDO_REQUIRE(tau <= t, "cannot predict the past");
+  model::SlotDemand out =
+      truth_ != nullptr ? truth_->slot(t)
+                        : model::SlotDemandView(sparse_truth_->slot(t))
+                              .to_dense();
+  if (eta_ == 0.0) return out;
+  const std::size_t contents = out.empty() ? 0 : out.front().num_contents();
+  const auto factors = noise_factors(tau, t, out.size(), contents);
+  for (std::size_t n = 0; n < out.size(); ++n) {
+    const auto& factor = factors[n];
+    auto& flat = out[n].data();
     for (std::size_t j = 0; j < flat.size(); ++j) {
       flat[j] *= factor[j % contents];
     }
+  }
+  return out;
+}
+
+model::SparseSlotDemand NoisyPredictor::predict_sparse(std::size_t tau,
+                                                       std::size_t t) const {
+  MDO_REQUIRE(tau <= t, "cannot predict the past");
+  model::SparseSlotDemand out;
+  if (sparse_truth_ != nullptr) {
+    out = sparse_truth_->slot(t);
+  } else {
+    const model::SlotDemand& dense = truth_->slot(t);
+    out.reserve(dense.size());
+    for (const model::SbsDemand& demand : dense) {
+      out.push_back(model::SparseSbsDemand::from_dense(demand));
+    }
+  }
+  if (eta_ == 0.0) return out;
+  const std::size_t contents = out.empty() ? 0 : out.front().num_contents();
+  // Same factor draws as predict(); scaling only the stored entries matches
+  // the dense loop because its skipped terms are exact zeros (0 * f = 0).
+  const auto factors = noise_factors(tau, t, out.size(), contents);
+  for (std::size_t n = 0; n < out.size(); ++n) {
+    out[n].scale_by_content(factors[n]);
   }
   return out;
 }

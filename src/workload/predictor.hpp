@@ -9,12 +9,20 @@
 // lead-time growth factor makes far-ahead predictions noisier, matching the
 // paper's remark that "the prediction quality would be worse if predicted
 // further into the future".
+//
+// Both predictors can be backed by a dense OR a sparse truth trace and
+// serve both representations: predict_sparse() on a sparse-backed
+// predictor applies the SAME noise factors to the stored entries only
+// (the skipped dense terms are exact zeros scaled by a positive factor),
+// so for an untruncated trace the sparse forecast densifies to the dense
+// forecast bit for bit.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 
 #include "model/demand.hpp"
+#include "model/sparse_demand.hpp"
 
 namespace mdo::workload {
 
@@ -26,11 +34,21 @@ class Predictor {
   /// Predicted demand for slot t (tau <= t < horizon), queried at time tau.
   virtual model::SlotDemand predict(std::size_t tau, std::size_t t) const = 0;
 
+  /// Sparse forecast for slot t. The default densifies predict() and drops
+  /// exact zeros — correct for any predictor; the concrete predictors
+  /// override it to stay sparse end to end when backed by a sparse trace.
+  virtual model::SparseSlotDemand predict_sparse(std::size_t tau,
+                                                 std::size_t t) const;
+
   /// Total number of slots in the underlying horizon.
   virtual std::size_t horizon() const = 0;
 
   /// Forecast window [tau, tau + length) clipped at the horizon.
   model::DemandTrace predict_window(std::size_t tau, std::size_t length) const;
+
+  /// Sparse counterpart of predict_window.
+  model::SparseDemandTrace predict_window_sparse(std::size_t tau,
+                                                 std::size_t length) const;
 };
 
 /// Oracle: returns the true demand (used by the offline optimum and LRFU,
@@ -39,12 +57,16 @@ class PerfectPredictor final : public Predictor {
  public:
   /// The trace must outlive the predictor.
   explicit PerfectPredictor(const model::DemandTrace& truth);
+  explicit PerfectPredictor(const model::SparseDemandTrace& truth);
 
   model::SlotDemand predict(std::size_t tau, std::size_t t) const override;
+  model::SparseSlotDemand predict_sparse(std::size_t tau,
+                                         std::size_t t) const override;
   std::size_t horizon() const override;
 
  private:
-  const model::DemandTrace* truth_;
+  const model::DemandTrace* truth_ = nullptr;
+  const model::SparseDemandTrace* sparse_truth_ = nullptr;
 };
 
 /// Bounded multiplicative noise around the truth.
@@ -54,14 +76,27 @@ class NoisyPredictor final : public Predictor {
   /// eta by (1 + lead_growth * (t - tau)), capped at 0.95.
   NoisyPredictor(const model::DemandTrace& truth, double eta,
                  std::uint64_t seed, double lead_growth = 0.0);
+  NoisyPredictor(const model::SparseDemandTrace& truth, double eta,
+                 std::uint64_t seed, double lead_growth = 0.0);
 
   model::SlotDemand predict(std::size_t tau, std::size_t t) const override;
+  model::SparseSlotDemand predict_sparse(std::size_t tau,
+                                         std::size_t t) const override;
   std::size_t horizon() const override;
 
   double eta() const { return eta_; }
 
  private:
-  const model::DemandTrace* truth_;
+  /// Per-content noise factors for every SBS of slot t as seen at tau; one
+  /// flat vector per SBS, drawn in SBS order from the shared bias/jitter
+  /// streams (identical draws whichever representation is served).
+  std::vector<std::vector<double>> noise_factors(std::size_t tau,
+                                                 std::size_t t,
+                                                 std::size_t num_sbs,
+                                                 std::size_t contents) const;
+
+  const model::DemandTrace* truth_ = nullptr;
+  const model::SparseDemandTrace* sparse_truth_ = nullptr;
   double eta_;
   double lead_growth_;
   std::uint64_t seed_;

@@ -5,42 +5,64 @@
 
 namespace mdo::workload {
 
-model::ProblemInstance PaperScenario::build() const {
-  MDO_REQUIRE(num_sbs > 0 && num_contents > 0 && classes_per_sbs > 0,
-              "scenario dimensions must be positive");
-  MDO_REQUIRE(omega_min >= 0.0 && omega_min <= omega_max,
-              "omega range must satisfy 0 <= min <= max");
-  MDO_REQUIRE(omega_sbs_factor >= 0.0, "omega_sbs_factor must be >= 0");
+namespace {
 
-  Rng rng(seed);
+/// Network draws + derived workload seed, shared by build()/build_sparse()
+/// so both consume the scenario RNG identically.
+model::ProblemInstance build_skeleton(const PaperScenario& s,
+                                      WorkloadOptions& wl) {
+  MDO_REQUIRE(s.num_sbs > 0 && s.num_contents > 0 && s.classes_per_sbs > 0,
+              "scenario dimensions must be positive");
+  MDO_REQUIRE(s.omega_min >= 0.0 && s.omega_min <= s.omega_max,
+              "omega range must satisfy 0 <= min <= max");
+  MDO_REQUIRE(s.omega_sbs_factor >= 0.0, "omega_sbs_factor must be >= 0");
+
+  Rng rng(s.seed);
   model::NetworkConfig config;
-  config.num_contents = num_contents;
-  config.sbs.reserve(num_sbs);
-  for (std::size_t n = 0; n < num_sbs; ++n) {
+  config.num_contents = s.num_contents;
+  config.sbs.reserve(s.num_sbs);
+  for (std::size_t n = 0; n < s.num_sbs; ++n) {
     model::SbsConfig sbs;
-    sbs.cache_capacity = cache_capacity;
-    sbs.bandwidth = bandwidth;
-    sbs.replacement_beta = beta;
-    sbs.classes.reserve(classes_per_sbs);
-    for (std::size_t m = 0; m < classes_per_sbs; ++m) {
+    sbs.cache_capacity = s.cache_capacity;
+    sbs.bandwidth = s.bandwidth;
+    sbs.replacement_beta = s.beta;
+    sbs.classes.reserve(s.classes_per_sbs);
+    for (std::size_t m = 0; m < s.classes_per_sbs; ++m) {
       model::MuClass mu;
-      mu.omega_bs = rng.uniform(omega_min, omega_max);
-      mu.omega_sbs = omega_sbs_factor * mu.omega_bs;
+      mu.omega_bs = rng.uniform(s.omega_min, s.omega_max);
+      mu.omega_sbs = s.omega_sbs_factor * mu.omega_bs;
       sbs.classes.push_back(mu);
     }
     config.sbs.push_back(std::move(sbs));
   }
   config.validate();
 
-  WorkloadOptions wl = workload;
+  wl = s.workload;
   // Derive the trace seed from the scenario seed so changing `seed` changes
   // both the MU-class draws and the demand trace coherently.
   wl.seed = rng();
 
   model::ProblemInstance instance;
   instance.config = std::move(config);
-  instance.demand = generate_demand(instance.config, horizon, wl);
   instance.initial_cache = model::CacheState(instance.config);
+  return instance;
+}
+
+}  // namespace
+
+model::ProblemInstance PaperScenario::build() const {
+  WorkloadOptions wl;
+  model::ProblemInstance instance = build_skeleton(*this, wl);
+  instance.demand = generate_demand(instance.config, horizon, wl);
+  instance.validate();
+  return instance;
+}
+
+model::ProblemInstance PaperScenario::build_sparse() const {
+  WorkloadOptions wl;
+  model::ProblemInstance instance = build_skeleton(*this, wl);
+  instance.sparse_demand = generate_sparse_demand(instance.config, horizon, wl);
+  instance.use_sparse_demand = true;
   instance.validate();
   return instance;
 }

@@ -43,6 +43,13 @@ struct PaperScenario {
   /// Builds the network (MU-class draws consume the seed) and the demand
   /// trace. Deterministic in all fields.
   model::ProblemInstance build() const;
+
+  /// Sparse twin of build(): identical network and RNG stream, but the
+  /// demand is generated directly into the sparse representation and the
+  /// instance runs with use_sparse_demand = true. With
+  /// workload.min_rate == 0, build_sparse().sparse_demand.to_dense()
+  /// equals build().demand bit for bit.
+  model::ProblemInstance build_sparse() const;
 };
 
 }  // namespace mdo::workload

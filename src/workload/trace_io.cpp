@@ -1,5 +1,6 @@
 #include "workload/trace_io.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <cstddef>
@@ -8,6 +9,7 @@
 #include <set>
 #include <sstream>
 #include <tuple>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -85,41 +87,15 @@ double parse_rate(const std::string& token, std::size_t line_number,
   return value;
 }
 
-}  // namespace
+struct Entry {
+  std::size_t t, n, m, k;
+  double rate;
+};
 
-void save_trace_csv(std::ostream& os, const model::DemandTrace& trace) {
-  os << "slot,sbs,class,content,rate\n";
-  os << std::setprecision(17);
-  for (std::size_t t = 0; t < trace.horizon(); ++t) {
-    const auto& slot = trace.slot(t);
-    for (std::size_t n = 0; n < slot.size(); ++n) {
-      const auto& demand = slot[n];
-      for (std::size_t m = 0; m < demand.num_classes(); ++m) {
-        for (std::size_t k = 0; k < demand.num_contents(); ++k) {
-          const double rate = demand.at(m, k);
-          if (rate == 0.0) continue;
-          os << t << ',' << n << ',' << m << ',' << k << ',' << rate << '\n';
-        }
-      }
-    }
-  }
-  // A full disk or a broken pipe surfaces as a failed stream, not as an
-  // exception — check before declaring the trace saved.
-  MDO_REQUIRE(static_cast<bool>(os),
-              "stream failure while writing trace (disk full?)");
-}
-
-void save_trace_csv(const std::string& path, const model::DemandTrace& trace) {
-  std::ofstream file(path);
-  MDO_REQUIRE(static_cast<bool>(file), "cannot open trace file: " + path);
-  save_trace_csv(file, trace);
-  file.flush();
-  MDO_REQUIRE(static_cast<bool>(file),
-              "stream failure while writing trace file: " + path);
-}
-
-model::DemandTrace load_trace_csv(std::istream& is,
-                                  const model::NetworkConfig& config) {
+/// Shared row parser: header + data rows + shape/duplicate/stream checks.
+/// Returns the entries in file order plus the largest slot index seen.
+std::pair<std::vector<Entry>, std::size_t> parse_trace_rows(
+    std::istream& is, const model::NetworkConfig& config) {
   config.validate();
   std::string line;
   MDO_REQUIRE(static_cast<bool>(std::getline(is, line)),
@@ -127,10 +103,6 @@ model::DemandTrace load_trace_csv(std::istream& is,
   MDO_REQUIRE(line.rfind("slot,sbs,class,content,rate", 0) == 0,
               "unexpected trace header: " + line);
 
-  struct Entry {
-    std::size_t t, n, m, k;
-    double rate;
-  };
   std::vector<Entry> entries;
   std::set<std::tuple<std::size_t, std::size_t, std::size_t, std::size_t>>
       seen;
@@ -167,6 +139,45 @@ model::DemandTrace load_trace_csv(std::istream& is,
   // a shorter trace).
   MDO_REQUIRE(is.eof(), "stream failure while reading trace (truncated?)");
   MDO_REQUIRE(!entries.empty(), "trace file has no data rows");
+  return {std::move(entries), max_slot};
+}
+
+}  // namespace
+
+void save_trace_csv(std::ostream& os, const model::DemandTrace& trace) {
+  os << "slot,sbs,class,content,rate\n";
+  os << std::setprecision(17);
+  for (std::size_t t = 0; t < trace.horizon(); ++t) {
+    const auto& slot = trace.slot(t);
+    for (std::size_t n = 0; n < slot.size(); ++n) {
+      const auto& demand = slot[n];
+      for (std::size_t m = 0; m < demand.num_classes(); ++m) {
+        for (std::size_t k = 0; k < demand.num_contents(); ++k) {
+          const double rate = demand.at(m, k);
+          if (rate == 0.0) continue;
+          os << t << ',' << n << ',' << m << ',' << k << ',' << rate << '\n';
+        }
+      }
+    }
+  }
+  // A full disk or a broken pipe surfaces as a failed stream, not as an
+  // exception — check before declaring the trace saved.
+  MDO_REQUIRE(static_cast<bool>(os),
+              "stream failure while writing trace (disk full?)");
+}
+
+void save_trace_csv(const std::string& path, const model::DemandTrace& trace) {
+  std::ofstream file(path);
+  MDO_REQUIRE(static_cast<bool>(file), "cannot open trace file: " + path);
+  save_trace_csv(file, trace);
+  file.flush();
+  MDO_REQUIRE(static_cast<bool>(file),
+              "stream failure while writing trace file: " + path);
+}
+
+model::DemandTrace load_trace_csv(std::istream& is,
+                                  const model::NetworkConfig& config) {
+  auto [entries, max_slot] = parse_trace_rows(is, config);
 
   model::DemandTrace trace;
   for (std::size_t t = 0; t <= max_slot; ++t) {
@@ -184,6 +195,80 @@ model::DemandTrace load_trace_csv(const std::string& path,
   std::ifstream file(path);
   MDO_REQUIRE(static_cast<bool>(file), "cannot open trace file: " + path);
   return load_trace_csv(file, config);
+}
+
+void save_trace_csv(std::ostream& os, const model::SparseDemandTrace& trace) {
+  os << "slot,sbs,class,content,rate\n";
+  os << std::setprecision(17);
+  for (std::size_t t = 0; t < trace.horizon(); ++t) {
+    const auto& slot = trace.slot(t);
+    for (std::size_t n = 0; n < slot.size(); ++n) {
+      const auto& demand = slot[n];
+      for (std::size_t m = 0; m < demand.num_classes(); ++m) {
+        for (const auto* it = demand.row_begin(m); it != demand.row_end(m);
+             ++it) {
+          os << t << ',' << n << ',' << m << ',' << it->content << ','
+             << it->rate << '\n';
+        }
+      }
+    }
+  }
+  MDO_REQUIRE(static_cast<bool>(os),
+              "stream failure while writing trace (disk full?)");
+}
+
+void save_trace_csv(const std::string& path,
+                    const model::SparseDemandTrace& trace) {
+  std::ofstream file(path);
+  MDO_REQUIRE(static_cast<bool>(file), "cannot open trace file: " + path);
+  save_trace_csv(file, trace);
+  file.flush();
+  MDO_REQUIRE(static_cast<bool>(file),
+              "stream failure while writing trace file: " + path);
+}
+
+model::SparseDemandTrace load_sparse_trace_csv(
+    std::istream& is, const model::NetworkConfig& config, double min_rate) {
+  MDO_REQUIRE(std::isfinite(min_rate) && min_rate >= 0.0,
+              "min_rate must be finite and non-negative");
+  auto [entries, max_slot] = parse_trace_rows(is, config);
+
+  // CSR append wants (t, n, m, k) lexicographic order; the file may hold
+  // rows in any order (stable_sort is overkill — duplicates were rejected).
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              return std::tie(a.t, a.n, a.m, a.k) <
+                     std::tie(b.t, b.n, b.m, b.k);
+            });
+
+  model::SparseDemandTrace trace;
+  std::size_t cursor = 0;
+  for (std::size_t t = 0; t <= max_slot; ++t) {
+    model::SparseSlotDemand slot;
+    slot.reserve(config.num_sbs());
+    for (std::size_t n = 0; n < config.num_sbs(); ++n) {
+      model::SparseSbsDemand d(config.sbs[n].num_classes(),
+                               config.num_contents);
+      while (cursor < entries.size() && entries[cursor].t == t &&
+             entries[cursor].n == n) {
+        const auto& e = entries[cursor++];
+        if (e.rate != 0.0 && e.rate >= min_rate) d.append(e.m, e.k, e.rate);
+      }
+      d.finalize();
+      slot.push_back(std::move(d));
+    }
+    trace.push_back(std::move(slot));
+  }
+  trace.validate(config);
+  return trace;
+}
+
+model::SparseDemandTrace load_sparse_trace_csv(
+    const std::string& path, const model::NetworkConfig& config,
+    double min_rate) {
+  std::ifstream file(path);
+  MDO_REQUIRE(static_cast<bool>(file), "cannot open trace file: " + path);
+  return load_sparse_trace_csv(file, config, min_rate);
 }
 
 }  // namespace mdo::workload

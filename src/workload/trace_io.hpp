@@ -11,15 +11,21 @@
 
 #include "model/demand.hpp"
 #include "model/network.hpp"
+#include "model/sparse_demand.hpp"
 
 namespace mdo::workload {
 
 /// Writes the trace as CSV with header "slot,sbs,class,content,rate".
 /// Zero-rate entries are omitted (sparse format). Throws InvalidArgument if
 /// the stream fails while writing (disk full, broken pipe) — checked after
-/// the write, not only on open.
+/// the write, not only on open. The sparse overloads emit the stored
+/// entries directly — same file format, so dense and sparse traces
+/// round-trip through either loader.
 void save_trace_csv(std::ostream& os, const model::DemandTrace& trace);
 void save_trace_csv(const std::string& path, const model::DemandTrace& trace);
+void save_trace_csv(std::ostream& os, const model::SparseDemandTrace& trace);
+void save_trace_csv(const std::string& path,
+                    const model::SparseDemandTrace& trace);
 
 /// Reads a trace in the format written by save_trace_csv. The config
 /// provides the shape; entries absent from the file are zero. Throws
@@ -31,5 +37,18 @@ model::DemandTrace load_trace_csv(std::istream& is,
                                   const model::NetworkConfig& config);
 model::DemandTrace load_trace_csv(const std::string& path,
                                   const model::NetworkConfig& config);
+
+/// Sparse loader: same format and validation as load_trace_csv, building
+/// the CSR representation directly (rows may appear in any order in the
+/// file). `min_rate` additionally drops entries with rate < min_rate at
+/// ingest — the same truncation knob as WorkloadOptions::min_rate — so a
+/// dense trace file can be thinned while loading. With min_rate = 0,
+/// load_sparse_trace_csv(f).to_dense() == load_trace_csv(f).
+model::SparseDemandTrace load_sparse_trace_csv(
+    std::istream& is, const model::NetworkConfig& config,
+    double min_rate = 0.0);
+model::SparseDemandTrace load_sparse_trace_csv(
+    const std::string& path, const model::NetworkConfig& config,
+    double min_rate = 0.0);
 
 }  // namespace mdo::workload
