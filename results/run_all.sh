@@ -13,4 +13,5 @@ cd "$(dirname "$0")/.."
 ./build/bench/bench_solvers                 > results/solvers.txt 2>&1
 ./build/bench/bench_hotpath --json BENCH_hotpath.json > results/hotpath.txt 2>&1
 ./build/bench/bench_scaling --json BENCH_scaling.json > results/scaling.txt 2>&1
+./build/bench/bench_deadline --json results/BENCH_deadline.json > results/deadline.txt 2>&1
 echo ALL_BENCHES_DONE

@@ -90,6 +90,23 @@ void P2Workspace::bind(const model::SbsConfig& sbs,
   has_solution_ = false;
 }
 
+void P2Workspace::save_warm_state(util::BinaryWriter& w) const {
+  w.boolean(compact_);
+  w.size(classes_);
+  w.size(contents_);
+  w.size_vec(active_);
+  w.f64_vec(y_);
+}
+
+void P2Workspace::restore_warm_state(util::BinaryReader& r) {
+  compact_ = r.boolean();
+  classes_ = r.size();
+  contents_ = r.size();
+  active_ = r.size_vec();
+  y_ = r.f64_vec();
+  has_solution_ = false;  // y_ is a warm start, not a bound solution
+}
+
 void P2Workspace::bind_active(const model::SbsConfig& sbs,
                               const model::SparseSbsDemand& demand,
                               const std::vector<std::size_t>& active) {

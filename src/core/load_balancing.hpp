@@ -36,6 +36,7 @@
 #include "model/sparse_demand.hpp"
 #include "solver/first_order.hpp"
 #include "solver/projection.hpp"
+#include "util/serialize.hpp"
 
 namespace mdo::core {
 
@@ -156,6 +157,16 @@ class P2Workspace {
   /// (bind, c, ub) state — callers may skip a re-solve (the repair loop's
   /// unchanged-ub fast path).
   bool has_solution() const { return has_solution_; }
+
+  /// Serializes exactly the state that survives across horizon solves and
+  /// can influence future results: the warm-start vector y and the compact
+  /// binding metadata (compact_/classes_/contents_/active_) that
+  /// bind_active() consults to decide whether the warm start is still
+  /// aligned. Everything else is rebuilt by the next bind. Restoring this
+  /// state into a fresh workspace makes the next solve bit-identical to
+  /// one on the original workspace — the checkpoint/resume contract.
+  void save_warm_state(util::BinaryWriter& w) const;
+  void restore_warm_state(util::BinaryReader& r);
 
  private:
   friend LoadBalancingOutcome solve_load_balancing(

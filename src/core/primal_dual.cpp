@@ -140,8 +140,33 @@ void PrimalDualSolver::advance_window(std::size_t shift) {
   }
 }
 
+void PrimalDualSolver::save_state(util::BinaryWriter& w) const {
+  w.size(bank_slots_);
+  w.size(bank_sbs_);
+  w.size(step_offset_);
+  w.size(bank_.size());
+  for (const CellState& cs : bank_) {
+    cs.p2.save_warm_state(w);
+    cs.repair.save_warm_state(w);
+  }
+}
+
+void PrimalDualSolver::restore_state(util::BinaryReader& r) {
+  bank_slots_ = r.size();
+  bank_sbs_ = r.size();
+  step_offset_ = r.size();
+  bank_.assign(r.size(), CellState{});
+  for (CellState& cs : bank_) {
+    cs.p2.restore_warm_state(r);
+    cs.repair.restore_warm_state(r);
+  }
+  MDO_REQUIRE(bank_.size() == bank_slots_ * bank_sbs_,
+              "solver snapshot: bank shape mismatch");
+}
+
 HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
-                                        const linalg::Vec* warm_mu) {
+                                        const linalg::Vec* warm_mu,
+                                        runtime::DeadlineToken* deadline) {
   MDO_REQUIRE(problem.config != nullptr, "horizon problem: config must be set");
   MDO_REQUIRE(problem.horizon() >= 1, "horizon problem: empty window");
   const bool sparse = problem.use_sparse_demand;
@@ -404,8 +429,19 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
   };
   model::Schedule schedule = make_schedule();
 
+  bool deadline_expired = false;
   for (std::size_t iteration = 0; iteration < options_.max_iterations;
        ++iteration) {
+    // ---- Deadline poll: once per dual iteration, only after the first
+    // iteration completed — the repair pass below guarantees a feasible
+    // incumbent exists before the budget can cut the loop short. The poll
+    // sits at this serial point (not inside the parallel sections) so the
+    // number of polls, and hence a logical after_checks() expiry, is
+    // identical at every thread count.
+    if (iteration > 0 && deadline != nullptr && deadline->poll()) {
+      deadline_expired = true;
+      break;
+    }
     // ---- P1: caching per SBS under rewards nu = sum_m mu. The subproblems
     // are independent (Alg. 1 separates per SBS); each writes only its own
     // x[n] / objective slot, and the reduction below runs serially in SBS
@@ -577,7 +613,8 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
   step_offset_ = best.iterations;
   best.status = best.gap() <= options_.epsilon
                     ? solver::SolveStatus::kConverged
-                    : solver::SolveStatus::kIterationLimit;
+                : deadline_expired ? solver::SolveStatus::kDeadlineExpired
+                                   : solver::SolveStatus::kIterationLimit;
   MDO_CHECK(!best.schedule.empty(), "primal-dual produced no schedule");
   MDO_TRACE("primal-dual: UB=" << best.upper_bound
                                << " LB=" << best.lower_bound

@@ -25,6 +25,7 @@
 
 #include "core/load_balancing.hpp"
 #include "linalg/vec.hpp"
+#include "runtime/deadline.hpp"
 #include "solver/status.hpp"
 #include "model/costs.hpp"
 #include "model/decision.hpp"
@@ -158,8 +159,16 @@ class PrimalDualSolver {
   ///
   /// Non-const: the solver keeps the per-(slot, SBS) P2 workspace bank
   /// between calls (see PrimalDualOptions::reuse_workspaces).
+  ///
+  /// `deadline` (optional) bounds the solve: the token is polled once per
+  /// dual iteration — after the first iteration completes, so a feasible
+  /// repaired incumbent always exists — and on expiry the best incumbent
+  /// is returned with status kDeadlineExpired (anytime semantics). A null
+  /// or unlimited token leaves the solve bitwise-identical to the
+  /// pre-deadline behavior.
   HorizonSolution solve(const HorizonProblem& problem,
-                        const linalg::Vec* warm_mu = nullptr);
+                        const linalg::Vec* warm_mu = nullptr,
+                        runtime::DeadlineToken* deadline = nullptr);
 
   /// Rotates the cached P2 warm starts when the window slides forward by
   /// `shift` slots (slot t of the next window reuses slot t + shift of the
@@ -170,6 +179,14 @@ class PrimalDualSolver {
   void advance_window(std::size_t shift);
 
   const PrimalDualOptions& options() const { return options_; }
+
+  /// Serializes the cross-solve warm state (the P2 workspace bank with its
+  /// binding metadata, plus the step-schedule offset). Restoring into a
+  /// solver constructed with the same options makes every subsequent
+  /// solve() bit-identical to one on the original — the checkpoint/resume
+  /// contract (see runtime/checkpoint.hpp).
+  void save_state(util::BinaryWriter& w) const;
+  void restore_state(util::BinaryReader& r);
 
  private:
   struct CellState {

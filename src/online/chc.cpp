@@ -1,7 +1,10 @@
 #include "online/chc.hpp"
 
+#include <algorithm>
 #include <utility>
 
+#include "runtime/checkpoint.hpp"
+#include "runtime/supervisor.hpp"
 #include "util/error.hpp"
 
 namespace mdo::online {
@@ -37,7 +40,9 @@ void FhcPlanner::resync(std::size_t slot, const model::CacheState& executed) {
 }
 
 void FhcPlanner::plan(std::ptrdiff_t tau,
-                      const workload::Predictor& predictor) {
+                      const workload::Predictor& predictor,
+                      runtime::DeadlineToken* deadline,
+                      runtime::SupervisionLog* log) {
   const auto& config = instance_->config;
   const std::size_t total_horizon = predictor.horizon();
 
@@ -108,10 +113,26 @@ void FhcPlanner::plan(std::ptrdiff_t tau,
       shift == 0 && !warm_mu_.empty() && warm_horizon_ == horizon;
   const linalg::Vec* warm =
       same_window && options_.cross_window_warm_start ? &warm_mu_ : nullptr;
-  auto solution = solver_.solve(problem, warm);
+  // The plan must cover this commitment block: a truncated backoff retry
+  // may drop tail slots, but never below the block the planner commits.
+  const std::size_t min_horizon = static_cast<std::size_t>(
+      std::max<std::ptrdiff_t>(
+          1, std::min<std::ptrdiff_t>(
+                 static_cast<std::ptrdiff_t>(commit_),
+                 static_cast<std::ptrdiff_t>(total_horizon) - tau)));
+  // With no deadline and no log this is exactly solver_.solve(problem,
+  // warm) — the clean path stays bit-identical to the unsupervised planner.
+  auto solution = runtime::supervised_solve(solver_, problem, warm,
+                                            deadline, {}, log,
+                                            static_cast<std::size_t>(
+                                                std::max<std::ptrdiff_t>(tau,
+                                                                         0)),
+                                            min_horizon);
 
   warm_mu_ = std::move(solution.mu);
-  warm_horizon_ = horizon;
+  // A truncated recovery returns a shorter schedule; the warm bookkeeping
+  // must describe the horizon the multipliers were actually solved for.
+  warm_horizon_ = solution.schedule.size();
   plan_ = std::move(solution.schedule);
   plan_time_ = tau;
   has_plan_ = true;
@@ -119,7 +140,8 @@ void FhcPlanner::plan(std::ptrdiff_t tau,
 }
 
 const model::SlotDecision& FhcPlanner::action(
-    std::size_t t, const workload::Predictor& predictor) {
+    std::size_t t, const workload::Predictor& predictor,
+    runtime::DeadlineToken* deadline, runtime::SupervisionLog* log) {
   MDO_REQUIRE(instance_ != nullptr, "FHC: reset() must be called first");
   // Most recent plan time tau <= t with tau ≡ offset (mod commit).
   const auto signed_t = static_cast<std::ptrdiff_t>(t);
@@ -129,12 +151,39 @@ const model::SlotDecision& FhcPlanner::action(
   const std::ptrdiff_t tau = signed_t - diff;
 
   if (!has_plan_ || plan_time_ != tau || resync_cache_.has_value()) {
-    plan(tau, predictor);
+    plan(tau, predictor, deadline, log);
   }
   const std::ptrdiff_t index = signed_t - plan_time_;
   MDO_CHECK(index >= 0 && index < static_cast<std::ptrdiff_t>(plan_.size()),
             "FHC: slot outside the current plan");
   return plan_[static_cast<std::size_t>(index)];
+}
+
+void FhcPlanner::save_state(util::BinaryWriter& w) const {
+  MDO_REQUIRE(instance_ != nullptr, "FHC: reset() must be called first");
+  w.i64(static_cast<std::int64_t>(plan_time_));
+  w.boolean(has_plan_);
+  runtime::write_schedule(w, plan_);
+  runtime::write_cache(w, trajectory_cache_);
+  w.boolean(resync_cache_.has_value());
+  if (resync_cache_.has_value()) runtime::write_cache(w, *resync_cache_);
+  w.f64_vec(warm_mu_);
+  w.size(warm_horizon_);
+  solver_.save_state(w);
+}
+
+void FhcPlanner::restore_state(util::BinaryReader& r) {
+  MDO_REQUIRE(instance_ != nullptr, "FHC: reset() must be called first");
+  const auto& config = instance_->config;
+  plan_time_ = static_cast<std::ptrdiff_t>(r.i64());
+  has_plan_ = r.boolean();
+  plan_ = runtime::read_schedule(r, config);
+  trajectory_cache_ = runtime::read_cache(r, config);
+  resync_cache_.reset();
+  if (r.boolean()) resync_cache_ = runtime::read_cache(r, config);
+  warm_mu_ = r.f64_vec();
+  warm_horizon_ = r.size();
+  solver_.restore_state(r);
 }
 
 ChcController::ChcController(std::size_t window, std::size_t commit,
@@ -186,7 +235,8 @@ model::SlotDecision ChcController::decide(const DecisionContext& ctx) {
   const double inv_r = 1.0 / static_cast<double>(commit_);
   for (auto& planner : planners_) {
     const model::SlotDecision& action =
-        planner.action(ctx.slot, *ctx.predictor);
+        planner.action(ctx.slot, *ctx.predictor, ctx.deadline,
+                       ctx.supervision);
     for (std::size_t n = 0; n < config.num_sbs(); ++n) {
       for (std::size_t k = 0; k < config.num_contents; ++k) {
         if (action.cache.cached(n, k)) fractional_x[n][k] += inv_r;
@@ -203,6 +253,19 @@ model::SlotDecision ChcController::decide(const DecisionContext& ctx) {
   decision.load = std::move(averaged_y);
   core::mask_load_by_cache(config, decision.cache, decision.load);
   return decision;
+}
+
+void ChcController::save_state(util::BinaryWriter& w) const {
+  MDO_REQUIRE(instance_ != nullptr, "CHC: reset() must be called first");
+  w.size(planners_.size());
+  for (const auto& planner : planners_) planner.save_state(w);
+}
+
+void ChcController::restore_state(util::BinaryReader& r) {
+  MDO_REQUIRE(instance_ != nullptr, "CHC: reset() must be called first");
+  MDO_REQUIRE(r.size() == planners_.size(),
+              "CHC snapshot: planner count mismatch");
+  for (auto& planner : planners_) planner.restore_state(r);
 }
 
 }  // namespace mdo::online

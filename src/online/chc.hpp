@@ -34,9 +34,13 @@ class FhcPlanner {
   void reset(const model::ProblemInstance& instance);
 
   /// The planner's action for slot t (plans lazily when t enters a new
-  /// commitment block).
+  /// commitment block). `deadline`/`log` (both optional) supervise the
+  /// plan's solve (see runtime/supervisor.hpp); with neither set the solve
+  /// is exactly the unsupervised one.
   const model::SlotDecision& action(std::size_t t,
-                                    const workload::Predictor& predictor);
+                                    const workload::Predictor& predictor,
+                                    runtime::DeadlineToken* deadline = nullptr,
+                                    runtime::SupervisionLog* log = nullptr);
 
   /// Executed-state resync (see Controller::resync): a wrapper substituted
   /// the decision actually executed at `slot`, so the variant's committed
@@ -44,8 +48,15 @@ class FhcPlanner {
   /// of the internal trajectory, dropping any cached plan.
   void resync(std::size_t slot, const model::CacheState& executed);
 
+  /// Snapshot = plan bookkeeping (current plan, its time, the committed
+  /// trajectory, a pending resync), the same-window warm multipliers, and
+  /// the solver's warm-start bank (Checkpointable contract).
+  void save_state(util::BinaryWriter& w) const;
+  void restore_state(util::BinaryReader& r);
+
  private:
-  void plan(std::ptrdiff_t tau, const workload::Predictor& predictor);
+  void plan(std::ptrdiff_t tau, const workload::Predictor& predictor,
+            runtime::DeadlineToken* deadline, runtime::SupervisionLog* log);
 
   std::size_t offset_;
   std::size_t window_;
@@ -86,6 +97,11 @@ class ChcController final : public Controller {
   /// Propagates the executed state to every staggered planner (fault-slot
   /// substitution; clean slots keep the paper's committed trajectories).
   void resync(std::size_t slot, const model::SlotDecision& executed) override;
+
+  /// Snapshot = every staggered planner's state, in planner order.
+  bool supports_checkpoint() const override { return true; }
+  void save_state(util::BinaryWriter& w) const override;
+  void restore_state(util::BinaryReader& r) override;
 
   std::size_t window() const { return window_; }
   std::size_t commit() const { return commit_; }

@@ -13,7 +13,14 @@
 
 #include "model/decision.hpp"
 #include "model/instance.hpp"
+#include "util/error.hpp"
+#include "util/serialize.hpp"
 #include "workload/predictor.hpp"
+
+namespace mdo::runtime {
+class DeadlineToken;
+struct SupervisionLog;
+}  // namespace mdo::runtime
 
 namespace mdo::online {
 
@@ -36,6 +43,16 @@ struct DecisionContext {
   const workload::Predictor* predictor = nullptr;     // forecasts from tau
   /// Per-slot degraded network view; nullptr means the instance config.
   const model::NetworkConfig* effective_config = nullptr;
+  /// Optional per-decision budget (runtime/deadline.hpp). Solver-backed
+  /// controllers thread it into Algorithm 1, which returns its best
+  /// feasible incumbent with SolveStatus::kDeadlineExpired on expiry
+  /// (anytime semantics). Null = unlimited; the decision path is then
+  /// bitwise-identical to the pre-deadline behavior.
+  runtime::DeadlineToken* deadline = nullptr;
+  /// Optional sink for supervision events (runtime/supervisor.hpp):
+  /// deadline expirations, solve failures, backoff retries. Null disables
+  /// supervised retries — plain solves only.
+  runtime::SupervisionLog* supervision = nullptr;
 
   bool has_demand() const {
     return true_demand != nullptr || true_demand_sparse != nullptr;
@@ -86,6 +103,22 @@ class Controller {
   /// to observe(), which is already an unconditional resync for RHC.
   virtual void resync(std::size_t slot, const model::SlotDecision& executed) {
     observe(slot, executed);
+  }
+
+  /// Checkpoint support (see runtime/checkpoint.hpp). A controller that
+  /// returns true here implements save_state()/restore_state() with the
+  /// Checkpointable contract: restoring a snapshot into a freshly reset()
+  /// controller makes every subsequent decide() bit-identical to the
+  /// original's. The checkpointing simulator rejects unsupported
+  /// controllers upfront rather than writing snapshots that cannot resume.
+  virtual bool supports_checkpoint() const { return false; }
+  virtual void save_state(util::BinaryWriter& w) const {
+    (void)w;
+    throw LogicError(name() + ": checkpointing not supported");
+  }
+  virtual void restore_state(util::BinaryReader& r) {
+    (void)r;
+    throw LogicError(name() + ": checkpointing not supported");
   }
 };
 

@@ -23,7 +23,8 @@ void FhcController::reset(const model::ProblemInstance& instance) {
 
 model::SlotDecision FhcController::decide(const DecisionContext& ctx) {
   MDO_REQUIRE(ctx.predictor != nullptr, "FHC needs a predictor");
-  return planner_.action(ctx.slot, *ctx.predictor);
+  return planner_.action(ctx.slot, *ctx.predictor, ctx.deadline,
+                         ctx.supervision);
 }
 
 void FhcController::resync(std::size_t slot,

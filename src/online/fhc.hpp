@@ -24,6 +24,15 @@ class FhcController final : public Controller {
   /// FhcPlanner::resync); clean slots keep the committed trajectory.
   void resync(std::size_t slot, const model::SlotDecision& executed) override;
 
+  /// Snapshot = the single planner's state (see FhcPlanner::save_state).
+  bool supports_checkpoint() const override { return true; }
+  void save_state(util::BinaryWriter& w) const override {
+    planner_.save_state(w);
+  }
+  void restore_state(util::BinaryReader& r) override {
+    planner_.restore_state(r);
+  }
+
  private:
   std::size_t window_;
   std::size_t commit_;

@@ -1,5 +1,7 @@
 #include "online/rhc.hpp"
 
+#include "runtime/checkpoint.hpp"
+#include "runtime/supervisor.hpp"
 #include "util/error.hpp"
 
 namespace mdo::online {
@@ -51,10 +53,28 @@ model::SlotDecision RhcController::decide(const DecisionContext& ctx) {
   // start was measured to converge slower than the marginal
   // re-initialization (see the header comment).
   solver_.advance_window(/*shift=*/1);
-  const auto solution = solver_.solve(problem);
+  // With no deadline and no supervision log this is exactly solver_.solve()
+  // — the clean path stays bit-identical to the unsupervised controller.
+  // RHC commits only the first action, so a truncated backoff retry may
+  // shrink the window down to a single slot.
+  const auto solution = runtime::supervised_solve(
+      solver_, problem, /*warm_mu=*/nullptr, ctx.deadline, {},
+      ctx.supervision, ctx.slot, /*min_horizon=*/1);
 
   trajectory_cache_ = solution.schedule.front().cache;
   return solution.schedule.front();
+}
+
+void RhcController::save_state(util::BinaryWriter& w) const {
+  MDO_REQUIRE(instance_ != nullptr, "RHC: reset() must be called first");
+  runtime::write_cache(w, trajectory_cache_);
+  solver_.save_state(w);
+}
+
+void RhcController::restore_state(util::BinaryReader& r) {
+  MDO_REQUIRE(instance_ != nullptr, "RHC: reset() must be called first");
+  trajectory_cache_ = runtime::read_cache(r, instance_->config);
+  solver_.restore_state(r);
 }
 
 void RhcController::observe(std::size_t /*slot*/,

@@ -34,6 +34,12 @@ class RhcController final : public Controller {
   /// trajectory follows the executed cache.
   void observe(std::size_t slot, const model::SlotDecision& executed) override;
 
+  /// Snapshot = trajectory cache + the solver's warm-start bank; restoring
+  /// both makes the next decide() bit-identical to an uninterrupted run.
+  bool supports_checkpoint() const override { return true; }
+  void save_state(util::BinaryWriter& w) const override;
+  void restore_state(util::BinaryReader& r) override;
+
   std::size_t window() const { return window_; }
 
  private:

@@ -5,6 +5,8 @@
 #include <numeric>
 
 #include "linalg/vec.hpp"
+#include "runtime/checkpoint.hpp"
+#include "runtime/deadline.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
@@ -199,11 +201,39 @@ model::SlotDecision RobustController::decide_guarded(
   // ---- Level 0: the wrapped controller's own solve.
   if (demand_ok) {
     try {
+      // Per-slot budget. The caller's token wins; otherwise build one from
+      // the options (logical checks preferred — they are deterministic).
+      runtime::DeadlineToken local_token;
+      runtime::DeadlineToken* token = ctx.deadline;
+      if (token == nullptr) {
+        if (options_.max_decide_checks > 0) {
+          local_token =
+              runtime::DeadlineToken::after_checks(options_.max_decide_checks);
+          token = &local_token;
+        } else if (options_.max_decide_seconds > 0.0) {
+          local_token =
+              runtime::DeadlineToken::after_seconds(options_.max_decide_seconds);
+          token = &local_token;
+        }
+      }
+      DecisionContext inner_ctx = ctx;
+      inner_ctx.deadline = token;
+
       const Stopwatch watch;
-      model::SlotDecision decision = inner_->decide(ctx);
+      model::SlotDecision decision = inner_->decide(inner_ctx);
       const double elapsed = watch.elapsed_seconds();
-      if (options_.max_decide_seconds > 0.0 &&
+      // Anytime-accept: a deadline-aware inner polled the token until it
+      // expired and returned its best feasible incumbent — serve that
+      // (recording the expiry) instead of discarding a usable decision.
+      const bool anytime = token != nullptr && token->expired();
+      if (anytime) {
+        slot_kinds_.push_back(DegradationKind::kDeadlineExceeded);
+        slot_details_.push_back("budget expired; serving anytime incumbent");
+      }
+      if (!anytime && options_.max_decide_seconds > 0.0 &&
           elapsed > options_.max_decide_seconds) {
+        // The inner controller ignored the token (legacy / non-solver
+        // controllers): the late result is discarded, level 1 serves.
         slot_kinds_.push_back(DegradationKind::kDeadlineExceeded);
         slot_details_.push_back("decide() took " + std::to_string(elapsed) +
                                 "s");
@@ -288,6 +318,51 @@ model::SlotDecision RobustController::finish(std::size_t slot,
   last_executed_ = decision;
   have_last_ = true;
   return decision;
+}
+
+void RobustController::save_state(util::BinaryWriter& w) const {
+  MDO_REQUIRE(instance_ != nullptr, "Robust: reset() must be called first");
+  w.boolean(have_last_);
+  if (have_last_) runtime::write_decision(w, last_executed_);
+  w.boolean(last_substituted_);
+  for (const std::size_t count : level_counts_) w.size(count);
+  w.size(events_.size());
+  for (const DegradationEvent& event : events_) {
+    w.size(event.slot);
+    w.u8(static_cast<std::uint8_t>(event.level));
+    w.u8(static_cast<std::uint8_t>(event.kind));
+    w.str(event.detail);
+  }
+  inner_->save_state(w);
+}
+
+void RobustController::restore_state(util::BinaryReader& r) {
+  MDO_REQUIRE(instance_ != nullptr, "Robust: reset() must be called first");
+  have_last_ = r.boolean();
+  last_executed_ = have_last_ ? runtime::read_decision(r, instance_->config)
+                              : model::SlotDecision{};
+  last_substituted_ = r.boolean();
+  for (std::size_t& count : level_counts_) count = r.size();
+  events_.clear();
+  const std::size_t num_events = r.size();
+  events_.reserve(num_events);
+  for (std::size_t i = 0; i < num_events; ++i) {
+    DegradationEvent event;
+    event.slot = r.size();
+    const std::uint8_t level = r.u8();
+    MDO_REQUIRE(level <= 2, "Robust snapshot: bad fallback level");
+    event.level = static_cast<FallbackLevel>(level);
+    const std::uint8_t kind = r.u8();
+    MDO_REQUIRE(kind <=
+                    static_cast<std::uint8_t>(DegradationKind::kOutageEviction),
+                "Robust snapshot: bad degradation kind");
+    event.kind = static_cast<DegradationKind>(kind);
+    event.detail = r.str();
+    events_.push_back(std::move(event));
+  }
+  slot_kinds_.clear();
+  slot_details_.clear();
+  inner_->restore_state(r);
 }
 
 }  // namespace mdo::online

@@ -73,10 +73,20 @@ struct DegradationEvent {
 };
 
 struct RobustControllerOptions {
-  /// Per-slot wall-clock budget for the wrapped decide(); 0 disables the
-  /// deadline (the default — time-based fallbacks are not deterministic).
-  /// An overrun discards the late result and serves the slot from level 1.
+  /// Per-slot wall-clock budget for the wrapped decide(); 0 disables it
+  /// (the default — wall-clock fallbacks are not deterministic). When no
+  /// caller token is present the wrapper builds a wall-clock DeadlineToken
+  /// from this budget and hands it to the wrapped controller. A deadline-
+  /// aware inner then returns its best feasible anytime incumbent, which is
+  /// *served* (with a kDeadlineExceeded event) rather than discarded; only
+  /// an inner that ignored the token and overran the budget is discarded
+  /// and the slot served from level 1.
   double max_decide_seconds = 0.0;
+  /// Logical per-slot budget: the wrapped solve may spend this many dual
+  /// iterations (DeadlineToken::after_checks). 0 disables it. Deterministic
+  /// and thread-invariant — preferred over the wall clock for reproducible
+  /// degradation experiments; when both are set, checks win.
+  std::size_t max_decide_checks = 0;
 };
 
 class RobustController final : public Controller {
@@ -104,6 +114,15 @@ class RobustController final : public Controller {
   const std::array<std::size_t, 3>& level_counts() const {
     return level_counts_;
   }
+
+  /// Snapshot = warm-reuse state + degradation history + the wrapped
+  /// controller's own snapshot; supported iff the wrapped controller
+  /// supports checkpointing.
+  bool supports_checkpoint() const override {
+    return inner_->supports_checkpoint();
+  }
+  void save_state(util::BinaryWriter& w) const override;
+  void restore_state(util::BinaryReader& r) override;
 
  private:
   model::SlotDecision decide_guarded(const DecisionContext& ctx);

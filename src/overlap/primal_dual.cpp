@@ -50,7 +50,8 @@ OverlapPrimalDualSolver::OverlapPrimalDualSolver(
 }
 
 OverlapHorizonSolution OverlapPrimalDualSolver::solve(
-    const OverlapHorizonProblem& problem, const linalg::Vec* warm_mu) {
+    const OverlapHorizonProblem& problem, const linalg::Vec* warm_mu,
+    runtime::DeadlineToken* deadline) {
   problem.validate();
   const auto& config = *problem.config;
   const auto& layout = *problem.layout;
@@ -134,8 +135,16 @@ OverlapHorizonSolution OverlapPrimalDualSolver::solve(
     ss.repair.bind(config, layout, problem.demand[t]);
   });
 
+  bool deadline_expired = false;
   for (std::size_t iteration = 0; iteration < options_.max_iterations;
        ++iteration) {
+    // ---- Deadline poll at the serial point of the loop, only after the
+    // first iteration completed (a feasible incumbent then exists) — same
+    // placement and semantics as core::PrimalDualSolver.
+    if (iteration > 0 && deadline != nullptr && deadline->poll()) {
+      deadline_expired = true;
+      break;
+    }
     // ---- P1 per SBS (unchanged caching structure; reuse the flow solver).
     // Independent per SBS: fan out, then reduce serially in SBS order so the
     // objective is bit-identical at any thread count.
@@ -229,6 +238,10 @@ OverlapHorizonSolution OverlapPrimalDualSolver::solve(
   }
 
   best.mu = std::move(mu);
+  best.status = best.gap() <= options_.epsilon
+                    ? solver::SolveStatus::kConverged
+                : deadline_expired ? solver::SolveStatus::kDeadlineExpired
+                                   : solver::SolveStatus::kIterationLimit;
   MDO_CHECK(!best.schedule.empty(), "overlap primal-dual: no schedule");
   return best;
 }

@@ -9,6 +9,8 @@
 #pragma once
 
 #include "overlap/p2.hpp"
+#include "runtime/deadline.hpp"
+#include "solver/status.hpp"
 
 namespace mdo::overlap {
 
@@ -48,6 +50,10 @@ struct OverlapHorizonSolution {
   double lower_bound = 0.0;
   std::size_t iterations = 0;
   linalg::Vec mu;  // slot-major, then (link, content)
+  /// kDeadlineExpired means the decision budget ran out: the schedule is
+  /// the best feasible repaired incumbent found before expiry (anytime
+  /// semantics), mirroring core::HorizonSolution::status.
+  solver::SolveStatus status = solver::SolveStatus::kConverged;
 
   double gap() const;
 };
@@ -58,8 +64,13 @@ class OverlapPrimalDualSolver {
 
   /// Non-const: the solver keeps the per-slot P2 workspace bank between
   /// calls (see OverlapPrimalDualOptions::reuse_workspaces).
+  ///
+  /// `deadline` is polled once per dual iteration after the first one
+  /// completes; on expiry the best feasible incumbent is returned with
+  /// status kDeadlineExpired (see core::PrimalDualSolver::solve).
   OverlapHorizonSolution solve(const OverlapHorizonProblem& problem,
-                               const linalg::Vec* warm_mu = nullptr);
+                               const linalg::Vec* warm_mu = nullptr,
+                               runtime::DeadlineToken* deadline = nullptr);
 
  private:
   struct SlotState {

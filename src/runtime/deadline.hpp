@@ -1,0 +1,101 @@
+// Per-decision deadline budgets for anytime solving.
+//
+// The online controllers must commit a decision every slot, but Algorithm 1's
+// dual loop has an iteration cap, not a time budget. A DeadlineToken carries
+// that budget: the solvers poll it once per dual iteration (a serial point in
+// the outer loop, so poll counts are identical at every thread count) and,
+// on expiry, return their best feasible incumbent with
+// SolveStatus::kDeadlineExpired instead of running the loop to the cap.
+//
+// Three modes:
+//  - unlimited (default): poll() never reads the clock and always passes —
+//    a default-constructed token on the hot path costs one branch, keeping
+//    the no-deadline configuration bitwise-transparent.
+//  - wall-clock (after_seconds): monotonic steady_clock budget, for
+//    production latency targets. Overshoot is bounded by one dual iteration
+//    because that is the polling granularity.
+//  - logical (after_checks): expires after a fixed number of polls. Poll
+//    counts are thread-invariant, so this mode makes deadline behavior —
+//    and every degradation event downstream of it — reproducible across
+//    MDO_THREADS settings; the determinism tests and the kill/resume matrix
+//    rely on it.
+//
+// Tokens are single-threaded by contract: only the serial outer loop polls.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mdo::runtime {
+
+class DeadlineToken {
+ public:
+  /// Unlimited budget: poll() always passes without reading the clock.
+  DeadlineToken() = default;
+
+  /// Wall-clock budget starting now. Non-positive seconds are treated as
+  /// already expired (the first poll fails).
+  static DeadlineToken after_seconds(double seconds) {
+    DeadlineToken token;
+    token.mode_ = Mode::kWallClock;
+    token.deadline_ =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(
+                               seconds > 0.0 ? seconds : 0.0));
+    return token;
+  }
+
+  /// Logical budget: the first `checks` polls pass, every later poll
+  /// reports expiry. With per-iteration polling this admits exactly
+  /// `checks + 1` dual iterations (the solver completes one iteration
+  /// before its first poll so an incumbent always exists).
+  static DeadlineToken after_checks(std::uint64_t checks) {
+    DeadlineToken token;
+    token.mode_ = Mode::kChecks;
+    token.checks_ = checks;
+    return token;
+  }
+
+  static DeadlineToken unlimited() { return DeadlineToken{}; }
+
+  /// Whether this token can ever expire.
+  bool active() const { return mode_ != Mode::kUnlimited; }
+
+  /// Consuming check — call once per dual iteration. Returns true once the
+  /// budget is exhausted; the result is sticky (every later poll also
+  /// reports expiry).
+  bool poll() {
+    switch (mode_) {
+      case Mode::kUnlimited:
+        return false;
+      case Mode::kWallClock:
+        if (!expired_ && Clock::now() >= deadline_) expired_ = true;
+        return expired_;
+      case Mode::kChecks:
+        if (polls_ < checks_) {
+          ++polls_;
+          return false;
+        }
+        expired_ = true;
+        return true;
+    }
+    return false;
+  }
+
+  /// Non-consuming: has poll() reported expiry? (Never reads the clock, so
+  /// callers can inspect the outcome of a solve without consuming budget.)
+  bool expired() const { return expired_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  enum class Mode { kUnlimited, kWallClock, kChecks };
+
+  Mode mode_ = Mode::kUnlimited;
+  Clock::time_point deadline_{};
+  std::uint64_t checks_ = 0;
+  std::uint64_t polls_ = 0;
+  bool expired_ = false;
+};
+
+}  // namespace mdo::runtime

@@ -1,0 +1,145 @@
+#include "runtime/supervisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace mdo::runtime {
+
+namespace {
+
+/// Window prefix of `problem` with the first `horizon` slots — the
+/// truncated subproblem of a backoff retry.
+core::HorizonProblem truncate_problem(const core::HorizonProblem& problem,
+                                      std::size_t horizon) {
+  core::HorizonProblem out;
+  out.config = problem.config;
+  out.use_sparse_demand = problem.use_sparse_demand;
+  out.initial_cache = problem.initial_cache;
+  for (std::size_t t = 0; t < horizon; ++t) {
+    if (problem.use_sparse_demand) {
+      out.sparse_demand.push_back(problem.sparse_demand.slot(t));
+    } else {
+      out.demand.push_back(problem.demand.slot(t));
+    }
+  }
+  return out;
+}
+
+bool usable(const core::HorizonSolution& solution) {
+  return solution.status != solver::SolveStatus::kNonFiniteInput &&
+         std::isfinite(solution.upper_bound);
+}
+
+}  // namespace
+
+void SupervisionLog::record(SupervisionEvent event) {
+  switch (event.kind) {
+    case SupervisionEventKind::kDeadlineExpired: ++deadline_expirations; break;
+    case SupervisionEventKind::kSolveFailure: ++solve_failures; break;
+    case SupervisionEventKind::kRetry: ++retries; break;
+    case SupervisionEventKind::kRecovered: ++recoveries; break;
+    case SupervisionEventKind::kExhausted: break;
+  }
+  events.push_back(event);
+}
+
+void SupervisionLog::clear() {
+  events.clear();
+  deadline_expirations = 0;
+  solve_failures = 0;
+  retries = 0;
+  recoveries = 0;
+}
+
+core::HorizonSolution supervised_solve(core::PrimalDualSolver& solver,
+                                       const core::HorizonProblem& problem,
+                                       const linalg::Vec* warm_mu,
+                                       DeadlineToken* deadline,
+                                       const SupervisionOptions& options,
+                                       SupervisionLog* log, std::size_t slot,
+                                       std::size_t min_horizon) {
+  core::HorizonSolution primary = solver.solve(problem, warm_mu, deadline);
+
+  auto record = [&](SupervisionEventKind kind, std::size_t attempt,
+                    std::size_t horizon, const core::HorizonSolution& sol) {
+    if (log == nullptr) return;
+    SupervisionEvent event;
+    event.slot = slot;
+    event.kind = kind;
+    event.attempt = attempt;
+    event.horizon = horizon;
+    event.status = sol.status;
+    event.gap = sol.gap();
+    log->record(event);
+  };
+
+  if (primary.status == solver::SolveStatus::kDeadlineExpired &&
+      usable(primary)) {
+    // Anytime semantics: the incumbent is the best bounded-latency answer a
+    // retry could not improve within an already-expired budget. Log & serve.
+    record(SupervisionEventKind::kDeadlineExpired, 0, problem.horizon(),
+           primary);
+    return primary;
+  }
+  if (usable(primary)) return primary;  // clean path: exactly one solve
+
+  record(SupervisionEventKind::kSolveFailure, 0, problem.horizon(), primary);
+  // Unsupervised callers (no log) keep the legacy single-solve behavior:
+  // the safe fallback schedule is returned and the controller's own
+  // degradation path handles it — no new code runs.
+  if (log == nullptr) return primary;
+
+  const std::size_t full_horizon = problem.horizon();
+  const std::size_t floor_horizon =
+      std::min(std::max<std::size_t>(min_horizon, 1), full_horizon);
+  std::size_t prev_horizon = full_horizon;
+  for (std::size_t attempt = 1; attempt <= options.max_retries; ++attempt) {
+    std::size_t horizon = full_horizon;
+    if (options.halve_horizon) {
+      horizon = std::max(floor_horizon, full_horizon >> attempt);
+    }
+    if (horizon == prev_horizon && attempt > 1) {
+      // The window cannot shrink further; re-solving the identical poisoned
+      // prefix would fail identically.
+      break;
+    }
+    prev_horizon = horizon;
+
+    // Retries run on a throwaway solver so a degraded attempt never
+    // perturbs the persistent warm-start bank (which is checkpointed and
+    // must stay bit-identical to the clean trajectory).
+    core::PrimalDualOptions relaxed = solver.options();
+    relaxed.epsilon *= std::pow(options.tolerance_relax,
+                                static_cast<double>(attempt));
+    core::PrimalDualSolver retry_solver(relaxed);
+
+    const core::HorizonProblem truncated =
+        horizon == full_horizon ? core::HorizonProblem{}
+                                : truncate_problem(problem, horizon);
+    const core::HorizonProblem& attempt_problem =
+        horizon == full_horizon ? problem : truncated;
+
+    core::HorizonSolution retry =
+        retry_solver.solve(attempt_problem, nullptr, deadline);
+    record(SupervisionEventKind::kRetry, attempt, horizon, retry);
+    if (usable(retry)) {
+      record(SupervisionEventKind::kRecovered, attempt, horizon, retry);
+      MDO_TRACE("supervisor: slot " << slot << " recovered at attempt "
+                                    << attempt << " (horizon " << horizon
+                                    << ")");
+      return retry;
+    }
+  }
+
+  record(SupervisionEventKind::kExhausted, options.max_retries, prev_horizon,
+         primary);
+  MDO_WARN("supervisor: slot " << slot
+                               << " exhausted retries; serving the safe "
+                                  "fallback schedule");
+  return primary;
+}
+
+}  // namespace mdo::runtime

@@ -48,7 +48,9 @@ std::vector<SchemeOutcome> run_schemes(const ExperimentConfig& config) {
       }
       break;
   }
-  const Simulator simulator(instance, *predictor);
+  SimulatorOptions simulator_options;
+  simulator_options.checkpoint_every = config.checkpoint_every;
+  simulator_options.resume = config.resume;
 
   std::vector<std::unique_ptr<online::Controller>> controllers;
   if (config.schemes.offline) {
@@ -87,6 +89,13 @@ std::vector<SchemeOutcome> run_schemes(const ExperimentConfig& config) {
   std::vector<SchemeOutcome> outcomes;
   outcomes.reserve(controllers.size());
   for (auto& controller : controllers) {
+    SimulatorOptions scheme_options = simulator_options;
+    if (!config.checkpoint_dir.empty() && controller->supports_checkpoint()) {
+      scheme_options.checkpoint_path =
+          config.checkpoint_dir + "/" +
+          checkpoint_file_name(controller->name());
+    }
+    const Simulator simulator(instance, *predictor, scheme_options);
     Stopwatch watch;
     const SimulationResult result = simulator.run(*controller);
     MDO_INFO(result.controller << ": cost " << result.total_cost() << " in "
@@ -100,6 +109,19 @@ std::vector<SchemeOutcome> run_schemes(const ExperimentConfig& config) {
     outcomes.push_back(outcome);
   }
   return outcomes;
+}
+
+std::string checkpoint_file_name(const std::string& scheme_name) {
+  std::string file;
+  file.reserve(scheme_name.size() + 5);
+  for (const char c : scheme_name) {
+    const bool keep = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                      c == '-';
+    file.push_back(keep ? c : '_');
+  }
+  file += ".ckpt";
+  return file;
 }
 
 const SchemeOutcome& find_outcome(const std::vector<SchemeOutcome>& outcomes,

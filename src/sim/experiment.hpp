@@ -48,7 +48,21 @@ struct ExperimentConfig {
   std::size_t commit = 5;            // r for CHC (AFHC uses r = w)
   core::PrimalDualOptions primal_dual{};
   SchemeSelection schemes{};
+
+  /// Crash-consistent checkpointing (runtime/checkpoint.hpp): when
+  /// non-empty, every scheme that supports checkpointing writes its run
+  /// snapshot to `<checkpoint_dir>/<sanitized scheme name>.ckpt` every
+  /// `checkpoint_every` slots, and `resume` picks up an interrupted sweep
+  /// where it crashed. Schemes without checkpoint support (the stateless
+  /// baselines) simply run uncheckpointed.
+  std::string checkpoint_dir;
+  std::size_t checkpoint_every = 25;
+  bool resume = false;
 };
+
+/// The checkpoint file name used for a scheme: the display name with every
+/// character outside [A-Za-z0-9._-] replaced by '_', plus ".ckpt".
+std::string checkpoint_file_name(const std::string& scheme_name);
 
 /// One scheme's totals over a run.
 struct SchemeOutcome {

@@ -1,8 +1,12 @@
 #include "sim/simulator.hpp"
 
 #include <sstream>
+#include <utility>
 
 #include "model/feasibility.hpp"
+#include "runtime/checkpoint.hpp"
+#include "runtime/deadline.hpp"
+#include "runtime/supervisor.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
@@ -37,19 +41,33 @@ Simulator::Simulator(const model::ProblemInstance& instance,
 
 SimulationResult Simulator::run(online::Controller& controller) const {
   const auto& config = instance_->config;
+  const bool checkpointing = !options_.checkpoint_path.empty();
+  if (checkpointing) {
+    MDO_REQUIRE(options_.checkpoint_every >= 1,
+                "checkpoint cadence must be >= 1");
+    MDO_REQUIRE(controller.supports_checkpoint(),
+                controller.name() + " does not support checkpointing");
+  }
   controller.reset(*instance_);
 
   SimulationResult result;
   result.controller = controller.name();
   result.slots.reserve(instance_->horizon());
   if (options_.faults != nullptr) {
+    // plan() is deterministic in (config, horizon, num_sbs), so a resumed
+    // run regenerates the identical fault plan — it is not checkpointed.
     result.fault_plan =
         options_.faults->plan(instance_->horizon(), config.num_sbs());
   }
 
   model::CacheState previous = instance_->initial_cache;
+  std::size_t start_slot = 0;
+  if (checkpointing && options_.resume) {
+    start_slot = try_resume(controller, result, previous);
+  }
+
   const model::DemandTraceView trace = instance_->demand_view();
-  for (std::size_t t = 0; t < instance_->horizon(); ++t) {
+  for (std::size_t t = start_slot; t < instance_->horizon(); ++t) {
     const model::SlotDemandView truth = trace.slot(t);
     online::DecisionContext ctx;
     ctx.slot = t;
@@ -59,6 +77,19 @@ SimulationResult Simulator::run(online::Controller& controller) const {
       ctx.true_demand = truth.dense();
     }
     ctx.predictor = predictor_;
+    // Fresh per-slot budget token; an unlimited token is not passed at all
+    // so the no-budget path stays bitwise-identical to the pre-deadline
+    // behavior.
+    runtime::DeadlineToken budget;
+    if (options_.decision_budget_checks > 0) {
+      budget = runtime::DeadlineToken::after_checks(
+          options_.decision_budget_checks);
+    } else if (options_.decision_budget_seconds > 0.0) {
+      budget = runtime::DeadlineToken::after_seconds(
+          options_.decision_budget_seconds);
+    }
+    if (budget.active()) ctx.deadline = &budget;
+    ctx.supervision = options_.supervision;
 
     // Under fault injection the controller sees the observed world; the
     // truth below is still what gets accounted. The perturbation operates
@@ -114,11 +145,162 @@ SimulationResult Simulator::run(online::Controller& controller) const {
     previous = decision.cache;
     controller.observe(t, decision);
     if (options_.record_schedule) result.schedule.push_back(std::move(decision));
+
+    if (checkpointing && (t + 1) % options_.checkpoint_every == 0) {
+      write_checkpoint(controller, result, previous);
+    }
+    // Crash emulation: stop WITHOUT flushing — resume must replay from the
+    // last cadence checkpoint and still land bit-identical.
+    if (t >= options_.halt_after_slot) break;
   }
   MDO_DEBUG(result.controller << ": total cost " << result.total_cost()
                               << ", replacements "
                               << result.total_replacements);
   return result;
+}
+
+namespace {
+
+void write_supervision(util::BinaryWriter& w,
+                       const runtime::SupervisionLog& log) {
+  w.size(log.deadline_expirations);
+  w.size(log.solve_failures);
+  w.size(log.retries);
+  w.size(log.recoveries);
+  w.size(log.events.size());
+  for (const runtime::SupervisionEvent& event : log.events) {
+    w.size(event.slot);
+    w.u8(static_cast<std::uint8_t>(event.kind));
+    w.size(event.attempt);
+    w.size(event.horizon);
+    w.u8(static_cast<std::uint8_t>(event.status));
+    w.f64(event.gap);
+  }
+}
+
+void read_supervision(util::BinaryReader& r, runtime::SupervisionLog& log) {
+  log.clear();
+  log.deadline_expirations = r.size();
+  log.solve_failures = r.size();
+  log.retries = r.size();
+  log.recoveries = r.size();
+  const std::size_t num_events = r.size();
+  log.events.reserve(num_events);
+  for (std::size_t i = 0; i < num_events; ++i) {
+    runtime::SupervisionEvent event;
+    event.slot = r.size();
+    event.kind = static_cast<runtime::SupervisionEventKind>(r.u8());
+    event.attempt = r.size();
+    event.horizon = r.size();
+    event.status = static_cast<solver::SolveStatus>(r.u8());
+    event.gap = r.f64();
+    log.events.push_back(event);
+  }
+}
+
+}  // namespace
+
+void Simulator::write_checkpoint(const online::Controller& controller,
+                                 const SimulationResult& result,
+                                 const model::CacheState& previous) const {
+  util::BinaryWriter w;
+  w.str(result.controller);
+  w.size(instance_->horizon());
+  w.size(result.slots.size());  // slots executed so far = next slot index
+  w.boolean(options_.record_schedule);
+  runtime::write_cache(w, previous);
+  for (const SlotRecord& record : result.slots) {
+    w.f64(record.cost.bs);
+    w.f64(record.cost.sbs);
+    w.f64(record.cost.replacement);
+    w.size(record.replacements);
+    w.f64(record.demand_total);
+    w.f64(record.sbs_served);
+    w.f64(record.decision_seconds);
+  }
+  w.f64(result.total.bs);
+  w.f64(result.total.sbs);
+  w.f64(result.total.replacement);
+  w.size(result.total_replacements);
+  if (options_.record_schedule) runtime::write_schedule(w, result.schedule);
+  const bool has_supervision = options_.supervision != nullptr;
+  w.boolean(has_supervision);
+  if (has_supervision) write_supervision(w, *options_.supervision);
+  predictor_->save_state(w);
+  controller.save_state(w);
+  runtime::write_checkpoint_file(options_.checkpoint_path, w.take());
+}
+
+std::size_t Simulator::try_resume(online::Controller& controller,
+                                  SimulationResult& result,
+                                  model::CacheState& previous) const {
+  std::vector<std::uint8_t> payload;
+  try {
+    payload = runtime::read_checkpoint_file(options_.checkpoint_path);
+  } catch (const std::exception& e) {
+    // Missing or damaged snapshot: cold start (the documented fallback).
+    MDO_WARN("checkpoint resume fell back to a cold start: " << e.what());
+    return 0;
+  }
+  try {
+    util::BinaryReader r(payload);
+    const std::string controller_name = r.str();
+    MDO_REQUIRE(controller_name == result.controller,
+                "checkpoint belongs to controller '" + controller_name +
+                    "', not '" + result.controller + "'");
+    MDO_REQUIRE(r.size() == instance_->horizon(),
+                "checkpoint horizon mismatch");
+    const std::size_t next_slot = r.size();
+    MDO_REQUIRE(next_slot <= instance_->horizon(),
+                "checkpoint slot beyond the horizon");
+    MDO_REQUIRE(r.boolean() == options_.record_schedule,
+                "checkpoint schedule-recording mismatch");
+    previous = runtime::read_cache(r, instance_->config);
+    result.slots.clear();
+    result.slots.reserve(instance_->horizon());
+    for (std::size_t i = 0; i < next_slot; ++i) {
+      SlotRecord record;
+      record.cost.bs = r.f64();
+      record.cost.sbs = r.f64();
+      record.cost.replacement = r.f64();
+      record.replacements = r.size();
+      record.demand_total = r.f64();
+      record.sbs_served = r.f64();
+      record.decision_seconds = r.f64();
+      result.slots.push_back(record);
+    }
+    result.total = {};
+    result.total.bs = r.f64();
+    result.total.sbs = r.f64();
+    result.total.replacement = r.f64();
+    result.total_replacements = r.size();
+    if (options_.record_schedule) {
+      result.schedule = runtime::read_schedule(r, instance_->config);
+      MDO_REQUIRE(result.schedule.size() == next_slot,
+                  "checkpoint schedule length mismatch");
+    }
+    const bool has_supervision = r.boolean();
+    MDO_REQUIRE(has_supervision == (options_.supervision != nullptr),
+                "checkpoint supervision-log mismatch");
+    if (has_supervision) read_supervision(r, *options_.supervision);
+    predictor_->restore_state(r);
+    controller.restore_state(r);
+    MDO_REQUIRE(r.exhausted(), "checkpoint payload has trailing bytes");
+    return next_slot;
+  } catch (const std::exception& e) {
+    // A verified file whose payload still fails validation (wrong instance,
+    // wrong run shape): the controller may be half-restored — reset it and
+    // start cold.
+    MDO_WARN("checkpoint restore failed, cold start: " << e.what());
+    controller.reset(*instance_);
+    result.slots.clear();
+    result.schedule.clear();
+    result.total = {};
+    result.total_replacements = 0;
+    if (options_.supervision != nullptr) options_.supervision->clear();
+    previous = instance_->initial_cache;
+    return 0;
+  }
 }
 
 }  // namespace mdo::sim

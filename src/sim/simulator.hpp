@@ -9,6 +9,7 @@
 // and the true cost (9) is accounted.
 #pragma once
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,10 @@
 #include "online/controller.hpp"
 #include "sim/fault_injector.hpp"
 #include "workload/predictor.hpp"
+
+namespace mdo::runtime {
+struct SupervisionLog;
+}  // namespace mdo::runtime
 
 namespace mdo::sim {
 
@@ -64,6 +69,38 @@ struct SimulatorOptions {
   /// Record every executed decision in SimulationResult::schedule (memory
   /// proportional to horizon x decision size).
   bool record_schedule = false;
+
+  // ---- Per-decision deadline budget (runtime/deadline.hpp). -------------
+  /// Wall-clock budget per decide(); 0 disables. The simulator builds a
+  /// fresh DeadlineToken each slot and threads it through DecisionContext;
+  /// deadline-aware controllers return their best feasible anytime
+  /// incumbent on expiry.
+  double decision_budget_seconds = 0.0;
+  /// Logical budget: dual iterations per decide() (deterministic and
+  /// thread-invariant; wins over the wall clock when both are set).
+  std::size_t decision_budget_checks = 0;
+  /// Optional sink for supervision events (not owned; must outlive the
+  /// simulator). Also enables the supervised backoff retries inside
+  /// solver-backed controllers (see runtime/supervisor.hpp).
+  runtime::SupervisionLog* supervision = nullptr;
+
+  // ---- Crash-consistent checkpointing (runtime/checkpoint.hpp). ---------
+  /// When non-empty, a snapshot of the whole run state (accumulated
+  /// records, executed cache, predictor and controller state) is written
+  /// atomically to this path every `checkpoint_every` executed slots. The
+  /// controller must support checkpointing (run() rejects it upfront
+  /// otherwise).
+  std::string checkpoint_path;
+  std::size_t checkpoint_every = 1;
+  /// Resume from checkpoint_path when a valid snapshot exists there; a
+  /// missing, truncated or corrupt file falls back to a cold start. The
+  /// resumed run's final result is bit-identical to an uninterrupted run
+  /// (decision wall-times excepted — they are measurements, not state).
+  bool resume = false;
+  /// Stop after executing this slot index (inclusive), *without* flushing a
+  /// final checkpoint — emulates a crash at a precise slot boundary for the
+  /// kill/resume tests. max() = run to the horizon.
+  std::size_t halt_after_slot = std::numeric_limits<std::size_t>::max();
 };
 
 class Simulator {
@@ -73,10 +110,20 @@ class Simulator {
             const workload::Predictor& predictor,
             SimulatorOptions options = {});
 
-  /// Resets the controller and plays the whole horizon.
+  /// Resets the controller and plays the whole horizon (or resumes from a
+  /// checkpoint / halts early — see SimulatorOptions).
   SimulationResult run(online::Controller& controller) const;
 
  private:
+  void write_checkpoint(const online::Controller& controller,
+                        const SimulationResult& result,
+                        const model::CacheState& previous) const;
+  /// Restores run state from options_.checkpoint_path; returns the slot to
+  /// resume at (0 = cold start, with the controller freshly reset).
+  std::size_t try_resume(online::Controller& controller,
+                         SimulationResult& result,
+                         model::CacheState& previous) const;
+
   const model::ProblemInstance* instance_;
   const workload::Predictor* predictor_;
   SimulatorOptions options_;

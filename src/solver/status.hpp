@@ -15,6 +15,8 @@ enum class SolveStatus {
   kIterationLimit,  // budget exhausted; result is the best feasible iterate
   kInfeasible,      // no feasible point exists for the model
   kNonFiniteInput,  // NaN/Inf detected in the inputs; result is a safe default
+  kDeadlineExpired,  // decision budget ran out; result is the best feasible
+                     // incumbent found so far (anytime semantics)
 };
 
 constexpr const char* to_string(SolveStatus status) {
@@ -23,6 +25,7 @@ constexpr const char* to_string(SolveStatus status) {
     case SolveStatus::kIterationLimit: return "iteration_limit";
     case SolveStatus::kInfeasible: return "infeasible";
     case SolveStatus::kNonFiniteInput: return "non_finite_input";
+    case SolveStatus::kDeadlineExpired: return "deadline_expired";
   }
   return "?";
 }

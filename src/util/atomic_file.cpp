@@ -1,0 +1,47 @@
+#include "util/atomic_file.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ios>
+
+#include "util/error.hpp"
+
+namespace mdo::util {
+
+void write_file_atomic(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    MDO_REQUIRE(static_cast<bool>(file),
+                "cannot open temporary file: " + tmp);
+    if (!bytes.empty()) {
+      file.write(reinterpret_cast<const char*>(bytes.data()),
+                 static_cast<std::streamsize>(bytes.size()));
+    }
+    file.flush();
+    if (!file) {
+      std::remove(tmp.c_str());
+      throw InvalidArgument("stream failure while writing " + tmp +
+                            " (disk full?)");
+    }
+  }
+  // Atomic within a directory on POSIX: a crash before this point leaves
+  // the old file intact; after it, the new file is complete.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw InvalidArgument("cannot rename " + tmp + " over " + path);
+  }
+}
+
+std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  MDO_REQUIRE(static_cast<bool>(file), "cannot open file: " + path);
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(file)), std::istreambuf_iterator<char>());
+  MDO_REQUIRE(file.eof() || static_cast<bool>(file),
+              "stream failure while reading " + path);
+  return bytes;
+}
+
+}  // namespace mdo::util

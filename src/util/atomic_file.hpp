@@ -1,0 +1,28 @@
+// Crash-consistent file replacement.
+//
+// Checkpoints must never leave a half-written snapshot where the previous
+// good one used to be: a crash mid-write would then destroy both the new
+// and the old state. write_file_atomic() therefore writes to a sibling
+// temporary (`<path>.tmp`), flushes it, and only then renames it over the
+// target — rename(2) within one directory is atomic on POSIX, so readers
+// observe either the complete old file or the complete new file, never a
+// torn mixture.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mdo::util {
+
+/// Atomically replaces `path` with `bytes`. Throws InvalidArgument when the
+/// temporary cannot be opened, written, flushed, or renamed; in every
+/// failure case any previous file at `path` is left untouched.
+void write_file_atomic(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes);
+
+/// Reads a whole file written by write_file_atomic. Throws InvalidArgument
+/// when the file cannot be opened or a stream failure interrupts the read.
+std::vector<std::uint8_t> read_file_bytes(const std::string& path);
+
+}  // namespace mdo::util

@@ -1,0 +1,33 @@
+// FNV-1a 64-bit checksum.
+//
+// Guards checkpoint payloads against torn writes and bit rot. FNV-1a is not
+// cryptographic — the threat model is accidental corruption (partial write,
+// disk error), not an adversary — and its single-pass byte loop keeps the
+// checkpoint hot path allocation- and dependency-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mdo::util {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr std::uint64_t fnv1a64(const std::uint8_t* bytes, std::size_t size,
+                                std::uint64_t seed = kFnvOffsetBasis) {
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+inline std::uint64_t fnv1a64(const std::vector<std::uint8_t>& bytes,
+                             std::uint64_t seed = kFnvOffsetBasis) {
+  return fnv1a64(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace mdo::util

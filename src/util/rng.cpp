@@ -122,4 +122,13 @@ std::size_t Rng::categorical(const std::vector<double>& weights) {
 
 Rng Rng::fork() { return Rng((*this)()); }
 
+void Rng::set_state(const State& state) {
+  bool all_zero = true;
+  for (const auto word : state.words) all_zero = all_zero && word == 0;
+  MDO_REQUIRE(!all_zero, "xoshiro256** state must not be all-zero");
+  state_ = state.words;
+}
+
+Rng::Rng(const State& state) { set_state(state); }
+
 }  // namespace mdo

@@ -75,6 +75,28 @@ class Rng {
   /// Derives an independent child generator (for parallel components).
   Rng fork();
 
+  /// Complete serializable stream state. normal() deliberately caches no
+  /// Box–Muller spare, so the four engine words below are the *entire*
+  /// stream state by construction: restoring them resumes the sequence
+  /// exactly, even mid-way through paired-draw distributions. (A cached
+  /// spare would have to be part of this struct; keeping normal()
+  /// spare-free is what makes save/restore this simple and is a frozen
+  /// contract — see the determinism regression tests.)
+  struct State {
+    std::array<std::uint64_t, 4> words{};
+  };
+
+  /// Snapshot of the current stream position.
+  State state() const { return State{state_}; }
+
+  /// Resumes a previously saved stream position. Rejects the all-zero
+  /// state, which is invalid for xoshiro256** (the generator would emit
+  /// zeros forever).
+  void set_state(const State& state);
+
+  /// Constructs directly at a saved stream position.
+  explicit Rng(const State& state);
+
  private:
   std::array<std::uint64_t, 4> state_{};
 };

@@ -44,4 +44,31 @@ model::SlotDemand EmaPredictor::predict(std::size_t tau,
   return state_;
 }
 
+void EmaPredictor::save_state(util::BinaryWriter& w) const {
+  w.boolean(state_initialized_);
+  w.size(cached_tau_);
+  if (!state_initialized_) return;
+  w.size(state_.size());
+  for (const auto& sbs_demand : state_) w.f64_vec(sbs_demand.data());
+}
+
+void EmaPredictor::restore_state(util::BinaryReader& r) const {
+  state_initialized_ = r.boolean();
+  cached_tau_ = r.size();
+  if (!state_initialized_) return;
+  MDO_REQUIRE(cached_tau_ <= truth_->horizon(),
+              "EMA snapshot: boundary beyond the trace");
+  // Rebuild the state container at the trace's shape, then overlay the
+  // snapshot values (shape-checked per SBS).
+  model::SlotDemand state = truth_->slot(0);
+  MDO_REQUIRE(r.size() == state.size(), "EMA snapshot: SBS count mismatch");
+  for (auto& sbs_demand : state) {
+    std::vector<double> values = r.f64_vec();
+    MDO_REQUIRE(values.size() == sbs_demand.data().size(),
+                "EMA snapshot: state shape mismatch");
+    sbs_demand.data() = values;
+  }
+  state_ = std::move(state);
+}
+
 }  // namespace mdo::workload

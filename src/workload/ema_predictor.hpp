@@ -24,6 +24,13 @@ class EmaPredictor final : public Predictor {
   model::SlotDemand predict(std::size_t tau, std::size_t t) const override;
   std::size_t horizon() const override;
 
+  /// Snapshot = the incremental EMA cache (observation boundary + per-SBS
+  /// state). The cache is also derivable from the trace, so restoring it is
+  /// an optimization (skips the prefix re-scan) — bit-identical either way
+  /// because advance_to() folds slots in the same order from slot 0.
+  void save_state(util::BinaryWriter& w) const override;
+  void restore_state(util::BinaryReader& r) const override;
+
   double alpha() const { return alpha_; }
 
  private:

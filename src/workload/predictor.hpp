@@ -23,6 +23,7 @@
 
 #include "model/demand.hpp"
 #include "model/sparse_demand.hpp"
+#include "util/serialize.hpp"
 
 namespace mdo::workload {
 
@@ -42,6 +43,16 @@ class Predictor {
 
   /// Total number of slots in the underlying horizon.
   virtual std::size_t horizon() const = 0;
+
+  /// Checkpoint hooks (see runtime/checkpoint.hpp). The predictors here are
+  /// pure functions of (trace, parameters, query time) — stateless or with
+  /// a derivable incremental cache — so the defaults save nothing and a
+  /// resumed run recomputes bit-identically. Stateful forecasters
+  /// (EmaPredictor) override these to snapshot their incremental state and
+  /// skip the prefix re-scan on resume. Const because simulation drives
+  /// predictors through const references; incremental caches are mutable.
+  virtual void save_state(util::BinaryWriter& w) const { (void)w; }
+  virtual void restore_state(util::BinaryReader& r) const { (void)r; }
 
   /// Forecast window [tau, tau + length) clipped at the horizon.
   model::DemandTrace predict_window(std::size_t tau, std::size_t length) const;

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/logging.hpp"
 
 namespace mdo::workload {
 
@@ -94,8 +95,11 @@ struct Entry {
 
 /// Shared row parser: header + data rows + shape/duplicate/stream checks.
 /// Returns the entries in file order plus the largest slot index seen.
+/// Record-level failures consume options.max_bad_records before throwing;
+/// file-level failures (header, stream, empty file) always throw.
 std::pair<std::vector<Entry>, std::size_t> parse_trace_rows(
-    std::istream& is, const model::NetworkConfig& config) {
+    std::istream& is, const model::NetworkConfig& config,
+    const TraceLoadOptions& options) {
   config.validate();
   std::string line;
   MDO_REQUIRE(static_cast<bool>(std::getline(is, line)),
@@ -108,37 +112,49 @@ std::pair<std::vector<Entry>, std::size_t> parse_trace_rows(
       seen;
   std::size_t max_slot = 0;
   std::size_t line_number = 1;
+  std::size_t skipped = 0;
   while (std::getline(is, line)) {
     ++line_number;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
-    const auto tokens = split_row(line, line_number);
-    Entry entry{};
-    entry.t = parse_index(tokens[0], line_number, 0);
-    entry.n = parse_index(tokens[1], line_number, 1);
-    entry.m = parse_index(tokens[2], line_number, 2);
-    entry.k = parse_index(tokens[3], line_number, 3);
-    entry.rate = parse_rate(tokens[4], line_number, 4);
-    if (entry.n >= config.num_sbs()) {
-      fail_field(line_number, 1, tokens[1], "SBS index out of range");
+    try {
+      const auto tokens = split_row(line, line_number);
+      Entry entry{};
+      entry.t = parse_index(tokens[0], line_number, 0);
+      entry.n = parse_index(tokens[1], line_number, 1);
+      entry.m = parse_index(tokens[2], line_number, 2);
+      entry.k = parse_index(tokens[3], line_number, 3);
+      entry.rate = parse_rate(tokens[4], line_number, 4);
+      if (entry.n >= config.num_sbs()) {
+        fail_field(line_number, 1, tokens[1], "SBS index out of range");
+      }
+      if (entry.m >= config.sbs[entry.n].num_classes()) {
+        fail_field(line_number, 2, tokens[2], "class index out of range");
+      }
+      if (entry.k >= config.num_contents) {
+        fail_field(line_number, 3, tokens[3], "content index out of range");
+      }
+      MDO_REQUIRE(seen.insert({entry.t, entry.n, entry.m, entry.k}).second,
+                  "duplicate (slot,sbs,class,content) entry at line " +
+                      std::to_string(line_number));
+      max_slot = std::max(max_slot, entry.t);
+      entries.push_back(entry);
+    } catch (const InvalidArgument& e) {
+      // Over budget the original record error propagates — the caller sees
+      // exactly what was wrong with the first unskippable row.
+      if (skipped >= options.max_bad_records) throw;
+      ++skipped;
+      MDO_WARN("skipping bad trace record (" << skipped << "/"
+                                             << options.max_bad_records
+                                             << "): " << e.what());
     }
-    if (entry.m >= config.sbs[entry.n].num_classes()) {
-      fail_field(line_number, 2, tokens[2], "class index out of range");
-    }
-    if (entry.k >= config.num_contents) {
-      fail_field(line_number, 3, tokens[3], "content index out of range");
-    }
-    MDO_REQUIRE(seen.insert({entry.t, entry.n, entry.m, entry.k}).second,
-                "duplicate (slot,sbs,class,content) entry at line " +
-                    std::to_string(line_number));
-    max_slot = std::max(max_slot, entry.t);
-    entries.push_back(entry);
   }
   // getline() ends on either EOF or a hard read error; only the former means
   // we actually saw the whole file (a truncated read must not silently yield
   // a shorter trace).
   MDO_REQUIRE(is.eof(), "stream failure while reading trace (truncated?)");
   MDO_REQUIRE(!entries.empty(), "trace file has no data rows");
+  if (options.skipped_records != nullptr) *options.skipped_records = skipped;
   return {std::move(entries), max_slot};
 }
 
@@ -176,8 +192,9 @@ void save_trace_csv(const std::string& path, const model::DemandTrace& trace) {
 }
 
 model::DemandTrace load_trace_csv(std::istream& is,
-                                  const model::NetworkConfig& config) {
-  auto [entries, max_slot] = parse_trace_rows(is, config);
+                                  const model::NetworkConfig& config,
+                                  const TraceLoadOptions& options) {
+  auto [entries, max_slot] = parse_trace_rows(is, config, options);
 
   model::DemandTrace trace;
   for (std::size_t t = 0; t <= max_slot; ++t) {
@@ -191,10 +208,11 @@ model::DemandTrace load_trace_csv(std::istream& is,
 }
 
 model::DemandTrace load_trace_csv(const std::string& path,
-                                  const model::NetworkConfig& config) {
+                                  const model::NetworkConfig& config,
+                                  const TraceLoadOptions& options) {
   std::ifstream file(path);
   MDO_REQUIRE(static_cast<bool>(file), "cannot open trace file: " + path);
-  return load_trace_csv(file, config);
+  return load_trace_csv(file, config, options);
 }
 
 void save_trace_csv(std::ostream& os, const model::SparseDemandTrace& trace) {
@@ -228,10 +246,11 @@ void save_trace_csv(const std::string& path,
 }
 
 model::SparseDemandTrace load_sparse_trace_csv(
-    std::istream& is, const model::NetworkConfig& config, double min_rate) {
+    std::istream& is, const model::NetworkConfig& config, double min_rate,
+    const TraceLoadOptions& options) {
   MDO_REQUIRE(std::isfinite(min_rate) && min_rate >= 0.0,
               "min_rate must be finite and non-negative");
-  auto [entries, max_slot] = parse_trace_rows(is, config);
+  auto [entries, max_slot] = parse_trace_rows(is, config, options);
 
   // CSR append wants (t, n, m, k) lexicographic order; the file may hold
   // rows in any order (stable_sort is overkill — duplicates were rejected).
@@ -265,10 +284,10 @@ model::SparseDemandTrace load_sparse_trace_csv(
 
 model::SparseDemandTrace load_sparse_trace_csv(
     const std::string& path, const model::NetworkConfig& config,
-    double min_rate) {
+    double min_rate, const TraceLoadOptions& options) {
   std::ifstream file(path);
   MDO_REQUIRE(static_cast<bool>(file), "cannot open trace file: " + path);
-  return load_sparse_trace_csv(file, config, min_rate);
+  return load_sparse_trace_csv(file, config, min_rate, options);
 }
 
 }  // namespace mdo::workload

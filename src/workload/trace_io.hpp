@@ -27,16 +27,34 @@ void save_trace_csv(std::ostream& os, const model::SparseDemandTrace& trace);
 void save_trace_csv(const std::string& path,
                     const model::SparseDemandTrace& trace);
 
+/// Tolerated-corruption budget for the loaders.
+struct TraceLoadOptions {
+  /// How many malformed data rows to *skip* (with a warning) before giving
+  /// up on the file. 0 — the default — is strict: the first bad row throws.
+  /// A skipped row is one that fails record-level validation: wrong field
+  /// count, non-numeric field, NaN/Inf/negative rate, out-of-range index,
+  /// or a duplicate (slot,sbs,class,content) key. File-level failures (a
+  /// missing/garbled header, a stream error mid-read, an empty file) are
+  /// never skippable — they mean the file itself is suspect, not a record.
+  std::size_t max_bad_records = 0;
+  /// Optional out-param: how many rows were actually skipped.
+  std::size_t* skipped_records = nullptr;
+};
+
 /// Reads a trace in the format written by save_trace_csv. The config
 /// provides the shape; entries absent from the file are zero. Throws
 /// InvalidArgument — naming the offending line number and field — on
 /// malformed rows, out-of-range indices, NaN or negative rates, duplicate
 /// (slot,sbs,class,content) entries, a stream that fails mid-read
-/// (truncation), or when the file cannot be opened.
+/// (truncation), or when the file cannot be opened. `options` trades
+/// strictness for availability: a bounded number of bad records can be
+/// skipped instead (see TraceLoadOptions).
 model::DemandTrace load_trace_csv(std::istream& is,
-                                  const model::NetworkConfig& config);
+                                  const model::NetworkConfig& config,
+                                  const TraceLoadOptions& options = {});
 model::DemandTrace load_trace_csv(const std::string& path,
-                                  const model::NetworkConfig& config);
+                                  const model::NetworkConfig& config,
+                                  const TraceLoadOptions& options = {});
 
 /// Sparse loader: same format and validation as load_trace_csv, building
 /// the CSR representation directly (rows may appear in any order in the
@@ -46,9 +64,9 @@ model::DemandTrace load_trace_csv(const std::string& path,
 /// load_sparse_trace_csv(f).to_dense() == load_trace_csv(f).
 model::SparseDemandTrace load_sparse_trace_csv(
     std::istream& is, const model::NetworkConfig& config,
-    double min_rate = 0.0);
+    double min_rate = 0.0, const TraceLoadOptions& options = {});
 model::SparseDemandTrace load_sparse_trace_csv(
     const std::string& path, const model::NetworkConfig& config,
-    double min_rate = 0.0);
+    double min_rate = 0.0, const TraceLoadOptions& options = {});
 
 }  // namespace mdo::workload

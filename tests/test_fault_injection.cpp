@@ -3,15 +3,18 @@
 // fallback chain, and the end-to-end faulted simulation acceptance run.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <thread>
 
 #include "core/load_balancing.hpp"
 #include "core/primal_dual.hpp"
 #include "online/chc.hpp"
 #include "online/rhc.hpp"
 #include "online/robust_controller.hpp"
+#include "runtime/supervisor.hpp"
 #include "solver/lp.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/robustness_report.hpp"
@@ -601,6 +604,172 @@ TEST(FaultedSimulation, TwoHundredSlotRunMatchesInjectedSchedule) {
   const auto replay = simulator.run(robust_again);
   EXPECT_EQ(replay.total_cost(), result.total_cost());
   EXPECT_EQ(robust_again.level_counts(), robust.level_counts());
+}
+
+// ---- Deadline supervision determinism --------------------------------------
+
+/// Solver options whose gap tolerance is unreachable, so every solve runs
+/// until its budget (deadline or iteration cap) — deadline events then fire
+/// on every slot, deterministically.
+core::PrimalDualOptions stubborn_options() {
+  core::PrimalDualOptions options;
+  options.max_iterations = 6;
+  options.epsilon = 1e-16;
+  return options;
+}
+
+/// A token-ignoring inner controller that overruns any wall-clock budget:
+/// it never polls ctx.deadline, so the wrapper's legacy discard must kick
+/// in rather than the anytime-accept path.
+class SlowController final : public online::Controller {
+ public:
+  std::string name() const override { return "Slow"; }
+  void reset(const model::ProblemInstance& instance) override {
+    instance_ = &instance;
+  }
+  model::SlotDecision decide(const online::DecisionContext&) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    model::SlotDecision decision;
+    decision.cache = model::CacheState(instance_->config);
+    decision.load = model::LoadAllocation(instance_->config);
+    return decision;
+  }
+
+ private:
+  const model::ProblemInstance* instance_ = nullptr;
+};
+
+// The whole suite re-runs under MDO_THREADS=4 (tests/CMakeLists.txt), so
+// the exact golden-event assertions below also prove the logical
+// checks-budget is thread-count invariant: the token is polled at the
+// serial point of each dual iteration, never inside the parallel fan-out.
+// (Not every slot expires — warm-started solves can be exactly optimal
+// after one iteration; which slots expire is part of the golden sequence.)
+TEST(DeadlineEvents, ChecksBudgetFiresDeterministically) {
+  const auto instance = faulty_instance(10);
+  const workload::NoisyPredictor predictor(instance.demand, 0.1, 21);
+  sim::SimulatorOptions options;
+  options.decision_budget_checks = 1;
+
+  const auto run_once = [&](runtime::SupervisionLog& log) {
+    auto logged = options;
+    logged.supervision = &log;
+    const sim::Simulator simulator(instance, predictor, logged);
+    online::RhcController rhc(4, stubborn_options());
+    return simulator.run(rhc);
+  };
+
+  runtime::SupervisionLog log;
+  const auto result = run_once(log);
+  EXPECT_EQ(result.slots.size(), 10u);
+  EXPECT_EQ(log.solve_failures, 0u);
+  EXPECT_EQ(log.retries, 0u);
+  const std::vector<std::size_t> expired_slots{2, 4, 5, 6, 7, 9};
+  EXPECT_EQ(log.deadline_expirations, expired_slots.size());
+  ASSERT_EQ(log.events.size(), expired_slots.size());
+  for (std::size_t i = 0; i < log.events.size(); ++i) {
+    EXPECT_EQ(log.events[i].slot, expired_slots[i]);
+    EXPECT_EQ(log.events[i].kind,
+              runtime::SupervisionEventKind::kDeadlineExpired);
+    EXPECT_EQ(log.events[i].attempt, 0u);
+    EXPECT_EQ(log.events[i].status, solver::SolveStatus::kDeadlineExpired);
+  }
+
+  // Replay: a fresh run emits the identical sequence, bit for bit.
+  runtime::SupervisionLog replay_log;
+  const auto replay = run_once(replay_log);
+  EXPECT_EQ(replay.total.bs, result.total.bs);
+  EXPECT_EQ(replay.total.sbs, result.total.sbs);
+  EXPECT_EQ(replay.total.replacement, result.total.replacement);
+  ASSERT_EQ(replay_log.events.size(), log.events.size());
+  for (std::size_t i = 0; i < log.events.size(); ++i) {
+    EXPECT_EQ(replay_log.events[i].slot, log.events[i].slot);
+    EXPECT_EQ(replay_log.events[i].gap, log.events[i].gap);
+  }
+}
+
+TEST(DeadlineEvents, GenerousChecksBudgetIsTransparent) {
+  const auto instance = faulty_instance(8);
+  const workload::NoisyPredictor predictor(instance.demand, 0.1, 21);
+
+  sim::SimulatorOptions plain_options;
+  plain_options.record_schedule = true;
+  const sim::Simulator plain(instance, predictor, plain_options);
+  online::RhcController a(4, stubborn_options());
+  const auto unbudgeted = plain.run(a);
+
+  // Budget beyond the iteration cap: the token never expires and the run
+  // must be bit-identical to the unbudgeted one.
+  auto budget_options = plain_options;
+  budget_options.decision_budget_checks = 100;
+  runtime::SupervisionLog log;
+  budget_options.supervision = &log;
+  const sim::Simulator budgeted_sim(instance, predictor, budget_options);
+  online::RhcController b(4, stubborn_options());
+  const auto budgeted = budgeted_sim.run(b);
+
+  EXPECT_EQ(log.deadline_expirations, 0u);
+  EXPECT_TRUE(log.events.empty());
+  EXPECT_EQ(unbudgeted.total.bs, budgeted.total.bs);
+  EXPECT_EQ(unbudgeted.total.sbs, budgeted.total.sbs);
+  EXPECT_EQ(unbudgeted.total.replacement, budgeted.total.replacement);
+  ASSERT_EQ(unbudgeted.schedule.size(), budgeted.schedule.size());
+  for (std::size_t t = 0; t < unbudgeted.schedule.size(); ++t) {
+    EXPECT_EQ(unbudgeted.schedule[t].cache, budgeted.schedule[t].cache) << t;
+  }
+}
+
+TEST(RobustController, AnytimeIncumbentIsServedAtFullLevel) {
+  const auto instance = faulty_instance(6);
+  const workload::NoisyPredictor predictor(instance.demand, 0.1, 21);
+  const sim::Simulator simulator(instance, predictor);
+
+  online::RhcController inner(4, stubborn_options());
+  online::RobustControllerOptions robust_options;
+  robust_options.max_decide_checks = 1;
+  online::RobustController robust(inner, robust_options);
+  const auto result = simulator.run(robust);
+
+  // A deadline-aware inner returns its anytime incumbent, which is served
+  // at level 0 — degraded latency, not a degraded fallback level. The
+  // golden expired-slot set is thread-count invariant (the suite re-runs
+  // under MDO_THREADS=4).
+  EXPECT_EQ(result.slots.size(), 6u);
+  EXPECT_EQ(robust.level_counts()[0], 6u);
+  EXPECT_EQ(robust.level_counts()[1], 0u);
+  EXPECT_EQ(robust.level_counts()[2], 0u);
+  const std::vector<std::size_t> expired_slots{2, 4};
+  ASSERT_EQ(robust.events().size(), expired_slots.size());
+  for (std::size_t i = 0; i < robust.events().size(); ++i) {
+    EXPECT_EQ(robust.events()[i].slot, expired_slots[i]);
+    EXPECT_EQ(robust.events()[i].level, online::FallbackLevel::kFull);
+    EXPECT_EQ(robust.events()[i].kind,
+              online::DegradationKind::kDeadlineExceeded);
+  }
+}
+
+TEST(RobustController, TokenIgnoringSlowInnerIsDiscarded) {
+  const auto instance = faulty_instance(4);
+  const workload::NoisyPredictor predictor(instance.demand, 0.1, 21);
+  const sim::Simulator simulator(instance, predictor);
+
+  SlowController inner;
+  online::RobustControllerOptions robust_options;
+  robust_options.max_decide_seconds = 1e-7;  // far below the 2ms sleep
+  online::RobustController robust(inner, robust_options);
+  const auto result = simulator.run(robust);
+
+  // The inner never polls the token, so its late decision is discarded and
+  // the slot served from the fallback chain (level 2 at slot 0 — nothing to
+  // reuse — then level 1).
+  EXPECT_EQ(result.slots.size(), 4u);
+  EXPECT_EQ(robust.level_counts()[0], 0u);
+  EXPECT_EQ(robust.level_counts()[1], 3u);
+  EXPECT_EQ(robust.level_counts()[2], 1u);
+  ASSERT_GE(robust.events().size(), 4u);
+  for (const auto& event : robust.events()) {
+    EXPECT_EQ(event.kind, online::DegradationKind::kDeadlineExceeded);
+  }
 }
 
 }  // namespace

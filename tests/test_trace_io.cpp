@@ -121,5 +121,92 @@ TEST(TraceIo, SkipsBlankLines) {
   EXPECT_DOUBLE_EQ(loaded.slot(1)[1].at(1, 2), 0.5);
 }
 
+// ---- Bounded bad-record skipping (TraceLoadOptions) ------------------------
+
+TEST(TraceIo, SkipBudgetKeepsGoodRowsAndCountsSkips) {
+  const auto config = tiny_config();
+  // Three bad data rows (non-numeric rate, out-of-range SBS, duplicate key)
+  // interleaved with three good ones.
+  const std::string text =
+      "slot,sbs,class,content,rate\n"
+      "0,0,0,0,1.5\n"
+      "0,0,1,2,oops\n"
+      "1,9,0,0,1.0\n"
+      "1,1,1,2,0.5\n"
+      "0,0,0,0,2.0\n"
+      "2,0,1,3,0.25\n";
+
+  TraceLoadOptions options;
+  options.max_bad_records = 3;
+  std::size_t skipped = 0;
+  options.skipped_records = &skipped;
+  std::stringstream buffer(text);
+  const auto loaded = load_trace_csv(buffer, config, options);
+
+  EXPECT_EQ(skipped, 3u);
+  EXPECT_EQ(loaded.horizon(), 3u);
+  EXPECT_DOUBLE_EQ(loaded.slot(0)[0].at(0, 0), 1.5);  // not the 2.0 duplicate
+  EXPECT_DOUBLE_EQ(loaded.slot(1)[1].at(1, 2), 0.5);
+  EXPECT_DOUBLE_EQ(loaded.slot(2)[0].at(1, 3), 0.25);
+
+  // The sparse loader shares the same budget semantics.
+  std::size_t sparse_skipped = 0;
+  TraceLoadOptions sparse_options;
+  sparse_options.max_bad_records = 3;
+  sparse_options.skipped_records = &sparse_skipped;
+  std::stringstream sparse_buffer(text);
+  const auto sparse =
+      load_sparse_trace_csv(sparse_buffer, config, 0.0, sparse_options);
+  EXPECT_EQ(sparse_skipped, 3u);
+  EXPECT_DOUBLE_EQ(sparse.slot(2)[0].at(1, 3), 0.25);
+}
+
+TEST(TraceIo, ExhaustedSkipBudgetRethrowsTheRecordError) {
+  const auto config = tiny_config();
+  const std::string text =
+      "slot,sbs,class,content,rate\n"
+      "0,0,0,0,nan\n"
+      "0,0,0,1,inf\n"
+      "0,0,0,2,1.0\n";
+  TraceLoadOptions options;
+  options.max_bad_records = 1;  // second bad row is over budget
+  std::stringstream buffer(text);
+  try {
+    load_trace_csv(buffer, config, options);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    // The original record diagnostic must surface, naming line and field.
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("rate"), std::string::npos);
+  }
+}
+
+TEST(TraceIo, FileLevelFailuresAreNeverSkippable) {
+  const auto config = tiny_config();
+  TraceLoadOptions generous;
+  generous.max_bad_records = 1000;
+  {
+    std::stringstream bad_header("nope\n0,0,0,0,1.0\n");
+    EXPECT_THROW(load_trace_csv(bad_header, config, generous),
+                 InvalidArgument);
+  }
+  {
+    std::stringstream empty;
+    EXPECT_THROW(load_trace_csv(empty, config, generous), InvalidArgument);
+  }
+  {
+    // A file where *every* data row is bad has no data — still an error.
+    std::stringstream all_bad("slot,sbs,class,content,rate\n0,0,0,0,x\n");
+    EXPECT_THROW(load_trace_csv(all_bad, config, generous), InvalidArgument);
+  }
+}
+
+TEST(TraceIo, ZeroBudgetIsStrict) {
+  const auto config = tiny_config();
+  std::stringstream buffer("slot,sbs,class,content,rate\n0,0,0,0,oops\n");
+  // Default options: first bad record throws, exactly as before.
+  EXPECT_THROW(load_trace_csv(buffer, config), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace mdo::workload
