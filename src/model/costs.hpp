@@ -44,6 +44,8 @@ struct CostBreakdown {
   double total() const { return bs + sbs + replacement; }
 
   CostBreakdown& operator+=(const CostBreakdown& other);
+
+  friend bool operator==(const CostBreakdown&, const CostBreakdown&) = default;
 };
 
 /// Evaluates one slot: f + g + h relative to `previous` cache state.

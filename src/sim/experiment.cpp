@@ -51,6 +51,8 @@ std::vector<SchemeOutcome> run_schemes(const ExperimentConfig& config) {
   SimulatorOptions simulator_options;
   simulator_options.checkpoint_every = config.checkpoint_every;
   simulator_options.resume = config.resume;
+  simulator_options.simulate_events = config.simulate_events;
+  simulator_options.event_options = config.event_options;
 
   std::vector<std::unique_ptr<online::Controller>> controllers;
   if (config.schemes.offline) {
@@ -106,6 +108,16 @@ std::vector<SchemeOutcome> run_schemes(const ExperimentConfig& config) {
     outcome.replacements = result.total_replacements;
     outcome.offload_ratio = result.offload_ratio();
     outcome.mean_decision_seconds = result.mean_decision_seconds();
+    if (result.events) {
+      outcome.has_events = true;
+      outcome.event_requests = result.events->requests;
+      outcome.event_hit_ratio = result.events->hit_ratio();
+      outcome.event_mean_delay = result.events->mean_delay();
+      outcome.event_p50_delay = result.events->p50_delay();
+      outcome.event_p99_delay = result.events->p99_delay();
+      outcome.event_backhaul_bytes = result.events->backhaul_bytes;
+      outcome.event_discrete_cost = result.events->discrete_cost.total();
+    }
     outcomes.push_back(outcome);
   }
   return outcomes;

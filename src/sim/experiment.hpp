@@ -49,6 +49,14 @@ struct ExperimentConfig {
   core::PrimalDualOptions primal_dual{};
   SchemeSelection schemes{};
 
+  /// Request-level event layer (sim/event_sim.hpp): when set, every scheme
+  /// additionally replays each slot's individual Poisson requests against
+  /// its executed decisions and the outcomes carry hit ratio, access-delay
+  /// percentiles, backhaul bytes, and the empirical (discrete) cost next to
+  /// the fluid cost. Observational only — fluid costs are unchanged.
+  bool simulate_events = false;
+  EventSimOptions event_options;
+
   /// Crash-consistent checkpointing (runtime/checkpoint.hpp): when
   /// non-empty, every scheme that supports checkpointing writes its run
   /// snapshot to `<checkpoint_dir>/<sanitized scheme name>.ckpt` every
@@ -71,6 +79,19 @@ struct SchemeOutcome {
   std::size_t replacements = 0;
   double offload_ratio = 0.0;
   double mean_decision_seconds = 0.0;  // computational cost per slot
+
+  /// Request-level metrics; meaningful when the event layer ran
+  /// (ExperimentConfig::simulate_events).
+  bool has_events = false;
+  std::size_t event_requests = 0;
+  double event_hit_ratio = 0.0;
+  double event_mean_delay = 0.0;
+  double event_p50_delay = 0.0;
+  double event_p99_delay = 0.0;
+  double event_backhaul_bytes = 0.0;
+  /// Empirical f + g + h at the realized per-request rates; converges to
+  /// the fluid `cost` as event_options.requests_per_rate_unit grows.
+  double event_discrete_cost = 0.0;
 
   double total_cost() const { return cost.total(); }
 };

@@ -34,6 +34,12 @@ struct AggregatedOutcome {
 /// thread_pool.hpp); each has its own RNG streams derived from its seeds,
 /// and the aggregation is serial in replication order, so the result is
 /// identical at every thread count (MDO_THREADS=1 included).
+///
+/// Predictor isolation: every replicate's run_schemes() call constructs its
+/// own predictor instance — stateful forecasters (EmaPredictor's
+/// incremental cache) are never shared across the concurrent replicates.
+/// EmaPredictor additionally locks its cache internally, but per-replicate
+/// instances are what keep the observation boundaries independent.
 std::vector<AggregatedOutcome> run_replicated(const ExperimentConfig& config,
                                               std::size_t replications);
 

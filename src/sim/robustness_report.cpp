@@ -1,6 +1,5 @@
 #include "sim/robustness_report.hpp"
 
-#include <iomanip>
 #include <sstream>
 
 namespace mdo::sim {
@@ -28,7 +27,9 @@ std::string RobustnessReport::format() const {
   }
   if (!any_kind) os << " none";
   os << '\n';
-  os << std::setprecision(6) << "  faulted cost: " << faulted_cost;
+  // No setprecision here: 6 digits is already the stream default, and a
+  // sticky manipulator is exactly the stream-state leak CsvWriter fixed.
+  os << "  faulted cost: " << faulted_cost;
   if (has_clean_reference) {
     os << " (clean " << clean_cost << ", delta " << cost_delta() << ")";
   }

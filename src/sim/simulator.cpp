@@ -60,6 +60,12 @@ SimulationResult Simulator::run(online::Controller& controller) const {
         options_.faults->plan(instance_->horizon(), config.num_sbs());
   }
 
+  std::optional<EventSimulator> events;
+  if (options_.simulate_events) {
+    events.emplace(config, options_.event_options);
+    result.events.emplace();
+  }
+
   model::CacheState previous = instance_->initial_cache;
   std::size_t start_slot = 0;
   if (checkpointing && options_.resume) {
@@ -142,6 +148,13 @@ SimulationResult Simulator::run(online::Controller& controller) const {
     result.total_replacements += record.replacements;
     result.slots.push_back(record);
 
+    // Request-level layer: replay the slot's individual requests against
+    // the executed decision (hit/miss, queueing delay, backhaul bytes).
+    // Purely observational; runs on the clean truth like the cost above.
+    if (events) {
+      events->simulate_slot(t, truth, decision, previous, *result.events);
+    }
+
     previous = decision.cache;
     controller.observe(t, decision);
     if (options_.record_schedule) result.schedule.push_back(std::move(decision));
@@ -223,6 +236,8 @@ void Simulator::write_checkpoint(const online::Controller& controller,
   w.f64(result.total.replacement);
   w.size(result.total_replacements);
   if (options_.record_schedule) runtime::write_schedule(w, result.schedule);
+  w.boolean(options_.simulate_events);
+  if (options_.simulate_events) result.events->save(w);
   const bool has_supervision = options_.supervision != nullptr;
   w.boolean(has_supervision);
   if (has_supervision) write_supervision(w, *options_.supervision);
@@ -279,6 +294,9 @@ std::size_t Simulator::try_resume(online::Controller& controller,
       MDO_REQUIRE(result.schedule.size() == next_slot,
                   "checkpoint schedule length mismatch");
     }
+    MDO_REQUIRE(r.boolean() == options_.simulate_events,
+                "checkpoint event-layer mismatch");
+    if (options_.simulate_events) result.events->restore(r);
     const bool has_supervision = r.boolean();
     MDO_REQUIRE(has_supervision == (options_.supervision != nullptr),
                 "checkpoint supervision-log mismatch");
@@ -297,6 +315,7 @@ std::size_t Simulator::try_resume(online::Controller& controller,
     result.schedule.clear();
     result.total = {};
     result.total_replacements = 0;
+    if (result.events) result.events.emplace();
     if (options_.supervision != nullptr) options_.supervision->clear();
     previous = instance_->initial_cache;
     return 0;

@@ -10,12 +10,14 @@
 #pragma once
 
 #include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "model/costs.hpp"
 #include "model/instance.hpp"
 #include "online/controller.hpp"
+#include "sim/event_sim.hpp"
 #include "sim/fault_injector.hpp"
 #include "workload/predictor.hpp"
 
@@ -44,6 +46,9 @@ struct SimulationResult {
   std::vector<model::SlotDecision> schedule;
   /// The fault schedule the run was played under; empty for clean runs.
   std::vector<SlotFaults> fault_plan;
+  /// Request-level metrics; present when SimulatorOptions::simulate_events
+  /// is set (see sim/event_sim.hpp).
+  std::optional<EventMetrics> events;
 
   double total_cost() const { return total.total(); }
   /// Fraction of demand volume served by SBSs over the whole run.
@@ -69,6 +74,16 @@ struct SimulatorOptions {
   /// Record every executed decision in SimulationResult::schedule (memory
   /// proportional to horizon x decision size).
   bool record_schedule = false;
+
+  // ---- Request-level event layer (sim/event_sim.hpp). -------------------
+  /// Opt-in: after each slot's decision is repaired and executed, simulate
+  /// the slot's individual requests (Poisson arrivals at the slot-mean
+  /// rates, per-request hit/miss against the executed placement, FCFS
+  /// queueing delays) and accumulate SimulationResult::events. Purely
+  /// observational: the fluid cost accounting and the controller's inputs
+  /// are unchanged, and the event draws are independent of MDO_THREADS.
+  bool simulate_events = false;
+  EventSimOptions event_options;
 
   // ---- Per-decision deadline budget (runtime/deadline.hpp). -------------
   /// Wall-clock budget per decide(); 0 disables. The simulator builds a

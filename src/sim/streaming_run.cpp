@@ -1,0 +1,124 @@
+#include "sim/streaming_run.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "model/feasibility.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace mdo::sim {
+
+model::SlotDemand BufferedWindowPredictor::predict(std::size_t tau,
+                                                   std::size_t t) const {
+  (void)tau;
+  return model::SlotDemandView(at(t)).to_dense();
+}
+
+model::SparseSlotDemand BufferedWindowPredictor::predict_sparse(
+    std::size_t tau, std::size_t t) const {
+  (void)tau;
+  return at(t);
+}
+
+const model::SparseSlotDemand& BufferedWindowPredictor::at(
+    std::size_t t) const {
+  MDO_REQUIRE(t >= base_ && t < base_ + buffer_.size(),
+              "slot " + std::to_string(t) +
+                  " is outside the buffered window [" +
+                  std::to_string(base_) + ", " +
+                  std::to_string(base_ + buffer_.size()) + ")");
+  return buffer_[t - base_];
+}
+
+void BufferedWindowPredictor::pop_front() {
+  MDO_REQUIRE(!buffer_.empty(), "pop_front on an empty buffer");
+  buffer_.pop_front();
+  ++base_;
+}
+
+StreamingRunResult run_streaming(const model::NetworkConfig& config,
+                                 workload::StreamingTraceReader& reader,
+                                 online::Controller& controller,
+                                 const StreamingRunOptions& options) {
+  MDO_REQUIRE(options.lookahead >= 1, "lookahead must be >= 1");
+
+  // Shell instance: everything a window/myopic controller reads at reset()
+  // (config, initial cache, representation switch) without any demand.
+  model::ProblemInstance shell;
+  shell.config = config;
+  shell.use_sparse_demand = true;
+  shell.initial_cache = model::CacheState(shell.config);
+  controller.reset(shell);
+
+  StreamingRunResult result;
+  result.controller = controller.name();
+
+  std::optional<EventSimulator> events;
+  if (options.simulate_events) {
+    events.emplace(shell.config, options.event_options);
+    result.events.emplace();
+  }
+
+  BufferedWindowPredictor predictor;
+  bool drained = false;
+  const auto refill = [&](std::size_t current) {
+    while (!drained && predictor.horizon() < current + options.lookahead) {
+      std::optional<model::SparseSlotDemand> slot = reader.next();
+      if (!slot) {
+        drained = true;
+        break;
+      }
+      predictor.push(std::move(*slot));
+    }
+  };
+
+  model::CacheState previous = shell.initial_cache;
+  for (std::size_t t = 0;; ++t) {
+    refill(t);
+    if (t >= predictor.horizon()) break;  // every yielded slot is accounted
+
+    const model::SparseSlotDemand& truth_sparse = predictor.at(t);
+    const model::SlotDemandView truth(truth_sparse);
+    online::DecisionContext ctx;
+    ctx.slot = t;
+    ctx.true_demand_sparse = &truth_sparse;
+    ctx.predictor = &predictor;
+
+    model::SlotDecision decision = controller.decide(ctx);
+    if (options.repair) {
+      model::enforce_feasibility(shell.config, truth, decision);
+    } else {
+      const auto violations = model::check_feasibility(
+          shell.config, truth, decision, options.feasibility_tol);
+      if (!violations.empty()) {
+        std::ostringstream os;
+        os << controller.name() << " infeasible at slot " << t << ": "
+           << violations.front().description;
+        throw InvalidArgument(os.str());
+      }
+    }
+
+    result.total += model::slot_cost(shell.config, truth, decision, previous);
+    result.total_replacements +=
+        model::replacement_count(decision.cache, previous);
+    for (std::size_t n = 0; n < shell.config.num_sbs(); ++n) {
+      result.demand_total += truth.sbs(n).total();
+      result.sbs_served += model::sbs_load(decision.load, n, truth.sbs(n));
+    }
+    if (events) {
+      events->simulate_slot(t, truth, decision, previous, *result.events);
+    }
+
+    previous = decision.cache;
+    controller.observe(t, decision);
+    ++result.slots;
+    predictor.pop_front();  // slot t is fully accounted: release it
+  }
+  MDO_DEBUG(result.controller << " (streamed): total cost "
+                              << result.total_cost() << " over "
+                              << result.slots << " slots");
+  return result;
+}
+
+}  // namespace mdo::sim

@@ -1,6 +1,8 @@
 #include "util/csv.hpp"
 
-#include <iomanip>
+#include <array>
+#include <charconv>
+#include <system_error>
 
 #include "util/error.hpp"
 
@@ -40,7 +42,18 @@ void CsvWriter::write_cell(const CsvCell& cell) {
   } else if (const auto* i = std::get_if<std::int64_t>(&cell)) {
     os_ << *i;
   } else {
-    os_ << std::setprecision(12) << std::get<double>(cell);
+    // Shortest representation that parses back to the exact same double
+    // (to_chars round-trip guarantee). Deliberately NOT `os_ <<
+    // setprecision(12) << value`: 12 digits lose bits (doubles need up to
+    // 17), and the manipulator would persistently change the caller's
+    // stream — every later float printed through the same stream, by
+    // anyone, would silently inherit the truncated precision.
+    const double value = std::get<double>(cell);
+    std::array<char, 32> buffer;
+    const auto [ptr, ec] =
+        std::to_chars(buffer.data(), buffer.data() + buffer.size(), value);
+    MDO_REQUIRE(ec == std::errc{}, "CSV double formatting failed");
+    os_.write(buffer.data(), ptr - buffer.data());
   }
 }
 

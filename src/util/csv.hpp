@@ -11,7 +11,10 @@
 
 namespace mdo {
 
-/// A CSV cell: string, integer, or floating point.
+/// A CSV cell: string, integer, or floating point. Doubles are emitted in
+/// their shortest round-trip form (std::to_chars): parsing the cell back
+/// recovers the exact bits, and the writer never mutates the stream's
+/// formatting state.
 using CsvCell = std::variant<std::string, std::int64_t, double>;
 
 /// Row-oriented CSV writer with RFC-4180 style quoting.

@@ -1,5 +1,7 @@
 #include "workload/ema_predictor.hpp"
 
+#include <mutex>
+
 #include "util/error.hpp"
 
 namespace mdo::workload {
@@ -12,6 +14,7 @@ EmaPredictor::EmaPredictor(const model::DemandTrace& truth, double alpha)
 
 std::size_t EmaPredictor::horizon() const { return truth_->horizon(); }
 
+// Caller must hold mutex_.
 void EmaPredictor::advance_to(std::size_t tau) const {
   if (cached_tau_ > tau || !state_initialized_) {
     // Restart from scratch (queries normally move forward in time, so this
@@ -40,11 +43,13 @@ model::SlotDemand EmaPredictor::predict(std::size_t tau,
                                         std::size_t t) const {
   MDO_REQUIRE(tau <= t, "cannot predict the past");
   MDO_REQUIRE(t < truth_->horizon(), "slot beyond the horizon");
+  const std::lock_guard<std::mutex> lock(mutex_);
   advance_to(tau);
   return state_;
 }
 
 void EmaPredictor::save_state(util::BinaryWriter& w) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   w.boolean(state_initialized_);
   w.size(cached_tau_);
   if (!state_initialized_) return;
@@ -53,6 +58,7 @@ void EmaPredictor::save_state(util::BinaryWriter& w) const {
 }
 
 void EmaPredictor::restore_state(util::BinaryReader& r) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   state_initialized_ = r.boolean();
   cached_tau_ = r.size();
   if (!state_initialized_) return;

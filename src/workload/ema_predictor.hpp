@@ -11,6 +11,8 @@
 // (popularity drift, density variation) rather than injected noise.
 #pragma once
 
+#include <mutex>
+
 #include "workload/predictor.hpp"
 
 namespace mdo::workload {
@@ -19,6 +21,14 @@ class EmaPredictor final : public Predictor {
  public:
   /// alpha in (0, 1]: smoothing factor. The trace must outlive the
   /// predictor; only slots strictly before the query time are used.
+  ///
+  /// Thread safety: predict() is const but advances a lazily-computed EMA
+  /// cache, so unsynchronized const access from multiple threads would
+  /// race. The cache is guarded by an internal mutex, making concurrent
+  /// predict()/save_state() calls safe. Sharing one instance across
+  /// replicates is still a correctness mistake for OTHER reasons (the
+  /// observation boundary would interleave) — sim::run_replicated
+  /// constructs a fresh predictor per replicate, and new code should too.
   EmaPredictor(const model::DemandTrace& truth, double alpha);
 
   model::SlotDemand predict(std::size_t tau, std::size_t t) const override;
@@ -40,7 +50,10 @@ class EmaPredictor final : public Predictor {
 
   const model::DemandTrace* truth_;
   double alpha_;
-  // Cached EMA state: valid after observing slots [0, cached_tau_).
+  // Cached EMA state: valid after observing slots [0, cached_tau_). All
+  // three fields are written inside const methods and must only be touched
+  // with mutex_ held.
+  mutable std::mutex mutex_;
   mutable std::size_t cached_tau_ = 0;
   mutable model::SlotDemand state_;
   mutable bool state_initialized_ = false;

@@ -27,15 +27,25 @@ void WorkloadOptions::validate() const {
 
 namespace {
 
-/// Applies `swaps` random adjacent transpositions to the permutation.
+/// Applies `swaps` random adjacent-rank transpositions: each swap picks a
+/// rank r and exchanges the two contents currently holding ranks r and
+/// r + 1, so popularity churns gradually (a content's rank moves by at most
+/// `swaps` per slot). rank_of[k] is content -> rank, so the swap must go
+/// through the inverse permutation — swapping rank_of[i] and rank_of[i + 1]
+/// directly would transpose the ranks of two *index*-adjacent contents,
+/// i.e. two arbitrary ranks, teleporting tail contents into the head.
 void drift_ranks(std::vector<std::size_t>& rank_of, std::size_t swaps,
                  Rng& rng) {
   const std::size_t k = rank_of.size();
-  if (k < 2) return;
+  if (k < 2 || swaps == 0) return;
+  // content_at[r] = the content currently holding rank r.
+  std::vector<std::size_t> content_at(k);
+  for (std::size_t c = 0; c < k; ++c) content_at[rank_of[c]] = c;
   for (std::size_t s = 0; s < swaps; ++s) {
-    const auto i = static_cast<std::size_t>(
+    const auto r = static_cast<std::size_t>(
         rng.uniform_int(0, static_cast<std::int64_t>(k) - 2));
-    std::swap(rank_of[i], rank_of[i + 1]);
+    std::swap(rank_of[content_at[r]], rank_of[content_at[r + 1]]);
+    std::swap(content_at[r], content_at[r + 1]);
   }
 }
 

@@ -1,0 +1,146 @@
+#include "workload/streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace mdo::workload {
+
+StreamingTraceReader::StreamingTraceReader(std::istream& is,
+                                           const model::NetworkConfig& config,
+                                           StreamingTraceOptions options)
+    : is_(&is), config_(&config), options_(options) {
+  config.validate();
+  MDO_REQUIRE(std::isfinite(options_.min_rate) && options_.min_rate >= 0.0,
+              "min_rate must be finite and non-negative");
+  read_header();
+}
+
+StreamingTraceReader::StreamingTraceReader(const std::string& path,
+                                           const model::NetworkConfig& config,
+                                           StreamingTraceOptions options)
+    : file_(path), is_(&file_), config_(&config), options_(options) {
+  config.validate();
+  MDO_REQUIRE(std::isfinite(options_.min_rate) && options_.min_rate >= 0.0,
+              "min_rate must be finite and non-negative");
+  MDO_REQUIRE(static_cast<bool>(file_), "cannot open trace file: " + path);
+  read_header();
+}
+
+void StreamingTraceReader::read_header() {
+  std::string line;
+  MDO_REQUIRE(static_cast<bool>(std::getline(*is_, line)),
+              "trace file is empty");
+  MDO_REQUIRE(line.rfind(detail::kTraceHeader, 0) == 0,
+              "unexpected trace header: " + line);
+}
+
+void StreamingTraceReader::advance_pending() {
+  pending_.reset();
+  std::string line;
+  while (std::getline(*is_, line)) {
+    ++line_number_;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    detail::TraceEntry entry;
+    try {
+      entry = detail::parse_trace_entry(line, line_number_, *config_);
+    } catch (const InvalidArgument& e) {
+      // Over budget the original record error propagates — the caller sees
+      // exactly what was wrong with the first unskippable row.
+      if (skipped_ >= options_.max_bad_records) throw;
+      ++skipped_;
+      MDO_WARN("skipping bad trace record (" << skipped_ << "/"
+                                             << options_.max_bad_records
+                                             << "): " << e.what());
+      continue;
+    }
+    // Out-of-order slots break the streaming contract outright: earlier
+    // slots were already yielded and cannot be amended. File-level error,
+    // never skippable.
+    if (saw_data_ && entry.t < last_slot_seen_) {
+      throw InvalidArgument(
+          "trace line " + std::to_string(line_number_) + ": slot " +
+          std::to_string(entry.t) + " after slot " +
+          std::to_string(last_slot_seen_) +
+          " — streaming ingestion requires non-decreasing slot order");
+    }
+    saw_data_ = true;
+    last_slot_seen_ = entry.t;
+    pending_ = entry;
+    pending_line_ = line_number_;
+    return;
+  }
+  // getline() ends on either EOF or a hard read error; only the former
+  // means we actually saw the whole file.
+  MDO_REQUIRE(is_->eof(), "stream failure while reading trace (truncated?)");
+  exhausted_ = true;
+}
+
+void StreamingTraceReader::fill_slot(std::size_t current) {
+  while (pending_ && pending_->t == current) {
+    const detail::TraceEntry entry = *pending_;
+    const std::size_t line = pending_line_;
+    advance_pending();
+    if (!seen_.insert({entry.n, entry.m, entry.k}).second) {
+      const std::string what =
+          "duplicate (slot,sbs,class,content) entry at line " +
+          std::to_string(line);
+      if (skipped_ >= options_.max_bad_records) throw InvalidArgument(what);
+      ++skipped_;
+      MDO_WARN("skipping bad trace record (" << skipped_ << "/"
+                                             << options_.max_bad_records
+                                             << "): " << what);
+      continue;
+    }
+    if (entry.rate != 0.0 && entry.rate >= options_.min_rate) {
+      slot_entries_.push_back(entry);
+    }
+  }
+}
+
+std::optional<model::SparseSlotDemand> StreamingTraceReader::next() {
+  if (!pending_ && !exhausted_) advance_pending();  // first pull / drained
+  if (!pending_) {
+    MDO_REQUIRE(saw_data_, "trace file has no data rows");
+    return std::nullopt;
+  }
+
+  const std::size_t current = next_slot_;
+  slot_entries_.clear();
+  seen_.clear();
+  if (pending_->t == current) {
+    fill_slot(current);
+  }
+  // pending_->t > current: a gap slot — yielded as all zeros, exactly like
+  // the batch loaders' absent-entries-are-zero semantics.
+
+  // CSR append wants (n, m, k) lexicographic order; rows within the slot
+  // may appear in any order.
+  std::sort(slot_entries_.begin(), slot_entries_.end(),
+            [](const detail::TraceEntry& a, const detail::TraceEntry& b) {
+              return std::tie(a.n, a.m, a.k) < std::tie(b.n, b.m, b.k);
+            });
+  model::SparseSlotDemand slot;
+  slot.reserve(config_->num_sbs());
+  std::size_t cursor = 0;
+  for (std::size_t n = 0; n < config_->num_sbs(); ++n) {
+    model::SparseSbsDemand d(config_->sbs[n].num_classes(),
+                             config_->num_contents);
+    while (cursor < slot_entries_.size() && slot_entries_[cursor].n == n) {
+      const detail::TraceEntry& e = slot_entries_[cursor++];
+      d.append(e.m, e.k, e.rate);
+      ++entries_yielded_;
+    }
+    d.finalize();
+    slot.push_back(std::move(d));
+  }
+  ++next_slot_;
+  return slot;
+}
+
+}  // namespace mdo::workload

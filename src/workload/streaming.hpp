@@ -1,0 +1,104 @@
+// Slot-at-a-time streaming trace ingestion.
+//
+// The batch loaders in trace_io.hpp materialize the whole trace before the
+// first slot can be simulated — fine for the paper's T = 500 horizons,
+// prohibitive for measured traces with 10^7-10^8 requests. The streaming
+// reader parses the same CSV format incrementally and yields one
+// SparseSlotDemand per pull, so a run's peak memory is O(lookahead window),
+// independent of the trace length (see DESIGN.md, "Streaming memory
+// model"). sim/streaming_run.hpp drives a controller directly off this
+// reader.
+//
+// Contract differences from the batch loaders (both are validated):
+//  - Rows must arrive in non-decreasing slot order (any order of
+//    (sbs,class,content) within a slot is fine). An out-of-order slot is a
+//    file-level error — the already-yielded slots cannot be amended — and
+//    is never skippable.
+//  - Duplicate detection is scoped to the current slot; the batch loaders
+//    detect duplicates across the whole file. With in-order input the two
+//    behave identically.
+// Empty slots between populated ones are yielded as all-zero slots, so the
+// sequence of yields is exactly load_sparse_trace_csv()'s slot sequence.
+#pragma once
+
+#include <fstream>
+#include <iosfwd>
+#include <optional>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "model/network.hpp"
+#include "model/sparse_demand.hpp"
+#include "workload/trace_parse.hpp"
+
+namespace mdo::workload {
+
+struct StreamingTraceOptions {
+  /// Drop entries with rate < min_rate at ingest (same truncation knob as
+  /// load_sparse_trace_csv).
+  double min_rate = 0.0;
+  /// Record-level corruption budget, shared across the whole file — the
+  /// same semantics as TraceLoadOptions::max_bad_records.
+  std::size_t max_bad_records = 0;
+};
+
+/// Incremental reader for the trace CSV format. Construct, then pull slots
+/// with next() until it returns nullopt. Throws InvalidArgument on the
+/// same failures as the batch loaders (plus out-of-order slots); a bounded
+/// number of record-level failures can be skipped via max_bad_records.
+class StreamingTraceReader {
+ public:
+  /// Reads from an externally-owned stream (must outlive the reader).
+  StreamingTraceReader(std::istream& is, const model::NetworkConfig& config,
+                       StreamingTraceOptions options = {});
+  /// Opens and owns the file at `path`.
+  StreamingTraceReader(const std::string& path,
+                       const model::NetworkConfig& config,
+                       StreamingTraceOptions options = {});
+
+  StreamingTraceReader(const StreamingTraceReader&) = delete;
+  StreamingTraceReader& operator=(const StreamingTraceReader&) = delete;
+
+  /// Yields the demand of slot `slots_yielded()` and advances, or nullopt
+  /// after the last populated slot. The first nullopt is sticky.
+  std::optional<model::SparseSlotDemand> next();
+
+  /// Slots yielded so far == the index the next() call will yield.
+  std::size_t slots_yielded() const { return next_slot_; }
+  /// Malformed rows skipped so far (<= max_bad_records).
+  std::size_t skipped_records() const { return skipped_; }
+  /// Non-zero entries yielded so far (after min_rate truncation).
+  std::size_t entries_yielded() const { return entries_yielded_; }
+
+ private:
+  void read_header();
+  /// Parses rows until pending_ holds a row of a later slot than
+  /// `current`, or the file is exhausted. Valid rows of slot `current`
+  /// land in slot_entries_.
+  void fill_slot(std::size_t current);
+  /// Refills pending_ with the next valid data row; consumes the skip
+  /// budget on record-level failures. Leaves pending_ empty at EOF.
+  void advance_pending();
+
+  std::ifstream file_;   // backing storage for the path constructor
+  std::istream* is_;     // the stream actually read (never null)
+  const model::NetworkConfig* config_;
+  StreamingTraceOptions options_;
+
+  std::size_t line_number_ = 1;  // the header was line 1
+  std::size_t next_slot_ = 0;
+  std::size_t skipped_ = 0;
+  std::size_t entries_yielded_ = 0;
+  std::size_t last_slot_seen_ = 0;  // order guard (valid once saw_data_)
+  bool saw_data_ = false;      // at least one valid row anywhere
+  bool exhausted_ = false;     // EOF reached and pending_ drained
+  std::optional<detail::TraceEntry> pending_;  // first row not yet consumed
+  std::size_t pending_line_ = 0;               // its line number
+  std::vector<detail::TraceEntry> slot_entries_;
+  /// Duplicate guard for the slot being filled; cleared on slot advance.
+  std::set<std::tuple<std::size_t, std::size_t, std::size_t>> seen_;
+};
+
+}  // namespace mdo::workload

@@ -1,97 +1,23 @@
 #include "workload/trace_io.hpp"
 
 #include <algorithm>
-#include <array>
 #include <cmath>
 #include <cstddef>
 #include <fstream>
 #include <iomanip>
 #include <set>
-#include <sstream>
 #include <tuple>
 #include <utility>
 
 #include "util/error.hpp"
 #include "util/logging.hpp"
+#include "workload/trace_parse.hpp"
 
 namespace mdo::workload {
 
 namespace {
 
-constexpr std::array<const char*, 5> kFieldNames = {"slot", "sbs", "class",
-                                                    "content", "rate"};
-
-[[noreturn]] void fail_field(std::size_t line_number, std::size_t field,
-                             const std::string& token,
-                             const std::string& reason) {
-  std::ostringstream os;
-  os << "trace line " << line_number << ", field '" << kFieldNames[field]
-     << "': " << reason << " (got \"" << token << "\")";
-  throw InvalidArgument(os.str());
-}
-
-/// Splits a data row into exactly 5 comma-separated tokens.
-std::array<std::string, 5> split_row(const std::string& line,
-                                     std::size_t line_number) {
-  std::array<std::string, 5> tokens;
-  std::size_t start = 0;
-  for (std::size_t field = 0; field < tokens.size(); ++field) {
-    const bool last = field + 1 == tokens.size();
-    const std::size_t comma = line.find(',', start);
-    if (last != (comma == std::string::npos)) {
-      throw InvalidArgument("trace line " + std::to_string(line_number) +
-                            ": expected 5 comma-separated fields "
-                            "(slot,sbs,class,content,rate): " +
-                            line);
-    }
-    tokens[field] = last ? line.substr(start) : line.substr(start, comma - start);
-    start = comma + 1;
-  }
-  return tokens;
-}
-
-std::size_t parse_index(const std::string& token, std::size_t line_number,
-                        std::size_t field) {
-  if (token.empty()) fail_field(line_number, field, token, "empty field");
-  std::size_t consumed = 0;
-  unsigned long long value = 0;
-  try {
-    value = std::stoull(token, &consumed);
-  } catch (const std::exception&) {
-    fail_field(line_number, field, token, "not a non-negative integer");
-  }
-  if (consumed != token.size() || token.front() == '-') {
-    fail_field(line_number, field, token, "not a non-negative integer");
-  }
-  return static_cast<std::size_t>(value);
-}
-
-double parse_rate(const std::string& token, std::size_t line_number,
-                  std::size_t field) {
-  if (token.empty()) fail_field(line_number, field, token, "empty field");
-  std::size_t consumed = 0;
-  double value = 0.0;
-  try {
-    value = std::stod(token, &consumed);
-  } catch (const std::exception&) {
-    fail_field(line_number, field, token, "not a number");
-  }
-  if (consumed != token.size()) {
-    fail_field(line_number, field, token, "not a number");
-  }
-  if (!std::isfinite(value)) {
-    fail_field(line_number, field, token, "rate must be finite");
-  }
-  if (value < 0.0) {
-    fail_field(line_number, field, token, "rate must be >= 0");
-  }
-  return value;
-}
-
-struct Entry {
-  std::size_t t, n, m, k;
-  double rate;
-};
+using Entry = detail::TraceEntry;
 
 /// Shared row parser: header + data rows + shape/duplicate/stream checks.
 /// Returns the entries in file order plus the largest slot index seen.
@@ -104,7 +30,7 @@ std::pair<std::vector<Entry>, std::size_t> parse_trace_rows(
   std::string line;
   MDO_REQUIRE(static_cast<bool>(std::getline(is, line)),
               "trace file is empty");
-  MDO_REQUIRE(line.rfind("slot,sbs,class,content,rate", 0) == 0,
+  MDO_REQUIRE(line.rfind(detail::kTraceHeader, 0) == 0,
               "unexpected trace header: " + line);
 
   std::vector<Entry> entries;
@@ -118,22 +44,7 @@ std::pair<std::vector<Entry>, std::size_t> parse_trace_rows(
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     try {
-      const auto tokens = split_row(line, line_number);
-      Entry entry{};
-      entry.t = parse_index(tokens[0], line_number, 0);
-      entry.n = parse_index(tokens[1], line_number, 1);
-      entry.m = parse_index(tokens[2], line_number, 2);
-      entry.k = parse_index(tokens[3], line_number, 3);
-      entry.rate = parse_rate(tokens[4], line_number, 4);
-      if (entry.n >= config.num_sbs()) {
-        fail_field(line_number, 1, tokens[1], "SBS index out of range");
-      }
-      if (entry.m >= config.sbs[entry.n].num_classes()) {
-        fail_field(line_number, 2, tokens[2], "class index out of range");
-      }
-      if (entry.k >= config.num_contents) {
-        fail_field(line_number, 3, tokens[3], "content index out of range");
-      }
+      const Entry entry = detail::parse_trace_entry(line, line_number, config);
       MDO_REQUIRE(seen.insert({entry.t, entry.n, entry.m, entry.k}).second,
                   "duplicate (slot,sbs,class,content) entry at line " +
                       std::to_string(line_number));

@@ -1,0 +1,134 @@
+// Shared row-level parsing for the long-format trace CSV
+// (slot,sbs,class,content,rate) — used by both the batch loaders in
+// trace_io.hpp and the slot-at-a-time streaming reader in streaming.hpp.
+//
+// Numeric fields are parsed with std::from_chars, which is deliberately
+// stricter than iostream-family parsing: leading whitespace (" 3"), an
+// explicit plus sign ("+3"), and hexadecimal floats ("0x1p3") are malformed
+// rows, not silently-accepted spellings. Rejected rows fail with the exact
+// line number and field name, and count against
+// TraceLoadOptions::max_bad_records like any other record-level failure.
+#pragma once
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <system_error>
+
+#include "model/network.hpp"
+#include "util/error.hpp"
+
+namespace mdo::workload::detail {
+
+inline constexpr std::array<const char*, 5> kTraceFieldNames = {
+    "slot", "sbs", "class", "content", "rate"};
+
+/// The expected first line of every trace file.
+inline constexpr const char* kTraceHeader = "slot,sbs,class,content,rate";
+
+/// One parsed data row.
+struct TraceEntry {
+  std::size_t t = 0, n = 0, m = 0, k = 0;
+  double rate = 0.0;
+};
+
+[[noreturn]] inline void fail_field(std::size_t line_number, std::size_t field,
+                                    const std::string& token,
+                                    const std::string& reason) {
+  std::ostringstream os;
+  os << "trace line " << line_number << ", field '"
+     << kTraceFieldNames[field] << "': " << reason << " (got \"" << token
+     << "\")";
+  throw InvalidArgument(os.str());
+}
+
+/// Splits a data row into exactly 5 comma-separated tokens.
+inline std::array<std::string, 5> split_trace_row(const std::string& line,
+                                                  std::size_t line_number) {
+  std::array<std::string, 5> tokens;
+  std::size_t start = 0;
+  for (std::size_t field = 0; field < tokens.size(); ++field) {
+    const bool last = field + 1 == tokens.size();
+    const std::size_t comma = line.find(',', start);
+    if (last != (comma == std::string::npos)) {
+      throw InvalidArgument("trace line " + std::to_string(line_number) +
+                            ": expected 5 comma-separated fields "
+                            "(slot,sbs,class,content,rate): " +
+                            line);
+    }
+    tokens[field] =
+        last ? line.substr(start) : line.substr(start, comma - start);
+    start = comma + 1;
+  }
+  return tokens;
+}
+
+/// Strict non-negative integer: the whole token must be plain decimal
+/// digits. from_chars rejects whitespace, '+', and (for an unsigned target)
+/// '-' on its own.
+inline std::size_t parse_index(const std::string& token,
+                               std::size_t line_number, std::size_t field) {
+  if (token.empty()) fail_field(line_number, field, token, "empty field");
+  unsigned long long value = 0;
+  const char* const first = token.data();
+  const char* const last = first + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) {
+    fail_field(line_number, field, token, "not a non-negative integer");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+/// Strict finite non-negative decimal float. chars_format::general accepts
+/// fixed and scientific notation only — "0x1p3" parses as "0" with trailing
+/// characters and is rejected, as are " 1.5" and "+1.5".
+inline double parse_rate(const std::string& token, std::size_t line_number,
+                         std::size_t field) {
+  if (token.empty()) fail_field(line_number, field, token, "empty field");
+  double value = 0.0;
+  const char* const first = token.data();
+  const char* const last = first + token.size();
+  const auto [ptr, ec] =
+      std::from_chars(first, last, value, std::chars_format::general);
+  if (ec != std::errc{} || ptr != last) {
+    fail_field(line_number, field, token, "not a number");
+  }
+  if (!std::isfinite(value)) {
+    fail_field(line_number, field, token, "rate must be finite");
+  }
+  if (value < 0.0) {
+    fail_field(line_number, field, token, "rate must be >= 0");
+  }
+  return value;
+}
+
+/// Parses one data row and validates every index against the config shape.
+/// Throws InvalidArgument naming the line and field on any failure.
+/// Duplicate detection is the caller's job — its scope differs between the
+/// batch loaders (whole file) and the streaming reader (current slot).
+inline TraceEntry parse_trace_entry(const std::string& line,
+                                    std::size_t line_number,
+                                    const model::NetworkConfig& config) {
+  const auto tokens = split_trace_row(line, line_number);
+  TraceEntry entry;
+  entry.t = parse_index(tokens[0], line_number, 0);
+  entry.n = parse_index(tokens[1], line_number, 1);
+  entry.m = parse_index(tokens[2], line_number, 2);
+  entry.k = parse_index(tokens[3], line_number, 3);
+  entry.rate = parse_rate(tokens[4], line_number, 4);
+  if (entry.n >= config.num_sbs()) {
+    fail_field(line_number, 1, tokens[1], "SBS index out of range");
+  }
+  if (entry.m >= config.sbs[entry.n].num_classes()) {
+    fail_field(line_number, 2, tokens[2], "class index out of range");
+  }
+  if (entry.k >= config.num_contents) {
+    fail_field(line_number, 3, tokens[3], "content index out of range");
+  }
+  return entry;
+}
+
+}  // namespace mdo::workload::detail

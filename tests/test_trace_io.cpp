@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "util/error.hpp"
 #include "workload/generator.hpp"
@@ -206,6 +208,52 @@ TEST(TraceIo, ZeroBudgetIsStrict) {
   std::stringstream buffer("slot,sbs,class,content,rate\n0,0,0,0,oops\n");
   // Default options: first bad record throws, exactly as before.
   EXPECT_THROW(load_trace_csv(buffer, config), InvalidArgument);
+}
+
+// ---- Strict numeric spellings (std::from_chars semantics) ------------------
+
+TEST(TraceIo, RejectsLenientNumericSpellings) {
+  const auto config = tiny_config();
+  // Spellings the old stoul/stod-based parser silently accepted. from_chars
+  // is strict: no leading whitespace, no '+' sign, no hex, no trailing junk.
+  const std::vector<std::string> bad_rows = {
+      " 0,0,0,0,1.0",   // leading space in an index field
+      "+0,0,0,0,1.0",   // '+' sign on an index
+      "0,0x1,0,0,1.0",  // hex integer index
+      "0,0,0 ,0,1.0",   // trailing space on an index
+      "0,0,0,0, 1.0",   // leading space in the rate
+      "0,0,0,0,+1.0",   // '+' sign on the rate
+      "0,0,0,0,0x1p3",  // hex float rate
+      "0,0,0,0,1.0 ",   // trailing space on the rate
+      "0,0,0,0,1.0e",   // dangling exponent
+  };
+  for (const auto& row : bad_rows) {
+    std::stringstream strict("slot,sbs,class,content,rate\n" + row + "\n");
+    EXPECT_THROW(load_trace_csv(strict, config), InvalidArgument)
+        << "row accepted: " << row;
+    // Under a skip budget the same rows are record-level (skippable), so a
+    // later good row still loads.
+    std::stringstream lenient("slot,sbs,class,content,rate\n" + row +
+                              "\n0,0,0,1,2.0\n");
+    TraceLoadOptions options;
+    options.max_bad_records = 1;
+    const auto loaded = load_trace_csv(lenient, config, options);
+    EXPECT_EQ(loaded.horizon(), 1u) << "row: " << row;
+    EXPECT_DOUBLE_EQ(loaded.slot(0)[0].at(0, 1), 2.0) << "row: " << row;
+  }
+}
+
+TEST(TraceIo, StrictParserKeepsPlainDecimalAndExponentForms) {
+  const auto config = tiny_config();
+  std::stringstream buffer(
+      "slot,sbs,class,content,rate\n"
+      "0,0,0,0,1.5e-1\n"
+      "0,0,0,1,2\n"
+      "0,0,1,2,0.0\n");
+  const auto loaded = load_trace_csv(buffer, config);
+  EXPECT_DOUBLE_EQ(loaded.slot(0)[0].at(0, 0), 0.15);
+  EXPECT_DOUBLE_EQ(loaded.slot(0)[0].at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(loaded.slot(0)[0].at(1, 2), 0.0);
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 
 #include "util/cli.hpp"
@@ -184,6 +187,55 @@ TEST(Csv, WritesHeaderAndRows) {
   EXPECT_NE(out.find("x,y\n"), std::string::npos);
   EXPECT_NE(out.find("1,2.5"), std::string::npos);
   EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+}
+
+TEST(Csv, DoublesRoundTripBitExact) {
+  // write_cell emits the shortest string that parses back to the exact
+  // double (std::to_chars). The old fixed setprecision(12) lost the low
+  // bits of most values — 1/3 and 0.1 round-tripped to different doubles.
+  const double values[] = {1.0 / 3.0,
+                           0.1,
+                           2.0 / 7.0,
+                           1e-300,
+                           6.02214076e23,
+                           -123456789.123456789,
+                           std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::max(),
+                           std::numeric_limits<double>::min()};
+  for (const double value : values) {
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.header({"v"});
+    csv.row({value});
+    const std::string text = os.str();
+    std::string cell = text.substr(text.find('\n') + 1);
+    ASSERT_FALSE(cell.empty());
+    ASSERT_EQ(cell.back(), '\n');
+    cell.pop_back();
+    char* end = nullptr;
+    const double parsed = std::strtod(cell.c_str(), &end);
+    EXPECT_EQ(end, cell.c_str() + cell.size()) << "cell: " << cell;
+    EXPECT_EQ(parsed, value) << "cell: " << cell;
+  }
+}
+
+TEST(Csv, LeavesStreamFormattingStateUntouched) {
+  // Regression: write_cell used to set setprecision(12) on the caller's
+  // stream and never restore it, silently changing how everything written
+  // after the CSV block was formatted.
+  std::ostringstream os;
+  os << std::setprecision(4) << std::fixed;
+  const auto flags_before = os.flags();
+  const auto precision_before = os.precision();
+  CsvWriter csv(os);
+  csv.header({"x", "y"});
+  csv.row({1.0 / 3.0, std::int64_t{7}});
+  EXPECT_EQ(os.flags(), flags_before);
+  EXPECT_EQ(os.precision(), precision_before);
+  os << 3.14159265358979;
+  const std::string out = os.str();
+  EXPECT_NE(out.find("3.1416"), std::string::npos);  // still fixed, 4 digits
+  EXPECT_EQ(out.find("3.14159265"), std::string::npos);
 }
 
 TEST(Csv, RejectsMismatchedRowWidth) {

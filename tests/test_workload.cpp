@@ -1,7 +1,9 @@
 // Unit tests for the workload generator, Zipf popularity, and predictors.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
 
 #include "util/error.hpp"
 #include "workload/generator.hpp"
@@ -122,6 +124,77 @@ TEST(Generator, RankDriftChangesOrdering) {
     return order;
   };
   EXPECT_NE(ranking_at(0), ranking_at(39));
+}
+
+TEST(Generator, RankDriftSwapsAdjacentRanksOnly) {
+  // Regression for the drift bug: each swap must exchange the contents that
+  // hold ranks r and r+1 (a local popularity churn), not the ranks of two
+  // index-adjacent contents (which teleported tail contents into the head).
+  // With noise off and fixed density the realized content totals are a
+  // strictly decreasing function of rank, so the rank permutation is
+  // recoverable from each slot by sorting totals.
+  const auto config = tiny_config();
+  WorkloadOptions options;
+  options.rank_swaps_per_slot = 1;
+  options.demand_noise = 0.0;
+  options.density_min = options.density_max = 1.0;
+  const std::size_t horizon = 30;
+  const auto trace = generate_demand(config, horizon, options);
+  auto ranking_at = [&](std::size_t t) {
+    std::vector<std::size_t> order(config.num_contents);
+    for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return trace.slot(t)[0].content_total(a) >
+             trace.slot(t)[0].content_total(b);
+    });
+    return order;  // order[r] = content holding rank r
+  };
+  for (std::size_t t = 1; t < horizon; ++t) {
+    const auto prev = ranking_at(t - 1);
+    const auto cur = ranking_at(t);
+    std::vector<std::size_t> moved;
+    for (std::size_t r = 0; r < prev.size(); ++r) {
+      if (prev[r] != cur[r]) moved.push_back(r);
+    }
+    // Exactly one adjacent transposition per slot: two neighboring rank
+    // positions exchange their contents.
+    ASSERT_EQ(moved.size(), 2u) << "slot " << t;
+    EXPECT_EQ(moved[1], moved[0] + 1) << "slot " << t;
+    EXPECT_EQ(prev[moved[0]], cur[moved[1]]) << "slot " << t;
+    EXPECT_EQ(prev[moved[1]], cur[moved[0]]) << "slot " << t;
+  }
+}
+
+TEST(Generator, RankDriftPerSlotDisplacementIsBounded) {
+  // s adjacent transpositions can move a content by at most s rank
+  // positions between consecutive slots.
+  const auto config = tiny_config();
+  WorkloadOptions options;
+  options.rank_swaps_per_slot = 3;
+  options.demand_noise = 0.0;
+  options.density_min = options.density_max = 1.0;
+  const auto trace = generate_demand(config, 25, options);
+  auto rank_of_content = [&](std::size_t t) {
+    std::vector<std::size_t> order(config.num_contents);
+    for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return trace.slot(t)[0].content_total(a) >
+             trace.slot(t)[0].content_total(b);
+    });
+    std::vector<std::size_t> rank(config.num_contents);
+    for (std::size_t r = 0; r < order.size(); ++r) rank[order[r]] = r;
+    return rank;
+  };
+  for (std::size_t t = 1; t < 25; ++t) {
+    const auto prev = rank_of_content(t - 1);
+    const auto cur = rank_of_content(t);
+    for (std::size_t k = 0; k < config.num_contents; ++k) {
+      const auto lo = std::min(prev[k], cur[k]);
+      const auto hi = std::max(prev[k], cur[k]);
+      EXPECT_LE(hi - lo, options.rank_swaps_per_slot)
+          << "content " << k << " slot " << t;
+    }
+  }
 }
 
 TEST(Generator, NoDriftKeepsOrderingStable) {
@@ -353,6 +426,42 @@ TEST(EmaPredictor, ValidatesArguments) {
   const EmaPredictor predictor(trace, 0.5);
   EXPECT_THROW(predictor.predict(3, 1), InvalidArgument);
   EXPECT_THROW(predictor.predict(3, 9), InvalidArgument);
+}
+
+TEST(EmaPredictor, ConcurrentPredictIsSafeAndExact) {
+  // predict() is const but advances an internal cache; the mutex must make
+  // concurrent queries both race-free (run under TSan in CI) and exact:
+  // every answer equals what a fresh, serial predictor returns. Threads
+  // deliberately walk tau in opposite directions to force cache restarts.
+  const auto config = tiny_config();
+  WorkloadOptions options;
+  options.seed = 11;
+  const std::size_t horizon = 16;
+  const auto trace = generate_demand(config, horizon, options);
+  const double alpha = 0.5;
+  std::vector<model::SlotDemand> expected;
+  for (std::size_t tau = 0; tau < horizon; ++tau) {
+    const EmaPredictor fresh(trace, alpha);
+    expected.push_back(fresh.predict(tau, horizon - 1));
+  }
+
+  const EmaPredictor shared(trace, alpha);
+  std::atomic<bool> exact{true};
+  auto worker = [&](bool forward) {
+    for (int pass = 0; pass < 4; ++pass) {
+      for (std::size_t i = 0; i < horizon; ++i) {
+        const std::size_t tau = forward ? i : horizon - 1 - i;
+        const auto got = shared.predict(tau, horizon - 1);
+        for (std::size_t n = 0; n < got.size(); ++n) {
+          if (got[n].data() != expected[tau][n].data()) exact = false;
+        }
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) threads.emplace_back(worker, i % 2 == 0);
+  for (auto& thread : threads) thread.join();
+  EXPECT_TRUE(exact.load());
 }
 
 // --------------------------------------------------------------- scenario ----
