@@ -42,10 +42,7 @@
 //   --lookahead W    streaming buffer depth (default 1; LRFU is myopic)
 //   --trace PATH     trace scratch file (default /tmp/mdo_bench_events.csv)
 //   --json PATH      output path (default BENCH_events.json)
-#include <sys/resource.h>
-
 #include <cmath>
-#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -54,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "common.hpp"
 #include "online/baselines.hpp"
 #include "sim/event_sim.hpp"
 #include "sim/simulator.hpp"
@@ -209,10 +207,7 @@ int run_measure(const EventSetup& setup, const std::string& mode) {
     return 1;
   }
   out.wall_seconds = watch.elapsed_seconds();
-
-  struct rusage usage {};
-  getrusage(RUSAGE_SELF, &usage);
-  out.peak_rss_kb = usage.ru_maxrss;
+  out.peak_rss_kb = mdo::bench::self_peak_rss_kb();
   print_result_line(out);
   return 0;
 }
@@ -223,32 +218,17 @@ std::optional<Measured> spawn_measure(const std::string& self,
                                       const EventSetup& setup,
                                       const std::string& mode) {
   const std::string command = self + " --measure " + mode + setup.as_flags();
-  FILE* pipe = popen(command.c_str(), "r");
-  if (pipe == nullptr) {
-    std::cerr << "error: cannot spawn: " << command << "\n";
-    return std::nullopt;
+  const std::optional<std::string> payload =
+      mdo::bench::run_result_child(command);
+  if (!payload) return std::nullopt;
+  std::istringstream fields(*payload);
+  Measured m;
+  if (fields >> m.mode >> m.requests >> m.hit_ratio >> m.mean_delay >>
+      m.backhaul_bytes >> m.discrete_cost >> m.fluid_cost >> m.wall_seconds >>
+      m.peak_rss_kb) {
+    return m;
   }
-  std::string output;
-  char buffer[4096];
-  while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) output += buffer;
-  const int status = pclose(pipe);
-
-  std::istringstream lines(output);
-  std::string line;
-  while (std::getline(lines, line)) {
-    if (line.rfind("RESULT ", 0) != 0) continue;
-    std::istringstream fields(line.substr(7));
-    Measured m;
-    if (fields >> m.mode >> m.requests >> m.hit_ratio >> m.mean_delay >>
-        m.backhaul_bytes >> m.discrete_cost >> m.fluid_cost >>
-        m.wall_seconds >> m.peak_rss_kb) {
-      if (status != 0) break;
-      return m;
-    }
-  }
-  std::cerr << "error: measurement failed (status " << status
-            << "): " << command << "\n"
-            << output;
+  std::cerr << "error: malformed RESULT line from: " << command << "\n";
   return std::nullopt;
 }
 

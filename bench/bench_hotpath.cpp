@@ -209,11 +209,14 @@ class LegacyRhcController final : public online::Controller {
   }
 
   model::SlotDecision decide(const online::DecisionContext& ctx) override {
+    // Legacy behavior on purpose: a fresh window trace materialized per
+    // decision (the baseline the buffer-reusing controllers beat).
+    window_demand_ = ctx.predictor->predict_window(ctx.slot, window_);
     core::HorizonProblem problem;
     problem.config = &instance_->config;
-    problem.demand = ctx.predictor->predict_window(ctx.slot, window_);
+    problem.demand = &window_demand_;
     problem.initial_cache = trajectory_cache_;
-    const std::size_t horizon = problem.demand.horizon();
+    const std::size_t horizon = window_demand_.horizon();
 
     std::optional<linalg::Vec> warm;
     if (!warm_mu_.empty()) {
@@ -239,6 +242,7 @@ class LegacyRhcController final : public online::Controller {
   core::PrimalDualOptions options_;
   const model::ProblemInstance* instance_ = nullptr;
   model::CacheState trajectory_cache_;
+  model::DemandTrace window_demand_;
   linalg::Vec warm_mu_;
   std::size_t warm_horizon_ = 0;
 };
@@ -422,6 +426,18 @@ int main(int argc, char** argv) {
                    "allocated (limit "
                 << steady_limit << ")\n";
     }
+    // The HorizonProblem view-based hand-off eliminated the per-decision
+    // window copy: the hot controller refills member buffers in place while
+    // the legacy loop materializes a fresh window trace every slot, so the
+    // hot path must allocate strictly fewer times per decision.
+    const bool window_reuse_ok =
+        hot_run.allocs_per_decision < legacy_run.allocs_per_decision;
+    if (!window_reuse_ok) {
+      std::cerr << "WINDOW HAND-OFF REGRESSION: hot path allocates "
+                << hot_run.allocs_per_decision
+                << " per decision vs legacy copy-per-slot "
+                << legacy_run.allocs_per_decision << "\n";
+    }
     std::cout << (deterministic ? "deterministic across thread counts and "
                                   "workspace modes\n"
                                 : "NOT deterministic\n");
@@ -451,11 +467,13 @@ int main(int argc, char** argv) {
            << "  \"steady_allocs_limit\": " << steady_limit << ",\n"
            << "  \"allocations_ok\": " << (allocs_ok ? "true" : "false")
            << ",\n"
+           << "  \"window_reuse_ok\": "
+           << (window_reuse_ok ? "true" : "false") << ",\n"
            << "  \"deterministic\": " << (deterministic ? "true" : "false")
            << "\n}\n";
       std::cout << "wrote " << json_path << "\n";
     }
-    return deterministic && allocs_ok ? 0 : 1;
+    return deterministic && allocs_ok && window_reuse_ok ? 0 : 1;
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;

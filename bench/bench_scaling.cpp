@@ -34,11 +34,8 @@
 //   --json PATH          output path (default BENCH_scaling.json)
 //   --require-speedup X  exit nonzero unless the largest-K decision-latency
 //                        speedup reaches X (default 0 = report only)
-#include <sys/resource.h>
-
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -47,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "common.hpp"
 #include "online/rhc.hpp"
 #include "sim/simulator.hpp"
 #include "util/cli.hpp"
@@ -61,14 +59,7 @@ namespace {
 
 using namespace mdo;
 
-/// Nearest-rank percentile of an unsorted sample; p in (0, 100].
-double percentile(std::vector<double> sample, double p) {
-  if (sample.empty()) return 0.0;
-  std::sort(sample.begin(), sample.end());
-  const auto n = static_cast<double>(sample.size());
-  const auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
-  return sample[std::min(sample.size() - 1, rank > 0 ? rank - 1 : 0)];
-}
+using bench::percentile;
 
 /// Everything one (representation, K) subprocess reports back.
 struct Measured {
@@ -195,10 +186,7 @@ Measured measure(const ScalingSetup& setup, std::size_t contents,
   out.mean_decision_seconds = result.mean_decision_seconds();
   out.p50 = percentile(decision_seconds, 50.0);
   out.p99 = percentile(decision_seconds, 99.0);
-
-  struct rusage usage {};
-  getrusage(RUSAGE_SELF, &usage);
-  out.peak_rss_kb = usage.ru_maxrss;
+  out.peak_rss_kb = bench::self_peak_rss_kb();
   return out;
 }
 
@@ -220,32 +208,16 @@ std::optional<Measured> spawn_measure(const std::string& self,
   const std::string command = self + " --measure " +
                               (sparse ? "sparse" : "dense") + " --contents " +
                               std::to_string(contents) + setup.as_flags();
-  FILE* pipe = popen(command.c_str(), "r");
-  if (pipe == nullptr) {
-    std::cerr << "error: cannot spawn: " << command << "\n";
-    return std::nullopt;
+  const std::optional<std::string> payload = bench::run_result_child(command);
+  if (!payload) return std::nullopt;
+  std::istringstream fields(*payload);
+  Measured m;
+  if (fields >> m.repr >> m.contents >> m.min_rate >> m.nnz_fraction >>
+      m.wall_seconds >> m.mean_decision_seconds >> m.p50 >> m.p99 >>
+      m.total_cost >> m.peak_rss_kb) {
+    return m;
   }
-  std::string output;
-  char buffer[4096];
-  while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) output += buffer;
-  const int status = pclose(pipe);
-
-  std::istringstream lines(output);
-  std::string line;
-  while (std::getline(lines, line)) {
-    if (line.rfind("RESULT ", 0) != 0) continue;
-    std::istringstream fields(line.substr(7));
-    Measured m;
-    if (fields >> m.repr >> m.contents >> m.min_rate >> m.nnz_fraction >>
-        m.wall_seconds >> m.mean_decision_seconds >> m.p50 >> m.p99 >>
-        m.total_cost >> m.peak_rss_kb) {
-      if (status != 0) break;
-      return m;
-    }
-  }
-  std::cerr << "error: measurement failed (status " << status
-            << "): " << command << "\n"
-            << output;
+  std::cerr << "error: malformed RESULT line from: " << command << "\n";
   return std::nullopt;
 }
 

@@ -1,0 +1,493 @@
+// E14 — process-level scale-out of the primal-dual decomposition.
+//
+// Sweeps the SBS count N and runs the same truncated-Zipf sparse scenario
+// (K = 10^4 catalogue by default) through the RHC controller at every
+// shard count in --shards-list, plus the in-process solver as the
+// transparency baseline. Reported per cell: per-decision latency
+// percentiles, wall clock, coordinator peak RSS, and the per-worker peak
+// RSS high-water (getrusage(RUSAGE_CHILDREN) after the worker fleet is
+// reaped — the number that bounds per-worker provisioning).
+//
+// Scale-out efficiency per (N, S) is wall(S=1) / (S * wall(S)): the
+// fraction of linear speedup over the one-worker fleet that S workers
+// actually deliver once exchange and serial-reduction costs are paid.
+//
+// Two guards make this bench a regression gate (nonzero exit on failure):
+//  - Determinism: every cell's total cost must be bit-identical across the
+//    in-process baseline and every shard count (same doubles, not just
+//    close ones).
+//  - Worker-kill recovery: a measurement child re-runs one solve with
+//    MDO_SHARD_KILL_AT armed so a worker _exit()s mid-iteration; the
+//    supervised retry must recover a solution whose upper bound is
+//    bit-identical to the undisturbed solve, with the failure/retry/
+//    recovery counters showing exactly one supervised round trip.
+//
+// Peak RSS must be attributed per configuration, so each measurement runs
+// in its own subprocess (this binary re-executed with --measure) and
+// reports back over a pipe (common.hpp RESULT-line protocol).
+//
+// Flags:
+//   --sbs-list LIST      comma-separated SBS counts (default 64,256,1024)
+//   --shards-list LIST   comma-separated worker counts (default 1,2,8)
+//   --contents K         catalogue size (default 10000)
+//   --classes M          MU classes per SBS (default 2)
+//   --slots N            horizon (default 6)
+//   --window W           RHC window (default 4)
+//   --capacity C         cache capacity (default 5)
+//   --bandwidth B        SBS bandwidth (default 30)
+//   --beta B             replacement cost (default 100)
+//   --eta E              prediction noise (default 0.1)
+//   --seed S             scenario seed (default 7)
+//   --head-fraction F    surviving Zipf head fraction (default 0.02)
+//   --iterations L       dual iterations per solve (default 16)
+//   --threads T          threads per process (default 1, so the worker
+//                        fleet is the only parallelism being measured)
+//   --kill-at I          iteration the kill-recovery worker dies at
+//                        (default 0 — the only iteration every solve is
+//                        guaranteed to reach before converging)
+//   --json PATH          output path (default BENCH_shard.json)
+#include <cstdlib>
+
+#include <bit>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "online/rhc.hpp"
+#include "runtime/supervisor.hpp"
+#include "shard/coordinator.hpp"
+#include "sim/simulator.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/predictor.hpp"
+#include "workload/scenario.hpp"
+#include "workload/zipf.hpp"
+
+namespace {
+
+using namespace mdo;
+
+using bench::percentile;
+
+/// The bench's scenario knobs (shared by parent and --measure children).
+struct ShardSetup {
+  std::size_t contents = 10000;
+  std::size_t classes = 2;
+  std::size_t slots = 6;
+  std::size_t window = 4;
+  std::size_t capacity = 5;
+  double bandwidth = 30.0;
+  double beta = 100.0;
+  double eta = 0.1;
+  std::uint64_t seed = 7;
+  double head_fraction = 0.02;
+  std::size_t iterations = 16;
+  std::size_t threads = 1;
+  std::size_t kill_at = 0;
+
+  static ShardSetup parse(const CliFlags& flags) {
+    ShardSetup s;
+    s.contents = static_cast<std::size_t>(flags.get_int("contents", 10000));
+    s.classes = static_cast<std::size_t>(flags.get_int("classes", 2));
+    s.slots = static_cast<std::size_t>(flags.get_int("slots", 6));
+    s.window = static_cast<std::size_t>(flags.get_int("window", 4));
+    s.capacity = static_cast<std::size_t>(flags.get_int("capacity", 5));
+    s.bandwidth = flags.get_double("bandwidth", 30.0);
+    s.beta = flags.get_double("beta", 100.0);
+    s.eta = flags.get_double("eta", 0.1);
+    s.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+    s.head_fraction = flags.get_double("head-fraction", 0.02);
+    s.iterations = static_cast<std::size_t>(flags.get_int("iterations", 16));
+    s.threads = static_cast<std::size_t>(flags.get_int("threads", 1));
+    s.kill_at = static_cast<std::size_t>(flags.get_int("kill-at", 0));
+    return s;
+  }
+
+  std::string as_flags() const {
+    std::ostringstream os;
+    os.precision(17);
+    os << " --contents " << contents << " --classes " << classes
+       << " --slots " << slots << " --window " << window << " --capacity "
+       << capacity << " --bandwidth " << bandwidth << " --beta " << beta
+       << " --eta " << eta << " --seed " << seed << " --head-fraction "
+       << head_fraction << " --iterations " << iterations << " --threads "
+       << threads << " --kill-at " << kill_at;
+    return os.str();
+  }
+};
+
+model::ProblemInstance build_instance(const ShardSetup& setup,
+                                      std::size_t num_sbs) {
+  workload::PaperScenario scenario;
+  scenario.num_sbs = num_sbs;
+  scenario.num_contents = setup.contents;
+  scenario.classes_per_sbs = setup.classes;
+  scenario.cache_capacity = setup.capacity;
+  scenario.bandwidth = setup.bandwidth;
+  scenario.beta = setup.beta;
+  scenario.horizon = setup.slots;
+  scenario.seed = setup.seed;
+  if (setup.head_fraction > 0.0) {
+    // Same derivation as bench_scaling: the surviving head is a fixed
+    // fraction of the catalogue so K=10^4 stays sparse but non-trivial.
+    const auto pmf = workload::zipf_mandelbrot_pmf(
+        setup.contents, scenario.workload.zipf_alpha,
+        scenario.workload.zipf_q);
+    auto head = static_cast<std::size_t>(
+        setup.head_fraction * static_cast<double>(setup.contents));
+    head = std::min(std::max<std::size_t>(head, 1), setup.contents - 1);
+    scenario.workload.min_rate = pmf[head];
+  }
+  return scenario.build_sparse();
+}
+
+core::PrimalDualOptions solver_options(const ShardSetup& setup,
+                                       std::size_t shards) {
+  core::PrimalDualOptions options;
+  options.max_iterations = setup.iterations;
+  options.shard_count = shards == 0 ? shard::kShardsInProcess : shards;
+  return options;
+}
+
+std::uint64_t bits(double value) { return std::bit_cast<std::uint64_t>(value); }
+
+// ---- child: full-run measurement (latency, RSS, cost bits) ---------------
+
+/// One (N, S) subprocess report. shards == 0 is the in-process baseline.
+struct Measured {
+  std::size_t sbs = 0;
+  std::size_t shards = 0;
+  double wall_seconds = 0.0;
+  double mean_decision_seconds = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double total_cost = 0.0;
+  std::uint64_t cost_bits = 0;
+  long self_rss_kb = 0;    // coordinator (or in-process solver) footprint
+  long worker_rss_kb = 0;  // largest worker subprocess footprint
+};
+
+Measured measure_run(const ShardSetup& setup, std::size_t num_sbs,
+                     std::size_t shards) {
+  util::ThreadPool::set_global_threads(setup.threads);
+  const model::ProblemInstance instance = build_instance(setup, num_sbs);
+  const workload::NoisyPredictor predictor(instance.sparse_demand, setup.eta,
+                                           /*seed=*/1234);
+
+  Measured out;
+  out.sbs = num_sbs;
+  out.shards = shards;
+  {
+    // Scoped so the controller's solver — and with it the coordinator's
+    // worker fleet — is torn down and reaped before RUSAGE_CHILDREN is
+    // read: ru_maxrss only covers reaped children.
+    online::RhcController rhc(setup.window, solver_options(setup, shards));
+    const sim::Simulator simulator(instance, predictor);
+    const Stopwatch watch;
+    const sim::SimulationResult result = simulator.run(rhc);
+    out.wall_seconds = watch.elapsed_seconds();
+    out.total_cost = result.total_cost();
+    out.cost_bits = bits(out.total_cost);
+    out.mean_decision_seconds = result.mean_decision_seconds();
+    std::vector<double> decision_seconds;
+    decision_seconds.reserve(result.slots.size());
+    for (const auto& slot : result.slots) {
+      decision_seconds.push_back(slot.decision_seconds);
+    }
+    out.p50 = percentile(decision_seconds, 50.0);
+    out.p90 = percentile(decision_seconds, 90.0);
+    out.p99 = percentile(decision_seconds, 99.0);
+  }
+  out.self_rss_kb = bench::self_peak_rss_kb();
+  out.worker_rss_kb = bench::children_peak_rss_kb();
+  return out;
+}
+
+void print_run_result(const Measured& m) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "RESULT " << m.sbs << " " << m.shards << " " << m.wall_seconds << " "
+     << m.mean_decision_seconds << " " << m.p50 << " " << m.p90 << " "
+     << m.p99 << " " << m.total_cost << " " << m.cost_bits << " "
+     << m.self_rss_kb << " " << m.worker_rss_kb;
+  std::cout << os.str() << "\n" << std::flush;
+}
+
+// ---- child: kill-recovery measurement ------------------------------------
+
+/// One supervised solve, optionally with a worker kill armed.
+struct KillMeasured {
+  std::uint64_t ub_bits = 0;
+  std::size_t solve_failures = 0;
+  std::size_t retries = 0;
+  std::size_t recoveries = 0;
+};
+
+KillMeasured measure_kill(const ShardSetup& setup, std::size_t num_sbs,
+                          std::size_t shards, bool arm_kill) {
+  util::ThreadPool::set_global_threads(setup.threads);
+  if (arm_kill) {
+    // Worker `kill_at / shards ... ` — shard 0 of the fleet _exit()s at the
+    // armed iteration; the directive is consumed once per process.
+    setenv("MDO_SHARD_KILL_AT", std::to_string(setup.kill_at).c_str(), 1);
+  }
+  const model::ProblemInstance instance = build_instance(setup, num_sbs);
+  core::HorizonProblem problem;
+  problem.config = &instance.config;
+  problem.sparse_demand = &instance.sparse_demand;
+  problem.initial_cache = instance.initial_cache;
+
+  core::PrimalDualSolver solver(solver_options(setup, shards));
+  runtime::SupervisionLog log;
+  const core::HorizonSolution solution = runtime::supervised_solve(
+      solver, problem, /*warm_mu=*/nullptr, /*deadline=*/nullptr,
+      runtime::SupervisionOptions{}, &log, /*slot=*/0, /*min_horizon=*/1);
+
+  KillMeasured out;
+  out.ub_bits = bits(solution.upper_bound);
+  out.solve_failures = log.solve_failures;
+  out.retries = log.retries;
+  out.recoveries = log.recoveries;
+  return out;
+}
+
+void print_kill_result(const KillMeasured& m) {
+  std::cout << "RESULT " << m.ub_bits << " " << m.solve_failures << " "
+            << m.retries << " " << m.recoveries << "\n"
+            << std::flush;
+}
+
+// ---- parent: subprocess orchestration ------------------------------------
+
+std::optional<Measured> spawn_run(const std::string& self,
+                                  const ShardSetup& setup, std::size_t sbs,
+                                  std::size_t shards) {
+  const std::string command = self + " --measure run --sbs " +
+                              std::to_string(sbs) + " --shards " +
+                              std::to_string(shards) + setup.as_flags();
+  const std::optional<std::string> payload = bench::run_result_child(command);
+  if (!payload) return std::nullopt;
+  std::istringstream fields(*payload);
+  Measured m;
+  if (fields >> m.sbs >> m.shards >> m.wall_seconds >>
+      m.mean_decision_seconds >> m.p50 >> m.p90 >> m.p99 >> m.total_cost >>
+      m.cost_bits >> m.self_rss_kb >> m.worker_rss_kb) {
+    return m;
+  }
+  std::cerr << "error: malformed RESULT line from: " << command << "\n";
+  return std::nullopt;
+}
+
+std::optional<KillMeasured> spawn_kill(const std::string& self,
+                                       const ShardSetup& setup,
+                                       std::size_t sbs, std::size_t shards,
+                                       bool arm_kill) {
+  const std::string command = self + " --measure " +
+                              (arm_kill ? "kill" : "solve") + " --sbs " +
+                              std::to_string(sbs) + " --shards " +
+                              std::to_string(shards) + setup.as_flags();
+  const std::optional<std::string> payload = bench::run_result_child(command);
+  if (!payload) return std::nullopt;
+  std::istringstream fields(*payload);
+  KillMeasured m;
+  if (fields >> m.ub_bits >> m.solve_failures >> m.retries >> m.recoveries) {
+    return m;
+  }
+  std::cerr << "error: malformed RESULT line from: " << command << "\n";
+  return std::nullopt;
+}
+
+std::vector<std::size_t> parse_list(const std::string& list,
+                                    const char* flag) {
+  std::vector<std::size_t> values;
+  std::istringstream parts(list);
+  std::string token;
+  while (std::getline(parts, token, ',')) {
+    if (token.empty()) continue;
+    values.push_back(static_cast<std::size_t>(std::stoull(token)));
+  }
+  if (values.empty()) {
+    throw InvalidArgument(std::string(flag) + " must name at least one value");
+  }
+  return values;
+}
+
+void json_measured(std::ostream& os, const Measured& m, double efficiency) {
+  os << "{\"shards\": " << m.shards
+     << ", \"wall_seconds\": " << m.wall_seconds
+     << ", \"mean_decision_seconds\": " << m.mean_decision_seconds
+     << ", \"p50\": " << m.p50 << ", \"p90\": " << m.p90
+     << ", \"p99\": " << m.p99 << ", \"total_cost\": " << m.total_cost
+     << ", \"efficiency_vs_1shard\": " << efficiency
+     << ", \"coordinator_peak_rss_kb\": " << m.self_rss_kb
+     << ", \"worker_peak_rss_kb\": " << m.worker_rss_kb << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliFlags flags(argc, argv);
+    const ShardSetup setup = ShardSetup::parse(flags);
+
+    if (flags.has("measure")) {
+      const std::string mode = flags.get_string("measure", "run");
+      const auto sbs = static_cast<std::size_t>(flags.get_int("sbs", 64));
+      const auto shards =
+          static_cast<std::size_t>(flags.get_int("shards", 0));
+      flags.require_all_consumed();
+      if (mode == "run") {
+        print_run_result(measure_run(setup, sbs, shards));
+      } else if (mode == "solve" || mode == "kill") {
+        print_kill_result(measure_kill(setup, sbs, shards, mode == "kill"));
+      } else {
+        throw InvalidArgument("--measure must be run, solve, or kill");
+      }
+      return 0;
+    }
+
+    const std::vector<std::size_t> sbs_list =
+        parse_list(flags.get_string("sbs-list", "64,256,1024"), "--sbs-list");
+    const std::vector<std::size_t> shards_list = parse_list(
+        flags.get_string("shards-list", "1,2,8"), "--shards-list");
+    const std::string json_path = flags.get_string("json", "BENCH_shard.json");
+    flags.require_all_consumed();
+
+    std::cout << "Shard scale-out bench (sparse K=" << setup.contents
+              << ", T=" << setup.slots << ", w=" << setup.window
+              << ", L=" << setup.iterations << ", " << setup.threads
+              << " thread(s) per process)\n";
+
+    const std::string self = argv[0];
+    bool deterministic = true;
+    // rows[i] = in-process baseline then one entry per shard count.
+    std::vector<std::vector<Measured>> rows;
+    for (const std::size_t sbs : sbs_list) {
+      std::vector<Measured> row;
+      const std::optional<Measured> baseline =
+          spawn_run(self, setup, sbs, /*shards=*/0);
+      if (!baseline) return 1;
+      row.push_back(*baseline);
+      for (const std::size_t shards : shards_list) {
+        const std::optional<Measured> cell =
+            spawn_run(self, setup, sbs, shards);
+        if (!cell) return 1;
+        if (cell->cost_bits != baseline->cost_bits) {
+          deterministic = false;
+          std::cerr << "DETERMINISM VIOLATION: N=" << sbs << " S=" << shards
+                    << " cost differs from the in-process baseline\n";
+        }
+        row.push_back(*cell);
+      }
+      rows.push_back(std::move(row));
+    }
+
+    TextTable table({"N", "shards", "wall_s", "p50_ms", "p99_ms",
+                     "efficiency", "coord_rss_mb", "worker_rss_mb"});
+    for (const auto& row : rows) {
+      const double wall_one = row.size() > 1 ? row[1].wall_seconds : 0.0;
+      for (const Measured& m : row) {
+        const double efficiency =
+            m.shards > 0 && m.wall_seconds > 0.0
+                ? wall_one /
+                      (static_cast<double>(m.shards) * m.wall_seconds)
+                : 0.0;
+        table.add_row({std::to_string(m.sbs),
+                       m.shards == 0 ? "in-proc" : std::to_string(m.shards),
+                       TextTable::fmt(m.wall_seconds, 3),
+                       TextTable::fmt(m.p50 * 1e3, 2),
+                       TextTable::fmt(m.p99 * 1e3, 2),
+                       m.shards == 0 ? "-" : TextTable::fmt(efficiency, 2),
+                       TextTable::fmt(m.self_rss_kb / 1024.0, 1),
+                       TextTable::fmt(m.worker_rss_kb / 1024.0, 1)});
+      }
+    }
+    table.print(std::cout);
+
+    // ---- Worker-kill recovery (smallest N, 2 workers). -------------------
+    const std::size_t kill_sbs = sbs_list.front();
+    const std::size_t kill_shards =
+        shards_list.size() > 1 ? shards_list[1] : shards_list.front();
+    const std::optional<KillMeasured> clean =
+        spawn_kill(self, setup, kill_sbs, kill_shards, /*arm_kill=*/false);
+    const std::optional<KillMeasured> killed =
+        spawn_kill(self, setup, kill_sbs, kill_shards, /*arm_kill=*/true);
+    if (!clean || !killed) return 1;
+    const bool recovery_ok = killed->ub_bits == clean->ub_bits &&
+                             killed->solve_failures == 1 &&
+                             killed->retries == 1 && killed->recoveries == 1;
+    if (recovery_ok) {
+      std::cout << "worker-kill recovery: retry bit-identical ("
+                << killed->solve_failures << " failure, " << killed->retries
+                << " retry, " << killed->recoveries << " recovery)\n";
+    } else {
+      std::cerr << "WORKER-KILL RECOVERY VIOLATION: failures="
+                << killed->solve_failures << " retries=" << killed->retries
+                << " recoveries=" << killed->recoveries << " bits "
+                << (killed->ub_bits == clean->ub_bits ? "match"
+                                                      : "DIFFER")
+                << "\n";
+    }
+    std::cout << (deterministic
+                      ? "deterministic across shard counts (bitwise)\n"
+                      : "NOT deterministic across shard counts\n");
+
+    std::ofstream json(json_path);
+    if (!json) {
+      std::cerr << "warning: cannot open JSON path " << json_path << "\n";
+    } else {
+      json.precision(17);
+      json << "{\n  \"bench\": \"shard\",\n"
+           << "  \"contents\": " << setup.contents << ",\n"
+           << "  \"classes\": " << setup.classes << ",\n"
+           << "  \"slots\": " << setup.slots << ",\n"
+           << "  \"window\": " << setup.window << ",\n"
+           << "  \"iterations\": " << setup.iterations << ",\n"
+           << "  \"threads_per_process\": " << setup.threads << ",\n"
+           << "  \"sweep\": [\n";
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto& row = rows[i];
+        const double wall_one = row.size() > 1 ? row[1].wall_seconds : 0.0;
+        json << "    {\"sbs\": " << row.front().sbs << ", \"cells\": [\n";
+        for (std::size_t j = 0; j < row.size(); ++j) {
+          const Measured& m = row[j];
+          const double efficiency =
+              m.shards > 0 && m.wall_seconds > 0.0
+                  ? wall_one /
+                        (static_cast<double>(m.shards) * m.wall_seconds)
+                  : 0.0;
+          json << "      ";
+          json_measured(json, m, efficiency);
+          json << (j + 1 == row.size() ? "\n" : ",\n");
+        }
+        json << "    ]}" << (i + 1 == rows.size() ? "\n" : ",\n");
+      }
+      json << "  ],\n"
+           << "  \"kill_recovery\": {\"sbs\": " << kill_sbs
+           << ", \"shards\": " << kill_shards
+           << ", \"kill_at_iteration\": " << setup.kill_at
+           << ", \"solve_failures\": " << killed->solve_failures
+           << ", \"retries\": " << killed->retries
+           << ", \"recoveries\": " << killed->recoveries
+           << ", \"bit_identical\": " << (recovery_ok ? "true" : "false")
+           << "},\n"
+           << "  \"deterministic\": " << (deterministic ? "true" : "false")
+           << "\n}\n";
+      std::cout << "wrote " << json_path << "\n";
+    }
+    return deterministic && recovery_ok ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -124,7 +124,7 @@ void BM_PrimalDualWindow(benchmark::State& state) {
   const auto instance = scenario.build();
   core::HorizonProblem problem;
   problem.config = &instance.config;
-  problem.demand = instance.demand;
+  problem.demand = &instance.demand;
   problem.initial_cache = instance.initial_cache;
   core::PrimalDualSolver solver;
   for (auto _ : state) {

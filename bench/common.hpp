@@ -17,9 +17,15 @@
 //   --classics     include LRU/LFU/FIFO extension baselines
 #pragma once
 
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -31,6 +37,64 @@
 #include "util/thread_pool.hpp"
 
 namespace mdo::bench {
+
+// ---- Measurement helpers shared by the subprocess-isolating benches
+// (bench_scaling, bench_events, bench_shard): percentiles, peak-RSS
+// attribution, and the popen-self / RESULT-line protocol. ----------------
+
+/// Nearest-rank percentile of an unsorted sample; p in (0, 100].
+inline double percentile(std::vector<double> sample, double p) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const auto n = static_cast<double>(sample.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  return sample[std::min(sample.size() - 1, rank > 0 ? rank - 1 : 0)];
+}
+
+/// Peak RSS of the calling process in KiB (ru_maxrss is KiB on Linux).
+inline long self_peak_rss_kb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;
+}
+
+/// High-water peak RSS over every reaped child process in KiB. For a
+/// single-fleet run this is the largest worker's footprint — the number
+/// that bounds per-worker provisioning.
+inline long children_peak_rss_kb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_CHILDREN, &usage);
+  return usage.ru_maxrss;
+}
+
+/// Runs `command` (typically this binary re-executed with --measure flags),
+/// captures its stdout, and returns the payload after the first "RESULT "
+/// line when the child exited cleanly. Benches run each measurement in its
+/// own subprocess so peak RSS attributes to exactly one configuration; the
+/// child prints one self-describing RESULT line the parent parses back.
+inline std::optional<std::string> run_result_child(const std::string& command) {
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    std::cerr << "error: cannot spawn: " << command << "\n";
+    return std::nullopt;
+  }
+  std::string output;
+  char buffer[4096];
+  while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) output += buffer;
+  const int status = pclose(pipe);
+
+  std::istringstream lines(output);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("RESULT ", 0) != 0) continue;
+    if (status != 0) break;
+    return line.substr(7);
+  }
+  std::cerr << "error: measurement failed (status " << status
+            << "): " << command << "\n"
+            << output;
+  return std::nullopt;
+}
 
 /// Experiment configuration parsed from the common flags.
 struct BenchSetup {

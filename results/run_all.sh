@@ -15,4 +15,5 @@ cd "$(dirname "$0")/.."
 ./build/bench/bench_scaling --json BENCH_scaling.json > results/scaling.txt 2>&1
 ./build/bench/bench_deadline --json results/BENCH_deadline.json > results/deadline.txt 2>&1
 ./build/bench/bench_events --rss-slots 1500 --rss-scale 250 --min-requests 10000000 --json results/BENCH_events.json > results/events.txt 2>&1
+./build/bench/bench_shard --json results/BENCH_shard.json > results/shard.txt 2>&1
 echo ALL_BENCHES_DONE

@@ -141,7 +141,7 @@ ExactDpResult solve_joint_exact(const HorizonProblem& problem,
       }
     }
     const PerSbsResult sbs_result =
-        solve_single_sbs(config, n, problem.demand, initial_set, options);
+        solve_single_sbs(config, n, *problem.demand, initial_set, options);
     result.objective += sbs_result.objective;
     for (std::size_t t = 0; t < w; ++t) {
       for (std::size_t k = 0; k < config.num_contents; ++k) {

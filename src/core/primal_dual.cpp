@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <iterator>
 #include <limits>
+#include <utility>
 
-#include "core/caching.hpp"
+#include "shard/coordinator.hpp"
 #include "solver/subgradient.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -16,8 +16,6 @@ namespace mdo::core {
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Index bookkeeping for the flat mu vector: slot-major, then SBS, then
-/// (class, content) flattened.
 bool demand_finite_nonnegative(const model::DemandTrace& demand) {
   for (std::size_t t = 0; t < demand.horizon(); ++t) {
     for (const auto& sbs_demand : demand.slot(t)) {
@@ -44,36 +42,36 @@ bool demand_finite_nonnegative(const model::SparseDemandTrace& demand) {
   return true;
 }
 
-struct MuLayout {
-  std::size_t per_slot = 0;
-  std::vector<std::size_t> sbs_offset;  // within one slot
-  std::vector<std::size_t> sbs_size;    // M_n * K
-
-  explicit MuLayout(const model::NetworkConfig& config) {
-    sbs_offset.resize(config.num_sbs());
-    sbs_size.resize(config.num_sbs());
-    for (std::size_t n = 0; n < config.num_sbs(); ++n) {
-      sbs_offset[n] = per_slot;
-      sbs_size[n] = config.sbs[n].num_classes() * config.num_contents;
-      per_slot += sbs_size[n];
-    }
+/// Safe fallback for solves that cannot (kNonFiniteInput) or did not
+/// (kWorkerFailure) run to completion: keep the current cache, serve
+/// everything from the BS, report vacuous bounds.
+HorizonSolution fallback_solution(const HorizonProblem& problem,
+                                  solver::SolveStatus status) {
+  HorizonSolution degraded;
+  degraded.status = status;
+  degraded.upper_bound = kInf;
+  degraded.lower_bound = -kInf;
+  degraded.schedule.resize(problem.horizon());
+  for (auto& slot : degraded.schedule) {
+    slot.cache = problem.initial_cache;
+    slot.load = model::LoadAllocation(*problem.config);
   }
-
-  std::size_t offset(std::size_t t, std::size_t n) const {
-    return t * per_slot + sbs_offset[n];
-  }
-};
+  degraded.mu.assign(mu_size(*problem.config, problem.horizon()), 0.0);
+  return degraded;
+}
 
 }  // namespace
 
 void HorizonProblem::validate() const {
   MDO_REQUIRE(config != nullptr, "horizon problem: config must be set");
+  MDO_REQUIRE((demand != nullptr) != (sparse_demand != nullptr),
+              "horizon problem: exactly one demand representation");
   config->validate();
   MDO_REQUIRE(horizon() >= 1, "horizon problem: empty window");
-  if (use_sparse_demand) {
-    sparse_demand.validate(*config);
+  if (use_sparse()) {
+    sparse_demand->validate(*config);
   } else {
-    demand.validate(*config);
+    demand->validate(*config);
   }
   MDO_REQUIRE(initial_cache.num_sbs() == config->num_sbs() &&
                   initial_cache.num_contents() == config->num_contents,
@@ -122,6 +120,11 @@ PrimalDualSolver::PrimalDualSolver(PrimalDualOptions options)
   MDO_REQUIRE(options_.step_scale >= 0.0, "step_scale must be >= 0");
 }
 
+PrimalDualSolver::~PrimalDualSolver() = default;
+PrimalDualSolver::PrimalDualSolver(PrimalDualSolver&&) noexcept = default;
+PrimalDualSolver& PrimalDualSolver::operator=(PrimalDualSolver&&) noexcept =
+    default;
+
 void PrimalDualSolver::advance_window(std::size_t shift) {
   if (shift == 0 || bank_slots_ == 0 || !options_.reuse_workspaces ||
       !options_.cross_window_warm_start) {
@@ -155,7 +158,7 @@ void PrimalDualSolver::restore_state(util::BinaryReader& r) {
   bank_slots_ = r.size();
   bank_sbs_ = r.size();
   step_offset_ = r.size();
-  bank_.assign(r.size(), CellState{});
+  bank_.assign(r.count(), CellState{});
   for (CellState& cs : bank_) {
     cs.p2.restore_warm_state(r);
     cs.repair.restore_warm_state(r);
@@ -168,25 +171,17 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
                                         const linalg::Vec* warm_mu,
                                         runtime::DeadlineToken* deadline) {
   MDO_REQUIRE(problem.config != nullptr, "horizon problem: config must be set");
+  MDO_REQUIRE((problem.demand != nullptr) != (problem.sparse_demand != nullptr),
+              "horizon problem: exactly one demand representation");
   MDO_REQUIRE(problem.horizon() >= 1, "horizon problem: empty window");
-  const bool sparse = problem.use_sparse_demand;
-  if (sparse ? !demand_finite_nonnegative(problem.sparse_demand)
-             : !demand_finite_nonnegative(problem.demand)) {
+  const bool sparse = problem.use_sparse();
+  if (sparse ? !demand_finite_nonnegative(*problem.sparse_demand)
+             : !demand_finite_nonnegative(*problem.demand)) {
     // Corrupted window (NaN/Inf/negative rates): iterating would only smear
     // the poison through mu and the schedules, so return the safe fallback —
     // keep the current cache (no replacement churn) and serve everything
     // from the BS — and let the caller degrade.
-    HorizonSolution degraded;
-    degraded.status = solver::SolveStatus::kNonFiniteInput;
-    degraded.upper_bound = kInf;
-    degraded.lower_bound = -kInf;
-    degraded.schedule.resize(problem.horizon());
-    for (auto& slot : degraded.schedule) {
-      slot.cache = problem.initial_cache;
-      slot.load = model::LoadAllocation(*problem.config);
-    }
-    degraded.mu.assign(mu_size(*problem.config, problem.horizon()), 0.0);
-    return degraded;
+    return fallback_solution(problem, solver::SolveStatus::kNonFiniteInput);
   }
   problem.validate();
   const auto& config = *problem.config;
@@ -202,7 +197,7 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
     const auto& sbs = config.sbs[n];
     g.assign(layout.sbs_size[n], 0.0);
     double a = 0.0;
-    const auto& demand = problem.demand.slot(t)[n];
+    const auto& demand = problem.demand->slot(t)[n];
     for (std::size_t m = 0; m < sbs.num_classes(); ++m) {
       double row = 0.0;
       for (std::size_t k = 0; k < k_count; ++k) row += demand.at(m, k);
@@ -231,7 +226,7 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
       for (std::size_t t = 0; t < w; ++t) {
         for (std::size_t n = 0; n < num_sbs; ++n) {
           const auto& sbs = config.sbs[n];
-          const auto& demand = problem.sparse_demand.slot(t)[n];
+          const auto& demand = problem.sparse_demand->slot(t)[n];
           double a = 0.0;
           for (std::size_t m = 0; m < sbs.num_classes(); ++m) {
             double row = 0.0;
@@ -280,65 +275,27 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
   const double step_scale = options_.step_scale > 0.0
                                 ? options_.step_scale
                                 : std::max(1e-9, 0.5 * mean_marginal);
-  const solver::DiminishingStep step(options_.step_alpha);
   // Warm-started solves resume the step schedule where the previous window
   // stopped (see the option comment); cold solves restart at delta_0.
   const std::size_t step_offset =
       warm_mu != nullptr && options_.cross_window_warm_start ? step_offset_
                                                              : 0;
 
-  // ---- Sparse mode: per-cell active sets (support union initial cache),
-  // the per-SBS union over the window (P1's restricted content list), and
-  // the per-cell map from active position to P1 position. mu keeps the
-  // DENSE layout — it is only ever read/written at active coordinates, and
-  // the untouched coordinates are provably zero throughout the ascent
-  // (marginal init is supported on lambda; off-support the subgradient is
-  // -x <= 0 and the projection pins mu at 0).
-  std::vector<std::vector<std::size_t>> active;   // per cell
-  std::vector<std::vector<std::size_t>> p1_list;  // per SBS, sorted union
-  std::vector<std::vector<std::size_t>> cell_p1;  // per cell, into p1_list[n]
+  // ---- Sparse mode: the active-set index structures (shard_core.hpp).
+  // mu keeps the DENSE layout — it is only ever read/written at active
+  // coordinates, and the untouched coordinates are provably zero throughout
+  // the ascent (marginal init is supported on lambda; off-support the
+  // subgradient is -x <= 0 and the projection pins mu at 0).
+  ActiveSets sets;
   if (sparse) {
-    active.resize(w * num_sbs);
-    util::parallel_for(0, w * num_sbs, [&](std::size_t cell) {
-      const std::size_t t = cell / num_sbs;
-      const std::size_t n = cell % num_sbs;
-      active[cell] = model::active_contents(problem.sparse_demand.slot(t)[n],
-                                            problem.initial_cache, n);
-    });
-    p1_list.resize(num_sbs);
-    cell_p1.resize(w * num_sbs);
-    util::parallel_for(0, num_sbs, [&](std::size_t n) {
-      std::vector<std::size_t>& list = p1_list[n];
-      std::vector<std::size_t> merged;
-      for (std::size_t t = 0; t < w; ++t) {
-        const std::vector<std::size_t>& cell = active[t * num_sbs + n];
-        merged.clear();
-        merged.reserve(list.size() + cell.size());
-        std::set_union(list.begin(), list.end(), cell.begin(), cell.end(),
-                       std::back_inserter(merged));
-        list.swap(merged);
-      }
-      for (std::size_t t = 0; t < w; ++t) {
-        const std::vector<std::size_t>& cell = active[t * num_sbs + n];
-        std::vector<std::size_t>& map = cell_p1[t * num_sbs + n];
-        map.resize(cell.size());
-        std::size_t pos = 0;
-        for (std::size_t i = 0; i < cell.size(); ++i) {
-          while (pos < list.size() && list[pos] < cell[i]) ++pos;
-          MDO_CHECK(pos < list.size() && list[pos] == cell[i],
-                    "sparse P1: active content missing from window union");
-          map[i] = pos;
-        }
-      }
-    });
+    sets = build_active_sets(config, *problem.sparse_demand,
+                             problem.initial_cache);
   }
 
-  // ---- Per-(slot, SBS) P2 workspaces: coefficients are built once here,
-  // the dual loop then only refreshes the mu-dependent linear term (and the
-  // repair loop the box upper bound). The workspaces also hold the warm
-  // starts across dual iterations — and across windows when the bank is the
-  // persistent one. A throwaway bank runs the same code path, so results
-  // are bit-identical either way.
+  // ---- Select the warm-start bank: the persistent member (the
+  // zero-allocation hot path, also the state a sharded solve ships out and
+  // reclaims) or a throwaway. Both run the same code path, so results are
+  // bit-identical either way.
   std::vector<CellState> local_bank;
   std::vector<CellState>& bank =
       options_.reuse_workspaces ? bank_ : local_bank;
@@ -347,70 +304,46 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
     bank_slots_ = w;
     bank_sbs_ = num_sbs;
   }
-  util::parallel_for(0, w * num_sbs, [&](std::size_t cell) {
-    const std::size_t t = cell / num_sbs;
-    const std::size_t n = cell % num_sbs;
-    CellState& cs = bank[cell];
-    if (!options_.cross_window_warm_start) {
-      cs.p2.clear_warm_start();
-      cs.repair.clear_warm_start();
-    }
-    if (sparse) {
-      cs.p2.bind_active(config.sbs[n], problem.sparse_demand.slot(t)[n],
-                        active[cell]);
-      cs.repair.bind_active(config.sbs[n], problem.sparse_demand.slot(t)[n],
-                            active[cell]);
-    } else {
-      cs.p2.bind(config.sbs[n], problem.demand.slot(t)[n]);
-      cs.repair.bind(config.sbs[n], problem.demand.slot(t)[n]);
-    }
-  });
 
-  // ---- Per-SBS P1 state, reused across dual iterations: the subproblem's
-  // shape, parameters and initial cache are fixed for the whole solve, only
-  // the rewards (the mu sums) change — so the flow network is built once
-  // here and merely re-priced every iteration.
-  struct P1State {
-    CachingSubproblem sub;
-    CachingFlowWorkspace flow;
-  };
-  std::vector<P1State> p1(num_sbs);
-  util::parallel_for(0, num_sbs, [&](std::size_t n) {
-    CachingSubproblem& sub = p1[n].sub;
-    // Sparse mode restricts P1 to the window's content union: everything
-    // outside has zero reward in every slot and is not initially cached, so
-    // (with beta > 0) the optimum never caches it. The flow pushes exactly
-    // `capacity` units, surplus ones through the zero-cost pool chain, so
-    // clamping capacity to the restricted catalogue only removes pool
-    // augmentations and leaves x unchanged.
-    const std::size_t kp = sparse ? p1_list[n].size() : k_count;
-    sub.num_contents = kp;
-    sub.horizon = w;
-    sub.capacity = sparse ? std::min(config.sbs[n].cache_capacity, kp)
-                          : config.sbs[n].cache_capacity;
-    sub.beta = config.sbs[n].replacement_beta;
-    sub.initial.assign(kp, 0);
-    if (sparse) {
-      for (std::size_t i = 0; i < kp; ++i) {
-        sub.initial[i] = problem.initial_cache.cached(n, p1_list[n][i]) ? 1 : 0;
-      }
-    } else {
-      for (std::size_t k = 0; k < k_count; ++k) {
-        sub.initial[k] = problem.initial_cache.cached(n, k) ? 1 : 0;
-      }
-    }
-    sub.rewards.assign(kp * w, 0.0);
-    if (options_.backend == P1Backend::kFlow && options_.reuse_p1_network &&
-        kp > 0) {
-      p1[n].flow.bind(sub);
-    }
-  });
+  const std::size_t shards =
+      shard::resolved_shard_count(options_.shard_count, num_sbs);
+  if (shards > 0) {
+    return solve_sharded(problem, deadline, shards, std::move(mu), step_scale,
+                         step_offset, sets, bank);
+  }
+  return solve_in_process(problem, deadline, std::move(mu), step_scale,
+                          step_offset, std::move(sets), bank);
+}
+
+HorizonSolution PrimalDualSolver::solve_in_process(
+    const HorizonProblem& problem, runtime::DeadlineToken* deadline,
+    linalg::Vec mu, double step_scale, std::size_t step_offset,
+    ActiveSets sets, std::vector<CellState>& bank) {
+  const auto& config = *problem.config;
+  const std::size_t w = problem.horizon();
+
+  ShardInputs inputs;
+  inputs.config = problem.config;
+  inputs.initial_cache = &problem.initial_cache;
+  if (problem.use_sparse()) {
+    inputs.sparse_demand = problem.sparse_demand;
+  } else {
+    inputs.demand = problem.demand;
+  }
+  ShardOptions shard_opts;
+  shard_opts.backend = options_.backend;
+  shard_opts.load_balancing = options_.load_balancing;
+  shard_opts.reuse_p1_network = options_.reuse_p1_network;
+  shard_opts.cross_window_warm_start = options_.cross_window_warm_start;
+
+  // One full-range shard: the exact pre-refactor loop bodies (see
+  // shard_core.cpp), with every reduction kept below in serial index order.
+  ShardCore core;
+  core.begin(inputs, shard_opts, bank, std::move(sets));
 
   HorizonSolution best;
   best.upper_bound = kInf;
   best.lower_bound = -kInf;
-
-  std::vector<std::vector<std::uint8_t>> x(num_sbs);  // per SBS: [t*K + k]
 
   // ---- Repair schedule buffer, reused across dual iterations. Every cell
   // rewrites its full coordinate range each iteration (dense mode) or
@@ -429,6 +362,7 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
   };
   model::Schedule schedule = make_schedule();
 
+  const solver::DiminishingStep step(options_.step_alpha);
   bool deadline_expired = false;
   for (std::size_t iteration = 0; iteration < options_.max_iterations;
        ++iteration) {
@@ -442,124 +376,18 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
       deadline_expired = true;
       break;
     }
-    // ---- P1: caching per SBS under rewards nu = sum_m mu. The subproblems
-    // are independent (Alg. 1 separates per SBS); each writes only its own
-    // x[n] / objective slot, and the reduction below runs serially in SBS
-    // order so the result is bit-identical at any thread count.
-    std::vector<double> p1_objectives(num_sbs, 0.0);
-    util::parallel_for(0, num_sbs, [&](std::size_t n) {
-      CachingSubproblem& sub = p1[n].sub;
-      if (sub.num_contents == 0) {
-        // Nothing demanded or cached anywhere in the window: P1 is empty.
-        x[n].clear();
-        p1_objectives[n] = 0.0;
-        return;
-      }
-      std::fill(sub.rewards.begin(), sub.rewards.end(), 0.0);
-      const std::size_t classes = config.sbs[n].num_classes();
-      const std::size_t kp = sub.num_contents;
-      for (std::size_t t = 0; t < w; ++t) {
-        const std::size_t base = layout.offset(t, n);
-        if (sparse) {
-          // mu is zero off the active set throughout the ascent, so summing
-          // only active coordinates is bit-identical to the dense loop.
-          const std::vector<std::size_t>& al = active[t * num_sbs + n];
-          const std::vector<std::size_t>& map = cell_p1[t * num_sbs + n];
-          for (std::size_t m = 0; m < classes; ++m) {
-            for (std::size_t i = 0; i < al.size(); ++i) {
-              sub.rewards[t * kp + map[i]] += mu[base + m * k_count + al[i]];
-            }
-          }
-        } else {
-          for (std::size_t m = 0; m < classes; ++m) {
-            for (std::size_t k = 0; k < k_count; ++k) {
-              sub.rewards[t * k_count + k] += mu[base + m * k_count + k];
-            }
-          }
-        }
-      }
-      if (options_.backend == P1Backend::kFlow) {
-        // A/B baseline: rebuild the network from scratch every iteration.
-        if (!options_.reuse_p1_network) p1[n].flow.bind(sub);
-        p1_objectives[n] = p1[n].flow.solve_into(sub, x[n]);
-      } else {
-        const CachingSolution sol = solve_caching_simplex(sub);
-        x[n] = sol.x;
-        p1_objectives[n] = sol.objective;
-      }
-    });
+    core.iterate(mu);
     double p1_value = 0.0;
-    for (const double value : p1_objectives) p1_value += value;
-
-    // ---- P2: load balancing per (slot, SBS) with linear term mu. Every
-    // (t, n) cell is independent and keeps its own warm start y[t][n].
-    std::vector<double> p2_objectives(w * num_sbs, 0.0);
-    util::parallel_for(0, w * num_sbs, [&](std::size_t cell) {
-      const std::size_t t = cell / num_sbs;
-      const std::size_t n = cell % num_sbs;
-      CellState& cs = bank[cell];
-      const std::size_t base = layout.offset(t, n);
-      if (sparse) {
-        cs.p2.set_linear_from_dense(mu.data() + base, k_count);
-      } else {
-        cs.p2.set_linear(mu.data() + base,
-                         mu.data() + base + layout.sbs_size[n]);
-      }
-      p2_objectives[cell] =
-          solve_load_balancing(cs.p2, options_.load_balancing).objective;
-    });
+    for (const double value : core.p1_objectives()) p1_value += value;
     double p2_value = 0.0;
-    for (const double value : p2_objectives) p2_value += value;
+    for (const double value : core.p2_objectives()) p2_value += value;
 
     // ---- Dual value = lower bound (weak duality).
     const double dual_value = p1_value + p2_value;
     best.lower_bound = std::max(best.lower_bound, dual_value);
 
     // ---- Feasibility repair -> upper bound. P2 with c = 0 and ub = x.
-    // Cells are independent per (slot, SBS): every cell touches only SBS n
-    // of slot t (CacheState and LoadAllocation store one vector per SBS).
-    util::parallel_for(0, w * num_sbs, [&](std::size_t cell) {
-      const std::size_t t = cell / num_sbs;
-      const std::size_t n = cell % num_sbs;
-      CellState& cs = bank[cell];
-      const std::size_t classes = config.sbs[n].num_classes();
-      linalg::Vec& ub = cs.ub;
-      if (sparse) {
-        const std::vector<std::size_t>& al = active[cell];
-        const std::vector<std::size_t>& map = cell_p1[cell];
-        const std::size_t kp = p1[n].sub.num_contents;
-        const std::size_t a_count = al.size();
-        ub.assign(classes * a_count, 0.0);
-        for (std::size_t i = 0; i < a_count; ++i) {
-          const bool cached = x[n][t * kp + map[i]] != 0;
-          schedule[t].cache.set(n, al[i], cached);
-          if (cached) {
-            for (std::size_t m = 0; m < classes; ++m) ub[m * a_count + i] = 1.0;
-          }
-        }
-      } else {
-        ub.assign(classes * k_count, 0.0);
-        for (std::size_t k = 0; k < k_count; ++k) {
-          const bool cached = x[n][t * k_count + k] != 0;
-          schedule[t].cache.set(n, k, cached);
-          if (cached) {
-            for (std::size_t m = 0; m < classes; ++m) ub[m * k_count + k] = 1.0;
-          }
-        }
-      }
-      // Unchanged-x fast path: the workspace still holds the solution for
-      // this exact upper bound (the skip is valid only within one solve —
-      // bind() above invalidated any previous window's solution).
-      if (!cs.repair.has_solution() || ub != cs.repair.upper()) {
-        cs.repair.set_upper(ub);
-        solve_load_balancing(cs.repair, options_.load_balancing);
-      }
-      if (sparse) {
-        cs.repair.scatter_solution(schedule[t].load.sbs_data(n));
-      } else {
-        schedule[t].load.sbs_data(n) = cs.repair.y();
-      }
-    });
+    core.repair(&schedule);
     const model::CostBreakdown cost = model::schedule_cost(
         config, problem.demand_view(), schedule, problem.initial_cache);
     if (cost.total() < best.upper_bound) {
@@ -571,42 +399,8 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
     best.iterations = iteration + 1;
     if (best.gap() <= options_.epsilon) break;
 
-    // ---- Projected subgradient ascent on mu: g = y - x (17). In sparse
-    // mode only active coordinates move; off the active set y = 0 and
-    // x = 0, so the dense update would compute max(0, mu + 0) = mu = 0.
     const double delta = step_scale * step(step_offset + iteration);
-    for (std::size_t t = 0; t < w; ++t) {
-      for (std::size_t n = 0; n < num_sbs; ++n) {
-        const std::size_t base = layout.offset(t, n);
-        const std::size_t classes = config.sbs[n].num_classes();
-        const linalg::Vec& y = bank[t * num_sbs + n].p2.y();
-        if (sparse) {
-          const std::vector<std::size_t>& al = active[t * num_sbs + n];
-          const std::vector<std::size_t>& map = cell_p1[t * num_sbs + n];
-          const std::size_t kp = p1[n].sub.num_contents;
-          const std::size_t a_count = al.size();
-          for (std::size_t m = 0; m < classes; ++m) {
-            for (std::size_t i = 0; i < a_count; ++i) {
-              const std::size_t j = base + m * k_count + al[i];
-              const double subgrad =
-                  y[m * a_count + i] -
-                  static_cast<double>(x[n][t * kp + map[i]]);
-              mu[j] = std::max(0.0, mu[j] + delta * subgrad);
-            }
-          }
-          continue;
-        }
-        for (std::size_t m = 0; m < classes; ++m) {
-          for (std::size_t k = 0; k < k_count; ++k) {
-            const std::size_t j = base + m * k_count + k;
-            const double subgrad =
-                y[m * k_count + k] -
-                static_cast<double>(x[n][t * k_count + k]);
-            mu[j] = std::max(0.0, mu[j] + delta * subgrad);
-          }
-        }
-      }
-    }
+    core.dual_update(delta, mu);
   }
 
   best.mu = std::move(mu);
@@ -620,6 +414,152 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
                                << " LB=" << best.lower_bound
                                << " gap=" << best.gap()
                                << " iters=" << best.iterations);
+  return best;
+}
+
+HorizonSolution PrimalDualSolver::solve_sharded(
+    const HorizonProblem& problem, runtime::DeadlineToken* deadline,
+    std::size_t shards, linalg::Vec mu, double step_scale,
+    std::size_t step_offset, const ActiveSets& sets,
+    std::vector<CellState>& bank) {
+  const auto& config = *problem.config;
+  const std::size_t w = problem.horizon();
+  const std::size_t num_sbs = config.num_sbs();
+  const std::size_t k_count = config.num_contents;
+  const bool sparse = problem.use_sparse();
+  const MuLayout layout(config);
+
+  ShardInputs inputs;
+  inputs.config = problem.config;
+  inputs.initial_cache = &problem.initial_cache;
+  if (sparse) {
+    inputs.sparse_demand = problem.sparse_demand;
+  } else {
+    inputs.demand = problem.demand;
+  }
+  ShardOptions shard_opts;
+  shard_opts.backend = options_.backend;
+  shard_opts.load_balancing = options_.load_balancing;
+  shard_opts.reuse_p1_network = options_.reuse_p1_network;
+  shard_opts.cross_window_warm_start = options_.cross_window_warm_start;
+
+  if (!coordinator_) coordinator_ = std::make_unique<shard::Coordinator>();
+  // A worker death anywhere below aborts the solve without touching the
+  // warm state: `bank` was only READ (at encode time) and is written back
+  // only by a successful finish(), and step_offset_ is left alone — so the
+  // supervisor's retry of the same solve is bit-identical to the solve that
+  // was lost.
+  auto fail = [&]() {
+    return fallback_solution(problem, solver::SolveStatus::kWorkerFailure);
+  };
+  if (!coordinator_->begin(inputs, shard_opts, shards, sets, layout, mu,
+                           bank)) {
+    return fail();
+  }
+
+  HorizonSolution best;
+  best.upper_bound = kInf;
+  best.lower_bound = -kInf;
+
+  auto make_schedule = [&]() {
+    model::Schedule schedule(w);
+    for (std::size_t t = 0; t < w; ++t) {
+      schedule[t].cache = model::CacheState(config);
+      schedule[t].load = model::LoadAllocation(config);
+    }
+    return schedule;
+  };
+  model::Schedule schedule = make_schedule();
+
+  const solver::DiminishingStep step(options_.step_alpha);
+  bool deadline_expired = false;
+  // The projected step for iteration l is applied lazily: computed here
+  // after the gap check, shipped with the NEXT kIterate (workers update
+  // their mu slices before solving — each coordinate's update is
+  // independent, so slice-local application is bit-identical), or with
+  // kEnd when the loop stops with the step still pending. That keeps mu
+  // entirely off the per-iteration wire.
+  bool pending = false;
+  double pending_delta = 0.0;
+  shard::IterationOutputs out;
+  for (std::size_t iteration = 0; iteration < options_.max_iterations;
+       ++iteration) {
+    // Same serial-point poll (and poll count) as the in-process loop.
+    if (iteration > 0 && deadline != nullptr && deadline->poll()) {
+      deadline_expired = true;
+      break;
+    }
+    if (!coordinator_->iterate(pending, pending_delta, &out)) return fail();
+    pending = false;
+    double p1_value = 0.0;
+    for (const double value : out.p1_objectives) p1_value += value;
+    double p2_value = 0.0;
+    for (const double value : out.p2_objectives) p2_value += value;
+    const double dual_value = p1_value + p2_value;
+    best.lower_bound = std::max(best.lower_bound, dual_value);
+
+    // ---- Assemble the repaired schedule from the workers' x bits and
+    // repaired loads — the schedule-writing half of ShardCore::repair(),
+    // driven from the full-range active sets. Pure per-cell writes; the
+    // serial cost reduction below is what defines the upper bound.
+    util::parallel_for(0, w * num_sbs, [&](std::size_t cell) {
+      const std::size_t t = cell / num_sbs;
+      const std::size_t n = cell % num_sbs;
+      if (sparse) {
+        const std::vector<std::size_t>& al = sets.active[cell];
+        const std::vector<std::size_t>& map = sets.cell_p1[cell];
+        const std::size_t kp = sets.p1_list[n].size();
+        const std::size_t classes = config.sbs[n].num_classes();
+        const std::size_t a_count = al.size();
+        const linalg::Vec& y = out.repair_y[cell];
+        linalg::Vec& dense = schedule[t].load.sbs_data(n);
+        for (std::size_t i = 0; i < a_count; ++i) {
+          schedule[t].cache.set(n, al[i], out.x[n][t * kp + map[i]] != 0);
+        }
+        for (std::size_t m = 0; m < classes; ++m) {
+          for (std::size_t i = 0; i < a_count; ++i) {
+            dense[m * k_count + al[i]] = y[m * a_count + i];
+          }
+        }
+      } else {
+        for (std::size_t k = 0; k < k_count; ++k) {
+          schedule[t].cache.set(n, k, out.x[n][t * k_count + k] != 0);
+        }
+        schedule[t].load.sbs_data(n) = std::move(out.repair_y[cell]);
+      }
+    });
+    const model::CostBreakdown cost = model::schedule_cost(
+        config, problem.demand_view(), schedule, problem.initial_cache);
+    if (cost.total() < best.upper_bound) {
+      best.upper_bound = cost.total();
+      std::swap(best.schedule, schedule);
+      if (schedule.size() != w) schedule = make_schedule();
+    }
+
+    best.iterations = iteration + 1;
+    if (best.gap() <= options_.epsilon) break;
+
+    pending_delta = step_scale * step(step_offset + iteration);
+    pending = true;
+  }
+
+  // Close the session: workers apply a still-pending final step (matching
+  // the in-process loop, whose dual update has already run when the
+  // deadline or the iteration budget stops it) and return the final mu and
+  // the warm-start bank to the driver.
+  if (!coordinator_->finish(pending, pending_delta, mu, bank)) return fail();
+
+  best.mu = std::move(mu);
+  step_offset_ = best.iterations;
+  best.status = best.gap() <= options_.epsilon
+                    ? solver::SolveStatus::kConverged
+                : deadline_expired ? solver::SolveStatus::kDeadlineExpired
+                                   : solver::SolveStatus::kIterationLimit;
+  MDO_CHECK(!best.schedule.empty(), "primal-dual produced no schedule");
+  MDO_TRACE("primal-dual[" << shards << " shards]: UB=" << best.upper_bound
+                           << " LB=" << best.lower_bound
+                           << " gap=" << best.gap()
+                           << " iters=" << best.iterations);
   return best;
 }
 

@@ -17,13 +17,21 @@
 // The same solver serves both the offline optimum (window = whole horizon,
 // true demand) and every online controller's window subproblem (26)-(31)
 // (window = prediction horizon, predicted demand).
+//
+// The per-SBS / per-(slot, SBS) loop bodies live in core::ShardCore
+// (shard_core.hpp): the solver here runs one full-range shard in process,
+// or — with PrimalDualOptions::shard_count / MDO_SHARDS — fans the shards
+// out to worker subprocesses through shard::Coordinator, with bitwise-equal
+// results (DESIGN.md §11).
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "core/load_balancing.hpp"
+#include "core/shard_core.hpp"
 #include "linalg/vec.hpp"
 #include "runtime/deadline.hpp"
 #include "solver/status.hpp"
@@ -33,36 +41,36 @@
 #include "model/network.hpp"
 #include "model/sparse_demand.hpp"
 
+namespace mdo::shard {
+class Coordinator;
+}  // namespace mdo::shard
+
 namespace mdo::core {
 
 /// A finite-horizon joint problem: minimize (9) over the given demand
-/// window starting from `initial_cache`. The window lives in exactly one of
-/// `demand` (dense) and `sparse_demand`, selected by `use_sparse_demand`.
-/// With the sparse representation the solver restricts P1/P2 to each
-/// (slot, SBS) active set (support union cached); for a trace with no
-/// truncation the restriction covers every coordinate that can ever be
-/// nonzero, so the solution is bit-identical to the dense path.
+/// window starting from `initial_cache`. The window is referenced, not
+/// owned: exactly one of `demand` (dense) and `sparse_demand` is set, and
+/// the trace must outlive the solve — controllers keep per-window buffers
+/// and hand out views instead of copying the window per decision. With the
+/// sparse representation the solver restricts P1/P2 to each (slot, SBS)
+/// active set (support union cached); for a trace with no truncation the
+/// restriction covers every coordinate that can ever be nonzero, so the
+/// solution is bit-identical to the dense path.
 struct HorizonProblem {
-  const model::NetworkConfig* config = nullptr;  // not owned
-  model::DemandTrace demand;                     // window, length W >= 1
-  model::SparseDemandTrace sparse_demand;
-  bool use_sparse_demand = false;
-  model::CacheState initial_cache;               // x^{tau-1}
+  const model::NetworkConfig* config = nullptr;            // not owned
+  const model::DemandTrace* demand = nullptr;              // window, W >= 1
+  const model::SparseDemandTrace* sparse_demand = nullptr;
+  model::CacheState initial_cache;                         // x^{tau-1}
 
+  bool use_sparse() const { return sparse_demand != nullptr; }
   std::size_t horizon() const {
-    return use_sparse_demand ? sparse_demand.horizon() : demand.horizon();
+    return use_sparse() ? sparse_demand->horizon() : demand->horizon();
   }
   model::DemandTraceView demand_view() const {
-    return use_sparse_demand ? model::DemandTraceView(sparse_demand)
-                             : model::DemandTraceView(demand);
+    return use_sparse() ? model::DemandTraceView(*sparse_demand)
+                        : model::DemandTraceView(*demand);
   }
   void validate() const;
-};
-
-/// Which exact P1 backend the dual iterations use.
-enum class P1Backend {
-  kFlow,     // min-cost flow (default, fast)
-  kSimplex,  // the paper's LP + simplex route (slower, for fidelity/tests)
 };
 
 struct PrimalDualOptions {
@@ -108,6 +116,16 @@ struct PrimalDualOptions {
   /// the dual optimum genuinely shifts. false re-solves every window cold
   /// with no warm starts of either kind.
   bool cross_window_warm_start = true;
+  /// Process-level scale-out (DESIGN.md §11): number of worker subprocesses
+  /// the dual decomposition is sharded over. 0 defers to the MDO_SHARDS
+  /// environment variable (unset/0 = solve in process); N >= 1 forces N
+  /// workers (1 still exercises the full RPC path);
+  /// shard::kShardsInProcess forces the in-process path regardless of the
+  /// environment. Results are bitwise-identical at every shard count; a
+  /// worker death surfaces as SolveStatus::kWorkerFailure with a safe
+  /// fallback schedule, and the next solve() respawns the fleet and — the
+  /// warm state lives driver-side — reproduces the lost result exactly.
+  std::size_t shard_count = 0;
 };
 
 struct HorizonSolution {
@@ -119,8 +137,11 @@ struct HorizonSolution {
   /// How the solve terminated. kNonFiniteInput means the demand window held
   /// NaN/Inf/negative rates: the schedule is then the safe fallback (carry
   /// the initial cache, serve everything from the BS) and the bounds are
-  /// meaningless (UB = +inf, LB = -inf). kIterationLimit still delivers the
-  /// best feasible repaired schedule found within the budget.
+  /// meaningless (UB = +inf, LB = -inf). kWorkerFailure means a shard
+  /// worker subprocess died mid-solve: same safe fallback, and the solver's
+  /// warm state is untouched so a retry reproduces the lost solve exactly.
+  /// kIterationLimit still delivers the best feasible repaired schedule
+  /// found within the budget.
   solver::SolveStatus status = solver::SolveStatus::kConverged;
 
   /// Relative optimality gap (UB - LB) / max(|UB|, 1e-12).
@@ -151,6 +172,11 @@ linalg::Vec shift_mu(const linalg::Vec& mu,
 class PrimalDualSolver {
  public:
   explicit PrimalDualSolver(PrimalDualOptions options = {});
+  ~PrimalDualSolver();
+
+  /// Move-only: the solver owns its (lazily spawned) shard worker fleet.
+  PrimalDualSolver(PrimalDualSolver&&) noexcept;
+  PrimalDualSolver& operator=(PrimalDualSolver&&) noexcept;
 
   /// Solves the window problem. `warm_mu` (layout above, sized for the
   /// problem's horizon) seeds the multipliers when provided. Non-finite or
@@ -184,16 +210,24 @@ class PrimalDualSolver {
   /// binding metadata, plus the step-schedule offset). Restoring into a
   /// solver constructed with the same options makes every subsequent
   /// solve() bit-identical to one on the original — the checkpoint/resume
-  /// contract (see runtime/checkpoint.hpp).
+  /// contract (see runtime/checkpoint.hpp). The bank lives driver-side even
+  /// when solves are sharded out (workers return it at end-of-solve), so
+  /// the snapshot is shard-count-independent.
   void save_state(util::BinaryWriter& w) const;
   void restore_state(util::BinaryReader& r);
 
  private:
-  struct CellState {
-    P2Workspace p2;      // dual-iteration P2 (linear term = mu)
-    P2Workspace repair;  // feasibility repair (c = 0, ub = x)
-    linalg::Vec ub;      // repair upper-bound scratch
-  };
+  HorizonSolution solve_in_process(const HorizonProblem& problem,
+                                   runtime::DeadlineToken* deadline,
+                                   linalg::Vec mu, double step_scale,
+                                   std::size_t step_offset, ActiveSets sets,
+                                   std::vector<CellState>& bank);
+  HorizonSolution solve_sharded(const HorizonProblem& problem,
+                                runtime::DeadlineToken* deadline,
+                                std::size_t shards, linalg::Vec mu,
+                                double step_scale, std::size_t step_offset,
+                                const ActiveSets& sets,
+                                std::vector<CellState>& bank);
 
   PrimalDualOptions options_;
   std::vector<CellState> bank_;  // cell = t * num_sbs + n
@@ -203,6 +237,9 @@ class PrimalDualSolver {
   /// warm-started solve resumes from here (see
   /// PrimalDualOptions::cross_window_warm_start).
   std::size_t step_offset_ = 0;
+  /// Worker fleet for sharded solves; spawned on first use, torn down on
+  /// any worker failure (and respawned by the next sharded solve).
+  std::unique_ptr<shard::Coordinator> coordinator_;
 };
 
 }  // namespace mdo::core

@@ -1,0 +1,328 @@
+#include "core/shard_core.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mdo::core {
+
+ActiveSets build_active_sets(const model::NetworkConfig& config,
+                             const model::SparseDemandTrace& demand,
+                             const model::CacheState& initial_cache) {
+  const std::size_t w = demand.horizon();
+  const std::size_t num_sbs = config.num_sbs();
+  ActiveSets sets;
+  sets.active.resize(w * num_sbs);
+  util::parallel_for(0, w * num_sbs, [&](std::size_t cell) {
+    const std::size_t t = cell / num_sbs;
+    const std::size_t n = cell % num_sbs;
+    sets.active[cell] =
+        model::active_contents(demand.slot(t)[n], initial_cache, n);
+  });
+  sets.p1_list.resize(num_sbs);
+  sets.cell_p1.resize(w * num_sbs);
+  util::parallel_for(0, num_sbs, [&](std::size_t n) {
+    std::vector<std::size_t>& list = sets.p1_list[n];
+    std::vector<std::size_t> merged;
+    for (std::size_t t = 0; t < w; ++t) {
+      const std::vector<std::size_t>& cell = sets.active[t * num_sbs + n];
+      merged.clear();
+      merged.reserve(list.size() + cell.size());
+      std::set_union(list.begin(), list.end(), cell.begin(), cell.end(),
+                     std::back_inserter(merged));
+      list.swap(merged);
+    }
+    for (std::size_t t = 0; t < w; ++t) {
+      const std::vector<std::size_t>& cell = sets.active[t * num_sbs + n];
+      std::vector<std::size_t>& map = sets.cell_p1[t * num_sbs + n];
+      map.resize(cell.size());
+      std::size_t pos = 0;
+      for (std::size_t i = 0; i < cell.size(); ++i) {
+        while (pos < list.size() && list[pos] < cell[i]) ++pos;
+        MDO_CHECK(pos < list.size() && list[pos] == cell[i],
+                  "sparse P1: active content missing from window union");
+        map[i] = pos;
+      }
+    }
+  });
+  return sets;
+}
+
+void ShardCore::begin(const ShardInputs& in, const ShardOptions& opts,
+                      std::vector<CellState>& bank) {
+  ActiveSets sets;
+  if (in.sparse()) {
+    sets = build_active_sets(*in.config, *in.sparse_demand, *in.initial_cache);
+  }
+  begin(in, opts, bank, std::move(sets));
+}
+
+void ShardCore::begin(const ShardInputs& in, const ShardOptions& opts,
+                      std::vector<CellState>& bank, ActiveSets sets) {
+  MDO_REQUIRE(in.config != nullptr && in.initial_cache != nullptr,
+              "shard core: config and initial cache must be set");
+  MDO_REQUIRE((in.demand != nullptr) != (in.sparse_demand != nullptr),
+              "shard core: exactly one demand representation must be set");
+  inputs_ = in;
+  options_ = opts;
+  config_ = in.config;
+  sparse_ = in.sparse();
+  horizon_ = in.horizon();
+  layout_ = MuLayout(*config_);
+  sets_ = std::move(sets);
+  bank_ = &bank;
+
+  const auto& config = *config_;
+  const std::size_t w = horizon_;
+  const std::size_t num_sbs = config.num_sbs();
+  const std::size_t k_count = config.num_contents;
+  const bool sparse = sparse_;
+
+  // ---- Per-(slot, SBS) P2 workspaces: coefficients are built once here,
+  // the dual loop then only refreshes the mu-dependent linear term (and the
+  // repair loop the box upper bound). The workspaces also hold the warm
+  // starts across dual iterations — and across windows when the bank is the
+  // persistent one. A throwaway bank runs the same code path, so results
+  // are bit-identical either way.
+  bank.resize(w * num_sbs);
+  util::parallel_for(0, w * num_sbs, [&](std::size_t cell) {
+    const std::size_t t = cell / num_sbs;
+    const std::size_t n = cell % num_sbs;
+    CellState& cs = bank[cell];
+    if (!options_.cross_window_warm_start) {
+      cs.p2.clear_warm_start();
+      cs.repair.clear_warm_start();
+    }
+    if (sparse) {
+      cs.p2.bind_active(config.sbs[n], inputs_.sparse_demand->slot(t)[n],
+                        sets_.active[cell]);
+      cs.repair.bind_active(config.sbs[n], inputs_.sparse_demand->slot(t)[n],
+                            sets_.active[cell]);
+    } else {
+      cs.p2.bind(config.sbs[n], inputs_.demand->slot(t)[n]);
+      cs.repair.bind(config.sbs[n], inputs_.demand->slot(t)[n]);
+    }
+  });
+
+  // ---- Per-SBS P1 state, reused across dual iterations: the subproblem's
+  // shape, parameters and initial cache are fixed for the whole solve, only
+  // the rewards (the mu sums) change — so the flow network is built once
+  // here and merely re-priced every iteration.
+  p1_.clear();
+  p1_.resize(num_sbs);
+  util::parallel_for(0, num_sbs, [&](std::size_t n) {
+    CachingSubproblem& sub = p1_[n].sub;
+    // Sparse mode restricts P1 to the window's content union: everything
+    // outside has zero reward in every slot and is not initially cached, so
+    // (with beta > 0) the optimum never caches it. The flow pushes exactly
+    // `capacity` units, surplus ones through the zero-cost pool chain, so
+    // clamping capacity to the restricted catalogue only removes pool
+    // augmentations and leaves x unchanged.
+    const std::size_t kp = sparse ? sets_.p1_list[n].size() : k_count;
+    sub.num_contents = kp;
+    sub.horizon = w;
+    sub.capacity = sparse ? std::min(config.sbs[n].cache_capacity, kp)
+                          : config.sbs[n].cache_capacity;
+    sub.beta = config.sbs[n].replacement_beta;
+    sub.initial.assign(kp, 0);
+    if (sparse) {
+      for (std::size_t i = 0; i < kp; ++i) {
+        sub.initial[i] =
+            inputs_.initial_cache->cached(n, sets_.p1_list[n][i]) ? 1 : 0;
+      }
+    } else {
+      for (std::size_t k = 0; k < k_count; ++k) {
+        sub.initial[k] = inputs_.initial_cache->cached(n, k) ? 1 : 0;
+      }
+    }
+    sub.rewards.assign(kp * w, 0.0);
+    if (options_.backend == P1Backend::kFlow && options_.reuse_p1_network &&
+        kp > 0) {
+      p1_[n].flow.bind(sub);
+    }
+  });
+
+  x_.assign(num_sbs, {});
+  p1_objectives_.assign(num_sbs, 0.0);
+  p2_objectives_.assign(w * num_sbs, 0.0);
+}
+
+void ShardCore::iterate(const linalg::Vec& mu) {
+  const auto& config = *config_;
+  const std::size_t w = horizon_;
+  const std::size_t num_sbs = config.num_sbs();
+  const std::size_t k_count = config.num_contents;
+  const bool sparse = sparse_;
+  std::vector<CellState>& bank = *bank_;
+
+  // ---- P1: caching per SBS under rewards nu = sum_m mu. The subproblems
+  // are independent (Alg. 1 separates per SBS); each writes only its own
+  // x[n] / objective slot, and the driver's reduction runs serially in SBS
+  // order so the result is bit-identical at any thread count.
+  util::parallel_for(0, num_sbs, [&](std::size_t n) {
+    CachingSubproblem& sub = p1_[n].sub;
+    if (sub.num_contents == 0) {
+      // Nothing demanded or cached anywhere in the window: P1 is empty.
+      x_[n].clear();
+      p1_objectives_[n] = 0.0;
+      return;
+    }
+    std::fill(sub.rewards.begin(), sub.rewards.end(), 0.0);
+    const std::size_t classes = config.sbs[n].num_classes();
+    const std::size_t kp = sub.num_contents;
+    for (std::size_t t = 0; t < w; ++t) {
+      const std::size_t base = layout_.offset(t, n);
+      if (sparse) {
+        // mu is zero off the active set throughout the ascent, so summing
+        // only active coordinates is bit-identical to the dense loop.
+        const std::vector<std::size_t>& al = sets_.active[t * num_sbs + n];
+        const std::vector<std::size_t>& map = sets_.cell_p1[t * num_sbs + n];
+        for (std::size_t m = 0; m < classes; ++m) {
+          for (std::size_t i = 0; i < al.size(); ++i) {
+            sub.rewards[t * kp + map[i]] += mu[base + m * k_count + al[i]];
+          }
+        }
+      } else {
+        for (std::size_t m = 0; m < classes; ++m) {
+          for (std::size_t k = 0; k < k_count; ++k) {
+            sub.rewards[t * k_count + k] += mu[base + m * k_count + k];
+          }
+        }
+      }
+    }
+    if (options_.backend == P1Backend::kFlow) {
+      // A/B baseline: rebuild the network from scratch every iteration.
+      if (!options_.reuse_p1_network) p1_[n].flow.bind(sub);
+      p1_objectives_[n] = p1_[n].flow.solve_into(sub, x_[n]);
+    } else {
+      const CachingSolution sol = solve_caching_simplex(sub);
+      x_[n] = sol.x;
+      p1_objectives_[n] = sol.objective;
+    }
+  });
+
+  // ---- P2: load balancing per (slot, SBS) with linear term mu. Every
+  // (t, n) cell is independent and keeps its own warm start y[t][n].
+  util::parallel_for(0, w * num_sbs, [&](std::size_t cell) {
+    const std::size_t t = cell / num_sbs;
+    const std::size_t n = cell % num_sbs;
+    CellState& cs = bank[cell];
+    const std::size_t base = layout_.offset(t, n);
+    if (sparse) {
+      cs.p2.set_linear_from_dense(mu.data() + base, k_count);
+    } else {
+      cs.p2.set_linear(mu.data() + base,
+                       mu.data() + base + layout_.sbs_size[n]);
+    }
+    p2_objectives_[cell] =
+        solve_load_balancing(cs.p2, options_.load_balancing).objective;
+  });
+}
+
+void ShardCore::repair(model::Schedule* schedule) {
+  const auto& config = *config_;
+  const std::size_t w = horizon_;
+  const std::size_t num_sbs = config.num_sbs();
+  const std::size_t k_count = config.num_contents;
+  const bool sparse = sparse_;
+  std::vector<CellState>& bank = *bank_;
+
+  // ---- Feasibility repair -> upper bound. P2 with c = 0 and ub = x.
+  // Cells are independent per (slot, SBS): every cell touches only SBS n
+  // of slot t (CacheState and LoadAllocation store one vector per SBS).
+  util::parallel_for(0, w * num_sbs, [&](std::size_t cell) {
+    const std::size_t t = cell / num_sbs;
+    const std::size_t n = cell % num_sbs;
+    CellState& cs = bank[cell];
+    const std::size_t classes = config.sbs[n].num_classes();
+    linalg::Vec& ub = cs.ub;
+    if (sparse) {
+      const std::vector<std::size_t>& al = sets_.active[cell];
+      const std::vector<std::size_t>& map = sets_.cell_p1[cell];
+      const std::size_t kp = p1_[n].sub.num_contents;
+      const std::size_t a_count = al.size();
+      ub.assign(classes * a_count, 0.0);
+      for (std::size_t i = 0; i < a_count; ++i) {
+        const bool cached = x_[n][t * kp + map[i]] != 0;
+        if (schedule != nullptr) (*schedule)[t].cache.set(n, al[i], cached);
+        if (cached) {
+          for (std::size_t m = 0; m < classes; ++m) ub[m * a_count + i] = 1.0;
+        }
+      }
+    } else {
+      ub.assign(classes * k_count, 0.0);
+      for (std::size_t k = 0; k < k_count; ++k) {
+        const bool cached = x_[n][t * k_count + k] != 0;
+        if (schedule != nullptr) (*schedule)[t].cache.set(n, k, cached);
+        if (cached) {
+          for (std::size_t m = 0; m < classes; ++m) ub[m * k_count + k] = 1.0;
+        }
+      }
+    }
+    // Unchanged-x fast path: the workspace still holds the solution for
+    // this exact upper bound (the skip is valid only within one solve —
+    // begin() invalidated any previous window's solution).
+    if (!cs.repair.has_solution() || ub != cs.repair.upper()) {
+      cs.repair.set_upper(ub);
+      solve_load_balancing(cs.repair, options_.load_balancing);
+    }
+    if (schedule == nullptr) return;
+    if (sparse) {
+      cs.repair.scatter_solution((*schedule)[t].load.sbs_data(n));
+    } else {
+      (*schedule)[t].load.sbs_data(n) = cs.repair.y();
+    }
+  });
+}
+
+void ShardCore::dual_update(double delta, linalg::Vec& mu) const {
+  const auto& config = *config_;
+  const std::size_t w = horizon_;
+  const std::size_t num_sbs = config.num_sbs();
+  const std::size_t k_count = config.num_contents;
+  const bool sparse = sparse_;
+  const std::vector<CellState>& bank = *bank_;
+
+  // ---- Projected subgradient ascent on mu: g = y - x (17). In sparse
+  // mode only active coordinates move; off the active set y = 0 and
+  // x = 0, so the dense update would compute max(0, mu + 0) = mu = 0.
+  // Every coordinate updates independently of all others, so a worker
+  // applying this to its slice produces the same values as the full-range
+  // update — no cross-shard state is involved.
+  for (std::size_t t = 0; t < w; ++t) {
+    for (std::size_t n = 0; n < num_sbs; ++n) {
+      const std::size_t base = layout_.offset(t, n);
+      const std::size_t classes = config.sbs[n].num_classes();
+      const linalg::Vec& y = bank[t * num_sbs + n].p2.y();
+      if (sparse) {
+        const std::vector<std::size_t>& al = sets_.active[t * num_sbs + n];
+        const std::vector<std::size_t>& map = sets_.cell_p1[t * num_sbs + n];
+        const std::size_t kp = p1_[n].sub.num_contents;
+        const std::size_t a_count = al.size();
+        for (std::size_t m = 0; m < classes; ++m) {
+          for (std::size_t i = 0; i < a_count; ++i) {
+            const std::size_t j = base + m * k_count + al[i];
+            const double subgrad =
+                y[m * a_count + i] -
+                static_cast<double>(x_[n][t * kp + map[i]]);
+            mu[j] = std::max(0.0, mu[j] + delta * subgrad);
+          }
+        }
+        continue;
+      }
+      for (std::size_t m = 0; m < classes; ++m) {
+        for (std::size_t k = 0; k < k_count; ++k) {
+          const std::size_t j = base + m * k_count + k;
+          const double subgrad =
+              y[m * k_count + k] -
+              static_cast<double>(x_[n][t * k_count + k]);
+          mu[j] = std::max(0.0, mu[j] + delta * subgrad);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mdo::core

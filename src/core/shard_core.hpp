@@ -1,0 +1,183 @@
+// Shard-local core of the primal-dual decomposition (Algorithm 1).
+//
+// The Lagrangian separates per SBS — P1 per SBS over the window, P2/repair
+// per (slot, SBS) — so a contiguous range of SBSs can be solved by an
+// independent "shard" that owns its P1 flow networks, its P2 workspace bank
+// and its slice of the multipliers. ShardCore is that unit of work:
+//
+//   begin()        binds the shard to a window problem (its NetworkConfig
+//                  slice, demand window, initial cache and workspace bank),
+//   iterate(mu)    runs one dual iteration's P1 + P2 passes,
+//   repair()       re-solves P2 with ub = x for the feasible incumbent,
+//   dual_update()  applies the projected subgradient step to mu.
+//
+// The in-process solver runs ONE full-range ShardCore (the exact loop bodies
+// this file was extracted from, so results are bit-identical to the
+// pre-refactor solver); the process-level coordinator (src/shard/) runs one
+// ShardCore per worker subprocess over a slice config. The thread pool still
+// parallelizes inside a shard, and every floating-point accumulation that
+// determines the result (P1/P2 sums, costs, bounds) stays OUTSIDE this
+// class, in the driver, in canonical serial index order — that is the
+// determinism argument for both thread- and shard-count invariance
+// (DESIGN.md §11).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/caching.hpp"
+#include "core/load_balancing.hpp"
+#include "linalg/vec.hpp"
+#include "model/decision.hpp"
+#include "model/demand.hpp"
+#include "model/network.hpp"
+#include "model/sparse_demand.hpp"
+
+namespace mdo::core {
+
+/// Which exact P1 backend the dual iterations use.
+enum class P1Backend {
+  kFlow,     // min-cost flow (default, fast)
+  kSimplex,  // the paper's LP + simplex route (slower, for fidelity/tests)
+};
+
+/// Index bookkeeping for the flat mu vector: slot-major, then SBS, then
+/// (class, content) flattened.
+struct MuLayout {
+  std::size_t per_slot = 0;
+  std::vector<std::size_t> sbs_offset;  // within one slot
+  std::vector<std::size_t> sbs_size;    // M_n * K
+
+  MuLayout() = default;
+  explicit MuLayout(const model::NetworkConfig& config) {
+    sbs_offset.resize(config.num_sbs());
+    sbs_size.resize(config.num_sbs());
+    for (std::size_t n = 0; n < config.num_sbs(); ++n) {
+      sbs_offset[n] = per_slot;
+      sbs_size[n] = config.sbs[n].num_classes() * config.num_contents;
+      per_slot += sbs_size[n];
+    }
+  }
+
+  std::size_t offset(std::size_t t, std::size_t n) const {
+    return t * per_slot + sbs_offset[n];
+  }
+};
+
+/// Per-(slot, SBS) solver state, persisted across solves as the warm-start
+/// bank (cell = t * num_sbs + n).
+struct CellState {
+  P2Workspace p2;      // dual-iteration P2 (linear term = mu)
+  P2Workspace repair;  // feasibility repair (c = 0, ub = x)
+  linalg::Vec ub;      // repair upper-bound scratch
+};
+
+/// Sparse-mode index structures, deterministic functions of (demand window,
+/// initial cache): per-cell active sets (support union cached), the per-SBS
+/// sorted union over the window (P1's restricted content list), and the
+/// per-cell map from active position to P1 position. Built identically by
+/// the in-process solver, by each worker over its slice, and by the
+/// coordinator's driver over the full range (which needs them to derive
+/// cache bits and scatter repair loads from the wire blocks).
+struct ActiveSets {
+  std::vector<std::vector<std::size_t>> active;   // per cell
+  std::vector<std::vector<std::size_t>> p1_list;  // per SBS, sorted union
+  std::vector<std::vector<std::size_t>> cell_p1;  // per cell, into p1_list[n]
+};
+
+ActiveSets build_active_sets(const model::NetworkConfig& config,
+                             const model::SparseDemandTrace& demand,
+                             const model::CacheState& initial_cache);
+
+/// The subset of PrimalDualOptions a shard needs (kept separate so workers
+/// deserialize exactly these and nothing solver-lifecycle-related).
+struct ShardOptions {
+  P1Backend backend = P1Backend::kFlow;
+  LoadBalancingOptions load_balancing{};
+  bool reuse_p1_network = true;
+  bool cross_window_warm_start = true;
+};
+
+/// Non-owning window problem handed to a shard. In a worker subprocess the
+/// config/demand/cache are the deserialized slice; in-process they are the
+/// full-range originals. Exactly one demand pointer is set.
+struct ShardInputs {
+  const model::NetworkConfig* config = nullptr;
+  const model::DemandTrace* demand = nullptr;
+  const model::SparseDemandTrace* sparse_demand = nullptr;
+  const model::CacheState* initial_cache = nullptr;
+
+  bool sparse() const { return sparse_demand != nullptr; }
+  std::size_t horizon() const {
+    return sparse_demand != nullptr ? sparse_demand->horizon()
+                                    : demand->horizon();
+  }
+};
+
+class ShardCore {
+ public:
+  /// Binds the shard to a window problem. `bank` (cell = t * num_sbs + n,
+  /// resized here) must outlive the shard's use; its workspaces keep their
+  /// warm starts — begin() re-binds them to the new window exactly like the
+  /// pre-refactor solve() prologue. `sets` must be the structures
+  /// build_active_sets returns for these inputs (moved in so the in-process
+  /// driver, which also needs them, builds them once); ignored in dense
+  /// mode. The overload without `sets` builds them internally (workers).
+  void begin(const ShardInputs& in, const ShardOptions& opts,
+             std::vector<CellState>& bank, ActiveSets sets);
+  void begin(const ShardInputs& in, const ShardOptions& opts,
+             std::vector<CellState>& bank);
+
+  /// One dual iteration's P1 (caching per SBS under rewards nu = sum_m mu)
+  /// and P2 (load balancing per cell with linear term mu) passes. Each
+  /// parallel task writes only its own slot; no reductions happen here.
+  void iterate(const linalg::Vec& mu);
+
+  /// Feasibility repair for the current x: P2 with c = 0 and ub = x per
+  /// cell. When `schedule` is non-null (the in-process driver), cache bits
+  /// and load rows are written into it (slots sized for this shard's
+  /// config); a worker passes null and ships the workspace solutions
+  /// instead. The repaired y stays in bank[cell].repair either way.
+  void repair(model::Schedule* schedule);
+
+  /// Projected subgradient ascent on mu: g = y - x (17), coordinatewise
+  /// max(0, mu + delta * g). Each coordinate's update is independent, so
+  /// workers apply it to their slice with values bit-identical to the
+  /// full-range update.
+  void dual_update(double delta, linalg::Vec& mu) const;
+
+  // Per-index outputs of the last iterate(); the driver reduces them
+  // serially in global index order.
+  const std::vector<double>& p1_objectives() const { return p1_objectives_; }
+  const std::vector<double>& p2_objectives() const { return p2_objectives_; }
+  /// Per SBS: the P1 schedule, [t * kp + i] over the restricted list.
+  const std::vector<std::vector<std::uint8_t>>& x() const { return x_; }
+  const ActiveSets& sets() const { return sets_; }
+  /// kp of SBS n: restricted catalogue size (sparse) or K (dense).
+  std::size_t p1_contents(std::size_t n) const {
+    return p1_[n].sub.num_contents;
+  }
+  const std::vector<CellState>& bank() const { return *bank_; }
+
+ private:
+  struct P1State {
+    CachingSubproblem sub;
+    CachingFlowWorkspace flow;
+  };
+
+  const model::NetworkConfig* config_ = nullptr;
+  ShardInputs inputs_;
+  ShardOptions options_;
+  std::size_t horizon_ = 0;
+  bool sparse_ = false;
+  MuLayout layout_;
+  ActiveSets sets_;
+  std::vector<CellState>* bank_ = nullptr;
+  std::vector<P1State> p1_;
+  std::vector<double> p1_objectives_;
+  std::vector<double> p2_objectives_;
+  std::vector<std::vector<std::uint8_t>> x_;
+};
+
+}  // namespace mdo::core

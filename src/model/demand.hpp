@@ -63,6 +63,9 @@ class DemandTrace {
 
   void push_back(SlotDemand slot_demand);
 
+  /// Drops every slot; controllers reuse one trace buffer per window.
+  void clear() { slots_.clear(); }
+
   /// Sub-trace covering slots [begin, begin+len) (clamped to the horizon);
   /// used to hand prediction windows to the horizon solver.
   DemandTrace window(std::size_t begin, std::size_t len) const;

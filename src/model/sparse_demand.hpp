@@ -112,6 +112,9 @@ class SparseDemandTrace {
 
   void push_back(SparseSlotDemand slot);
 
+  /// Drops every slot; controllers reuse one trace buffer per window.
+  void clear() { slots_.clear(); }
+
   /// Sub-trace [begin, begin + length), clamped to the horizon like
   /// DemandTrace::window.
   SparseDemandTrace window(std::size_t begin, std::size_t length) const;

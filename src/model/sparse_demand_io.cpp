@@ -1,0 +1,118 @@
+#include "model/sparse_demand_io.hpp"
+
+#include <cstring>
+
+#include "util/atomic_file.hpp"
+#include "util/checksum.hpp"
+#include "util/error.hpp"
+
+namespace mdo::model {
+
+namespace {
+
+constexpr char kTraceMagic[8] = {'M', 'D', 'O', 'S', 'T', 'R', 'C', '1'};
+constexpr std::uint32_t kTraceVersion = 1;
+
+}  // namespace
+
+void write_sparse_demand(util::BinaryWriter& w, const SparseSbsDemand& demand) {
+  MDO_REQUIRE(demand.finalized(),
+              "cannot serialize an unfinalized SparseSbsDemand");
+  w.size(demand.num_classes());
+  w.size(demand.num_contents());
+  for (std::size_t m = 0; m < demand.num_classes(); ++m) {
+    const DemandEntry* begin = demand.row_begin(m);
+    const DemandEntry* end = demand.row_end(m);
+    w.size(static_cast<std::size_t>(end - begin));
+    for (const DemandEntry* it = begin; it != end; ++it) {
+      w.size(it->content);
+      w.f64(it->rate);
+    }
+  }
+}
+
+SparseSbsDemand read_sparse_demand(util::BinaryReader& r) {
+  const std::size_t num_classes = r.count();
+  const std::size_t num_contents = r.size();
+  SparseSbsDemand demand(num_classes, num_contents);
+  for (std::size_t m = 0; m < num_classes; ++m) {
+    const std::size_t row = r.count();
+    for (std::size_t i = 0; i < row; ++i) {
+      const std::size_t content = r.size();
+      const double rate = r.f64();
+      demand.append(m, content, rate);
+    }
+  }
+  demand.finalize();
+  return demand;
+}
+
+void write_sparse_trace(util::BinaryWriter& w, const SparseDemandTrace& trace) {
+  w.size(trace.horizon());
+  for (std::size_t t = 0; t < trace.horizon(); ++t) {
+    const SparseSlotDemand& slot = trace.slot(t);
+    w.size(slot.size());
+    for (const SparseSbsDemand& demand : slot) {
+      write_sparse_demand(w, demand);
+    }
+  }
+}
+
+SparseDemandTrace read_sparse_trace(util::BinaryReader& r) {
+  SparseDemandTrace trace;
+  const std::size_t horizon = r.count();
+  for (std::size_t t = 0; t < horizon; ++t) {
+    SparseSlotDemand slot;
+    const std::size_t num_sbs = r.count();
+    slot.reserve(num_sbs);
+    for (std::size_t n = 0; n < num_sbs; ++n) {
+      slot.push_back(read_sparse_demand(r));
+    }
+    trace.push_back(std::move(slot));
+  }
+  return trace;
+}
+
+void save_sparse_trace(const std::string& path,
+                       const SparseDemandTrace& trace) {
+  util::BinaryWriter payload;
+  write_sparse_trace(payload, trace);
+  const std::vector<std::uint8_t> body = payload.take();
+
+  util::BinaryWriter file;
+  for (const char c : kTraceMagic) file.u8(static_cast<std::uint8_t>(c));
+  file.u32(kTraceVersion);
+  file.u64(static_cast<std::uint64_t>(body.size()));
+  file.u64(util::fnv1a64(body.data(), body.size()));
+  std::vector<std::uint8_t> bytes = file.take();
+  bytes.insert(bytes.end(), body.begin(), body.end());
+  util::write_file_atomic(path, bytes);
+}
+
+SparseDemandTrace load_sparse_trace(const std::string& path) {
+  const std::vector<std::uint8_t> bytes = util::read_file_bytes(path);
+  util::BinaryReader header(bytes);
+  MDO_REQUIRE(bytes.size() >= sizeof(kTraceMagic) + 4 + 8 + 8,
+              "sparse trace file too short for its header");
+  for (const char c : kTraceMagic) {
+    MDO_REQUIRE(header.u8() == static_cast<std::uint8_t>(c),
+                "sparse trace file has wrong magic");
+  }
+  MDO_REQUIRE(header.u32() == kTraceVersion,
+              "sparse trace file has unsupported version");
+  const std::uint64_t declared = header.u64();
+  const std::uint64_t checksum = header.u64();
+  MDO_REQUIRE(declared == header.remaining(),
+              "sparse trace payload size mismatch (truncated or trailing "
+              "bytes)");
+  const std::uint8_t* body = bytes.data() + (bytes.size() - declared);
+  MDO_REQUIRE(util::fnv1a64(body, declared) == checksum,
+              "sparse trace checksum mismatch (corrupted file)");
+  util::BinaryReader payload(body, static_cast<std::size_t>(declared));
+  SparseDemandTrace trace = read_sparse_trace(payload);
+  MDO_REQUIRE(payload.exhausted(),
+              "sparse trace payload has trailing bytes");
+  return trace;
+}
+
+}  // namespace mdo::model

@@ -67,25 +67,33 @@ void FhcPlanner::plan(std::ptrdiff_t tau,
   // A pre-horizon plan (tau < 0) predates every observation: querying the
   // predictor with the clamped slot-0 time would smuggle in information not
   // yet available at plan time, so those windows are zero/prior-only.
+  // The problem references the planner's per-representation window buffer,
+  // refilled in place each plan — no per-plan window copy.
+  const bool sparse = instance_->use_sparse_demand;
   core::HorizonProblem problem;
   problem.config = &config;
-  problem.use_sparse_demand = instance_->use_sparse_demand;
+  if (sparse) {
+    window_sparse_.clear();
+    problem.sparse_demand = &window_sparse_;
+  } else {
+    window_demand_.clear();
+    problem.demand = &window_demand_;
+  }
   for (std::size_t i = 0; i < window_; ++i) {
     const std::ptrdiff_t abs_slot = tau + static_cast<std::ptrdiff_t>(i);
     if (abs_slot >= static_cast<std::ptrdiff_t>(total_horizon)) break;
     if (abs_slot < 0 || tau < 0) {
-      if (problem.use_sparse_demand) {
-        problem.sparse_demand.push_back(
-            model::make_zero_sparse_slot_demand(config));
+      if (sparse) {
+        window_sparse_.push_back(model::make_zero_sparse_slot_demand(config));
       } else {
-        problem.demand.push_back(model::make_zero_slot_demand(config));
+        window_demand_.push_back(model::make_zero_slot_demand(config));
       }
-    } else if (problem.use_sparse_demand) {
-      problem.sparse_demand.push_back(
+    } else if (sparse) {
+      window_sparse_.push_back(
           predictor.predict_sparse(static_cast<std::size_t>(tau),
                                    static_cast<std::size_t>(abs_slot)));
     } else {
-      problem.demand.push_back(
+      window_demand_.push_back(
           predictor.predict(static_cast<std::size_t>(tau),
                             static_cast<std::size_t>(abs_slot)));
     }

@@ -11,10 +11,9 @@ void OfflineController::reset(const model::ProblemInstance& instance) {
   core::HorizonProblem problem;
   problem.config = &instance.config;
   if (instance.use_sparse_demand) {
-    problem.sparse_demand = instance.sparse_demand;
-    problem.use_sparse_demand = true;
+    problem.sparse_demand = &instance.sparse_demand;
   } else {
-    problem.demand = instance.demand;
+    problem.demand = &instance.demand;
   }
   problem.initial_cache = instance.initial_cache;
   solution_ = core::PrimalDualSolver(options_).solve(problem);

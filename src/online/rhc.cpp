@@ -34,14 +34,18 @@ model::SlotDecision RhcController::decide(const DecisionContext& ctx) {
   MDO_REQUIRE(instance_ != nullptr, "RHC: reset() must be called first");
   MDO_REQUIRE(ctx.predictor != nullptr, "RHC needs a predictor");
 
+  // The window problem references the controller's per-representation
+  // buffer: one trace reused across decisions, refilled in place — no
+  // per-decision window copy.
   core::HorizonProblem problem;
   problem.config = &instance_->config;
   if (instance_->use_sparse_demand) {
-    problem.sparse_demand =
-        ctx.predictor->predict_window_sparse(ctx.slot, window_);
-    problem.use_sparse_demand = true;
+    ctx.predictor->predict_window_sparse_into(ctx.slot, window_,
+                                              window_sparse_);
+    problem.sparse_demand = &window_sparse_;
   } else {
-    problem.demand = ctx.predictor->predict_window(ctx.slot, window_);
+    ctx.predictor->predict_window_into(ctx.slot, window_, window_demand_);
+    problem.demand = &window_demand_;
   }
   problem.initial_cache = trajectory_cache_;
   const std::size_t horizon = problem.horizon();

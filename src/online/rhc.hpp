@@ -51,6 +51,10 @@ class RhcController final : public Controller {
   core::PrimalDualSolver solver_;
   const model::ProblemInstance* instance_ = nullptr;
   model::CacheState trajectory_cache_;  // x^{tau-1} along RHC's own path
+  /// Per-decision window buffers the HorizonProblem references (one per
+  /// representation; refilled in place each decide()).
+  model::DemandTrace window_demand_;
+  model::SparseDemandTrace window_sparse_;
 };
 
 /// Builds a warm-start multiplier vector for a new window of length

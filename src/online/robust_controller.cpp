@@ -344,7 +344,7 @@ void RobustController::restore_state(util::BinaryReader& r) {
   last_substituted_ = r.boolean();
   for (std::size_t& count : level_counts_) count = r.size();
   events_.clear();
-  const std::size_t num_events = r.size();
+  const std::size_t num_events = r.count();
   events_.reserve(num_events);
   for (std::size_t i = 0; i < num_events; ++i) {
     DegradationEvent event;

@@ -41,6 +41,59 @@ double OverlapHorizonSolution::gap() const {
   return (upper_bound - lower_bound) / std::max(std::abs(upper_bound), 1e-12);
 }
 
+void OverlapP1Core::begin(const OverlapHorizonProblem& problem,
+                          const OverlapPrimalDualOptions& options,
+                          std::size_t sbs_begin, std::size_t sbs_end) {
+  MDO_REQUIRE(sbs_begin <= sbs_end &&
+                  sbs_end <= problem.config->num_sbs(),
+              "overlap P1 core: SBS range out of bounds");
+  problem_ = &problem;
+  options_ = options;
+  sbs_begin_ = sbs_begin;
+  const auto& config = *problem.config;
+  const std::size_t count = sbs_end - sbs_begin;
+  const std::size_t k_count = config.num_contents;
+  const std::size_t w = problem.horizon();
+  p1_.assign(count, P1State{});
+  objectives_.assign(count, 0.0);
+  x_.assign(count, {});
+  util::parallel_for(0, count, [&](std::size_t i) {
+    const std::size_t n = sbs_begin + i;
+    core::CachingSubproblem& sub = p1_[i].sub;
+    sub.num_contents = k_count;
+    sub.horizon = w;
+    sub.capacity = config.sbs[n].cache_capacity;
+    sub.beta = config.sbs[n].replacement_beta;
+    sub.initial = problem.initial[n];
+    sub.rewards.assign(k_count * w, 0.0);
+    if (options_.reuse_p1_network) p1_[i].flow.bind(sub);
+  });
+}
+
+void OverlapP1Core::iterate(const linalg::Vec& mu) {
+  const auto& config = *problem_->config;
+  const auto& layout = *problem_->layout;
+  const std::size_t k_count = config.num_contents;
+  const std::size_t per_slot = layout.y_size();
+  const std::size_t w = problem_->horizon();
+  util::parallel_for(0, p1_.size(), [&](std::size_t i) {
+    const std::size_t n = sbs_begin_ + i;
+    core::CachingSubproblem& sub = p1_[i].sub;
+    std::fill(sub.rewards.begin(), sub.rewards.end(), 0.0);
+    for (std::size_t t = 0; t < w; ++t) {
+      for (const std::size_t id : layout.links_of_sbs(n)) {
+        for (std::size_t k = 0; k < k_count; ++k) {
+          sub.rewards[t * k_count + k] +=
+              mu[t * per_slot + layout.index(id, k)];
+        }
+      }
+    }
+    // A/B baseline: rebuild the network from scratch every iteration.
+    if (!options_.reuse_p1_network) p1_[i].flow.bind(sub);
+    objectives_[i] = p1_[i].flow.solve_into(sub, x_[i]);
+  });
+}
+
 OverlapPrimalDualSolver::OverlapPrimalDualSolver(
     OverlapPrimalDualOptions options)
     : options_(options) {
@@ -97,25 +150,13 @@ OverlapHorizonSolution OverlapPrimalDualSolver::solve(
   best.upper_bound = kInf;
   best.lower_bound = -kInf;
 
-  std::vector<std::vector<std::uint8_t>> x(config.num_sbs());  // [t*K + k]
-
   // ---- Per-SBS P1 state, reused across dual iterations (shape and initial
-  // cache are fixed for the whole solve; only the rewards change).
-  struct P1State {
-    core::CachingSubproblem sub;
-    core::CachingFlowWorkspace flow;
-  };
-  std::vector<P1State> p1(config.num_sbs());
-  util::parallel_for(0, config.num_sbs(), [&](std::size_t n) {
-    core::CachingSubproblem& sub = p1[n].sub;
-    sub.num_contents = k_count;
-    sub.horizon = w;
-    sub.capacity = config.sbs[n].cache_capacity;
-    sub.beta = config.sbs[n].replacement_beta;
-    sub.initial = problem.initial[n];
-    sub.rewards.assign(k_count * w, 0.0);
-    if (options_.reuse_p1_network) p1[n].flow.bind(sub);
-  });
+  // cache are fixed for the whole solve; only the rewards change). Owned by
+  // the shard-local P1 core; overlap binds the full SBS range in process
+  // (P2 couples SBSs within a slot, so there is nothing to shard by SBS).
+  OverlapP1Core p1;
+  p1.begin(problem, options_, 0, config.num_sbs());
+  const std::vector<std::vector<std::uint8_t>>& x = p1.x();  // [t*K + k]
 
   // ---- Per-slot P2 workspaces: coefficients built once here, the dual
   // loop then only refreshes the linear term (and the repair loop the box
@@ -146,26 +187,11 @@ OverlapHorizonSolution OverlapPrimalDualSolver::solve(
       break;
     }
     // ---- P1 per SBS (unchanged caching structure; reuse the flow solver).
-    // Independent per SBS: fan out, then reduce serially in SBS order so the
-    // objective is bit-identical at any thread count.
-    std::vector<double> p1_objectives(config.num_sbs(), 0.0);
-    util::parallel_for(0, config.num_sbs(), [&](std::size_t n) {
-      core::CachingSubproblem& sub = p1[n].sub;
-      std::fill(sub.rewards.begin(), sub.rewards.end(), 0.0);
-      for (std::size_t t = 0; t < w; ++t) {
-        for (const std::size_t id : layout.links_of_sbs(n)) {
-          for (std::size_t k = 0; k < k_count; ++k) {
-            sub.rewards[t * k_count + k] +=
-                mu[t * per_slot + layout.index(id, k)];
-          }
-        }
-      }
-      // A/B baseline: rebuild the network from scratch every iteration.
-      if (!options_.reuse_p1_network) p1[n].flow.bind(sub);
-      p1_objectives[n] = p1[n].flow.solve_into(sub, x[n]);
-    });
+    // Independent per SBS: the core fans out, then we reduce serially in
+    // SBS order so the objective is bit-identical at any thread count.
+    p1.iterate(mu);
     double p1_value = 0.0;
-    for (const double value : p1_objectives) p1_value += value;
+    for (const double value : p1.objectives()) p1_value += value;
 
     // ---- P2 per slot (coupled across SBSs, independent across slots).
     std::vector<double> p2_objectives(w, 0.0);

@@ -8,6 +8,7 @@
 // ascend the dual with diminishing subgradient steps.
 #pragma once
 
+#include "core/caching.hpp"
 #include "overlap/p2.hpp"
 #include "runtime/deadline.hpp"
 #include "solver/status.hpp"
@@ -56,6 +57,48 @@ struct OverlapHorizonSolution {
   solver::SolveStatus status = solver::SolveStatus::kConverged;
 
   double gap() const;
+};
+
+/// Shard-local core of the overlap P1 stage: owns the per-SBS caching
+/// subproblems and flow workspaces for a contiguous SBS range and runs one
+/// dual iteration's worth of P1 solves over it. Structured like
+/// core::ShardCore (DESIGN.md §11) so the per-SBS state has a single owner,
+/// but overlap stays in-process only: its P2 couples every SBS within a
+/// slot through the shared overlap links, so the slot-major stages cannot
+/// be partitioned by SBS the way the core solver's can.
+class OverlapP1Core {
+ public:
+  /// Binds per-SBS P1 state for SBSs [sbs_begin, sbs_end) of `problem`.
+  /// The problem must outlive the core and stay unchanged until the next
+  /// begin(). Parallelizes over the range internally.
+  void begin(const OverlapHorizonProblem& problem,
+             const OverlapPrimalDualOptions& options, std::size_t sbs_begin,
+             std::size_t sbs_end);
+
+  /// One dual iteration of P1 over the bound range: rebuild rewards from
+  /// `mu` (full-length, slot-major), solve each SBS's min-cost flow, store
+  /// objectives and cache plans per local index. Bit-identical at any
+  /// thread count (per-index output slots, no reductions).
+  void iterate(const linalg::Vec& mu);
+
+  std::size_t size() const { return p1_.size(); }
+  /// Per-SBS P1 objectives, indexed by local offset (n - sbs_begin).
+  const std::vector<double>& objectives() const { return objectives_; }
+  /// Per-SBS cache plans [t * K + k], indexed by local offset.
+  const std::vector<std::vector<std::uint8_t>>& x() const { return x_; }
+
+ private:
+  struct P1State {
+    core::CachingSubproblem sub;
+    core::CachingFlowWorkspace flow;
+  };
+
+  const OverlapHorizonProblem* problem_ = nullptr;
+  OverlapPrimalDualOptions options_;
+  std::size_t sbs_begin_ = 0;
+  std::vector<P1State> p1_;
+  std::vector<double> objectives_;
+  std::vector<std::vector<std::uint8_t>> x_;
 };
 
 class OverlapPrimalDualSolver {

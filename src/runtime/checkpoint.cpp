@@ -117,7 +117,7 @@ void write_schedule(util::BinaryWriter& w, const model::Schedule& schedule) {
 
 model::Schedule read_schedule(util::BinaryReader& r,
                               const model::NetworkConfig& config) {
-  const std::size_t count = r.size();
+  const std::size_t count = r.count();
   model::Schedule schedule;
   schedule.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -11,25 +12,39 @@ namespace mdo::runtime {
 namespace {
 
 /// Window prefix of `problem` with the first `horizon` slots — the
-/// truncated subproblem of a backoff retry.
-core::HorizonProblem truncate_problem(const core::HorizonProblem& problem,
-                                      std::size_t horizon) {
-  core::HorizonProblem out;
-  out.config = problem.config;
-  out.use_sparse_demand = problem.use_sparse_demand;
-  out.initial_cache = problem.initial_cache;
-  for (std::size_t t = 0; t < horizon; ++t) {
-    if (problem.use_sparse_demand) {
-      out.sparse_demand.push_back(problem.sparse_demand.slot(t));
+/// truncated subproblem of a backoff retry. HorizonProblem references its
+/// demand window, so the holder owns the truncated trace and the embedded
+/// problem points into the holder (fill() rewires the pointers in place —
+/// the holder must not be moved afterwards).
+struct TruncatedProblem {
+  model::DemandTrace demand;
+  model::SparseDemandTrace sparse_demand;
+  core::HorizonProblem problem;
+
+  void fill(const core::HorizonProblem& source, std::size_t horizon) {
+    problem.config = source.config;
+    problem.initial_cache = source.initial_cache;
+    if (source.use_sparse()) {
+      sparse_demand.clear();
+      for (std::size_t t = 0; t < horizon; ++t) {
+        sparse_demand.push_back(source.sparse_demand->slot(t));
+      }
+      problem.sparse_demand = &sparse_demand;
+      problem.demand = nullptr;
     } else {
-      out.demand.push_back(problem.demand.slot(t));
+      demand.clear();
+      for (std::size_t t = 0; t < horizon; ++t) {
+        demand.push_back(source.demand->slot(t));
+      }
+      problem.demand = &demand;
+      problem.sparse_demand = nullptr;
     }
   }
-  return out;
-}
+};
 
 bool usable(const core::HorizonSolution& solution) {
   return solution.status != solver::SolveStatus::kNonFiniteInput &&
+         solution.status != solver::SolveStatus::kWorkerFailure &&
          std::isfinite(solution.upper_bound);
 }
 
@@ -87,6 +102,39 @@ core::HorizonSolution supervised_solve(core::PrimalDualSolver& solver,
   if (usable(primary)) return primary;  // clean path: exactly one solve
 
   record(SupervisionEventKind::kSolveFailure, 0, problem.horizon(), primary);
+
+  if (primary.status == solver::SolveStatus::kWorkerFailure) {
+    // A shard worker subprocess died. Unlike a poisoned window this failure
+    // is transient, and the solver's warm state was deliberately left
+    // untouched by the aborted solve — so the retry runs the SAME problem
+    // on the SAME solver (no tolerance relax, no truncation): it respawns
+    // the worker fleet and reproduces the lost solve bit-identically.
+    for (std::size_t attempt = 1; attempt <= options.max_retries; ++attempt) {
+      core::HorizonSolution retry = solver.solve(problem, warm_mu, deadline);
+      record(SupervisionEventKind::kRetry, attempt, problem.horizon(), retry);
+      if (usable(retry)) {
+        record(SupervisionEventKind::kRecovered, attempt, problem.horizon(),
+               retry);
+        MDO_TRACE("supervisor: slot " << slot
+                                      << " recovered from worker failure at "
+                                         "attempt "
+                                      << attempt);
+        return retry;
+      }
+      if (retry.status != solver::SolveStatus::kWorkerFailure) {
+        primary = std::move(retry);
+        break;
+      }
+    }
+    record(SupervisionEventKind::kExhausted, options.max_retries,
+           problem.horizon(), primary);
+    MDO_WARN("supervisor: slot "
+             << slot
+             << " exhausted worker-failure retries; serving the safe "
+                "fallback schedule");
+    return primary;
+  }
+
   // Unsupervised callers (no log) keep the legacy single-solve behavior:
   // the safe fallback schedule is returned and the controller's own
   // degradation path handles it — no new code runs.
@@ -116,11 +164,10 @@ core::HorizonSolution supervised_solve(core::PrimalDualSolver& solver,
                                 static_cast<double>(attempt));
     core::PrimalDualSolver retry_solver(relaxed);
 
-    const core::HorizonProblem truncated =
-        horizon == full_horizon ? core::HorizonProblem{}
-                                : truncate_problem(problem, horizon);
+    TruncatedProblem truncated;
+    if (horizon != full_horizon) truncated.fill(problem, horizon);
     const core::HorizonProblem& attempt_problem =
-        horizon == full_horizon ? problem : truncated;
+        horizon == full_horizon ? problem : truncated.problem;
 
     core::HorizonSolution retry =
         retry_solver.solve(attempt_problem, nullptr, deadline);

@@ -1,0 +1,304 @@
+#include "shard/wire.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "model/sparse_demand_io.hpp"
+#include "util/checksum.hpp"
+#include "util/error.hpp"
+
+namespace mdo::shard {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'D', 'O', 'S', 'H', 'R', 'D', '1'};
+constexpr std::size_t kHeaderSize = sizeof(kMagic) + 4 + 8 + 8;
+/// Sanity cap: no legitimate frame approaches this (the largest, kBegin at
+/// N=1024/K=10^4 dense, is low single-digit GB; sparse frames are MBs).
+constexpr std::uint64_t kMaxPayload = 1ULL << 36;
+
+bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t sent = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += sent;
+    size -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+bool recv_all(int fd, std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t got = ::recv(fd, data, size, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;  // EOF: peer died
+    data += got;
+    size -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool send_frame(int fd, MessageType type,
+                const std::vector<std::uint8_t>& payload) {
+  util::BinaryWriter header;
+  for (const char c : kMagic) header.u8(static_cast<std::uint8_t>(c));
+  header.u32(static_cast<std::uint32_t>(type));
+  header.u64(static_cast<std::uint64_t>(payload.size()));
+  header.u64(util::fnv1a64(payload.data(), payload.size()));
+  if (!send_all(fd, header.bytes().data(), header.bytes().size())) return false;
+  return send_all(fd, payload.data(), payload.size());
+}
+
+bool recv_frame(int fd, MessageType* type,
+                std::vector<std::uint8_t>* payload) {
+  std::uint8_t raw[kHeaderSize];
+  if (!recv_all(fd, raw, kHeaderSize)) return false;
+  util::BinaryReader header(raw, kHeaderSize);
+  for (const char c : kMagic) {
+    if (header.u8() != static_cast<std::uint8_t>(c)) return false;
+  }
+  const std::uint32_t raw_type = header.u32();
+  if (raw_type < static_cast<std::uint32_t>(MessageType::kBegin) ||
+      raw_type > static_cast<std::uint32_t>(MessageType::kShutdown)) {
+    return false;
+  }
+  const std::uint64_t size = header.u64();
+  const std::uint64_t checksum = header.u64();
+  if (size > kMaxPayload) return false;
+  payload->resize(static_cast<std::size_t>(size));
+  if (!recv_all(fd, payload->data(), payload->size())) return false;
+  if (util::fnv1a64(payload->data(), payload->size()) != checksum) {
+    return false;
+  }
+  *type = static_cast<MessageType>(raw_type);
+  return true;
+}
+
+namespace {
+
+void write_options(util::BinaryWriter& w, const core::ShardOptions& opts) {
+  w.u8(static_cast<std::uint8_t>(opts.backend));
+  w.boolean(opts.reuse_p1_network);
+  w.boolean(opts.cross_window_warm_start);
+  w.boolean(opts.load_balancing.prefer_exact);
+  w.size(opts.load_balancing.first_order.max_iterations);
+  w.f64(opts.load_balancing.first_order.gradient_tolerance);
+  w.f64(opts.load_balancing.first_order.lipschitz);
+  w.boolean(opts.load_balancing.first_order.accelerate);
+}
+
+core::ShardOptions read_options(util::BinaryReader& r) {
+  core::ShardOptions opts;
+  opts.backend = static_cast<core::P1Backend>(r.u8());
+  opts.reuse_p1_network = r.boolean();
+  opts.cross_window_warm_start = r.boolean();
+  opts.load_balancing.prefer_exact = r.boolean();
+  opts.load_balancing.first_order.max_iterations = r.size();
+  opts.load_balancing.first_order.gradient_tolerance = r.f64();
+  opts.load_balancing.first_order.lipschitz = r.f64();
+  opts.load_balancing.first_order.accelerate = r.boolean();
+  return opts;
+}
+
+void write_sbs_config(util::BinaryWriter& w, const model::SbsConfig& sbs) {
+  w.size(sbs.cache_capacity);
+  w.f64(sbs.bandwidth);
+  w.f64(sbs.replacement_beta);
+  w.size(sbs.classes.size());
+  for (const model::MuClass& mu_class : sbs.classes) {
+    w.f64(mu_class.omega_bs);
+    w.f64(mu_class.omega_sbs);
+  }
+}
+
+model::SbsConfig read_sbs_config(util::BinaryReader& r) {
+  model::SbsConfig sbs;
+  sbs.cache_capacity = r.size();
+  sbs.bandwidth = r.f64();
+  sbs.replacement_beta = r.f64();
+  sbs.classes.resize(r.count());
+  for (model::MuClass& mu_class : sbs.classes) {
+    mu_class.omega_bs = r.f64();
+    mu_class.omega_sbs = r.f64();
+  }
+  return sbs;
+}
+
+void write_dense_demand(util::BinaryWriter& w, const model::SbsDemand& demand) {
+  w.size(demand.num_classes());
+  w.size(demand.num_contents());
+  w.f64_vec(demand.data());
+}
+
+model::SbsDemand read_dense_demand(util::BinaryReader& r) {
+  const std::size_t classes = r.size();
+  const std::size_t contents = r.size();
+  model::SbsDemand demand(classes, contents);
+  std::vector<double> data = r.f64_vec();
+  MDO_REQUIRE(data.size() == classes * contents,
+              "shard wire: dense demand block size mismatch");
+  demand.data() = std::move(data);
+  return demand;
+}
+
+}  // namespace
+
+void encode_begin(util::BinaryWriter& w, const core::ShardInputs& in,
+                  const core::ShardOptions& opts, std::size_t sbs_begin,
+                  std::size_t sbs_end, const core::ActiveSets& sets,
+                  const core::MuLayout& layout, const linalg::Vec& mu,
+                  const std::vector<core::CellState>& bank,
+                  std::size_t num_sbs_total, std::int64_t die_at_iteration) {
+  const bool sparse = in.sparse();
+  const std::size_t horizon = in.horizon();
+  const std::size_t k_count = in.config->num_contents;
+  write_options(w, opts);
+  w.size(k_count);
+  w.size(horizon);
+  w.boolean(sparse);
+  w.i64(die_at_iteration);
+  w.size(sbs_end - sbs_begin);
+  for (std::size_t n = sbs_begin; n < sbs_end; ++n) {
+    write_sbs_config(w, in.config->sbs[n]);
+  }
+  for (std::size_t n = sbs_begin; n < sbs_end; ++n) {
+    w.u8_vec(in.initial_cache->sbs_bitmap(n));
+  }
+  for (std::size_t t = 0; t < horizon; ++t) {
+    for (std::size_t n = sbs_begin; n < sbs_end; ++n) {
+      if (sparse) {
+        model::write_sparse_demand(w, in.sparse_demand->slot(t)[n]);
+      } else {
+        write_dense_demand(w, in.demand->slot(t)[n]);
+      }
+    }
+  }
+  // mu blocks: the cell's active coordinates (sparse) or its dense slice.
+  for (std::size_t t = 0; t < horizon; ++t) {
+    for (std::size_t n = sbs_begin; n < sbs_end; ++n) {
+      const std::size_t base = layout.offset(t, n);
+      if (sparse) {
+        const std::vector<std::size_t>& al = sets.active[t * num_sbs_total + n];
+        const std::size_t classes = in.config->sbs[n].num_classes();
+        w.size(classes * al.size());
+        for (std::size_t m = 0; m < classes; ++m) {
+          for (const std::size_t k : al) w.f64(mu[base + m * k_count + k]);
+        }
+      } else {
+        w.size(layout.sbs_size[n]);
+        for (std::size_t j = 0; j < layout.sbs_size[n]; ++j) {
+          w.f64(mu[base + j]);
+        }
+      }
+    }
+  }
+  // Warm-start blobs, nested so the worker restores them opaquely.
+  for (std::size_t t = 0; t < horizon; ++t) {
+    for (std::size_t n = sbs_begin; n < sbs_end; ++n) {
+      util::BinaryWriter cell;
+      const core::CellState& cs = bank[t * num_sbs_total + n];
+      cs.p2.save_warm_state(cell);
+      cs.repair.save_warm_state(cell);
+      w.u8_vec(cell.bytes());
+    }
+  }
+}
+
+BeginMessage decode_begin(util::BinaryReader& r) {
+  BeginMessage msg;
+  msg.options = read_options(r);
+  msg.num_contents = r.size();
+  msg.horizon = r.size();
+  msg.sparse = r.boolean();
+  msg.die_at_iteration = r.i64();
+  const std::size_t num_sbs = r.count();
+  msg.sbs.reserve(num_sbs);
+  for (std::size_t n = 0; n < num_sbs; ++n) {
+    msg.sbs.push_back(read_sbs_config(r));
+  }
+  msg.initial_cache.reserve(num_sbs);
+  for (std::size_t n = 0; n < num_sbs; ++n) {
+    msg.initial_cache.push_back(r.u8_vec());
+    MDO_REQUIRE(msg.initial_cache.back().size() == msg.num_contents,
+                "shard wire: cache bitmap size mismatch");
+  }
+  for (std::size_t t = 0; t < msg.horizon; ++t) {
+    if (msg.sparse) {
+      model::SparseSlotDemand slot;
+      slot.reserve(num_sbs);
+      for (std::size_t n = 0; n < num_sbs; ++n) {
+        slot.push_back(model::read_sparse_demand(r));
+      }
+      msg.sparse_slots.push_back(std::move(slot));
+    } else {
+      model::SlotDemand slot;
+      slot.reserve(num_sbs);
+      for (std::size_t n = 0; n < num_sbs; ++n) {
+        slot.push_back(read_dense_demand(r));
+      }
+      msg.dense_slots.push_back(std::move(slot));
+    }
+  }
+  msg.mu_blocks.reserve(msg.horizon * num_sbs);
+  for (std::size_t cell = 0; cell < msg.horizon * num_sbs; ++cell) {
+    msg.mu_blocks.push_back(r.f64_vec());
+  }
+  msg.warm_state.reserve(msg.horizon * num_sbs);
+  for (std::size_t cell = 0; cell < msg.horizon * num_sbs; ++cell) {
+    msg.warm_state.push_back(r.u8_vec());
+  }
+  MDO_REQUIRE(r.exhausted(), "shard wire: kBegin payload has trailing bytes");
+  return msg;
+}
+
+void encode_iterate_reply(util::BinaryWriter& w, const IterateReply& reply) {
+  w.f64_vec(reply.p1_objectives);
+  w.f64_vec(reply.p2_objectives);
+  w.size(reply.x.size());
+  for (const auto& x : reply.x) w.u8_vec(x);
+  w.size(reply.repair_y.size());
+  for (const auto& y : reply.repair_y) w.f64_vec(y);
+}
+
+IterateReply decode_iterate_reply(util::BinaryReader& r) {
+  IterateReply reply;
+  reply.p1_objectives = r.f64_vec();
+  reply.p2_objectives = r.f64_vec();
+  reply.x.resize(r.count());
+  for (auto& x : reply.x) x = r.u8_vec();
+  reply.repair_y.resize(r.count());
+  for (auto& y : reply.repair_y) y = r.f64_vec();
+  MDO_REQUIRE(r.exhausted(),
+              "shard wire: kIterateReply payload has trailing bytes");
+  return reply;
+}
+
+void encode_end_reply(util::BinaryWriter& w, const EndReply& reply) {
+  w.size(reply.mu_blocks.size());
+  for (const auto& block : reply.mu_blocks) w.f64_vec(block);
+  w.size(reply.warm_state.size());
+  for (const auto& blob : reply.warm_state) w.u8_vec(blob);
+}
+
+EndReply decode_end_reply(util::BinaryReader& r) {
+  EndReply reply;
+  reply.mu_blocks.resize(r.count());
+  for (auto& block : reply.mu_blocks) block = r.f64_vec();
+  reply.warm_state.resize(r.count());
+  for (auto& blob : reply.warm_state) blob = r.u8_vec();
+  MDO_REQUIRE(r.exhausted(),
+              "shard wire: kEndReply payload has trailing bytes");
+  return reply;
+}
+
+}  // namespace mdo::shard

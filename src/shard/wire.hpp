@@ -1,0 +1,113 @@
+// Versioned, checksummed wire format of the shard RPC (DESIGN.md §11).
+//
+// Every message is one frame on a SOCK_STREAM socketpair:
+//
+//   magic "MDOSHRD1" (8) | type u32 | payload size u64 | FNV-1a64 u64 | payload
+//
+// — the same framing discipline as the "MDOCKPT1" checkpoint files
+// (runtime/checkpoint), rebuilt here on util::BinaryWriter/fnv1a64 because
+// mdo_core cannot link the runtime layer. A frame that fails the magic,
+// size, or checksum test is indistinguishable from a dead peer: recv_frame
+// returns false and the caller treats the worker as failed. Payload values
+// round-trip bit-exactly (doubles as IEEE-754 bit patterns), which is what
+// makes the sharded solve bitwise-equal to the in-process one.
+//
+// Per-solve protocol (driver -> worker):
+//   kBegin        slice config + demand window + initial cache + mu blocks
+//                 + warm-start blobs            -> kBeginAck
+//   kIterate      {apply_prev_dual_step, delta} -> kIterateReply
+//                 {per-SBS P1 objectives/x, per-cell P2 objectives,
+//                  per-cell repaired y}
+//   kEnd          {apply_final_dual_step, delta} -> kEndReply
+//                 {per-cell mu blocks, per-cell warm-start blobs}
+//   kShutdown     clean worker exit, no reply
+//
+// The dual update runs WORKER-side (each coordinate's projected step is
+// independent, so slice-local updates produce bit-identical values), which
+// keeps mu and the P2 y vectors off the per-iteration wire entirely: an
+// iterate round-trip ships 17 bytes down and only objectives + x bits +
+// compact repaired loads up.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/shard_core.hpp"
+#include "linalg/vec.hpp"
+#include "model/decision.hpp"
+#include "model/demand.hpp"
+#include "model/network.hpp"
+#include "model/sparse_demand.hpp"
+#include "util/serialize.hpp"
+
+namespace mdo::shard {
+
+enum class MessageType : std::uint32_t {
+  kBegin = 1,
+  kBeginAck = 2,
+  kIterate = 3,
+  kIterateReply = 4,
+  kEnd = 5,
+  kEndReply = 6,
+  kShutdown = 7,
+};
+
+/// Writes one frame; false when the peer is gone (EPIPE et al.).
+bool send_frame(int fd, MessageType type,
+                const std::vector<std::uint8_t>& payload);
+
+/// Reads one frame; false on EOF, error, or a corrupted header/payload.
+bool recv_frame(int fd, MessageType* type, std::vector<std::uint8_t>* payload);
+
+/// kBegin payload, decoded worker-side. The coordinator never materializes
+/// this struct — encode_begin() writes the slices straight from the
+/// driver's full-range structures.
+struct BeginMessage {
+  core::ShardOptions options;
+  std::size_t num_contents = 0;
+  std::size_t horizon = 0;
+  bool sparse = false;
+  std::vector<model::SbsConfig> sbs;  // the contiguous slice
+  /// Per local SBS: cached-content bitmap, size num_contents.
+  std::vector<std::vector<std::uint8_t>> initial_cache;
+  std::vector<model::SlotDemand> dense_slots;         // [t][local n]
+  std::vector<model::SparseSlotDemand> sparse_slots;  // [t][local n]
+  /// Per local cell (t-major): initial mu at the cell's active coordinates
+  /// (sparse, [m * a_count + i]) or the full dense slice ([m * K + k]).
+  std::vector<linalg::Vec> mu_blocks;
+  /// Per local cell: nested save_warm_state blob (p2 then repair).
+  std::vector<std::vector<std::uint8_t>> warm_state;
+  /// Test hook: _exit before replying to this 0-based iterate index.
+  std::int64_t die_at_iteration = -1;
+};
+
+/// Encodes the kBegin payload for SBS range [sbs_begin, sbs_end) of the
+/// driver's full problem. `sets`/`layout` index the FULL range; `bank` is
+/// the driver's full bank (cell = t * num_sbs_total + n).
+void encode_begin(util::BinaryWriter& w, const core::ShardInputs& in,
+                  const core::ShardOptions& opts, std::size_t sbs_begin,
+                  std::size_t sbs_end, const core::ActiveSets& sets,
+                  const core::MuLayout& layout, const linalg::Vec& mu,
+                  const std::vector<core::CellState>& bank,
+                  std::size_t num_sbs_total, std::int64_t die_at_iteration);
+BeginMessage decode_begin(util::BinaryReader& r);
+
+struct IterateReply {
+  std::vector<double> p1_objectives;         // per local SBS
+  std::vector<double> p2_objectives;         // per local cell (t-major)
+  std::vector<std::vector<std::uint8_t>> x;  // per local SBS, [t * kp + i]
+  std::vector<linalg::Vec> repair_y;         // per local cell (compact/dense)
+};
+
+void encode_iterate_reply(util::BinaryWriter& w, const IterateReply& reply);
+IterateReply decode_iterate_reply(util::BinaryReader& r);
+
+struct EndReply {
+  std::vector<linalg::Vec> mu_blocks;              // per local cell
+  std::vector<std::vector<std::uint8_t>> warm_state;  // per local cell
+};
+
+void encode_end_reply(util::BinaryWriter& w, const EndReply& reply);
+EndReply decode_end_reply(util::BinaryReader& r);
+
+}  // namespace mdo::shard

@@ -1,0 +1,239 @@
+#include "shard/worker.hpp"
+
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "core/shard_core.hpp"
+#include "linalg/vec.hpp"
+#include "model/decision.hpp"
+#include "model/demand.hpp"
+#include "model/network.hpp"
+#include "model/sparse_demand.hpp"
+#include "shard/wire.hpp"
+#include "util/serialize.hpp"
+
+namespace mdo::shard {
+
+namespace {
+
+/// One bound kBegin session; rebuilt per solve.
+struct WorkerSession {
+  core::ShardOptions options;
+  model::NetworkConfig config;
+  model::DemandTrace dense_demand;
+  model::SparseDemandTrace sparse_demand;
+  model::CacheState initial_cache;
+  bool sparse = false;
+  linalg::Vec mu;  // slice-dense, layout over `config`
+  std::vector<core::CellState> bank;
+  core::ShardCore core;
+  std::int64_t die_at_iteration = -1;
+  std::size_t iterates = 0;
+  bool bound = false;
+};
+
+void bind_session(WorkerSession& s, BeginMessage msg) {
+  s.options = msg.options;
+  s.sparse = msg.sparse;
+  s.die_at_iteration = msg.die_at_iteration;
+  s.iterates = 0;
+
+  s.config.num_contents = msg.num_contents;
+  s.config.sbs = std::move(msg.sbs);
+  const std::size_t num_sbs = s.config.num_sbs();
+  const std::size_t w = msg.horizon;
+
+  s.dense_demand.clear();
+  s.sparse_demand.clear();
+  for (std::size_t t = 0; t < w; ++t) {
+    if (s.sparse) {
+      s.sparse_demand.push_back(std::move(msg.sparse_slots[t]));
+    } else {
+      s.dense_demand.push_back(std::move(msg.dense_slots[t]));
+    }
+  }
+
+  s.initial_cache = model::CacheState(s.config);
+  for (std::size_t n = 0; n < num_sbs; ++n) {
+    for (std::size_t k = 0; k < msg.num_contents; ++k) {
+      if (msg.initial_cache[n][k] != 0) s.initial_cache.set(n, k, true);
+    }
+  }
+
+  core::ShardInputs inputs;
+  inputs.config = &s.config;
+  inputs.initial_cache = &s.initial_cache;
+  if (s.sparse) {
+    inputs.sparse_demand = &s.sparse_demand;
+  } else {
+    inputs.demand = &s.dense_demand;
+  }
+
+  // Active sets first: mu scatter and the kEnd gather are defined on them.
+  // They are the same deterministic function of (demand, cache) the driver
+  // evaluated when it gathered the blocks.
+  core::ActiveSets sets;
+  if (s.sparse) {
+    sets = core::build_active_sets(s.config, s.sparse_demand, s.initial_cache);
+  }
+
+  const core::MuLayout layout(s.config);
+  const std::size_t k_count = msg.num_contents;
+  s.mu.assign(layout.per_slot * w, 0.0);
+  for (std::size_t cell = 0; cell < w * num_sbs; ++cell) {
+    const std::size_t t = cell / num_sbs;
+    const std::size_t n = cell % num_sbs;
+    const linalg::Vec& block = msg.mu_blocks[cell];
+    const std::size_t base = layout.offset(t, n);
+    if (s.sparse) {
+      const std::vector<std::size_t>& al = sets.active[cell];
+      const std::size_t a_count = al.size();
+      MDO_REQUIRE(block.size() ==
+                      s.config.sbs[n].num_classes() * a_count,
+                  "shard worker: mu block size mismatch");
+      for (std::size_t m = 0; m < s.config.sbs[n].num_classes(); ++m) {
+        for (std::size_t i = 0; i < a_count; ++i) {
+          s.mu[base + m * k_count + al[i]] = block[m * a_count + i];
+        }
+      }
+    } else {
+      MDO_REQUIRE(block.size() == layout.sbs_size[n],
+                  "shard worker: mu block size mismatch");
+      std::copy(block.begin(), block.end(),
+                s.mu.begin() + static_cast<std::ptrdiff_t>(base));
+    }
+  }
+
+  // Restore the warm-start bank BEFORE begin() binds it — the same order
+  // the in-process solver sees (bank carries the previous window's state,
+  // then bind re-targets it).
+  s.bank.assign(w * num_sbs, core::CellState{});
+  for (std::size_t cell = 0; cell < w * num_sbs; ++cell) {
+    util::BinaryReader blob(msg.warm_state[cell]);
+    s.bank[cell].p2.restore_warm_state(blob);
+    s.bank[cell].repair.restore_warm_state(blob);
+  }
+
+  s.core.begin(inputs, s.options, s.bank, std::move(sets));
+  s.bound = true;
+}
+
+IterateReply run_iterate(WorkerSession& s) {
+  s.core.iterate(s.mu);
+  s.core.repair(nullptr);
+  const std::size_t cells = s.bank.size();
+  IterateReply reply;
+  reply.p1_objectives = s.core.p1_objectives();
+  reply.p2_objectives = s.core.p2_objectives();
+  reply.x = s.core.x();
+  reply.repair_y.reserve(cells);
+  for (std::size_t cell = 0; cell < cells; ++cell) {
+    reply.repair_y.push_back(s.bank[cell].repair.y());
+  }
+  return reply;
+}
+
+EndReply run_end(const WorkerSession& s) {
+  const std::size_t num_sbs = s.config.num_sbs();
+  const std::size_t w = s.bank.size() / (num_sbs > 0 ? num_sbs : 1);
+  const core::MuLayout layout(s.config);
+  const std::size_t k_count = s.config.num_contents;
+  EndReply reply;
+  reply.mu_blocks.reserve(s.bank.size());
+  reply.warm_state.reserve(s.bank.size());
+  for (std::size_t cell = 0; cell < w * num_sbs; ++cell) {
+    const std::size_t t = cell / num_sbs;
+    const std::size_t n = cell % num_sbs;
+    const std::size_t base = layout.offset(t, n);
+    linalg::Vec block;
+    if (s.sparse) {
+      const std::vector<std::size_t>& al = s.core.sets().active[cell];
+      const std::size_t classes = s.config.sbs[n].num_classes();
+      block.reserve(classes * al.size());
+      for (std::size_t m = 0; m < classes; ++m) {
+        for (const std::size_t k : al) {
+          block.push_back(s.mu[base + m * k_count + k]);
+        }
+      }
+    } else {
+      block.assign(s.mu.begin() + static_cast<std::ptrdiff_t>(base),
+                   s.mu.begin() +
+                       static_cast<std::ptrdiff_t>(base + layout.sbs_size[n]));
+    }
+    reply.mu_blocks.push_back(std::move(block));
+
+    util::BinaryWriter blob;
+    s.bank[cell].p2.save_warm_state(blob);
+    s.bank[cell].repair.save_warm_state(blob);
+    reply.warm_state.push_back(blob.take());
+  }
+  return reply;
+}
+
+}  // namespace
+
+int worker_main(int fd) {
+  WorkerSession session;
+  std::vector<std::uint8_t> payload;
+  for (;;) {
+    MessageType type;
+    if (!recv_frame(fd, &type, &payload)) return 0;  // coordinator gone
+    try {
+      util::BinaryReader r(payload);
+      switch (type) {
+        case MessageType::kBegin: {
+          bind_session(session, decode_begin(r));
+          util::BinaryWriter ack;
+          if (!send_frame(fd, MessageType::kBeginAck, ack.bytes())) return 0;
+          break;
+        }
+        case MessageType::kIterate: {
+          if (!session.bound) return 1;
+          const bool apply_prev = r.boolean();
+          const double delta = r.f64();
+          if (apply_prev) session.core.dual_update(delta, session.mu);
+          if (session.die_at_iteration >= 0 &&
+              static_cast<std::int64_t>(session.iterates) ==
+                  session.die_at_iteration) {
+            _exit(17);  // simulated mid-solve crash (MDO_SHARD_KILL_AT)
+          }
+          ++session.iterates;
+          const IterateReply reply = run_iterate(session);
+          util::BinaryWriter w;
+          encode_iterate_reply(w, reply);
+          if (!send_frame(fd, MessageType::kIterateReply, w.bytes())) return 0;
+          break;
+        }
+        case MessageType::kEnd: {
+          if (!session.bound) return 1;
+          const bool apply_final = r.boolean();
+          const double delta = r.f64();
+          if (apply_final) session.core.dual_update(delta, session.mu);
+          const EndReply reply = run_end(session);
+          util::BinaryWriter w;
+          encode_end_reply(w, reply);
+          if (!send_frame(fd, MessageType::kEndReply, w.bytes())) return 0;
+          session.bound = false;
+          break;
+        }
+        case MessageType::kShutdown:
+          return 0;
+        default:
+          return 1;  // protocol violation
+      }
+    } catch (const std::exception& e) {
+      // A malformed message (or any solver invariant tripping on shipped
+      // state) must read as a clean worker failure on the coordinator side,
+      // not a std::terminate with half-written replies.
+      std::fprintf(stderr, "[shard worker] fatal: %s\n", e.what());
+      return 3;
+    }
+  }
+}
+
+}  // namespace mdo::shard

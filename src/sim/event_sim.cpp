@@ -126,7 +126,7 @@ void EventMetrics::restore(util::BinaryReader& r) {
   discrete_cost.replacement = r.f64();
   delays.restore(r);
   slots.clear();
-  const std::size_t num_slots = r.size();
+  const std::size_t num_slots = r.count();
   slots.reserve(num_slots);
   for (std::size_t i = 0; i < num_slots; ++i) {
     EventSlotMetrics slot;

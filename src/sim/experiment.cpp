@@ -54,11 +54,17 @@ std::vector<SchemeOutcome> run_schemes(const ExperimentConfig& config) {
   simulator_options.simulate_events = config.simulate_events;
   simulator_options.event_options = config.event_options;
 
+  // Solver options shared by every solver-backed scheme; an explicit
+  // experiment-level shard count overrides the per-options value (which in
+  // turn defers to MDO_SHARDS when 0).
+  core::PrimalDualOptions solver_options = config.primal_dual;
+  if (config.shard_count != 0) solver_options.shard_count = config.shard_count;
+
   std::vector<std::unique_ptr<online::Controller>> controllers;
   if (config.schemes.offline) {
     // The offline solve spans the whole horizon and runs once: give the
     // dual ascent far more room so the "offline optimal" baseline is tight.
-    core::PrimalDualOptions offline_options = config.primal_dual;
+    core::PrimalDualOptions offline_options = solver_options;
     offline_options.max_iterations =
         std::max<std::size_t>(offline_options.max_iterations, 150);
     controllers.push_back(
@@ -66,15 +72,15 @@ std::vector<SchemeOutcome> run_schemes(const ExperimentConfig& config) {
   }
   if (config.schemes.rhc) {
     controllers.push_back(std::make_unique<online::RhcController>(
-        config.window, config.primal_dual));
+        config.window, solver_options));
   }
   if (config.schemes.chc) {
     controllers.push_back(std::make_unique<online::ChcController>(
-        config.window, config.commit, config.primal_dual));
+        config.window, config.commit, solver_options));
   }
   if (config.schemes.afhc) {
     controllers.push_back(
-        online::ChcController::afhc(config.window, config.primal_dual));
+        online::ChcController::afhc(config.window, solver_options));
   }
   if (config.schemes.lrfu) {
     controllers.push_back(std::make_unique<online::LrfuController>());

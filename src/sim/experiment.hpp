@@ -47,6 +47,11 @@ struct ExperimentConfig {
   std::size_t window = 10;           // w
   std::size_t commit = 5;            // r for CHC (AFHC uses r = w)
   core::PrimalDualOptions primal_dual{};
+  /// Process-level scale-out (shard/coordinator.hpp): forwarded into every
+  /// solver-backed scheme's PrimalDualOptions::shard_count. 0 keeps the
+  /// per-options value (itself deferring to the MDO_SHARDS environment
+  /// variable); any explicit value here wins over primal_dual.shard_count.
+  std::size_t shard_count = 0;
   SchemeSelection schemes{};
 
   /// Request-level event layer (sim/event_sim.hpp): when set, every scheme

@@ -197,7 +197,7 @@ void read_supervision(util::BinaryReader& r, runtime::SupervisionLog& log) {
   log.solve_failures = r.size();
   log.retries = r.size();
   log.recoveries = r.size();
-  const std::size_t num_events = r.size();
+  const std::size_t num_events = r.count();
   log.events.reserve(num_events);
   for (std::size_t i = 0; i < num_events; ++i) {
     runtime::SupervisionEvent event;

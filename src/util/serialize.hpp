@@ -108,10 +108,20 @@ class BinaryReader {
 
   std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
 
-  std::size_t size() {
+  /// A scalar std::size_t VALUE (a dimension, an id, a counter). No bound
+  /// against the payload: a 66-byte warm-start blob legitimately stores
+  /// num_contents = 10^4. Use count() for element counts that gate reads
+  /// or allocations.
+  std::size_t size() { return static_cast<std::size_t>(u64()); }
+
+  /// An element COUNT for data that follows in this payload. Every element
+  /// occupies at least one byte, so a count exceeding the remaining bytes
+  /// is corruption — rejecting it here bounds allocations before they
+  /// happen.
+  std::size_t count() {
     const std::uint64_t value = u64();
-    MDO_REQUIRE(value <= static_cast<std::uint64_t>(size_),
-                "snapshot declares a length larger than the payload");
+    MDO_REQUIRE(value <= static_cast<std::uint64_t>(size_ - pos_),
+                "snapshot declares more elements than the payload holds");
     return static_cast<std::size_t>(value);
   }
 
@@ -124,32 +134,34 @@ class BinaryReader {
   double f64() { return std::bit_cast<double>(u64()); }
 
   std::string str() {
-    const std::size_t count = size();
-    need(count);
-    std::string value(reinterpret_cast<const char*>(bytes_ + pos_), count);
-    pos_ += count;
+    const std::size_t n = count();
+    need(n);
+    std::string value(reinterpret_cast<const char*>(bytes_ + pos_), n);
+    pos_ += n;
     return value;
   }
 
   std::vector<double> f64_vec() {
-    const std::size_t count = size();
-    std::vector<double> values(count);
+    const std::size_t n = count();
+    need(n * 8);  // n <= remaining bytes, so n * 8 cannot overflow
+    std::vector<double> values(n);
     for (auto& v : values) v = f64();
     return values;
   }
 
   std::vector<std::size_t> size_vec() {
-    const std::size_t count = size();
-    std::vector<std::size_t> values(count);
+    const std::size_t n = count();
+    need(n * 8);
+    std::vector<std::size_t> values(n);
     for (auto& v : values) v = size();
     return values;
   }
 
   std::vector<std::uint8_t> u8_vec() {
-    const std::size_t count = size();
-    need(count);
-    std::vector<std::uint8_t> values(bytes_ + pos_, bytes_ + pos_ + count);
-    pos_ += count;
+    const std::size_t n = count();
+    need(n);
+    std::vector<std::uint8_t> values(bytes_ + pos_, bytes_ + pos_ + n);
+    pos_ += n;
     return values;
   }
 

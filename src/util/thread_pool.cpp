@@ -217,6 +217,13 @@ void ThreadPool::set_global_threads(std::size_t threads) {
       threads == 0 ? configured_threads() : threads);
 }
 
+void ThreadPool::reset_global_after_fork() {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  // Leak on purpose: the pool's threads died with the fork and joining them
+  // would hang. The child is expected to _exit(), so the leak is invisible.
+  (void)g_global_pool.release();
+}
+
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn) {
   ThreadPool::global().parallel_for(begin, end, fn);

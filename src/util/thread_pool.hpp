@@ -61,6 +61,14 @@ class ThreadPool {
   /// tests only; callers must ensure no batch is in flight.
   static void set_global_threads(std::size_t threads);
 
+  /// Forgets the global pool WITHOUT joining it. Only meaningful in the
+  /// child of a fork(): the parent's worker threads do not exist there, so
+  /// joining (as set_global_threads would) blocks forever. The stale State
+  /// is deliberately leaked; the next global() builds a fresh pool with
+  /// configured_threads(). The child must leave via _exit() so the leak
+  /// never reaches a destructor or LeakSanitizer.
+  static void reset_global_after_fork();
+
  private:
   struct State;
   void worker_loop();

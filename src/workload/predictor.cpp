@@ -10,10 +10,16 @@ namespace mdo::workload {
 model::DemandTrace Predictor::predict_window(std::size_t tau,
                                              std::size_t length) const {
   model::DemandTrace out;
+  predict_window_into(tau, length, out);
+  return out;
+}
+
+void Predictor::predict_window_into(std::size_t tau, std::size_t length,
+                                    model::DemandTrace& out) const {
+  out.clear();
   for (std::size_t t = tau; t < tau + length && t < horizon(); ++t) {
     out.push_back(predict(tau, t));
   }
-  return out;
 }
 
 model::SparseSlotDemand Predictor::predict_sparse(std::size_t tau,
@@ -30,10 +36,16 @@ model::SparseSlotDemand Predictor::predict_sparse(std::size_t tau,
 model::SparseDemandTrace Predictor::predict_window_sparse(
     std::size_t tau, std::size_t length) const {
   model::SparseDemandTrace out;
+  predict_window_sparse_into(tau, length, out);
+  return out;
+}
+
+void Predictor::predict_window_sparse_into(
+    std::size_t tau, std::size_t length, model::SparseDemandTrace& out) const {
+  out.clear();
   for (std::size_t t = tau; t < tau + length && t < horizon(); ++t) {
     out.push_back(predict_sparse(tau, t));
   }
-  return out;
 }
 
 PerfectPredictor::PerfectPredictor(const model::DemandTrace& truth)

@@ -60,6 +60,15 @@ class Predictor {
   /// Sparse counterpart of predict_window.
   model::SparseDemandTrace predict_window_sparse(std::size_t tau,
                                                  std::size_t length) const;
+
+  /// Buffer-reusing variants: clear `out` and refill it in place, so a
+  /// controller can keep ONE window trace per representation across
+  /// decisions instead of materializing (and freeing) a fresh trace each
+  /// slot. Contents are identical to the returning overloads.
+  void predict_window_into(std::size_t tau, std::size_t length,
+                           model::DemandTrace& out) const;
+  void predict_window_sparse_into(std::size_t tau, std::size_t length,
+                                  model::SparseDemandTrace& out) const;
 };
 
 /// Oracle: returns the true demand (used by the offline optimum and LRFU,

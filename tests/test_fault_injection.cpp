@@ -439,11 +439,11 @@ TEST(SolveStatus, LoadBalancingRejectsNonFiniteDemand) {
 
 TEST(SolveStatus, PrimalDualDegradesOnNonFiniteDemand) {
   const auto instance = faulty_instance(3);
+  model::DemandTrace demand = instance.demand.window(0, 3);
+  demand.slot(1)[0].at(0, 0) = std::numeric_limits<double>::quiet_NaN();
   core::HorizonProblem problem;
   problem.config = &instance.config;
-  problem.demand = instance.demand.window(0, 3);
-  problem.demand.slot(1)[0].at(0, 0) =
-      std::numeric_limits<double>::quiet_NaN();
+  problem.demand = &demand;
   problem.initial_cache = instance.initial_cache;
 
   core::HorizonSolution solution;
@@ -457,9 +457,10 @@ TEST(SolveStatus, PrimalDualDegradesOnNonFiniteDemand) {
 
 TEST(SolveStatus, CleanPrimalDualReportsConvergence) {
   const auto instance = faulty_instance(2);
+  const model::DemandTrace demand = instance.demand.window(0, 2);
   core::HorizonProblem problem;
   problem.config = &instance.config;
-  problem.demand = instance.demand.window(0, 2);
+  problem.demand = &demand;
   problem.initial_cache = instance.initial_cache;
   const auto solution = core::PrimalDualSolver().solve(problem);
   EXPECT_TRUE(solution.status == solver::SolveStatus::kConverged ||

@@ -38,16 +38,21 @@ model::ProblemInstance paper_instance(std::uint64_t seed = 3,
   return scenario.build();
 }
 
-core::HorizonProblem window_problem(const model::ProblemInstance& instance,
-                                    std::size_t start, std::size_t length) {
+/// Owns the window trace the problem references (the problem only views
+/// demand, so the sliced copy must live somewhere).
+struct WindowProblem {
+  model::DemandTrace demand;
   core::HorizonProblem problem;
-  problem.config = &instance.config;
-  for (std::size_t t = start; t < start + length; ++t) {
-    problem.demand.push_back(instance.demand.slot(t));
+  WindowProblem(const model::ProblemInstance& instance, std::size_t start,
+                std::size_t length) {
+    for (std::size_t t = start; t < start + length; ++t) {
+      demand.push_back(instance.demand.slot(t));
+    }
+    problem.config = &instance.config;
+    problem.demand = &demand;
+    problem.initial_cache = instance.initial_cache;
   }
-  problem.initial_cache = instance.initial_cache;
-  return problem;
-}
+};
 
 double rhc_total_cost(const model::ProblemInstance& instance,
                       const core::PrimalDualOptions& options,
@@ -181,7 +186,8 @@ TEST(HotPath, ReuseModesAgreeWithinToleranceOnFistaPath) {
 
 TEST(HotPath, SameWindowWarmStartMatchesColdOptimum) {
   const auto instance = paper_instance(11, 8);
-  const auto problem = window_problem(instance, 0, 4);
+  const WindowProblem owned(instance, 0, 4);
+  const auto& problem = owned.problem;
 
   core::PrimalDualOptions options;
   options.max_iterations = 40;
@@ -223,7 +229,8 @@ TEST(ShiftMu, ShiftAtOrPastHorizonRepeatsLastSlot) {
 
 TEST(HotPath, AdvanceWindowPastHorizonIsSafe) {
   const auto instance = paper_instance();
-  const auto problem = window_problem(instance, 0, 3);
+  const WindowProblem owned(instance, 0, 3);
+  const auto& problem = owned.problem;
 
   const core::PrimalDualOptions options;
   core::PrimalDualSolver solver(options);

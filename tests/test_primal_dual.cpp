@@ -35,7 +35,7 @@ model::ProblemInstance small_instance(std::uint64_t seed,
 HorizonProblem as_problem(const model::ProblemInstance& instance) {
   HorizonProblem problem;
   problem.config = &instance.config;
-  problem.demand = instance.demand;
+  problem.demand = &instance.demand;
   problem.initial_cache = instance.initial_cache;
   return problem;
 }

@@ -42,7 +42,7 @@ model::ProblemInstance small_instance(std::uint64_t seed = 3,
 core::HorizonProblem as_problem(const model::ProblemInstance& instance) {
   core::HorizonProblem problem;
   problem.config = &instance.config;
-  problem.demand = instance.demand;
+  problem.demand = &instance.demand;
   problem.initial_cache = instance.initial_cache;
   return problem;
 }
@@ -246,18 +246,24 @@ TEST(Supervisor, DeadlineExpiryIsLoggedNotRetried) {
 
 /// Poisons the tail slot of the window with NaN demand: the primary solve
 /// fails (kNonFiniteInput) but a halved-horizon retry excises the poison.
-core::HorizonProblem tail_poisoned_problem(
-    const model::ProblemInstance& instance) {
-  core::HorizonProblem problem = as_problem(instance);
-  const std::size_t last = problem.demand.horizon() - 1;
-  problem.demand.slot(last)[0].at(0, 0) =
-      std::numeric_limits<double>::quiet_NaN();
-  return problem;
-}
+/// Owns the poisoned trace the problem references (the problem only views
+/// demand, so the mutated copy must live somewhere).
+struct TailPoisonedProblem {
+  model::DemandTrace demand;
+  core::HorizonProblem problem;
+  explicit TailPoisonedProblem(const model::ProblemInstance& instance) {
+    demand = instance.demand;
+    demand.slot(demand.horizon() - 1)[0].at(0, 0) =
+        std::numeric_limits<double>::quiet_NaN();
+    problem = as_problem(instance);
+    problem.demand = &demand;
+  }
+};
 
 TEST(Supervisor, TruncatedRetryRecoversFromPoisonedTail) {
   const auto instance = small_instance(14);
-  const auto problem = tail_poisoned_problem(instance);
+  const TailPoisonedProblem owned(instance);
+  const auto& problem = owned.problem;
   core::PrimalDualSolver solver(tight_options());
   runtime::SupervisionLog log;
   const auto solution = runtime::supervised_solve(
@@ -280,10 +286,11 @@ TEST(Supervisor, TruncatedRetryRecoversFromPoisonedTail) {
 
 TEST(Supervisor, ExhaustionReturnsSafeFallback) {
   const auto instance = small_instance(15);
-  core::HorizonProblem problem = as_problem(instance);
   // Poison the FIRST slot: no truncation can excise it.
-  problem.demand.slot(0)[0].at(0, 0) =
-      std::numeric_limits<double>::quiet_NaN();
+  model::DemandTrace demand = instance.demand;
+  demand.slot(0)[0].at(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  core::HorizonProblem problem = as_problem(instance);
+  problem.demand = &demand;
   core::PrimalDualSolver solver(tight_options());
   runtime::SupervisionLog log;
   const auto solution = runtime::supervised_solve(
@@ -298,7 +305,8 @@ TEST(Supervisor, ExhaustionReturnsSafeFallback) {
 
 TEST(Supervisor, MinHorizonFloorsTruncation) {
   const auto instance = small_instance(16);
-  const auto problem = tail_poisoned_problem(instance);
+  const TailPoisonedProblem owned(instance);
+  const auto& problem = owned.problem;
   core::PrimalDualSolver solver(tight_options());
   runtime::SupervisionLog log;
   const auto solution = runtime::supervised_solve(
@@ -317,7 +325,8 @@ TEST(Supervisor, MinHorizonFloorsTruncation) {
 
 TEST(Supervisor, NullLogDisablesRetries) {
   const auto instance = small_instance(17);
-  const auto problem = tail_poisoned_problem(instance);
+  const TailPoisonedProblem owned(instance);
+  const auto& problem = owned.problem;
   core::PrimalDualSolver supervised(tight_options());
   const auto a = runtime::supervised_solve(supervised, problem, nullptr,
                                            nullptr, {}, nullptr, /*slot=*/0,
