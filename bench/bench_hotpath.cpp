@@ -40,6 +40,9 @@
 //   --steady-repeats N      steady-state P2 re-solves (default 64)
 //   --steady-allocs-limit N allocation ceiling for the steady loop
 //   --threads N             thread count for the determinism re-run
+//   --p99-budget-ms X       p99 decision-latency budget for the hot path
+//                           (0 = gate off, the default); exceeding it fails
+//                           the bench like a determinism violation
 //   --json PATH             output path (default BENCH_hotpath.json)
 #include <algorithm>
 #include <atomic>
@@ -53,6 +56,7 @@
 
 #include "common.hpp"
 #include "core/load_balancing.hpp"
+#include "core/primal_dual.hpp"
 #include "online/rhc.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
@@ -343,6 +347,7 @@ int main(int argc, char** argv) {
         flags.get_int("steady-allocs-limit", 0));
     const auto mt_threads =
         static_cast<std::size_t>(flags.get_int("threads", 4));
+    const double p99_budget_ms = flags.get_double("p99-budget-ms", 0.0);
     const std::string json_path =
         flags.get_string("json", "BENCH_hotpath.json");
     flags.require_all_consumed();
@@ -353,6 +358,17 @@ int main(int argc, char** argv) {
     std::cout << "Hot-path allocation / latency bench\n"
               << "T=" << config.scenario.horizon << " w=" << config.window
               << " reps=" << reps << "\n";
+
+    // Resident dual-vector footprint for one window of this (dense-demand)
+    // instance. The compact active-coordinate layout applies to sparse
+    // instances; its byte reduction is measured in bench_scaling.
+    const std::uint64_t mu_bytes_resident = [&] {
+      const model::ProblemInstance probe = config.scenario.build();
+      return static_cast<std::uint64_t>(
+          core::mu_size(probe.config, config.window) * sizeof(double));
+    }();
+    std::cout << "mu bytes resident (dense window) = " << mu_bytes_resident
+              << "\n";
 
     // ---- Steady-state P2 allocations (single-threaded by construction).
     const SteadyStats exact = measure_p2_steady(false, steady_repeats);
@@ -438,6 +454,14 @@ int main(int argc, char** argv) {
                 << " per decision vs legacy copy-per-slot "
                 << legacy_run.allocs_per_decision << "\n";
     }
+    // Optional p99 decision-latency budget (ms) on the hot path.
+    const bool p99_ok =
+        p99_budget_ms <= 0.0 || hot_run.p99 * 1000.0 <= p99_budget_ms;
+    if (!p99_ok) {
+      std::cerr << "P99 BUDGET EXCEEDED: hot path p99 = "
+                << hot_run.p99 * 1000.0 << " ms > budget " << p99_budget_ms
+                << " ms\n";
+    }
     std::cout << (deterministic ? "deterministic across thread counts and "
                                   "workspace modes\n"
                                 : "NOT deterministic\n");
@@ -464,7 +488,10 @@ int main(int argc, char** argv) {
            << "  \"speedup_vs_throwaway\": " << speedup_vs_throwaway << ",\n"
            << "  \"speedup_vs_cold\": " << speedup_vs_cold << ",\n"
            << "  \"speedup_vs_legacy\": " << speedup_vs_legacy << ",\n"
+           << "  \"mu_bytes_resident\": " << mu_bytes_resident << ",\n"
            << "  \"steady_allocs_limit\": " << steady_limit << ",\n"
+           << "  \"p99_budget_ms\": " << p99_budget_ms << ",\n"
+           << "  \"p99_budget_ok\": " << (p99_ok ? "true" : "false") << ",\n"
            << "  \"allocations_ok\": " << (allocs_ok ? "true" : "false")
            << ",\n"
            << "  \"window_reuse_ok\": "
@@ -473,7 +500,7 @@ int main(int argc, char** argv) {
            << "\n}\n";
       std::cout << "wrote " << json_path << "\n";
     }
-    return deterministic && allocs_ok && window_reuse_ok ? 0 : 1;
+    return deterministic && allocs_ok && window_reuse_ok && p99_ok ? 0 : 1;
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;

@@ -1,12 +1,22 @@
 // E11 — catalogue-size scaling: dense vs sparse demand representation.
 //
 // Sweeps K (the catalogue size) and runs the same truncated Zipf(0.8)
-// scenario through the RHC controller twice per point: once with the dense
-// M x K demand matrices and once with the sparse CSR path
-// (use_sparse_demand). Both runs see the SAME trace values — the generator
-// honors min_rate for both representations — so total costs must match bit
-// for bit (guarded; nonzero exit on mismatch) and every latency difference
-// is attributable to the data layout and the active-set solves.
+// scenario through the RHC controller three times per point: with the dense
+// M x K demand matrices, with the sparse CSR path and the compact
+// active-coordinate mu layout (the production configuration), and with the
+// sparse path but the dense w*N*M*K mu layout (compact_mu=false — the A/B
+// baseline the compact layout replaces). All runs see the SAME trace values
+// — the generator honors min_rate for both representations — so total costs
+// must match bit for bit three ways (guarded; nonzero exit on mismatch) and
+// every latency difference is attributable to the data layout and the
+// active-set solves.
+//
+// Each child also reports the resident dual-vector footprint of one RHC
+// window (compact block bytes vs dense layout bytes) and the kEnd/kEndReply
+// wire traffic of a one-off 2-shard solve of that window
+// (shard::wire_stats()), so the compact layout's byte reduction —
+// (mu + kEnd bytes, dense-mu) / (mu + kEnd bytes, compact) — is measured,
+// reported per point, and gateable with --require-bytes-reduction.
 //
 // min_rate is derived from the Zipf-Mandelbrot pmf: the rate of the rank at
 // --head-fraction * K becomes the cutoff, so the surviving head is a fixed
@@ -34,6 +44,13 @@
 //   --json PATH          output path (default BENCH_scaling.json)
 //   --require-speedup X  exit nonzero unless the largest-K decision-latency
 //                        speedup reaches X (default 0 = report only)
+//   --require-bytes-reduction X
+//                        exit nonzero unless the largest-K compact-mu byte
+//                        reduction (resident mu + kEnd wire, dense-mu over
+//                        compact) reaches X (default 0 = report only)
+//   --p99-budget-ms X    exit nonzero when the largest-K sparse (compact)
+//                        run's p99 decision latency exceeds X ms
+//                        (default 0 = gate off)
 #include <algorithm>
 #include <cmath>
 #include <fstream>
@@ -45,7 +62,9 @@
 #include <vector>
 
 #include "common.hpp"
+#include "core/primal_dual.hpp"
 #include "online/rhc.hpp"
+#include "shard/wire.hpp"
 #include "sim/simulator.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
@@ -61,6 +80,20 @@ using namespace mdo;
 
 using bench::percentile;
 
+/// The three measured configurations: dense demand, sparse demand with the
+/// compact active-coordinate mu layout (production), and sparse demand with
+/// the dense mu layout (compact_mu=false, the A/B baseline).
+enum class Repr { kDense, kSparse, kSparseDenseMu };
+
+const char* repr_name(Repr repr) {
+  switch (repr) {
+    case Repr::kDense: return "dense";
+    case Repr::kSparse: return "sparse";
+    case Repr::kSparseDenseMu: return "sparse_densemu";
+  }
+  return "?";
+}
+
 /// Everything one (representation, K) subprocess reports back.
 struct Measured {
   std::string repr;
@@ -73,6 +106,9 @@ struct Measured {
   double p99 = 0.0;
   double total_cost = 0.0;
   long peak_rss_kb = 0;
+  std::uint64_t mu_bytes = 0;        // resident dual vector, one RHC window
+  std::uint64_t wire_end_bytes = 0;  // kEnd + kEndReply, 2-shard window solve
+  std::uint64_t wire_total_bytes = 0;  // all frames, same probe solve
 };
 
 /// The bench's scenario knobs (shared by parent and --measure child).
@@ -119,7 +155,8 @@ struct ScalingSetup {
 // ---- child: one measurement ----------------------------------------------
 
 Measured measure(const ScalingSetup& setup, std::size_t contents,
-                 bool sparse) {
+                 Repr repr) {
+  const bool sparse = repr != Repr::kDense;
   workload::PaperScenario scenario;
   scenario.num_contents = contents;
   scenario.classes_per_sbs = setup.classes;
@@ -141,7 +178,7 @@ Measured measure(const ScalingSetup& setup, std::size_t contents,
       sparse ? scenario.build_sparse() : scenario.build();
 
   Measured out;
-  out.repr = sparse ? "sparse" : "dense";
+  out.repr = repr_name(repr);
   out.contents = contents;
   out.min_rate = scenario.workload.min_rate;
   std::size_t nnz = 0;
@@ -171,7 +208,9 @@ Measured measure(const ScalingSetup& setup, std::size_t contents,
     predictor = std::make_unique<workload::NoisyPredictor>(instance.demand,
                                                            setup.eta, 1234);
   }
-  online::RhcController rhc(setup.window, core::PrimalDualOptions{});
+  core::PrimalDualOptions pd;
+  pd.compact_mu = repr == Repr::kSparse;
+  online::RhcController rhc(setup.window, pd);
   const sim::Simulator simulator(instance, *predictor);
 
   const Stopwatch watch;
@@ -186,6 +225,50 @@ Measured measure(const ScalingSetup& setup, std::size_t contents,
   out.mean_decision_seconds = result.mean_decision_seconds();
   out.p50 = percentile(decision_seconds, 50.0);
   out.p99 = percentile(decision_seconds, 99.0);
+
+  // Byte accounting for the compact-mu A/B: the resident dual vector of one
+  // RHC window (compact block bytes vs the dense w*N*M*K layout), and the
+  // end-of-solve wire traffic of a one-off 2-shard solve of that window
+  // (the kEndReply frames carry the mu blocks + warm blobs back to the
+  // driver). Done after the timed run so the probe's worker fleet cannot
+  // perturb the latency numbers.
+  model::DemandTrace window_dense;
+  model::SparseDemandTrace window_sparse;
+  core::HorizonProblem window_problem;
+  window_problem.config = &instance.config;
+  window_problem.initial_cache = instance.initial_cache;
+  if (sparse) {
+    window_sparse = predictor->predict_window_sparse(0, setup.window);
+    window_problem.sparse_demand = &window_sparse;
+  } else {
+    window_dense = predictor->predict_window(0, setup.window);
+    window_problem.demand = &window_dense;
+  }
+  const std::size_t window_horizon = window_problem.horizon();
+  if (repr == Repr::kSparse) {
+    const core::ActiveSets sets = core::build_active_sets(
+        instance.config, window_sparse, instance.initial_cache);
+    out.mu_bytes = core::mu_block_offsets(instance.config, window_horizon, sets)
+                       .back() *
+                   sizeof(double);
+  } else {
+    out.mu_bytes =
+        core::mu_size(instance.config, window_horizon) * sizeof(double);
+  }
+  {
+    shard::reset_wire_stats();
+    core::PrimalDualOptions probe_options = pd;
+    probe_options.shard_count = 2;
+    core::PrimalDualSolver probe(probe_options);
+    probe.solve(window_problem);
+    const shard::WireStats& wire = shard::wire_stats();
+    const auto end_type = static_cast<std::size_t>(shard::MessageType::kEnd);
+    const auto end_reply =
+        static_cast<std::size_t>(shard::MessageType::kEndReply);
+    out.wire_end_bytes = wire.sent[end_type] + wire.received[end_reply];
+    out.wire_total_bytes = wire.total_sent() + wire.total_received();
+  }
+
   out.peak_rss_kb = bench::self_peak_rss_kb();
   return out;
 }
@@ -196,7 +279,8 @@ void print_result_line(const Measured& m) {
   os << "RESULT " << m.repr << " " << m.contents << " " << m.min_rate << " "
      << m.nnz_fraction << " " << m.wall_seconds << " "
      << m.mean_decision_seconds << " " << m.p50 << " " << m.p99 << " "
-     << m.total_cost << " " << m.peak_rss_kb;
+     << m.total_cost << " " << m.peak_rss_kb << " " << m.mu_bytes << " "
+     << m.wire_end_bytes << " " << m.wire_total_bytes;
   std::cout << os.str() << "\n" << std::flush;
 }
 
@@ -204,17 +288,18 @@ void print_result_line(const Measured& m) {
 
 std::optional<Measured> spawn_measure(const std::string& self,
                                       const ScalingSetup& setup,
-                                      std::size_t contents, bool sparse) {
-  const std::string command = self + " --measure " +
-                              (sparse ? "sparse" : "dense") + " --contents " +
-                              std::to_string(contents) + setup.as_flags();
+                                      std::size_t contents, Repr repr) {
+  const std::string command = self + " --measure " + repr_name(repr) +
+                              " --contents " + std::to_string(contents) +
+                              setup.as_flags();
   const std::optional<std::string> payload = bench::run_result_child(command);
   if (!payload) return std::nullopt;
   std::istringstream fields(*payload);
   Measured m;
   if (fields >> m.repr >> m.contents >> m.min_rate >> m.nnz_fraction >>
       m.wall_seconds >> m.mean_decision_seconds >> m.p50 >> m.p99 >>
-      m.total_cost >> m.peak_rss_kb) {
+      m.total_cost >> m.peak_rss_kb >> m.mu_bytes >> m.wire_end_bytes >>
+      m.wire_total_bytes) {
     return m;
   }
   std::cerr << "error: malformed RESULT line from: " << command << "\n";
@@ -238,7 +323,10 @@ void json_measured(std::ostream& os, const Measured& m) {
      << ", \"p50\": " << m.p50 << ", \"p99\": " << m.p99
      << ", \"wall_seconds\": " << m.wall_seconds
      << ", \"total_cost\": " << m.total_cost
-     << ", \"peak_rss_kb\": " << m.peak_rss_kb << "}";
+     << ", \"peak_rss_kb\": " << m.peak_rss_kb
+     << ", \"mu_bytes_resident\": " << m.mu_bytes
+     << ", \"wire_end_bytes\": " << m.wire_end_bytes
+     << ", \"wire_total_bytes\": " << m.wire_total_bytes << "}";
 }
 
 }  // namespace
@@ -249,13 +337,17 @@ int main(int argc, char** argv) {
     const ScalingSetup setup = ScalingSetup::parse(flags);
 
     if (flags.has("measure")) {
-      const std::string repr = flags.get_string("measure", "dense");
+      const std::string repr_flag = flags.get_string("measure", "dense");
       const auto contents =
           static_cast<std::size_t>(flags.get_int("contents", 100));
       flags.require_all_consumed();
-      MDO_REQUIRE(repr == "dense" || repr == "sparse",
-                  "--measure must be dense or sparse");
-      print_result_line(measure(setup, contents, repr == "sparse"));
+      Repr repr;
+      if (repr_flag == "dense") repr = Repr::kDense;
+      else if (repr_flag == "sparse") repr = Repr::kSparse;
+      else if (repr_flag == "sparse_densemu") repr = Repr::kSparseDenseMu;
+      else throw InvalidArgument(
+          "--measure must be dense, sparse or sparse_densemu");
+      print_result_line(measure(setup, contents, repr));
       return 0;
     }
 
@@ -263,27 +355,37 @@ int main(int argc, char** argv) {
     const std::string json_path =
         flags.get_string("json", "BENCH_scaling.json");
     const double require_speedup = flags.get_double("require-speedup", 0.0);
+    const double require_bytes_reduction =
+        flags.get_double("require-bytes-reduction", 0.0);
+    const double p99_budget_ms = flags.get_double("p99-budget-ms", 0.0);
     flags.require_all_consumed();
 
-    std::cout << "Catalogue-size scaling bench (dense vs sparse)\n"
+    std::cout << "Catalogue-size scaling bench (dense vs sparse vs "
+                 "sparse+dense-mu)\n"
               << "T=" << setup.slots << " w=" << setup.window
               << " head_fraction=" << setup.head_fraction << "\n";
 
     struct Point {
       Measured dense;
-      Measured sparse;
+      Measured sparse;          // compact mu (production)
+      Measured sparse_densemu;  // compact_mu = false (A/B baseline)
       double speedup = 0.0;
       double rss_ratio = 0.0;
+      double bytes_reduction = 0.0;  // (mu + kEnd) dense-mu over compact
       bool costs_match = false;
     };
     std::vector<Point> points;
     for (const std::size_t contents : ks) {
-      const auto dense = spawn_measure(argv[0], setup, contents, false);
-      const auto sparse = spawn_measure(argv[0], setup, contents, true);
-      if (!dense || !sparse) return 1;
+      const auto dense = spawn_measure(argv[0], setup, contents, Repr::kDense);
+      const auto sparse =
+          spawn_measure(argv[0], setup, contents, Repr::kSparse);
+      const auto densemu =
+          spawn_measure(argv[0], setup, contents, Repr::kSparseDenseMu);
+      if (!dense || !sparse || !densemu) return 1;
       Point point;
       point.dense = *dense;
       point.sparse = *sparse;
+      point.sparse_densemu = *densemu;
       point.speedup = sparse->mean_decision_seconds > 0.0
                           ? dense->mean_decision_seconds /
                                 sparse->mean_decision_seconds
@@ -292,14 +394,25 @@ int main(int argc, char** argv) {
                             ? static_cast<double>(dense->peak_rss_kb) /
                                   static_cast<double>(sparse->peak_rss_kb)
                             : 0.0;
-      // Same trace values, same solves on the surviving support: the costs
-      // must agree bit for bit or the sparse path is broken.
-      point.costs_match = dense->total_cost == sparse->total_cost;
+      const double compact_bytes =
+          static_cast<double>(sparse->mu_bytes + sparse->wire_end_bytes);
+      point.bytes_reduction =
+          compact_bytes > 0.0
+              ? static_cast<double>(densemu->mu_bytes +
+                                    densemu->wire_end_bytes) /
+                    compact_bytes
+              : 0.0;
+      // Same trace values, same solves on the surviving support, and a mu
+      // that is provably zero off the active set: the costs must agree bit
+      // for bit three ways or one of the layouts is broken.
+      point.costs_match = dense->total_cost == sparse->total_cost &&
+                          sparse->total_cost == densemu->total_cost;
       points.push_back(point);
     }
 
     TextTable table({"K", "nnz_frac", "dense_dec_s", "sparse_dec_s", "speedup",
-                     "dense_rss_mb", "sparse_rss_mb", "costs_match"});
+                     "dense_rss_mb", "sparse_rss_mb", "mu+kend_x",
+                     "costs_match"});
     for (const auto& p : points) {
       table.add_row({std::to_string(p.dense.contents),
                      TextTable::fmt(p.sparse.nnz_fraction, 4),
@@ -308,6 +421,7 @@ int main(int argc, char** argv) {
                      TextTable::fmt(p.speedup, 2),
                      TextTable::fmt(p.dense.peak_rss_kb / 1024.0, 1),
                      TextTable::fmt(p.sparse.peak_rss_kb / 1024.0, 1),
+                     TextTable::fmt(p.bytes_reduction, 2),
                      p.costs_match ? "yes" : "NO"});
     }
     table.print(std::cout);
@@ -315,10 +429,16 @@ int main(int argc, char** argv) {
     bool all_match = true;
     for (const auto& p : points) all_match = all_match && p.costs_match;
     const double max_k_speedup = points.back().speedup;
+    const double max_k_bytes_reduction = points.back().bytes_reduction;
+    const double max_k_sparse_p99_ms = points.back().sparse.p99 * 1000.0;
     std::cout << "decision-latency speedup at K=" << points.back().dense.contents
-              << ": " << max_k_speedup << "x\n";
+              << ": " << max_k_speedup << "x\n"
+              << "compact-mu byte reduction (resident mu + kEnd wire) at K="
+              << points.back().dense.contents << ": " << max_k_bytes_reduction
+              << "x\n";
     if (!all_match) {
-      std::cerr << "COST MISMATCH between dense and sparse runs\n";
+      std::cerr << "COST MISMATCH between dense, sparse and sparse+dense-mu "
+                   "runs\n";
     }
 
     std::ofstream json(json_path);
@@ -342,13 +462,21 @@ int main(int argc, char** argv) {
         json_measured(json, p.dense);
         json << ",\n     \"sparse\": ";
         json_measured(json, p.sparse);
+        json << ",\n     \"sparse_densemu\": ";
+        json_measured(json, p.sparse_densemu);
         json << ",\n     \"decision_speedup\": " << p.speedup
              << ", \"peak_rss_ratio\": " << p.rss_ratio
+             << ", \"mu_kend_bytes_reduction\": " << p.bytes_reduction
              << ", \"costs_match\": " << (p.costs_match ? "true" : "false")
              << "}" << (i + 1 == points.size() ? "" : ",") << "\n";
       }
       json << "  ],\n"
            << "  \"speedup_at_max_contents\": " << max_k_speedup << ",\n"
+           << "  \"bytes_reduction_at_max_contents\": "
+           << max_k_bytes_reduction << ",\n"
+           << "  \"p99_budget_ms\": " << p99_budget_ms << ",\n"
+           << "  \"sparse_p99_ms_at_max_contents\": " << max_k_sparse_p99_ms
+           << ",\n"
            << "  \"costs_match\": " << (all_match ? "true" : "false") << "\n"
            << "}\n";
       std::cout << "wrote " << json_path << "\n";
@@ -359,7 +487,20 @@ int main(int argc, char** argv) {
       std::cerr << "SPEEDUP BELOW REQUIREMENT: " << max_k_speedup << " < "
                 << require_speedup << "\n";
     }
-    return all_match && speedup_ok ? 0 : 1;
+    const bool bytes_ok = require_bytes_reduction <= 0.0 ||
+                          max_k_bytes_reduction >= require_bytes_reduction;
+    if (!bytes_ok) {
+      std::cerr << "BYTE REDUCTION BELOW REQUIREMENT: "
+                << max_k_bytes_reduction << " < " << require_bytes_reduction
+                << "\n";
+    }
+    const bool p99_ok =
+        p99_budget_ms <= 0.0 || max_k_sparse_p99_ms <= p99_budget_ms;
+    if (!p99_ok) {
+      std::cerr << "P99 BUDGET EXCEEDED: sparse p99 = " << max_k_sparse_p99_ms
+                << " ms > budget " << p99_budget_ms << " ms\n";
+    }
+    return all_match && speedup_ok && bytes_ok && p99_ok ? 0 : 1;
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;

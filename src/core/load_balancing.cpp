@@ -103,7 +103,7 @@ void P2Workspace::restore_warm_state(util::BinaryReader& r) {
   classes_ = r.size();
   contents_ = r.size();
   active_ = r.size_vec();
-  y_ = r.f64_vec();
+  y_ = r.f64_vec_as<linalg::Vec>();
   has_solution_ = false;  // y_ is a warm start, not a bound solution
 }
 

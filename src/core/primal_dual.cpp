@@ -46,7 +46,7 @@ bool demand_finite_nonnegative(const model::SparseDemandTrace& demand) {
 /// (kWorkerFailure) run to completion: keep the current cache, serve
 /// everything from the BS, report vacuous bounds.
 HorizonSolution fallback_solution(const HorizonProblem& problem,
-                                  solver::SolveStatus status) {
+                                  solver::SolveStatus status, bool compact) {
   HorizonSolution degraded;
   degraded.status = status;
   degraded.upper_bound = kInf;
@@ -56,7 +56,12 @@ HorizonSolution fallback_solution(const HorizonProblem& problem,
     slot.cache = problem.initial_cache;
     slot.load = model::LoadAllocation(*problem.config);
   }
-  degraded.mu.assign(mu_size(*problem.config, problem.horizon()), 0.0);
+  // Compact mode returns an EMPTY mu: the fallback carries no dual
+  // information, and an empty vector safely disables same-window warm
+  // starts downstream (controllers gate on !warm_mu.empty()).
+  if (!compact) {
+    degraded.mu.assign(mu_size(*problem.config, problem.horizon()), 0.0);
+  }
   return degraded;
 }
 
@@ -152,6 +157,12 @@ void PrimalDualSolver::save_state(util::BinaryWriter& w) const {
     cs.p2.save_warm_state(w);
     cs.repair.save_warm_state(w);
   }
+  // Compact-mu geometry of the last solve: a restored solver must keep
+  // interpreting (and, after a resync, remapping) same-window warm mu
+  // vectors exactly like the original would.
+  w.size(last_horizon_);
+  w.size(last_active_.size());
+  for (const auto& cell : last_active_) w.size_vec(cell);
 }
 
 void PrimalDualSolver::restore_state(util::BinaryReader& r) {
@@ -165,6 +176,9 @@ void PrimalDualSolver::restore_state(util::BinaryReader& r) {
   }
   MDO_REQUIRE(bank_.size() == bank_slots_ * bank_sbs_,
               "solver snapshot: bank shape mismatch");
+  last_horizon_ = r.size();
+  last_active_.assign(r.count(), {});
+  for (auto& cell : last_active_) cell = r.size_vec();
 }
 
 HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
@@ -175,13 +189,15 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
               "horizon problem: exactly one demand representation");
   MDO_REQUIRE(problem.horizon() >= 1, "horizon problem: empty window");
   const bool sparse = problem.use_sparse();
+  const bool compact = sparse && options_.compact_mu;
   if (sparse ? !demand_finite_nonnegative(*problem.sparse_demand)
              : !demand_finite_nonnegative(*problem.demand)) {
     // Corrupted window (NaN/Inf/negative rates): iterating would only smear
     // the poison through mu and the schedules, so return the safe fallback —
     // keep the current cache (no replacement churn) and serve everything
     // from the BS — and let the caller degrade.
-    return fallback_solution(problem, solver::SolveStatus::kNonFiniteInput);
+    return fallback_solution(problem, solver::SolveStatus::kNonFiniteInput,
+                             compact);
   }
   problem.validate();
   const auto& config = *problem.config;
@@ -189,6 +205,21 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
   const std::size_t num_sbs = config.num_sbs();
   const std::size_t k_count = config.num_contents;
   const MuLayout layout(config);
+
+  // ---- Sparse mode: the active-set index structures (shard_core.hpp),
+  // built FIRST because the compact mu vector is sized by them. In dense-mu
+  // sparse mode mu keeps the dense layout — it is only ever read/written at
+  // active coordinates, and the untouched coordinates are provably zero
+  // throughout the ascent (marginal init is supported on lambda;
+  // off-support the subgradient is -x <= 0 and the projection pins mu at
+  // 0). Compact mode stores exactly those coordinates and nothing else.
+  ActiveSets sets;
+  std::vector<std::size_t> mu_off;
+  if (sparse) {
+    sets = build_active_sets(config, *problem.sparse_demand,
+                             problem.initial_cache);
+    if (compact) mu_off = mu_block_offsets(config, w, sets);
+  }
 
   // ---- Marginal BS cost scale: used for both the automatic step size and
   // the marginal initialization of mu. For SBS n at slot t the gradient of
@@ -213,7 +244,7 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
   };
 
   // ---- Initialize multipliers.
-  linalg::Vec mu(layout.per_slot * w, 0.0);
+  linalg::Vec mu(compact ? mu_off.back() : layout.per_slot * w, 0.0);
   double mean_marginal = 0.0;
   {
     std::size_t entries = 0;
@@ -222,7 +253,10 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
       // dense gradient: the skipped terms are exact zeros (they cannot move
       // the nonnegative accumulator), the nonzeros are visited in the same
       // ascending-j order, and `entries` counts every dense coordinate either
-      // way — mean_marginal and the written mu are bit-identical.
+      // way — mean_marginal and the written mu are bit-identical. In compact
+      // mode the write lands at the entry's active-set position (rows and
+      // active lists are both content-sorted, so one forward pointer finds
+      // it); the stored VALUES are the same either way.
       for (std::size_t t = 0; t < w; ++t) {
         for (std::size_t n = 0; n < num_sbs; ++n) {
           const auto& sbs = config.sbs[n];
@@ -237,14 +271,28 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
             a += sbs.classes[m].omega_bs * row;
           }
           const std::size_t base = layout.offset(t, n);
+          const std::vector<std::size_t>* al =
+              compact ? &sets.active[t * num_sbs + n] : nullptr;
+          double* block =
+              compact ? mu.data() + mu_off[t * num_sbs + n] : nullptr;
+          const std::size_t a_count = compact ? al->size() : 0;
           for (std::size_t m = 0; m < sbs.num_classes(); ++m) {
+            std::size_t pos = 0;
             for (const model::DemandEntry* it = demand.row_begin(m);
                  it != demand.row_end(m); ++it) {
               const double value =
                   2.0 * a * sbs.classes[m].omega_bs * it->rate;
               mean_marginal += value;
               if (options_.marginal_initialization && warm_mu == nullptr) {
-                mu[base + m * k_count + it->content] = value;
+                if (compact) {
+                  while (pos < a_count && (*al)[pos] < it->content) ++pos;
+                  MDO_CHECK(pos < a_count && (*al)[pos] == it->content,
+                            "compact mu: support content missing from "
+                            "active set");
+                  block[m * a_count + pos] = value;
+                } else {
+                  mu[base + m * k_count + it->content] = value;
+                }
               }
             }
           }
@@ -269,8 +317,62 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
     mean_marginal /= std::max<std::size_t>(entries, 1);
   }
   if (warm_mu != nullptr) {
-    MDO_REQUIRE(warm_mu->size() == mu.size(), "warm mu size mismatch");
-    mu = *warm_mu;
+    if (!compact ||
+        (last_horizon_ == w && last_active_ == sets.active)) {
+      // Dense layout, or compact with unchanged geometry (the common
+      // same-window replan): straight copy.
+      MDO_REQUIRE(warm_mu->size() == mu.size(), "warm mu size mismatch");
+      mu = *warm_mu;
+    } else if (last_horizon_ == w && !last_active_.empty()) {
+      // A resync changed the start cache, so the active sets — and with
+      // them the compact geometry — moved since the solve that produced
+      // this warm mu. Remap by content id: intersection coordinates keep
+      // their multiplier, newly active ones start at 0, dropped ones
+      // vanish. That reproduces the dense warm path, which carries old
+      // values forward but only ever READS the new active coordinates (and
+      // coordinates newly active this window held zero in the old dense mu
+      // by the ascent invariant).
+      MDO_REQUIRE(last_active_.size() == w * num_sbs,
+                  "compact warm mu: geometry shape mismatch");
+      std::size_t old_off = 0;
+      for (std::size_t cell = 0; cell < w * num_sbs; ++cell) {
+        const std::size_t n = cell % num_sbs;
+        const std::size_t classes = config.sbs[n].num_classes();
+        const std::vector<std::size_t>& old_list = last_active_[cell];
+        const std::vector<std::size_t>& new_list = sets.active[cell];
+        const std::size_t oa = old_list.size();
+        const std::size_t na = new_list.size();
+        const double* src = warm_mu->data() + old_off;
+        double* dst = mu.data() + mu_off[cell];
+        std::size_t i = 0;
+        for (std::size_t j = 0; j < na; ++j) {
+          while (i < oa && old_list[i] < new_list[j]) ++i;
+          if (i < oa && old_list[i] == new_list[j]) {
+            for (std::size_t m = 0; m < classes; ++m) {
+              dst[m * na + j] = src[m * oa + i];
+            }
+          }
+        }
+        old_off += classes * oa;
+      }
+      MDO_REQUIRE(warm_mu->size() == old_off,
+                  "compact warm mu: size disagrees with recorded geometry");
+    } else {
+      // No recorded geometry for this horizon (controllers only hand back
+      // a mu this solver produced, and the geometry travels with the
+      // checkpointed warm state, so this is reachable only through misuse).
+      // Accept an exact-size match, refuse anything else.
+      MDO_REQUIRE(warm_mu->size() == mu.size(),
+                  "compact warm mu without matching geometry");
+      mu = *warm_mu;
+    }
+  }
+  if (compact) {
+    last_active_ = sets.active;
+    last_horizon_ = w;
+  } else {
+    last_active_.clear();
+    last_horizon_ = 0;
   }
   const double step_scale = options_.step_scale > 0.0
                                 ? options_.step_scale
@@ -280,17 +382,6 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
   const std::size_t step_offset =
       warm_mu != nullptr && options_.cross_window_warm_start ? step_offset_
                                                              : 0;
-
-  // ---- Sparse mode: the active-set index structures (shard_core.hpp).
-  // mu keeps the DENSE layout — it is only ever read/written at active
-  // coordinates, and the untouched coordinates are provably zero throughout
-  // the ascent (marginal init is supported on lambda; off-support the
-  // subgradient is -x <= 0 and the projection pins mu at 0).
-  ActiveSets sets;
-  if (sparse) {
-    sets = build_active_sets(config, *problem.sparse_demand,
-                             problem.initial_cache);
-  }
 
   // ---- Select the warm-start bank: the persistent member (the
   // zero-allocation hot path, also the state a sharded solve ships out and
@@ -309,7 +400,7 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
       shard::resolved_shard_count(options_.shard_count, num_sbs);
   if (shards > 0) {
     return solve_sharded(problem, deadline, shards, std::move(mu), step_scale,
-                         step_offset, sets, bank);
+                         step_offset, sets, mu_off, bank);
   }
   return solve_in_process(problem, deadline, std::move(mu), step_scale,
                           step_offset, std::move(sets), bank);
@@ -335,6 +426,7 @@ HorizonSolution PrimalDualSolver::solve_in_process(
   shard_opts.load_balancing = options_.load_balancing;
   shard_opts.reuse_p1_network = options_.reuse_p1_network;
   shard_opts.cross_window_warm_start = options_.cross_window_warm_start;
+  shard_opts.compact_mu = options_.compact_mu;
 
   // One full-range shard: the exact pre-refactor loop bodies (see
   // shard_core.cpp), with every reduction kept below in serial index order.
@@ -421,12 +513,14 @@ HorizonSolution PrimalDualSolver::solve_sharded(
     const HorizonProblem& problem, runtime::DeadlineToken* deadline,
     std::size_t shards, linalg::Vec mu, double step_scale,
     std::size_t step_offset, const ActiveSets& sets,
+    const std::vector<std::size_t>& mu_offsets,
     std::vector<CellState>& bank) {
   const auto& config = *problem.config;
   const std::size_t w = problem.horizon();
   const std::size_t num_sbs = config.num_sbs();
   const std::size_t k_count = config.num_contents;
   const bool sparse = problem.use_sparse();
+  const bool compact = sparse && options_.compact_mu;
   const MuLayout layout(config);
 
   ShardInputs inputs;
@@ -442,6 +536,7 @@ HorizonSolution PrimalDualSolver::solve_sharded(
   shard_opts.load_balancing = options_.load_balancing;
   shard_opts.reuse_p1_network = options_.reuse_p1_network;
   shard_opts.cross_window_warm_start = options_.cross_window_warm_start;
+  shard_opts.compact_mu = options_.compact_mu;
 
   if (!coordinator_) coordinator_ = std::make_unique<shard::Coordinator>();
   // A worker death anywhere below aborts the solve without touching the
@@ -450,10 +545,11 @@ HorizonSolution PrimalDualSolver::solve_sharded(
   // supervisor's retry of the same solve is bit-identical to the solve that
   // was lost.
   auto fail = [&]() {
-    return fallback_solution(problem, solver::SolveStatus::kWorkerFailure);
+    return fallback_solution(problem, solver::SolveStatus::kWorkerFailure,
+                             compact);
   };
-  if (!coordinator_->begin(inputs, shard_opts, shards, sets, layout, mu,
-                           bank)) {
+  if (!coordinator_->begin(inputs, shard_opts, shards, sets, layout,
+                           compact ? &mu_offsets : nullptr, mu, bank)) {
     return fail();
   }
 

@@ -116,6 +116,18 @@ struct PrimalDualOptions {
   /// the dual optimum genuinely shifts. false re-solves every window cold
   /// with no warm starts of either kind.
   bool cross_window_warm_start = true;
+  /// Sparse-demand solves only: store the multipliers as the COMPACT
+  /// concatenation of per-(slot, SBS) active-coordinate blocks
+  /// (core::mu_block_offsets geometry — the same per-cell block layout the
+  /// shard wire protocol ships) instead of the dense w*N*M*K vector. Off
+  /// the active set mu is provably zero for the entire ascent, so the
+  /// representations are interchangeable and every solve is bit-identical
+  /// either way; compact keeps resident mu, warm banks, checkpoints and
+  /// shard kEnd frames at O(active) instead of O(K). Kept as an A/B switch
+  /// for one release (DESIGN.md §12); dense-demand solves ignore it.
+  /// HorizonSolution::mu and any warm mu handed back in are in whichever
+  /// layout this flag selects.
+  bool compact_mu = true;
   /// Process-level scale-out (DESIGN.md §11): number of worker subprocesses
   /// the dual decomposition is sharded over. 0 defers to the MDO_SHARDS
   /// environment variable (unset/0 = solve in process); N >= 1 forces N
@@ -133,7 +145,12 @@ struct HorizonSolution {
   double upper_bound = 0.0;   // objective (9) of `schedule`
   double lower_bound = 0.0;   // best dual value (valid lower bound)
   std::size_t iterations = 0; // dual iterations performed
-  linalg::Vec mu;             // final multipliers (for warm starts)
+  /// Final multipliers (for warm starts): dense layout, or the compact
+  /// active-coordinate layout when the solve ran with
+  /// PrimalDualOptions::compact_mu on a sparse window. Empty in a compact
+  /// fallback (kNonFiniteInput/kWorkerFailure), which safely disables
+  /// same-window warm starts downstream.
+  linalg::Vec mu;
   /// How the solve terminated. kNonFiniteInput means the demand window held
   /// NaN/Inf/negative rates: the schedule is then the safe fallback (carry
   /// the initial cache, serve everything from the BS) and the bounds are
@@ -227,12 +244,20 @@ class PrimalDualSolver {
                                 std::size_t shards, linalg::Vec mu,
                                 double step_scale, std::size_t step_offset,
                                 const ActiveSets& sets,
+                                const std::vector<std::size_t>& mu_offsets,
                                 std::vector<CellState>& bank);
 
   PrimalDualOptions options_;
   std::vector<CellState> bank_;  // cell = t * num_sbs + n
   std::size_t bank_slots_ = 0;
   std::size_t bank_sbs_ = 0;
+  /// Geometry of the last compact solve (per-cell active lists + horizon):
+  /// a same-window warm mu is interpreted against THIS geometry and
+  /// remapped by content id onto the new solve's active sets when a resync
+  /// changed the start cache. Serialized with the warm state so a restored
+  /// solver keeps remapping correctly. Empty after dense solves.
+  std::vector<std::vector<std::size_t>> last_active_;
+  std::size_t last_horizon_ = 0;
   /// Where the previous solve's diminishing-step schedule stopped; a
   /// warm-started solve resumes from here (see
   /// PrimalDualOptions::cross_window_warm_start).

@@ -4,6 +4,7 @@
 #include <iterator>
 
 #include "util/error.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mdo::core {
@@ -50,6 +51,22 @@ ActiveSets build_active_sets(const model::NetworkConfig& config,
   return sets;
 }
 
+std::vector<std::size_t> mu_block_offsets(const model::NetworkConfig& config,
+                                          std::size_t horizon,
+                                          const ActiveSets& sets) {
+  const std::size_t num_sbs = config.num_sbs();
+  const std::size_t cells = horizon * num_sbs;
+  MDO_REQUIRE(sets.active.size() == cells,
+              "mu_block_offsets: active sets do not match the horizon");
+  std::vector<std::size_t> offsets(cells + 1, 0);
+  for (std::size_t cell = 0; cell < cells; ++cell) {
+    const std::size_t n = cell % num_sbs;
+    offsets[cell + 1] = offsets[cell] + config.sbs[n].num_classes() *
+                                            sets.active[cell].size();
+  }
+  return offsets;
+}
+
 void ShardCore::begin(const ShardInputs& in, const ShardOptions& opts,
                       std::vector<CellState>& bank) {
   ActiveSets sets;
@@ -73,6 +90,9 @@ void ShardCore::begin(const ShardInputs& in, const ShardOptions& opts,
   layout_ = MuLayout(*config_);
   sets_ = std::move(sets);
   bank_ = &bank;
+  compact_ = sparse_ && opts.compact_mu;
+  mu_off_ = compact_ ? mu_block_offsets(*config_, horizon_, sets_)
+                     : std::vector<std::size_t>{};
 
   const auto& config = *config_;
   const std::size_t w = horizon_;
@@ -155,64 +175,93 @@ void ShardCore::iterate(const linalg::Vec& mu) {
   const std::size_t num_sbs = config.num_sbs();
   const std::size_t k_count = config.num_contents;
   const bool sparse = sparse_;
+  const bool compact = compact_;
   std::vector<CellState>& bank = *bank_;
+  if (compact) {
+    MDO_REQUIRE(mu.size() == mu_off_.back(),
+                "shard core: compact mu size mismatch");
+  }
 
-  // ---- P1: caching per SBS under rewards nu = sum_m mu. The subproblems
-  // are independent (Alg. 1 separates per SBS); each writes only its own
-  // x[n] / objective slot, and the driver's reduction runs serially in SBS
-  // order so the result is bit-identical at any thread count.
-  util::parallel_for(0, num_sbs, [&](std::size_t n) {
-    CachingSubproblem& sub = p1_[n].sub;
-    if (sub.num_contents == 0) {
-      // Nothing demanded or cached anywhere in the window: P1 is empty.
-      x_[n].clear();
-      p1_objectives_[n] = 0.0;
-      return;
-    }
-    std::fill(sub.rewards.begin(), sub.rewards.end(), 0.0);
-    const std::size_t classes = config.sbs[n].num_classes();
-    const std::size_t kp = sub.num_contents;
-    for (std::size_t t = 0; t < w; ++t) {
-      const std::size_t base = layout_.offset(t, n);
-      if (sparse) {
-        // mu is zero off the active set throughout the ascent, so summing
-        // only active coordinates is bit-identical to the dense loop.
-        const std::vector<std::size_t>& al = sets_.active[t * num_sbs + n];
-        const std::vector<std::size_t>& map = sets_.cell_p1[t * num_sbs + n];
-        for (std::size_t m = 0; m < classes; ++m) {
-          for (std::size_t i = 0; i < al.size(); ++i) {
-            sub.rewards[t * kp + map[i]] += mu[base + m * k_count + al[i]];
+  // ---- P1 + P2, ONE fused task-pool submission per dual iteration. The
+  // first num_sbs tasks are P1 (caching per SBS under rewards
+  // nu = sum_m mu), the rest P2 (load balancing per cell with linear term
+  // mu). The two families are independent within an iteration — P2 reads
+  // mu, not x, and repair is a separate call — so batching them amortizes
+  // dispatch overhead at large N without reordering any arithmetic: each
+  // task writes only its own slot, and the driver's reductions still run
+  // serially in global index order (bit-identical at any thread count).
+  util::parallel_for(0, num_sbs + w * num_sbs, [&](std::size_t task) {
+    if (task < num_sbs) {
+      const std::size_t n = task;
+      CachingSubproblem& sub = p1_[n].sub;
+      if (sub.num_contents == 0) {
+        // Nothing demanded or cached anywhere in the window: P1 is empty.
+        x_[n].clear();
+        p1_objectives_[n] = 0.0;
+        return;
+      }
+      std::fill(sub.rewards.begin(), sub.rewards.end(), 0.0);
+      const std::size_t classes = config.sbs[n].num_classes();
+      const std::size_t kp = sub.num_contents;
+      for (std::size_t t = 0; t < w; ++t) {
+        if (compact) {
+          // Contiguous reads straight out of the cell's compact block —
+          // same addends, same order as the dense gather below.
+          const std::vector<std::size_t>& al = sets_.active[t * num_sbs + n];
+          const std::vector<std::size_t>& map =
+              sets_.cell_p1[t * num_sbs + n];
+          const double* block = mu.data() + mu_off_[t * num_sbs + n];
+          const std::size_t a_count = al.size();
+          for (std::size_t m = 0; m < classes; ++m) {
+            for (std::size_t i = 0; i < a_count; ++i) {
+              sub.rewards[t * kp + map[i]] += block[m * a_count + i];
+            }
           }
-        }
-      } else {
-        for (std::size_t m = 0; m < classes; ++m) {
-          for (std::size_t k = 0; k < k_count; ++k) {
-            sub.rewards[t * k_count + k] += mu[base + m * k_count + k];
+        } else if (sparse) {
+          // mu is zero off the active set throughout the ascent, so summing
+          // only active coordinates is bit-identical to the dense loop.
+          const std::size_t base = layout_.offset(t, n);
+          const std::vector<std::size_t>& al = sets_.active[t * num_sbs + n];
+          const std::vector<std::size_t>& map =
+              sets_.cell_p1[t * num_sbs + n];
+          for (std::size_t m = 0; m < classes; ++m) {
+            for (std::size_t i = 0; i < al.size(); ++i) {
+              sub.rewards[t * kp + map[i]] += mu[base + m * k_count + al[i]];
+            }
+          }
+        } else {
+          const std::size_t base = layout_.offset(t, n);
+          for (std::size_t m = 0; m < classes; ++m) {
+            for (std::size_t k = 0; k < k_count; ++k) {
+              sub.rewards[t * k_count + k] += mu[base + m * k_count + k];
+            }
           }
         }
       }
+      if (options_.backend == P1Backend::kFlow) {
+        // A/B baseline: rebuild the network from scratch every iteration.
+        if (!options_.reuse_p1_network) p1_[n].flow.bind(sub);
+        p1_objectives_[n] = p1_[n].flow.solve_into(sub, x_[n]);
+      } else {
+        const CachingSolution sol = solve_caching_simplex(sub);
+        x_[n] = sol.x;
+        p1_objectives_[n] = sol.objective;
+      }
+      return;
     }
-    if (options_.backend == P1Backend::kFlow) {
-      // A/B baseline: rebuild the network from scratch every iteration.
-      if (!options_.reuse_p1_network) p1_[n].flow.bind(sub);
-      p1_objectives_[n] = p1_[n].flow.solve_into(sub, x_[n]);
-    } else {
-      const CachingSolution sol = solve_caching_simplex(sub);
-      x_[n] = sol.x;
-      p1_objectives_[n] = sol.objective;
-    }
-  });
-
-  // ---- P2: load balancing per (slot, SBS) with linear term mu. Every
-  // (t, n) cell is independent and keeps its own warm start y[t][n].
-  util::parallel_for(0, w * num_sbs, [&](std::size_t cell) {
+    const std::size_t cell = task - num_sbs;
     const std::size_t t = cell / num_sbs;
     const std::size_t n = cell % num_sbs;
     CellState& cs = bank[cell];
-    const std::size_t base = layout_.offset(t, n);
-    if (sparse) {
-      cs.p2.set_linear_from_dense(mu.data() + base, k_count);
+    if (compact) {
+      // The compact block IS the bound workspace's coefficient layout
+      // (class-major over active positions): a straight contiguous copy
+      // replaces the strided dense gather.
+      cs.p2.set_linear(mu.data() + mu_off_[cell], mu.data() + mu_off_[cell + 1]);
+    } else if (sparse) {
+      cs.p2.set_linear_from_dense(mu.data() + layout_.offset(t, n), k_count);
     } else {
+      const std::size_t base = layout_.offset(t, n);
       cs.p2.set_linear(mu.data() + base,
                        mu.data() + base + layout_.sbs_size[n]);
     }
@@ -277,52 +326,74 @@ void ShardCore::repair(model::Schedule* schedule) {
   });
 }
 
-void ShardCore::dual_update(double delta, linalg::Vec& mu) const {
+void ShardCore::dual_update(double delta, linalg::Vec& mu) {
   const auto& config = *config_;
   const std::size_t w = horizon_;
   const std::size_t num_sbs = config.num_sbs();
   const std::size_t k_count = config.num_contents;
   const bool sparse = sparse_;
-  const std::vector<CellState>& bank = *bank_;
+  const bool compact = compact_;
+  std::vector<CellState>& bank = *bank_;
 
   // ---- Projected subgradient ascent on mu: g = y - x (17). In sparse
   // mode only active coordinates move; off the active set y = 0 and
   // x = 0, so the dense update would compute max(0, mu + 0) = mu = 0.
   // Every coordinate updates independently of all others, so a worker
   // applying this to its slice produces the same values as the full-range
-  // update — no cross-shard state is involved.
-  for (std::size_t t = 0; t < w; ++t) {
-    for (std::size_t n = 0; n < num_sbs; ++n) {
-      const std::size_t base = layout_.offset(t, n);
-      const std::size_t classes = config.sbs[n].num_classes();
-      const linalg::Vec& y = bank[t * num_sbs + n].p2.y();
-      if (sparse) {
-        const std::vector<std::size_t>& al = sets_.active[t * num_sbs + n];
-        const std::vector<std::size_t>& map = sets_.cell_p1[t * num_sbs + n];
-        const std::size_t kp = p1_[n].sub.num_contents;
-        const std::size_t a_count = al.size();
-        for (std::size_t m = 0; m < classes; ++m) {
-          for (std::size_t i = 0; i < a_count; ++i) {
-            const std::size_t j = base + m * k_count + al[i];
-            const double subgrad =
-                y[m * a_count + i] -
-                static_cast<double>(x_[n][t * kp + map[i]]);
-            mu[j] = std::max(0.0, mu[j] + delta * subgrad);
-          }
-        }
-        continue;
+  // update — no cross-shard state is involved — and cells update in
+  // parallel (each owns a disjoint mu range).
+  util::parallel_for(0, w * num_sbs, [&](std::size_t cell) {
+    const std::size_t t = cell / num_sbs;
+    const std::size_t n = cell % num_sbs;
+    const std::size_t classes = config.sbs[n].num_classes();
+    CellState& cs = bank[cell];
+    const linalg::Vec& y = cs.p2.y();
+    if (compact) {
+      // Expand the P1 bits for this cell once, then run the fused
+      // max(0, mu + delta*(y - x)) kernel row by row over the contiguous
+      // block — per-coordinate arithmetic identical to the dense update.
+      const std::vector<std::size_t>& map = sets_.cell_p1[cell];
+      const std::size_t kp = p1_[n].sub.num_contents;
+      const std::size_t a_count = map.size();
+      cs.xd.resize(a_count);
+      for (std::size_t i = 0; i < a_count; ++i) {
+        cs.xd[i] = static_cast<double>(x_[n][t * kp + map[i]]);
       }
+      double* block = mu.data() + mu_off_[cell];
       for (std::size_t m = 0; m < classes; ++m) {
-        for (std::size_t k = 0; k < k_count; ++k) {
-          const std::size_t j = base + m * k_count + k;
+        linalg::dual_ascent_project(block + m * a_count,
+                                    y.data() + m * a_count, cs.xd.data(),
+                                    delta, a_count);
+      }
+      return;
+    }
+    const std::size_t base = layout_.offset(t, n);
+    if (sparse) {
+      const std::vector<std::size_t>& al = sets_.active[cell];
+      const std::vector<std::size_t>& map = sets_.cell_p1[cell];
+      const std::size_t kp = p1_[n].sub.num_contents;
+      const std::size_t a_count = al.size();
+      for (std::size_t m = 0; m < classes; ++m) {
+        for (std::size_t i = 0; i < a_count; ++i) {
+          const std::size_t j = base + m * k_count + al[i];
           const double subgrad =
-              y[m * k_count + k] -
-              static_cast<double>(x_[n][t * k_count + k]);
+              y[m * a_count + i] -
+              static_cast<double>(x_[n][t * kp + map[i]]);
           mu[j] = std::max(0.0, mu[j] + delta * subgrad);
         }
       }
+      return;
     }
-  }
+    for (std::size_t m = 0; m < classes; ++m) {
+      for (std::size_t k = 0; k < k_count; ++k) {
+        const std::size_t j = base + m * k_count + k;
+        const double subgrad =
+            y[m * k_count + k] -
+            static_cast<double>(x_[n][t * k_count + k]);
+        mu[j] = std::max(0.0, mu[j] + delta * subgrad);
+      }
+    }
+  });
 }
 
 }  // namespace mdo::core

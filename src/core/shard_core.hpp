@@ -71,6 +71,7 @@ struct CellState {
   P2Workspace p2;      // dual-iteration P2 (linear term = mu)
   P2Workspace repair;  // feasibility repair (c = 0, ub = x)
   linalg::Vec ub;      // repair upper-bound scratch
+  linalg::Vec xd;      // compact dual-ascent x-expansion scratch
 };
 
 /// Sparse-mode index structures, deterministic functions of (demand window,
@@ -90,6 +91,18 @@ ActiveSets build_active_sets(const model::NetworkConfig& config,
                              const model::SparseDemandTrace& demand,
                              const model::CacheState& initial_cache);
 
+/// Block offsets of the COMPACT mu vector: cell = t * num_sbs + n owns the
+/// half-open range [offsets[cell], offsets[cell + 1]), which holds its
+/// M_n x |active[cell]| multipliers in (class-major, active-position) order
+/// — exactly the per-cell block layout the shard wire protocol has always
+/// shipped. offsets.back() is the compact vector's total size. A
+/// deterministic function of (config, horizon, sets), so the driver, the
+/// coordinator and every worker (over its slice) derive identical
+/// geometry independently.
+std::vector<std::size_t> mu_block_offsets(const model::NetworkConfig& config,
+                                          std::size_t horizon,
+                                          const ActiveSets& sets);
+
 /// The subset of PrimalDualOptions a shard needs (kept separate so workers
 /// deserialize exactly these and nothing solver-lifecycle-related).
 struct ShardOptions {
@@ -97,6 +110,13 @@ struct ShardOptions {
   LoadBalancingOptions load_balancing{};
   bool reuse_p1_network = true;
   bool cross_window_warm_start = true;
+  /// Sparse mode only: store mu as the compact concatenation of per-cell
+  /// active-coordinate blocks (mu_block_offsets geometry) instead of the
+  /// dense w*N*M*K layout. Off the active set mu is provably zero for the
+  /// whole ascent, so the two representations carry the same information
+  /// and produce bit-identical solves; dense stays available for one
+  /// release as the A/B baseline. Ignored for dense-demand solves.
+  bool compact_mu = true;
 };
 
 /// Non-owning window problem handed to a shard. In a worker subprocess the
@@ -130,8 +150,12 @@ class ShardCore {
              std::vector<CellState>& bank);
 
   /// One dual iteration's P1 (caching per SBS under rewards nu = sum_m mu)
-  /// and P2 (load balancing per cell with linear term mu) passes. Each
-  /// parallel task writes only its own slot; no reductions happen here.
+  /// and P2 (load balancing per cell with linear term mu) passes, batched
+  /// into a SINGLE task-pool submission (P1 and P2 are independent within
+  /// an iteration — repair is a separate call — so one fused parallel_for
+  /// amortizes dispatch at large N). Each task writes only its own slot;
+  /// no reductions happen here. `mu` is compact (mu_offsets geometry) when
+  /// compact() is true, dense-layout otherwise.
   void iterate(const linalg::Vec& mu);
 
   /// Feasibility repair for the current x: P2 with c = 0 and ub = x per
@@ -144,8 +168,8 @@ class ShardCore {
   /// Projected subgradient ascent on mu: g = y - x (17), coordinatewise
   /// max(0, mu + delta * g). Each coordinate's update is independent, so
   /// workers apply it to their slice with values bit-identical to the
-  /// full-range update.
-  void dual_update(double delta, linalg::Vec& mu) const;
+  /// full-range update, and cells update in parallel (disjoint mu ranges).
+  void dual_update(double delta, linalg::Vec& mu);
 
   // Per-index outputs of the last iterate(); the driver reduces them
   // serially in global index order.
@@ -154,6 +178,11 @@ class ShardCore {
   /// Per SBS: the P1 schedule, [t * kp + i] over the restricted list.
   const std::vector<std::vector<std::uint8_t>>& x() const { return x_; }
   const ActiveSets& sets() const { return sets_; }
+  /// True when this solve stores mu compactly (sparse mode with
+  /// ShardOptions::compact_mu).
+  bool compact() const { return compact_; }
+  /// Compact block offsets (cells + 1 entries); empty unless compact().
+  const std::vector<std::size_t>& mu_offsets() const { return mu_off_; }
   /// kp of SBS n: restricted catalogue size (sparse) or K (dense).
   std::size_t p1_contents(std::size_t n) const {
     return p1_[n].sub.num_contents;
@@ -171,7 +200,9 @@ class ShardCore {
   ShardOptions options_;
   std::size_t horizon_ = 0;
   bool sparse_ = false;
+  bool compact_ = false;
   MuLayout layout_;
+  std::vector<std::size_t> mu_off_;
   ActiveSets sets_;
   std::vector<CellState>* bank_ = nullptr;
   std::vector<P1State> p1_;

@@ -58,8 +58,9 @@ class Matrix {
   /// Copy of row r.
   Vec row(std::size_t r) const;
 
-  /// Raw storage (row-major), e.g. for norm computations in tests.
-  const std::vector<double>& data() const { return data_; }
+  /// Raw storage (row-major, 64-byte aligned), e.g. for norm computations
+  /// in tests.
+  const Vec& data() const { return data_; }
 
   /// Frobenius norm of (a - b); throws on shape mismatch.
   static double max_abs_diff(const Matrix& a, const Matrix& b);
@@ -67,7 +68,7 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  Vec data_;
 };
 
 }  // namespace mdo::linalg

@@ -4,23 +4,49 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/simd.hpp"
 
 namespace mdo::linalg {
 
+// Determinism contract (DESIGN.md §12): MAP loops (one output per input
+// coordinate, no cross-coordinate flow) carry MDO_SIMD_LOOP — each lane
+// computes the exact expression the scalar loop computes, so SIMD and
+// scalar builds are bitwise-identical. REDUCTIONS stay strictly serial in
+// ascending index order and are NEVER vectorized or lane-split: the sparse
+// demand paths accumulate only the nonzero terms of the corresponding dense
+// sums (model/sparse_demand.hpp), and skipping exact zeros preserves the
+// result only under left-to-right association. Lane accumulators would
+// regroup the dense terms and break the repo-wide sparse-vs-dense bitwise
+// invariant.
+
 double dot(const Vec& a, const Vec& b) {
   MDO_REQUIRE(a.size() == b.size(), "dot: size mismatch");
+  MDO_ASSERT_VEC_ALIGNED(a.data());
+  MDO_ASSERT_VEC_ALIGNED(b.data());
+  const double* pa = a.data();
+  const double* pb = b.data();
+  const std::size_t n = a.size();
   double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  for (std::size_t i = 0; i < n; ++i) acc += pa[i] * pb[i];
   return acc;
 }
 
 void axpy(double alpha, const Vec& x, Vec& y) {
   MDO_REQUIRE(x.size() == y.size(), "axpy: size mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  MDO_ASSERT_VEC_ALIGNED(x.data());
+  MDO_ASSERT_VEC_ALIGNED(y.data());
+  const double* px = x.data();
+  double* py = y.data();
+  const std::size_t n = x.size();
+  MDO_SIMD_LOOP
+  for (std::size_t i = 0; i < n; ++i) py[i] += alpha * px[i];
 }
 
 void scale(Vec& x, double alpha) {
-  for (auto& v : x) v *= alpha;
+  double* px = x.data();
+  const std::size_t n = x.size();
+  MDO_SIMD_LOOP
+  for (std::size_t i = 0; i < n; ++i) px[i] *= alpha;
 }
 
 double norm2(const Vec& x) { return std::sqrt(dot(x, x)); }
@@ -39,13 +65,24 @@ double sum(const Vec& x) {
 
 void clamp(Vec& x, double lo, double hi) {
   MDO_REQUIRE(lo <= hi, "clamp: lo must be <= hi");
-  for (auto& v : x) v = std::clamp(v, lo, hi);
+  double* px = x.data();
+  const std::size_t n = x.size();
+  MDO_SIMD_LOOP
+  for (std::size_t i = 0; i < n; ++i) px[i] = std::clamp(px[i], lo, hi);
 }
 
 void scaled_sub(const Vec& y, double alpha, const Vec& g, Vec& out) {
   MDO_REQUIRE(y.size() == g.size() && y.size() == out.size(),
               "scaled_sub: size mismatch");
-  for (std::size_t i = 0; i < y.size(); ++i) out[i] = y[i] - alpha * g[i];
+  MDO_ASSERT_VEC_ALIGNED(y.data());
+  MDO_ASSERT_VEC_ALIGNED(g.data());
+  MDO_ASSERT_VEC_ALIGNED(out.data());
+  const double* py = y.data();
+  const double* pg = g.data();
+  double* po = out.data();
+  const std::size_t n = y.size();
+  MDO_SIMD_LOOP
+  for (std::size_t i = 0; i < n; ++i) po[i] = py[i] - alpha * pg[i];
 }
 
 void scaled_sub_project_box(const Vec& y, double alpha, const Vec& g,
@@ -53,19 +90,45 @@ void scaled_sub_project_box(const Vec& y, double alpha, const Vec& g,
   MDO_REQUIRE(y.size() == g.size() && y.size() == lo.size() &&
                   y.size() == hi.size() && y.size() == out.size(),
               "scaled_sub_project_box: size mismatch");
-  for (std::size_t i = 0; i < y.size(); ++i) {
-    out[i] = std::clamp(y[i] - alpha * g[i], lo[i], hi[i]);
+  MDO_ASSERT_VEC_ALIGNED(y.data());
+  MDO_ASSERT_VEC_ALIGNED(out.data());
+  const double* py = y.data();
+  const double* pg = g.data();
+  const double* plo = lo.data();
+  const double* phi = hi.data();
+  double* po = out.data();
+  const std::size_t n = y.size();
+  MDO_SIMD_LOOP
+  for (std::size_t i = 0; i < n; ++i) {
+    po[i] = std::clamp(py[i] - alpha * pg[i], plo[i], phi[i]);
+  }
+}
+
+void dual_ascent_project(double* mu, const double* y, const double* x,
+                         double delta, std::size_t n) {
+  MDO_SIMD_LOOP
+  for (std::size_t i = 0; i < n; ++i) {
+    mu[i] = std::max(0.0, mu[i] + delta * (y[i] - x[i]));
   }
 }
 
 std::pair<double, double> dot_pair(const Vec& a, const Vec& b, const Vec& x) {
   MDO_REQUIRE(a.size() == x.size() && b.size() == x.size(),
               "dot_pair: size mismatch");
+  MDO_ASSERT_VEC_ALIGNED(a.data());
+  MDO_ASSERT_VEC_ALIGNED(b.data());
+  MDO_ASSERT_VEC_ALIGNED(x.data());
+  const double* pa = a.data();
+  const double* pb = b.data();
+  const double* px = x.data();
+  // One pass, two serial accumulators in the same index order as dot(), so
+  // each component equals the separate dot() bitwise.
   double acc_a = 0.0;
   double acc_b = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    acc_a += a[i] * x[i];
-    acc_b += b[i] * x[i];
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    acc_a += pa[i] * px[i];
+    acc_b += pb[i] * px[i];
   }
   return {acc_a, acc_b};
 }
@@ -85,14 +148,24 @@ double dot_span(const double* a, const double* b, std::size_t n) {
 Vec subtract(const Vec& a, const Vec& b) {
   MDO_REQUIRE(a.size() == b.size(), "subtract: size mismatch");
   Vec out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* po = out.data();
+  const std::size_t n = a.size();
+  MDO_SIMD_LOOP
+  for (std::size_t i = 0; i < n; ++i) po[i] = pa[i] - pb[i];
   return out;
 }
 
 Vec add(const Vec& a, const Vec& b) {
   MDO_REQUIRE(a.size() == b.size(), "add: size mismatch");
   Vec out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* po = out.data();
+  const std::size_t n = a.size();
+  MDO_SIMD_LOOP
+  for (std::size_t i = 0; i < n; ++i) po[i] = pa[i] + pb[i];
   return out;
 }
 

@@ -76,19 +76,15 @@ double LoadAllocation::sbs_load(std::size_t n, const SbsDemand& demand) const {
   MDO_REQUIRE(demand.num_classes() == shape_classes_[n] &&
                   demand.num_contents() == num_contents_,
               "demand shape mismatch");
-  double load = 0.0;
-  const auto& flat = y_[n];
-  const auto& lambda = demand.data();
-  for (std::size_t i = 0; i < flat.size(); ++i) load += flat[i] * lambda[i];
-  return load;
+  return linalg::dot(y_[n], demand.data());
 }
 
-const std::vector<double>& LoadAllocation::sbs_data(std::size_t n) const {
+const linalg::Vec& LoadAllocation::sbs_data(std::size_t n) const {
   MDO_REQUIRE(n < y_.size(), "SBS index out of range");
   return y_[n];
 }
 
-std::vector<double>& LoadAllocation::sbs_data(std::size_t n) {
+linalg::Vec& LoadAllocation::sbs_data(std::size_t n) {
   MDO_REQUIRE(n < y_.size(), "SBS index out of range");
   return y_[n];
 }

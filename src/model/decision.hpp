@@ -63,14 +63,15 @@ class LoadAllocation {
   /// SBS-served volume at SBS n: sum_{m,k} lambda * y (left side of (2)).
   double sbs_load(std::size_t n, const SbsDemand& demand) const;
 
-  /// Flat per-SBS storage (class-major then content), for solvers.
-  const std::vector<double>& sbs_data(std::size_t n) const;
-  std::vector<double>& sbs_data(std::size_t n);
+  /// Flat per-SBS storage (class-major then content, 64-byte aligned), for
+  /// solvers.
+  const linalg::Vec& sbs_data(std::size_t n) const;
+  linalg::Vec& sbs_data(std::size_t n);
 
  private:
   std::size_t num_contents_ = 0;
   std::vector<std::size_t> shape_classes_;
-  std::vector<std::vector<double>> y_;
+  std::vector<linalg::Vec> y_;
 };
 
 /// Joint decision for one slot.

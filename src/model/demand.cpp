@@ -32,16 +32,8 @@ double SbsDemand::content_total(std::size_t k) const {
   return acc;
 }
 
-void SbsDemand::content_totals_into(std::vector<double>& out) const {
-  out.assign(num_contents_, 0.0);
-  const double* row = lambda_.data();
-  for (std::size_t m = 0; m < num_classes_; ++m, row += num_contents_) {
-    for (std::size_t k = 0; k < num_contents_; ++k) out[k] += row[k];
-  }
-}
-
-std::vector<double> SbsDemand::content_totals() const {
-  std::vector<double> out;
+linalg::Vec SbsDemand::content_totals() const {
+  linalg::Vec out;
   content_totals_into(out);
   return out;
 }

@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "linalg/vec.hpp"
 #include "model/network.hpp"
 
 namespace mdo::model {
@@ -31,20 +32,30 @@ class SbsDemand {
   /// num_contents(). Each column accumulates in ascending class order, so
   /// out[k] is bit-identical to content_total(k) — callers that previously
   /// called content_total inside a K-loop (O(M*K^2)) should use this.
-  void content_totals_into(std::vector<double>& out) const;
-  std::vector<double> content_totals() const;
+  /// Templated over the output vector so both plain std::vector<double>
+  /// and the aligned linalg::Vec callers work without a copy.
+  template <class Vector>
+  void content_totals_into(Vector& out) const {
+    out.assign(num_contents_, 0.0);
+    const double* row = lambda_.data();
+    for (std::size_t m = 0; m < num_classes_; ++m, row += num_contents_) {
+      for (std::size_t k = 0; k < num_contents_; ++k) out[k] += row[k];
+    }
+  }
+  linalg::Vec content_totals() const;
 
   /// Sum of all entries.
   double total() const;
 
-  /// Raw row-major storage (class-major), e.g. for solvers.
-  const std::vector<double>& data() const { return lambda_; }
-  std::vector<double>& data() { return lambda_; }
+  /// Raw row-major storage (class-major, 64-byte aligned), e.g. for
+  /// solvers.
+  const linalg::Vec& data() const { return lambda_; }
+  linalg::Vec& data() { return lambda_; }
 
  private:
   std::size_t num_classes_ = 0;
   std::size_t num_contents_ = 0;
-  std::vector<double> lambda_;
+  linalg::Vec lambda_;
 };
 
 /// All SBSs' demand matrices for one slot, indexed by SBS.

@@ -90,14 +90,6 @@ double SparseSbsDemand::content_total(std::size_t k) const {
   return support_totals_[static_cast<std::size_t>(it - support_.begin())];
 }
 
-void SparseSbsDemand::content_totals_into(std::vector<double>& out) const {
-  MDO_REQUIRE(finalized_, "SparseSbsDemand: query before finalize");
-  out.assign(num_contents_, 0.0);
-  for (std::size_t i = 0; i < support_.size(); ++i) {
-    out[support_[i]] = support_totals_[i];
-  }
-}
-
 const std::vector<std::size_t>& SparseSbsDemand::support() const {
   MDO_REQUIRE(finalized_, "SparseSbsDemand: query before finalize");
   return support_;
@@ -286,15 +278,6 @@ double SbsDemandView::total() const {
 double SbsDemandView::content_total(std::size_t k) const {
   MDO_REQUIRE(valid(), "SbsDemandView: empty view");
   return is_sparse() ? sparse_->content_total(k) : dense_->content_total(k);
-}
-
-void SbsDemandView::content_totals_into(std::vector<double>& out) const {
-  MDO_REQUIRE(valid(), "SbsDemandView: empty view");
-  if (is_sparse()) {
-    sparse_->content_totals_into(out);
-  } else {
-    dense_->content_totals_into(out);
-  }
 }
 
 std::size_t SlotDemandView::num_sbs() const {

@@ -18,6 +18,7 @@
 #include "model/decision.hpp"
 #include "model/demand.hpp"
 #include "model/network.hpp"
+#include "util/error.hpp"
 
 namespace mdo::model {
 
@@ -67,7 +68,14 @@ class SparseSbsDemand {
   double content_total(std::size_t k) const;
 
   /// All K column sums in one pass; out is resized to num_contents().
-  void content_totals_into(std::vector<double>& out) const;
+  template <class Vector>
+  void content_totals_into(Vector& out) const {
+    MDO_REQUIRE(finalized_, "SparseSbsDemand: query before finalize");
+    out.assign(num_contents_, 0.0);
+    for (std::size_t i = 0; i < support_.size(); ++i) {
+      out[support_[i]] = support_totals_[i];
+    }
+  }
 
   /// Sorted distinct contents with at least one stored entry.
   const std::vector<std::size_t>& support() const;
@@ -171,7 +179,15 @@ class SbsDemandView {
   double at(std::size_t m, std::size_t k) const;
   double total() const;
   double content_total(std::size_t k) const;
-  void content_totals_into(std::vector<double>& out) const;
+  template <class Vector>
+  void content_totals_into(Vector& out) const {
+    MDO_REQUIRE(valid(), "SbsDemandView: empty view");
+    if (is_sparse()) {
+      sparse_->content_totals_into(out);
+    } else {
+      dense_->content_totals_into(out);
+    }
+  }
 
  private:
   const SbsDemand* dense_ = nullptr;

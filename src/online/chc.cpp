@@ -189,7 +189,7 @@ void FhcPlanner::restore_state(util::BinaryReader& r) {
   trajectory_cache_ = runtime::read_cache(r, config);
   resync_cache_.reset();
   if (r.boolean()) resync_cache_ = runtime::read_cache(r, config);
-  warm_mu_ = r.f64_vec();
+  warm_mu_ = r.f64_vec_as<linalg::Vec>();
   warm_horizon_ = r.size();
   solver_.restore_state(r);
 }

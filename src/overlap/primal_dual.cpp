@@ -177,6 +177,7 @@ OverlapHorizonSolution OverlapPrimalDualSolver::solve(
   });
 
   bool deadline_expired = false;
+  linalg::Vec xd;  // per-slot x expansion for the fused dual-ascent kernel
   for (std::size_t iteration = 0; iteration < options_.max_iterations;
        ++iteration) {
     // ---- Deadline poll at the serial point of the loop, only after the
@@ -245,21 +246,23 @@ OverlapHorizonSolution OverlapPrimalDualSolver::solve(
     best.iterations = iteration + 1;
     if (best.gap() <= options_.epsilon) break;
 
-    // ---- Subgradient ascent: g = y - x.
+    // ---- Subgradient ascent: g = y - x. x is expanded once per slot onto
+    // the link layout so the fused kernel runs over contiguous spans; each
+    // coordinate's update is exactly max(0, mu + delta * (y - x)) as before.
     const double delta = step_scale * step(iteration);
     for (std::size_t t = 0; t < w; ++t) {
       const linalg::Vec& y = bank[t].p2.y();
+      xd.resize(per_slot);
       for (std::size_t id = 0; id < layout.num_links(); ++id) {
         const auto [m, n] = layout.link(id);
         (void)m;
         for (std::size_t k = 0; k < k_count; ++k) {
-          const std::size_t j = t * per_slot + layout.index(id, k);
-          const double subgrad =
-              y[layout.index(id, k)] -
+          xd[layout.index(id, k)] =
               static_cast<double>(x[n][t * k_count + k]);
-          mu[j] = std::max(0.0, mu[j] + delta * subgrad);
         }
       }
+      linalg::dual_ascent_project(mu.data() + t * per_slot, y.data(),
+                                  xd.data(), delta, per_slot);
     }
   }
 

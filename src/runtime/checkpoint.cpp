@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "linalg/vec.hpp"
 #include "util/atomic_file.hpp"
 #include "util/checksum.hpp"
 #include "util/error.hpp"
@@ -88,7 +89,7 @@ model::LoadAllocation read_load(util::BinaryReader& r,
               "load snapshot: shape mismatch against the instance config");
   model::LoadAllocation load(config);
   for (std::size_t n = 0; n < num_sbs; ++n) {
-    std::vector<double> data = r.f64_vec();
+    linalg::Vec data = r.f64_vec_as<linalg::Vec>();
     MDO_REQUIRE(data.size() == load.sbs_data(n).size(),
                 "load snapshot: row length mismatch");
     load.sbs_data(n) = std::move(data);

@@ -134,13 +134,16 @@ void Coordinator::teardown() {
   in_ = nullptr;
   sets_ = nullptr;
   layout_ = nullptr;
+  mu_offsets_ = nullptr;
   offsets_.clear();
 }
 
 bool Coordinator::begin(const core::ShardInputs& in,
                         const core::ShardOptions& opts, std::size_t shards,
                         const core::ActiveSets& sets,
-                        const core::MuLayout& layout, const linalg::Vec& mu,
+                        const core::MuLayout& layout,
+                        const std::vector<std::size_t>* mu_offsets,
+                        const linalg::Vec& mu,
                         const std::vector<core::CellState>& bank) {
   const std::size_t num_sbs = in.config->num_sbs();
   if (shards == 0 || shards > num_sbs) return false;
@@ -148,6 +151,7 @@ bool Coordinator::begin(const core::ShardInputs& in,
   in_ = &in;
   sets_ = &sets;
   layout_ = &layout;
+  mu_offsets_ = mu_offsets;
   offsets_.assign(shards + 1, 0);
   const std::size_t base = num_sbs / shards;
   const std::size_t rem = num_sbs % shards;
@@ -157,8 +161,8 @@ bool Coordinator::begin(const core::ShardInputs& in,
   const std::int64_t die_at = consume_kill_directive();
   for (std::size_t s = 0; s < shards; ++s) {
     util::BinaryWriter w;
-    encode_begin(w, in, opts, offsets_[s], offsets_[s + 1], sets, layout, mu,
-                 bank, num_sbs, s == 0 ? die_at : -1);
+    encode_begin(w, in, opts, offsets_[s], offsets_[s + 1], sets, layout,
+                 mu_offsets, mu, bank, num_sbs, s == 0 ? die_at : -1);
     if (!send_frame(workers_[s].fd, MessageType::kBegin, w.bytes())) {
       teardown();
       return false;
@@ -270,9 +274,19 @@ bool Coordinator::finish(bool apply_final, double delta, linalg::Vec& mu,
       for (std::size_t cell = 0; cell < horizon * count; ++cell) {
         const std::size_t t = cell / count;
         const std::size_t n = off + cell % count;
-        const std::size_t mu_base = layout_->offset(t, n);
         const linalg::Vec& block = reply.mu_blocks[cell];
-        if (sparse) {
+        if (mu_offsets_ != nullptr) {
+          // Compact: the wire block IS the stored block — straight copy.
+          const std::size_t first = (*mu_offsets_)[t * num_sbs + n];
+          const std::size_t last = (*mu_offsets_)[t * num_sbs + n + 1];
+          if (block.size() != last - first) {
+            teardown();
+            return false;
+          }
+          std::copy(block.begin(), block.end(),
+                    mu.begin() + static_cast<std::ptrdiff_t>(first));
+        } else if (sparse) {
+          const std::size_t mu_base = layout_->offset(t, n);
           const std::vector<std::size_t>& al = sets_->active[t * num_sbs + n];
           const std::size_t classes = in_->config->sbs[n].num_classes();
           const std::size_t a_count = al.size();
@@ -290,8 +304,9 @@ bool Coordinator::finish(bool apply_final, double delta, linalg::Vec& mu,
             teardown();
             return false;
           }
-          std::copy(block.begin(), block.end(),
-                    mu.begin() + static_cast<std::ptrdiff_t>(mu_base));
+          std::copy(
+              block.begin(), block.end(),
+              mu.begin() + static_cast<std::ptrdiff_t>(layout_->offset(t, n)));
         }
         util::BinaryReader blob(reply.warm_state[cell]);
         core::CellState& cs = bank[t * num_sbs + n];
@@ -306,6 +321,7 @@ bool Coordinator::finish(bool apply_final, double delta, linalg::Vec& mu,
   in_ = nullptr;
   sets_ = nullptr;
   layout_ = nullptr;
+  mu_offsets_ = nullptr;
   return true;
 }
 

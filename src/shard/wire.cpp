@@ -46,7 +46,25 @@ bool recv_all(int fd, std::uint8_t* data, std::size_t size) {
   return true;
 }
 
+WireStats g_wire_stats;
+
 }  // namespace
+
+std::uint64_t WireStats::total_sent() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : sent) total += b;
+  return total;
+}
+
+std::uint64_t WireStats::total_received() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : received) total += b;
+  return total;
+}
+
+const WireStats& wire_stats() { return g_wire_stats; }
+
+void reset_wire_stats() { g_wire_stats = WireStats{}; }
 
 bool send_frame(int fd, MessageType type,
                 const std::vector<std::uint8_t>& payload) {
@@ -55,6 +73,8 @@ bool send_frame(int fd, MessageType type,
   header.u32(static_cast<std::uint32_t>(type));
   header.u64(static_cast<std::uint64_t>(payload.size()));
   header.u64(util::fnv1a64(payload.data(), payload.size()));
+  g_wire_stats.sent[static_cast<std::size_t>(type)] +=
+      kHeaderSize + payload.size();
   if (!send_all(fd, header.bytes().data(), header.bytes().size())) return false;
   return send_all(fd, payload.data(), payload.size());
 }
@@ -81,6 +101,7 @@ bool recv_frame(int fd, MessageType* type,
     return false;
   }
   *type = static_cast<MessageType>(raw_type);
+  g_wire_stats.received[raw_type] += kHeaderSize + payload->size();
   return true;
 }
 
@@ -95,6 +116,7 @@ void write_options(util::BinaryWriter& w, const core::ShardOptions& opts) {
   w.f64(opts.load_balancing.first_order.gradient_tolerance);
   w.f64(opts.load_balancing.first_order.lipschitz);
   w.boolean(opts.load_balancing.first_order.accelerate);
+  w.boolean(opts.compact_mu);
 }
 
 core::ShardOptions read_options(util::BinaryReader& r) {
@@ -107,6 +129,7 @@ core::ShardOptions read_options(util::BinaryReader& r) {
   opts.load_balancing.first_order.gradient_tolerance = r.f64();
   opts.load_balancing.first_order.lipschitz = r.f64();
   opts.load_balancing.first_order.accelerate = r.boolean();
+  opts.compact_mu = r.boolean();
   return opts;
 }
 
@@ -144,7 +167,7 @@ model::SbsDemand read_dense_demand(util::BinaryReader& r) {
   const std::size_t classes = r.size();
   const std::size_t contents = r.size();
   model::SbsDemand demand(classes, contents);
-  std::vector<double> data = r.f64_vec();
+  linalg::Vec data = r.f64_vec_as<linalg::Vec>();
   MDO_REQUIRE(data.size() == classes * contents,
               "shard wire: dense demand block size mismatch");
   demand.data() = std::move(data);
@@ -156,7 +179,9 @@ model::SbsDemand read_dense_demand(util::BinaryReader& r) {
 void encode_begin(util::BinaryWriter& w, const core::ShardInputs& in,
                   const core::ShardOptions& opts, std::size_t sbs_begin,
                   std::size_t sbs_end, const core::ActiveSets& sets,
-                  const core::MuLayout& layout, const linalg::Vec& mu,
+                  const core::MuLayout& layout,
+                  const std::vector<std::size_t>* mu_offsets,
+                  const linalg::Vec& mu,
                   const std::vector<core::CellState>& bank,
                   std::size_t num_sbs_total, std::int64_t die_at_iteration) {
   const bool sparse = in.sparse();
@@ -184,10 +209,18 @@ void encode_begin(util::BinaryWriter& w, const core::ShardInputs& in,
     }
   }
   // mu blocks: the cell's active coordinates (sparse) or its dense slice.
+  // Compact mode writes each block as a direct span of the compact vector —
+  // the stored and wire layouts coincide, so no gather happens.
   for (std::size_t t = 0; t < horizon; ++t) {
     for (std::size_t n = sbs_begin; n < sbs_end; ++n) {
-      const std::size_t base = layout.offset(t, n);
-      if (sparse) {
+      if (mu_offsets != nullptr) {
+        const std::size_t cell = t * num_sbs_total + n;
+        const std::size_t first = (*mu_offsets)[cell];
+        const std::size_t last = (*mu_offsets)[cell + 1];
+        w.size(last - first);
+        for (std::size_t j = first; j < last; ++j) w.f64(mu[j]);
+      } else if (sparse) {
+        const std::size_t base = layout.offset(t, n);
         const std::vector<std::size_t>& al = sets.active[t * num_sbs_total + n];
         const std::size_t classes = in.config->sbs[n].num_classes();
         w.size(classes * al.size());
@@ -195,6 +228,7 @@ void encode_begin(util::BinaryWriter& w, const core::ShardInputs& in,
           for (const std::size_t k : al) w.f64(mu[base + m * k_count + k]);
         }
       } else {
+        const std::size_t base = layout.offset(t, n);
         w.size(layout.sbs_size[n]);
         for (std::size_t j = 0; j < layout.sbs_size[n]; ++j) {
           w.f64(mu[base + j]);
@@ -251,7 +285,7 @@ BeginMessage decode_begin(util::BinaryReader& r) {
   }
   msg.mu_blocks.reserve(msg.horizon * num_sbs);
   for (std::size_t cell = 0; cell < msg.horizon * num_sbs; ++cell) {
-    msg.mu_blocks.push_back(r.f64_vec());
+    msg.mu_blocks.push_back(r.f64_vec_as<linalg::Vec>());
   }
   msg.warm_state.reserve(msg.horizon * num_sbs);
   for (std::size_t cell = 0; cell < msg.horizon * num_sbs; ++cell) {
@@ -277,7 +311,7 @@ IterateReply decode_iterate_reply(util::BinaryReader& r) {
   reply.x.resize(r.count());
   for (auto& x : reply.x) x = r.u8_vec();
   reply.repair_y.resize(r.count());
-  for (auto& y : reply.repair_y) y = r.f64_vec();
+  for (auto& y : reply.repair_y) y = r.f64_vec_as<linalg::Vec>();
   MDO_REQUIRE(r.exhausted(),
               "shard wire: kIterateReply payload has trailing bytes");
   return reply;
@@ -293,7 +327,7 @@ void encode_end_reply(util::BinaryWriter& w, const EndReply& reply) {
 EndReply decode_end_reply(util::BinaryReader& r) {
   EndReply reply;
   reply.mu_blocks.resize(r.count());
-  for (auto& block : reply.mu_blocks) block = r.f64_vec();
+  for (auto& block : reply.mu_blocks) block = r.f64_vec_as<linalg::Vec>();
   reply.warm_state.resize(r.count());
   for (auto& blob : reply.warm_state) blob = r.u8_vec();
   MDO_REQUIRE(r.exhausted(),

@@ -59,6 +59,23 @@ bool send_frame(int fd, MessageType type,
 /// Reads one frame; false on EOF, error, or a corrupted header/payload.
 bool recv_frame(int fd, MessageType* type, std::vector<std::uint8_t>* payload);
 
+/// Process-local wire traffic counters (header + payload bytes), indexed by
+/// MessageType value. Maintained by send_frame/recv_frame so benches can
+/// report exact per-solve frame sizes (e.g. the kEndReply mu traffic the
+/// compact layout shrinks). Wire I/O is single-threaded within a process
+/// (the coordinator loop / the worker loop), so plain counters suffice.
+struct WireStats {
+  /// [type] -> bytes, slot 0 unused (types start at kBegin = 1).
+  std::uint64_t sent[8] = {};
+  std::uint64_t received[8] = {};
+
+  std::uint64_t total_sent() const;
+  std::uint64_t total_received() const;
+};
+
+const WireStats& wire_stats();
+void reset_wire_stats();
+
 /// kBegin payload, decoded worker-side. The coordinator never materializes
 /// this struct — encode_begin() writes the slices straight from the
 /// driver's full-range structures.
@@ -83,11 +100,17 @@ struct BeginMessage {
 
 /// Encodes the kBegin payload for SBS range [sbs_begin, sbs_end) of the
 /// driver's full problem. `sets`/`layout` index the FULL range; `bank` is
-/// the driver's full bank (cell = t * num_sbs_total + n).
+/// the driver's full bank (cell = t * num_sbs_total + n). When `mu_offsets`
+/// is non-null `mu` is the COMPACT vector (mu_block_offsets geometry over
+/// the full range) and each cell's block is written as a direct span — no
+/// gather; otherwise `mu` is dense-layout and sparse cells are gathered
+/// through their active lists as before.
 void encode_begin(util::BinaryWriter& w, const core::ShardInputs& in,
                   const core::ShardOptions& opts, std::size_t sbs_begin,
                   std::size_t sbs_end, const core::ActiveSets& sets,
-                  const core::MuLayout& layout, const linalg::Vec& mu,
+                  const core::MuLayout& layout,
+                  const std::vector<std::size_t>* mu_offsets,
+                  const linalg::Vec& mu,
                   const std::vector<core::CellState>& bank,
                   std::size_t num_sbs_total, std::int64_t die_at_iteration);
 BeginMessage decode_begin(util::BinaryReader& r);

@@ -29,7 +29,9 @@ struct WorkerSession {
   model::SparseDemandTrace sparse_demand;
   model::CacheState initial_cache;
   bool sparse = false;
-  linalg::Vec mu;  // slice-dense, layout over `config`
+  /// Slice mu: the compact block concatenation (mu_block_offsets over
+  /// `config`) when the core runs compact, the dense slice layout otherwise.
+  linalg::Vec mu;
   std::vector<core::CellState> bank;
   core::ShardCore core;
   std::int64_t die_at_iteration = -1;
@@ -82,30 +84,46 @@ void bind_session(WorkerSession& s, BeginMessage msg) {
     sets = core::build_active_sets(s.config, s.sparse_demand, s.initial_cache);
   }
 
+  const bool compact = s.sparse && s.options.compact_mu;
   const core::MuLayout layout(s.config);
   const std::size_t k_count = msg.num_contents;
-  s.mu.assign(layout.per_slot * w, 0.0);
-  for (std::size_t cell = 0; cell < w * num_sbs; ++cell) {
-    const std::size_t t = cell / num_sbs;
-    const std::size_t n = cell % num_sbs;
-    const linalg::Vec& block = msg.mu_blocks[cell];
-    const std::size_t base = layout.offset(t, n);
-    if (s.sparse) {
-      const std::vector<std::size_t>& al = sets.active[cell];
-      const std::size_t a_count = al.size();
-      MDO_REQUIRE(block.size() ==
-                      s.config.sbs[n].num_classes() * a_count,
-                  "shard worker: mu block size mismatch");
-      for (std::size_t m = 0; m < s.config.sbs[n].num_classes(); ++m) {
-        for (std::size_t i = 0; i < a_count; ++i) {
-          s.mu[base + m * k_count + al[i]] = block[m * a_count + i];
-        }
-      }
-    } else {
-      MDO_REQUIRE(block.size() == layout.sbs_size[n],
+  if (compact) {
+    // The wire blocks ARE the compact storage: validate sizes against the
+    // locally rebuilt geometry and concatenate — no O(K) zero-fill.
+    const std::vector<std::size_t> off =
+        core::mu_block_offsets(s.config, w, sets);
+    s.mu.resize(off.back());
+    for (std::size_t cell = 0; cell < w * num_sbs; ++cell) {
+      const linalg::Vec& block = msg.mu_blocks[cell];
+      MDO_REQUIRE(block.size() == off[cell + 1] - off[cell],
                   "shard worker: mu block size mismatch");
       std::copy(block.begin(), block.end(),
-                s.mu.begin() + static_cast<std::ptrdiff_t>(base));
+                s.mu.begin() + static_cast<std::ptrdiff_t>(off[cell]));
+    }
+  } else {
+    s.mu.assign(layout.per_slot * w, 0.0);
+    for (std::size_t cell = 0; cell < w * num_sbs; ++cell) {
+      const std::size_t t = cell / num_sbs;
+      const std::size_t n = cell % num_sbs;
+      const linalg::Vec& block = msg.mu_blocks[cell];
+      const std::size_t base = layout.offset(t, n);
+      if (s.sparse) {
+        const std::vector<std::size_t>& al = sets.active[cell];
+        const std::size_t a_count = al.size();
+        MDO_REQUIRE(block.size() ==
+                        s.config.sbs[n].num_classes() * a_count,
+                    "shard worker: mu block size mismatch");
+        for (std::size_t m = 0; m < s.config.sbs[n].num_classes(); ++m) {
+          for (std::size_t i = 0; i < a_count; ++i) {
+            s.mu[base + m * k_count + al[i]] = block[m * a_count + i];
+          }
+        }
+      } else {
+        MDO_REQUIRE(block.size() == layout.sbs_size[n],
+                    "shard worker: mu block size mismatch");
+        std::copy(block.begin(), block.end(),
+                  s.mu.begin() + static_cast<std::ptrdiff_t>(base));
+      }
     }
   }
 
@@ -149,9 +167,14 @@ EndReply run_end(const WorkerSession& s) {
   for (std::size_t cell = 0; cell < w * num_sbs; ++cell) {
     const std::size_t t = cell / num_sbs;
     const std::size_t n = cell % num_sbs;
-    const std::size_t base = layout.offset(t, n);
     linalg::Vec block;
-    if (s.sparse) {
+    if (s.core.compact()) {
+      // Compact storage already holds the wire block: a sub-span copy.
+      const std::vector<std::size_t>& off = s.core.mu_offsets();
+      block.assign(s.mu.begin() + static_cast<std::ptrdiff_t>(off[cell]),
+                   s.mu.begin() + static_cast<std::ptrdiff_t>(off[cell + 1]));
+    } else if (s.sparse) {
+      const std::size_t base = layout.offset(t, n);
       const std::vector<std::size_t>& al = s.core.sets().active[cell];
       const std::size_t classes = s.config.sbs[n].num_classes();
       block.reserve(classes * al.size());
@@ -161,6 +184,7 @@ EndReply run_end(const WorkerSession& s) {
         }
       }
     } else {
+      const std::size_t base = layout.offset(t, n);
       block.assign(s.mu.begin() + static_cast<std::ptrdiff_t>(base),
                    s.mu.begin() +
                        static_cast<std::ptrdiff_t>(base + layout.sbs_size[n]));

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/simd.hpp"
 
 namespace mdo::solver {
 
@@ -49,10 +50,16 @@ FirstOrderSummary minimize_projected(const ValueGradientFn& objective,
     linalg::scaled_sub(ws.y, step, ws.grad, ws.candidate);
     project(ws.candidate, ws.projected);
 
-    // Projected-gradient mapping at y: (y - projected) / step.
+    // Projected-gradient mapping at y: (y - projected) / step. Serial
+    // in-order reduction — NOT vectorized or lane-split: the sparse
+    // workspace runs this over the active coordinates only, and skipping
+    // the dense representation's exact-zero terms is bit-preserving only
+    // under left-to-right accumulation (DESIGN.md §12).
+    const double* yp = ws.y.data();
+    const double* pp = ws.projected.data();
     double mapping_norm = 0.0;
     for (std::size_t i = 0; i < size; ++i) {
-      const double d = (ws.y[i] - ws.projected[i]) / step;
+      const double d = (yp[i] - pp[i]) / step;
       mapping_norm += d * d;
     }
     mapping_norm = std::sqrt(mapping_norm) / scale;
@@ -69,8 +76,11 @@ FirstOrderSummary minimize_projected(const ValueGradientFn& objective,
       const double t_next =
           0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t_momentum * t_momentum));
       const double beta = (t_momentum - 1.0) / t_next;
-      for (std::size_t i = 0; i < size; ++i) {
-        ws.y[i] = ws.projected[i] + beta * (ws.projected[i] - ws.x[i]);
+      double* yw = ws.y.data();
+      const double* xp = ws.x.data();
+      MDO_SIMD_LOOP
+      for (std::size_t j = 0; j < size; ++j) {
+        yw[j] = pp[j] + beta * (pp[j] - xp[j]);
       }
       t_momentum = t_next;
     } else {

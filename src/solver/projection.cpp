@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/simd.hpp"
 
 namespace mdo::solver {
 
@@ -11,10 +12,18 @@ linalg::Vec project_box(const linalg::Vec& point, const linalg::Vec& lo,
                         const linalg::Vec& hi) {
   MDO_REQUIRE(point.size() == lo.size() && point.size() == hi.size(),
               "project_box: size mismatch");
-  linalg::Vec out(point.size());
-  for (std::size_t i = 0; i < point.size(); ++i) {
+  const std::size_t n = point.size();
+  for (std::size_t i = 0; i < n; ++i) {
     MDO_REQUIRE(lo[i] <= hi[i], "project_box: lo > hi");
-    out[i] = std::clamp(point[i], lo[i], hi[i]);
+  }
+  linalg::Vec out(n);
+  const double* p = point.data();
+  const double* l = lo.data();
+  const double* h = hi.data();
+  double* o = out.data();
+  MDO_SIMD_LOOP
+  for (std::size_t i = 0; i < n; ++i) {
+    o[i] = std::clamp(p[i], l[i], h[i]);
   }
   return out;
 }
@@ -46,13 +55,19 @@ bool BoxKnapsackSet::contains(const linalg::Vec& y, double tol) const {
 
 namespace {
 /// Knapsack value of clamp(point - theta * weights) as a function of theta.
+/// Serial in-order reduction — the sparse-restricted sets sum the same
+/// nonzero terms as the dense ones, which is bit-preserving only under
+/// left-to-right accumulation (DESIGN.md §12).
 double knapsack_value(const linalg::Vec& point, const BoxKnapsackSet& set,
                       double theta) {
+  const std::size_t n = point.size();
+  const double* p = point.data();
+  const double* wt = set.weights.data();
+  const double* lo = set.lo.data();
+  const double* hi = set.hi.data();
   double value = 0.0;
-  for (std::size_t i = 0; i < point.size(); ++i) {
-    const double y = std::clamp(point[i] - theta * set.weights[i], set.lo[i],
-                                set.hi[i]);
-    value += set.weights[i] * y;
+  for (std::size_t i = 0; i < n; ++i) {
+    value += wt[i] * std::clamp(p[i] - theta * wt[i], lo[i], hi[i]);
   }
   return value;
 }
@@ -65,12 +80,24 @@ void project_box_knapsack_into(const linalg::Vec& point,
   MDO_REQUIRE(out.size() == point.size(), "projection: out size mismatch");
 
   // Fast path: box projection already satisfies the knapsack row.
-  for (std::size_t i = 0; i < point.size(); ++i) {
-    out[i] = std::clamp(point[i], set.lo[i], set.hi[i]);
+  const std::size_t n = point.size();
+  {
+    const double* p = point.data();
+    const double* lo = set.lo.data();
+    const double* hi = set.hi.data();
+    double* o = out.data();
+    MDO_SIMD_LOOP
+    for (std::size_t i = 0; i < n; ++i) {
+      o[i] = std::clamp(p[i], lo[i], hi[i]);
+    }
   }
-  double value = 0.0;
-  for (std::size_t i = 0; i < out.size(); ++i) value += set.weights[i] * out[i];
-  if (value <= set.budget + 1e-12) return;
+  {
+    const double* wt = set.weights.data();
+    const double* o = out.data();
+    double value = 0.0;
+    for (std::size_t i = 0; i < n; ++i) value += wt[i] * o[i];
+    if (value <= set.budget + 1e-12) return;
+  }
 
   // Bisection on theta >= 0. Upper bracket: grow until feasible; the set is
   // non-empty, so a feasible theta exists (value converges to a . lo).

@@ -52,7 +52,8 @@ class BinaryWriter {
     bytes_.insert(bytes_.end(), value.begin(), value.end());
   }
 
-  void f64_vec(const std::vector<double>& values) {
+  template <class Alloc>
+  void f64_vec(const std::vector<double, Alloc>& values) {
     size(values.size());
     for (const double v : values) f64(v);
   }
@@ -141,11 +142,18 @@ class BinaryReader {
     return value;
   }
 
-  std::vector<double> f64_vec() {
+  std::vector<double> f64_vec() { return f64_vec_as<std::vector<double>>(); }
+
+  /// f64_vec into any double container with resize()/operator[] — used to
+  /// restore directly into linalg::Vec (aligned allocator) without a copy.
+  /// count()-guarded like every other element read.
+  template <class Vector>
+  Vector f64_vec_as() {
     const std::size_t n = count();
     need(n * 8);  // n <= remaining bytes, so n * 8 cannot overflow
-    std::vector<double> values(n);
-    for (auto& v : values) v = f64();
+    Vector values;
+    values.resize(n);
+    for (std::size_t i = 0; i < n; ++i) values[i] = f64();
     return values;
   }
 

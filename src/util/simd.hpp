@@ -1,0 +1,53 @@
+// SIMD build-mode plumbing for the hot-path kernels.
+//
+// The determinism contract (DESIGN.md §12): every kernel must produce
+// bit-identical results whether the build vectorizes or not. Two loop
+// classes keep that guarantee:
+//
+//  * Map loops (no cross-iteration dependency) — `MDO_SIMD_LOOP` expands to
+//    `#pragma omp simd` under MDO_SIMD=ON and to nothing otherwise. Each
+//    element is an independent dataflow, so lane width cannot change any
+//    result bit.
+//  * Reductions — NEVER carry `MDO_SIMD_LOOP` and stay strictly serial in
+//    ascending index order (see linalg/vec.cpp). Serial order is load-
+//    bearing twice over: it makes both builds produce the same bits, and it
+//    is what lets the sparse demand paths skip exact-zero terms of the
+//    corresponding dense sums without changing the result (the repo-wide
+//    sparse-vs-dense bitwise invariant, model/sparse_demand.hpp). Lane-split
+//    accumulators would regroup the dense terms and break the latter.
+//
+// MDO_SIMD_ENABLED is defined by CMake (option MDO_SIMD, default ON, which
+// also adds -fopenmp-simd so the pragma is honored without the OpenMP
+// runtime).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#if defined(MDO_SIMD_ENABLED)
+#define MDO_SIMD_LOOP _Pragma("omp simd")
+#else
+#define MDO_SIMD_LOOP
+#endif
+
+namespace mdo::util {
+
+/// Alignment guaranteed by linalg::AlignedAllocator; one cache line, wide
+/// enough for any AVX-512 load.
+inline constexpr std::size_t kVecAlignment = 64;
+
+/// True when `ptr` honors the linalg buffer alignment. Debug builds assert
+/// this at kernel entry for whole-vector operands (sub-spans into the
+/// middle of a buffer are exempt — they are only required to be
+/// element-aligned).
+inline bool is_vec_aligned(const void* ptr) {
+  return reinterpret_cast<std::uintptr_t>(ptr) % kVecAlignment == 0;
+}
+
+}  // namespace mdo::util
+
+#ifndef NDEBUG
+#define MDO_ASSERT_VEC_ALIGNED(ptr) assert(::mdo::util::is_vec_aligned(ptr))
+#else
+#define MDO_ASSERT_VEC_ALIGNED(ptr) ((void)0)
+#endif

@@ -69,10 +69,10 @@ void EmaPredictor::restore_state(util::BinaryReader& r) const {
   model::SlotDemand state = truth_->slot(0);
   MDO_REQUIRE(r.size() == state.size(), "EMA snapshot: SBS count mismatch");
   for (auto& sbs_demand : state) {
-    std::vector<double> values = r.f64_vec();
+    linalg::Vec values = r.f64_vec_as<linalg::Vec>();
     MDO_REQUIRE(values.size() == sbs_demand.data().size(),
                 "EMA snapshot: state shape mismatch");
-    sbs_demand.data() = values;
+    sbs_demand.data() = std::move(values);
   }
   state_ = std::move(state);
 }

@@ -1,0 +1,445 @@
+// Tests for the compact active-coordinate mu layout (DESIGN.md §12):
+// mu_block_offsets geometry, compact<->dense round trips, solver- and
+// controller-level bit-identity against the dense layout across thread and
+// shard counts, shift_mu horizon edge cases, and the warm-state blob's
+// count()-guarded serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/primal_dual.hpp"
+#include "core/shard_core.hpp"
+#include "online/chc.hpp"
+#include "online/rhc.hpp"
+#include "shard/coordinator.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+#include "util/serialize.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/predictor.hpp"
+#include "workload/scenario.hpp"
+#include "workload/zipf.hpp"
+
+namespace mdo {
+namespace {
+
+/// A small truncated-Zipf instance whose active sets are a strict subset of
+/// the catalogue (min_rate cuts the tail), so compact and dense mu layouts
+/// genuinely differ in size.
+model::ProblemInstance sparse_instance(std::size_t horizon = 6,
+                                       std::size_t contents = 12) {
+  workload::PaperScenario scenario;
+  scenario.num_sbs = 2;
+  scenario.num_contents = contents;
+  scenario.classes_per_sbs = 3;
+  scenario.cache_capacity = 3;
+  scenario.bandwidth = 8.0;
+  scenario.beta = 10.0;
+  scenario.horizon = horizon;
+  scenario.seed = 17;
+  // Cut the Zipf tail at the rate of rank K/4, as the scaling bench does:
+  // the surviving head is a strict subset, so compact != dense in size.
+  const auto pmf = workload::zipf_mandelbrot_pmf(
+      contents, scenario.workload.zipf_alpha, scenario.workload.zipf_q);
+  scenario.workload.min_rate = pmf[contents / 4];
+  return scenario.build_sparse();
+}
+
+core::HorizonProblem window_problem(const model::ProblemInstance& instance) {
+  core::HorizonProblem problem;
+  problem.config = &instance.config;
+  problem.sparse_demand = &instance.sparse_demand;
+  problem.initial_cache = instance.initial_cache;
+  return problem;
+}
+
+// ---- geometry and round trips --------------------------------------------
+
+TEST(CompactMu, BlockOffsetsMatchActiveSetGeometry) {
+  const auto instance = sparse_instance();
+  const auto sets = core::build_active_sets(
+      instance.config, instance.sparse_demand, instance.initial_cache);
+  const std::size_t horizon = instance.sparse_demand.horizon();
+  const std::size_t num_sbs = instance.config.num_sbs();
+  const auto offsets =
+      core::mu_block_offsets(instance.config, horizon, sets);
+
+  ASSERT_EQ(offsets.size(), horizon * num_sbs + 1);
+  EXPECT_EQ(offsets.front(), 0u);
+  for (std::size_t t = 0; t < horizon; ++t) {
+    for (std::size_t n = 0; n < num_sbs; ++n) {
+      const std::size_t cell = t * num_sbs + n;
+      const std::size_t block = offsets[cell + 1] - offsets[cell];
+      EXPECT_EQ(block, instance.config.sbs[n].num_classes() *
+                           sets.active[cell].size())
+          << "cell=" << cell;
+    }
+  }
+  // The truncated tail must actually shrink the compact vector.
+  const core::MuLayout layout(instance.config);
+  EXPECT_LT(offsets.back(), layout.per_slot * horizon);
+}
+
+TEST(CompactMu, CompactDenseRoundTripIsLossless) {
+  const auto instance = sparse_instance();
+  const auto sets = core::build_active_sets(
+      instance.config, instance.sparse_demand, instance.initial_cache);
+  const std::size_t horizon = instance.sparse_demand.horizon();
+  const std::size_t num_sbs = instance.config.num_sbs();
+  const std::size_t contents = instance.config.num_contents;
+  const auto offsets =
+      core::mu_block_offsets(instance.config, horizon, sets);
+  const core::MuLayout layout(instance.config);
+
+  // Distinct value per compact coordinate.
+  linalg::Vec compact(offsets.back());
+  for (std::size_t j = 0; j < compact.size(); ++j) {
+    compact[j] = 1.0 + 0.25 * static_cast<double>(j);
+  }
+
+  // Scatter to the dense layout exactly as the wire/coordinator does
+  // (class-major over the active list within each cell)...
+  linalg::Vec dense(layout.per_slot * horizon, 0.0);
+  for (std::size_t t = 0; t < horizon; ++t) {
+    for (std::size_t n = 0; n < num_sbs; ++n) {
+      const std::size_t cell = t * num_sbs + n;
+      const auto& active = sets.active[cell];
+      const std::size_t classes = instance.config.sbs[n].num_classes();
+      for (std::size_t m = 0; m < classes; ++m) {
+        for (std::size_t i = 0; i < active.size(); ++i) {
+          dense[layout.offset(t, n) + m * contents + active[i]] =
+              compact[offsets[cell] + m * active.size() + i];
+        }
+      }
+    }
+  }
+  // ...and gather back: bitwise identical, nothing lost.
+  for (std::size_t t = 0; t < horizon; ++t) {
+    for (std::size_t n = 0; n < num_sbs; ++n) {
+      const std::size_t cell = t * num_sbs + n;
+      const auto& active = sets.active[cell];
+      const std::size_t classes = instance.config.sbs[n].num_classes();
+      for (std::size_t m = 0; m < classes; ++m) {
+        for (std::size_t i = 0; i < active.size(); ++i) {
+          EXPECT_EQ(dense[layout.offset(t, n) + m * contents + active[i]],
+                    compact[offsets[cell] + m * active.size() + i]);
+        }
+      }
+    }
+  }
+}
+
+// ---- solver-level bit-identity -------------------------------------------
+
+TEST(CompactMu, SolverBitIdenticalToDenseMuAcrossThreadsAndShards) {
+  const auto instance = sparse_instance();
+  const auto problem = window_problem(instance);
+  const auto sets = core::build_active_sets(
+      instance.config, instance.sparse_demand, instance.initial_cache);
+  const auto offsets = core::mu_block_offsets(
+      instance.config, instance.sparse_demand.horizon(), sets);
+
+  core::PrimalDualOptions reference_options;
+  reference_options.compact_mu = false;
+  reference_options.shard_count = shard::kShardsInProcess;
+  core::PrimalDualSolver reference(reference_options);
+  const auto want = reference.solve(problem);
+  EXPECT_EQ(want.mu.size(), core::mu_size(instance.config,
+                                          instance.sparse_demand.horizon()));
+
+  for (const bool compact : {false, true}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      for (const std::size_t shards :
+           {shard::kShardsInProcess, std::size_t{2}}) {
+        util::ThreadPool::set_global_threads(threads);
+        core::PrimalDualOptions options;
+        options.compact_mu = compact;
+        options.shard_count = shards;
+        core::PrimalDualSolver solver(options);
+        const auto got = solver.solve(problem);
+        EXPECT_EQ(got.upper_bound, want.upper_bound)
+            << "compact=" << compact << " threads=" << threads
+            << " shards=" << shards;
+        EXPECT_EQ(got.lower_bound, want.lower_bound)
+            << "compact=" << compact << " threads=" << threads
+            << " shards=" << shards;
+        EXPECT_EQ(got.iterations, want.iterations);
+        EXPECT_EQ(got.mu.size(),
+                  compact ? offsets.back() : want.mu.size());
+      }
+    }
+  }
+  util::ThreadPool::set_global_threads(1);
+}
+
+TEST(CompactMu, DenseDemandSolvesIgnoreTheFlag) {
+  workload::PaperScenario scenario;
+  scenario.num_sbs = 2;
+  scenario.num_contents = 8;
+  scenario.classes_per_sbs = 3;
+  scenario.cache_capacity = 2;
+  scenario.horizon = 3;
+  scenario.seed = 9;
+  const auto instance = scenario.build();
+
+  core::HorizonProblem problem;
+  problem.config = &instance.config;
+  problem.demand = &instance.demand;
+  problem.initial_cache = instance.initial_cache;
+
+  for (const bool compact : {false, true}) {
+    core::PrimalDualOptions options;
+    options.compact_mu = compact;
+    core::PrimalDualSolver solver(options);
+    const auto solution = solver.solve(problem);
+    // Dense demand always uses the dense mu layout, flag or not.
+    EXPECT_EQ(solution.mu.size(),
+              core::mu_size(instance.config, instance.demand.horizon()));
+  }
+}
+
+// ---- controller-level bit-identity ---------------------------------------
+
+double run_controller(bool chc, const model::ProblemInstance& instance,
+                      const workload::Predictor& predictor, bool compact,
+                      std::size_t threads, std::size_t shards) {
+  util::ThreadPool::set_global_threads(threads);
+  core::PrimalDualOptions pd;
+  pd.compact_mu = compact;
+  pd.shard_count = shards;
+  std::unique_ptr<online::Controller> controller;
+  if (chc) {
+    controller = std::make_unique<online::ChcController>(4, 2, pd);
+  } else {
+    controller = std::make_unique<online::RhcController>(4, pd);
+  }
+  const sim::Simulator simulator(instance, predictor);
+  const auto result = simulator.run(*controller);
+  util::ThreadPool::set_global_threads(1);
+  EXPECT_TRUE(std::isfinite(result.total.total()));
+  return result.total.total();
+}
+
+TEST(CompactMu, RhcBitIdenticalAcrossLayoutThreadsShards) {
+  const auto instance = sparse_instance();
+  const workload::NoisyPredictor predictor(instance.sparse_demand, 0.1, 1234);
+  const double want = run_controller(false, instance, predictor,
+                                     /*compact=*/false, 1,
+                                     shard::kShardsInProcess);
+  for (const bool compact : {false, true}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      for (const std::size_t shards :
+           {shard::kShardsInProcess, std::size_t{2}}) {
+        EXPECT_EQ(run_controller(false, instance, predictor, compact, threads,
+                                 shards),
+                  want)
+            << "compact=" << compact << " threads=" << threads
+            << " shards=" << shards;
+      }
+    }
+  }
+}
+
+TEST(CompactMu, ChcBitIdenticalAcrossLayoutThreadsShards) {
+  const auto instance = sparse_instance();
+  const workload::NoisyPredictor predictor(instance.sparse_demand, 0.1, 1234);
+  const double want = run_controller(true, instance, predictor,
+                                     /*compact=*/false, 1,
+                                     shard::kShardsInProcess);
+  for (const bool compact : {false, true}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      for (const std::size_t shards :
+           {shard::kShardsInProcess, std::size_t{2}}) {
+        EXPECT_EQ(run_controller(true, instance, predictor, compact, threads,
+                                 shards),
+                  want)
+            << "compact=" << compact << " threads=" << threads
+            << " shards=" << shards;
+      }
+    }
+  }
+}
+
+// ---- shift_mu / advance_window edge cases --------------------------------
+
+TEST(CompactMu, ShiftMuHorizonShrinkGrowAndPastHorizon) {
+  workload::PaperScenario scenario;
+  scenario.num_sbs = 2;
+  scenario.num_contents = 4;
+  scenario.classes_per_sbs = 2;
+  scenario.cache_capacity = 2;
+  const auto config = scenario.build().config;
+  const core::MuLayout layout(config);
+  const std::size_t old_horizon = 3;
+
+  linalg::Vec mu(layout.per_slot * old_horizon);
+  for (std::size_t t = 0; t < old_horizon; ++t) {
+    for (std::size_t j = 0; j < layout.per_slot; ++j) {
+      mu[t * layout.per_slot + j] =
+          1000.0 * static_cast<double>(t) + static_cast<double>(j);
+    }
+  }
+
+  const auto expect_maps = [&](const linalg::Vec& out,
+                               std::size_t new_horizon, std::size_t shift) {
+    ASSERT_EQ(out.size(), layout.per_slot * new_horizon);
+    for (std::size_t t = 0; t < new_horizon; ++t) {
+      const std::size_t src = std::min(t + shift, old_horizon - 1);
+      for (std::size_t j = 0; j < layout.per_slot; ++j) {
+        EXPECT_EQ(out[t * layout.per_slot + j],
+                  mu[src * layout.per_slot + j])
+            << "t=" << t << " shift=" << shift;
+      }
+    }
+  };
+
+  // Same horizon, plain slide.
+  expect_maps(core::shift_mu(mu, config, old_horizon, old_horizon, 1),
+              old_horizon, 1);
+  // Horizon shrink and grow while sliding.
+  expect_maps(core::shift_mu(mu, config, old_horizon, 2, 1), 2, 1);
+  expect_maps(core::shift_mu(mu, config, old_horizon, 5, 1), 5, 1);
+  // Shift at/past the old horizon: the last slot repeats everywhere.
+  expect_maps(core::shift_mu(mu, config, old_horizon, old_horizon,
+                             old_horizon),
+              old_horizon, old_horizon);
+  expect_maps(core::shift_mu(mu, config, old_horizon, 2, 7), 2, 7);
+  // Zero shift is the identity on the overlapping prefix.
+  expect_maps(core::shift_mu(mu, config, old_horizon, old_horizon, 0),
+              old_horizon, 0);
+}
+
+TEST(CompactMu, AdvanceWindowEdgeCasesStayDeterministic) {
+  // Two solvers fed the identical call sequence — window solve, slide by 1,
+  // slide past the horizon, horizon shrink, horizon grow — must stay
+  // bitwise in lockstep throughout (the warm bank is deterministic state).
+  const auto full = sparse_instance(/*horizon=*/6);
+  const workload::PerfectPredictor predictor(full.sparse_demand);
+
+  core::PrimalDualOptions options;  // compact_mu = true (production)
+  core::PrimalDualSolver a(options);
+  core::PrimalDualSolver b(options);
+
+  model::SparseDemandTrace window;
+  core::HorizonProblem problem;
+  problem.config = &full.config;
+  problem.sparse_demand = &window;
+  problem.initial_cache = full.initial_cache;
+
+  const auto solve_both = [&](std::size_t tau, std::size_t length) {
+    window = predictor.predict_window_sparse(tau, length);
+    const auto got_a = a.solve(problem);
+    const auto got_b = b.solve(problem);
+    EXPECT_EQ(got_a.upper_bound, got_b.upper_bound)
+        << "tau=" << tau << " length=" << length;
+    EXPECT_EQ(got_a.lower_bound, got_b.lower_bound);
+    ASSERT_EQ(got_a.mu.size(), got_b.mu.size());
+    for (std::size_t j = 0; j < got_a.mu.size(); ++j) {
+      EXPECT_EQ(got_a.mu[j], got_b.mu[j]);
+    }
+    EXPECT_TRUE(std::isfinite(got_a.upper_bound));
+  };
+
+  solve_both(0, 3);
+  a.advance_window(1);
+  b.advance_window(1);
+  solve_both(1, 3);
+  // Slide past the window horizon: every slot restarts from the last slot's
+  // warm start; must not throw and must stay deterministic.
+  a.advance_window(10);
+  b.advance_window(10);
+  solve_both(2, 3);
+  // Horizon shrink (end of trace) and grow again.
+  a.advance_window(1);
+  b.advance_window(1);
+  solve_both(4, 2);
+  a.advance_window(1);
+  b.advance_window(1);
+  solve_both(1, 4);
+  // Zero-slide replan of the same window (same-tau resync).
+  a.advance_window(0);
+  b.advance_window(0);
+  solve_both(1, 4);
+}
+
+// ---- warm-state serialization --------------------------------------------
+
+TEST(CompactMu, WarmStateRoundTripKeepsSolvesBitIdentical) {
+  const auto full = sparse_instance(/*horizon=*/6);
+  const workload::PerfectPredictor predictor(full.sparse_demand);
+
+  core::PrimalDualOptions options;  // compact_mu = true
+  core::PrimalDualSolver original(options);
+
+  model::SparseDemandTrace window = predictor.predict_window_sparse(0, 3);
+  core::HorizonProblem problem;
+  problem.config = &full.config;
+  problem.sparse_demand = &window;
+  problem.initial_cache = full.initial_cache;
+  original.solve(problem);
+  original.advance_window(1);
+
+  util::BinaryWriter writer;
+  original.save_state(writer);
+  const std::vector<std::uint8_t> blob = writer.bytes();
+
+  core::PrimalDualSolver restored(options);
+  util::BinaryReader reader(blob);
+  restored.restore_state(reader);
+
+  window = predictor.predict_window_sparse(1, 3);
+  const auto want = original.solve(problem);
+  const auto got = restored.solve(problem);
+  EXPECT_EQ(got.upper_bound, want.upper_bound);
+  EXPECT_EQ(got.lower_bound, want.lower_bound);
+  ASSERT_EQ(got.mu.size(), want.mu.size());
+  for (std::size_t j = 0; j < got.mu.size(); ++j) {
+    EXPECT_EQ(got.mu[j], want.mu[j]);
+  }
+}
+
+TEST(CompactMu, TruncatedWarmBlobThrowsInsteadOfMisreading) {
+  const auto full = sparse_instance(/*horizon=*/6);
+  const workload::PerfectPredictor predictor(full.sparse_demand);
+
+  core::PrimalDualOptions options;
+  core::PrimalDualSolver solver(options);
+  model::SparseDemandTrace window = predictor.predict_window_sparse(0, 3);
+  core::HorizonProblem problem;
+  problem.config = &full.config;
+  problem.sparse_demand = &window;
+  problem.initial_cache = full.initial_cache;
+  solver.solve(problem);
+
+  util::BinaryWriter writer;
+  solver.save_state(writer);
+  const std::vector<std::uint8_t> blob = writer.bytes();
+  ASSERT_GT(blob.size(), 8u);
+
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{4}, blob.size() / 2, blob.size() - 1}) {
+    core::PrimalDualSolver victim(options);
+    util::BinaryReader reader(blob.data(), keep);
+    EXPECT_THROW(victim.restore_state(reader), InvalidArgument)
+        << "keep=" << keep;
+  }
+}
+
+TEST(CompactMu, CountGuardedReaderRejectsAbsurdVectorCounts) {
+  // A corrupted count field must throw before any allocation is attempted:
+  // the count() guard caps element counts by the bytes actually remaining.
+  util::BinaryWriter writer;
+  writer.u64(std::uint64_t{1} << 50);  // claims ~10^15 elements
+  const std::vector<std::uint8_t> blob = writer.bytes();
+  util::BinaryReader reader(blob);
+  EXPECT_THROW(reader.f64_vec(), InvalidArgument);
+
+  util::BinaryReader reader_as(blob);
+  EXPECT_THROW(reader_as.f64_vec_as<linalg::Vec>(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mdo

@@ -449,7 +449,7 @@ TEST(Serialize, RoundTripsEveryPrimitive) {
   w.f64(-0.0);
   w.f64(std::numeric_limits<double>::quiet_NaN());
   w.str("mdo");
-  w.f64_vec({1.5, -2.5});
+  w.f64_vec(std::vector<double>{1.5, -2.5});
   w.size_vec({});
   const auto payload = w.take();
 
