@@ -1,0 +1,266 @@
+// E16 — collaborative SBS-to-SBS caching: cooperative vs non-cooperative
+// cost curves over the inter-SBS bandwidth (DESIGN.md §13).
+//
+// For each neighbor topology (ring / grid / random-geometric) and each
+// inter-SBS bandwidth value, the SAME multi-SBS scenario — identical seed,
+// identical instance, identical predictor streams — is run twice through
+// the scheme line-up: once with the cooperative routing overlay enabled
+// and once with it disabled (the non-cooperative baseline on the same
+// topology). The overlay only ever accepts strict per-slot improvements,
+// so cooperative <= non-cooperative must hold for EVERY scheme at EVERY
+// point; any violation is a bug and exits non-zero. At bandwidth 0 the
+// neighbor tier carries no traffic and the two arms must agree bit for bit
+// (the zero-bandwidth edge case of the transparency contract).
+//
+// Flags (on top of the common ones in bench/common.hpp):
+//   --sbs N               number of SBSs (default 6; topologies need >= 2)
+//   --bandwidths LIST     comma-separated inter-SBS bandwidth caps
+//                         (default 0,2,5,10)
+//   --topologies LIST     subset of ring,grid,geo (default all three)
+//   --neigh-factor F      omega_neigh = F * omega_bs (default 0.25)
+//   --json PATH           output path (default BENCH_collab.json)
+//   --require-coop-improvement
+//                         exit nonzero unless, for every topology, some
+//                         scheme at some positive bandwidth strictly
+//                         improves (and always on any coop > noncoop)
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "sim/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+using namespace mdo;
+
+struct TopologyChoice {
+  std::string name;
+  workload::NeighborTopologyKind kind;
+};
+
+std::vector<TopologyChoice> parse_topologies(const std::string& list) {
+  std::vector<TopologyChoice> out;
+  std::istringstream parts(list);
+  std::string token;
+  while (std::getline(parts, token, ',')) {
+    if (token.empty()) continue;
+    if (token == "ring") {
+      out.push_back({token, workload::NeighborTopologyKind::kRing});
+    } else if (token == "grid") {
+      out.push_back({token, workload::NeighborTopologyKind::kGrid});
+    } else if (token == "geo") {
+      out.push_back({token, workload::NeighborTopologyKind::kRandomGeometric});
+    } else {
+      throw InvalidArgument("--topologies entries must be ring, grid or geo");
+    }
+  }
+  if (out.empty()) {
+    throw InvalidArgument("--topologies must name at least one topology");
+  }
+  return out;
+}
+
+std::vector<double> parse_doubles(const std::string& list, const char* flag) {
+  std::vector<double> out;
+  std::istringstream parts(list);
+  std::string token;
+  while (std::getline(parts, token, ',')) {
+    if (!token.empty()) out.push_back(std::stod(token));
+  }
+  if (out.empty()) {
+    throw InvalidArgument(std::string(flag) + " must name at least one value");
+  }
+  return out;
+}
+
+/// One (topology, bandwidth) sweep cell: both arms, scheme by scheme.
+struct CollabPoint {
+  double bandwidth = 0.0;
+  std::vector<sim::SchemeOutcome> coop;
+  std::vector<sim::SchemeOutcome> noncoop;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliFlags flags(argc, argv);
+    bench::BenchSetup setup = bench::parse_common(flags);
+    const auto num_sbs = static_cast<std::size_t>(flags.get_int("sbs", 6));
+    const auto bandwidths =
+        parse_doubles(flags.get_string("bandwidths", "0,2,5,10"),
+                      "--bandwidths");
+    const auto topologies =
+        parse_topologies(flags.get_string("topologies", "ring,grid,geo"));
+    const double neigh_factor = flags.get_double("neigh-factor", 0.25);
+    const std::string json_path =
+        flags.get_string("json", "BENCH_collab.json");
+    const bool require_improvement =
+        flags.get_bool("require-coop-improvement", false);
+    flags.require_all_consumed();
+    MDO_REQUIRE(num_sbs >= 2, "--sbs must be >= 2 for a neighbor topology");
+
+    // The default scheme line-up is overkill per cell; keep the
+    // solver-backed trio the paper compares plus the LRFU baseline.
+    setup.experiment.scenario.num_sbs = num_sbs;
+    setup.experiment.scenario.omega_neigh_factor = neigh_factor;
+    setup.experiment.schemes.afhc = false;
+    setup.experiment.schemes.lrfu = true;
+
+    std::cout << "Collaborative caching bench (cooperative vs "
+                 "non-cooperative)\n"
+              << "N=" << num_sbs
+              << " T=" << setup.experiment.scenario.horizon
+              << " w=" << setup.experiment.window
+              << " neigh_factor=" << neigh_factor << "\n";
+
+    bool order_ok = true;        // coop <= noncoop everywhere
+    bool zero_bw_identical = true;
+    std::vector<std::pair<std::string, std::vector<CollabPoint>>> curves;
+    for (const TopologyChoice& topo : topologies) {
+      std::vector<CollabPoint> points;
+      for (const double bw : bandwidths) {
+        sim::ExperimentConfig config = setup.experiment;
+        config.scenario.neighbor_topology = topo.kind;
+        config.scenario.inter_sbs_bandwidth = bw;
+        CollabPoint point;
+        point.bandwidth = bw;
+        config.cooperative_routing = true;
+        point.coop = sim::run_schemes(config);
+        config.cooperative_routing = false;
+        point.noncoop = sim::run_schemes(config);
+        for (std::size_t s = 0; s < point.coop.size(); ++s) {
+          const double c = point.coop[s].total_cost();
+          const double b = point.noncoop[s].total_cost();
+          if (c > b) {
+            order_ok = false;
+            std::cerr << "COOP COST ABOVE BASELINE: " << topo.name << " bw="
+                      << bw << " " << point.coop[s].name << ": " << c << " > "
+                      << b << "\n";
+          }
+          if (bw == 0.0 && c != b) zero_bw_identical = false;
+        }
+        points.push_back(std::move(point));
+      }
+      curves.emplace_back(topo.name, std::move(points));
+    }
+
+    // One table per topology: rows = bandwidth, per scheme the baseline
+    // cost and the cooperative improvement.
+    double best_improvement = 0.0;
+    for (const auto& [name, points] : curves) {
+      std::vector<std::string> columns{"inter_sbs_bw"};
+      for (const auto& outcome : points.front().coop) {
+        const std::string family = bench::scheme_family(outcome.name);
+        columns.push_back(family + "_base");
+        columns.push_back(family + "_coop");
+        columns.push_back(family + "_gain%");
+      }
+      TextTable table(columns);
+      for (const auto& point : points) {
+        std::vector<std::string> row{TextTable::fmt(point.bandwidth, 1)};
+        for (std::size_t s = 0; s < point.coop.size(); ++s) {
+          const double base = point.noncoop[s].total_cost();
+          const double coop = point.coop[s].total_cost();
+          const double gain =
+              base > 0.0 ? 100.0 * (base - coop) / base : 0.0;
+          row.push_back(TextTable::fmt(base, 2));
+          row.push_back(TextTable::fmt(coop, 2));
+          row.push_back(TextTable::fmt(gain, 2));
+        }
+        table.add_row(row);
+      }
+      std::cout << "\n== topology: " << name << " ==\n";
+      table.print(std::cout);
+    }
+
+    // Gate bookkeeping: per topology, the best strict improvement over all
+    // schemes and positive-bandwidth points.
+    bool every_topology_improves = true;
+    for (const auto& [name, points] : curves) {
+      double topo_best = 0.0;
+      for (const auto& point : points) {
+        if (point.bandwidth <= 0.0) continue;
+        for (std::size_t s = 0; s < point.coop.size(); ++s) {
+          topo_best = std::max(topo_best, point.noncoop[s].total_cost() -
+                                              point.coop[s].total_cost());
+        }
+      }
+      best_improvement = std::max(best_improvement, topo_best);
+      if (topo_best <= 0.0) {
+        every_topology_improves = false;
+        std::cerr << "NO STRICT COOPERATIVE IMPROVEMENT on topology " << name
+                  << "\n";
+      }
+    }
+    if (!order_ok) {
+      std::cerr << "cooperative > non-cooperative somewhere: the overlay's "
+                   "acceptance rule is broken\n";
+    }
+    if (!zero_bw_identical) {
+      std::cerr << "ZERO-BANDWIDTH MISMATCH: coop and noncoop arms must "
+                   "agree bit for bit when no link can carry traffic\n";
+    }
+
+    std::ofstream json(json_path);
+    if (!json) {
+      std::cerr << "warning: cannot open JSON path " << json_path << "\n";
+    } else {
+      json.precision(17);
+      json << "{\n  \"bench\": \"collab\",\n  \"num_sbs\": " << num_sbs
+           << ",\n  \"slots\": " << setup.experiment.scenario.horizon
+           << ",\n  \"window\": " << setup.experiment.window
+           << ",\n  \"neigh_factor\": " << neigh_factor
+           << ",\n  \"topologies\": [\n";
+      for (std::size_t ti = 0; ti < curves.size(); ++ti) {
+        const auto& [name, points] = curves[ti];
+        json << "    {\"name\": \"" << name << "\", \"points\": [\n";
+        for (std::size_t pi = 0; pi < points.size(); ++pi) {
+          const auto& point = points[pi];
+          json << "      {\"inter_sbs_bandwidth\": " << point.bandwidth
+               << ", \"schemes\": [";
+          for (std::size_t s = 0; s < point.coop.size(); ++s) {
+            json << (s == 0 ? "" : ", ")
+                 << "{\"name\": \"" << bench::scheme_family(point.coop[s].name)
+                 << "\", \"noncoop_cost\": " << point.noncoop[s].total_cost()
+                 << ", \"coop_cost\": " << point.coop[s].total_cost()
+                 << ", \"coop_neigh_cost\": " << point.coop[s].cost.neigh
+                 << "}";
+          }
+          json << "]}" << (pi + 1 == points.size() ? "" : ",") << "\n";
+        }
+        json << "    ]}" << (ti + 1 == curves.size() ? "" : ",") << "\n";
+      }
+      json << "  ],\n  \"coop_never_worse\": "
+           << (order_ok ? "true" : "false")
+           << ",\n  \"zero_bandwidth_identical\": "
+           << (zero_bw_identical ? "true" : "false")
+           << ",\n  \"best_improvement\": " << best_improvement
+           << ",\n  \"every_topology_improves\": "
+           << (every_topology_improves ? "true" : "false") << "\n}\n";
+      std::cout << "wrote " << json_path << "\n";
+    }
+    if (setup.csv_path) {
+      std::cerr << "note: --csv is not supported by bench_collab\n";
+    }
+
+    const bool improvement_ok =
+        !require_improvement || every_topology_improves;
+    if (!improvement_ok) {
+      std::cerr << "COOPERATIVE IMPROVEMENT REQUIRED but absent on some "
+                   "topology\n";
+    }
+    return order_ok && zero_bw_identical && improvement_ok ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -1,21 +1,20 @@
 // E11 — catalogue-size scaling: dense vs sparse demand representation.
 //
 // Sweeps K (the catalogue size) and runs the same truncated Zipf(0.8)
-// scenario through the RHC controller three times per point: with the dense
-// M x K demand matrices, with the sparse CSR path and the compact
-// active-coordinate mu layout (the production configuration), and with the
-// sparse path but the dense w*N*M*K mu layout (compact_mu=false — the A/B
-// baseline the compact layout replaces). All runs see the SAME trace values
-// — the generator honors min_rate for both representations — so total costs
-// must match bit for bit three ways (guarded; nonzero exit on mismatch) and
-// every latency difference is attributable to the data layout and the
-// active-set solves.
+// scenario through the RHC controller twice per point: with the dense
+// M x K demand matrices (dense mu layout), and with the sparse CSR path,
+// which always keeps mu on the compact active-coordinate layout (the
+// dense-mu A/B switch is retired; compact IS the sparse layout). Both runs
+// see the SAME trace values — the generator honors min_rate for both
+// representations — so total costs must match bit for bit (guarded;
+// nonzero exit on mismatch) and every latency difference is attributable
+// to the data layout and the active-set solves.
 //
 // Each child also reports the resident dual-vector footprint of one RHC
 // window (compact block bytes vs dense layout bytes) and the kEnd/kEndReply
 // wire traffic of a one-off 2-shard solve of that window
-// (shard::wire_stats()), so the compact layout's byte reduction —
-// (mu + kEnd bytes, dense-mu) / (mu + kEnd bytes, compact) — is measured,
+// (shard::wire_stats()), so the sparse path's byte reduction —
+// (mu + kEnd bytes, dense) / (mu + kEnd bytes, sparse) — is measured,
 // reported per point, and gateable with --require-bytes-reduction.
 //
 // min_rate is derived from the Zipf-Mandelbrot pmf: the rate of the rank at
@@ -45,11 +44,11 @@
 //   --require-speedup X  exit nonzero unless the largest-K decision-latency
 //                        speedup reaches X (default 0 = report only)
 //   --require-bytes-reduction X
-//                        exit nonzero unless the largest-K compact-mu byte
-//                        reduction (resident mu + kEnd wire, dense-mu over
-//                        compact) reaches X (default 0 = report only)
-//   --p99-budget-ms X    exit nonzero when the largest-K sparse (compact)
-//                        run's p99 decision latency exceeds X ms
+//                        exit nonzero unless the largest-K byte reduction
+//                        (resident mu + kEnd wire, dense over sparse)
+//                        reaches X (default 0 = report only)
+//   --p99-budget-ms X    exit nonzero when the largest-K sparse run's p99
+//                        decision latency exceeds X ms
 //                        (default 0 = gate off)
 #include <algorithm>
 #include <cmath>
@@ -80,16 +79,15 @@ using namespace mdo;
 
 using bench::percentile;
 
-/// The three measured configurations: dense demand, sparse demand with the
-/// compact active-coordinate mu layout (production), and sparse demand with
-/// the dense mu layout (compact_mu=false, the A/B baseline).
-enum class Repr { kDense, kSparse, kSparseDenseMu };
+/// The two measured configurations: dense demand (dense mu layout) and
+/// sparse demand (compact active-coordinate mu layout — the only sparse
+/// layout since the dense-mu A/B switch retired).
+enum class Repr { kDense, kSparse };
 
 const char* repr_name(Repr repr) {
   switch (repr) {
     case Repr::kDense: return "dense";
     case Repr::kSparse: return "sparse";
-    case Repr::kSparseDenseMu: return "sparse_densemu";
   }
   return "?";
 }
@@ -209,7 +207,6 @@ Measured measure(const ScalingSetup& setup, std::size_t contents,
                                                            setup.eta, 1234);
   }
   core::PrimalDualOptions pd;
-  pd.compact_mu = repr == Repr::kSparse;
   online::RhcController rhc(setup.window, pd);
   const sim::Simulator simulator(instance, *predictor);
 
@@ -226,12 +223,12 @@ Measured measure(const ScalingSetup& setup, std::size_t contents,
   out.p50 = percentile(decision_seconds, 50.0);
   out.p99 = percentile(decision_seconds, 99.0);
 
-  // Byte accounting for the compact-mu A/B: the resident dual vector of one
-  // RHC window (compact block bytes vs the dense w*N*M*K layout), and the
-  // end-of-solve wire traffic of a one-off 2-shard solve of that window
-  // (the kEndReply frames carry the mu blocks + warm blobs back to the
-  // driver). Done after the timed run so the probe's worker fleet cannot
-  // perturb the latency numbers.
+  // Byte accounting: the resident dual vector of one RHC window (compact
+  // block bytes vs the dense w*N*M*K layout), and the end-of-solve wire
+  // traffic of a one-off 2-shard solve of that window (the kEndReply frames
+  // carry the mu blocks + warm blobs back to the driver). Done after the
+  // timed run so the probe's worker fleet cannot perturb the latency
+  // numbers.
   model::DemandTrace window_dense;
   model::SparseDemandTrace window_sparse;
   core::HorizonProblem window_problem;
@@ -344,9 +341,7 @@ int main(int argc, char** argv) {
       Repr repr;
       if (repr_flag == "dense") repr = Repr::kDense;
       else if (repr_flag == "sparse") repr = Repr::kSparse;
-      else if (repr_flag == "sparse_densemu") repr = Repr::kSparseDenseMu;
-      else throw InvalidArgument(
-          "--measure must be dense, sparse or sparse_densemu");
+      else throw InvalidArgument("--measure must be dense or sparse");
       print_result_line(measure(setup, contents, repr));
       return 0;
     }
@@ -360,18 +355,16 @@ int main(int argc, char** argv) {
     const double p99_budget_ms = flags.get_double("p99-budget-ms", 0.0);
     flags.require_all_consumed();
 
-    std::cout << "Catalogue-size scaling bench (dense vs sparse vs "
-                 "sparse+dense-mu)\n"
+    std::cout << "Catalogue-size scaling bench (dense vs sparse)\n"
               << "T=" << setup.slots << " w=" << setup.window
               << " head_fraction=" << setup.head_fraction << "\n";
 
     struct Point {
       Measured dense;
-      Measured sparse;          // compact mu (production)
-      Measured sparse_densemu;  // compact_mu = false (A/B baseline)
+      Measured sparse;  // compact mu, the only sparse layout
       double speedup = 0.0;
       double rss_ratio = 0.0;
-      double bytes_reduction = 0.0;  // (mu + kEnd) dense-mu over compact
+      double bytes_reduction = 0.0;  // (mu + kEnd) dense over sparse
       bool costs_match = false;
     };
     std::vector<Point> points;
@@ -379,13 +372,10 @@ int main(int argc, char** argv) {
       const auto dense = spawn_measure(argv[0], setup, contents, Repr::kDense);
       const auto sparse =
           spawn_measure(argv[0], setup, contents, Repr::kSparse);
-      const auto densemu =
-          spawn_measure(argv[0], setup, contents, Repr::kSparseDenseMu);
-      if (!dense || !sparse || !densemu) return 1;
+      if (!dense || !sparse) return 1;
       Point point;
       point.dense = *dense;
       point.sparse = *sparse;
-      point.sparse_densemu = *densemu;
       point.speedup = sparse->mean_decision_seconds > 0.0
                           ? dense->mean_decision_seconds /
                                 sparse->mean_decision_seconds
@@ -398,15 +388,13 @@ int main(int argc, char** argv) {
           static_cast<double>(sparse->mu_bytes + sparse->wire_end_bytes);
       point.bytes_reduction =
           compact_bytes > 0.0
-              ? static_cast<double>(densemu->mu_bytes +
-                                    densemu->wire_end_bytes) /
+              ? static_cast<double>(dense->mu_bytes + dense->wire_end_bytes) /
                     compact_bytes
               : 0.0;
       // Same trace values, same solves on the surviving support, and a mu
       // that is provably zero off the active set: the costs must agree bit
-      // for bit three ways or one of the layouts is broken.
-      point.costs_match = dense->total_cost == sparse->total_cost &&
-                          sparse->total_cost == densemu->total_cost;
+      // for bit or one of the representations is broken.
+      point.costs_match = dense->total_cost == sparse->total_cost;
       points.push_back(point);
     }
 
@@ -433,12 +421,11 @@ int main(int argc, char** argv) {
     const double max_k_sparse_p99_ms = points.back().sparse.p99 * 1000.0;
     std::cout << "decision-latency speedup at K=" << points.back().dense.contents
               << ": " << max_k_speedup << "x\n"
-              << "compact-mu byte reduction (resident mu + kEnd wire) at K="
+              << "sparse byte reduction (resident mu + kEnd wire) at K="
               << points.back().dense.contents << ": " << max_k_bytes_reduction
               << "x\n";
     if (!all_match) {
-      std::cerr << "COST MISMATCH between dense, sparse and sparse+dense-mu "
-                   "runs\n";
+      std::cerr << "COST MISMATCH between dense and sparse runs\n";
     }
 
     std::ofstream json(json_path);
@@ -462,8 +449,6 @@ int main(int argc, char** argv) {
         json_measured(json, p.dense);
         json << ",\n     \"sparse\": ";
         json_measured(json, p.sparse);
-        json << ",\n     \"sparse_densemu\": ";
-        json_measured(json, p.sparse_densemu);
         json << ",\n     \"decision_speedup\": " << p.speedup
              << ", \"peak_rss_ratio\": " << p.rss_ratio
              << ", \"mu_kend_bytes_reduction\": " << p.bytes_reduction

@@ -123,6 +123,8 @@ PrimalDualSolver::PrimalDualSolver(PrimalDualOptions options)
   MDO_REQUIRE(options_.epsilon > 0.0, "epsilon must be positive");
   MDO_REQUIRE(options_.step_alpha > 0.0, "step_alpha must be positive");
   MDO_REQUIRE(options_.step_scale >= 0.0, "step_scale must be >= 0");
+  MDO_REQUIRE(options_.p1_neighbor_price >= 0.0,
+              "p1_neighbor_price must be >= 0");
 }
 
 PrimalDualSolver::~PrimalDualSolver() = default;
@@ -189,7 +191,7 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
               "horizon problem: exactly one demand representation");
   MDO_REQUIRE(problem.horizon() >= 1, "horizon problem: empty window");
   const bool sparse = problem.use_sparse();
-  const bool compact = sparse && options_.compact_mu;
+  const bool compact = sparse;
   if (sparse ? !demand_finite_nonnegative(*problem.sparse_demand)
              : !demand_finite_nonnegative(*problem.demand)) {
     // Corrupted window (NaN/Inf/negative rates): iterating would only smear
@@ -207,12 +209,11 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
   const MuLayout layout(config);
 
   // ---- Sparse mode: the active-set index structures (shard_core.hpp),
-  // built FIRST because the compact mu vector is sized by them. In dense-mu
-  // sparse mode mu keeps the dense layout — it is only ever read/written at
-  // active coordinates, and the untouched coordinates are provably zero
-  // throughout the ascent (marginal init is supported on lambda;
-  // off-support the subgradient is -x <= 0 and the projection pins mu at
-  // 0). Compact mode stores exactly those coordinates and nothing else.
+  // built FIRST because the compact mu vector is sized by them. Off the
+  // active set mu is provably zero throughout the ascent (marginal init is
+  // supported on lambda; off-support the subgradient is -x <= 0 and the
+  // projection pins mu at 0), so the compact vector stores exactly the
+  // active coordinates and nothing else (DESIGN.md §12).
   ActiveSets sets;
   std::vector<std::size_t> mu_off;
   if (sparse) {
@@ -396,20 +397,71 @@ HorizonSolution PrimalDualSolver::solve(const HorizonProblem& problem,
     bank_sbs_ = num_sbs;
   }
 
+  // ---- Optional neighbor-demand tilt of P1 (see the option comment):
+  // constant per-(n, k, t) reward addends in the P1 layout, computed HERE,
+  // serially, from the topology and the window demand — the same values at
+  // every thread and shard count. Shipped once to workers at kBegin.
+  std::vector<linalg::Vec> neighbor_rewards;
+  if (options_.p1_neighbor_price > 0.0 && config.has_neighbor_tier()) {
+    // receivers[n] = peers holding a positive-bandwidth fetch link -> n.
+    std::vector<std::vector<std::size_t>> receivers(num_sbs);
+    for (std::size_t r = 0; r < num_sbs; ++r) {
+      for (const model::NeighborLink& link : config.topology.links[r]) {
+        if (link.bandwidth > 0.0) receivers[link.peer].push_back(r);
+      }
+    }
+    neighbor_rewards.resize(num_sbs);
+    linalg::Vec scratch(k_count);
+    for (std::size_t n = 0; n < num_sbs; ++n) {
+      if (receivers[n].empty()) continue;  // empty vector = no tilt
+      const std::size_t kp = sparse ? sets.p1_list[n].size() : k_count;
+      neighbor_rewards[n].assign(w * kp, 0.0);
+      for (std::size_t t = 0; t < w; ++t) {
+        scratch.assign(k_count, 0.0);
+        for (const std::size_t r : receivers[n]) {
+          if (sparse) {
+            const auto& dem = problem.sparse_demand->slot(t)[r];
+            for (std::size_t m = 0; m < config.sbs[r].num_classes(); ++m) {
+              for (const model::DemandEntry* it = dem.row_begin(m);
+                   it != dem.row_end(m); ++it) {
+                scratch[it->content] += it->rate;
+              }
+            }
+          } else {
+            const auto& dem = problem.demand->slot(t)[r];
+            for (std::size_t m = 0; m < config.sbs[r].num_classes(); ++m) {
+              for (std::size_t k = 0; k < k_count; ++k) {
+                scratch[k] += dem.at(m, k);
+              }
+            }
+          }
+        }
+        double* row = neighbor_rewards[n].data() + t * kp;
+        for (std::size_t i = 0; i < kp; ++i) {
+          const std::size_t k = sparse ? sets.p1_list[n][i] : i;
+          row[i] = options_.p1_neighbor_price * scratch[k];
+        }
+      }
+    }
+  }
+  const std::vector<linalg::Vec>* rewards_ptr =
+      neighbor_rewards.empty() ? nullptr : &neighbor_rewards;
+
   const std::size_t shards =
       shard::resolved_shard_count(options_.shard_count, num_sbs);
   if (shards > 0) {
     return solve_sharded(problem, deadline, shards, std::move(mu), step_scale,
-                         step_offset, sets, mu_off, bank);
+                         step_offset, sets, mu_off, rewards_ptr, bank);
   }
   return solve_in_process(problem, deadline, std::move(mu), step_scale,
-                          step_offset, std::move(sets), bank);
+                          step_offset, std::move(sets), rewards_ptr, bank);
 }
 
 HorizonSolution PrimalDualSolver::solve_in_process(
     const HorizonProblem& problem, runtime::DeadlineToken* deadline,
     linalg::Vec mu, double step_scale, std::size_t step_offset,
-    ActiveSets sets, std::vector<CellState>& bank) {
+    ActiveSets sets, const std::vector<linalg::Vec>* neighbor_rewards,
+    std::vector<CellState>& bank) {
   const auto& config = *problem.config;
   const std::size_t w = problem.horizon();
 
@@ -421,12 +473,12 @@ HorizonSolution PrimalDualSolver::solve_in_process(
   } else {
     inputs.demand = problem.demand;
   }
+  inputs.neighbor_rewards = neighbor_rewards;
   ShardOptions shard_opts;
   shard_opts.backend = options_.backend;
   shard_opts.load_balancing = options_.load_balancing;
   shard_opts.reuse_p1_network = options_.reuse_p1_network;
   shard_opts.cross_window_warm_start = options_.cross_window_warm_start;
-  shard_opts.compact_mu = options_.compact_mu;
 
   // One full-range shard: the exact pre-refactor loop bodies (see
   // shard_core.cpp), with every reduction kept below in serial index order.
@@ -514,13 +566,14 @@ HorizonSolution PrimalDualSolver::solve_sharded(
     std::size_t shards, linalg::Vec mu, double step_scale,
     std::size_t step_offset, const ActiveSets& sets,
     const std::vector<std::size_t>& mu_offsets,
+    const std::vector<linalg::Vec>* neighbor_rewards,
     std::vector<CellState>& bank) {
   const auto& config = *problem.config;
   const std::size_t w = problem.horizon();
   const std::size_t num_sbs = config.num_sbs();
   const std::size_t k_count = config.num_contents;
   const bool sparse = problem.use_sparse();
-  const bool compact = sparse && options_.compact_mu;
+  const bool compact = sparse;
   const MuLayout layout(config);
 
   ShardInputs inputs;
@@ -531,12 +584,12 @@ HorizonSolution PrimalDualSolver::solve_sharded(
   } else {
     inputs.demand = problem.demand;
   }
+  inputs.neighbor_rewards = neighbor_rewards;
   ShardOptions shard_opts;
   shard_opts.backend = options_.backend;
   shard_opts.load_balancing = options_.load_balancing;
   shard_opts.reuse_p1_network = options_.reuse_p1_network;
   shard_opts.cross_window_warm_start = options_.cross_window_warm_start;
-  shard_opts.compact_mu = options_.compact_mu;
 
   if (!coordinator_) coordinator_ = std::make_unique<shard::Coordinator>();
   // A worker death anywhere below aborts the solve without touching the
@@ -548,7 +601,7 @@ HorizonSolution PrimalDualSolver::solve_sharded(
     return fallback_solution(problem, solver::SolveStatus::kWorkerFailure,
                              compact);
   };
-  if (!coordinator_->begin(inputs, shard_opts, shards, sets, layout,
+  if (!coordinator_->begin(inputs, shard_opts, shards, layout,
                            compact ? &mu_offsets : nullptr, mu, bank)) {
     return fail();
   }

@@ -116,18 +116,19 @@ struct PrimalDualOptions {
   /// the dual optimum genuinely shifts. false re-solves every window cold
   /// with no warm starts of either kind.
   bool cross_window_warm_start = true;
-  /// Sparse-demand solves only: store the multipliers as the COMPACT
-  /// concatenation of per-(slot, SBS) active-coordinate blocks
-  /// (core::mu_block_offsets geometry — the same per-cell block layout the
-  /// shard wire protocol ships) instead of the dense w*N*M*K vector. Off
-  /// the active set mu is provably zero for the entire ascent, so the
-  /// representations are interchangeable and every solve is bit-identical
-  /// either way; compact keeps resident mu, warm banks, checkpoints and
-  /// shard kEnd frames at O(active) instead of O(K). Kept as an A/B switch
-  /// for one release (DESIGN.md §12); dense-demand solves ignore it.
-  /// HorizonSolution::mu and any warm mu handed back in are in whichever
-  /// layout this flag selects.
-  bool compact_mu = true;
+  /// Neighbor-demand tilt of P1 (DESIGN.md §13): when positive and the
+  /// config carries a positive-bandwidth neighbor topology, every content's
+  /// P1 reward at SBS n gains `price * (total demand rate the positive-
+  /// bandwidth receivers of n place on that content that slot)` — a
+  /// constant per (n, k, t) computed serially driver-side before the
+  /// ascent, so caching decisions anticipate the neighbor tier that the
+  /// cooperative overlay (core/collab.hpp) later exploits. The tilt
+  /// perturbs P1's objective, so with a positive price the reported lower
+  /// bound is heuristic, not a valid bound on (9). 0.0 (the default)
+  /// disables the tilt and leaves every solve bitwise-identical to the
+  /// pre-topology solver. In sparse mode the tilt only reaches contents in
+  /// the SBS's restricted window union (others stay un-cacheable there).
+  double p1_neighbor_price = 0.0;
   /// Process-level scale-out (DESIGN.md §11): number of worker subprocesses
   /// the dual decomposition is sharded over. 0 defers to the MDO_SHARDS
   /// environment variable (unset/0 = solve in process); N >= 1 forces N
@@ -145,11 +146,11 @@ struct HorizonSolution {
   double upper_bound = 0.0;   // objective (9) of `schedule`
   double lower_bound = 0.0;   // best dual value (valid lower bound)
   std::size_t iterations = 0; // dual iterations performed
-  /// Final multipliers (for warm starts): dense layout, or the compact
-  /// active-coordinate layout when the solve ran with
-  /// PrimalDualOptions::compact_mu on a sparse window. Empty in a compact
-  /// fallback (kNonFiniteInput/kWorkerFailure), which safely disables
-  /// same-window warm starts downstream.
+  /// Final multipliers (for warm starts): dense layout for dense-demand
+  /// solves, the compact active-coordinate layout (core::mu_block_offsets
+  /// geometry) for sparse-demand solves. Empty in a sparse fallback
+  /// (kNonFiniteInput/kWorkerFailure), which safely disables same-window
+  /// warm starts downstream.
   linalg::Vec mu;
   /// How the solve terminated. kNonFiniteInput means the demand window held
   /// NaN/Inf/negative rates: the schedule is then the safe fallback (carry
@@ -234,18 +235,18 @@ class PrimalDualSolver {
   void restore_state(util::BinaryReader& r);
 
  private:
-  HorizonSolution solve_in_process(const HorizonProblem& problem,
-                                   runtime::DeadlineToken* deadline,
-                                   linalg::Vec mu, double step_scale,
-                                   std::size_t step_offset, ActiveSets sets,
-                                   std::vector<CellState>& bank);
-  HorizonSolution solve_sharded(const HorizonProblem& problem,
-                                runtime::DeadlineToken* deadline,
-                                std::size_t shards, linalg::Vec mu,
-                                double step_scale, std::size_t step_offset,
-                                const ActiveSets& sets,
-                                const std::vector<std::size_t>& mu_offsets,
-                                std::vector<CellState>& bank);
+  HorizonSolution solve_in_process(
+      const HorizonProblem& problem, runtime::DeadlineToken* deadline,
+      linalg::Vec mu, double step_scale, std::size_t step_offset,
+      ActiveSets sets, const std::vector<linalg::Vec>* neighbor_rewards,
+      std::vector<CellState>& bank);
+  HorizonSolution solve_sharded(
+      const HorizonProblem& problem, runtime::DeadlineToken* deadline,
+      std::size_t shards, linalg::Vec mu, double step_scale,
+      std::size_t step_offset, const ActiveSets& sets,
+      const std::vector<std::size_t>& mu_offsets,
+      const std::vector<linalg::Vec>* neighbor_rewards,
+      std::vector<CellState>& bank);
 
   PrimalDualOptions options_;
   std::vector<CellState> bank_;  // cell = t * num_sbs + n

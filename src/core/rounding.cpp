@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "model/feasibility.hpp"
 #include "util/error.hpp"
 
 namespace mdo::core {
@@ -60,6 +61,17 @@ void mask_load_by_cache(const model::NetworkConfig& config,
     for (std::size_t m = 0; m < config.sbs[n].num_classes(); ++m) {
       for (std::size_t k = 0; k < config.num_contents; ++k) {
         if (!cache.cached(n, k)) load.at(n, m, k) = 0.0;
+      }
+    }
+  }
+  if (!load.has_neighbor()) return;
+  for (std::size_t n = 0; n < config.num_sbs(); ++n) {
+    for (std::size_t k = 0; k < config.num_contents; ++k) {
+      if (model::neighbor_source(config, cache, n, k) != config.num_sbs()) {
+        continue;  // a positive-bandwidth peer still caches k
+      }
+      for (std::size_t m = 0; m < config.sbs[n].num_classes(); ++m) {
+        load.neighbor_at(n, m, k) = 0.0;
       }
     }
   }

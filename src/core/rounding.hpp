@@ -35,7 +35,14 @@ model::CacheState round_cache(const model::NetworkConfig& config,
                               const std::vector<linalg::Vec>& fractional,
                               double rho);
 
-/// Step (ii) of the policy: zero y where the content is not cached.
+/// Step (ii) of the policy: zero y where the content is not cached. When
+/// the load carries a neighbor bank, the neighbor fractions are coupled to
+/// the *rounded* caches of the peers: y_neigh[n,m,k] is zeroed wherever no
+/// positive-bandwidth neighbor of n caches k after rounding (the designated
+/// source of model::neighbor_source disappeared), so the rounded decision
+/// stays availability-feasible under cross-SBS coupling. Residual per-link
+/// bandwidth overshoot is repaired downstream by
+/// model::repair_decision_feasibility's proportional link scale-down.
 void mask_load_by_cache(const model::NetworkConfig& config,
                         const model::CacheState& cache,
                         model::LoadAllocation& load);

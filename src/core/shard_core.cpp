@@ -90,9 +90,8 @@ void ShardCore::begin(const ShardInputs& in, const ShardOptions& opts,
   layout_ = MuLayout(*config_);
   sets_ = std::move(sets);
   bank_ = &bank;
-  compact_ = sparse_ && opts.compact_mu;
-  mu_off_ = compact_ ? mu_block_offsets(*config_, horizon_, sets_)
-                     : std::vector<std::size_t>{};
+  mu_off_ = sparse_ ? mu_block_offsets(*config_, horizon_, sets_)
+                    : std::vector<std::size_t>{};
 
   const auto& config = *config_;
   const std::size_t w = horizon_;
@@ -175,9 +174,8 @@ void ShardCore::iterate(const linalg::Vec& mu) {
   const std::size_t num_sbs = config.num_sbs();
   const std::size_t k_count = config.num_contents;
   const bool sparse = sparse_;
-  const bool compact = compact_;
   std::vector<CellState>& bank = *bank_;
-  if (compact) {
+  if (sparse) {
     MDO_REQUIRE(mu.size() == mu_off_.back(),
                 "shard core: compact mu size mismatch");
   }
@@ -204,7 +202,7 @@ void ShardCore::iterate(const linalg::Vec& mu) {
       const std::size_t classes = config.sbs[n].num_classes();
       const std::size_t kp = sub.num_contents;
       for (std::size_t t = 0; t < w; ++t) {
-        if (compact) {
+        if (sparse) {
           // Contiguous reads straight out of the cell's compact block —
           // same addends, same order as the dense gather below.
           const std::vector<std::size_t>& al = sets_.active[t * num_sbs + n];
@@ -217,24 +215,25 @@ void ShardCore::iterate(const linalg::Vec& mu) {
               sub.rewards[t * kp + map[i]] += block[m * a_count + i];
             }
           }
-        } else if (sparse) {
-          // mu is zero off the active set throughout the ascent, so summing
-          // only active coordinates is bit-identical to the dense loop.
-          const std::size_t base = layout_.offset(t, n);
-          const std::vector<std::size_t>& al = sets_.active[t * num_sbs + n];
-          const std::vector<std::size_t>& map =
-              sets_.cell_p1[t * num_sbs + n];
-          for (std::size_t m = 0; m < classes; ++m) {
-            for (std::size_t i = 0; i < al.size(); ++i) {
-              sub.rewards[t * kp + map[i]] += mu[base + m * k_count + al[i]];
-            }
-          }
         } else {
           const std::size_t base = layout_.offset(t, n);
           for (std::size_t m = 0; m < classes; ++m) {
             for (std::size_t k = 0; k < k_count; ++k) {
               sub.rewards[t * k_count + k] += mu[base + m * k_count + k];
             }
+          }
+        }
+      }
+      // Constant neighbor-demand tilt (ShardInputs::neighbor_rewards):
+      // added AFTER the mu sums, serially within this SBS's task, so the
+      // addition order is independent of thread and shard counts.
+      if (inputs_.neighbor_rewards != nullptr) {
+        const linalg::Vec& tilt = (*inputs_.neighbor_rewards)[n];
+        if (!tilt.empty()) {
+          MDO_CHECK(tilt.size() == sub.rewards.size(),
+                    "shard core: neighbor reward layout mismatch");
+          for (std::size_t j = 0; j < tilt.size(); ++j) {
+            sub.rewards[j] += tilt[j];
           }
         }
       }
@@ -253,13 +252,11 @@ void ShardCore::iterate(const linalg::Vec& mu) {
     const std::size_t t = cell / num_sbs;
     const std::size_t n = cell % num_sbs;
     CellState& cs = bank[cell];
-    if (compact) {
+    if (sparse) {
       // The compact block IS the bound workspace's coefficient layout
       // (class-major over active positions): a straight contiguous copy
       // replaces the strided dense gather.
       cs.p2.set_linear(mu.data() + mu_off_[cell], mu.data() + mu_off_[cell + 1]);
-    } else if (sparse) {
-      cs.p2.set_linear_from_dense(mu.data() + layout_.offset(t, n), k_count);
     } else {
       const std::size_t base = layout_.offset(t, n);
       cs.p2.set_linear(mu.data() + base,
@@ -332,23 +329,22 @@ void ShardCore::dual_update(double delta, linalg::Vec& mu) {
   const std::size_t num_sbs = config.num_sbs();
   const std::size_t k_count = config.num_contents;
   const bool sparse = sparse_;
-  const bool compact = compact_;
   std::vector<CellState>& bank = *bank_;
 
   // ---- Projected subgradient ascent on mu: g = y - x (17). In sparse
-  // mode only active coordinates move; off the active set y = 0 and
-  // x = 0, so the dense update would compute max(0, mu + 0) = mu = 0.
-  // Every coordinate updates independently of all others, so a worker
-  // applying this to its slice produces the same values as the full-range
-  // update — no cross-shard state is involved — and cells update in
-  // parallel (each owns a disjoint mu range).
+  // mode only active coordinates exist (compact layout); off the active
+  // set y = 0 and x = 0, so the dense update would compute
+  // max(0, mu + 0) = mu = 0. Every coordinate updates independently of all
+  // others, so a worker applying this to its slice produces the same
+  // values as the full-range update — no cross-shard state is involved —
+  // and cells update in parallel (each owns a disjoint mu range).
   util::parallel_for(0, w * num_sbs, [&](std::size_t cell) {
     const std::size_t t = cell / num_sbs;
     const std::size_t n = cell % num_sbs;
     const std::size_t classes = config.sbs[n].num_classes();
     CellState& cs = bank[cell];
     const linalg::Vec& y = cs.p2.y();
-    if (compact) {
+    if (sparse) {
       // Expand the P1 bits for this cell once, then run the fused
       // max(0, mu + delta*(y - x)) kernel row by row over the contiguous
       // block — per-coordinate arithmetic identical to the dense update.
@@ -368,22 +364,6 @@ void ShardCore::dual_update(double delta, linalg::Vec& mu) {
       return;
     }
     const std::size_t base = layout_.offset(t, n);
-    if (sparse) {
-      const std::vector<std::size_t>& al = sets_.active[cell];
-      const std::vector<std::size_t>& map = sets_.cell_p1[cell];
-      const std::size_t kp = p1_[n].sub.num_contents;
-      const std::size_t a_count = al.size();
-      for (std::size_t m = 0; m < classes; ++m) {
-        for (std::size_t i = 0; i < a_count; ++i) {
-          const std::size_t j = base + m * k_count + al[i];
-          const double subgrad =
-              y[m * a_count + i] -
-              static_cast<double>(x_[n][t * kp + map[i]]);
-          mu[j] = std::max(0.0, mu[j] + delta * subgrad);
-        }
-      }
-      return;
-    }
     for (std::size_t m = 0; m < classes; ++m) {
       for (std::size_t k = 0; k < k_count; ++k) {
         const std::size_t j = base + m * k_count + k;

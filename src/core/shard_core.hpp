@@ -110,13 +110,6 @@ struct ShardOptions {
   LoadBalancingOptions load_balancing{};
   bool reuse_p1_network = true;
   bool cross_window_warm_start = true;
-  /// Sparse mode only: store mu as the compact concatenation of per-cell
-  /// active-coordinate blocks (mu_block_offsets geometry) instead of the
-  /// dense w*N*M*K layout. Off the active set mu is provably zero for the
-  /// whole ascent, so the two representations carry the same information
-  /// and produce bit-identical solves; dense stays available for one
-  /// release as the A/B baseline. Ignored for dense-demand solves.
-  bool compact_mu = true;
 };
 
 /// Non-owning window problem handed to a shard. In a worker subprocess the
@@ -127,6 +120,14 @@ struct ShardInputs {
   const model::DemandTrace* demand = nullptr;
   const model::SparseDemandTrace* sparse_demand = nullptr;
   const model::CacheState* initial_cache = nullptr;
+  /// Optional P1 neighbor-demand reward addends (DESIGN.md §13): per SBS a
+  /// vector in the P1 rewards layout ([t * kp + i] over the restricted
+  /// content list in sparse mode, [t * K + k] dense), computed serially by
+  /// the driver from the topology and the window demand and added to
+  /// sub.rewards each iteration. Constants of the solve — they never change
+  /// between dual iterations — so workers receive their slice once at
+  /// kBegin. Null or per-SBS empty vectors mean no tilt (the default).
+  const std::vector<linalg::Vec>* neighbor_rewards = nullptr;
 
   bool sparse() const { return sparse_demand != nullptr; }
   std::size_t horizon() const {
@@ -178,9 +179,9 @@ class ShardCore {
   /// Per SBS: the P1 schedule, [t * kp + i] over the restricted list.
   const std::vector<std::vector<std::uint8_t>>& x() const { return x_; }
   const ActiveSets& sets() const { return sets_; }
-  /// True when this solve stores mu compactly (sparse mode with
-  /// ShardOptions::compact_mu).
-  bool compact() const { return compact_; }
+  /// True when this solve stores mu compactly — always, for sparse-demand
+  /// solves (the dense-layout sparse-mu A/B path is retired, DESIGN.md §12).
+  bool compact() const { return sparse_; }
   /// Compact block offsets (cells + 1 entries); empty unless compact().
   const std::vector<std::size_t>& mu_offsets() const { return mu_off_; }
   /// kp of SBS n: restricted catalogue size (sparse) or K (dense).
@@ -200,7 +201,6 @@ class ShardCore {
   ShardOptions options_;
   std::size_t horizon_ = 0;
   bool sparse_ = false;
-  bool compact_ = false;
   MuLayout layout_;
   std::vector<std::size_t> mu_off_;
   ActiveSets sets_;

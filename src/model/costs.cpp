@@ -9,15 +9,24 @@ double bs_operating_cost(const NetworkConfig& config, const SlotDemand& demand,
                          const LoadAllocation& load) {
   MDO_REQUIRE(demand.size() == config.num_sbs(), "demand shape mismatch");
   const std::size_t k_count = config.num_contents;
+  const bool neighbor = load.has_neighbor();
   double total = 0.0;
   for (std::size_t n = 0; n < config.num_sbs(); ++n) {
     const auto& sbs = config.sbs[n];
     const double* d = demand[n].data().data();
     const double* y = load.sbs_data(n).data();
+    const double* z = neighbor ? load.neighbor_data(n).data() : nullptr;
     double weighted = 0.0;
     for (std::size_t m = 0; m < sbs.num_classes(); ++m) {
-      const double class_rest =
+      // Residual 1 - y_local (- y_neigh when the neighbor bank exists):
+      // the subtraction is a separate serial accumulation so the baseline
+      // kernel sequence is untouched on bank-free decisions.
+      double class_rest =
           linalg::residual_dot(y + m * k_count, d + m * k_count, k_count);
+      if (neighbor) {
+        class_rest -= linalg::dot_span(z + m * k_count, d + m * k_count,
+                                       k_count);
+      }
       weighted += sbs.classes[m].omega_bs * class_rest;
     }
     total += weighted * weighted;
@@ -46,6 +55,28 @@ double sbs_operating_cost(const NetworkConfig& config,
   return total;
 }
 
+double neighbor_operating_cost(const NetworkConfig& config,
+                               const SlotDemand& demand,
+                               const LoadAllocation& load) {
+  if (!load.has_neighbor()) return 0.0;
+  MDO_REQUIRE(demand.size() == config.num_sbs(), "demand shape mismatch");
+  const std::size_t k_count = config.num_contents;
+  double total = 0.0;
+  for (std::size_t n = 0; n < config.num_sbs(); ++n) {
+    const auto& sbs = config.sbs[n];
+    const double* d = demand[n].data().data();
+    const double* z = load.neighbor_data(n).data();
+    double weighted = 0.0;
+    for (std::size_t m = 0; m < sbs.num_classes(); ++m) {
+      const double class_served =
+          linalg::dot_span(z + m * k_count, d + m * k_count, k_count);
+      weighted += sbs.classes[m].omega_neigh * class_served;
+    }
+    total += weighted * weighted;
+  }
+  return total;
+}
+
 double replacement_cost(const NetworkConfig& config, const CacheState& cache,
                         const CacheState& previous) {
   double total = 0.0;
@@ -68,6 +99,7 @@ std::size_t replacement_count(const CacheState& cache,
 CostBreakdown& CostBreakdown::operator+=(const CostBreakdown& other) {
   bs += other.bs;
   sbs += other.sbs;
+  neigh += other.neigh;
   replacement += other.replacement;
   return *this;
 }
@@ -78,6 +110,7 @@ CostBreakdown slot_cost(const NetworkConfig& config, const SlotDemand& demand,
   CostBreakdown out;
   out.bs = bs_operating_cost(config, demand, decision.load);
   out.sbs = sbs_operating_cost(config, demand, decision.load);
+  out.neigh = neighbor_operating_cost(config, demand, decision.load);
   out.replacement = replacement_cost(config, decision.cache, previous);
   return out;
 }
@@ -105,16 +138,28 @@ double bs_operating_cost(const NetworkConfig& config, SlotDemandView demand,
   const SparseSlotDemand& slot = *demand.sparse();
   MDO_REQUIRE(slot.size() == config.num_sbs(), "demand shape mismatch");
   const std::size_t k_count = config.num_contents;
+  const bool neighbor = load.has_neighbor();
   double total = 0.0;
   for (std::size_t n = 0; n < config.num_sbs(); ++n) {
     const auto& sbs = config.sbs[n];
     const SparseSbsDemand& d = slot[n];
     const double* y = load.sbs_data(n).data();
+    const double* z = neighbor ? load.neighbor_data(n).data() : nullptr;
     double weighted = 0.0;
     for (std::size_t m = 0; m < sbs.num_classes(); ++m) {
       double class_rest = 0.0;
       for (const DemandEntry* it = d.row_begin(m); it != d.row_end(m); ++it) {
         class_rest += (1.0 - y[m * k_count + it->content]) * it->rate;
+      }
+      if (neighbor) {
+        // Separate accumulation mirroring the dense residual_dot - dot_span
+        // split, keeping sparse/dense bit-identity under the neighbor tier.
+        double class_neigh = 0.0;
+        for (const DemandEntry* it = d.row_begin(m); it != d.row_end(m);
+             ++it) {
+          class_neigh += z[m * k_count + it->content] * it->rate;
+        }
+        class_rest -= class_neigh;
       }
       weighted += sbs.classes[m].omega_bs * class_rest;
     }
@@ -150,12 +195,42 @@ double sbs_operating_cost(const NetworkConfig& config, SlotDemandView demand,
   return total;
 }
 
+double neighbor_operating_cost(const NetworkConfig& config,
+                               SlotDemandView demand,
+                               const LoadAllocation& load) {
+  if (!load.has_neighbor()) return 0.0;
+  MDO_REQUIRE(demand.valid(), "neighbor_operating_cost: empty demand view");
+  if (!demand.is_sparse()) {
+    return neighbor_operating_cost(config, *demand.dense(), load);
+  }
+  const SparseSlotDemand& slot = *demand.sparse();
+  MDO_REQUIRE(slot.size() == config.num_sbs(), "demand shape mismatch");
+  const std::size_t k_count = config.num_contents;
+  double total = 0.0;
+  for (std::size_t n = 0; n < config.num_sbs(); ++n) {
+    const auto& sbs = config.sbs[n];
+    const SparseSbsDemand& d = slot[n];
+    const double* z = load.neighbor_data(n).data();
+    double weighted = 0.0;
+    for (std::size_t m = 0; m < sbs.num_classes(); ++m) {
+      double class_served = 0.0;
+      for (const DemandEntry* it = d.row_begin(m); it != d.row_end(m); ++it) {
+        class_served += z[m * k_count + it->content] * it->rate;
+      }
+      weighted += sbs.classes[m].omega_neigh * class_served;
+    }
+    total += weighted * weighted;
+  }
+  return total;
+}
+
 CostBreakdown slot_cost(const NetworkConfig& config, SlotDemandView demand,
                         const SlotDecision& decision,
                         const CacheState& previous) {
   CostBreakdown out;
   out.bs = bs_operating_cost(config, demand, decision.load);
   out.sbs = sbs_operating_cost(config, demand, decision.load);
+  out.neigh = neighbor_operating_cost(config, demand, decision.load);
   out.replacement = replacement_cost(config, decision.cache, previous);
   return out;
 }

@@ -6,6 +6,13 @@
 //               the traffic the SBS serves.
 //  h   (eq. 8): cache replacement cost, beta_n per item inserted between
 //               consecutive slots.
+//
+// Under a non-empty neighbor topology (DESIGN.md §13) a fourth component
+// \tilde{f}_t appears: per SBS the square of the \tilde{omega}-weighted
+// traffic pulled from neighbor caches, and the BS residual shrinks to
+// 1 - y_local - y_neigh. All neighbor terms are guarded on
+// LoadAllocation::has_neighbor(), so decisions without the bank evaluate
+// the baseline arithmetic instruction for instruction.
 #pragma once
 
 #include <cstddef>
@@ -26,6 +33,13 @@ double sbs_operating_cost(const NetworkConfig& config,
                           const SlotDemand& demand,
                           const LoadAllocation& load);
 
+/// \tilde{f}_t: the neighbor-tier operating cost, per SBS the square of the
+/// \tilde{omega}-weighted traffic served out of neighbor caches. 0.0 when
+/// the load carries no neighbor bank.
+double neighbor_operating_cost(const NetworkConfig& config,
+                               const SlotDemand& demand,
+                               const LoadAllocation& load);
+
 /// h(X^t, X^{t-1}), eq. (8).
 double replacement_cost(const NetworkConfig& config, const CacheState& cache,
                         const CacheState& previous);
@@ -39,9 +53,10 @@ std::size_t replacement_count(const CacheState& cache,
 struct CostBreakdown {
   double bs = 0.0;           // f_t
   double sbs = 0.0;          // g_t
+  double neigh = 0.0;        // \tilde{f}_t (0.0 without a neighbor tier)
   double replacement = 0.0;  // h
 
-  double total() const { return bs + sbs + replacement; }
+  double total() const { return bs + sbs + neigh + replacement; }
 
   CostBreakdown& operator+=(const CostBreakdown& other);
 
@@ -68,6 +83,9 @@ double bs_operating_cost(const NetworkConfig& config, SlotDemandView demand,
                          const LoadAllocation& load);
 double sbs_operating_cost(const NetworkConfig& config, SlotDemandView demand,
                           const LoadAllocation& load);
+double neighbor_operating_cost(const NetworkConfig& config,
+                               SlotDemandView demand,
+                               const LoadAllocation& load);
 CostBreakdown slot_cost(const NetworkConfig& config, SlotDemandView demand,
                         const SlotDecision& decision,
                         const CacheState& previous);

@@ -89,4 +89,48 @@ linalg::Vec& LoadAllocation::sbs_data(std::size_t n) {
   return y_[n];
 }
 
+void LoadAllocation::ensure_neighbor() {
+  if (!yn_.empty()) return;
+  yn_.reserve(y_.size());
+  for (const auto& row : y_) yn_.emplace_back(row.size(), 0.0);
+}
+
+double LoadAllocation::neighbor_at(std::size_t n, std::size_t m,
+                                   std::size_t k) const {
+  if (yn_.empty()) return 0.0;
+  MDO_REQUIRE(n < yn_.size() && m < shape_classes_[n] && k < num_contents_,
+              "neighbor load index out of range");
+  return yn_[n][m * num_contents_ + k];
+}
+
+double& LoadAllocation::neighbor_at(std::size_t n, std::size_t m,
+                                    std::size_t k) {
+  MDO_REQUIRE(!yn_.empty(), "neighbor bank not allocated (ensure_neighbor)");
+  MDO_REQUIRE(n < yn_.size() && m < shape_classes_[n] && k < num_contents_,
+              "neighbor load index out of range");
+  return yn_[n][m * num_contents_ + k];
+}
+
+double LoadAllocation::neighbor_load(std::size_t n,
+                                     const SbsDemand& demand) const {
+  if (yn_.empty()) return 0.0;
+  MDO_REQUIRE(n < yn_.size(), "SBS index out of range");
+  MDO_REQUIRE(demand.num_classes() == shape_classes_[n] &&
+                  demand.num_contents() == num_contents_,
+              "demand shape mismatch");
+  return linalg::dot(yn_[n], demand.data());
+}
+
+const linalg::Vec& LoadAllocation::neighbor_data(std::size_t n) const {
+  MDO_REQUIRE(!yn_.empty() && n < yn_.size(),
+              "neighbor bank not allocated (ensure_neighbor)");
+  return yn_[n];
+}
+
+linalg::Vec& LoadAllocation::neighbor_data(std::size_t n) {
+  MDO_REQUIRE(!yn_.empty() && n < yn_.size(),
+              "neighbor bank not allocated (ensure_neighbor)");
+  return yn_[n];
+}
+
 }  // namespace mdo::model

@@ -1,8 +1,12 @@
 // Decision variables (Sec. II-A): caching X and load balancing Y.
 //
 // CacheState holds x[n, k] in {0, 1} for one slot; LoadAllocation holds
-// y[n, m, k] in [0, 1] for one slot. The BS share z = 1 - y is implied
-// (eq. (4)) and never stored.
+// the routing fractions for one slot. In the baseline two-way model these
+// are y_local[n, m, k] in [0, 1] with the BS share y_bs = 1 - y_local
+// implied (eq. (4)) and never stored. Under a non-empty neighbor topology
+// (DESIGN.md §13) a second bank y_neigh[n, m, k] is allocated lazily and
+// the BS share becomes 1 - y_local - y_neigh; the bank is absent on the
+// empty topology so the baseline arithmetic is bitwise untouched.
 #pragma once
 
 #include <cstddef>
@@ -68,10 +72,32 @@ class LoadAllocation {
   const linalg::Vec& sbs_data(std::size_t n) const;
   linalg::Vec& sbs_data(std::size_t n);
 
+  /// True once the neighbor-tier bank y_neigh exists. Decisions produced
+  /// on an empty topology never allocate it.
+  bool has_neighbor() const { return !yn_.empty(); }
+
+  /// Allocates the all-zero neighbor bank (same shape as the local bank);
+  /// idempotent.
+  void ensure_neighbor();
+
+  /// y_neigh[n, m, k]; the const read returns 0.0 when the bank is absent,
+  /// the mutable access requires ensure_neighbor() first.
+  double neighbor_at(std::size_t n, std::size_t m, std::size_t k) const;
+  double& neighbor_at(std::size_t n, std::size_t m, std::size_t k);
+
+  /// Traffic SBS n pulls over the neighbor tier: sum_{m,k} lambda * y_neigh.
+  /// 0.0 when the bank is absent.
+  double neighbor_load(std::size_t n, const SbsDemand& demand) const;
+
+  /// Flat neighbor-bank storage; requires has_neighbor().
+  const linalg::Vec& neighbor_data(std::size_t n) const;
+  linalg::Vec& neighbor_data(std::size_t n);
+
  private:
   std::size_t num_contents_ = 0;
   std::vector<std::size_t> shape_classes_;
   std::vector<linalg::Vec> y_;
+  std::vector<linalg::Vec> yn_;  // neighbor tier; empty unless ensured
 };
 
 /// Joint decision for one slot.

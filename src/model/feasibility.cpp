@@ -7,6 +7,128 @@
 
 namespace mdo::model {
 
+std::size_t neighbor_source(const NetworkConfig& config,
+                            const CacheState& cache, std::size_t n,
+                            std::size_t k) {
+  if (config.topology.links.empty()) return config.num_sbs();
+  for (const auto& link : config.topology.links[n]) {
+    if (link.bandwidth > 0.0 && cache.cached(link.peer, k)) return link.peer;
+  }
+  return config.num_sbs();
+}
+
+namespace {
+
+/// Index of `peer` in a sorted adjacency row; row.size() when absent.
+std::size_t link_index(const std::vector<NeighborLink>& row,
+                       std::size_t peer) {
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    if (row[j].peer == peer) return j;
+  }
+  return row.size();
+}
+
+/// Neighbor-tier violations for receiver SBS n. `rate` maps (m, k) to the
+/// demand rate; invoked only on coordinates with y_neigh > tol.
+template <typename RateFn>
+void check_neighbor_tier(const NetworkConfig& config,
+                         const SlotDecision& decision, std::size_t n,
+                         double tol, RateFn&& rate,
+                         std::vector<Violation>& out) {
+  const auto& sbs = config.sbs[n];
+  const std::vector<NeighborLink>* row =
+      config.topology.links.empty() ? nullptr : &config.topology.links[n];
+  std::vector<double> link_load(row != nullptr ? row->size() : 0, 0.0);
+  for (std::size_t m = 0; m < sbs.num_classes(); ++m) {
+    for (std::size_t k = 0; k < config.num_contents; ++k) {
+      const double z = decision.load.neighbor_at(n, m, k);
+      const double y = decision.load.at(n, m, k);
+      if (z < -tol || z > 1.0 + tol) {
+        std::ostringstream os;
+        os << "SBS " << n << " class " << m << " content " << k
+           << ": y_neigh=" << z << " outside [0,1]";
+        out.push_back({os.str()});
+      }
+      if (y + z > 1.0 + tol) {
+        std::ostringstream os;
+        os << "SBS " << n << " class " << m << " content " << k
+           << ": y_local + y_neigh = " << y + z << " exceeds 1";
+        out.push_back({os.str()});
+      }
+      if (z > tol) {
+        const std::size_t src =
+            neighbor_source(config, decision.cache, n, k);
+        if (src == config.num_sbs()) {
+          std::ostringstream os;
+          os << "SBS " << n << " class " << m << " content " << k
+             << ": y_neigh=" << z
+             << " but no positive-bandwidth neighbor caches it";
+          out.push_back({os.str()});
+        } else {
+          link_load[link_index(*row, src)] += rate(m, k) * z;
+        }
+      }
+    }
+  }
+  for (std::size_t j = 0; j < link_load.size(); ++j) {
+    if (link_load[j] > (*row)[j].bandwidth + tol) {
+      std::ostringstream os;
+      os << "SBS " << n << " link from SBS " << (*row)[j].peer << ": load "
+         << link_load[j] << " exceeds link bandwidth "
+         << (*row)[j].bandwidth;
+      out.push_back({os.str()});
+    }
+  }
+}
+
+/// Neighbor-tier repair for receiver SBS n: clamp, zero unavailable
+/// coordinates, trim y_local + y_neigh to 1, then scale each link down to
+/// its cap. `rate` maps (m, k) to the demand rate.
+template <typename RateFn>
+void repair_neighbor_tier(const NetworkConfig& config, SlotDecision& decision,
+                          std::size_t n, RateFn&& rate) {
+  const auto& sbs = config.sbs[n];
+  const std::vector<NeighborLink>* row =
+      config.topology.links.empty() ? nullptr : &config.topology.links[n];
+  std::vector<double> link_load(row != nullptr ? row->size() : 0, 0.0);
+  for (std::size_t m = 0; m < sbs.num_classes(); ++m) {
+    for (std::size_t k = 0; k < config.num_contents; ++k) {
+      double& z = decision.load.neighbor_at(n, m, k);
+      z = std::clamp(z, 0.0, 1.0);
+      if (z == 0.0) continue;
+      const std::size_t src = neighbor_source(config, decision.cache, n, k);
+      if (src == config.num_sbs()) {
+        z = 0.0;
+        continue;
+      }
+      const double y = decision.load.at(n, m, k);
+      if (y + z > 1.0) z = 1.0 - y;
+      link_load[link_index(*row, src)] += rate(m, k) * z;
+    }
+  }
+  // Per-link proportional scale-down, mirroring the (2) repair.
+  bool any_overloaded = false;
+  std::vector<double> scale(link_load.size(), 1.0);
+  for (std::size_t j = 0; j < link_load.size(); ++j) {
+    if (link_load[j] > (*row)[j].bandwidth && link_load[j] > 0.0) {
+      scale[j] = (*row)[j].bandwidth / link_load[j];
+      any_overloaded = true;
+    }
+  }
+  if (!any_overloaded) return;
+  for (std::size_t m = 0; m < sbs.num_classes(); ++m) {
+    for (std::size_t k = 0; k < config.num_contents; ++k) {
+      double& z = decision.load.neighbor_at(n, m, k);
+      if (z == 0.0) continue;
+      const std::size_t src = neighbor_source(config, decision.cache, n, k);
+      if (src == config.num_sbs()) continue;
+      z *= scale[link_index(*row, src)];
+    }
+  }
+}
+
+}  // namespace
+
 std::vector<Violation> check_feasibility(const NetworkConfig& config,
                                          const SlotDemand& demand,
                                          const SlotDecision& decision,
@@ -50,6 +172,15 @@ std::vector<Violation> check_feasibility(const NetworkConfig& config,
         }
       }
     }
+    if (decision.load.has_neighbor()) {
+      const double* d = demand[n].data().data();
+      check_neighbor_tier(
+          config, decision, n, tol,
+          [&](std::size_t m, std::size_t k) {
+            return d[m * config.num_contents + k];
+          },
+          out);
+    }
   }
   return out;
 }
@@ -76,6 +207,13 @@ void enforce_feasibility(const NetworkConfig& config, const SlotDemand& demand,
     if (load > sbs.bandwidth && load > 0.0) {
       const double scale = sbs.bandwidth / load;
       for (double& y : decision.load.sbs_data(n)) y *= scale;
+    }
+    if (decision.load.has_neighbor()) {
+      const double* d = demand[n].data().data();
+      repair_neighbor_tier(config, decision, n,
+                           [&](std::size_t m, std::size_t k) {
+                             return d[m * config.num_contents + k];
+                           });
     }
   }
 }
@@ -124,6 +262,19 @@ std::vector<Violation> check_feasibility(const NetworkConfig& config,
         }
       }
     }
+    if (decision.load.has_neighbor()) {
+      const SparseSbsDemand& d = (*demand.sparse())[n];
+      check_neighbor_tier(
+          config, decision, n, tol,
+          [&](std::size_t m, std::size_t k) -> double {
+            for (const DemandEntry* it = d.row_begin(m); it != d.row_end(m);
+                 ++it) {
+              if (it->content == k) return it->rate;
+            }
+            return 0.0;
+          },
+          out);
+    }
   }
   return out;
 }
@@ -155,6 +306,17 @@ void enforce_feasibility(const NetworkConfig& config, SlotDemandView demand,
     if (load > sbs.bandwidth && load > 0.0) {
       const double scale = sbs.bandwidth / load;
       for (double& y : decision.load.sbs_data(n)) y *= scale;
+    }
+    if (decision.load.has_neighbor()) {
+      const SparseSbsDemand& d = (*demand.sparse())[n];
+      repair_neighbor_tier(config, decision, n,
+                           [&](std::size_t m, std::size_t k) -> double {
+                             for (const DemandEntry* it = d.row_begin(m);
+                                  it != d.row_end(m); ++it) {
+                               if (it->content == k) return it->rate;
+                             }
+                             return 0.0;
+                           });
     }
   }
 }

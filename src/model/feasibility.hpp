@@ -22,8 +22,22 @@ struct Violation {
   std::string description;
 };
 
+/// Designated neighbor source of content k for receiver SBS n: the first
+/// (lowest peer index) positive-bandwidth link in n's adjacency row whose
+/// peer caches k; returns config.num_sbs() when none exists. Every layer
+/// (cooperative overlay, feasibility, rounding, event simulator) routes a
+/// coordinate through the same designated source, so per-link bandwidth
+/// budgets are well-defined and deterministic.
+std::size_t neighbor_source(const NetworkConfig& config,
+                            const CacheState& cache, std::size_t n,
+                            std::size_t k);
+
 /// Checks (1) cache capacity, (2) bandwidth against `demand`,
 /// (3) y <= x, and (11) y in [0, 1]. Integrality of x holds by type.
+/// When the decision carries a neighbor bank, additionally checks
+/// y_neigh in [0, 1], y_local + y_neigh <= 1, availability (y_neigh > 0
+/// needs a positive-bandwidth neighbor caching the content) and the
+/// per-link bandwidth budgets under designated-source routing.
 /// Returns all violations (empty means feasible within `tol`).
 std::vector<Violation> check_feasibility(const NetworkConfig& config,
                                          const SlotDemand& demand,
@@ -37,7 +51,10 @@ bool is_feasible(const NetworkConfig& config, const SlotDemand& demand,
 /// Repairs a decision in place so it is feasible for `demand`:
 ///  - clamps y into [0, 1],
 ///  - zeroes y where the content is not cached,
-///  - scales each SBS's y uniformly when its bandwidth is exceeded.
+///  - scales each SBS's y uniformly when its bandwidth is exceeded,
+///  - and, when a neighbor bank is present: clamps y_neigh, zeroes it
+///    where no designated source exists, trims y_local + y_neigh to 1 and
+///    scales each inter-SBS link down to its bandwidth cap.
 /// The cache part is never modified (capacity violations throw
 /// InvalidArgument: controllers must respect (1) themselves).
 void enforce_feasibility(const NetworkConfig& config, const SlotDemand& demand,

@@ -1,10 +1,119 @@
 #include "model/network.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace mdo::model {
+
+std::size_t NeighborTopology::num_links() const {
+  std::size_t total = 0;
+  for (const auto& row : links) total += row.size();
+  return total;
+}
+
+void NeighborTopology::validate(std::size_t num_sbs) const {
+  if (links.empty()) return;
+  MDO_REQUIRE(links.size() == num_sbs,
+              "neighbor topology must have one adjacency row per SBS");
+  for (std::size_t n = 0; n < links.size(); ++n) {
+    const std::string tag = "SBS " + std::to_string(n) + " topology: ";
+    std::size_t previous = 0;
+    bool first = true;
+    for (const auto& link : links[n]) {
+      MDO_REQUIRE(link.peer < num_sbs, tag + "peer index out of range");
+      MDO_REQUIRE(link.peer != n, tag + "self link");
+      MDO_REQUIRE(link.bandwidth >= 0.0, tag + "negative link bandwidth");
+      MDO_REQUIRE(first || link.peer > previous,
+                  tag + "links must be sorted by peer with no duplicates");
+      previous = link.peer;
+      first = false;
+    }
+  }
+}
+
+namespace {
+
+/// Symmetrizes an undirected edge list into sorted per-SBS fetch rows.
+NeighborTopology from_undirected_edges(
+    std::size_t num_sbs,
+    const std::vector<std::pair<std::size_t, std::size_t>>& edges,
+    double bandwidth) {
+  NeighborTopology topology;
+  if (edges.empty()) return topology;
+  topology.links.resize(num_sbs);
+  for (const auto& [a, b] : edges) {
+    topology.links[a].push_back({b, bandwidth});
+    topology.links[b].push_back({a, bandwidth});
+  }
+  for (auto& row : topology.links) {
+    std::sort(row.begin(), row.end(),
+              [](const NeighborLink& x, const NeighborLink& y) {
+                return x.peer < y.peer;
+              });
+  }
+  return topology;
+}
+
+}  // namespace
+
+NeighborTopology ring_topology(std::size_t num_sbs, double bandwidth) {
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  if (num_sbs >= 2) {
+    for (std::size_t n = 0; n + 1 < num_sbs; ++n) edges.emplace_back(n, n + 1);
+    // Close the ring, except for N == 2 where 0-1 already exists.
+    if (num_sbs > 2) edges.emplace_back(num_sbs - 1, 0);
+  }
+  return from_undirected_edges(num_sbs, edges, bandwidth);
+}
+
+NeighborTopology grid_topology(std::size_t num_sbs, std::size_t cols,
+                               double bandwidth) {
+  if (cols == 0) {
+    cols = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(num_sbs))));
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t n = 0; n < num_sbs; ++n) {
+    // Right neighbor (same row) and the cell below, when occupied.
+    if ((n % cols) + 1 < cols && n + 1 < num_sbs) edges.emplace_back(n, n + 1);
+    if (n + cols < num_sbs) edges.emplace_back(n, n + cols);
+  }
+  return from_undirected_edges(num_sbs, edges, bandwidth);
+}
+
+NeighborTopology random_geometric_topology(std::size_t num_sbs, double radius,
+                                           double bandwidth,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> px(num_sbs), py(num_sbs);
+  for (std::size_t n = 0; n < num_sbs; ++n) {
+    px[n] = rng.uniform();
+    py[n] = rng.uniform();
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  const double r2 = radius * radius;
+  for (std::size_t a = 0; a < num_sbs; ++a) {
+    for (std::size_t b = a + 1; b < num_sbs; ++b) {
+      const double dx = px[a] - px[b];
+      const double dy = py[a] - py[b];
+      if (dx * dx + dy * dy <= r2) edges.emplace_back(a, b);
+    }
+  }
+  return from_undirected_edges(num_sbs, edges, bandwidth);
+}
+
+bool NetworkConfig::has_neighbor_tier() const {
+  for (const auto& row : topology.links) {
+    for (const auto& link : row) {
+      if (link.bandwidth > 0.0) return true;
+    }
+  }
+  return false;
+}
 
 std::size_t NetworkConfig::total_classes() const {
   std::size_t total = 0;
@@ -26,14 +135,18 @@ void NetworkConfig::validate() const {
     for (const auto& c : s.classes) {
       MDO_REQUIRE(c.omega_bs >= 0.0, tag + "negative omega (BS)");
       MDO_REQUIRE(c.omega_sbs >= 0.0, tag + "negative omega (SBS)");
+      MDO_REQUIRE(c.omega_neigh >= 0.0, tag + "negative omega (neighbor)");
     }
   }
+  topology.validate(num_sbs());
 }
 
 std::string NetworkConfig::summary() const {
   std::ostringstream os;
   os << "NetworkConfig{K=" << num_contents << ", N=" << num_sbs()
-     << ", classes=" << total_classes() << "}";
+     << ", classes=" << total_classes();
+  if (!topology.empty()) os << ", links=" << topology.num_links();
+  os << "}";
   return os.str();
 }
 

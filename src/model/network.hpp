@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -22,7 +23,55 @@ struct MuClass {
   /// \hat{omega}_{m_n}: weighted transmission parameter towards the local
   /// SBS; typically orders of magnitude below omega_bs. Eq. (6).
   double omega_sbs = 0.0;
+  /// \tilde{omega}_{m_n}: weighted transmission parameter of a cooperative
+  /// SBS-to-SBS fetch (DESIGN.md §13). Sits between omega_sbs (local hit)
+  /// and omega_bs (BS fetch); 0 keeps the neighbor tier free of charge.
+  double omega_neigh = 0.0;
 };
+
+/// One directed inter-SBS link: the owning SBS n can fetch content cached
+/// at SBS `peer` over the X2 sidehaul at up to `bandwidth` items per slot.
+struct NeighborLink {
+  std::size_t peer = 0;
+  double bandwidth = 0.0;  // items per slot; 0 disables the link
+};
+
+/// SBS neighbor topology for the collaborative caching tier (DESIGN.md
+/// §13). `links[n]` lists the neighbors SBS n can FETCH from, sorted by
+/// peer index with at most one link per (n, peer) pair. An empty topology
+/// (no `links` rows at all) is the paper's baseline two-way model and must
+/// leave every code path bitwise untouched.
+struct NeighborTopology {
+  std::vector<std::vector<NeighborLink>> links;
+
+  bool empty() const { return links.empty(); }
+
+  /// Total number of directed links across all SBSs.
+  std::size_t num_links() const;
+
+  /// Throws InvalidArgument on shape errors: links.size() != num_sbs,
+  /// out-of-range or self peers, negative bandwidth, unsorted/duplicate
+  /// peers. An empty topology is always valid.
+  void validate(std::size_t num_sbs) const;
+};
+
+/// Bidirectional ring: SBS n fetches from (n-1) mod N and (n+1) mod N,
+/// each link capped at `bandwidth`. N == 1 yields an empty topology;
+/// N == 2 yields one link per direction (no duplicates).
+NeighborTopology ring_topology(std::size_t num_sbs, double bandwidth);
+
+/// 4-neighbor grid: SBS n sits at (n / cols, n % cols) and links to the
+/// occupied cells above/below/left/right. cols == 0 derives a near-square
+/// width from num_sbs.
+NeighborTopology grid_topology(std::size_t num_sbs, std::size_t cols,
+                               double bandwidth);
+
+/// Random geometric graph: SBSs are dropped uniformly in the unit square
+/// (deterministically from `seed`) and every pair within `radius` is
+/// linked both ways at `bandwidth`.
+NeighborTopology random_geometric_topology(std::size_t num_sbs, double radius,
+                                           double bandwidth,
+                                           std::uint64_t seed);
 
 /// One small base station and the MU classes it serves.
 struct SbsConfig {
@@ -38,8 +87,15 @@ struct SbsConfig {
 struct NetworkConfig {
   std::size_t num_contents = 0;  // K
   std::vector<SbsConfig> sbs;    // indexed by n
+  /// Inter-SBS fetch topology; empty (the default) is the paper's two-way
+  /// (local hit, BS fetch) model with no neighbor tier.
+  NeighborTopology topology;
 
   std::size_t num_sbs() const { return sbs.size(); }
+
+  /// True when the cooperative tier can carry traffic at all: some link
+  /// with strictly positive bandwidth exists.
+  bool has_neighbor_tier() const;
 
   std::size_t total_classes() const;
 

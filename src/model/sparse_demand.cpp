@@ -255,6 +255,24 @@ double sbs_load(const LoadAllocation& load, std::size_t n,
   return total;
 }
 
+double neighbor_load(const LoadAllocation& load, std::size_t n,
+                     SbsDemandView demand) {
+  if (!load.has_neighbor()) return 0.0;
+  MDO_REQUIRE(demand.valid(), "neighbor_load: empty demand view");
+  if (!demand.is_sparse()) return load.neighbor_load(n, *demand.dense());
+  const SparseSbsDemand& sparse = *demand.sparse();
+  const double* z = load.neighbor_data(n).data();
+  const std::size_t contents = sparse.num_contents();
+  double total = 0.0;
+  for (std::size_t m = 0; m < sparse.num_classes(); ++m) {
+    for (const DemandEntry* it = sparse.row_begin(m); it != sparse.row_end(m);
+         ++it) {
+      total += z[m * contents + it->content] * it->rate;
+    }
+  }
+  return total;
+}
+
 std::size_t SbsDemandView::num_classes() const {
   MDO_REQUIRE(valid(), "SbsDemandView: empty view");
   return is_sparse() ? sparse_->num_classes() : dense_->num_classes();

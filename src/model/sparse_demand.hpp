@@ -160,6 +160,11 @@ class SbsDemandView;
 /// stored entries in the same index order (skipped terms are exact zeros).
 double sbs_load(const LoadAllocation& load, std::size_t n, SbsDemandView demand);
 
+/// Neighbor-tier traffic of SBS n over either representation; 0.0 when the
+/// load carries no neighbor bank.
+double neighbor_load(const LoadAllocation& load, std::size_t n,
+                     SbsDemandView demand);
+
 /// Non-owning view over either demand representation of one SBS. The dense
 /// accessors delegate verbatim so dense-mode behavior is unchanged.
 class SbsDemandView {

@@ -78,6 +78,12 @@ void write_load(util::BinaryWriter& w, const model::LoadAllocation& load) {
   for (std::size_t n = 0; n < load.num_sbs(); ++n) {
     w.f64_vec(load.sbs_data(n));
   }
+  w.boolean(load.has_neighbor());
+  if (load.has_neighbor()) {
+    for (std::size_t n = 0; n < load.num_sbs(); ++n) {
+      w.f64_vec(load.neighbor_data(n));
+    }
+  }
 }
 
 model::LoadAllocation read_load(util::BinaryReader& r,
@@ -93,6 +99,15 @@ model::LoadAllocation read_load(util::BinaryReader& r,
     MDO_REQUIRE(data.size() == load.sbs_data(n).size(),
                 "load snapshot: row length mismatch");
     load.sbs_data(n) = std::move(data);
+  }
+  if (r.boolean()) {
+    load.ensure_neighbor();
+    for (std::size_t n = 0; n < num_sbs; ++n) {
+      linalg::Vec data = r.f64_vec_as<linalg::Vec>();
+      MDO_REQUIRE(data.size() == load.neighbor_data(n).size(),
+                  "load snapshot: neighbor row length mismatch");
+      load.neighbor_data(n) = std::move(data);
+    }
   }
   return load;
 }

@@ -30,7 +30,7 @@
 
 namespace mdo::runtime {
 
-inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+inline constexpr std::uint32_t kCheckpointFormatVersion = 2;
 
 /// Frames `payload` (version + size + checksum) and atomically replaces
 /// `path` with it.

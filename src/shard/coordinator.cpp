@@ -132,7 +132,6 @@ void Coordinator::teardown() {
   }
   workers_.clear();
   in_ = nullptr;
-  sets_ = nullptr;
   layout_ = nullptr;
   mu_offsets_ = nullptr;
   offsets_.clear();
@@ -140,7 +139,6 @@ void Coordinator::teardown() {
 
 bool Coordinator::begin(const core::ShardInputs& in,
                         const core::ShardOptions& opts, std::size_t shards,
-                        const core::ActiveSets& sets,
                         const core::MuLayout& layout,
                         const std::vector<std::size_t>* mu_offsets,
                         const linalg::Vec& mu,
@@ -149,7 +147,6 @@ bool Coordinator::begin(const core::ShardInputs& in,
   if (shards == 0 || shards > num_sbs) return false;
   if (!ensure_workers(shards)) return false;
   in_ = &in;
-  sets_ = &sets;
   layout_ = &layout;
   mu_offsets_ = mu_offsets;
   offsets_.assign(shards + 1, 0);
@@ -161,7 +158,7 @@ bool Coordinator::begin(const core::ShardInputs& in,
   const std::int64_t die_at = consume_kill_directive();
   for (std::size_t s = 0; s < shards; ++s) {
     util::BinaryWriter w;
-    encode_begin(w, in, opts, offsets_[s], offsets_[s + 1], sets, layout,
+    encode_begin(w, in, opts, offsets_[s], offsets_[s + 1], layout,
                  mu_offsets, mu, bank, num_sbs, s == 0 ? die_at : -1);
     if (!send_frame(workers_[s].fd, MessageType::kBegin, w.bytes())) {
       teardown();
@@ -251,7 +248,6 @@ bool Coordinator::finish(bool apply_final, double delta, linalg::Vec& mu,
   }
   const std::size_t num_sbs = in_->config->num_sbs();
   const std::size_t horizon = in_->horizon();
-  const std::size_t k_count = in_->config->num_contents;
   const bool sparse = in_->sparse();
   std::vector<std::uint8_t> payload;
   for (std::size_t s = 0; s < workers_.size(); ++s) {
@@ -275,7 +271,7 @@ bool Coordinator::finish(bool apply_final, double delta, linalg::Vec& mu,
         const std::size_t t = cell / count;
         const std::size_t n = off + cell % count;
         const linalg::Vec& block = reply.mu_blocks[cell];
-        if (mu_offsets_ != nullptr) {
+        if (sparse) {
           // Compact: the wire block IS the stored block — straight copy.
           const std::size_t first = (*mu_offsets_)[t * num_sbs + n];
           const std::size_t last = (*mu_offsets_)[t * num_sbs + n + 1];
@@ -285,20 +281,6 @@ bool Coordinator::finish(bool apply_final, double delta, linalg::Vec& mu,
           }
           std::copy(block.begin(), block.end(),
                     mu.begin() + static_cast<std::ptrdiff_t>(first));
-        } else if (sparse) {
-          const std::size_t mu_base = layout_->offset(t, n);
-          const std::vector<std::size_t>& al = sets_->active[t * num_sbs + n];
-          const std::size_t classes = in_->config->sbs[n].num_classes();
-          const std::size_t a_count = al.size();
-          if (block.size() != classes * a_count) {
-            teardown();
-            return false;
-          }
-          for (std::size_t m = 0; m < classes; ++m) {
-            for (std::size_t i = 0; i < a_count; ++i) {
-              mu[mu_base + m * k_count + al[i]] = block[m * a_count + i];
-            }
-          }
         } else {
           if (block.size() != layout_->sbs_size[n]) {
             teardown();
@@ -319,7 +301,6 @@ bool Coordinator::finish(bool apply_final, double delta, linalg::Vec& mu,
     }
   }
   in_ = nullptr;
-  sets_ = nullptr;
   layout_ = nullptr;
   mu_offsets_ = nullptr;
   return true;

@@ -58,8 +58,7 @@ class Coordinator {
   /// solve-scope state). False on any worker failure; the fleet is then
   /// already torn down.
   bool begin(const core::ShardInputs& in, const core::ShardOptions& opts,
-             std::size_t shards, const core::ActiveSets& sets,
-             const core::MuLayout& layout,
+             std::size_t shards, const core::MuLayout& layout,
              const std::vector<std::size_t>* mu_offsets, const linalg::Vec& mu,
              const std::vector<core::CellState>& bank);
 
@@ -92,7 +91,6 @@ class Coordinator {
 
   // Session state, valid between begin() and finish().
   const core::ShardInputs* in_ = nullptr;
-  const core::ActiveSets* sets_ = nullptr;
   const core::MuLayout* layout_ = nullptr;
   const std::vector<std::size_t>* mu_offsets_ = nullptr;  // compact geometry
   std::vector<std::size_t> offsets_;  // shard s covers [offsets_[s], offsets_[s+1])

@@ -8,12 +8,13 @@
 #include "model/sparse_demand_io.hpp"
 #include "util/checksum.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 
 namespace mdo::shard {
 
 namespace {
 
-constexpr char kMagic[8] = {'M', 'D', 'O', 'S', 'H', 'R', 'D', '1'};
+constexpr char kMagic[8] = {'M', 'D', 'O', 'S', 'H', 'R', 'D', '2'};
 constexpr std::size_t kHeaderSize = sizeof(kMagic) + 4 + 8 + 8;
 /// Sanity cap: no legitimate frame approaches this (the largest, kBegin at
 /// N=1024/K=10^4 dense, is low single-digit GB; sparse frames are MBs).
@@ -84,8 +85,17 @@ bool recv_frame(int fd, MessageType* type,
   std::uint8_t raw[kHeaderSize];
   if (!recv_all(fd, raw, kHeaderSize)) return false;
   util::BinaryReader header(raw, kHeaderSize);
-  for (const char c : kMagic) {
-    if (header.u8() != static_cast<std::uint8_t>(c)) return false;
+  char magic[8];
+  for (char& c : magic) c = static_cast<char>(header.u8());
+  if (std::memcmp(magic, kMagic, sizeof(kMagic) - 1) != 0) return false;
+  if (magic[7] != kMagic[7]) {
+    // A well-formed frame of another protocol version (a stale worker
+    // binary): reject it CLEANLY — the caller tears the session down and
+    // reports SolveStatus::kWorkerFailure — instead of letting it read as
+    // random corruption further in.
+    MDO_WARN("shard wire: peer speaks protocol version '"
+             << magic[7] << "', this build speaks '" << kMagic[7] << "'");
+    return false;
   }
   const std::uint32_t raw_type = header.u32();
   if (raw_type < static_cast<std::uint32_t>(MessageType::kBegin) ||
@@ -116,7 +126,6 @@ void write_options(util::BinaryWriter& w, const core::ShardOptions& opts) {
   w.f64(opts.load_balancing.first_order.gradient_tolerance);
   w.f64(opts.load_balancing.first_order.lipschitz);
   w.boolean(opts.load_balancing.first_order.accelerate);
-  w.boolean(opts.compact_mu);
 }
 
 core::ShardOptions read_options(util::BinaryReader& r) {
@@ -129,7 +138,6 @@ core::ShardOptions read_options(util::BinaryReader& r) {
   opts.load_balancing.first_order.gradient_tolerance = r.f64();
   opts.load_balancing.first_order.lipschitz = r.f64();
   opts.load_balancing.first_order.accelerate = r.boolean();
-  opts.compact_mu = r.boolean();
   return opts;
 }
 
@@ -141,6 +149,7 @@ void write_sbs_config(util::BinaryWriter& w, const model::SbsConfig& sbs) {
   for (const model::MuClass& mu_class : sbs.classes) {
     w.f64(mu_class.omega_bs);
     w.f64(mu_class.omega_sbs);
+    w.f64(mu_class.omega_neigh);
   }
 }
 
@@ -153,6 +162,7 @@ model::SbsConfig read_sbs_config(util::BinaryReader& r) {
   for (model::MuClass& mu_class : sbs.classes) {
     mu_class.omega_bs = r.f64();
     mu_class.omega_sbs = r.f64();
+    mu_class.omega_neigh = r.f64();
   }
   return sbs;
 }
@@ -178,8 +188,7 @@ model::SbsDemand read_dense_demand(util::BinaryReader& r) {
 
 void encode_begin(util::BinaryWriter& w, const core::ShardInputs& in,
                   const core::ShardOptions& opts, std::size_t sbs_begin,
-                  std::size_t sbs_end, const core::ActiveSets& sets,
-                  const core::MuLayout& layout,
+                  std::size_t sbs_end, const core::MuLayout& layout,
                   const std::vector<std::size_t>* mu_offsets,
                   const linalg::Vec& mu,
                   const std::vector<core::CellState>& bank,
@@ -208,25 +217,29 @@ void encode_begin(util::BinaryWriter& w, const core::ShardInputs& in,
       }
     }
   }
-  // mu blocks: the cell's active coordinates (sparse) or its dense slice.
-  // Compact mode writes each block as a direct span of the compact vector —
-  // the stored and wire layouts coincide, so no gather happens.
+  // Optional P1 neighbor-demand rewards (ShardInputs::neighbor_rewards):
+  // constants of the solve, shipped once here; an empty vector per SBS (or
+  // a null driver-side pointer) means no tilt for that SBS.
+  for (std::size_t n = sbs_begin; n < sbs_end; ++n) {
+    if (in.neighbor_rewards != nullptr) {
+      w.f64_vec((*in.neighbor_rewards)[n]);
+    } else {
+      w.f64_vec(linalg::Vec{});
+    }
+  }
+  // mu blocks: the cell's compact active-coordinate span (sparse — the
+  // stored and wire layouts coincide, so no gather happens) or its dense
+  // slice.
+  MDO_REQUIRE(!sparse || mu_offsets != nullptr,
+              "shard wire: sparse kBegin requires compact mu offsets");
   for (std::size_t t = 0; t < horizon; ++t) {
     for (std::size_t n = sbs_begin; n < sbs_end; ++n) {
-      if (mu_offsets != nullptr) {
+      if (sparse) {
         const std::size_t cell = t * num_sbs_total + n;
         const std::size_t first = (*mu_offsets)[cell];
         const std::size_t last = (*mu_offsets)[cell + 1];
         w.size(last - first);
         for (std::size_t j = first; j < last; ++j) w.f64(mu[j]);
-      } else if (sparse) {
-        const std::size_t base = layout.offset(t, n);
-        const std::vector<std::size_t>& al = sets.active[t * num_sbs_total + n];
-        const std::size_t classes = in.config->sbs[n].num_classes();
-        w.size(classes * al.size());
-        for (std::size_t m = 0; m < classes; ++m) {
-          for (const std::size_t k : al) w.f64(mu[base + m * k_count + k]);
-        }
       } else {
         const std::size_t base = layout.offset(t, n);
         w.size(layout.sbs_size[n]);
@@ -282,6 +295,10 @@ BeginMessage decode_begin(util::BinaryReader& r) {
       }
       msg.dense_slots.push_back(std::move(slot));
     }
+  }
+  msg.neighbor_rewards.reserve(num_sbs);
+  for (std::size_t n = 0; n < num_sbs; ++n) {
+    msg.neighbor_rewards.push_back(r.f64_vec_as<linalg::Vec>());
   }
   msg.mu_blocks.reserve(msg.horizon * num_sbs);
   for (std::size_t cell = 0; cell < msg.horizon * num_sbs; ++cell) {

@@ -2,18 +2,25 @@
 //
 // Every message is one frame on a SOCK_STREAM socketpair:
 //
-//   magic "MDOSHRD1" (8) | type u32 | payload size u64 | FNV-1a64 u64 | payload
+//   magic "MDOSHRD2" (8) | type u32 | payload size u64 | FNV-1a64 u64 | payload
 //
 // — the same framing discipline as the "MDOCKPT1" checkpoint files
 // (runtime/checkpoint), rebuilt here on util::BinaryWriter/fnv1a64 because
-// mdo_core cannot link the runtime layer. A frame that fails the magic,
-// size, or checksum test is indistinguishable from a dead peer: recv_frame
-// returns false and the caller treats the worker as failed. Payload values
-// round-trip bit-exactly (doubles as IEEE-754 bit patterns), which is what
-// makes the sharded solve bitwise-equal to the in-process one.
+// mdo_core cannot link the runtime layer. The magic's last byte is the
+// protocol version ("...D2" since the multi-tier routing refactor shipped
+// omega_neigh and the per-SBS neighbor-reward blocks in kBegin; "...D1"
+// before); a frame whose first seven bytes match but whose version differs
+// is rejected CLEANLY — recv_frame warns and returns false, surfacing as
+// SolveStatus::kWorkerFailure — rather than reading as checksum corruption.
+// Any other framing failure (bad magic, size, checksum) is
+// indistinguishable from a dead peer: recv_frame returns false and the
+// caller treats the worker as failed. Payload values round-trip bit-exactly
+// (doubles as IEEE-754 bit patterns), which is what makes the sharded solve
+// bitwise-equal to the in-process one.
 //
 // Per-solve protocol (driver -> worker):
-//   kBegin        slice config + demand window + initial cache + mu blocks
+//   kBegin        slice config + demand window + initial cache
+//                 + neighbor-reward blocks + mu blocks
 //                 + warm-start blobs            -> kBeginAck
 //   kIterate      {apply_prev_dual_step, delta} -> kIterateReply
 //                 {per-SBS P1 objectives/x, per-cell P2 objectives,
@@ -89,6 +96,9 @@ struct BeginMessage {
   std::vector<std::vector<std::uint8_t>> initial_cache;
   std::vector<model::SlotDemand> dense_slots;         // [t][local n]
   std::vector<model::SparseSlotDemand> sparse_slots;  // [t][local n]
+  /// Per local SBS: P1 neighbor-reward addends in the P1 rewards layout
+  /// (ShardInputs::neighbor_rewards); empty = no tilt for that SBS.
+  std::vector<linalg::Vec> neighbor_rewards;
   /// Per local cell (t-major): initial mu at the cell's active coordinates
   /// (sparse, [m * a_count + i]) or the full dense slice ([m * K + k]).
   std::vector<linalg::Vec> mu_blocks;
@@ -99,16 +109,15 @@ struct BeginMessage {
 };
 
 /// Encodes the kBegin payload for SBS range [sbs_begin, sbs_end) of the
-/// driver's full problem. `sets`/`layout` index the FULL range; `bank` is
-/// the driver's full bank (cell = t * num_sbs_total + n). When `mu_offsets`
-/// is non-null `mu` is the COMPACT vector (mu_block_offsets geometry over
-/// the full range) and each cell's block is written as a direct span — no
-/// gather; otherwise `mu` is dense-layout and sparse cells are gathered
-/// through their active lists as before.
+/// driver's full problem. `layout` indexes the FULL range; `bank` is the
+/// driver's full bank (cell = t * num_sbs_total + n). Sparse solves
+/// require `mu_offsets` (the mu_block_offsets geometry over the full
+/// range): `mu` is then the compact vector and each cell's block is
+/// written as a direct span — no gather. Dense solves pass null and a
+/// dense-layout `mu`.
 void encode_begin(util::BinaryWriter& w, const core::ShardInputs& in,
                   const core::ShardOptions& opts, std::size_t sbs_begin,
-                  std::size_t sbs_end, const core::ActiveSets& sets,
-                  const core::MuLayout& layout,
+                  std::size_t sbs_end, const core::MuLayout& layout,
                   const std::vector<std::size_t>* mu_offsets,
                   const linalg::Vec& mu,
                   const std::vector<core::CellState>& bank,

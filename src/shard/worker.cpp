@@ -29,8 +29,10 @@ struct WorkerSession {
   model::SparseDemandTrace sparse_demand;
   model::CacheState initial_cache;
   bool sparse = false;
+  /// Per local SBS: P1 neighbor-reward addends (empty = no tilt).
+  std::vector<linalg::Vec> neighbor_rewards;
   /// Slice mu: the compact block concatenation (mu_block_offsets over
-  /// `config`) when the core runs compact, the dense slice layout otherwise.
+  /// `config`) for sparse solves, the dense slice layout otherwise.
   linalg::Vec mu;
   std::vector<core::CellState> bank;
   core::ShardCore core;
@@ -75,6 +77,8 @@ void bind_session(WorkerSession& s, BeginMessage msg) {
   } else {
     inputs.demand = &s.dense_demand;
   }
+  s.neighbor_rewards = std::move(msg.neighbor_rewards);
+  inputs.neighbor_rewards = &s.neighbor_rewards;
 
   // Active sets first: mu scatter and the kEnd gather are defined on them.
   // They are the same deterministic function of (demand, cache) the driver
@@ -84,10 +88,8 @@ void bind_session(WorkerSession& s, BeginMessage msg) {
     sets = core::build_active_sets(s.config, s.sparse_demand, s.initial_cache);
   }
 
-  const bool compact = s.sparse && s.options.compact_mu;
   const core::MuLayout layout(s.config);
-  const std::size_t k_count = msg.num_contents;
-  if (compact) {
+  if (s.sparse) {
     // The wire blocks ARE the compact storage: validate sizes against the
     // locally rebuilt geometry and concatenate — no O(K) zero-fill.
     const std::vector<std::size_t> off =
@@ -107,23 +109,10 @@ void bind_session(WorkerSession& s, BeginMessage msg) {
       const std::size_t n = cell % num_sbs;
       const linalg::Vec& block = msg.mu_blocks[cell];
       const std::size_t base = layout.offset(t, n);
-      if (s.sparse) {
-        const std::vector<std::size_t>& al = sets.active[cell];
-        const std::size_t a_count = al.size();
-        MDO_REQUIRE(block.size() ==
-                        s.config.sbs[n].num_classes() * a_count,
-                    "shard worker: mu block size mismatch");
-        for (std::size_t m = 0; m < s.config.sbs[n].num_classes(); ++m) {
-          for (std::size_t i = 0; i < a_count; ++i) {
-            s.mu[base + m * k_count + al[i]] = block[m * a_count + i];
-          }
-        }
-      } else {
-        MDO_REQUIRE(block.size() == layout.sbs_size[n],
-                    "shard worker: mu block size mismatch");
-        std::copy(block.begin(), block.end(),
-                  s.mu.begin() + static_cast<std::ptrdiff_t>(base));
-      }
+      MDO_REQUIRE(block.size() == layout.sbs_size[n],
+                  "shard worker: mu block size mismatch");
+      std::copy(block.begin(), block.end(),
+                s.mu.begin() + static_cast<std::ptrdiff_t>(base));
     }
   }
 
@@ -160,7 +149,6 @@ EndReply run_end(const WorkerSession& s) {
   const std::size_t num_sbs = s.config.num_sbs();
   const std::size_t w = s.bank.size() / (num_sbs > 0 ? num_sbs : 1);
   const core::MuLayout layout(s.config);
-  const std::size_t k_count = s.config.num_contents;
   EndReply reply;
   reply.mu_blocks.reserve(s.bank.size());
   reply.warm_state.reserve(s.bank.size());
@@ -168,21 +156,11 @@ EndReply run_end(const WorkerSession& s) {
     const std::size_t t = cell / num_sbs;
     const std::size_t n = cell % num_sbs;
     linalg::Vec block;
-    if (s.core.compact()) {
+    if (s.sparse) {
       // Compact storage already holds the wire block: a sub-span copy.
       const std::vector<std::size_t>& off = s.core.mu_offsets();
       block.assign(s.mu.begin() + static_cast<std::ptrdiff_t>(off[cell]),
                    s.mu.begin() + static_cast<std::ptrdiff_t>(off[cell + 1]));
-    } else if (s.sparse) {
-      const std::size_t base = layout.offset(t, n);
-      const std::vector<std::size_t>& al = s.core.sets().active[cell];
-      const std::size_t classes = s.config.sbs[n].num_classes();
-      block.reserve(classes * al.size());
-      for (std::size_t m = 0; m < classes; ++m) {
-        for (const std::size_t k : al) {
-          block.push_back(s.mu[base + m * k_count + k]);
-        }
-      }
     } else {
       const std::size_t base = layout.offset(t, n);
       block.assign(s.mu.begin() + static_cast<std::ptrdiff_t>(base),

@@ -5,6 +5,7 @@
 #include <deque>
 #include <queue>
 
+#include "model/feasibility.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -89,6 +90,7 @@ void DelayHistogram::restore(util::BinaryReader& r) {
 void EventMetrics::accumulate(const EventSlotMetrics& slot) {
   requests += slot.requests;
   sbs_hits += slot.sbs_hits;
+  neigh_hits += slot.neigh_hits;
   backhaul_bytes += slot.backhaul_bytes;
   discrete_cost += slot.discrete_cost;
   slots.push_back(slot);
@@ -97,21 +99,25 @@ void EventMetrics::accumulate(const EventSlotMetrics& slot) {
 void EventMetrics::save(util::BinaryWriter& w) const {
   w.size(requests);
   w.size(sbs_hits);
+  w.size(neigh_hits);
   w.f64(backhaul_bytes);
   w.f64(discrete_cost.bs);
   w.f64(discrete_cost.sbs);
+  w.f64(discrete_cost.neigh);
   w.f64(discrete_cost.replacement);
   delays.save(w);
   w.size(slots.size());
   for (const EventSlotMetrics& slot : slots) {
     w.size(slot.requests);
     w.size(slot.sbs_hits);
+    w.size(slot.neigh_hits);
     w.f64(slot.backhaul_bytes);
     w.f64(slot.mean_delay);
     w.f64(slot.p50_delay);
     w.f64(slot.p99_delay);
     w.f64(slot.discrete_cost.bs);
     w.f64(slot.discrete_cost.sbs);
+    w.f64(slot.discrete_cost.neigh);
     w.f64(slot.discrete_cost.replacement);
   }
 }
@@ -119,10 +125,12 @@ void EventMetrics::save(util::BinaryWriter& w) const {
 void EventMetrics::restore(util::BinaryReader& r) {
   requests = r.size();
   sbs_hits = r.size();
+  neigh_hits = r.size();
   backhaul_bytes = r.f64();
   discrete_cost = {};
   discrete_cost.bs = r.f64();
   discrete_cost.sbs = r.f64();
+  discrete_cost.neigh = r.f64();
   discrete_cost.replacement = r.f64();
   delays.restore(r);
   slots.clear();
@@ -132,12 +140,14 @@ void EventMetrics::restore(util::BinaryReader& r) {
     EventSlotMetrics slot;
     slot.requests = r.size();
     slot.sbs_hits = r.size();
+    slot.neigh_hits = r.size();
     slot.backhaul_bytes = r.f64();
     slot.mean_delay = r.f64();
     slot.p50_delay = r.f64();
     slot.p99_delay = r.f64();
     slot.discrete_cost.bs = r.f64();
     slot.discrete_cost.sbs = r.f64();
+    slot.discrete_cost.neigh = r.f64();
     slot.discrete_cost.replacement = r.f64();
     slots.push_back(slot);
   }
@@ -156,6 +166,19 @@ EventSimulator::EventSimulator(const model::NetworkConfig& config,
   }
   bs_class_rate_.assign(class_offset_.back(), 0.0);
   sbs_class_rate_.assign(class_offset_.back(), 0.0);
+  neigh_class_rate_.assign(class_offset_.back(), 0.0);
+  link_station_of_.assign(config.num_sbs(), {});
+  for (std::size_t n = 0; n < config.topology.links.size(); ++n) {
+    for (const model::NeighborLink& link : config.topology.links[n]) {
+      if (!(link.bandwidth > 0.0)) continue;
+      link_station_of_[n].emplace_back(
+          static_cast<std::uint32_t>(link.peer),
+          static_cast<std::uint32_t>(link_stations_.size()));
+      link_stations_.push_back(LinkStation{static_cast<std::uint32_t>(n),
+                                           static_cast<std::uint32_t>(link.peer),
+                                           link.bandwidth});
+    }
+  }
 }
 
 namespace {
@@ -247,23 +270,34 @@ EventSlotMetrics EventSimulator::simulate_slot(
                      return a.time < b.time;
                    });
 
-  // ---- Stations: one FCFS single-server queue per SBS downlink plus one
-  // for the BS (backhaul + macro downlink, the miss path).
-  std::vector<Station> stations(config.num_sbs() + 1);
+  // ---- Stations: one FCFS single-server queue per SBS downlink, one for
+  // the BS (backhaul + macro downlink, the miss path), and — only under a
+  // non-empty topology — one per positive-bandwidth directed inter-SBS
+  // link, appended after the BS so the baseline indices are untouched.
+  std::vector<Station> stations(config.num_sbs() + 1 + link_stations_.size());
   for (std::size_t n = 0; n < config.num_sbs(); ++n) {
     stations[n].service_rate =
         options_.sbs_service_rate > 0.0
             ? options_.sbs_service_rate
             : config.sbs[n].bandwidth * scale / options_.sbs_utilization;
   }
-  stations.back().service_rate =
+  stations[config.num_sbs()].service_rate =
       options_.bs_service_rate > 0.0
           ? options_.bs_service_rate
           : slot_rate_total * scale / options_.bs_utilization;
   const auto bs_station = static_cast<std::uint32_t>(config.num_sbs());
+  for (std::size_t l = 0; l < link_stations_.size(); ++l) {
+    // The link's bandwidth cap with the same 1/utilization headroom rule
+    // as the SBS downlinks.
+    stations[config.num_sbs() + 1 + l].service_rate =
+        link_stations_[l].bandwidth * scale / options_.sbs_utilization;
+  }
+  const bool neigh_tier =
+      decision.load.has_neighbor() && !link_stations_.empty();
 
   std::fill(bs_class_rate_.begin(), bs_class_rate_.end(), 0.0);
   std::fill(sbs_class_rate_.begin(), sbs_class_rate_.end(), 0.0);
+  std::fill(neigh_class_rate_.begin(), neigh_class_rate_.end(), 0.0);
   delays_.clear();
   delays_.reserve(arrivals_.size());
 
@@ -313,20 +347,45 @@ EventSlotMetrics EventSimulator::simulate_slot(
     const std::size_t n = arrival.sbs;
     const std::size_t m = arrival.mu_class;
     const std::size_t k = arrival.content;
-    // Route against the executed decision: the SBS serves this request with
-    // probability y[n, m, k] (repair already forces y = 0 off the rounded
-    // placement and under outages, but the cached() check keeps the event
-    // layer honest against unrepaired decisions). An SBS with no service
-    // capacity cannot seat a request; the BS absorbs it.
+    // Route against the executed decision with a SINGLE uniform draw: the
+    // SBS serves this request when u < y[n, m, k] (repair already forces
+    // y = 0 off the rounded placement and under outages, but the cached()
+    // check keeps the event layer honest against unrepaired decisions); a
+    // neighbor cache serves it over the designated inter-SBS link when
+    // u < y + y_neigh and a positive-bandwidth caching source exists; the
+    // BS absorbs everything else. An SBS with no service capacity cannot
+    // seat a request. Decisions without a neighbor bank take the exact
+    // baseline path — same draw, same branches, same accounting.
     const double y = std::clamp(decision.load.at(n, m, k), 0.0, 1.0);
     const double u = loop_rng.uniform();
     const bool hit = decision.cache.cached(n, k) && u < y &&
                      stations[n].service_rate > 0.0;
-    const auto station_index =
-        hit ? static_cast<std::uint32_t>(n) : bs_station;
+    auto station_index = hit ? static_cast<std::uint32_t>(n) : bs_station;
+    bool neigh_hit = false;
+    if (!hit && neigh_tier) {
+      const double yn =
+          std::clamp(decision.load.neighbor_at(n, m, k), 0.0, 1.0);
+      if (u < y + yn) {
+        const std::size_t src =
+            model::neighbor_source(config, decision.cache, n, k);
+        if (src != config.num_sbs()) {
+          for (const auto& [peer, link] : link_station_of_[n]) {
+            if (peer == src) {
+              station_index = static_cast<std::uint32_t>(
+                  config.num_sbs() + 1 + link);
+              neigh_hit = true;
+              break;
+            }
+          }
+        }
+      }
+    }
     if (hit) {
       ++metrics.sbs_hits;
       sbs_class_rate_[class_offset_[n] + m] += 1.0 / scale;
+    } else if (neigh_hit) {
+      ++metrics.neigh_hits;
+      neigh_class_rate_[class_offset_[n] + m] += 1.0 / scale;
     } else {
       metrics.backhaul_bytes += options_.content_size_bytes;
       bs_class_rate_[class_offset_[n] + m] += 1.0 / scale;
@@ -355,19 +414,29 @@ EventSlotMetrics EventSimulator::simulate_slot(
     metrics.p99_delay = nearest_rank(delays_, 0.99);
   }
 
-  // ---- Empirical cost: f and g of eqs. (5)-(6) evaluated at the realized
-  // per-class rates; h is decision-level and equals the fluid term.
+  // ---- Empirical cost: f, g (and \tilde{f} under a neighbor tier) of
+  // eqs. (5)-(6) evaluated at the realized per-class rates; h is
+  // decision-level and equals the fluid term. The \tilde{f} accumulation is
+  // guarded so baseline runs evaluate the original arithmetic verbatim.
   for (std::size_t n = 0; n < config.num_sbs(); ++n) {
     double bs_weighted = 0.0;
     double sbs_weighted = 0.0;
+    double neigh_weighted = 0.0;
     for (std::size_t m = 0; m < config.sbs[n].num_classes(); ++m) {
       bs_weighted +=
           config.sbs[n].classes[m].omega_bs * bs_class_rate_[class_offset_[n] + m];
       sbs_weighted += config.sbs[n].classes[m].omega_sbs *
                       sbs_class_rate_[class_offset_[n] + m];
+      if (neigh_tier) {
+        neigh_weighted += config.sbs[n].classes[m].omega_neigh *
+                          neigh_class_rate_[class_offset_[n] + m];
+      }
     }
     metrics.discrete_cost.bs += bs_weighted * bs_weighted;
     metrics.discrete_cost.sbs += sbs_weighted * sbs_weighted;
+    if (neigh_tier) {
+      metrics.discrete_cost.neigh += neigh_weighted * neigh_weighted;
+    }
   }
   metrics.discrete_cost.replacement =
       model::replacement_cost(config, decision.cache, previous);

@@ -5,9 +5,12 @@
 // slot's rate matrix as the intensity of independent Poisson arrival
 // processes per (SBS, class, content), resolves every request against the
 // controller's *rounded* placements (cache hit at the SBS with probability
-// y[n, m, k], BS fetch over the backhaul otherwise), and queues requests at
-// single-server FCFS stations — one per SBS downlink and one at the BS —
-// with exponential (M/M/1-style) or deterministic service times. It reports
+// y[n, m, k], a neighbor-cache fetch over the designated inter-SBS link
+// with probability y_neigh[n, m, k], BS fetch over the backhaul otherwise),
+// and queues requests at single-server FCFS stations — one per SBS
+// downlink, one per positive-bandwidth directed inter-SBS link (only when
+// the topology is non-empty), and one at the BS — with exponential
+// (M/M/1-style) or deterministic service times. It reports
 // the production-shaped metrics the fluid model never does: cache-hit
 // ratio, mean/p50/p99 access delay, backhaul bytes, and the *empirical*
 // operating cost, which converges to the fluid cost (5)-(6) as the arrival
@@ -62,14 +65,16 @@ struct EventSimOptions {
 /// from the slot's full delay sample before it is discarded).
 struct EventSlotMetrics {
   std::size_t requests = 0;
-  std::size_t sbs_hits = 0;        // served out of the SBS cache
-  double backhaul_bytes = 0.0;     // misses * content_size_bytes
+  std::size_t sbs_hits = 0;    // served out of the local SBS cache
+  std::size_t neigh_hits = 0;  // served out of a neighbor cache (X2 link)
+  double backhaul_bytes = 0.0;  // BS fetches * content_size_bytes
   double mean_delay = 0.0;
   double p50_delay = 0.0;
   double p99_delay = 0.0;
-  /// Empirical cost of the slot: f and g evaluated at the realized
-  /// per-class served rates (request counts / S), h at the executed caches
-  /// (h is decision-level and identical to the fluid term).
+  /// Empirical cost of the slot: f, g and (under a neighbor tier)
+  /// \tilde{f} evaluated at the realized per-class served rates (request
+  /// counts / S), h at the executed caches (h is decision-level and
+  /// identical to the fluid term).
   model::CostBreakdown discrete_cost;
 
   double hit_ratio() const {
@@ -119,6 +124,7 @@ class DelayHistogram {
 struct EventMetrics {
   std::size_t requests = 0;
   std::size_t sbs_hits = 0;
+  std::size_t neigh_hits = 0;
   double backhaul_bytes = 0.0;
   model::CostBreakdown discrete_cost;
   DelayHistogram delays;
@@ -174,14 +180,31 @@ class EventSimulator {
     std::uint32_t content = 0;
   };
 
+  /// One FCFS station per positive-bandwidth directed inter-SBS link,
+  /// appended after the BS station. Zero-bandwidth links get no station
+  /// (the designated-source rule never routes through them).
+  struct LinkStation {
+    std::uint32_t receiver = 0;
+    std::uint32_t peer = 0;
+    double bandwidth = 0.0;
+  };
+
   const model::NetworkConfig* config_;
   EventSimOptions options_;
+
+  // Fixed per-config link-station layout (empty topology -> no stations).
+  std::vector<LinkStation> link_stations_;
+  /// Per receiver SBS: (peer, index into link_stations_) for each of its
+  /// positive-bandwidth fetch links.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      link_station_of_;
 
   // Scratch reused across slots (cleared, not reallocated).
   std::vector<Arrival> arrivals_;
   std::vector<double> delays_;
-  std::vector<double> bs_class_rate_;   // per (n, m): empirical BS rate
-  std::vector<double> sbs_class_rate_;  // per (n, m): empirical SBS rate
+  std::vector<double> bs_class_rate_;     // per (n, m): empirical BS rate
+  std::vector<double> sbs_class_rate_;    // per (n, m): empirical SBS rate
+  std::vector<double> neigh_class_rate_;  // per (n, m): neighbor-tier rate
   std::vector<std::size_t> class_offset_;
 };
 

@@ -53,6 +53,7 @@ std::vector<SchemeOutcome> run_schemes(const ExperimentConfig& config) {
   simulator_options.resume = config.resume;
   simulator_options.simulate_events = config.simulate_events;
   simulator_options.event_options = config.event_options;
+  simulator_options.cooperative_routing = config.cooperative_routing;
 
   // Solver options shared by every solver-backed scheme; an explicit
   // experiment-level shard count overrides the per-options value (which in

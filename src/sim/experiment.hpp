@@ -54,6 +54,12 @@ struct ExperimentConfig {
   std::size_t shard_count = 0;
   SchemeSelection schemes{};
 
+  /// Cooperative SBS-to-SBS routing (core/collab.hpp): forwarded into
+  /// SimulatorOptions::cooperative_routing. Only meaningful when the
+  /// scenario generates a positive-bandwidth neighbor topology; false runs
+  /// the non-cooperative baseline on the same instance (E16).
+  bool cooperative_routing = true;
+
   /// Request-level event layer (sim/event_sim.hpp): when set, every scheme
   /// additionally replays each slot's individual Poisson requests against
   /// its executed decisions and the outcomes carry hit ratio, access-delay

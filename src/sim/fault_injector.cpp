@@ -95,6 +95,16 @@ model::NetworkConfig FaultInjector::degraded_config(
       degraded.sbs[n].bandwidth = 0.0;
     }
   }
+  // An outaged SBS can neither serve nor receive neighbor-tier traffic:
+  // zero the bandwidth of every inter-SBS link touching it so the repair
+  // and the cooperative overlay route around the outage.
+  for (std::size_t n = 0; n < degraded.topology.links.size(); ++n) {
+    for (model::NeighborLink& link : degraded.topology.links[n]) {
+      if (faults.sbs_outage[n] != 0 || faults.sbs_outage[link.peer] != 0) {
+        link.bandwidth = 0.0;
+      }
+    }
+  }
   return degraded;
 }
 

@@ -18,7 +18,9 @@ double SimulationResult::offload_ratio() const {
   double served = 0.0;
   for (const auto& slot : slots) {
     demand += slot.demand_total;
-    served += slot.sbs_served;
+    // Neighbor-served traffic is offloaded from the BS too; the term is an
+    // exact 0.0 on runs without a neighbor tier.
+    served += slot.sbs_served + slot.neigh_served;
   }
   return demand > 0.0 ? served / demand : 0.0;
 }
@@ -136,6 +138,16 @@ SimulationResult Simulator::run(online::Controller& controller) const {
       }
     }
 
+    // Cooperative tier: route part of the repaired decision's BS residual
+    // through neighbor caches. Runs on the executed (possibly degraded)
+    // config so outaged links carry nothing; accounted on the clean truth
+    // like everything else. Strictly cost-improving per slot by
+    // construction (core/collab.hpp).
+    if (options_.cooperative_routing && executed_config.has_neighbor_tier()) {
+      core::apply_neighbor_overlay(executed_config, truth, decision,
+                                   options_.collab);
+    }
+
     SlotRecord record;
     record.cost = model::slot_cost(config, truth, decision, previous);
     record.replacements = model::replacement_count(decision.cache, previous);
@@ -143,6 +155,8 @@ SimulationResult Simulator::run(online::Controller& controller) const {
     for (std::size_t n = 0; n < config.num_sbs(); ++n) {
       record.demand_total += truth.sbs(n).total();
       record.sbs_served += model::sbs_load(decision.load, n, truth.sbs(n));
+      record.neigh_served +=
+          model::neighbor_load(decision.load, n, truth.sbs(n));
     }
     result.total += record.cost;
     result.total_replacements += record.replacements;
@@ -225,14 +239,17 @@ void Simulator::write_checkpoint(const online::Controller& controller,
   for (const SlotRecord& record : result.slots) {
     w.f64(record.cost.bs);
     w.f64(record.cost.sbs);
+    w.f64(record.cost.neigh);
     w.f64(record.cost.replacement);
     w.size(record.replacements);
     w.f64(record.demand_total);
     w.f64(record.sbs_served);
+    w.f64(record.neigh_served);
     w.f64(record.decision_seconds);
   }
   w.f64(result.total.bs);
   w.f64(result.total.sbs);
+  w.f64(result.total.neigh);
   w.f64(result.total.replacement);
   w.size(result.total_replacements);
   if (options_.record_schedule) runtime::write_schedule(w, result.schedule);
@@ -277,16 +294,19 @@ std::size_t Simulator::try_resume(online::Controller& controller,
       SlotRecord record;
       record.cost.bs = r.f64();
       record.cost.sbs = r.f64();
+      record.cost.neigh = r.f64();
       record.cost.replacement = r.f64();
       record.replacements = r.size();
       record.demand_total = r.f64();
       record.sbs_served = r.f64();
+      record.neigh_served = r.f64();
       record.decision_seconds = r.f64();
       result.slots.push_back(record);
     }
     result.total = {};
     result.total.bs = r.f64();
     result.total.sbs = r.f64();
+    result.total.neigh = r.f64();
     result.total.replacement = r.f64();
     result.total_replacements = r.size();
     if (options_.record_schedule) {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/collab.hpp"
 #include "model/costs.hpp"
 #include "model/instance.hpp"
 #include "online/controller.hpp"
@@ -32,7 +33,8 @@ struct SlotRecord {
   model::CostBreakdown cost;      // true costs of the executed decision
   std::size_t replacements = 0;   // items inserted this slot
   double demand_total = 0.0;      // sum of all request rates
-  double sbs_served = 0.0;        // traffic volume served by SBSs
+  double sbs_served = 0.0;        // traffic volume served by local SBSs
+  double neigh_served = 0.0;      // traffic served out of neighbor caches
   double decision_seconds = 0.0;  // wall-clock time spent in decide()
 };
 
@@ -74,6 +76,16 @@ struct SimulatorOptions {
   /// Record every executed decision in SimulationResult::schedule (memory
   /// proportional to horizon x decision size).
   bool record_schedule = false;
+
+  // ---- Cooperative SBS-to-SBS routing (core/collab.hpp). ----------------
+  /// Apply the cooperative neighbor-routing overlay after each slot's
+  /// decision is repaired, when the instance carries a positive-bandwidth
+  /// neighbor topology. The overlay only ever strictly improves the slot
+  /// cost (DESIGN.md §13), so disabling it yields the non-cooperative
+  /// baseline on the same topology. With an empty topology this flag is
+  /// inert and the run is bitwise-identical to the pre-topology model.
+  bool cooperative_routing = true;
+  core::CollabOptions collab;
 
   // ---- Request-level event layer (sim/event_sim.hpp). -------------------
   /// Opt-in: after each slot's decision is repaired and executed, simulate

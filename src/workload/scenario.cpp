@@ -16,6 +16,11 @@ model::ProblemInstance build_skeleton(const PaperScenario& s,
   MDO_REQUIRE(s.omega_min >= 0.0 && s.omega_min <= s.omega_max,
               "omega range must satisfy 0 <= min <= max");
   MDO_REQUIRE(s.omega_sbs_factor >= 0.0, "omega_sbs_factor must be >= 0");
+  MDO_REQUIRE(s.omega_neigh_factor >= 0.0, "omega_neigh_factor must be >= 0");
+  MDO_REQUIRE(s.inter_sbs_bandwidth >= 0.0,
+              "inter_sbs_bandwidth must be >= 0");
+  const bool collaborative =
+      s.neighbor_topology != NeighborTopologyKind::kNone;
 
   Rng rng(s.seed);
   model::NetworkConfig config;
@@ -31,6 +36,8 @@ model::ProblemInstance build_skeleton(const PaperScenario& s,
       model::MuClass mu;
       mu.omega_bs = rng.uniform(s.omega_min, s.omega_max);
       mu.omega_sbs = s.omega_sbs_factor * mu.omega_bs;
+      // Derived, no extra RNG draws: the kNone stream stays untouched.
+      mu.omega_neigh = collaborative ? s.omega_neigh_factor * mu.omega_bs : 0.0;
       sbs.classes.push_back(mu);
     }
     config.sbs.push_back(std::move(sbs));
@@ -41,6 +48,26 @@ model::ProblemInstance build_skeleton(const PaperScenario& s,
   // Derive the trace seed from the scenario seed so changing `seed` changes
   // both the MU-class draws and the demand trace coherently.
   wl.seed = rng();
+
+  // Topology AFTER the trace-seed draw: kNone consumes nothing, so the
+  // baseline MU-class/demand stream is identical with the knobs absent;
+  // only kRandomGeometric draws (one value, for the SBS drop positions).
+  switch (s.neighbor_topology) {
+    case NeighborTopologyKind::kNone:
+      break;
+    case NeighborTopologyKind::kRing:
+      config.topology = model::ring_topology(s.num_sbs, s.inter_sbs_bandwidth);
+      break;
+    case NeighborTopologyKind::kGrid:
+      config.topology =
+          model::grid_topology(s.num_sbs, s.grid_cols, s.inter_sbs_bandwidth);
+      break;
+    case NeighborTopologyKind::kRandomGeometric:
+      config.topology = model::random_geometric_topology(
+          s.num_sbs, s.geo_radius, s.inter_sbs_bandwidth, rng());
+      break;
+  }
+  config.topology.validate(s.num_sbs);
 
   model::ProblemInstance instance;
   instance.config = std::move(config);

@@ -20,6 +20,16 @@
 
 namespace mdo::workload {
 
+/// Inter-SBS neighbor topology of a scenario (DESIGN.md §13). kNone is the
+/// paper's baseline two-way model and leaves the RNG stream and every
+/// downstream code path bitwise untouched.
+enum class NeighborTopologyKind : std::uint8_t {
+  kNone = 0,
+  kRing,
+  kGrid,
+  kRandomGeometric,
+};
+
 struct PaperScenario {
   // --- network (Sec. V-B) ---
   std::size_t num_sbs = 1;
@@ -33,6 +43,18 @@ struct PaperScenario {
   /// \hat{omega} = omega_sbs_factor * omega; the paper sets it to 0
   /// ("the operating cost of SBSs can be ignored").
   double omega_sbs_factor = 0.0;
+
+  // --- collaborative tier (DESIGN.md §13; kNone = paper baseline) ---
+  NeighborTopologyKind neighbor_topology = NeighborTopologyKind::kNone;
+  /// Per-link X2 sidehaul cap (items per slot) of every generated link.
+  double inter_sbs_bandwidth = 10.0;
+  /// \tilde{omega} = omega_neigh_factor * omega (per class, no extra RNG
+  /// draws); between omega_sbs_factor (free) and 1 (as costly as the BS).
+  double omega_neigh_factor = 0.25;
+  /// Grid width for kGrid; 0 derives a near-square layout.
+  std::size_t grid_cols = 0;
+  /// Link radius in the unit square for kRandomGeometric.
+  double geo_radius = 0.5;
 
   // --- workload ---
   std::size_t horizon = 100;            // T

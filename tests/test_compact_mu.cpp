@@ -1,8 +1,9 @@
-// Tests for the compact active-coordinate mu layout (DESIGN.md §12):
-// mu_block_offsets geometry, compact<->dense round trips, solver- and
-// controller-level bit-identity against the dense layout across thread and
-// shard counts, shift_mu horizon edge cases, and the warm-state blob's
-// count()-guarded serialization.
+// Tests for the compact active-coordinate mu layout (DESIGN.md §12) — the
+// ONLY mu layout of sparse solves since the dense-mu A/B switch retired:
+// mu_block_offsets geometry, compact<->dense scatter/gather round trips,
+// solver- and controller-level bit-identity across thread and shard counts,
+// shift_mu horizon edge cases, and the warm-state blob's count()-guarded
+// serialization.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -134,7 +135,7 @@ TEST(CompactMu, CompactDenseRoundTripIsLossless) {
 
 // ---- solver-level bit-identity -------------------------------------------
 
-TEST(CompactMu, SolverBitIdenticalToDenseMuAcrossThreadsAndShards) {
+TEST(CompactMu, SolverBitIdenticalAcrossThreadsAndShards) {
   const auto instance = sparse_instance();
   const auto problem = window_problem(instance);
   const auto sets = core::build_active_sets(
@@ -143,39 +144,34 @@ TEST(CompactMu, SolverBitIdenticalToDenseMuAcrossThreadsAndShards) {
       instance.config, instance.sparse_demand.horizon(), sets);
 
   core::PrimalDualOptions reference_options;
-  reference_options.compact_mu = false;
   reference_options.shard_count = shard::kShardsInProcess;
   core::PrimalDualSolver reference(reference_options);
   const auto want = reference.solve(problem);
-  EXPECT_EQ(want.mu.size(), core::mu_size(instance.config,
+  // Sparse solves always keep mu on the compact layout.
+  EXPECT_EQ(want.mu.size(), offsets.back());
+  EXPECT_LT(want.mu.size(), core::mu_size(instance.config,
                                           instance.sparse_demand.horizon()));
 
-  for (const bool compact : {false, true}) {
-    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
-      for (const std::size_t shards :
-           {shard::kShardsInProcess, std::size_t{2}}) {
-        util::ThreadPool::set_global_threads(threads);
-        core::PrimalDualOptions options;
-        options.compact_mu = compact;
-        options.shard_count = shards;
-        core::PrimalDualSolver solver(options);
-        const auto got = solver.solve(problem);
-        EXPECT_EQ(got.upper_bound, want.upper_bound)
-            << "compact=" << compact << " threads=" << threads
-            << " shards=" << shards;
-        EXPECT_EQ(got.lower_bound, want.lower_bound)
-            << "compact=" << compact << " threads=" << threads
-            << " shards=" << shards;
-        EXPECT_EQ(got.iterations, want.iterations);
-        EXPECT_EQ(got.mu.size(),
-                  compact ? offsets.back() : want.mu.size());
-      }
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    for (const std::size_t shards :
+         {shard::kShardsInProcess, std::size_t{2}}) {
+      util::ThreadPool::set_global_threads(threads);
+      core::PrimalDualOptions options;
+      options.shard_count = shards;
+      core::PrimalDualSolver solver(options);
+      const auto got = solver.solve(problem);
+      EXPECT_EQ(got.upper_bound, want.upper_bound)
+          << "threads=" << threads << " shards=" << shards;
+      EXPECT_EQ(got.lower_bound, want.lower_bound)
+          << "threads=" << threads << " shards=" << shards;
+      EXPECT_EQ(got.iterations, want.iterations);
+      EXPECT_EQ(got.mu.size(), offsets.back());
     }
   }
   util::ThreadPool::set_global_threads(1);
 }
 
-TEST(CompactMu, DenseDemandSolvesIgnoreTheFlag) {
+TEST(CompactMu, DenseDemandSolvesUseDenseLayout) {
   workload::PaperScenario scenario;
   scenario.num_sbs = 2;
   scenario.num_contents = 8;
@@ -190,25 +186,21 @@ TEST(CompactMu, DenseDemandSolvesIgnoreTheFlag) {
   problem.demand = &instance.demand;
   problem.initial_cache = instance.initial_cache;
 
-  for (const bool compact : {false, true}) {
-    core::PrimalDualOptions options;
-    options.compact_mu = compact;
-    core::PrimalDualSolver solver(options);
-    const auto solution = solver.solve(problem);
-    // Dense demand always uses the dense mu layout, flag or not.
-    EXPECT_EQ(solution.mu.size(),
-              core::mu_size(instance.config, instance.demand.horizon()));
-  }
+  core::PrimalDualOptions options;
+  core::PrimalDualSolver solver(options);
+  const auto solution = solver.solve(problem);
+  // Dense demand keeps the full dense mu layout (every content is active).
+  EXPECT_EQ(solution.mu.size(),
+            core::mu_size(instance.config, instance.demand.horizon()));
 }
 
 // ---- controller-level bit-identity ---------------------------------------
 
 double run_controller(bool chc, const model::ProblemInstance& instance,
-                      const workload::Predictor& predictor, bool compact,
+                      const workload::Predictor& predictor,
                       std::size_t threads, std::size_t shards) {
   util::ThreadPool::set_global_threads(threads);
   core::PrimalDualOptions pd;
-  pd.compact_mu = compact;
   pd.shard_count = shards;
   std::unique_ptr<online::Controller> controller;
   if (chc) {
@@ -223,42 +215,32 @@ double run_controller(bool chc, const model::ProblemInstance& instance,
   return result.total.total();
 }
 
-TEST(CompactMu, RhcBitIdenticalAcrossLayoutThreadsShards) {
+TEST(CompactMu, RhcBitIdenticalAcrossThreadsShards) {
   const auto instance = sparse_instance();
   const workload::NoisyPredictor predictor(instance.sparse_demand, 0.1, 1234);
-  const double want = run_controller(false, instance, predictor,
-                                     /*compact=*/false, 1,
+  const double want = run_controller(false, instance, predictor, 1,
                                      shard::kShardsInProcess);
-  for (const bool compact : {false, true}) {
-    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
-      for (const std::size_t shards :
-           {shard::kShardsInProcess, std::size_t{2}}) {
-        EXPECT_EQ(run_controller(false, instance, predictor, compact, threads,
-                                 shards),
-                  want)
-            << "compact=" << compact << " threads=" << threads
-            << " shards=" << shards;
-      }
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    for (const std::size_t shards :
+         {shard::kShardsInProcess, std::size_t{2}}) {
+      EXPECT_EQ(run_controller(false, instance, predictor, threads, shards),
+                want)
+          << "threads=" << threads << " shards=" << shards;
     }
   }
 }
 
-TEST(CompactMu, ChcBitIdenticalAcrossLayoutThreadsShards) {
+TEST(CompactMu, ChcBitIdenticalAcrossThreadsShards) {
   const auto instance = sparse_instance();
   const workload::NoisyPredictor predictor(instance.sparse_demand, 0.1, 1234);
-  const double want = run_controller(true, instance, predictor,
-                                     /*compact=*/false, 1,
+  const double want = run_controller(true, instance, predictor, 1,
                                      shard::kShardsInProcess);
-  for (const bool compact : {false, true}) {
-    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
-      for (const std::size_t shards :
-           {shard::kShardsInProcess, std::size_t{2}}) {
-        EXPECT_EQ(run_controller(true, instance, predictor, compact, threads,
-                                 shards),
-                  want)
-            << "compact=" << compact << " threads=" << threads
-            << " shards=" << shards;
-      }
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    for (const std::size_t shards :
+         {shard::kShardsInProcess, std::size_t{2}}) {
+      EXPECT_EQ(run_controller(true, instance, predictor, threads, shards),
+                want)
+          << "threads=" << threads << " shards=" << shards;
     }
   }
 }
@@ -319,7 +301,7 @@ TEST(CompactMu, AdvanceWindowEdgeCasesStayDeterministic) {
   const auto full = sparse_instance(/*horizon=*/6);
   const workload::PerfectPredictor predictor(full.sparse_demand);
 
-  core::PrimalDualOptions options;  // compact_mu = true (production)
+  core::PrimalDualOptions options;  // sparse demand -> compact mu
   core::PrimalDualSolver a(options);
   core::PrimalDualSolver b(options);
 
@@ -371,7 +353,7 @@ TEST(CompactMu, WarmStateRoundTripKeepsSolvesBitIdentical) {
   const auto full = sparse_instance(/*horizon=*/6);
   const workload::PerfectPredictor predictor(full.sparse_demand);
 
-  core::PrimalDualOptions options;  // compact_mu = true
+  core::PrimalDualOptions options;  // sparse demand -> compact mu
   core::PrimalDualSolver original(options);
 
   model::SparseDemandTrace window = predictor.predict_window_sparse(0, 3);
